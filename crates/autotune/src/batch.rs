@@ -1,0 +1,147 @@
+//! Batch-size autotuning (§4.1).
+//!
+//! "To autotune a model's batch size, we build multiple snapshots of the
+//! model with different batch sizes and select the best performing one
+//! using traffic-replay tests." The replay here is the chip simulator; the
+//! selection criterion is throughput subject to the per-batch latency
+//! budget implied by the serving SLO.
+
+use mtia_core::units::SimTime;
+use mtia_model::graph::Graph;
+use mtia_sim::chip::ChipSim;
+
+/// One evaluated snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCandidate {
+    /// Batch size.
+    pub batch: u64,
+    /// Per-batch latency.
+    pub latency: SimTime,
+    /// Throughput in samples/s.
+    pub throughput: f64,
+    /// Whether the latency budget is met.
+    pub feasible: bool,
+}
+
+/// The tuner's choice plus the full sweep for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchChoice {
+    /// The selected batch size.
+    pub batch: u64,
+    /// All evaluated candidates, in candidate order.
+    pub sweep: Vec<BatchCandidate>,
+}
+
+/// Default snapshot grid, covering the production range (§7 quotes models
+/// at batch 512 through 4K).
+pub const DEFAULT_CANDIDATES: [u64; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Tunes the batch size for a model built by `build`.
+///
+/// Picks the feasible candidate with the highest throughput; if none meets
+/// the budget, picks the lowest-latency candidate (the serving team then
+/// renegotiates the SLO or shards the model).
+pub fn tune_batch_size(
+    sim: &ChipSim,
+    latency_budget: SimTime,
+    candidates: &[u64],
+    build: impl Fn(u64) -> Graph,
+) -> BatchChoice {
+    assert!(!candidates.is_empty(), "no batch candidates supplied");
+    let mut sweep = Vec::with_capacity(candidates.len());
+    for &batch in candidates {
+        let graph = build(batch);
+        let compiled = mtia_compiler::compile(&graph, mtia_compiler::CompilerOptions::all());
+        let report = compiled.run(sim);
+        let latency = report.total_time();
+        sweep.push(BatchCandidate {
+            batch,
+            latency,
+            throughput: report.throughput_samples_per_s(),
+            feasible: latency <= latency_budget,
+        });
+    }
+    let best_feasible = sweep
+        .iter()
+        .filter(|c| c.feasible)
+        .max_by(|a, b| a.throughput.partial_cmp(&b.throughput).expect("finite"));
+    let batch = match best_feasible {
+        Some(c) => c.batch,
+        None => {
+            sweep
+                .iter()
+                .min_by_key(|c| c.latency)
+                .expect("non-empty sweep")
+                .batch
+        }
+    };
+    BatchChoice { batch, sweep }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::spec::chips;
+    use mtia_model::models::dlrm::DlrmConfig;
+
+    fn sim() -> ChipSim {
+        ChipSim::new(chips::mtia2i())
+    }
+
+    #[test]
+    fn larger_batches_amortize_overheads() {
+        let choice = tune_batch_size(
+            &sim(),
+            SimTime::from_millis(100),
+            &[64, 256, 1024],
+            |b| DlrmConfig::small(b).build(),
+        );
+        // Throughput grows with batch while everything fits on-chip.
+        let t: Vec<f64> = choice.sweep.iter().map(|c| c.throughput).collect();
+        assert!(t[1] > t[0] && t[2] > t[1], "{t:?}");
+        assert_eq!(choice.batch, 1024);
+    }
+
+    #[test]
+    fn tight_slo_forces_smaller_batch() {
+        let generous = tune_batch_size(
+            &sim(),
+            SimTime::from_millis(100),
+            &DEFAULT_CANDIDATES,
+            |b| DlrmConfig::small(b).build(),
+        );
+        // Budget between the latency of small and large batches.
+        let mid_budget = generous
+            .sweep
+            .iter()
+            .find(|c| c.batch == 512)
+            .unwrap()
+            .latency;
+        let tight = tune_batch_size(&sim(), mid_budget, &DEFAULT_CANDIDATES, |b| {
+            DlrmConfig::small(b).build()
+        });
+        assert!(tight.batch <= 512);
+        assert!(tight.batch < generous.batch);
+    }
+
+    #[test]
+    fn infeasible_slo_minimizes_latency() {
+        let choice = tune_batch_size(
+            &sim(),
+            SimTime::from_nanos(1),
+            &[256, 512],
+            |b| DlrmConfig::small(b).build(),
+        );
+        assert!(choice.sweep.iter().all(|c| !c.feasible));
+        // Falls back to the lowest-latency snapshot.
+        assert_eq!(choice.batch, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "no batch candidates")]
+    fn empty_candidates_panic() {
+        let _ = tune_batch_size(&sim(), SimTime::from_millis(1), &[], |b| {
+            DlrmConfig::small(b).build()
+        });
+    }
+}

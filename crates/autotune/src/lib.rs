@@ -1,0 +1,34 @@
+//! The §4.1 autotuning framework: given a model and a chip, choose the
+//! hardware and serving knobs automatically — SRAM data placement
+//! (LLS/LLC partitioning), batch size, request coalescing, and model
+//! sharding. "We have successfully used autotuning to completely optimize
+//! models launched to production, with Perf/TCO and Perf/Watt matching or
+//! exceeding those of prior models that were manually optimized."
+//!
+//! # Quick tour
+//!
+//! ```
+//! use mtia_autotune::Autotuner;
+//! use mtia_sim::chip::ChipSim;
+//! use mtia_core::spec::chips;
+//! use mtia_model::models::zoo;
+//!
+//! let tuner = Autotuner::new(ChipSim::new(chips::mtia2i()));
+//! let tuned = tuner.tune(&zoo::fig6_models()[0]);
+//! assert!(tuned.throughput_samples_per_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod coalescing;
+pub mod data_placement;
+pub mod pipeline;
+pub mod sharding;
+
+pub use batch::{tune_batch_size, BatchChoice};
+pub use coalescing::{tune_coalescing, CoalescingChoice, CoalescingConfig};
+pub use data_placement::{tune_placement, PlacementDecision, PlacementOutcome};
+pub use pipeline::{Autotuner, TunedModel};
+pub use sharding::{split_for_shards, tune_sharding, ShardingPlan};

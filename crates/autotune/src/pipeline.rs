@@ -1,0 +1,161 @@
+//! The end-to-end autotuning pipeline (§4.1's "Summary": autotuning fully
+//! optimizes models launched to production).
+
+use mtia_core::units::SimTime;
+use mtia_model::models::zoo::ZooModel;
+use mtia_sim::chip::ChipSim;
+use mtia_sim::ExecutionReport;
+
+use crate::batch::{tune_batch_size, BatchChoice, DEFAULT_CANDIDATES};
+use crate::coalescing::{tune_coalescing, CoalescingChoice};
+use crate::data_placement::{tune_placement, PlacementOutcome};
+use crate::sharding::{sharded_throughput, tune_sharding, ShardingPlan};
+
+/// A fully tuned model ready for serving.
+#[derive(Debug, Clone)]
+pub struct TunedModel {
+    /// Model name.
+    pub name: String,
+    /// Chosen batch size.
+    pub batch: u64,
+    /// The batch sweep, for reports.
+    pub batch_choice: BatchChoice,
+    /// Data-placement outcome at the chosen batch.
+    pub placement: PlacementOutcome,
+    /// Sharding decision.
+    pub sharding: ShardingPlan,
+    /// Coalescing configuration.
+    pub coalescing: CoalescingChoice,
+    /// Execution report of the final configuration (per shard-stage
+    /// throughput folded in via `throughput_samples_per_s`).
+    pub report: ExecutionReport,
+    /// End-to-end sustained samples/s for the deployment (one merge device
+    /// plus `sharding.shards` remote devices when sharded).
+    pub throughput_samples_per_s: f64,
+}
+
+impl TunedModel {
+    /// Devices consumed by one replica of this model (the merge network is
+    /// colocated with shard 0).
+    pub fn devices(&self) -> u32 {
+        self.sharding.shards
+    }
+}
+
+/// The autotuner: owns the target chip and serving constraints.
+#[derive(Debug, Clone)]
+pub struct Autotuner {
+    sim: ChipSim,
+    /// P99 latency SLO for serving (100 ms in the §6 case study).
+    pub slo: SimTime,
+    /// Batch-size snapshot grid.
+    pub batch_candidates: Vec<u64>,
+}
+
+impl Autotuner {
+    /// Creates an autotuner with the paper's default 100 ms SLO.
+    pub fn new(sim: ChipSim) -> Self {
+        Autotuner {
+            sim,
+            slo: SimTime::from_millis(100),
+            batch_candidates: DEFAULT_CANDIDATES.to_vec(),
+        }
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &ChipSim {
+        &self.sim
+    }
+
+    /// Runs the full §4.1 pipeline on a zoo model: batch size → placement →
+    /// sharding → coalescing.
+    pub fn tune(&self, model: &ZooModel) -> TunedModel {
+        // Device-side latency budget: leave room for host work + queueing.
+        let device_budget = self.slo.scale(0.5);
+        let batch_choice = tune_batch_size(&self.sim, device_budget, &self.batch_candidates, |b| {
+            model.graph_at(b)
+        });
+        let batch = batch_choice.batch;
+
+        let placement = tune_placement(&self.sim, batch, |b| model.graph_at(b));
+
+        let graph = model.graph_at(batch);
+        let sharding = tune_sharding(&self.sim, &graph, 12);
+        let throughput = sharded_throughput(&self.sim, &graph, sharding);
+
+        let compiled = mtia_compiler::compile(&graph, mtia_compiler::CompilerOptions::all());
+        let report = compiled.run(&self.sim);
+
+        let service_time = move |b: u64| {
+            // Fixed per-batch cost (job launch, host staging, RPC) plus the
+            // measured per-sample device time. The fixed term is what makes
+            // half-empty batches expensive and pushes the tuner toward
+            // >95 % fill.
+            let per_sample = 1.0 / throughput;
+            SimTime::from_secs_f64(1.0e-3 + per_sample * b as f64)
+        };
+        let coalescing = tune_coalescing(batch, self.slo, &service_time);
+
+        TunedModel {
+            name: model.name.clone(),
+            batch,
+            batch_choice,
+            placement,
+            sharding,
+            coalescing,
+            report,
+            throughput_samples_per_s: throughput,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::spec::chips;
+    use mtia_model::models::zoo;
+
+    fn tuner() -> Autotuner {
+        Autotuner::new(ChipSim::new(chips::mtia2i()))
+    }
+
+    #[test]
+    fn tunes_an_lc_model_end_to_end() {
+        let models = zoo::fig6_models();
+        let tuned = tuner().tune(&models[1]); // LC2
+        assert!(tuned.throughput_samples_per_s > 0.0);
+        assert_eq!(tuned.sharding.shards, 1);
+        assert_eq!(tuned.devices(), 1);
+        assert!(tuned.coalescing.prediction.fill > 0.9);
+        assert!(tuned.batch >= 64);
+    }
+
+    #[test]
+    fn tunes_a_sharded_hc_model() {
+        let models = zoo::fig6_models();
+        let hc4 = models.iter().find(|m| m.name == "HC4").unwrap();
+        let tuned = tuner().tune(hc4);
+        assert!(tuned.sharding.shards > 1);
+        assert_eq!(tuned.devices(), tuned.sharding.shards);
+        assert!(tuned.throughput_samples_per_s > 0.0);
+    }
+
+    #[test]
+    fn tuned_throughput_not_worse_than_default_batch() {
+        // The tuner must match or beat the model's shipped batch size when
+        // judged under the same latency budget.
+        let models = zoo::fig6_models();
+        let m = &models[2]; // LC3
+        let tuned = tuner().tune(m);
+        let shipped = {
+            let g = m.graph();
+            let c = mtia_compiler::compile(&g, mtia_compiler::CompilerOptions::all());
+            c.run(tuner().sim()).throughput_samples_per_s()
+        };
+        assert!(
+            tuned.throughput_samples_per_s >= shipped * 0.95,
+            "tuned {} vs shipped {shipped}",
+            tuned.throughput_samples_per_s
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e10_overclocking` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::fleet_exps::e10_overclocking().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e11_power_budget` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::fleet_exps::e11_power_budget().print();
+}

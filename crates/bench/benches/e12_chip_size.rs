@@ -1,0 +1,5 @@
+//! `cargo bench --bench e12_chip_size` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::fleet_exps::e12_chip_size().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e13_firmware` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::fleet_exps::e13_firmware().print();
+}

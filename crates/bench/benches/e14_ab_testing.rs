@@ -1,0 +1,5 @@
+//! `cargo bench --bench e14_ab_testing` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::ab::e14_ab_testing().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e15_fusion_gains` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::locality::e15_fusion_gains().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e16_compression` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::quant::e16_compression().print();
+}

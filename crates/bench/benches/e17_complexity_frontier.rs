@@ -1,0 +1,5 @@
+//! `cargo bench --bench e17_complexity_frontier` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::frontier::run().print();
+}

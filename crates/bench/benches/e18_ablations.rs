@@ -1,0 +1,5 @@
+//! `cargo bench --bench e18_ablations` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::ablations::run().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e1_job_launch` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::chip_exps::e1_job_launch().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e2_gemm_efficiency` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::chip_exps::e2_gemm_efficiency().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e3_llm_roofline` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::llm::e3_llm_roofline().print();
+}

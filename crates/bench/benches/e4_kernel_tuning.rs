@@ -1,0 +1,5 @@
+//! `cargo bench --bench e4_kernel_tuning` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::tuning::e4_kernel_tuning().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e5_coalescing` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::tuning::e5_coalescing().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e6_sram_hit_rates` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::locality::e6_sram_hit_rates().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e7_broadcast_gemm` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::chip_exps::e7_broadcast_gemm().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e8_quantization` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::quant::e8_quantization().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench e9_ecc_study` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::fleet_exps::e9_ecc_study().print();
+}

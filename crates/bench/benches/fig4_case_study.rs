@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig4_case_study` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::fig4::run().print();
+}

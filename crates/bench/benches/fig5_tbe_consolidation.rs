@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig5_tbe_consolidation` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::fig5::run().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench fig6_model_sweep` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::fig6::run().print();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench --bench table1_models` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::tables::table1().print();
+}

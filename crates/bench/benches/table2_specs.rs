@@ -1,0 +1,5 @@
+//! `cargo bench --bench table2_specs` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::tables::table2().print();
+}

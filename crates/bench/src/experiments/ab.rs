@@ -1,0 +1,80 @@
+//! E14: the §5.6 live A/B testing harness.
+
+use mtia_serving::ab::{run_ab_test, PlatformArm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{fx, pct, ExperimentReport, Table};
+
+/// Runs the healthy A/B comparison and the regression-detection case.
+pub fn e14_ab_testing() -> ExperimentReport {
+    let mut rng = StdRng::seed_from_u64(141);
+    let healthy = run_ab_test(
+        PlatformArm::gpu_control(),
+        PlatformArm::mtia_treatment(),
+        100_000,
+        -2.0,
+        &mut rng,
+    );
+    let broken = run_ab_test(
+        PlatformArm::gpu_control(),
+        PlatformArm::mtia_miscalibrated(),
+        100_000,
+        -2.0,
+        &mut rng,
+    );
+
+    let mut t = Table::new(
+        "E14: live A/B test — GPU control vs MTIA treatment (100k/arm)",
+        "§5.6: split traffic, compare business metrics, normalized entropy, \
+         and numerics; \"MTIA 2i meets SLOs, achieves comparable model \
+         quality, and significantly reduces Perf/TCO\"",
+        &["arm", "NE", "NE regression", "revenue delta", "P99 latency", "passes"],
+    );
+    for (label, report) in [("healthy MTIA", &healthy), ("miscalibrated MTIA", &broken)] {
+        t.row(&[
+            label.to_string(),
+            fx(report.treatment.ne, 4),
+            format!("{:+.2}%", report.ne_regression() * 100.0),
+            format!("{:+.2}%", report.revenue_delta() * 100.0),
+            format!("{}", report.treatment.latency.p99()),
+            report.passes(0.005, 0.02).to_string(),
+        ]);
+    }
+    let mut c = Table::new(
+        "E14b: control arm reference",
+        "the GPU control the treatment is judged against",
+        &["arm", "NE", "P99 latency"],
+    );
+    c.row(&[
+        "gpu control".into(),
+        fx(healthy.control.ne, 4),
+        format!("{}", healthy.control.latency.p99()),
+    ]);
+    let _ = pct(0.0);
+    ExperimentReport { id: "E14", tables: vec![t, c] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_arm_passes_broken_arm_fails() {
+        let r = e14_ab_testing();
+        let rows = &r.tables[0].rows;
+        assert_eq!(rows[0][5], "true", "healthy arm must pass");
+        assert_eq!(rows[1][5], "false", "miscalibrated arm must be caught");
+    }
+
+    #[test]
+    fn healthy_ne_regression_is_tiny() {
+        let r = e14_ab_testing();
+        let reg: f64 = r.tables[0].rows[0][2]
+            .trim_start_matches('+')
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(reg.abs() < 0.5, "NE regression {reg}%");
+    }
+}

@@ -1,0 +1,284 @@
+//! Chip-level experiments: eager-mode job launch (E1, §3.3), GEMM
+//! instruction-issue efficiency (E2, §3.3), and the weight-broadcast
+//! streaming GEMM (E7, §4.2).
+
+use mtia_core::spec::{chips, EccMode};
+use mtia_core::units::Bytes;
+use mtia_core::DType;
+use mtia_model::ops::OpKind;
+use mtia_sim::chip::{ChipSim, LaunchMode};
+use mtia_sim::control::JobLaunchModel;
+use mtia_sim::kernels::{cost_op, FcVariant, KernelEnv};
+use mtia_sim::mem::lpddr::LpddrController;
+use mtia_sim::mem::sram::place_model;
+use mtia_sim::noc::NocModel;
+
+use crate::{fx, pct, ExperimentReport, Table};
+
+/// E1: eager-mode job launch latency (§3.3).
+pub fn e1_job_launch() -> ExperimentReport {
+    let mut t = Table::new(
+        "E1: eager-mode job launch path",
+        "MTIA 2i launches jobs in < 1 µs and replaces them in < 0.5 µs — up \
+         to 80 % faster than MTIA 1 (quad-core Control Core + WQ broadcast + \
+         per-PE WQE)",
+        &["chip", "launch (64 PEs)", "replace (64 PEs)", "vs MTIA 1 launch"],
+    );
+    let gen1 = JobLaunchModel::new(chips::mtia1().control);
+    let gen2 = JobLaunchModel::new(chips::mtia2i().control);
+    let base = gen1.launch_time(64);
+    for (name, m) in [("MTIA 1", &gen1), ("MTIA 2i", &gen2)] {
+        let launch = m.launch_time(64);
+        let replace = m.replace_time(64);
+        t.row(&[
+            name.to_string(),
+            format!("{launch}"),
+            format!("{replace}"),
+            pct(1.0 - launch.as_secs_f64() / base.as_secs_f64()),
+        ]);
+    }
+    // Why sub-µs launches matter: eager mode stays affordable even on a
+    // node-heavy model (the §3.3 rationale for supporting eager mode).
+    let sim = ChipSim::new(chips::mtia2i());
+    let graph = mtia_model::models::merge::MergeNetworkConfig::case_study().build();
+    let compiled = mtia_compiler::compile(&graph, mtia_compiler::CompilerOptions::all());
+    let mut eager_plan = compiled.plan.clone();
+    eager_plan.launch_mode = LaunchMode::Eager;
+    let mut graph_plan = compiled.plan.clone();
+    graph_plan.launch_mode = LaunchMode::Graph;
+    let eager = sim.run(&compiled.graph, &eager_plan);
+    let graph_mode = sim.run(&compiled.graph, &graph_plan);
+
+    let mut m = Table::new(
+        "E1b: eager vs compiled-graph execution (case-study merge network)",
+        "§3.3: eager mode \"executes operations immediately as they are \
+         called\"; with < 0.5 µs job replacement its overhead stays small \
+         even on node-heavy graphs, enabling training prototyping, \
+         uncompilable models, and real-time weight updates",
+        &["mode", "batch latency", "launch overhead", "overhead share"],
+    );
+    for (name, r) in [("eager", &eager), ("compiled graph", &graph_mode)] {
+        m.row(&[
+            name.to_string(),
+            format!("{}", r.total_time()),
+            format!("{}", r.launch_overhead()),
+            pct(r.launch_overhead().as_secs_f64() / r.total_time().as_secs_f64()),
+        ]);
+    }
+    ExperimentReport { id: "E1", tables: vec![t, m] }
+}
+
+fn env_with(chip: &mtia_core::ChipSpec, resident: f64) -> KernelEnv<'_> {
+    KernelEnv {
+        chip,
+        noc: NocModel::new(chip.noc.clone()),
+        dram: LpddrController::new(chip.dram.clone(), EccMode::ControllerEcc),
+        placement: place_model(&chip.sram, Bytes::from_mib(40), Bytes::from_mib(100), 0.75),
+        weight_resident_fraction: resident,
+        tbe_hit_rate: 0.5,
+        skip_writeback_hints: true,
+    }
+}
+
+/// E2: GEMM efficiency with and without the §3.3 instruction-issue
+/// enhancements, across square shapes.
+pub fn e2_gemm_efficiency() -> ExperimentReport {
+    let mut t = Table::new(
+        "E2: GEMM efficiency vs custom-instruction issue rate",
+        ">92 % of peak for 2K×2K with multi-context + auto-increment \
+         instructions; the unenhanced issue path bottlenecks, worst at \
+         small shapes",
+        &["shape", "enhanced (% of peak)", "baseline issue (% of peak)", "bottleneck (baseline)"],
+    );
+    let full = chips::mtia2i();
+    let bare = chips::mtia2i_without_issue_enhancements();
+    for n in [256u64, 512, 1024, 2048, 4096] {
+        let op = OpKind::Fc { batch: n, in_features: n, out_features: n };
+        let v = Some(FcVariant::optimized_for(n, n, n));
+        let peak = full.gemm_peak(DType::Fp16, false).as_flops_per_s();
+        let eff = |chip: &mtia_core::ChipSpec| {
+            let env = env_with(chip, 1.0);
+            let c = cost_op(&env, &op, DType::Fp16, v);
+            (c.flops.as_f64() / c.time.as_secs_f64() / peak, c.bottleneck)
+        };
+        let (e_full, _) = eff(&full);
+        let (e_bare, b_bare) = eff(&bare);
+        t.row(&[
+            format!("{n}x{n}x{n}"),
+            pct(e_full),
+            pct(e_bare),
+            format!("{b_bare:?}"),
+        ]);
+    }
+
+    // Cross-validation: the operational PE-pipeline simulator (§3.2's
+    // CP/circular-buffer recurrence) against the analytic roofline.
+    let mut v = Table::new(
+        "E2b: analytic roofline vs operational PE-pipeline simulation",
+        "the Command Processor overlaps DMA and compute through circular \
+         buffers (§3.2); with the §3.3 instruction features the DPE stays \
+         >90 % busy, and the two models agree on steady-state throughput",
+        &["chip", "shape", "pipeline DPE utilization", "pipeline/roofline time"],
+    );
+    for (name, chip) in [("enhanced", &full), ("baseline issue", &bare)] {
+        for n in [512u64, 2048] {
+            let config = mtia_sim::pe_pipeline::gemm_pipeline_config(chip, n, n, n);
+            let stats = mtia_sim::pe_pipeline::simulate_pipeline(config);
+            let stage_max = config
+                .issue_time
+                .max(config.dma_time)
+                .max(config.compute_time)
+                .max(config.simd_time);
+            let roofline = stage_max * config.tiles as u64;
+            v.row(&[
+                name.to_string(),
+                format!("{n}x{n}x{n}"),
+                pct(stats.dpe_utilization()),
+                fx(stats.makespan.as_secs_f64() / roofline.as_secs_f64(), 3),
+            ]);
+        }
+    }
+    ExperimentReport { id: "E2", tables: vec![t, v] }
+}
+
+/// E7: the §4.2 streaming-GEMM optimization — decoupled loading, NoC
+/// broadcast reads, and DMA prefetch on the 512×26592×2048 shape.
+pub fn e7_broadcast_gemm() -> ExperimentReport {
+    let chip = chips::mtia2i();
+    let op = OpKind::Fc { batch: 512, in_features: 26592, out_features: 2048 };
+    let weight_mb = op.weight_bytes(DType::Fp16).as_mib();
+    let mut t = Table::new(
+        "E7: weight-broadcast streaming GEMM (512 × 26592 × 2048)",
+        "§4.2: \"improved latency by 45% and achieved over 95% DRAM \
+         bandwidth\" for this 109 MB weight tensor",
+        &["kernel variant", "latency", "DRAM bandwidth achieved", "of ECC-adjusted peak"],
+    );
+    let env = {
+        let mut e = env_with(&chip, 0.0); // weights stream from DRAM
+        e.placement = place_model(&chip.sram, Bytes::from_mib(64), Bytes::from_mib(800), 0.75);
+        e.weight_resident_fraction = 0.0;
+        e
+    };
+    let naive = FcVariant {
+        broadcast_weights: false,
+        prefetch: false,
+        ..FcVariant::optimized_for(512, 26592, 2048)
+    };
+    let tuned = FcVariant::optimized_for(512, 26592, 2048);
+    let ecc_bw = chip.effective_dram_bw(EccMode::ControllerEcc).as_bytes_per_s();
+    let mut latencies = Vec::new();
+    for (name, v) in [("naive (no broadcast/prefetch)", naive), ("broadcast + prefetch + decoupled", tuned)]
+    {
+        let c = cost_op(&env, &op, DType::Fp16, Some(v));
+        let achieved = c.dram_bytes.as_f64() / c.time.as_secs_f64();
+        latencies.push(c.time);
+        t.row(&[
+            name.to_string(),
+            format!("{}", c.time),
+            format!("{:.1} GB/s", achieved / 1e9),
+            pct(achieved / ecc_bw),
+        ]);
+    }
+    let mut summary = Table::new(
+        "E7 summary",
+        "45 % latency improvement on the 109 MB-weight shape",
+        &["metric", "value"],
+    );
+    summary.row(&["weight tensor".into(), format!("{weight_mb:.0} MiB")]);
+    summary.row(&[
+        "latency improvement".into(),
+        pct(1.0 - latencies[1].as_secs_f64() / latencies[0].as_secs_f64()),
+    ]);
+    ExperimentReport { id: "E7", tables: vec![t, summary] }
+}
+
+/// Shared percentage parser for tests.
+#[cfg(test)]
+fn parse_pct(s: &str) -> f64 {
+    s.trim_end_matches('%').parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reduction_near_80_percent() {
+        let r = e1_job_launch();
+        let reduction = parse_pct(&r.tables[0].rows[1][3]);
+        assert!((75.0..=90.0).contains(&reduction), "reduction {reduction}%");
+    }
+
+    #[test]
+    fn e1b_eager_overhead_is_modest_and_graph_mode_cheaper() {
+        let r = e1_job_launch();
+        let m = &r.tables[1];
+        let eager_share = parse_pct(&m.rows[0][3]);
+        let graph_share = parse_pct(&m.rows[1][3]);
+        // Eager mode's overhead stays below 15 % even on ~150 nodes...
+        assert!(eager_share < 15.0, "eager overhead {eager_share}%");
+        // ...and compiled graph mode is cheaper still.
+        assert!(graph_share < eager_share);
+    }
+
+    #[test]
+    fn e2_2k_exceeds_92_percent() {
+        let r = e2_gemm_efficiency();
+        let row_2k = r.tables[0].rows.iter().find(|r| r[0].starts_with("2048")).unwrap();
+        assert!(parse_pct(&row_2k[1]) > 92.0, "2K efficiency {}", row_2k[1]);
+        assert!(parse_pct(&row_2k[2]) < parse_pct(&row_2k[1]));
+    }
+
+    #[test]
+    fn e2_baseline_issue_path_is_the_bottleneck() {
+        let r = e2_gemm_efficiency();
+        let rows = &r.tables[0].rows;
+        // The unenhanced issue path is instruction-bound on most shapes and
+        // never beats the enhanced path.
+        let issue_bound = rows
+            .iter()
+            .filter(|row| row[3].contains("InstructionIssue"))
+            .count();
+        assert!(issue_bound >= 3, "only {issue_bound} shapes issue-bound");
+        for row in rows {
+            assert!(
+                parse_pct(&row[2]) <= parse_pct(&row[1]) + 0.5,
+                "{}: baseline beat enhanced",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn e2b_pipeline_matches_roofline() {
+        let r = e2_gemm_efficiency();
+        let v = &r.tables[1];
+        for row in v.rows.iter() {
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(
+                (0.95..=1.12).contains(&ratio),
+                "{} {}: pipeline/roofline {ratio}",
+                row[0],
+                row[1]
+            );
+        }
+        // Enhanced 2K runs the DPE > 90 % busy.
+        let enhanced_2k = v
+            .rows
+            .iter()
+            .find(|row| row[0] == "enhanced" && row[1].starts_with("2048"))
+            .unwrap();
+        let util = parse_pct(&enhanced_2k[2]);
+        assert!(util > 90.0, "utilization {util}%");
+    }
+
+    #[test]
+    fn e7_latency_gain_near_45_percent() {
+        let r = e7_broadcast_gemm();
+        let gain = parse_pct(&r.tables[1].rows[1][1]);
+        assert!((30.0..=60.0).contains(&gain), "gain {gain}% (paper: 45%)");
+        // Tuned variant reaches >85 % of ECC-adjusted DRAM bandwidth.
+        let tuned_frac = parse_pct(&r.tables[0].rows[1][3]);
+        assert!(tuned_frac > 85.0, "DRAM fraction {tuned_frac}%");
+    }
+}

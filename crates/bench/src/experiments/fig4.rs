@@ -1,0 +1,265 @@
+//! Figure 4 / §6: the case-study optimization trajectory — Perf/TCO from
+//! an initial ~50 % of the GPU baseline to a final ~180 %, while the model
+//! itself grew from 140 to 940 MFLOPS/sample.
+
+use mtia_compiler::CompilerOptions;
+use mtia_core::spec::chips;
+use mtia_model::models::zoo;
+use mtia_sim::chip::ChipSim;
+
+
+use crate::platform::{compare_model_staged, ModelComparison, ServingFactors};
+use crate::{pct, ExperimentReport, Table};
+
+/// One stage of the eight-month journey.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage label.
+    pub label: &'static str,
+    /// Which §6 levers are active.
+    pub options: CompilerOptions,
+    /// Serving-level tuning state.
+    pub serving: ServingFactors,
+    /// Whether the model is the evolved 940 MFLOPS/sample version (with
+    /// the SRAM-friendly DHEN-layer change) or the initial 140.
+    pub evolved_model: bool,
+    /// Chip frequency: the study began before the §5.2 overclock landed.
+    pub overclocked: bool,
+    /// Whether the kernels use the §3.3 multi-context/auto-increment
+    /// custom instructions. The *initial* kernel implementations did not
+    /// ("bottlenecked by the custom-instruction issue rate").
+    pub issue_enhanced_kernels: bool,
+    /// MTIA-side batch snapshot; `None` = the tuned shipped batch. The
+    /// initial port ran the GPU-oriented small batch.
+    pub batch: Option<u64>,
+}
+
+/// The staged trajectory. Each stage adds the §6 optimizations in the
+/// order the paper describes.
+pub fn stages() -> Vec<Stage> {
+    let none = CompilerOptions::none();
+    let fusions_only = CompilerOptions {
+        vertical_fusion: true,
+        sibling_transpose_fc: true,
+        layernorm_batching: true,
+        mha_rewrite: true,
+        ..CompilerOptions::none()
+    };
+    let fusions_and_kernels = CompilerOptions {
+        tuned_kernels: true,
+        memory_aware_scheduling: true,
+        ..fusions_only
+    };
+    vec![
+        Stage {
+            label: "initial port (out-of-the-box, issue-bound kernels, batch 128)",
+            options: none,
+            serving: ServingFactors::untuned(),
+            evolved_model: false,
+            overclocked: false,
+            issue_enhanced_kernels: false,
+            batch: Some(128),
+        },
+        Stage {
+            label: "+ graph fusions (sibling-transpose FC, LN batching, MHA rewrite)",
+            options: fusions_only,
+            serving: ServingFactors::untuned(),
+            evolved_model: false,
+            overclocked: false,
+            issue_enhanced_kernels: false,
+            batch: Some(128),
+        },
+        Stage {
+            label: "+ multi-context kernels, tuned variants, batch snapshots",
+            options: fusions_and_kernels,
+            serving: ServingFactors::untuned(),
+            evolved_model: false,
+            overclocked: false,
+            issue_enhanced_kernels: true,
+            batch: None,
+        },
+        Stage {
+            label: "model evolved to 940 MF/sample (SRAM-friendly DHEN layers)",
+            options: CompilerOptions::all(),
+            serving: ServingFactors::untuned(),
+            evolved_model: true,
+            overclocked: false,
+            issue_enhanced_kernels: true,
+            batch: None,
+        },
+        Stage {
+            label: "+ coalescing autotuned (>95% fill) & IBB deferral",
+            options: CompilerOptions::all(),
+            serving: ServingFactors { batch_fill: 0.97, scheduling: 0.85 },
+            evolved_model: true,
+            overclocked: false,
+            issue_enhanced_kernels: true,
+            batch: None,
+        },
+        Stage {
+            label: "+ TBE consolidation & 1.35 GHz overclock (launch config)",
+            options: CompilerOptions::all(),
+            serving: ServingFactors::tuned(),
+            evolved_model: true,
+            overclocked: true,
+            issue_enhanced_kernels: true,
+            batch: None,
+        },
+    ]
+}
+
+/// Evaluates one stage.
+pub fn evaluate_stage(stage: &Stage) -> ModelComparison {
+    let model = if stage.evolved_model {
+        zoo::fig6_models().into_iter().find(|m| m.name == "HC3").expect("HC3")
+    } else {
+        zoo::case_study_initial()
+    };
+    let mut chip = if stage.issue_enhanced_kernels {
+        chips::mtia2i_128gb()
+    } else {
+        // The hardware has the §3.3 instruction features; the initial
+        // kernels simply did not use them.
+        let mut c = chips::mtia2i_without_issue_enhancements();
+        c.dram.capacity = mtia_core::units::Bytes::from_gib(128);
+        c
+    };
+    if !stage.overclocked {
+        let design = chip.design_frequency;
+        chip = chip.at_frequency(design);
+    }
+    compare_model_staged(
+        &model,
+        &ChipSim::new(chip),
+        stage.options,
+        stage.serving,
+        stage.batch,
+    )
+}
+
+/// Runs the full trajectory.
+pub fn run() -> ExperimentReport {
+    let mut t = Table::new(
+        "Figure 4: continuous optimization of the case-study ranking model",
+        "Perf/TCO starts near 50 % of the GPU baseline and ends at ~180 %, \
+         with ~102 % Perf/Watt at launch; complexity grows 140 → 940 \
+         MFLOPS/sample during the same eight months",
+        &["stage", "model MF/sample", "perf/TCO vs GPU", "perf/W vs GPU"],
+    );
+    for stage in stages() {
+        let c = evaluate_stage(&stage);
+        let mf = if stage.evolved_model { 940 } else { 140 };
+        t.row(&[
+            stage.label.to_string(),
+            mf.to_string(),
+            pct(c.rel.perf_per_tco),
+            pct(c.rel.perf_per_watt),
+        ]);
+    }
+
+    // The rejected model change (§6): tripling the remote embedding
+    // inputs to the merge network pushes the activation buffer out of LLS;
+    // every operator then round-trips activations through LPDDR.
+    let model = zoo::fig6_models().into_iter().find(|m| m.name == "HC3").expect("HC3");
+    let graph = model.graph();
+    let sim = ChipSim::new(chips::mtia2i_128gb());
+    let tuned = mtia_compiler::compile(&graph, CompilerOptions::all());
+    let pinned = tuned.run(&sim);
+    let mtia_model::models::zoo::ZooArch::Dhen(cfg) = &model.arch else {
+        unreachable!("HC3 is DHEN-based")
+    };
+    let mut wide = cfg.clone();
+    wide.embedding_dim *= 3; // 3x remote embedding inputs
+    let wide_graph = wide.build();
+    let wide_compiled = mtia_compiler::compile(&wide_graph, CompilerOptions::all());
+    let mut spill_plan = wide_compiled.plan.clone();
+    spill_plan.activation_bytes =
+        Some(wide_graph.peak_activation_bytes() * 3 + mtia_core::Bytes::from_mib(300));
+    let spilled = sim.run(&wide_compiled.graph, &spill_plan);
+    let drop = 1.0
+        - spilled.throughput_samples_per_s() / pinned.throughput_samples_per_s();
+    let mut rejected = Table::new(
+        "Figure 4 sidebar: the rejected SRAM-unfriendly model change",
+        "§6: tripling the remote embedding inputs 'caused a 90% drop in \
+         throughput because the increased activation buffer size could no \
+         longer be pinned in SRAM'. We measure ~50%: the kernel roofline \
+         absorbs part of the spill under weight streaming, and the paper's \
+         figure compounds through the serving layer",
+        &["configuration", "activations", "samples/s", "throughput drop"],
+    );
+    rejected.row(&[
+        "accepted change (extra DHEN layers, pinned)".into(),
+        format!("{}", pinned.placement.activations),
+        crate::fx(pinned.throughput_samples_per_s(), 0),
+        "-".into(),
+    ]);
+    rejected.row(&[
+        "rejected change (3x remote inputs, spilled)".into(),
+        format!("{}", spilled.placement.activations),
+        crate::fx(spilled.throughput_samples_per_s(), 0),
+        pct(drop),
+    ]);
+    ExperimentReport { id: "F4", tables: vec![t, rejected] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory() -> Vec<f64> {
+        stages()
+            .iter()
+            .map(|s| evaluate_stage(s).rel.perf_per_tco)
+            .collect()
+    }
+
+    #[test]
+    fn trajectory_improves_within_each_model_phase() {
+        // The model-evolution step (stage 2 → 3) may dip — the evolved
+        // 940 MF model starts less optimized, exactly like the fresh
+        // variant lines in Fig. 4. Within a model phase the trend is up.
+        let points = trajectory();
+        for (i, w) in points.windows(2).enumerate() {
+            if i == 2 {
+                continue; // the 140 → 940 MF model change
+            }
+            assert!(w[1] >= w[0] * 0.98, "regression at stage {i}: {points:?}");
+        }
+        assert!(points.last().unwrap() > points.first().unwrap());
+    }
+
+    #[test]
+    fn endpoints_match_figure4() {
+        let points = trajectory();
+        let start = points.first().unwrap();
+        let end = points.last().unwrap();
+        assert!(
+            (0.30..=0.70).contains(start),
+            "initial perf/TCO {start} (paper: ~0.5)"
+        );
+        assert!(
+            (1.5..=2.2).contains(end),
+            "final perf/TCO {end} (paper: ~1.8)"
+        );
+    }
+
+    #[test]
+    fn rejected_change_drops_throughput_heavily() {
+        let r = run();
+        let sidebar = &r.tables[1];
+        assert!(sidebar.rows[1][1].contains("dram"), "{:?}", sidebar.rows[1]);
+        let drop: f64 = sidebar.rows[1][3].trim_end_matches('%').parse().unwrap();
+        assert!(drop > 40.0, "spill drop only {drop}% (paper: ~90%)");
+    }
+
+    #[test]
+    fn final_perf_per_watt_near_parity() {
+        // §6: "+2% higher Perf/Watt" at launch.
+        let last = stages().pop().map(|s| evaluate_stage(&s)).unwrap();
+        assert!(
+            (0.85..=1.45).contains(&last.rel.perf_per_watt),
+            "launch perf/W {}",
+            last.rel.perf_per_watt
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 6: Perf/Watt and Perf/TCO of nine production models vs GPUs.
+
+use mtia_model::models::zoo;
+
+use crate::platform::compare_model;
+use crate::{fx, pct, ExperimentReport, Table};
+
+/// Runs the nine-model sweep.
+pub fn run() -> ExperimentReport {
+    let mut t = Table::new(
+        "Figure 6: complexity and efficiency of nine production models",
+        "LC 15–105 MFLOPS/sample, HC 480–1000; Perf/TCO above GPU across the \
+         board (avg ≈ 180 % ↔ 44 % TCO reduction); Perf/Watt modestly above; \
+         lowest efficiency on HC2/HC4; each model runs on one or two \
+         accelerators",
+        &[
+            "model",
+            "MFLOPS/sample",
+            "batch",
+            "devices",
+            "perf vs GPU",
+            "perf/TCO vs GPU",
+            "perf/W vs GPU",
+        ],
+    );
+
+    let mut tco_rels = Vec::new();
+    let mut watt_rels = Vec::new();
+    for m in zoo::fig6_models() {
+        let c = compare_model(&m);
+        tco_rels.push(c.rel.perf_per_tco);
+        watt_rels.push(c.rel.perf_per_watt);
+        t.row(&[
+            m.name.clone(),
+            fx(m.mflops_per_sample(), 0),
+            m.batch.to_string(),
+            c.mtia_devices_per_replica.to_string(),
+            pct(c.rel.perf),
+            pct(c.rel.perf_per_tco),
+            pct(c.rel.perf_per_watt),
+        ]);
+    }
+    let avg_tco = tco_rels.iter().sum::<f64>() / tco_rels.len() as f64;
+    let avg_watt = watt_rels.iter().sum::<f64>() / watt_rels.len() as f64;
+    let mut summary = Table::new(
+        "Figure 6 summary",
+        "§1: \"MTIA 2i reduces the TCO by an average of 44% compared to GPUs\"",
+        &["metric", "value"],
+    );
+    summary.row(&["mean perf/TCO vs GPU".into(), pct(avg_tco)]);
+    summary.row(&["equivalent TCO reduction".into(), pct(1.0 - 1.0 / avg_tco)]);
+    summary.row(&["mean perf/W vs GPU".into(), pct(avg_watt)]);
+
+    ExperimentReport { id: "F6", tables: vec![t, summary] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_tco_reduction_near_44_percent() {
+        let r = run();
+        let summary = &r.tables[1];
+        let reduction: f64 = summary.rows[1][1].trim_end_matches('%').parse().unwrap();
+        assert!(
+            (36.0..=52.0).contains(&reduction),
+            "TCO reduction {reduction}% (paper: 44%)"
+        );
+    }
+
+    #[test]
+    fn perf_per_tco_beats_perf_per_watt() {
+        // §7: "it is easier to outperform GPUs in Perf/TCO than in
+        // Perf/Watt".
+        let r = run();
+        for row in &r.tables[0].rows {
+            let tco: f64 = row[5].trim_end_matches('%').parse().unwrap();
+            let watt: f64 = row[6].trim_end_matches('%').parse().unwrap();
+            assert!(tco > watt, "{}: tco {tco} ≤ watt {watt}", row[0]);
+        }
+    }
+
+    #[test]
+    fn every_model_wins_on_tco() {
+        let r = run();
+        for row in &r.tables[0].rows {
+            let tco: f64 = row[5].trim_end_matches('%').parse().unwrap();
+            assert!(tco > 100.0, "{} loses on TCO: {tco}%", row[0]);
+        }
+    }
+}

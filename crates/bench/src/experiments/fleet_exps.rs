@@ -1,0 +1,362 @@
+//! Fleet experiments: ECC (E9, §5.1), overclocking (E10, §5.2), power
+//! provisioning (E11, §5.3), chip sizing (E12, §5.4), firmware (E13, §5.5).
+
+use mtia_core::power::PowerModel;
+use mtia_core::spec::chips;
+use mtia_fleet::chipsize::{production_gain_over_replay, sample_portfolio};
+use mtia_fleet::firmware::{cadence, simulate_rollout, FirmwareBundle, Rollout};
+use mtia_fleet::memerr::{
+    decision_bandwidth_cost, ecc_keeps_tco_advantage, evaluate_mitigations,
+    production_decision, run_sensitivity, run_survey,
+};
+use mtia_fleet::overclock::{paper_frequencies, run_study, SiliconMargin};
+use mtia_fleet::power::{capping_probability, initial_rack_budget, PowerStudy, RackConfig};
+use mtia_model::models::zoo;
+use mtia_sim::chip::ChipSim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::platform::compare_model;
+use crate::{fx, pct, ExperimentReport, Table};
+
+/// E9: the memory-error study and the ECC decision.
+pub fn e9_ecc_study() -> ExperimentReport {
+    let mut rng = StdRng::seed_from_u64(91);
+    let survey = run_survey(1700, &mut rng);
+    let mut t = Table::new(
+        "E9: fleet memory-error survey (1,700 servers × 24 cards)",
+        "§5.1: \"24% exhibited ECC errors, typically on a single MTIA card \
+         per server\"",
+        &["metric", "value"],
+    );
+    t.row(&["servers sampled".into(), survey.servers.to_string()]);
+    t.row(&["servers with errors".into(), pct(survey.affected_rate)]);
+    t.row(&["of those, single-card".into(), pct(survey.single_card_fraction)]);
+
+    let sensitivity = run_sensitivity(400, &mut rng);
+    let mut s = Table::new(
+        "E9b: error-injection sensitivity by memory region",
+        "§5.1: flips in TBE indices, TBE rows, or FP weight exponents \
+         \"can cause NaNs or output corruptions, with some failures \
+         occurring with high probability\"",
+        &["region", "failure rate per flip"],
+    );
+    for (region, rate) in &sensitivity.regions {
+        s.row(&[format!("{region:?}"), pct(*rate)]);
+    }
+
+    let outcomes = evaluate_mitigations(survey, &sensitivity);
+    let mut m = Table::new(
+        "E9c: mitigation trade-offs",
+        "§5.1: region ECC \"a difficult trade-off\"; software hashing \
+         \"overhead too high\"; product teams cannot absorb the volume → \
+         enable controller ECC (10–15 % throughput)",
+        &["mitigation", "throughput factor", "residual errors/day/1k cards", "viable"],
+    );
+    for o in &outcomes {
+        m.row(&[
+            format!("{:?}", o.mitigation),
+            fx(o.throughput_factor, 2),
+            fx(o.residual_errors_per_day, 2),
+            if o.viable { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+
+    let decision = production_decision(&outcomes);
+    let sim = ChipSim::new(chips::mtia2i());
+    let hc3 = zoo::fig6_models().into_iter().find(|mm| mm.name == "HC3").unwrap();
+    let c = compare_model(&hc3);
+    let mut d = Table::new(
+        "E9d: the decision and its cost",
+        "§5.1: \"even with this penalty, MTIA 2i still delivers significant \
+         Perf/TCO gains over GPUs. All reported numbers ... already account \
+         for this penalty\"",
+        &["item", "value"],
+    );
+    d.row(&["decision".into(), format!("{decision:?}")]);
+    d.row(&["bandwidth cost".into(), pct(decision_bandwidth_cost())]);
+    d.row(&[
+        "HC3 perf/TCO vs GPU with ECC on".into(),
+        pct(c.rel.perf_per_tco),
+    ]);
+    d.row(&[
+        "TCO advantage survives".into(),
+        ecc_keeps_tco_advantage(c.rel.perf).to_string(),
+    ]);
+    let _ = sim;
+    ExperimentReport { id: "E9", tables: vec![t, s, m, d] }
+}
+
+/// E10: the 3,000-chip overclocking study plus end-to-end gains.
+pub fn e10_overclocking() -> ExperimentReport {
+    let mut rng = StdRng::seed_from_u64(92);
+    let study = run_study(SiliconMargin::production(), 3000, &paper_frequencies(), &mut rng);
+    let mut t = Table::new(
+        "E10: overclocking qualification (3,000 chips × 10 tests)",
+        "§5.2: \"negligible decreases in the test pass rate as the \
+         frequency increased from 1.1GHz to 1.35GHz\"",
+        &["frequency", "test pass rate", "chips passing all 10"],
+    );
+    for r in &study.results {
+        t.row(&[
+            format!("{}", r.frequency),
+            format!("{:.2}%", r.pass_rate * 100.0),
+            format!("{:.2}%", r.chips_fully_passing * 100.0),
+        ]);
+    }
+
+    // End-to-end throughput deltas on production models.
+    let deployed = ChipSim::new(chips::mtia2i());
+    let design = ChipSim::new(chips::mtia2i_design_freq());
+    let mut e = Table::new(
+        "E10b: end-to-end throughput at 1.35 vs 1.1 GHz",
+        "§5.2: \"throughput improvements ranging between 5% and 20% in \
+         offline replayer tests\"",
+        &["model", "gain"],
+    );
+    let mut gains = Vec::new();
+    for m in zoo::fig6_models() {
+        let g = m.graph();
+        let fast = deployed.run_optimized(&g).throughput_samples_per_s();
+        let slow = design.run_optimized(&g).throughput_samples_per_s();
+        let gain = fast / slow - 1.0;
+        gains.push(gain);
+        e.row(&[m.name.clone(), pct(gain)]);
+    }
+    ExperimentReport { id: "E10", tables: vec![t, e] }
+}
+
+/// E11: the provisioned-power study.
+pub fn e11_power_budget() -> ExperimentReport {
+    let rack = RackConfig::production();
+    let power = PowerModel::mtia2i();
+    let peak_util = 0.45;
+    let mut rng = StdRng::seed_from_u64(93);
+    let study = PowerStudy::run(&rack, &power, peak_util, &mut rng);
+    let initial = initial_rack_budget(&rack, &power);
+    let new = study.new_rack_budget(&rack);
+    let p_cap = capping_probability(&rack, &power, peak_util, new, 5000, &mut rng);
+
+    let mut t = Table::new(
+        "E11: rack power budget via the P90 methodology",
+        "§5.3: \"we reduced the rack power budget by nearly 40% compared to \
+         initial estimates\" and the reduced budget \"has proven robust in \
+         production\"",
+        &["quantity", "value"],
+    );
+    t.row(&["initial rack budget".into(), format!("{initial}")]);
+    t.row(&[
+        "experiment: all-24 @ P90 of top-2-model peak".into(),
+        format!("{}", study.experiment_server_power),
+    ]);
+    t.row(&[
+        "analysis: P90 of busy production servers".into(),
+        format!("{}", study.analysis_server_power),
+    ]);
+    t.row(&["new rack budget (max of the two × 4 servers)".into(), format!("{new}")]);
+    t.row(&[
+        "budget reduction".into(),
+        pct(1.0 - new.as_f64() / initial.as_f64()),
+    ]);
+    t.row(&["capping probability at new budget".into(), pct(p_cap)]);
+    ExperimentReport { id: "E11", tables: vec![t] }
+}
+
+/// E12: small-vs-big chips under production load.
+pub fn e12_chip_size() -> ExperimentReport {
+    let mut rng = StdRng::seed_from_u64(94);
+    let mut t = Table::new(
+        "E12: production efficiency gain of small chips over big chips",
+        "§5.4: \"an additional gain of 5% to 90% in Perf/TCO and Perf/Watt \
+         in production compared to offline traffic replay\" — finer \
+         allocation granularity + peak buffering favour 24 small chips",
+        &["portfolio", "small-chip utilization", "big-chip utilization", "production gain"],
+    );
+    let mut gains = Vec::new();
+    let add_row = |label: String, portfolio: &[mtia_fleet::ModelDemand],
+                       t: &mut Table, gains: &mut Vec<f64>| {
+        let small =
+            mtia_fleet::provision(mtia_fleet::DeviceOption::small_chip(), portfolio);
+        let big = mtia_fleet::provision(mtia_fleet::DeviceOption::big_chip(), portfolio);
+        let gain = production_gain_over_replay(portfolio);
+        gains.push(gain);
+        t.row(&[
+            label,
+            pct(small.utilization),
+            pct(big.utilization),
+            format!("+{}", pct(gain)),
+        ]);
+    };
+    for i in 0..4 {
+        let portfolio = sample_portfolio(40, &mut rng);
+        add_row(format!("mixed portfolio {}", i + 1), &portfolio, &mut t, &mut gains);
+    }
+    // The band's edges: a fleet of sub-device models (big chips strand the
+    // most capacity) and a fleet of very large models (both options
+    // amortize).
+    let tiny: Vec<mtia_fleet::ModelDemand> = (0..30)
+        .map(|i| mtia_fleet::ModelDemand { peak: 0.4 + 0.06 * i as f64, avg_to_peak: 0.6 })
+        .collect();
+    add_row("small-model-heavy fleet".into(), &tiny, &mut t, &mut gains);
+    let big_models: Vec<mtia_fleet::ModelDemand> = (0..10)
+        .map(|i| mtia_fleet::ModelDemand { peak: 60.0 + 12.0 * i as f64, avg_to_peak: 0.6 })
+        .collect();
+    add_row("large-model-heavy fleet".into(), &big_models, &mut t, &mut gains);
+    let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+    t.row(&["mean".into(), "-".into(), "-".into(), format!("+{}", pct(mean))]);
+    ExperimentReport { id: "E12", tables: vec![t] }
+}
+
+/// E13: the NoC deadlock and the firmware rollout machinery.
+pub fn e13_firmware() -> ExperimentReport {
+    let mut rng = StdRng::seed_from_u64(95);
+    let original = FirmwareBundle::original();
+    let mitigated = FirmwareBundle::mitigated();
+
+    let stress_rate = |b: &FirmwareBundle, rng: &mut StdRng| {
+        let n = 20_000;
+        (0..n).filter(|_| b.stress_run_hangs(rng)).count() as f64 / n as f64
+    };
+    let mut t = Table::new(
+        "E13: the Control-Core/NoC/PCIe deadlock and its firmware fix",
+        "§5.5: ~1% of servers under stress lost PCIe connectivity; ~0.1% in \
+         production; mitigation relocated Control-Core memory from host to \
+         device SRAM, breaking the wait-for cycle",
+        &["bundle", "deadlock cycle possible", "stress-test hang rate"],
+    );
+    for b in [&original, &mitigated] {
+        t.row(&[
+            b.version.clone(),
+            mtia_sim::noc::deadlock::deadlock_possible(b.deadlock_config_under_load())
+                .to_string(),
+            pct(stress_rate(b, &mut rng)),
+        ]);
+    }
+
+    let mut r = Table::new(
+        "E13b: rollout machinery",
+        "§5.5: standard rollouts take 18 days; emergencies 3 h (1 h with \
+         overrides); 23 bundles shipped in 2024 vs 1–2 GPU firmware updates",
+        &["rollout", "duration", "stages"],
+    );
+    for (name, rollout) in [
+        ("standard", Rollout::standard()),
+        ("emergency", Rollout::emergency()),
+        ("extreme", Rollout::extreme()),
+    ] {
+        let days = rollout.duration().as_secs_f64() / 86_400.0;
+        let dur = if days >= 1.0 {
+            format!("{days:.0} days")
+        } else {
+            format!("{:.0} h", days * 24.0)
+        };
+        r.row(&[name.to_string(), dur, rollout.stages.len().to_string()]);
+    }
+    r.row(&[
+        "bundles shipped 2024".into(),
+        cadence::RELEASES_2024.to_string(),
+        format!("vs {} for GPUs", cadence::GPU_RELEASES_PER_YEAR),
+    ]);
+
+    // Staged rollout catches the 0.1 % defect before full fleet.
+    let mut caught_early = 0;
+    for _ in 0..30 {
+        let o = simulate_rollout(&Rollout::standard(), &original, 50_000, &mut rng);
+        if o.detected_at_stage.map(|s| s < 3).unwrap_or(false) {
+            caught_early += 1;
+        }
+    }
+    let mut c = Table::new(
+        "E13c: staged rollout containment (30 trials, 50k-server fleet)",
+        "§5.5: \"This incremental approach helps identify subtle issues, \
+         such as the 0.1% server impact noted earlier\"",
+        &["metric", "value"],
+    );
+    c.row(&["defect caught before full-fleet stage".into(), format!("{caught_early}/30")]);
+
+    // A simulated year of the continuous-deployment pipeline.
+    let year = mtia_fleet::cd::simulate_year(mtia_fleet::cd::CdConfig::production(), &mut rng);
+    let mut y = Table::new(
+        "E13d: one simulated year of the firmware CD pipeline",
+        "§5.5: 3 builds/day, pre-production stress testing, 23 fleet-wide \
+         releases in 2024 vs 1-2 firmware updates for third-party GPUs",
+        &["metric", "value"],
+    );
+    y.row(&["builds produced".into(), year.builds.to_string()]);
+    y.row(&["rejected by stress testing".into(), year.rejected_by_stress.to_string()]);
+    y.row(&["fleet-wide releases".into(), year.releases.to_string()]);
+    y.row(&["escaped defects".into(), year.escaped_defects.to_string()]);
+    y.row(&["containment rate".into(), pct(year.containment_rate())]);
+    ExperimentReport { id: "E13", tables: vec![t, r, c, y] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_pct(s: &str) -> f64 {
+        s.trim_start_matches('+').trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn e9_survey_and_decision() {
+        let r = e9_ecc_study();
+        let survey = &r.tables[0];
+        let affected = parse_pct(&survey.rows[1][1]);
+        assert!((20.0..=28.0).contains(&affected), "affected {affected}%");
+        let decision = &r.tables[3];
+        assert!(decision.rows[0][1].contains("ControllerEcc"));
+        assert_eq!(decision.rows[3][1], "true");
+    }
+
+    #[test]
+    fn e10_gains_in_5_to_20_percent_band() {
+        // §5.2: 5–20 % e2e gains "for the models we evaluated". Fully
+        // DRAM-bound models sit at the low edge; the mean lands in band.
+        let r = e10_overclocking();
+        let gains: Vec<f64> =
+            r.tables[1].rows.iter().map(|row| parse_pct(&row[1])).collect();
+        let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+        assert!((5.0..=20.0).contains(&mean), "mean overclock gain {mean}%");
+        for (row, g) in r.tables[1].rows.iter().zip(&gains) {
+            assert!((0.0..=25.0).contains(g), "{}: gain {g}%", row[0]);
+        }
+    }
+
+    #[test]
+    fn e11_reduction_near_40_percent() {
+        let r = e11_power_budget();
+        let reduction = parse_pct(&r.tables[0].rows[4][1]);
+        assert!((33.0..=47.0).contains(&reduction), "reduction {reduction}%");
+        let capping = parse_pct(&r.tables[0].rows[5][1]);
+        assert!(capping < 1.0, "capping {capping}%");
+    }
+
+    #[test]
+    fn e12_mean_gain_in_band() {
+        let r = e12_chip_size();
+        let mean_row = r.tables[0].rows.last().unwrap();
+        let mean = parse_pct(&mean_row[3]);
+        assert!((5.0..=90.0).contains(&mean), "mean gain {mean}%");
+    }
+
+    #[test]
+    fn e13d_year_ships_about_23_releases() {
+        let r = e13_firmware();
+        let y = &r.tables[3];
+        let releases: u32 = y.rows[2][1].parse().unwrap();
+        assert!((18..=26).contains(&releases), "releases {releases} (paper: 23)");
+    }
+
+    #[test]
+    fn e13_hang_rates_and_containment() {
+        let r = e13_firmware();
+        let original = parse_pct(&r.tables[0].rows[0][2]);
+        let mitigated = parse_pct(&r.tables[0].rows[1][2]);
+        assert!((0.6..=1.4).contains(&original), "stress hang rate {original}%");
+        assert_eq!(mitigated, 0.0);
+        let caught: u32 =
+            r.tables[2].rows[0][1].split('/').next().unwrap().parse().unwrap();
+        assert!(caught >= 27, "caught {caught}/30");
+    }
+}

@@ -1,0 +1,160 @@
+//! E17: the model-complexity frontier (§3.6, §8).
+//!
+//! "With limited off-chip bandwidth, performance drops sharply as models
+//! reach a complexity and size that exceed the SRAM capacity. We believe
+//! that 2 GF/sample is unattainable" at production batch sizes: once the
+//! dense weights stop fitting the LLC, every batch streams them from
+//! LPDDR, so effective FLOPS saturate at the weight-streaming roofline
+//! (`bandwidth × 2 × batch` FLOPs per weight byte) and per-sample latency
+//! grows linearly with complexity. §8 adds the counterpoint: HSTU models
+//! (>10 GF/request) stay efficient at low batch because their compute
+//! intensity comes from long sequences, not from giant weight tensors.
+
+use mtia_core::spec::{chips, EccMode};
+use mtia_core::DType;
+use mtia_model::models::{hstu::HstuConfig, wukong};
+use mtia_sim::chip::ChipSim;
+
+use crate::{fx, pct, ExperimentReport, Table};
+
+/// Runs the frontier sweep.
+pub fn run() -> ExperimentReport {
+    let chip = chips::mtia2i_128gb();
+    let sim = ChipSim::new(chip.clone());
+    let peak = chip.gemm_peak(DType::Fp16, false).as_flops_per_s();
+    let batch = 256u64;
+    // The weight-streaming roofline: each FP16 weight byte read from LPDDR
+    // yields 2 × batch/2 MACs across the batch → bandwidth × batch FLOPs/s.
+    let stream_cap =
+        chip.effective_dram_bw(EccMode::ControllerEcc).as_bytes_per_s() * batch as f64;
+
+    let mut t = Table::new(
+        "E17: effective FLOPS across the complexity frontier (Wukong sweep, batch 256)",
+        "§3.6: \"performance drops sharply as models reach a complexity and \
+         size that exceed the SRAM capacity ... 2 GF/sample is \
+         unattainable\"; beyond LLC residency, effective FLOPS pin to the \
+         LPDDR weight-streaming roofline while latency grows with \
+         complexity. §8: HSTU (>10 GF/request) stays efficient at low batch",
+        &[
+            "model",
+            "GF/sample",
+            "batch",
+            "samples/s",
+            "batch latency",
+            "effective TFLOPS",
+            "of FP16 peak",
+            "of streaming roofline",
+            "bottleneck",
+        ],
+    );
+
+    for cfg in wukong::scaling_sweep(batch) {
+        let g = cfg.build();
+        let compiled = mtia_compiler::compile(&g, mtia_compiler::CompilerOptions::all());
+        let r = compiled.run(&sim);
+        let achieved = r.achieved_flops_per_s();
+        t.row(&[
+            cfg.name.clone(),
+            fx(g.flops_per_sample().as_gflops(), 3),
+            batch.to_string(),
+            fx(r.throughput_samples_per_s(), 0),
+            format!("{}", r.total_time()),
+            fx(achieved / 1e12, 1),
+            pct(achieved / peak),
+            pct(achieved / stream_cap),
+            format!("{:?}", r.dominant_bottleneck().unwrap()),
+        ]);
+    }
+
+    // The HSTU point: huge per-request complexity, small batch, efficient —
+    // sequence length supplies the intensity instead of giant weights.
+    let hstu = HstuConfig {
+        name: "hstu-ranking".to_string(),
+        batch: 4,
+        num_tables: 8,
+        rows_per_table: 100_000_000,
+        embedding_dim: 512,
+        mean_seq: 512,
+        max_seq: 4096,
+        heads: 8,
+        layers: 8,
+        dtype: DType::Fp16,
+    };
+    let g = hstu.build();
+    let compiled = mtia_compiler::compile(&g, mtia_compiler::CompilerOptions::all());
+    let r = compiled.run(&sim);
+    let achieved = r.achieved_flops_per_s();
+    t.row(&[
+        "hstu (low batch)".to_string(),
+        fx(g.flops_per_sample().as_gflops(), 3),
+        "4".to_string(),
+        fx(r.throughput_samples_per_s(), 0),
+        format!("{}", r.total_time()),
+        fx(achieved / 1e12, 1),
+        pct(achieved / peak),
+        "-".to_string(),
+        format!("{:?}", r.dominant_bottleneck().unwrap()),
+    ]);
+
+    ExperimentReport { id: "E17", tables: vec![t] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<String>> {
+        run().tables[0].rows.clone()
+    }
+
+    fn pct_of(row: &[String], col: usize) -> f64 {
+        row[col].trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn big_models_pin_to_the_streaming_roofline() {
+        let rows = rows();
+        let biggest = &rows[rows.len() - 2]; // largest Wukong
+        assert!(biggest[8].contains("Dram"), "expected DRAM-bound: {biggest:?}");
+        let roofline_frac = pct_of(biggest, 7);
+        assert!(
+            roofline_frac > 70.0,
+            "largest model should approach the streaming roofline: {roofline_frac}%"
+        );
+        // ...which sits far below the compute peak.
+        let peak_frac = pct_of(biggest, 6);
+        assert!(peak_frac < 60.0, "of peak {peak_frac}%");
+    }
+
+    #[test]
+    fn throughput_collapses_across_the_sweep() {
+        // §3.6's "performance drops sharply": three orders of magnitude of
+        // complexity cost well over two orders of magnitude of throughput.
+        let rows = rows();
+        let tput = |row: &Vec<String>| -> f64 { row[3].parse().unwrap() };
+        let first = tput(&rows[0]);
+        let last = tput(&rows[rows.len() - 2]);
+        assert!(first / last > 50.0, "throughput drop only {:.1}x", first / last);
+    }
+
+    #[test]
+    fn sweep_reaches_2_gflops_per_sample() {
+        let rows = rows();
+        let gf: f64 = rows[rows.len() - 2][1].parse().unwrap();
+        assert!(gf > 1.5, "frontier must probe ~2 GF/sample, got {gf}");
+    }
+
+    #[test]
+    fn hstu_outperforms_the_dense_frontier() {
+        let rows = rows();
+        let hstu = rows.last().unwrap();
+        let hstu_gf: f64 = hstu[1].parse().unwrap();
+        assert!(hstu_gf > 10.0);
+        let hstu_eff = pct_of(hstu, 6);
+        let dense_eff = pct_of(&rows[rows.len() - 2], 6);
+        assert!(
+            hstu_eff > dense_eff,
+            "hstu {hstu_eff}% of peak should beat the dense giant {dense_eff}%"
+        );
+    }
+}

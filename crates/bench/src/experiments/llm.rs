@@ -1,0 +1,116 @@
+//! E3: the LLM suitability study (§3.6, §8).
+//!
+//! Llama2-7B: prefill meets the 600 ms time-to-first-token requirement but
+//! decode cannot generate a token every 60 ms — LPDDR bandwidth bounds the
+//! per-token weight sweep. Llama3-8B behaves the same; Llama3-70B/405B are
+//! out of reach outright (capacity).
+
+use mtia_core::spec::chips;
+use mtia_core::SimTime;
+use mtia_model::models::llm::LlmConfig;
+use mtia_sim::chip::ChipSim;
+
+use crate::{ExperimentReport, Table};
+
+/// The paper's serving requirements.
+pub const TTFT_SLO: SimTime = SimTime::from_millis(600);
+/// Per-token decode budget.
+pub const TOKEN_SLO: SimTime = SimTime::from_millis(60);
+
+/// Evaluates prefill TTFT and per-token decode latency for one model.
+pub fn evaluate(config: &LlmConfig, prompt: u64) -> (SimTime, SimTime) {
+    let sim = ChipSim::new(chips::mtia2i());
+    let prefill = sim.run_optimized(&config.prefill_graph(prompt)).total_time();
+    let decode = sim.run_optimized(&config.decode_step_graph(prompt)).total_time();
+    (prefill, decode)
+}
+
+/// Runs the study.
+pub fn run() -> ExperimentReport {
+    let mut t = Table::new(
+        "E3: LLM serving on MTIA 2i (prompt = 512 tokens)",
+        "§3.6: Llama2-7B prefill meets the 600 ms TTFT requirement; decode \
+         fails the 60 ms/token requirement. §8: same for Llama3-8B; both \
+         MHA and FFN are LPDDR-bandwidth-bound in decode",
+        &[
+            "model",
+            "weights",
+            "prefill TTFT",
+            "TTFT ≤ 600 ms",
+            "decode/token",
+            "token ≤ 60 ms",
+        ],
+    );
+    for config in [LlmConfig::llama2_7b(), LlmConfig::llama3_8b()] {
+        let (prefill, decode) = evaluate(&config, 512);
+        t.row(&[
+            config.name.clone(),
+            format!("{:.1} GiB", config.weight_bytes().as_gib()),
+            format!("{prefill}"),
+            if prefill <= TTFT_SLO { "yes" } else { "NO" }.to_string(),
+            format!("{decode}"),
+            if decode <= TOKEN_SLO { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    // Capacity check for the large models (§8).
+    let mut cap = Table::new(
+        "E3b: capacity check for large Llama models",
+        "§8: \"unsuitable for running large models such as Llama3 70B or \
+         405B\" — weights exceed device DRAM and there is no scale-up fabric",
+        &["model", "fp16 weights", "fits 128 GB LPDDR?"],
+    );
+    for (name, params) in [("llama3-70b", 70.6e9_f64), ("llama3-405b", 405.0e9)] {
+        let bytes = params * 2.0;
+        cap.row(&[
+            name.to_string(),
+            format!("{:.0} GiB", bytes / (1u64 << 30) as f64),
+            if bytes <= 128.0 * (1u64 << 30) as f64 { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    ExperimentReport { id: "E3", tables: vec![t, cap] }
+}
+
+/// Bench-friendly alias.
+pub fn e3_llm_roofline() -> ExperimentReport {
+    run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama2_7b_prefill_passes_decode_fails() {
+        let (prefill, decode) = evaluate(&LlmConfig::llama2_7b(), 512);
+        assert!(prefill <= TTFT_SLO, "prefill {prefill} misses the 600 ms TTFT");
+        assert!(decode > TOKEN_SLO, "decode {decode} should miss 60 ms/token");
+        // The decode floor is the weight sweep over LPDDR: > 70 ms.
+        assert!(decode > SimTime::from_millis(70), "decode {decode}");
+    }
+
+    #[test]
+    fn llama3_8b_decode_also_fails() {
+        let (_, decode) = evaluate(&LlmConfig::llama3_8b(), 512);
+        assert!(decode > TOKEN_SLO, "decode {decode}");
+    }
+
+    #[test]
+    fn decode_is_bandwidth_not_compute_bound() {
+        let sim = ChipSim::new(chips::mtia2i());
+        let report = sim.run_optimized(&LlmConfig::llama2_7b().decode_step_graph(512));
+        assert_eq!(
+            report.dominant_bottleneck(),
+            Some(mtia_sim::Bottleneck::Dram),
+            "decode must be LPDDR-bound"
+        );
+    }
+
+    #[test]
+    fn large_models_fail_capacity() {
+        let r = run();
+        for row in &r.tables[1].rows {
+            assert_eq!(row[2], "NO", "{} should not fit", row[0]);
+        }
+    }
+}

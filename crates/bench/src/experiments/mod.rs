@@ -1,0 +1,50 @@
+//! One module per paper table/figure/quantified claim. Each `run()`
+//! returns an [`ExperimentReport`] — one table per reported row group,
+//! mirroring what the paper reports.
+//!
+//! [`ExperimentReport`]: crate::ExperimentReport
+
+pub mod ab;
+pub mod ablations;
+pub mod chip_exps;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fleet_exps;
+pub mod frontier;
+pub mod llm;
+pub mod locality;
+pub mod quant;
+pub mod tables;
+pub mod tuning;
+
+use crate::ExperimentReport;
+
+/// Runs every experiment in paper order.
+pub fn run_all() -> Vec<ExperimentReport> {
+    vec![
+        tables::table1(),
+        tables::table2(),
+        fig4::run(),
+        fig5::run(),
+        fig6::run(),
+        chip_exps::e1_job_launch(),
+        chip_exps::e2_gemm_efficiency(),
+        llm::e3_llm_roofline(),
+        tuning::e4_kernel_tuning(),
+        tuning::e5_coalescing(),
+        locality::e6_sram_hit_rates(),
+        chip_exps::e7_broadcast_gemm(),
+        quant::e8_quantization(),
+        fleet_exps::e9_ecc_study(),
+        fleet_exps::e10_overclocking(),
+        fleet_exps::e11_power_budget(),
+        fleet_exps::e12_chip_size(),
+        fleet_exps::e13_firmware(),
+        ab::e14_ab_testing(),
+        locality::e15_fusion_gains(),
+        quant::e16_compression(),
+        frontier::run(),
+        ablations::run(),
+    ]
+}

@@ -1,0 +1,305 @@
+//! Numerics experiments: dynamic INT8 quantization (E8, §4.4) and the
+//! compression engines (E16, §3.3).
+
+use mtia_compiler::CompilerOptions;
+use mtia_core::spec::{chips, EccMode};
+use mtia_core::units::Bytes;
+use mtia_core::DType;
+use mtia_model::compress::{ans, fp16_weight_bytes, lzss};
+use mtia_model::ops::OpKind;
+use mtia_model::quant::{fc_quality, quantize, Granularity};
+use mtia_model::tensor::DenseTensor;
+use mtia_sim::chip::ChipSim;
+use mtia_sim::kernels::{cost_op, FcVariant, KernelEnv};
+use mtia_sim::mem::lpddr::LpddrController;
+use mtia_sim::mem::sram::place_model;
+use mtia_sim::noc::NocModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{fx, pct, ExperimentReport, Table};
+
+/// E8: dynamic INT8 quantization — DPE speedup, end-to-end speedup after
+/// quant/dequant overhead, and model quality by granularity.
+pub fn e8_quantization() -> ExperimentReport {
+    let chip = chips::mtia2i();
+    let env = KernelEnv {
+        chip: &chip,
+        noc: NocModel::new(chip.noc.clone()),
+        dram: LpddrController::new(chip.dram.clone(), EccMode::ControllerEcc),
+        placement: place_model(&chip.sram, Bytes::from_mib(40), Bytes::from_mib(100), 0.75),
+        weight_resident_fraction: 1.0,
+        tbe_hit_rate: 0.5,
+        skip_writeback_hints: true,
+    };
+
+    // Performance: 2048³ FC (the paper's compute-bound example).
+    let n = 2048u64;
+    let v = Some(FcVariant::optimized_for(n, n, n));
+    let fc = OpKind::Fc { batch: n, in_features: n, out_features: n };
+    let t_fp16 = cost_op(&env, &fc, DType::Fp16, v).time;
+    let t_int8 = cost_op(&env, &fc, DType::Int8, v).time;
+    // Quantization reads the FP16 activations out of LLS (a full sweep);
+    // dequantization folds into the GEMM epilogue, touching only Local
+    // Memory as results stream out of the Reduction Engine.
+    let t_quant = cost_op(&env, &OpKind::Quantize { elems: n * n }, DType::Fp16, None).time;
+    let mut epilogue_env = env.clone();
+    epilogue_env.placement.activations =
+        mtia_sim::mem::sram::MemLevel::LocalMemory;
+    let t_dequant = cost_op(
+        &epilogue_env,
+        &OpKind::Dequantize { elems: n * n },
+        DType::Fp16,
+        None,
+    )
+    .time;
+    let e2e_int8 = t_int8 + t_quant + t_dequant;
+
+    let mut perf = Table::new(
+        "E8: dynamic INT8 on a 2048×2048×2048 FC",
+        "§4.4: \"the DPE performs 2x faster with INT8 ... the overhead of \
+         quantization and dequantization ... reduces the speedup to around \
+         1.6x for large, compute-bound shapes\"",
+        &["configuration", "time", "speedup vs FP16"],
+    );
+    perf.row(&["FP16".into(), format!("{t_fp16}"), "1.00x".into()]);
+    perf.row(&[
+        "INT8 kernel only".into(),
+        format!("{t_int8}"),
+        format!("{}x", fx(t_fp16.as_secs_f64() / t_int8.as_secs_f64(), 2)),
+    ]);
+    perf.row(&[
+        "INT8 + quantize/dequantize".into(),
+        format!("{e2e_int8}"),
+        format!("{}x", fx(t_fp16.as_secs_f64() / e2e_int8.as_secs_f64(), 2)),
+    ]);
+
+    // Quality by granularity on skewed activations.
+    let mut rng = StdRng::seed_from_u64(88);
+    let mut x = DenseTensor::gaussian(64, 256, 1.0, &mut rng);
+    for r in 0..8 {
+        for v in x.row_mut(r * 8) {
+            *v *= 40.0;
+        }
+    }
+    let w = DenseTensor::gaussian(256, 128, 0.05, &mut rng);
+    let quality = fc_quality(&x, &w);
+    let mut q = Table::new(
+        "E8b: output quality by quantization granularity",
+        "§4.4: row-wise activation quantization + static INT8 weights \
+         achieves quality comparable to FP16; per-tensor does not",
+        &["configuration", "output SNR (dB)"],
+    );
+    q.row(&["FP16".into(), fx(quality.fp16_snr_db, 1)]);
+    q.row(&["INT8 per-tensor".into(), fx(quality.int8_per_tensor_snr_db, 1)]);
+    q.row(&["INT8 per-row (dynamic)".into(), fx(quality.int8_per_row_snr_db, 1)]);
+
+    // End-to-end: selective quantization of only the largest FC layers.
+    let mut e2e = Table::new(
+        "E8c: selective quantization, end-to-end on HC1",
+        "§4.4: \"end-to-end improvements are often marginal (a few \
+         percent)\"; \"quantizing only the largest FC layers to amortize \
+         the overhead is most effective\"",
+        &["configuration", "quantized FCs", "batch latency", "gain"],
+    );
+    let sim = ChipSim::new(chips::mtia2i_128gb());
+    let models = mtia_model::models::zoo::fig6_models();
+    let hc1 = models.iter().find(|m| m.name == "HC1").unwrap();
+    let g = hc1.graph();
+    let baseline = mtia_compiler::compile(&g, CompilerOptions::all()).run(&sim);
+    for (label, threshold) in [
+        ("FP16 everywhere", None),
+        ("largest FCs only (≥8 MiB)", Some(Bytes::from_mib(8))),
+        ("every FC (quality-risky)", Some(Bytes::ZERO)),
+    ] {
+        let (graph, rewrites) = match threshold {
+            None => (g.clone(), 0),
+            Some(min_weight_bytes) => {
+                let pass = mtia_compiler::passes::quantize::SelectiveQuantization {
+                    min_weight_bytes,
+                };
+                use mtia_compiler::Pass;
+                let r = pass.run(&g);
+                (r.graph, r.rewrites)
+            }
+        };
+        let report = mtia_compiler::compile(&graph, CompilerOptions::all()).run(&sim);
+        e2e.row(&[
+            label.to_string(),
+            rewrites.to_string(),
+            format!("{}", report.total_time()),
+            format!(
+                "+{}",
+                pct(baseline.total_time().as_secs_f64()
+                    / report.total_time().as_secs_f64()
+                    - 1.0)
+            ),
+        ]);
+    }
+    ExperimentReport { id: "E8", tables: vec![perf, q, e2e] }
+}
+
+/// E16: ANS weight compression and the GZIP-class PCIe path.
+pub fn e16_compression() -> ExperimentReport {
+    let mut rng = StdRng::seed_from_u64(89);
+    // Heavy-tailed trained weights: outliers set the scale.
+    let mut weights = DenseTensor::gaussian(256, 512, 0.02, &mut rng);
+    for i in 0..weights.rows() {
+        let c = (i * 31) % 512;
+        let v = weights.get(i, c) * 30.0;
+        weights.set(i, c, v);
+    }
+    let q = quantize(&weights, Granularity::PerTensor);
+    let int8: Vec<u8> = (0..weights.rows())
+        .flat_map(|r| q.row(r).iter().map(|&v| v as u8))
+        .collect();
+    let fp16 = fp16_weight_bytes(weights.data());
+
+    let mut t = Table::new(
+        "E16: lossless weight compression (rANS)",
+        "§3.3: \"up to a 50% compression ratio\" on weights; \"FP16 data \
+         does not compress efficiently\"",
+        &["payload", "size", "rANS ratio", "round-trips"],
+    );
+    for (name, data) in [("INT8 weights", &int8), ("FP16 weights", &fp16)] {
+        let c = ans::compress(data);
+        let ok = ans::decompress(&c).map(|d| d == *data).unwrap_or(false);
+        t.row(&[
+            name.to_string(),
+            format!("{} B", data.len()),
+            fx(c.len() as f64 / data.len() as f64, 2),
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    // PCIe path: LZSS on feature blobs that mix repeated categorical
+    // structure with high-entropy continuous features (realistic ~2:1).
+    use rand::Rng;
+    let row: Vec<u8> = (0..64).map(|i| (i * 7) as u8).collect();
+    let mut blob = Vec::new();
+    for _ in 0..4000 {
+        blob.extend_from_slice(&row); // categorical/id structure
+        let noise: Vec<u8> = (0..56).map(|_| rng.gen()).collect();
+        blob.extend_from_slice(&noise); // continuous features
+    }
+    let lz = lzss::compress(&blob);
+    let ratio = lz.len() as f64 / blob.len() as f64;
+    let link = mtia_sim::host::HostLink::new(chips::mtia2i().host_if);
+    let mut p = Table::new(
+        "E16b: PCIe decompression engine (LZ77-family stand-in for GZIP)",
+        "§3.3: GZIP at up to 25 GB/s \"alleviating PCIe and network \
+         congestion\", significant for early-stage retrieval models",
+        &["payload", "wire ratio", "effective host→device bandwidth"],
+    );
+    p.row(&[
+        "raw (incompressible)".into(),
+        "1.00".into(),
+        format!("{}", link.effective_bandwidth(1.0)),
+    ]);
+    p.row(&[
+        "structured features".into(),
+        fx(ratio, 2),
+        format!("{}", link.effective_bandwidth(ratio)),
+    ]);
+    ExperimentReport { id: "E16", tables: vec![t, p] }
+}
+
+/// Device-level sanity: INT8 end-to-end on a compiled model is bounded by
+/// Amdahl over its FC share (used by the tests).
+pub fn int8_model_speedup() -> f64 {
+    let sim = ChipSim::new(chips::mtia2i());
+    let models = mtia_model::models::zoo::fig6_models();
+    let hc1 = models.iter().find(|m| m.name == "HC1").unwrap();
+    let g = hc1.graph();
+    let fp16 = mtia_compiler::compile(&g, CompilerOptions::all())
+        .run(&sim)
+        .total_time();
+    // INT8 is modelled per-op; approximate a fully-quantized FC stack by
+    // halving GEMM-class time (the DPE factor) — the Amdahl ceiling.
+    let report = mtia_compiler::compile(&g, CompilerOptions::all());
+    let r = report.run(&sim);
+    let gemm_time: mtia_core::SimTime = r
+        .nodes
+        .iter()
+        .filter(|n| n.category == mtia_model::ops::OpCategory::Gemm)
+        .map(|n| n.cost.time)
+        .sum();
+    let rest = fp16.saturating_sub(gemm_time);
+    fp16.as_secs_f64() / (rest + gemm_time.scale(0.5)).as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_speedups_match_paper() {
+        let r = e8_quantization();
+        let rows = &r.tables[0].rows;
+        let parse = |s: &str| -> f64 { s.trim_end_matches('x').parse().unwrap() };
+        let kernel = parse(&rows[1][2]);
+        let e2e = parse(&rows[2][2]);
+        assert!((1.8..=2.2).contains(&kernel), "kernel speedup {kernel}");
+        assert!((1.4..=1.8).contains(&e2e), "e2e speedup {e2e} (paper: ~1.6)");
+        assert!(e2e < kernel);
+    }
+
+    #[test]
+    fn e8_quality_ordering() {
+        let r = e8_quantization();
+        let rows = &r.tables[1].rows;
+        let fp16: f64 = rows[0][1].parse().unwrap();
+        let per_tensor: f64 = rows[1][1].parse().unwrap();
+        let per_row: f64 = rows[2][1].parse().unwrap();
+        assert!(fp16 > per_row && per_row > per_tensor);
+        assert!(per_row > 30.0, "per-row must stay quality-neutral: {per_row} dB");
+    }
+
+    #[test]
+    fn e8c_selective_beats_blanket_quantization_risk() {
+        let r = e8_quantization();
+        let e2e = &r.tables[2];
+        let gain = |row: &Vec<String>| -> f64 {
+            row[3].trim_start_matches('+').trim_end_matches('%').parse().unwrap()
+        };
+        // Selective quantization yields a positive but modest gain (§4.4:
+        // "a few percent" for typical models, more when big layers exist).
+        let selective = gain(&e2e.rows[1]);
+        assert!(selective > 0.0, "selective gain {selective}%");
+        assert!(selective < 60.0, "gain must stay bounded: {selective}%");
+        // Quantizing everything adds little over selective (the small
+        // layers' overhead eats their own gains).
+        let blanket = gain(&e2e.rows[2]);
+        assert!(blanket <= selective + 10.0, "blanket {blanket}% vs {selective}%");
+    }
+
+    #[test]
+    fn e16_int8_compresses_fp16_does_not() {
+        let r = e16_compression();
+        let rows = &r.tables[0].rows;
+        let int8: f64 = rows[0][2].parse().unwrap();
+        let fp16: f64 = rows[1][2].parse().unwrap();
+        assert!(int8 < 0.6, "int8 ratio {int8} (paper: up to 0.5)");
+        assert!(fp16 > 0.75, "fp16 ratio {fp16}");
+        assert!(rows.iter().all(|row| row[3] == "yes"), "round-trips must hold");
+    }
+
+    #[test]
+    fn e16_pcie_engine_raises_bandwidth() {
+        let r = e16_compression();
+        let rows = &r.tables[1].rows;
+        // Structured payload row quotes > 32 GB/s effective.
+        assert!(rows[1][2].contains("GB/s"));
+        let eff: f64 = rows[1][2].split_whitespace().next().unwrap().parse().unwrap();
+        assert!(eff > 32.0, "effective bw {eff} GB/s must beat raw PCIe");
+    }
+
+    #[test]
+    fn model_level_int8_gain_is_marginal() {
+        // §4.4: "end-to-end improvements are often marginal (a few
+        // percent)" for complex models where GEMMs are not dominant.
+        let speedup = int8_model_speedup();
+        assert!(speedup < 2.0, "Amdahl must bound the gain: {speedup}");
+        assert!(speedup > 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Server-level platform comparison shared by the Fig. 4 / Fig. 6 / ECC
+//! experiments: one production model, served on a 24-chip MTIA server and
+//! an 8-GPU server, reduced to the paper's relative Perf / Perf/TCO /
+//! Perf/Watt metrics.
+
+use mtia_autotune::sharding::{sharded_throughput, tune_sharding};
+use mtia_core::spec::chips;
+use mtia_core::tco::{PlatformMetrics, RelativeEfficiency, ServerCost};
+use mtia_core::units::Bytes;
+use mtia_model::graph::{Graph, TensorKind};
+use mtia_model::models::zoo::ZooModel;
+use mtia_serving::cluster::{host_bound_samples_per_s, HostPipeline};
+use mtia_sim::chip::ChipSim;
+use mtia_sim::gpu::GpuSim;
+
+/// Serving-level efficiency factors on the MTIA side (batch fill from
+/// coalescing, job-scheduling occupancy). 1.0 = fully tuned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingFactors {
+    /// Achieved requests-per-batch fraction (§4.1: > 0.95 when tuned).
+    pub batch_fill: f64,
+    /// Device-occupancy factor from remote/merge job ordering (§6).
+    pub scheduling: f64,
+}
+
+impl ServingFactors {
+    /// Fully tuned serving (the production configuration).
+    pub fn tuned() -> Self {
+        ServingFactors { batch_fill: 0.97, scheduling: 1.0 }
+    }
+
+    /// Untuned serving: default coalescing window, naive job ordering.
+    pub fn untuned() -> Self {
+        ServingFactors { batch_fill: 0.60, scheduling: 0.85 }
+    }
+
+    fn factor(&self) -> f64 {
+        self.batch_fill * self.scheduling
+    }
+}
+
+/// The comparison result for one model.
+#[derive(Debug, Clone)]
+pub struct ModelComparison {
+    /// Model name.
+    pub name: String,
+    /// Samples/s per MTIA server (24 chips).
+    pub mtia_server_tput: f64,
+    /// Samples/s per GPU server (8 GPUs).
+    pub gpu_server_tput: f64,
+    /// Devices per MTIA replica (shards + merge device when sharded).
+    pub mtia_devices_per_replica: u32,
+    /// Devices per GPU replica.
+    pub gpu_devices_per_replica: u32,
+    /// Relative Perf / Perf-per-TCO / Perf-per-Watt (MTIA vs GPU).
+    pub rel: RelativeEfficiency,
+}
+
+/// Per-sample input bytes arriving from the host (model inputs only).
+fn input_bytes_per_sample(graph: &Graph) -> Bytes {
+    let total: Bytes = graph
+        .tensors()
+        .iter()
+        .filter(|t| t.kind == TensorKind::Input)
+        .map(|t| t.bytes())
+        .sum();
+    total / graph.batch().max(1)
+}
+
+/// Compares one zoo model across the two platforms with explicit serving
+/// factors, an explicit MTIA simulator, and an optional MTIA-side batch
+/// override (the Fig. 4 stages vary all three; the GPU baseline always
+/// serves the model at its GPU-tuned shipped batch).
+pub fn compare_model_staged(
+    model: &ZooModel,
+    sim: &ChipSim,
+    options: mtia_compiler::CompilerOptions,
+    serving: ServingFactors,
+    mtia_batch: Option<u64>,
+) -> ModelComparison {
+    let graph = match mtia_batch {
+        Some(b) => model.graph_at(b),
+        None => model.graph(),
+    };
+    let per_sample_in = input_bytes_per_sample(&graph);
+
+    // MTIA side: shard if needed (128 GB SKU for the big-table models),
+    // run the compiled graph. The merge network is colocated with shard 0,
+    // so a replica occupies exactly `shards` devices.
+    let plan = tune_sharding(sim, &graph, 12);
+    let device_tput = if plan.shards == 1 {
+        mtia_compiler::compile(&graph, options).run(sim).throughput_samples_per_s()
+    } else {
+        // `sharded_throughput` compiles with the full option set; for
+        // staged (untuned) comparisons the single-device path above is the
+        // one exercised.
+        sharded_throughput(sim, &graph, plan)
+    };
+    let mtia_devices = plan.shards;
+    let mtia_replicas = 24.0 / mtia_devices as f64;
+    let mtia_server = chips::mtia_server();
+    // Host ceiling per accelerator (feature staging shares host DRAM BW).
+    let host_limit = host_bound_samples_per_s(
+        &mtia_server,
+        &HostPipeline::optimized(per_sample_in),
+    ) * mtia_devices as f64;
+    let replica_tput = (device_tput * serving.factor()
+        / (1.0 + model.host_overhead))
+        .min(host_limit);
+    let mtia_server_tput = replica_tput * mtia_replicas;
+
+    // GPU side: mature stack, always tuned, always at the shipped batch;
+    // shard by HBM capacity, with the same colocated remote/merge layout
+    // (table slices gather in parallel across the GPU shards).
+    let gpu_graph = model.graph();
+    let gpu_spec = chips::gpu_baseline();
+    let gpu_devices = (gpu_graph.model_bytes().as_f64() / gpu_spec.hbm_capacity.as_f64())
+        .ceil()
+        .max(1.0) as u32;
+    let gpu_sim = GpuSim::new(gpu_spec);
+    let gpu_tput = if gpu_devices == 1 {
+        gpu_sim.run(&gpu_graph).throughput_samples_per_s()
+    } else {
+        let (remote, merge) =
+            mtia_autotune::split_for_shards(&gpu_graph, gpu_devices);
+        let stage = gpu_sim.run(&remote).total_time() + gpu_sim.run(&merge).total_time();
+        gpu_graph.batch() as f64 / stage.as_secs_f64()
+    };
+    let gpu_server_spec = chips::gpu_server();
+    let gpu_host_limit = host_bound_samples_per_s(
+        &gpu_server_spec,
+        &HostPipeline::optimized(per_sample_in),
+    ) * gpu_devices as f64;
+    let gpu_replica_tput =
+        (gpu_tput / (1.0 + model.host_overhead)).min(gpu_host_limit);
+    let gpu_server_tput = gpu_replica_tput * (8.0 / gpu_devices as f64);
+
+    let mtia_metrics = PlatformMetrics::new(ServerCost::mtia_server(), mtia_server_tput);
+    let gpu_metrics = PlatformMetrics::new(ServerCost::gpu_server(), gpu_server_tput);
+    ModelComparison {
+        name: model.name.clone(),
+        mtia_server_tput,
+        gpu_server_tput,
+        mtia_devices_per_replica: mtia_devices,
+        gpu_devices_per_replica: gpu_devices,
+        rel: mtia_metrics.relative_to(&gpu_metrics),
+    }
+}
+
+/// Staged comparison without a batch override.
+pub fn compare_model_with(
+    model: &ZooModel,
+    sim: &ChipSim,
+    options: mtia_compiler::CompilerOptions,
+    serving: ServingFactors,
+) -> ModelComparison {
+    compare_model_staged(model, sim, options, serving, None)
+}
+
+/// Compares one model in the fully tuned production configuration (the
+/// 128 GB LPDDR SKU, so the big-table ranking models shard to "one or two
+/// accelerators" as in §7).
+pub fn compare_model(model: &ZooModel) -> ModelComparison {
+    compare_model_with(
+        model,
+        &ChipSim::new(chips::mtia2i_128gb()),
+        mtia_compiler::CompilerOptions::all(),
+        ServingFactors::tuned(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_model::models::zoo;
+
+    #[test]
+    fn tuned_lc_model_beats_gpu_on_tco() {
+        let models = zoo::fig6_models();
+        let c = compare_model(&models[1]); // LC2
+        assert!(c.rel.perf_per_tco > 1.2, "{}: {}", c.name, c.rel);
+        assert_eq!(c.mtia_devices_per_replica, 1);
+    }
+
+    #[test]
+    fn untuned_serving_is_visibly_worse() {
+        let models = zoo::fig6_models();
+        let sim = ChipSim::new(chips::mtia2i_128gb());
+        let tuned = compare_model(&models[2]);
+        let untuned = compare_model_with(
+            &models[2],
+            &sim,
+            mtia_compiler::CompilerOptions::none(),
+            ServingFactors::untuned(),
+        );
+        assert!(untuned.rel.perf_per_tco < tuned.rel.perf_per_tco * 0.75);
+    }
+
+    #[test]
+    fn sharded_model_uses_extra_devices() {
+        let models = zoo::fig6_models();
+        let hc4 = models.iter().find(|m| m.name == "HC4").unwrap();
+        let c = compare_model(hc4);
+        assert!(c.mtia_devices_per_replica > 1);
+        assert!(
+            c.mtia_devices_per_replica <= 3,
+            "§7: big models run on a couple of accelerators, got {}",
+            c.mtia_devices_per_replica
+        );
+        assert!(c.gpu_devices_per_replica > 1, "200 GiB exceeds one HBM too");
+    }
+
+    #[test]
+    fn input_bytes_accounting() {
+        let g = zoo::fig6_models()[0].graph();
+        let b = input_bytes_per_sample(&g);
+        assert!(b.as_u64() > 0);
+        assert!(b < Bytes::from_kib(64));
+    }
+}

@@ -1,0 +1,159 @@
+//! The pass framework: graph-to-graph rewrites with a shared analysis.
+
+use std::collections::HashMap;
+
+use mtia_model::graph::{Graph, TensorId};
+
+/// Result of running one pass.
+#[derive(Debug, Clone)]
+pub struct PassResult {
+    /// The rewritten graph (unchanged if `rewrites == 0`).
+    pub graph: Graph,
+    /// Number of pattern rewrites applied.
+    pub rewrites: usize,
+}
+
+/// A graph-rewriting pass.
+pub trait Pass {
+    /// Short pass name for logs.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass.
+    fn run(&self, graph: &Graph) -> PassResult;
+}
+
+/// Producer/consumer indices over a graph, shared by the pattern matchers.
+#[derive(Debug, Clone)]
+pub struct GraphAnalysis {
+    /// Producing node index per tensor.
+    pub producer: HashMap<TensorId, usize>,
+    /// Consuming node indices per tensor, in node order.
+    pub consumers: HashMap<TensorId, Vec<usize>>,
+}
+
+impl GraphAnalysis {
+    /// Builds the analysis.
+    pub fn of(graph: &Graph) -> Self {
+        let mut producer = HashMap::new();
+        let mut consumers: HashMap<TensorId, Vec<usize>> = HashMap::new();
+        for (i, node) in graph.nodes().iter().enumerate() {
+            for &t in &node.outputs {
+                producer.insert(t, i);
+            }
+            for &t in &node.inputs {
+                consumers.entry(t).or_default().push(i);
+            }
+        }
+        GraphAnalysis { producer, consumers }
+    }
+
+    /// The single consumer of `t`, if exactly one node consumes it.
+    pub fn sole_consumer(&self, t: TensorId) -> Option<usize> {
+        match self.consumers.get(&t).map(|v| v.as_slice()) {
+            Some([one]) => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// All consumers of `t`.
+    pub fn consumers_of(&self, t: TensorId) -> &[usize] {
+        self.consumers.get(&t).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// Runs passes in order until each has been applied once, collecting a log
+/// of `(pass name, rewrites)`.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Adds a pass.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Runs all passes, each repeatedly until it reaches a fixpoint (bounded
+    /// to avoid pathological loops). Returns the final graph and the log.
+    pub fn run(&self, graph: &Graph) -> (Graph, Vec<(String, usize)>) {
+        let mut g = graph.clone();
+        let mut log = Vec::new();
+        for pass in &self.passes {
+            let mut total = 0;
+            for _ in 0..32 {
+                let result = pass.run(&g);
+                total += result.rewrites;
+                g = result.graph;
+                if result.rewrites == 0 {
+                    break;
+                }
+            }
+            debug_assert_eq!(g.validate(), Ok(()), "pass {} broke the graph", pass.name());
+            log.push((pass.name().to_string(), total));
+        }
+        (g, log)
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::DType;
+    use mtia_model::graph::TensorKind;
+    use mtia_model::ops::OpKind;
+    use mtia_model::tensor::Shape;
+
+    struct NullPass;
+    impl Pass for NullPass {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn run(&self, graph: &Graph) -> PassResult {
+            PassResult { graph: graph.clone(), rewrites: 0 }
+        }
+    }
+
+    fn tiny() -> Graph {
+        let mut g = Graph::new("t", 4);
+        let a = g.add_tensor("a", Shape::vector(4), DType::Fp16, TensorKind::Input);
+        let b = g.add_tensor("b", Shape::vector(4), DType::Fp16, TensorKind::Activation);
+        let c = g.add_tensor("c", Shape::vector(4), DType::Fp16, TensorKind::Output);
+        g.add_node("n0", OpKind::Cast { elems: 4 }, [a], [b]);
+        g.add_node("n1", OpKind::Cast { elems: 4 }, [b], [c]);
+        g
+    }
+
+    #[test]
+    fn analysis_indexes_producers_and_consumers() {
+        let g = tiny();
+        let a = GraphAnalysis::of(&g);
+        let b = g.nodes()[0].outputs[0];
+        assert_eq!(a.producer[&b], 0);
+        assert_eq!(a.sole_consumer(b), Some(1));
+        let input = g.nodes()[0].inputs[0];
+        assert_eq!(a.consumers_of(input), &[0]);
+        assert!(!a.producer.contains_key(&input));
+    }
+
+    #[test]
+    fn manager_runs_and_logs() {
+        let g = tiny();
+        let mut pm = PassManager::new();
+        pm.add(NullPass);
+        let (out, log) = pm.run(&g);
+        assert_eq!(out, g);
+        assert_eq!(log, vec![("null".to_string(), 0)]);
+    }
+}

@@ -1,0 +1,436 @@
+//! Fusion passes (§4.2, §6).
+//!
+//! * [`VerticalFusion`] — back-to-back producer→consumer fusion (FC +
+//!   activation function, quantize/dequantize tails). Intermediates move
+//!   into per-PE Local Memory and the pair launches as one kernel.
+//! * [`SiblingTransposeFc`] — the §6 pattern: several parallel FC layers
+//!   sharing one transposed input fuse with the transpose into a single
+//!   operator ("shrunk the activation size and improved the cache hit
+//!   rate ... up to a 15 % performance gain").
+//! * [`LayerNormBatching`] — the §6 horizontal fusion: "hundreds of
+//!   LayerNorm layers ... batched together horizontally to amortize the
+//!   kernel launch overhead".
+
+use std::collections::HashSet;
+
+use mtia_model::graph::{Graph, Node};
+use mtia_model::ops::OpKind;
+
+use crate::pass::{GraphAnalysis, Pass, PassResult};
+
+/// Whether `op` may be absorbed into its producer as a fused tail.
+fn is_fusable_tail(op: &OpKind) -> bool {
+    matches!(
+        op,
+        OpKind::Elementwise { arity: 1, .. }
+            | OpKind::Cast { .. }
+            | OpKind::Quantize { .. }
+            | OpKind::Dequantize { .. }
+    )
+}
+
+/// Appends `tail` to `head`'s member list, wrapping in `Fused` as needed.
+fn fuse_ops(head: OpKind, tail: OpKind) -> OpKind {
+    match head {
+        OpKind::Fused(mut members) => {
+            members.push(tail);
+            OpKind::Fused(members)
+        }
+        other => OpKind::Fused(vec![other, tail]),
+    }
+}
+
+/// Back-to-back (vertical) fusion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerticalFusion;
+
+impl Pass for VerticalFusion {
+    fn name(&self) -> &'static str {
+        "vertical-fusion"
+    }
+
+    fn run(&self, graph: &Graph) -> PassResult {
+        let analysis = GraphAnalysis::of(graph);
+        let nodes = graph.nodes();
+        let mut absorbed: HashSet<usize> = HashSet::new();
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(nodes.len());
+        let mut rewrites = 0;
+
+        for (i, original) in nodes.iter().enumerate() {
+            if absorbed.contains(&i) {
+                continue;
+            }
+            let mut node = original.clone();
+            // Greedily absorb a chain of single-consumer fusable tails.
+            loop {
+                if node.outputs.len() != 1 {
+                    break;
+                }
+                let t = node.outputs[0];
+                let Some(j) = analysis.sole_consumer(t) else { break };
+                if absorbed.contains(&j) || j <= i {
+                    break;
+                }
+                let tail = &nodes[j];
+                // The tail must depend on nothing but the fused output.
+                if tail.inputs != [t] || !is_fusable_tail(&tail.op) {
+                    break;
+                }
+                node.op = fuse_ops(node.op, tail.op.clone());
+                node.name = format!("{}+{}", node.name, tail.name);
+                node.outputs = tail.outputs.clone();
+                absorbed.insert(j);
+                rewrites += 1;
+            }
+            new_nodes.push(node);
+        }
+
+        let mut out = graph.clone();
+        out.set_nodes(new_nodes);
+        PassResult { graph: out, rewrites }
+    }
+}
+
+/// Sibling-transpose-FC fusion (§6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiblingTransposeFc;
+
+impl Pass for SiblingTransposeFc {
+    fn name(&self) -> &'static str {
+        "sibling-transpose-fc"
+    }
+
+    fn run(&self, graph: &Graph) -> PassResult {
+        let analysis = GraphAnalysis::of(graph);
+        let nodes = graph.nodes();
+        let mut absorbed: HashSet<usize> = HashSet::new();
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(nodes.len());
+        let mut rewrites = 0;
+
+        for (i, original) in nodes.iter().enumerate() {
+            if absorbed.contains(&i) {
+                continue;
+            }
+            let OpKind::Transpose { .. } = original.op else {
+                new_nodes.push(original.clone());
+                continue;
+            };
+            if original.outputs.len() != 1 {
+                new_nodes.push(original.clone());
+                continue;
+            }
+            let t = original.outputs[0];
+            let consumer_ids = analysis.consumers_of(t).to_vec();
+            // All consumers must be sibling FCs over the transposed tensor.
+            let mut siblings = Vec::new();
+            for &j in &consumer_ids {
+                if let OpKind::Fc { batch, in_features, out_features } = nodes[j].op {
+                    if nodes[j].inputs.first() == Some(&t) && !absorbed.contains(&j) {
+                        siblings.push((j, batch, in_features, out_features));
+                        continue;
+                    }
+                }
+                siblings.clear();
+                break;
+            }
+            if siblings.len() < 2
+                || !siblings.windows(2).all(|w| w[0].1 == w[1].1 && w[0].2 == w[1].2)
+            {
+                new_nodes.push(original.clone());
+                continue;
+            }
+
+            // Build the combined operator.
+            let (_, batch, in_features, _) = siblings[0];
+            let total_out: u64 = siblings.iter().map(|s| s.3).sum();
+            let combined = OpKind::Fused(vec![
+                original.op.clone(),
+                OpKind::Fc { batch, in_features, out_features: total_out },
+            ]);
+            let mut inputs = original.inputs.clone();
+            let mut outputs = Vec::new();
+            let mut name = format!("{}+fc_x{}", original.name, siblings.len());
+            for &(j, ..) in &siblings {
+                absorbed.insert(j);
+                // Carry the weight inputs and all outputs forward.
+                inputs.extend(nodes[j].inputs.iter().skip(1).copied());
+                outputs.extend(nodes[j].outputs.iter().copied());
+                name.push('_');
+            }
+            new_nodes.push(Node { name, op: combined, inputs, outputs });
+            rewrites += 1;
+        }
+
+        let mut out = graph.clone();
+        out.set_nodes(new_nodes);
+        PassResult { graph: out, rewrites }
+    }
+}
+
+/// Horizontal LayerNorm batching (§6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerNormBatching;
+
+impl Pass for LayerNormBatching {
+    fn name(&self) -> &'static str {
+        "layernorm-batching"
+    }
+
+    fn run(&self, graph: &Graph) -> PassResult {
+        let analysis = GraphAnalysis::of(graph);
+        let nodes = graph.nodes();
+
+        // Group LayerNorms by normalized width; a group merges when every
+        // member's inputs are produced before the group's first member and
+        // no member's output is consumed before the group's last member.
+        let ln_cols = |op: &OpKind| match op {
+            OpKind::LayerNorm { cols, .. } => Some(*cols),
+            _ => None,
+        };
+
+        let mut merged_into: Vec<Option<usize>> = vec![None; nodes.len()];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut used: HashSet<usize> = HashSet::new();
+        for i in 0..nodes.len() {
+            if used.contains(&i) {
+                continue;
+            }
+            let Some(cols) = ln_cols(&nodes[i].op) else { continue };
+            let mut group = vec![i];
+            for (j, node_j) in nodes.iter().enumerate().skip(i + 1) {
+                if used.contains(&j) || ln_cols(&node_j.op) != Some(cols) {
+                    continue;
+                }
+                // j's inputs must be produced before i.
+                let inputs_ready = node_j
+                    .inputs
+                    .iter()
+                    .all(|t| analysis.producer.get(t).map(|&p| p < i).unwrap_or(true));
+                if inputs_ready {
+                    group.push(j);
+                }
+            }
+            if group.len() >= 2 {
+                // Members' outputs must not be consumed before the anchor.
+                let anchor = i;
+                let safe = group.iter().all(|&m| {
+                    nodes[m].outputs.iter().all(|t| {
+                        analysis.consumers_of(*t).iter().all(|&c| c > anchor || c >= m)
+                    })
+                });
+                if safe {
+                    for &m in &group {
+                        used.insert(m);
+                        merged_into[m] = Some(i);
+                    }
+                    groups.push(group);
+                }
+            }
+        }
+
+        if groups.is_empty() {
+            return PassResult { graph: graph.clone(), rewrites: 0 };
+        }
+
+        let mut new_nodes = Vec::with_capacity(nodes.len());
+        let mut rewrites = 0;
+        for (i, node) in nodes.iter().enumerate() {
+            match merged_into[i] {
+                Some(anchor) if anchor == i => {
+                    let group = groups.iter().find(|g| g[0] == i).expect("anchor has group");
+                    let mut rows = 0;
+                    let mut cols = 0;
+                    let mut inputs = Vec::new();
+                    let mut outputs = Vec::new();
+                    for &m in group {
+                        if let OpKind::LayerNorm { rows: r, cols: c } = nodes[m].op {
+                            rows += r;
+                            cols = c;
+                        }
+                        inputs.extend(nodes[m].inputs.iter().copied());
+                        outputs.extend(nodes[m].outputs.iter().copied());
+                    }
+                    new_nodes.push(Node {
+                        name: format!("batched_ln_x{}", group.len()),
+                        op: OpKind::LayerNorm { rows, cols },
+                        inputs,
+                        outputs,
+                    });
+                    rewrites += group.len() - 1;
+                }
+                Some(_) => {} // merged into an earlier anchor
+                None => new_nodes.push(node.clone()),
+            }
+        }
+
+        let mut out = graph.clone();
+        out.set_nodes(new_nodes);
+        PassResult { graph: out, rewrites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::DType;
+    use mtia_model::graph::TensorKind;
+    use mtia_model::models::dlrm::DlrmConfig;
+    use mtia_model::tensor::Shape;
+
+    #[test]
+    fn vertical_fusion_absorbs_relu_chains() {
+        let g = DlrmConfig::small(64).build();
+        let before = g.nodes().len();
+        let result = VerticalFusion.run(&g);
+        assert!(result.rewrites >= 5, "rewrites {}", result.rewrites);
+        assert_eq!(result.graph.nodes().len(), before - result.rewrites);
+        assert_eq!(result.graph.validate(), Ok(()));
+        // FLOPS are preserved by fusion.
+        assert_eq!(
+            result.graph.stats().flops.as_f64(),
+            g.stats().flops.as_f64()
+        );
+    }
+
+    #[test]
+    fn vertical_fusion_reduces_liveness() {
+        let g = DlrmConfig::small(256).build();
+        let fused = VerticalFusion.run(&g).graph;
+        assert!(fused.peak_activation_bytes() <= g.peak_activation_bytes());
+    }
+
+    #[test]
+    fn vertical_fusion_skips_multi_consumer_tensors() {
+        // a → cast → b; b consumed by two nodes → no fusion of the cast.
+        let mut g = Graph::new("t", 1);
+        let a = g.add_tensor("a", Shape::vector(8), DType::Fp16, TensorKind::Input);
+        let b = g.add_tensor("b", Shape::vector(8), DType::Fp16, TensorKind::Activation);
+        let c = g.add_tensor("c", Shape::vector(8), DType::Fp16, TensorKind::Output);
+        let d = g.add_tensor("d", Shape::vector(8), DType::Fp16, TensorKind::Output);
+        g.add_node("p", OpKind::Cast { elems: 8 }, [a], [b]);
+        g.add_node("c1", OpKind::Cast { elems: 8 }, [b], [c]);
+        g.add_node("c2", OpKind::Cast { elems: 8 }, [b], [d]);
+        let result = VerticalFusion.run(&g);
+        assert_eq!(result.rewrites, 0);
+    }
+
+    fn sibling_graph() -> Graph {
+        let mut g = Graph::new("sib", 32);
+        let x = g.add_tensor("x", Shape::matrix(64, 32), DType::Fp16, TensorKind::Input);
+        let xt =
+            g.add_tensor("xt", Shape::matrix(32, 64), DType::Fp16, TensorKind::Activation);
+        g.add_node("transpose", OpKind::Transpose { rows: 64, cols: 32 }, [x], [xt]);
+        for k in 0..3u64 {
+            let w = g.add_tensor(
+                format!("w{k}"),
+                Shape::matrix(64, 128),
+                DType::Fp16,
+                TensorKind::Weight,
+            );
+            let o = g.add_tensor(
+                format!("o{k}"),
+                Shape::matrix(32, 128),
+                DType::Fp16,
+                TensorKind::Output,
+            );
+            g.add_node(
+                format!("fc{k}"),
+                OpKind::Fc { batch: 32, in_features: 64, out_features: 128 },
+                [xt, w],
+                [o],
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn sibling_transpose_fc_merges() {
+        let g = sibling_graph();
+        let result = SiblingTransposeFc.run(&g);
+        assert_eq!(result.rewrites, 1);
+        assert_eq!(result.graph.nodes().len(), 1);
+        assert_eq!(result.graph.validate(), Ok(()));
+        let node = &result.graph.nodes()[0];
+        match &node.op {
+            OpKind::Fused(members) => {
+                assert!(matches!(members[0], OpKind::Transpose { .. }));
+                assert!(matches!(
+                    members[1],
+                    OpKind::Fc { out_features: 384, .. }
+                ));
+            }
+            other => panic!("expected fused, got {other}"),
+        }
+        assert_eq!(node.outputs.len(), 3);
+    }
+
+    #[test]
+    fn sibling_fusion_requires_at_least_two_fcs() {
+        let mut g = Graph::new("one", 8);
+        let x = g.add_tensor("x", Shape::matrix(8, 8), DType::Fp16, TensorKind::Input);
+        let xt = g.add_tensor("xt", Shape::matrix(8, 8), DType::Fp16, TensorKind::Activation);
+        let w = g.add_tensor("w", Shape::matrix(8, 8), DType::Fp16, TensorKind::Weight);
+        let o = g.add_tensor("o", Shape::matrix(8, 8), DType::Fp16, TensorKind::Output);
+        g.add_node("t", OpKind::Transpose { rows: 8, cols: 8 }, [x], [xt]);
+        g.add_node("fc", OpKind::Fc { batch: 8, in_features: 8, out_features: 8 }, [xt, w], [o]);
+        assert_eq!(SiblingTransposeFc.run(&g).rewrites, 0);
+    }
+
+    #[test]
+    fn layernorm_batching_merges_independent_lns() {
+        let mut g = Graph::new("lns", 16);
+        let mut outs = Vec::new();
+        let mut lns = Vec::new();
+        for k in 0..4u64 {
+            let i = g.add_tensor(
+                format!("in{k}"),
+                Shape::matrix(16, 64),
+                DType::Fp16,
+                TensorKind::Input,
+            );
+            let o = g.add_tensor(
+                format!("ln{k}_out"),
+                Shape::matrix(16, 64),
+                DType::Fp16,
+                TensorKind::Activation,
+            );
+            lns.push((i, o));
+            outs.push(o);
+        }
+        for (k, (i, o)) in lns.iter().enumerate() {
+            g.add_node(format!("ln{k}"), OpKind::LayerNorm { rows: 16, cols: 64 }, [*i], [*o]);
+        }
+        // A consumer of all outputs.
+        let fin = g.add_tensor("fin", Shape::vector(1), DType::Fp16, TensorKind::Output);
+        g.add_node(
+            "sink",
+            OpKind::Concat { rows: 16, cols_total: 256, num_inputs: 4 },
+            outs,
+            [fin],
+        );
+
+        let result = LayerNormBatching.run(&g);
+        assert_eq!(result.rewrites, 3);
+        assert_eq!(result.graph.validate(), Ok(()));
+        let merged = result
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| n.name.starts_with("batched_ln"))
+            .expect("merged node");
+        assert!(matches!(merged.op, OpKind::LayerNorm { rows: 64, cols: 64 }));
+        assert_eq!(result.graph.nodes().len(), 2);
+    }
+
+    #[test]
+    fn layernorm_batching_respects_dependencies() {
+        // ln2 depends on ln1's output → cannot merge.
+        let mut g = Graph::new("dep", 8);
+        let a = g.add_tensor("a", Shape::matrix(8, 32), DType::Fp16, TensorKind::Input);
+        let b = g.add_tensor("b", Shape::matrix(8, 32), DType::Fp16, TensorKind::Activation);
+        let c = g.add_tensor("c", Shape::matrix(8, 32), DType::Fp16, TensorKind::Output);
+        g.add_node("ln1", OpKind::LayerNorm { rows: 8, cols: 32 }, [a], [b]);
+        g.add_node("ln2", OpKind::LayerNorm { rows: 8, cols: 32 }, [b], [c]);
+        assert_eq!(LayerNormBatching.run(&g).rewrites, 0);
+    }
+}

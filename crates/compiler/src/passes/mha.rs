@@ -1,0 +1,129 @@
+//! The §6 MHA layout rewrite: "we replaced a sequence of operators (i.e.,
+//! Slice, Reshape, Concat) with a single custom Transpose kernel".
+
+use std::collections::HashSet;
+
+use mtia_model::graph::{Graph, Node};
+use mtia_model::ops::OpKind;
+
+use crate::pass::{GraphAnalysis, Pass, PassResult};
+
+/// Rewrites `Slice → Reshape → Concat` chains into one `Transpose`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MhaLayoutRewrite;
+
+impl Pass for MhaLayoutRewrite {
+    fn name(&self) -> &'static str {
+        "mha-layout-rewrite"
+    }
+
+    fn run(&self, graph: &Graph) -> PassResult {
+        let analysis = GraphAnalysis::of(graph);
+        let nodes = graph.nodes();
+        let mut absorbed: HashSet<usize> = HashSet::new();
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(nodes.len());
+        let mut rewrites = 0;
+
+        for (i, node) in nodes.iter().enumerate() {
+            if absorbed.contains(&i) {
+                continue;
+            }
+            let OpKind::Slice { .. } = node.op else {
+                new_nodes.push(node.clone());
+                continue;
+            };
+            // slice → reshape (sole consumer, sole input)
+            let chain = (|| {
+                let t1 = *node.outputs.first()?;
+                let j = analysis.sole_consumer(t1)?;
+                let reshape = &nodes[j];
+                if !matches!(reshape.op, OpKind::Reshape { .. }) || reshape.inputs != [t1] {
+                    return None;
+                }
+                let t2 = *reshape.outputs.first()?;
+                let k = analysis.sole_consumer(t2)?;
+                let concat = &nodes[k];
+                match concat.op {
+                    OpKind::Concat { rows, cols_total, .. } if concat.inputs == [t2] => {
+                        Some((j, k, rows, cols_total))
+                    }
+                    _ => None,
+                }
+            })();
+
+            match chain {
+                Some((j, k, rows, cols_total)) if !absorbed.contains(&j) && !absorbed.contains(&k) => {
+                    absorbed.insert(j);
+                    absorbed.insert(k);
+                    new_nodes.push(Node {
+                        name: format!("{}_as_transpose", node.name),
+                        op: OpKind::Transpose { rows, cols: cols_total },
+                        inputs: node.inputs.clone(),
+                        outputs: nodes[k].outputs.clone(),
+                    });
+                    rewrites += 1;
+                }
+                _ => new_nodes.push(node.clone()),
+            }
+        }
+
+        let mut out = graph.clone();
+        out.set_nodes(new_nodes);
+        PassResult { graph: out, rewrites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::DType;
+    use mtia_model::graph::TensorKind;
+    use mtia_model::tensor::Shape;
+
+    fn slice_reshape_concat() -> Graph {
+        let mut g = Graph::new("mha", 8);
+        let x = g.add_tensor("x", Shape::matrix(8, 64), DType::Fp16, TensorKind::Input);
+        let s = g.add_tensor("s", Shape::matrix(8, 32), DType::Fp16, TensorKind::Activation);
+        let r = g.add_tensor("r", Shape::matrix(16, 16), DType::Fp16, TensorKind::Activation);
+        let c = g.add_tensor("c", Shape::matrix(16, 16), DType::Fp16, TensorKind::Output);
+        g.add_node("slice", OpKind::Slice { rows: 8, cols: 32 }, [x], [s]);
+        g.add_node("reshape", OpKind::Reshape { elems: 256 }, [s], [r]);
+        g.add_node(
+            "concat",
+            OpKind::Concat { rows: 16, cols_total: 16, num_inputs: 1 },
+            [r],
+            [c],
+        );
+        g
+    }
+
+    #[test]
+    fn chain_becomes_single_transpose() {
+        let g = slice_reshape_concat();
+        let result = MhaLayoutRewrite.run(&g);
+        assert_eq!(result.rewrites, 1);
+        assert_eq!(result.graph.nodes().len(), 1);
+        assert!(matches!(
+            result.graph.nodes()[0].op,
+            OpKind::Transpose { rows: 16, cols: 16 }
+        ));
+        assert_eq!(result.graph.validate(), Ok(()));
+    }
+
+    #[test]
+    fn partial_chain_is_untouched() {
+        let mut g = Graph::new("partial", 8);
+        let x = g.add_tensor("x", Shape::matrix(8, 64), DType::Fp16, TensorKind::Input);
+        let s = g.add_tensor("s", Shape::matrix(8, 32), DType::Fp16, TensorKind::Output);
+        g.add_node("slice", OpKind::Slice { rows: 8, cols: 32 }, [x], [s]);
+        assert_eq!(MhaLayoutRewrite.run(&g).rewrites, 0);
+    }
+
+    #[test]
+    fn rewrite_reduces_node_time_budget() {
+        // Three layout ops collapse to one: fewer launches, less traffic.
+        let g = slice_reshape_concat();
+        let rewritten = MhaLayoutRewrite.run(&g).graph;
+        assert!(rewritten.nodes().len() < g.nodes().len());
+    }
+}

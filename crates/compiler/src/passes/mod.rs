@@ -1,0 +1,6 @@
+//! Graph-optimization passes (§4.2, §6).
+
+pub mod broadcast;
+pub mod fusion;
+pub mod mha;
+pub mod quantize;

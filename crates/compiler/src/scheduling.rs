@@ -1,0 +1,250 @@
+//! Memory-aware operator scheduling (§4.2).
+//!
+//! "We maximize data reuse by selecting the best operator scheduling
+//! algorithm for a model to minimize the liveness range required for
+//! activations." This module implements a greedy list scheduler that, at
+//! each step, picks the ready node that minimizes the resulting live
+//! activation footprint — frees first, small allocations next.
+
+use std::collections::{HashMap, HashSet};
+
+use mtia_model::graph::{Graph, TensorId, TensorKind};
+
+/// Computes a liveness-minimizing execution order.
+///
+/// Candidate schedules (greedy frees-first list scheduling and the original
+/// program order) are evaluated and the one with the smaller peak live
+/// activation footprint wins — "selecting the best operator scheduling
+/// algorithm for a model" (§4.2). The result is a topologically valid,
+/// deterministic permutation.
+pub fn min_liveness_order(graph: &Graph) -> Vec<usize> {
+    let greedy = greedy_min_liveness(graph);
+    let program: Vec<usize> = (0..graph.nodes().len()).collect();
+    if graph.peak_activation_bytes_for_order(&greedy)
+        <= graph.peak_activation_bytes_for_order(&program)
+    {
+        greedy
+    } else {
+        program
+    }
+}
+
+/// Greedy list scheduling: at each step, run the ready node with the best
+/// net effect on live bytes (frees first, small allocations next).
+fn greedy_min_liveness(graph: &Graph) -> Vec<usize> {
+    let nodes = graph.nodes();
+    let n = nodes.len();
+
+    // Producer of each activation-like tensor, and remaining-consumer
+    // counts used to detect deaths.
+    let mut producer: HashMap<TensorId, usize> = HashMap::new();
+    let mut remaining_consumers: HashMap<TensorId, usize> = HashMap::new();
+    for node in nodes {
+        for &t in &node.outputs {
+            producer.insert(t, usize::MAX); // filled below
+        }
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        for &t in &node.outputs {
+            producer.insert(t, i);
+        }
+        for &t in &node.inputs {
+            *remaining_consumers.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    let is_activation = |g: &Graph, t: TensorId| {
+        matches!(
+            g.tensor(t).kind,
+            TensorKind::Activation | TensorKind::Input | TensorKind::Output
+        )
+    };
+
+    // Dependency counts: a node is ready when all activation inputs with a
+    // producer have been scheduled.
+    let mut deps = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in nodes.iter().enumerate() {
+        for &t in &node.inputs {
+            if let Some(&p) = producer.get(&t) {
+                if p != usize::MAX && p != i {
+                    deps[i] += 1;
+                    dependents[p].push(i);
+                }
+            }
+        }
+    }
+
+    let mut ready: Vec<usize> = (0..n).filter(|&i| deps[i] == 0).collect();
+    let mut scheduled: Vec<usize> = Vec::with_capacity(n);
+    let mut done: HashSet<usize> = HashSet::new();
+    let mut live: HashMap<TensorId, u64> = HashMap::new();
+    let mut consumers_left = remaining_consumers.clone();
+
+    // Inputs are live from the start.
+    for (i, node) in nodes.iter().enumerate() {
+        let _ = i;
+        for &t in &node.inputs {
+            if is_activation(graph, t) && !producer.contains_key(&t) {
+                live.entry(t).or_insert_with(|| graph.tensor(t).bytes().as_u64());
+            }
+        }
+    }
+
+    while scheduled.len() < n {
+        // Score each ready node by the net change in live bytes.
+        let mut best: Option<(i128, usize, usize)> = None; // (delta, order, node)
+        for (pos, &cand) in ready.iter().enumerate() {
+            let node = &nodes[cand];
+            let mut delta: i128 = 0;
+            for &t in &node.outputs {
+                if is_activation(graph, t) {
+                    delta += graph.tensor(t).bytes().as_u64() as i128;
+                }
+            }
+            for &t in &node.inputs {
+                if is_activation(graph, t) && consumers_left.get(&t).copied() == Some(1) {
+                    delta -= graph.tensor(t).bytes().as_u64() as i128;
+                }
+            }
+            let key = (delta, cand);
+            if best.map(|(d, c, _)| key < (d, c)).unwrap_or(true) {
+                best = Some((key.0, key.1, pos));
+            }
+        }
+        let (_, cand, pos) = best.expect("ready set must be non-empty for a DAG");
+        ready.swap_remove(pos);
+        done.insert(cand);
+        scheduled.push(cand);
+
+        // Update liveness.
+        let node = &nodes[cand];
+        for &t in &node.outputs {
+            if is_activation(graph, t) {
+                live.insert(t, graph.tensor(t).bytes().as_u64());
+            }
+        }
+        for &t in &node.inputs {
+            if let Some(c) = consumers_left.get_mut(&t) {
+                *c -= 1;
+                if *c == 0 {
+                    live.remove(&t);
+                }
+            }
+        }
+        // Release dependents.
+        for &d in &dependents[cand] {
+            deps[d] -= 1;
+            if deps[d] == 0 {
+                ready.push(d);
+            }
+        }
+    }
+    scheduled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::DType;
+    use mtia_model::models::dhen::DhenConfig;
+    use mtia_model::models::dlrm::DlrmConfig;
+    use mtia_model::ops::OpKind;
+    use mtia_model::tensor::Shape;
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &i in order {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        order.len() == n
+    }
+
+    #[test]
+    fn order_is_valid_permutation() {
+        for g in [DlrmConfig::small(64).build(), DhenConfig::small(32).build()] {
+            let order = min_liveness_order(&g);
+            assert!(is_permutation(&order, g.nodes().len()));
+            // Valid topological order: peak computation must not panic and
+            // producers precede consumers (validated via liveness call).
+            let _ = g.peak_activation_bytes_for_order(&order);
+        }
+    }
+
+    #[test]
+    fn scheduler_never_exceeds_program_order_peak() {
+        for g in [
+            DlrmConfig::small(256).build(),
+            DhenConfig::small(64).build(),
+            DlrmConfig::small(1024).build(),
+        ] {
+            let program = g.peak_activation_bytes();
+            let tuned = g.peak_activation_bytes_for_order(&min_liveness_order(&g));
+            assert!(tuned <= program, "{tuned} > {program} for {}", g.name());
+        }
+    }
+
+    #[test]
+    fn scheduler_improves_interleavable_branches() {
+        // Two long independent chains from separate inputs, joined at the
+        // end. Program order runs chain A fully (keeping its big head
+        // tensor alive), then chain B. A liveness-aware order finishes each
+        // chain's big tensors before starting the next.
+        let mut g = Graph::new("branches", 1);
+        let mut finals = Vec::new();
+        let mut all_nodes = Vec::new();
+        for c in 0..2 {
+            let input = g.add_tensor(
+                format!("in{c}"),
+                Shape::matrix(1024, 1024),
+                DType::Fp32,
+                mtia_model::graph::TensorKind::Input,
+            );
+            let mut cur = input;
+            for s in 0..3 {
+                let next = g.add_tensor(
+                    format!("c{c}s{s}"),
+                    Shape::matrix(1024, 1024 >> (s + 1).min(4)),
+                    DType::Fp32,
+                    mtia_model::graph::TensorKind::Activation,
+                );
+                all_nodes.push((format!("n{c}{s}"), cur, next));
+                cur = next;
+            }
+            finals.push(cur);
+        }
+        // Interleave the two chains' nodes in the worst order: all of A,
+        // then all of B — which is program order here.
+        for (name, i, o) in &all_nodes {
+            let elems = g.tensor(*i).shape.elems().min(g.tensor(*o).shape.elems());
+            g.add_node(name.clone(), OpKind::Cast { elems }, [*i], [*o]);
+        }
+        let join = g.add_tensor(
+            "join",
+            Shape::vector(1),
+            DType::Fp32,
+            mtia_model::graph::TensorKind::Output,
+        );
+        g.add_node(
+            "join",
+            OpKind::Concat { rows: 1, cols_total: 2, num_inputs: 2 },
+            finals.clone(),
+            [join],
+        );
+        assert_eq!(g.validate(), Ok(()));
+
+        let program = g.peak_activation_bytes();
+        let order = min_liveness_order(&g);
+        let tuned = g.peak_activation_bytes_for_order(&order);
+        assert!(tuned <= program);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = DhenConfig::small(16).build();
+        assert_eq!(min_liveness_order(&g), min_liveness_order(&g));
+    }
+}

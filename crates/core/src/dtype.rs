@@ -1,0 +1,99 @@
+//! Numeric data types supported by the MTIA accelerators.
+
+use std::fmt;
+
+use crate::units::Bytes;
+
+/// An element data type as seen by the compute engines.
+///
+/// ```
+/// use mtia_core::dtype::DType;
+/// assert_eq!(DType::Fp16.size_bytes(), 2);
+/// assert!(DType::Int8.is_integer());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 8-bit signed integer (quantized weights/activations).
+    Int8,
+    /// IEEE 754 half precision.
+    Fp16,
+    /// bfloat16.
+    Bf16,
+    /// IEEE 754 single precision.
+    Fp32,
+}
+
+impl DType {
+    /// All supported data types, in ascending width order.
+    pub const ALL: [DType; 4] = [DType::Int8, DType::Fp16, DType::Bf16, DType::Fp32];
+
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::Int8 => 1,
+            DType::Fp16 | DType::Bf16 => 2,
+            DType::Fp32 => 4,
+        }
+    }
+
+    /// Total size of `count` elements of this type.
+    pub const fn bytes_for(self, count: u64) -> Bytes {
+        Bytes::new(self.size_bytes() * count)
+    }
+
+    /// Whether the type is an integer type.
+    pub const fn is_integer(self) -> bool {
+        matches!(self, DType::Int8)
+    }
+
+    /// Whether the type is a floating-point type.
+    pub const fn is_float(self) -> bool {
+        !self.is_integer()
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::Int8 => "int8",
+            DType::Fp16 => "fp16",
+            DType::Bf16 => "bf16",
+            DType::Fp32 => "fp32",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::Int8.size_bytes(), 1);
+        assert_eq!(DType::Fp16.size_bytes(), 2);
+        assert_eq!(DType::Bf16.size_bytes(), 2);
+        assert_eq!(DType::Fp32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn bytes_for_counts() {
+        assert_eq!(DType::Fp16.bytes_for(1024), Bytes::from_kib(2));
+        assert_eq!(DType::Fp32.bytes_for(0), Bytes::ZERO);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DType::Int8.is_integer());
+        assert!(!DType::Int8.is_float());
+        for dt in [DType::Fp16, DType::Bf16, DType::Fp32] {
+            assert!(dt.is_float());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::Int8.to_string(), "int8");
+        assert_eq!(DType::Bf16.to_string(), "bf16");
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for specification and configuration validation.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// An error constructing or validating a hardware configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A capacity does not divide evenly into the required granularity.
+    MisalignedCapacity {
+        /// What was being partitioned.
+        what: &'static str,
+        /// The capacity in bytes.
+        capacity: u64,
+        /// The required granule in bytes.
+        granule: u64,
+    },
+    /// A parameter was outside its valid range.
+    OutOfRange {
+        /// Parameter name.
+        what: &'static str,
+        /// Human-readable description of the valid range.
+        valid: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MisalignedCapacity { what, capacity, granule } => write!(
+                f,
+                "{what} capacity {capacity} B is not a multiple of the {granule} B granule"
+            ),
+            ConfigError::OutOfRange { what, valid } => {
+                write!(f, "{what} out of range (valid: {valid})")
+            }
+        }
+    }
+}
+
+impl StdError for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ConfigError::MisalignedCapacity {
+            what: "SRAM",
+            capacity: 100,
+            granule: 32,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100 B"));
+        assert!(s.contains("32 B"));
+
+        let e = ConfigError::OutOfRange { what: "utilization", valid: "[0, 1]" };
+        assert!(e.to_string().contains("utilization"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,263 @@
+//! LZSS sliding-window compression — the stand-in for the PCIe GZIP engine
+//! (§3.3). DEFLATE = LZ77 + Huffman; LZSS is the same LZ77 family and
+//! achieves comparable ratios on the structured host↔device traffic the
+//! decompression engine targets (embedding rows, feature blobs).
+
+use std::fmt;
+
+/// Sliding-window size (matches DEFLATE's 32 KiB less a guard).
+const WINDOW: usize = 32 * 1024;
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum match length encodable in one token.
+const MAX_MATCH: usize = 255 + MIN_MATCH;
+
+/// Errors from decoding a corrupt LZSS stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzssError {
+    /// The stream ended prematurely.
+    Truncated,
+    /// A back-reference points before the start of the output.
+    BadReference,
+}
+
+impl fmt::Display for LzssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LzssError::Truncated => write!(f, "lzss stream truncated"),
+            LzssError::BadReference => write!(f, "lzss back-reference out of range"),
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+/// Compresses `input`. Format: `len: u64` header, then groups of 8 tokens
+/// preceded by a flag byte (bit set = match token of `offset: u16, len: u8`,
+/// clear = literal byte).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+
+    // 3-byte hash chains for match finding.
+    const HASH_BITS: usize = 15;
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+    let hash = |data: &[u8], i: usize| -> usize {
+        let h = (data[i] as usize) << 16 ^ (data[i + 1] as usize) << 8 ^ data[i + 2] as usize;
+        (h.wrapping_mul(2654435761)) >> (32 - HASH_BITS) & ((1 << HASH_BITS) - 1)
+    };
+
+    let mut i = 0;
+    let mut flags_pos = 0usize;
+    let mut flag_bit = 8; // force new flag byte on first token
+    let mut flags = 0u8;
+
+    let mut push_token = |out: &mut Vec<u8>, is_match: bool, bytes: &[u8]| {
+        if flag_bit == 8 {
+            if flags_pos != 0 {
+                out[flags_pos] = flags;
+            }
+            flags_pos = out.len();
+            out.push(0);
+            flags = 0;
+            flag_bit = 0;
+        }
+        if is_match {
+            flags |= 1 << flag_bit;
+        }
+        flag_bit += 1;
+        out.extend_from_slice(bytes);
+    };
+
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() && i + 2 < input.len() {
+            let h = hash(input, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < 32 {
+                let max = (input.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max && input[cand + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - cand;
+                    if l >= MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+            prev[i] = head[h];
+            head[h] = i;
+        }
+
+        if best_len >= MIN_MATCH {
+            let token = [
+                (best_off & 0xff) as u8,
+                (best_off >> 8) as u8,
+                (best_len - MIN_MATCH) as u8,
+            ];
+            push_token(&mut out, true, &token);
+            // Insert hash entries for skipped positions to keep matches
+            // discoverable.
+            let end = (i + best_len).min(input.len().saturating_sub(2));
+            for (j, slot) in prev.iter_mut().enumerate().take(end).skip(i + 1) {
+                let h = hash(input, j);
+                *slot = head[h];
+                head[h] = j;
+            }
+            i += best_len;
+        } else {
+            push_token(&mut out, false, &input[i..i + 1]);
+            i += 1;
+        }
+    }
+    if flags_pos != 0 || !input.is_empty() {
+        out[flags_pos] = flags;
+    }
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`LzssError`] on truncation or invalid back-references.
+pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, LzssError> {
+    if frame.len() < 8 {
+        return Err(LzssError::Truncated);
+    }
+    let len = u64::from_le_bytes(frame[0..8].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut pos = 8;
+    let mut flags = 0u8;
+    let mut flag_bit = 8;
+    while out.len() < len {
+        if flag_bit == 8 {
+            let Some(&f) = frame.get(pos) else { return Err(LzssError::Truncated) };
+            flags = f;
+            flag_bit = 0;
+            pos += 1;
+        }
+        let is_match = flags & (1 << flag_bit) != 0;
+        flag_bit += 1;
+        if is_match {
+            if pos + 3 > frame.len() {
+                return Err(LzssError::Truncated);
+            }
+            let off = frame[pos] as usize | (frame[pos + 1] as usize) << 8;
+            let mlen = frame[pos + 2] as usize + MIN_MATCH;
+            pos += 3;
+            if off == 0 || off > out.len() {
+                return Err(LzssError::BadReference);
+            }
+            let start = out.len() - off;
+            for k in 0..mlen {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            let Some(&b) = frame.get(pos) else { return Err(LzssError::Truncated) };
+            out.push(b);
+            pos += 1;
+        }
+    }
+    out.truncate(len);
+    Ok(out)
+}
+
+/// Compressed/original size ratio.
+pub fn compression_ratio(input: &[u8]) -> f64 {
+    super::ratio(input.len(), compress(input).len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog. the quick brown fox!"
+            .to_vec();
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [vec![], vec![1u8], vec![1, 2, 3]] {
+            assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses_hard() {
+        let data = vec![0xabu8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 20, "compressed to {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn structured_feature_blobs_compress() {
+        // Repeating 64-byte "embedding rows" with small perturbations, the
+        // PCIe traffic pattern the decompression engine targets.
+        let mut rng = StdRng::seed_from_u64(3);
+        let row: Vec<u8> = (0..64).map(|i| (i * 3) as u8).collect();
+        let mut data = Vec::new();
+        for _ in 0..1000 {
+            data.extend_from_slice(&row);
+            if rng.gen_bool(0.1) {
+                let n = data.len();
+                data[n - 1] ^= 1;
+            }
+        }
+        let r = compression_ratio(&data);
+        assert!(r < 0.25, "structured ratio {r}");
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn random_data_roundtrips_with_bounded_expansion() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        let c = compress(&data);
+        // Worst case: 1 flag byte per 8 literals + header.
+        assert!(c.len() <= data.len() + data.len() / 8 + 32);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn random_roundtrip_fuzz() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let len = rng.gen_range(0..3000);
+            let alphabet = rng.gen_range(2..64u16) as u8;
+            let data: Vec<u8> = (0..len).map(|_| rng.gen_range(0..alphabet)).collect();
+            assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let c = compress(&[9u8; 100]);
+        assert_eq!(decompress(&c[..7]).unwrap_err(), LzssError::Truncated);
+        assert_eq!(decompress(&c[..c.len() - 1]).unwrap_err(), LzssError::Truncated);
+    }
+
+    #[test]
+    fn bad_reference_errors() {
+        // Hand-craft: len 4, flag byte with match bit, offset beyond output.
+        let mut frame = 4u64.to_le_bytes().to_vec();
+        frame.push(0x01); // first token is a match
+        frame.extend_from_slice(&[0x10, 0x00, 0x00]); // offset 16 into empty output
+        assert_eq!(decompress(&frame).unwrap_err(), LzssError::BadReference);
+    }
+}

@@ -1,0 +1,236 @@
+//! Memory-error injection (§5.1).
+//!
+//! The paper built an injection tool to find which model regions are most
+//! sensitive to LPDDR bit flips: TBE indices, TBE table rows, and specific
+//! bits of dense FP weights "can cause NaNs or output corruptions, with
+//! some failures occurring with high probability". This module reproduces
+//! that tool: it flips chosen bits in real tensors/index arrays and
+//! classifies the downstream damage.
+
+use rand::Rng;
+
+use crate::tensor::DenseTensor;
+
+/// Which memory region a flip targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionTarget {
+    /// Dense FC weights (FP32 bit pattern).
+    DenseWeights,
+    /// Embedding-table rows.
+    EmbeddingRows,
+    /// TBE index arrays (u32).
+    TbeIndices,
+    /// Intermediate activations.
+    Activations,
+}
+
+/// Severity of the observed corruption after one injected flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Output unchanged within tolerance (flip was masked).
+    Benign,
+    /// Output numerically wrong beyond tolerance but finite.
+    SilentCorruption,
+    /// Output contains NaN/Inf.
+    NonFinite,
+    /// An index escaped its valid range (out-of-bounds gather).
+    OutOfBoundsIndex,
+}
+
+/// Flips bit `bit` (0 = LSB) of element `idx` in a dense tensor.
+///
+/// # Panics
+///
+/// Panics if `idx` or `bit` is out of range.
+pub fn flip_f32_bit(t: &mut DenseTensor, idx: usize, bit: u32) {
+    assert!(bit < 32, "f32 has 32 bits");
+    let data = t.data_mut();
+    assert!(idx < data.len(), "element index out of range");
+    data[idx] = f32::from_bits(data[idx].to_bits() ^ (1 << bit));
+}
+
+/// Flips bit `bit` of a u32 index array entry.
+///
+/// # Panics
+///
+/// Panics if `idx` or `bit` is out of range.
+pub fn flip_index_bit(indices: &mut [u32], idx: usize, bit: u32) {
+    assert!(bit < 32, "u32 has 32 bits");
+    assert!(idx < indices.len(), "index position out of range");
+    indices[idx] ^= 1 << bit;
+}
+
+/// Classifies the damage a corrupted weight tensor causes to an FC output,
+/// comparing against the clean output. `tolerance` is the relative error
+/// below which the result counts as benign.
+pub fn classify_fc_outcome(
+    clean_out: &DenseTensor,
+    corrupted_out: &DenseTensor,
+    tolerance: f64,
+) -> Outcome {
+    if corrupted_out.has_non_finite() {
+        return Outcome::NonFinite;
+    }
+    let mut max_rel = 0.0f64;
+    let scale = clean_out.max_abs().max(1e-20) as f64;
+    for (c, d) in clean_out.data().iter().zip(corrupted_out.data()) {
+        let rel = ((*c as f64) - (*d as f64)).abs() / scale;
+        max_rel = max_rel.max(rel);
+    }
+    if max_rel <= tolerance {
+        Outcome::Benign
+    } else {
+        Outcome::SilentCorruption
+    }
+}
+
+/// Result of an injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CampaignReport {
+    /// Trials run.
+    pub trials: u32,
+    /// Benign outcomes.
+    pub benign: u32,
+    /// Silent corruptions.
+    pub silent: u32,
+    /// NaN/Inf outcomes.
+    pub non_finite: u32,
+    /// Out-of-bounds indices.
+    pub out_of_bounds: u32,
+}
+
+impl CampaignReport {
+    /// Fraction of trials with *any* observable failure.
+    pub fn failure_rate(&self) -> f64 {
+        (self.silent + self.non_finite + self.out_of_bounds) as f64 / self.trials.max(1) as f64
+    }
+
+    fn record(&mut self, o: Outcome) {
+        self.trials += 1;
+        match o {
+            Outcome::Benign => self.benign += 1,
+            Outcome::SilentCorruption => self.silent += 1,
+            Outcome::NonFinite => self.non_finite += 1,
+            Outcome::OutOfBoundsIndex => self.out_of_bounds += 1,
+        }
+    }
+}
+
+/// Runs `trials` single-bit flips against FC weights and classifies each
+/// outcome. High exponent bits of FP32 produce huge values → NaN/Inf or
+/// gross corruption; mantissa bits are mostly benign.
+pub fn weight_injection_campaign<R: Rng + ?Sized>(
+    activations: &DenseTensor,
+    weights: &DenseTensor,
+    trials: u32,
+    rng: &mut R,
+) -> CampaignReport {
+    let clean = activations.matmul(weights);
+    let mut report = CampaignReport::default();
+    for _ in 0..trials {
+        let mut w = weights.clone();
+        let idx = rng.gen_range(0..w.data().len());
+        let bit = rng.gen_range(0..32);
+        flip_f32_bit(&mut w, idx, bit);
+        let out = activations.matmul(&w);
+        report.record(classify_fc_outcome(&clean, &out, 1e-3));
+    }
+    report
+}
+
+/// Runs `trials` single-bit flips against a TBE index array with tables of
+/// `valid_rows` rows, counting how many flips escape the valid range.
+pub fn index_injection_campaign<R: Rng + ?Sized>(
+    indices: &[u32],
+    valid_rows: u32,
+    trials: u32,
+    rng: &mut R,
+) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for _ in 0..trials {
+        let mut idx = indices.to_vec();
+        let pos = rng.gen_range(0..idx.len());
+        let bit = rng.gen_range(0..32);
+        flip_index_bit(&mut idx, pos, bit);
+        if idx[pos] >= valid_rows {
+            report.record(Outcome::OutOfBoundsIndex);
+        } else if idx[pos] != indices[pos] {
+            // Wrong row gathered: silently corrupts the pooled embedding.
+            report.record(Outcome::SilentCorruption);
+        } else {
+            report.record(Outcome::Benign);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flip_is_involutive() {
+        let mut t = DenseTensor::from_data(1, 2, vec![1.5, -2.25]);
+        flip_f32_bit(&mut t, 0, 3);
+        assert_ne!(t.get(0, 0), 1.5);
+        flip_f32_bit(&mut t, 0, 3);
+        assert_eq!(t.get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn exponent_msb_flip_creates_huge_or_nan() {
+        // Flipping bit 30 (exponent MSB) of a normal float multiplies the
+        // magnitude by ~2^128 → downstream NaN/Inf in any matmul.
+        let mut t = DenseTensor::from_data(1, 1, vec![1.0]);
+        flip_f32_bit(&mut t, 0, 30);
+        assert!(t.get(0, 0).abs() > 1e30 || !t.get(0, 0).is_finite());
+    }
+
+    #[test]
+    fn mantissa_lsb_flip_is_benign() {
+        let x = DenseTensor::from_data(1, 1, vec![1.0]);
+        let w = DenseTensor::from_data(1, 1, vec![1.0]);
+        let clean = x.matmul(&w);
+        let mut wc = w.clone();
+        flip_f32_bit(&mut wc, 0, 0);
+        let out = x.matmul(&wc);
+        assert_eq!(classify_fc_outcome(&clean, &out, 1e-3), Outcome::Benign);
+    }
+
+    #[test]
+    fn campaign_finds_high_probability_failures() {
+        // §5.1: "specific bits in floating-point representations of dense
+        // weights can cause NaNs or output corruptions, with some failures
+        // occurring with high probability."
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = DenseTensor::gaussian(8, 32, 1.0, &mut rng);
+        let w = DenseTensor::gaussian(32, 16, 0.1, &mut rng);
+        let report = weight_injection_campaign(&x, &w, 400, &mut rng);
+        assert_eq!(report.trials, 400);
+        assert!(report.failure_rate() > 0.2, "failure rate {}", report.failure_rate());
+        assert!(report.non_finite + report.silent > 0);
+        assert!(report.benign > 0, "mantissa flips should often be benign");
+    }
+
+    #[test]
+    fn index_flips_escape_range_often() {
+        // Tables of 1M rows need 20 bits; flips in bits 20–31 always escape.
+        let mut rng = StdRng::seed_from_u64(2);
+        let indices: Vec<u32> = (0..256).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let report = index_injection_campaign(&indices, 1_000_000, 500, &mut rng);
+        let oob = report.out_of_bounds as f64 / report.trials as f64;
+        assert!(oob > 0.3, "out-of-bounds rate {oob}");
+        // And nearly every in-range flip still gathers the wrong row.
+        assert!(report.benign as f64 / report.trials as f64 <= 0.05);
+    }
+
+    #[test]
+    fn classify_detects_nan() {
+        let clean = DenseTensor::zeros(1, 1);
+        let mut bad = DenseTensor::zeros(1, 1);
+        bad.set(0, 0, f32::NAN);
+        assert_eq!(classify_fc_outcome(&clean, &bad, 1e-3), Outcome::NonFinite);
+    }
+}

@@ -1,0 +1,196 @@
+//! The HSTU ragged-attention bias and its piecewise LUT gather (§4.3).
+//!
+//! HSTU's attention "relies on a bias calculated from positional weights
+//! and timestamps. This bias calculation involves table index
+//! computations, which are then used to gather entries from these tables.
+//! ... we repurposed the lookup table (LUT) support in the SIMD Engine for
+//! the gather operation by performing it piecewise, loading each segment of
+//! the weights and timestamp tables into the limited LUT memory."
+//!
+//! [`bias_direct`] is the reference gather; [`bias_piecewise_lut`] performs
+//! the same computation under a hardware-sized LUT constraint, processing
+//! one table segment per pass, and reports how many segment loads the
+//! kernel needed.
+
+/// The positional-weight and timestamp bias tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasTables {
+    /// Relative-position bucket weights.
+    pub positional: Vec<f32>,
+    /// Time-delta bucket weights.
+    pub timestamp: Vec<f32>,
+}
+
+impl BiasTables {
+    /// Synthetic tables with smooth decay, as trained bias tables exhibit.
+    pub fn synthetic(pos_buckets: usize, time_buckets: usize) -> Self {
+        let positional = (0..pos_buckets)
+            .map(|i| (-(i as f32) / pos_buckets as f32).exp())
+            .collect();
+        let timestamp = (0..time_buckets)
+            .map(|i| 0.5 * (-(i as f32) / time_buckets as f32 * 2.0).exp())
+            .collect();
+        BiasTables { positional, timestamp }
+    }
+}
+
+/// Bucketizes a relative position `i - j` (attention is causal: `i ≥ j`).
+pub fn position_bucket(i: usize, j: usize, buckets: usize) -> usize {
+    debug_assert!(i >= j, "causal attention requires i ≥ j");
+    (i - j).min(buckets - 1)
+}
+
+/// Log-bucketizes a timestamp delta in seconds.
+pub fn time_bucket(delta_s: u64, buckets: usize) -> usize {
+    if delta_s == 0 {
+        return 0;
+    }
+    ((delta_s as f64).log2().floor() as usize + 1).min(buckets - 1)
+}
+
+/// Reference bias: full-table gather for every causal pair of a sequence
+/// with per-position `timestamps`.
+///
+/// Returns a lower-triangular `seq × seq` matrix in row-major order.
+pub fn bias_direct(tables: &BiasTables, timestamps: &[u64]) -> Vec<f32> {
+    let seq = timestamps.len();
+    let mut out = vec![0.0f32; seq * seq];
+    for i in 0..seq {
+        for j in 0..=i {
+            let p = position_bucket(i, j, tables.positional.len());
+            let t = time_bucket(timestamps[i] - timestamps[j], tables.timestamp.len());
+            out[i * seq + j] = tables.positional[p] + tables.timestamp[t];
+        }
+    }
+    out
+}
+
+/// Result of the piecewise LUT gather.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseResult {
+    /// The bias matrix (identical to [`bias_direct`]'s output).
+    pub bias: Vec<f32>,
+    /// Table-segment loads into the LUT memory.
+    pub segment_loads: usize,
+}
+
+/// The same computation under a LUT of `lut_entries` slots: each pass loads
+/// one segment of one table and resolves every gather that falls inside it.
+///
+/// # Panics
+///
+/// Panics if `lut_entries` is zero.
+pub fn bias_piecewise_lut(
+    tables: &BiasTables,
+    timestamps: &[u64],
+    lut_entries: usize,
+) -> PiecewiseResult {
+    assert!(lut_entries > 0, "LUT must hold at least one entry");
+    let seq = timestamps.len();
+    let mut bias = vec![0.0f32; seq * seq];
+    let mut segment_loads = 0;
+
+    // Positional passes.
+    let mut start = 0;
+    while start < tables.positional.len() {
+        let end = (start + lut_entries).min(tables.positional.len());
+        let lut = &tables.positional[start..end]; // "loaded" segment
+        segment_loads += 1;
+        for i in 0..seq {
+            for j in 0..=i {
+                let p = position_bucket(i, j, tables.positional.len());
+                if (start..end).contains(&p) {
+                    bias[i * seq + j] += lut[p - start];
+                }
+            }
+        }
+        start = end;
+    }
+
+    // Timestamp passes.
+    let mut start = 0;
+    while start < tables.timestamp.len() {
+        let end = (start + lut_entries).min(tables.timestamp.len());
+        let lut = &tables.timestamp[start..end];
+        segment_loads += 1;
+        for i in 0..seq {
+            for j in 0..=i {
+                let t =
+                    time_bucket(timestamps[i] - timestamps[j], tables.timestamp.len());
+                if (start..end).contains(&t) {
+                    bias[i * seq + j] += lut[t - start];
+                }
+            }
+        }
+        start = end;
+    }
+
+    PiecewiseResult { bias, segment_loads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monotone_timestamps(seq: usize) -> Vec<u64> {
+        (0..seq as u64).map(|i| 1_700_000_000 + i * i * 13).collect()
+    }
+
+    #[test]
+    fn piecewise_matches_direct_exactly() {
+        let tables = BiasTables::synthetic(64, 32);
+        let ts = monotone_timestamps(48);
+        let reference = bias_direct(&tables, &ts);
+        for lut in [1usize, 7, 16, 64, 1000] {
+            let pw = bias_piecewise_lut(&tables, &ts, lut);
+            assert_eq!(pw.bias, reference, "lut size {lut}");
+        }
+    }
+
+    #[test]
+    fn segment_loads_scale_with_lut_pressure() {
+        let tables = BiasTables::synthetic(64, 32);
+        let ts = monotone_timestamps(16);
+        let small = bias_piecewise_lut(&tables, &ts, 8);
+        let large = bias_piecewise_lut(&tables, &ts, 64);
+        assert_eq!(small.segment_loads, 64 / 8 + 32 / 8);
+        assert_eq!(large.segment_loads, 1 + 1);
+        assert!(small.segment_loads > large.segment_loads);
+    }
+
+    #[test]
+    fn bias_is_causal_lower_triangular() {
+        let tables = BiasTables::synthetic(16, 16);
+        let ts = monotone_timestamps(8);
+        let b = bias_direct(&tables, &ts);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_eq!(b[i * 8 + j], 0.0, "upper triangle must be empty");
+            }
+            assert!(b[i * 8 + i] > 0.0, "diagonal carries the zero-delta bias");
+        }
+    }
+
+    #[test]
+    fn buckets_behave() {
+        assert_eq!(position_bucket(10, 10, 64), 0);
+        assert_eq!(position_bucket(100, 0, 64), 63); // clamped
+        assert_eq!(time_bucket(0, 32), 0);
+        assert_eq!(time_bucket(1, 32), 1);
+        assert!(time_bucket(1 << 40, 32) == 31); // clamped
+        // Log bucketing: doubling the delta moves one bucket.
+        assert_eq!(time_bucket(1024, 32), time_bucket(512, 32) + 1);
+    }
+
+    #[test]
+    fn recency_dominates_the_bias() {
+        // Trained-style decaying tables: adjacent history gets more bias
+        // than distant history — the property ragged attention exploits.
+        let tables = BiasTables::synthetic(64, 32);
+        let ts = monotone_timestamps(32);
+        let b = bias_direct(&tables, &ts);
+        let recent = b[31 * 32 + 30];
+        let distant = b[31 * 32];
+        assert!(recent > distant, "recent {recent} vs distant {distant}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Jagged (ragged) tensors for sequence embeddings (§4.3).
+//!
+//! Sequence models like HSTU consume per-user history sequences whose
+//! lengths follow a skewed distribution. A [`JaggedTensor`] stores the
+//! concatenated rows plus an offsets array, exactly like PyTorch/FBGEMM
+//! jagged tensors, and provides the conversion and math operators §4.3
+//! says the chip needed: jagged↔dense conversion, row-wise reduction, and
+//! elementwise combination.
+
+use std::fmt;
+
+use crate::tensor::DenseTensor;
+
+/// A 2-D jagged tensor: `batch` rows of varying length, each element a
+/// vector of `dim` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JaggedTensor {
+    /// Row boundaries: row `i` spans `offsets[i]..offsets[i+1]` positions.
+    offsets: Vec<usize>,
+    /// Concatenated values, `total_positions × dim`, row-major.
+    values: Vec<f32>,
+    /// Vector width per position.
+    dim: usize,
+}
+
+impl JaggedTensor {
+    /// Creates a jagged tensor from per-row lengths, zero-filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn zeros(lengths: &[usize], dim: usize) -> Self {
+        assert!(dim > 0, "zero-sized embedding dimension");
+        let mut offsets = Vec::with_capacity(lengths.len() + 1);
+        offsets.push(0);
+        let mut total = 0;
+        for &l in lengths {
+            total += l;
+            offsets.push(total);
+        }
+        JaggedTensor { offsets, values: vec![0.0; total * dim], dim }
+    }
+
+    /// Creates a jagged tensor from offsets and values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if offsets are not monotonically non-decreasing starting at 0,
+    /// or if the value length does not match.
+    pub fn from_parts(offsets: Vec<usize>, values: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "zero-sized embedding dimension");
+        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+        assert_eq!(
+            values.len(),
+            offsets.last().unwrap() * dim,
+            "value buffer does not match offsets × dim"
+        );
+        JaggedTensor { offsets, values, dim }
+    }
+
+    /// Number of rows (batch size).
+    pub fn batch(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Vector width per position.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Length (number of positions) of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn len_of(&self, i: usize) -> usize {
+        assert!(i < self.batch(), "row {i} out of bounds");
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Total positions across all rows.
+    pub fn total_positions(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Maximum row length.
+    pub fn max_len(&self) -> usize {
+        (0..self.batch()).map(|i| self.len_of(i)).max().unwrap_or(0)
+    }
+
+    /// The values of row `i` (`len_of(i) × dim`, row-major).
+    pub fn row(&self, i: usize) -> &[f32] {
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        &self.values[s * self.dim..e * self.dim]
+    }
+
+    /// Mutable values of row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        &mut self.values[s * self.dim..e * self.dim]
+    }
+
+    /// All concatenated values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Converts to a dense `batch × (max_len · dim)` tensor, zero-padding
+    /// short rows — the jagged→dense operator of §4.3.
+    pub fn to_dense(&self) -> DenseTensor {
+        let max_len = self.max_len().max(1);
+        let mut out = DenseTensor::zeros(self.batch().max(1), max_len * self.dim);
+        for i in 0..self.batch() {
+            let row = self.row(i);
+            out.row_mut(i)[..row.len()].copy_from_slice(row);
+        }
+        out
+    }
+
+    /// Builds a jagged tensor from the first `lengths[i]` positions of each
+    /// dense row — the dense→jagged operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested length exceeds the dense row capacity or the
+    /// batch sizes disagree.
+    pub fn from_dense(dense: &DenseTensor, lengths: &[usize], dim: usize) -> Self {
+        assert_eq!(dense.rows(), lengths.len(), "batch mismatch");
+        let mut jagged = JaggedTensor::zeros(lengths, dim);
+        for (i, &len) in lengths.iter().enumerate() {
+            assert!(len * dim <= dense.cols(), "row {i} longer than dense capacity");
+            let src = &dense.row(i)[..len * dim];
+            jagged.row_mut(i).copy_from_slice(src);
+        }
+        jagged
+    }
+
+    /// Sum-pools each row to a single `dim`-vector, producing a dense
+    /// `batch × dim` tensor (embedding pooling).
+    pub fn sum_pool(&self) -> DenseTensor {
+        let mut out = DenseTensor::zeros(self.batch().max(1), self.dim);
+        for i in 0..self.batch() {
+            let row = self.row(i);
+            let dst = out.row_mut(i);
+            for pos in row.chunks_exact(self.dim) {
+                for (d, v) in dst.iter_mut().zip(pos) {
+                    *d += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise product with another jagged tensor of identical layout
+    /// (the Hadamard product §4.3 mentions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if layouts differ.
+    pub fn hadamard(&self, other: &JaggedTensor) -> JaggedTensor {
+        assert_eq!(self.offsets, other.offsets, "jagged layouts differ");
+        assert_eq!(self.dim, other.dim, "jagged dims differ");
+        let values =
+            self.values.iter().zip(&other.values).map(|(a, b)| a * b).collect();
+        JaggedTensor { offsets: self.offsets.clone(), values, dim: self.dim }
+    }
+
+    /// Applies a `dim × out_dim` linear transformation to every position.
+    pub fn linear(&self, weight: &DenseTensor) -> JaggedTensor {
+        assert_eq!(weight.rows(), self.dim, "weight rows must equal dim");
+        let out_dim = weight.cols();
+        let mut values = vec![0.0f32; self.total_positions() * out_dim];
+        for (p, pos) in self.values.chunks_exact(self.dim).enumerate() {
+            let dst = &mut values[p * out_dim..(p + 1) * out_dim];
+            for (k, &x) in pos.iter().enumerate() {
+                if x == 0.0 {
+                    continue;
+                }
+                for (d, w) in dst.iter_mut().zip(weight.row(k)) {
+                    *d += x * w;
+                }
+            }
+        }
+        JaggedTensor { offsets: self.offsets.clone(), values, dim: out_dim }
+    }
+
+    /// Fraction of a padded dense representation that would be wasted —
+    /// why ragged attention matters for skewed length distributions.
+    pub fn padding_waste(&self) -> f64 {
+        let dense = self.batch() * self.max_len();
+        if dense == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_positions() as f64 / dense as f64
+    }
+}
+
+impl fmt::Display for JaggedTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "jagged[batch {}, positions {}, dim {}]",
+            self.batch(),
+            self.total_positions(),
+            self.dim
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JaggedTensor {
+        // Rows of lengths 2, 0, 1 with dim 2.
+        let mut j = JaggedTensor::zeros(&[2, 0, 1], 2);
+        j.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        j.row_mut(2).copy_from_slice(&[5.0, 6.0]);
+        j
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let j = sample();
+        assert_eq!(j.batch(), 3);
+        assert_eq!(j.len_of(0), 2);
+        assert_eq!(j.len_of(1), 0);
+        assert_eq!(j.len_of(2), 1);
+        assert_eq!(j.total_positions(), 3);
+        assert_eq!(j.max_len(), 2);
+        assert_eq!(j.to_string(), "jagged[batch 3, positions 3, dim 2]");
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let j = sample();
+        let d = j.to_dense();
+        assert_eq!(d.rows(), 3);
+        assert_eq!(d.cols(), 4); // max_len 2 × dim 2
+        assert_eq!(d.row(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.row(1), &[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(d.row(2), &[5.0, 6.0, 0.0, 0.0]);
+        let back = JaggedTensor::from_dense(&d, &[2, 0, 1], 2);
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn sum_pool_reduces_rows() {
+        let j = sample();
+        let p = j.sum_pool();
+        assert_eq!(p.row(0), &[4.0, 6.0]);
+        assert_eq!(p.row(1), &[0.0, 0.0]);
+        assert_eq!(p.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let j = sample();
+        let h = j.hadamard(&j);
+        assert_eq!(h.row(0), &[1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts differ")]
+    fn hadamard_layout_mismatch_panics() {
+        let a = JaggedTensor::zeros(&[1, 2], 2);
+        let b = JaggedTensor::zeros(&[2, 1], 2);
+        let _ = a.hadamard(&b);
+    }
+
+    #[test]
+    fn linear_transforms_positions() {
+        let j = sample();
+        // Weight [[1,0,1],[0,1,1]]: out = (x, y, x+y).
+        let w = DenseTensor::from_data(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 1.0]);
+        let out = j.linear(&w);
+        assert_eq!(out.dim(), 3);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0, 3.0, 4.0, 7.0]);
+        assert_eq!(out.len_of(1), 0);
+    }
+
+    #[test]
+    fn padding_waste_for_skewed_lengths() {
+        // One long row among short ones wastes most of the dense layout —
+        // the HSTU motivation.
+        let j = JaggedTensor::zeros(&[100, 1, 1, 1], 4);
+        assert!(j.padding_waste() > 0.7, "waste {}", j.padding_waste());
+        let uniform = JaggedTensor::zeros(&[5, 5, 5], 4);
+        assert_eq!(uniform.padding_waste(), 0.0);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let j = JaggedTensor::from_parts(vec![0, 1, 3], vec![0.0; 6], 2);
+        assert_eq!(j.batch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must start at 0")]
+    fn bad_offsets_panic() {
+        let _ = JaggedTensor::from_parts(vec![1, 2], vec![0.0; 2], 2);
+    }
+}

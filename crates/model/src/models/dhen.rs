@@ -1,0 +1,321 @@
+//! DHEN: Deep and Hierarchical Ensemble Network (§2, §6).
+//!
+//! The late-stage-ranking architecture of the paper's case study: stacked
+//! layers with skip connections and layer normalization, where each layer is
+//! an ensemble of a Factorization Machine Block (high-order interactions)
+//! and a Linear Compression Block, optionally followed by a network of
+//! multi-headed-attention blocks (the model change described in §6).
+
+use mtia_core::DType;
+
+use crate::graph::{Graph, TensorKind};
+use crate::ops::{AttentionParams, OpKind, TbeParams};
+use crate::tensor::Shape;
+
+use super::{append_add, append_layernorm, append_mlp, append_sigmoid_head};
+
+/// Configuration of the attention sub-network some DHEN variants add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MhaBlockConfig {
+    /// Number of MHA blocks.
+    pub blocks: u64,
+    /// Heads per block.
+    pub heads: u64,
+    /// Sequence length the hidden state is folded into.
+    pub seq: u64,
+    /// Per-head dimension.
+    pub head_dim: u64,
+}
+
+/// Configuration of a DHEN instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DhenConfig {
+    /// Model name.
+    pub name: String,
+    /// Batch size.
+    pub batch: u64,
+    /// Dense input features.
+    pub dense_features: u64,
+    /// Number of embedding tables.
+    pub num_tables: u64,
+    /// Rows per table.
+    pub rows_per_table: u64,
+    /// Embedding dimension.
+    pub embedding_dim: u64,
+    /// Lookups per sample per table.
+    pub pooling_factor: u64,
+    /// Hidden width of the DHEN stack.
+    pub hidden: u64,
+    /// Number of stacked DHEN layers.
+    pub layers: u64,
+    /// Feature vectors inside each Factorization Machine block.
+    pub fm_features: u64,
+    /// Width of the Linear Compression Block.
+    pub lcb_width: u64,
+    /// Optional MHA sub-network appended after the stack.
+    pub mha: Option<MhaBlockConfig>,
+    /// Top MLP widths before the prediction head.
+    pub top_mlp: Vec<u64>,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl DhenConfig {
+    /// A small reference configuration for tests.
+    pub fn small(batch: u64) -> Self {
+        DhenConfig {
+            name: "dhen-small".to_string(),
+            batch,
+            dense_features: 256,
+            num_tables: 32,
+            rows_per_table: 2_000_000,
+            embedding_dim: 96,
+            pooling_factor: 20,
+            hidden: 512,
+            layers: 4,
+            fm_features: 16,
+            lcb_width: 256,
+            mha: None,
+            top_mlp: vec![512, 128],
+            dtype: DType::Fp16,
+        }
+    }
+
+    /// Builds the compute graph.
+    pub fn build(&self) -> Graph {
+        let b = self.batch;
+        let dt = self.dtype;
+        let mut g = Graph::new(self.name.clone(), b);
+
+        // Dense + sparse front end.
+        let dense_in = g.add_tensor(
+            "dense_input",
+            Shape::matrix(b, self.dense_features),
+            dt,
+            TensorKind::Input,
+        );
+        let tbe = TbeParams {
+            num_tables: self.num_tables,
+            rows_per_table: self.rows_per_table,
+            embedding_dim: self.embedding_dim,
+            pooling_factor: self.pooling_factor,
+            batch: b,
+            weighted: false,
+            pooled: true,
+        };
+        let indices = g.add_tensor(
+            "sparse_indices",
+            Shape::matrix(b, self.num_tables * self.pooling_factor),
+            DType::Fp32,
+            TensorKind::Input,
+        );
+        let tables = g.add_tensor(
+            "embedding_tables",
+            Shape::matrix(self.num_tables * self.rows_per_table, self.embedding_dim),
+            dt,
+            TensorKind::EmbeddingTable,
+        );
+        let pooled = g.add_tensor(
+            "pooled_embeddings",
+            Shape::matrix(b, self.num_tables * self.embedding_dim),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node("tbe", OpKind::Tbe(tbe), [indices, tables], [pooled]);
+
+        let merged_cols = self.dense_features + self.num_tables * self.embedding_dim;
+        let merged = g.add_tensor(
+            "merged_input",
+            Shape::matrix(b, merged_cols),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            "merge_concat",
+            OpKind::Concat { rows: b, cols_total: merged_cols, num_inputs: 2 },
+            [dense_in, pooled],
+            [merged],
+        );
+
+        // Project into the stack width.
+        let mut current =
+            append_mlp(&mut g, "stack_proj", merged, b, merged_cols, &[self.hidden], dt);
+
+        // Stacked DHEN layers.
+        for layer in 0..self.layers {
+            current = self.append_dhen_layer(&mut g, layer, current);
+        }
+
+        // Optional MHA sub-network.
+        if let Some(mha) = self.mha {
+            current = self.append_mha_blocks(&mut g, current, mha);
+        }
+
+        // Top MLP + head.
+        let top_out = append_mlp(&mut g, "top", current, b, self.hidden, &self.top_mlp, dt);
+        let last = self.top_mlp.last().copied().unwrap_or(self.hidden);
+        append_sigmoid_head(&mut g, top_out, b, last, dt);
+
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+
+    /// One DHEN layer: ensemble {FM block, Linear Compression Block} →
+    /// mix → skip add → LayerNorm.
+    fn append_dhen_layer(
+        &self,
+        g: &mut Graph,
+        layer: u64,
+        input: crate::graph::TensorId,
+    ) -> crate::graph::TensorId {
+        let b = self.batch;
+        let dt = self.dtype;
+        let h = self.hidden;
+        let p = format!("dhen{layer}");
+
+        // Factorization Machine block: project to fm_features vectors,
+        // pairwise interactions, project back.
+        let fm_dim = h / self.fm_features.max(1);
+        let fm_in = append_mlp(
+            g,
+            &format!("{p}_fm_proj"),
+            input,
+            b,
+            h,
+            &[self.fm_features * fm_dim],
+            dt,
+        );
+        let pairs = self.fm_features * (self.fm_features - 1) / 2;
+        let fm_inter =
+            g.add_tensor(format!("{p}_fm_inter"), Shape::matrix(b, pairs), dt, TensorKind::Activation);
+        g.add_node(
+            format!("{p}_fm_interaction"),
+            OpKind::Interaction { batch: b, features: self.fm_features, dim: fm_dim },
+            [fm_in],
+            [fm_inter],
+        );
+        let fm_out = append_mlp(g, &format!("{p}_fm_out"), fm_inter, b, pairs, &[h], dt);
+
+        // Linear Compression Block.
+        let lcb_mid =
+            append_mlp(g, &format!("{p}_lcb_down"), input, b, h, &[self.lcb_width], dt);
+        let lcb_out =
+            append_mlp(g, &format!("{p}_lcb_up"), lcb_mid, b, self.lcb_width, &[h], dt);
+
+        // Ensemble: elementwise sum of the two branch outputs.
+        let ensemble = append_add(g, &format!("{p}_ensemble"), fm_out, lcb_out, b, h, dt);
+        // Skip connection from the layer input.
+        let skip = append_add(g, &format!("{p}_skip"), ensemble, input, b, h, dt);
+        // LayerNorm.
+        append_layernorm(g, &format!("{p}_ln"), skip, b, h, dt)
+    }
+
+    /// The MHA sub-network: per block, QKV projection, attention, output
+    /// projection, skip and LayerNorm — the §6 "network of multi-headed
+    /// attention blocks".
+    fn append_mha_blocks(
+        &self,
+        g: &mut Graph,
+        input: crate::graph::TensorId,
+        mha: MhaBlockConfig,
+    ) -> crate::graph::TensorId {
+        let b = self.batch;
+        let dt = self.dtype;
+        let h = self.hidden;
+        let model_dim = mha.heads * mha.head_dim;
+        let mut current = input;
+        for blk in 0..mha.blocks {
+            let p = format!("mha{blk}");
+            // Fold the hidden state into a sequence: reshape (free).
+            // Project the hidden state into Q, K, V sequences of
+            // `seq × model_dim` each.
+            let qkv = append_mlp(
+                g,
+                &format!("{p}_qkv"),
+                current,
+                b,
+                h,
+                &[3 * mha.seq * model_dim],
+                dt,
+            );
+            let attn_out = g.add_tensor(
+                format!("{p}_attn_out"),
+                Shape::matrix(b, mha.seq * model_dim),
+                dt,
+                TensorKind::Activation,
+            );
+            g.add_node(
+                format!("{p}_attn"),
+                OpKind::Attention(AttentionParams {
+                    batch: b,
+                    heads: mha.heads,
+                    seq: mha.seq,
+                    head_dim: mha.head_dim,
+                }),
+                [qkv],
+                [attn_out],
+            );
+            let proj = append_mlp(
+                g,
+                &format!("{p}_proj"),
+                attn_out,
+                b,
+                mha.seq * model_dim,
+                &[h],
+                dt,
+            );
+            let skip = append_add(g, &format!("{p}_skip"), proj, current, b, h, dt);
+            current = append_layernorm(g, &format!("{p}_ln"), skip, b, h, dt);
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dhen_builds_and_validates() {
+        let g = DhenConfig::small(64).build();
+        assert_eq!(g.validate(), Ok(()));
+        // 4 layers × (skip + ensemble + LN) plus stack structure.
+        let ln_count = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::LayerNorm { .. }))
+            .count();
+        assert_eq!(ln_count, 4);
+    }
+
+    #[test]
+    fn deeper_stack_increases_complexity() {
+        let base = DhenConfig::small(64);
+        let mut deep = base.clone();
+        deep.layers = 8;
+        let f_base = base.build().flops_per_sample().as_f64();
+        let f_deep = deep.build().flops_per_sample().as_f64();
+        assert!(f_deep > 1.5 * f_base, "{f_deep} vs {f_base}");
+    }
+
+    #[test]
+    fn mha_blocks_add_attention_nodes() {
+        let mut cfg = DhenConfig::small(32);
+        cfg.mha = Some(MhaBlockConfig { blocks: 3, heads: 4, seq: 16, head_dim: 32 });
+        let g = cfg.build();
+        assert_eq!(g.validate(), Ok(()));
+        let attn = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Attention(_)))
+            .count();
+        assert_eq!(attn, 3);
+    }
+
+    #[test]
+    fn embeddings_dominate_model_bytes() {
+        let g = DhenConfig::small(64).build();
+        let s = g.stats();
+        assert!(s.table_bytes.as_f64() > 10.0 * s.weight_bytes.as_f64());
+    }
+}

@@ -1,0 +1,335 @@
+//! The case-study **merge network** in its raw, pre-optimization form
+//! (§6): the dense network as the GPU-oriented model publisher emits it,
+//! containing exactly the patterns the MTIA compiler passes were built to
+//! rewrite —
+//!
+//! * an **early In-Batch Broadcast** of the user-side inputs,
+//! * a **shared transposed input feeding parallel sibling FC layers**,
+//! * **hundreds of independent LayerNorm layers** across ensemble branches,
+//! * **Slice → Reshape → Concat** chains inside the MHA blocks.
+
+use mtia_core::DType;
+
+use crate::graph::{Graph, TensorId, TensorKind};
+use crate::ops::{EwKind, OpKind};
+use crate::tensor::Shape;
+
+/// Configuration of the raw merge network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeNetworkConfig {
+    /// Batch size (user–ad pairs).
+    pub batch: u64,
+    /// User rows before the in-batch broadcast (ads per user).
+    pub ads_per_user: u64,
+    /// Feature width of the user-side input.
+    pub user_width: u64,
+    /// Feature width of the shared (transposed) ensemble input.
+    pub shared_width: u64,
+    /// Sibling FC layers sharing the transposed input.
+    pub sibling_fcs: u64,
+    /// Output width of each sibling FC.
+    pub sibling_out: u64,
+    /// Independent ensemble branches, each ending in its own LayerNorm
+    /// (the paper batched "hundreds" of these horizontally).
+    pub ensemble_branches: u64,
+    /// Width of each ensemble branch.
+    pub branch_width: u64,
+    /// MHA blocks emitting Slice→Reshape→Concat layout chains.
+    pub mha_blocks: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl MergeNetworkConfig {
+    /// The §6 case-study shape: 512-pair batches, 32 ads per user, hundreds
+    /// of LayerNorm branches.
+    pub fn case_study() -> Self {
+        MergeNetworkConfig {
+            batch: 512,
+            ads_per_user: 32,
+            user_width: 512,
+            shared_width: 512,
+            sibling_fcs: 4,
+            sibling_out: 256,
+            ensemble_branches: 128,
+            branch_width: 64,
+            mha_blocks: 4,
+            dtype: DType::Fp16,
+        }
+    }
+
+    /// Builds the raw graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is not a multiple of `ads_per_user`.
+    pub fn build(&self) -> Graph {
+        assert!(
+            self.batch.is_multiple_of(self.ads_per_user),
+            "batch must be a multiple of ads_per_user"
+        );
+        let b = self.batch;
+        let dt = self.dtype;
+        let mut g = Graph::new("case-study-merge", b);
+
+        // ---- Pattern 1: early in-batch broadcast of user-side features.
+        let user_rows = b / self.ads_per_user;
+        let user_in = g.add_tensor(
+            "user_features",
+            Shape::matrix(user_rows, self.user_width),
+            dt,
+            TensorKind::Input,
+        );
+        let user_wide = g.add_tensor(
+            "user_broadcast",
+            Shape::matrix(b, self.user_width),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            "ibb",
+            OpKind::Broadcast { rows_in: user_rows, rows_out: b, cols: self.user_width },
+            [user_in],
+            [user_wide],
+        );
+        // Row-wise user tower the broadcast could be deferred past.
+        let user_cast = g.add_tensor(
+            "user_cast",
+            Shape::matrix(b, self.user_width),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            "user_cast",
+            OpKind::Cast { elems: b * self.user_width },
+            [user_wide],
+            [user_cast],
+        );
+        let user_tower = self.fc(&mut g, "user_tower", user_cast, b, self.user_width, self.shared_width);
+
+        // ---- Pattern 2: shared transposed input + sibling FCs.
+        let shared_t = g.add_tensor(
+            "shared_transposed",
+            Shape::matrix(self.shared_width, b),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            "shared_transpose",
+            OpKind::Transpose { rows: b, cols: self.shared_width },
+            [user_tower],
+            [shared_t],
+        );
+        let mut sibling_outs = Vec::new();
+        for k in 0..self.sibling_fcs {
+            let w = g.add_tensor(
+                format!("sib{k}_w"),
+                Shape::matrix(self.shared_width, self.sibling_out),
+                dt,
+                TensorKind::Weight,
+            );
+            let o = g.add_tensor(
+                format!("sib{k}_out"),
+                Shape::matrix(b, self.sibling_out),
+                dt,
+                TensorKind::Activation,
+            );
+            g.add_node(
+                format!("sib{k}_fc"),
+                OpKind::Fc { batch: b, in_features: self.shared_width, out_features: self.sibling_out },
+                [shared_t, w],
+                [o],
+            );
+            sibling_outs.push(o);
+        }
+        let sib_cols = self.sibling_fcs * self.sibling_out;
+        let sib_concat = g.add_tensor(
+            "sibling_concat",
+            Shape::matrix(b, sib_cols),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            "sibling_concat",
+            OpKind::Concat { rows: b, cols_total: sib_cols, num_inputs: self.sibling_fcs },
+            sibling_outs,
+            [sib_concat],
+        );
+
+        // ---- Pattern 3: ensemble branches, each with its own LayerNorm.
+        // All branch FCs first, then all LayerNorms (as the publisher emits
+        // them layer-type by layer-type).
+        let mut branch_fc_outs = Vec::new();
+        for k in 0..self.ensemble_branches {
+            branch_fc_outs.push(self.fc(
+                &mut g,
+                &format!("branch{k}"),
+                sib_concat,
+                b,
+                sib_cols,
+                self.branch_width,
+            ));
+        }
+        let mut branch_ln_outs = Vec::new();
+        for (k, &fc_out) in branch_fc_outs.iter().enumerate() {
+            let o = g.add_tensor(
+                format!("branch{k}_ln_out"),
+                Shape::matrix(b, self.branch_width),
+                dt,
+                TensorKind::Activation,
+            );
+            g.add_node(
+                format!("branch{k}_ln"),
+                OpKind::LayerNorm { rows: b, cols: self.branch_width },
+                [fc_out],
+                [o],
+            );
+            branch_ln_outs.push(o);
+        }
+        let ens_cols = self.ensemble_branches * self.branch_width;
+        let ensemble = g.add_tensor(
+            "ensemble_concat",
+            Shape::matrix(b, ens_cols),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            "ensemble_concat",
+            OpKind::Concat { rows: b, cols_total: ens_cols, num_inputs: self.ensemble_branches },
+            branch_ln_outs,
+            [ensemble],
+        );
+
+        // ---- Pattern 4: MHA blocks with Slice → Reshape → Concat chains.
+        let mut current = ensemble;
+        let cols = ens_cols;
+        for k in 0..self.mha_blocks {
+            let half = cols / 2;
+            let sliced = g.add_tensor(
+                format!("mha{k}_slice"),
+                Shape::matrix(b, half),
+                dt,
+                TensorKind::Activation,
+            );
+            g.add_node(
+                format!("mha{k}_slice"),
+                OpKind::Slice { rows: b, cols: half },
+                [current],
+                [sliced],
+            );
+            let reshaped = g.add_tensor(
+                format!("mha{k}_reshape"),
+                Shape::matrix(b * 2, half / 2),
+                dt,
+                TensorKind::Activation,
+            );
+            g.add_node(
+                format!("mha{k}_reshape"),
+                OpKind::Reshape { elems: b * half },
+                [sliced],
+                [reshaped],
+            );
+            let re_concat = g.add_tensor(
+                format!("mha{k}_concat"),
+                Shape::matrix(b, half),
+                dt,
+                TensorKind::Activation,
+            );
+            g.add_node(
+                format!("mha{k}_concat"),
+                OpKind::Concat { rows: b, cols_total: half, num_inputs: 1 },
+                [reshaped],
+                [re_concat],
+            );
+            current = self.fc(&mut g, &format!("mha{k}_proj"), re_concat, b, half, cols);
+        }
+
+        // ---- prediction head.
+        super::append_sigmoid_head(&mut g, current, b, cols, dt);
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+
+    /// Adds one FC + nonlinearity pair (the vertical-fusion fodder).
+    fn fc(
+        &self,
+        g: &mut Graph,
+        name: &str,
+        input: TensorId,
+        batch: u64,
+        in_features: u64,
+        out_features: u64,
+    ) -> TensorId {
+        let dt = self.dtype;
+        let w = g.add_tensor(
+            format!("{name}_w"),
+            Shape::matrix(in_features, out_features),
+            dt,
+            TensorKind::Weight,
+        );
+        let o = g.add_tensor(
+            format!("{name}_fc_out"),
+            Shape::matrix(batch, out_features),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            format!("{name}_fc"),
+            OpKind::Fc { batch, in_features, out_features },
+            [input, w],
+            [o],
+        );
+        let a = g.add_tensor(
+            format!("{name}_act_out"),
+            Shape::matrix(batch, out_features),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            format!("{name}_relu"),
+            OpKind::Elementwise { elems: batch * out_features, kind: EwKind::Nonlinear, arity: 1 },
+            [o],
+            [a],
+        );
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_graph_builds_and_validates() {
+        let g = MergeNetworkConfig::case_study().build();
+        assert_eq!(g.validate(), Ok(()));
+        // Hundreds of LayerNorms (the §6 anchor).
+        let lns = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::LayerNorm { .. }))
+            .count();
+        assert!(lns >= 100, "{lns} LayerNorms");
+    }
+
+    #[test]
+    fn contains_every_target_pattern() {
+        let g = MergeNetworkConfig::case_study().build();
+        let count = |pred: &dyn Fn(&OpKind) -> bool| {
+            g.nodes().iter().filter(|n| pred(&n.op)).count()
+        };
+        assert!(count(&|op| matches!(op, OpKind::Broadcast { .. })) >= 1);
+        assert!(count(&|op| matches!(op, OpKind::Transpose { .. })) >= 1);
+        assert!(count(&|op| matches!(op, OpKind::Slice { .. })) >= 4);
+        assert!(count(&|op| matches!(op, OpKind::Reshape { .. })) >= 4);
+        assert!(count(&|op| matches!(op, OpKind::Fc { .. })) > 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ads_per_user")]
+    fn bad_batch_panics() {
+        let mut cfg = MergeNetworkConfig::case_study();
+        cfg.batch = 100;
+        let _ = cfg.build();
+    }
+}

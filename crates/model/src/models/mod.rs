@@ -1,0 +1,163 @@
+//! Generators for the model families the paper serves on MTIA 2i.
+//!
+//! Each generator builds a [`Graph`] whose operator mix, arithmetic
+//! intensity, and parameter footprint match the corresponding production
+//! family: classic [`dlrm`] ranking models, [`dhen`] stacked-ensemble
+//! late-stage rankers (§2, §6), [`hstu`] generative sequence rankers (§2,
+//! §4.3), and a Llama-style [`llm`] used only for the §3.6/§8 roofline
+//! evaluation. [`zoo`] instantiates the named populations of Table 1 and
+//! Fig. 6.
+
+pub mod dhen;
+pub mod dlrm;
+pub mod hstu;
+pub mod llm;
+pub mod merge;
+pub mod wukong;
+pub mod zoo;
+
+use mtia_core::DType;
+
+use crate::graph::{Graph, TensorId, TensorKind};
+use crate::ops::{EwKind, OpKind};
+use crate::tensor::Shape;
+
+/// Appends a chain of FC + nonlinearity layers to `graph`, returning the
+/// final activation. `input` must be a `batch × dims_in` tensor; each entry
+/// of `layer_dims` is the output width of one layer.
+pub(crate) fn append_mlp(
+    graph: &mut Graph,
+    prefix: &str,
+    input: TensorId,
+    batch: u64,
+    mut in_features: u64,
+    layer_dims: &[u64],
+    dtype: DType,
+) -> TensorId {
+    let mut current = input;
+    for (i, &out_features) in layer_dims.iter().enumerate() {
+        let w = graph.add_tensor(
+            format!("{prefix}_w{i}"),
+            Shape::matrix(in_features, out_features),
+            dtype,
+            TensorKind::Weight,
+        );
+        let fc_out = graph.add_tensor(
+            format!("{prefix}_fc{i}_out"),
+            Shape::matrix(batch, out_features),
+            dtype,
+            TensorKind::Activation,
+        );
+        graph.add_node(
+            format!("{prefix}_fc{i}"),
+            OpKind::Fc { batch, in_features, out_features },
+            [current, w],
+            [fc_out],
+        );
+        let act_out = graph.add_tensor(
+            format!("{prefix}_act{i}_out"),
+            Shape::matrix(batch, out_features),
+            dtype,
+            TensorKind::Activation,
+        );
+        graph.add_node(
+            format!("{prefix}_relu{i}"),
+            OpKind::Elementwise {
+                elems: batch * out_features,
+                kind: EwKind::Nonlinear,
+                arity: 1,
+            },
+            [fc_out],
+            [act_out],
+        );
+        current = act_out;
+        in_features = out_features;
+    }
+    current
+}
+
+/// Appends the prediction head: a width-1 FC followed by a sigmoid,
+/// producing the model's output tensor.
+pub(crate) fn append_sigmoid_head(
+    graph: &mut Graph,
+    input: TensorId,
+    batch: u64,
+    in_features: u64,
+    dtype: DType,
+) -> TensorId {
+    let w = graph.add_tensor(
+        "head_w",
+        Shape::matrix(in_features, 1),
+        dtype,
+        TensorKind::Weight,
+    );
+    let logit = graph.add_tensor(
+        "head_logit",
+        Shape::matrix(batch, 1),
+        dtype,
+        TensorKind::Activation,
+    );
+    graph.add_node(
+        "head_fc",
+        OpKind::Fc { batch, in_features, out_features: 1 },
+        [input, w],
+        [logit],
+    );
+    let out = graph.add_tensor(
+        "prediction",
+        Shape::matrix(batch, 1),
+        dtype,
+        TensorKind::Output,
+    );
+    graph.add_node(
+        "sigmoid",
+        OpKind::Elementwise { elems: batch, kind: EwKind::Nonlinear, arity: 1 },
+        [logit],
+        [out],
+    );
+    out
+}
+
+/// Appends a LayerNorm over a `rows × cols` activation.
+pub(crate) fn append_layernorm(
+    graph: &mut Graph,
+    name: &str,
+    input: TensorId,
+    rows: u64,
+    cols: u64,
+    dtype: DType,
+) -> TensorId {
+    let out = graph.add_tensor(
+        format!("{name}_out"),
+        Shape::matrix(rows, cols),
+        dtype,
+        TensorKind::Activation,
+    );
+    graph.add_node(name, OpKind::LayerNorm { rows, cols }, [input], [out]);
+    out
+}
+
+/// Appends an elementwise binary add (skip connection).
+pub(crate) fn append_add(
+    graph: &mut Graph,
+    name: &str,
+    a: TensorId,
+    b: TensorId,
+    rows: u64,
+    cols: u64,
+    dtype: DType,
+) -> TensorId {
+    let out = graph.add_tensor(
+        format!("{name}_out"),
+        Shape::matrix(rows, cols),
+        dtype,
+        TensorKind::Activation,
+    );
+    graph.add_node(
+        name,
+        OpKind::Elementwise { elems: rows * cols, kind: EwKind::Arithmetic, arity: 2 },
+        [a, b],
+        [out],
+    );
+    out
+}

@@ -1,0 +1,216 @@
+//! Wukong: scaling-law late-stage ranking (§2).
+//!
+//! "Wukong extends DHEN by scaling models across two orders of magnitude.
+//! With effective modeling of high-order interactions, more sparse features
+//! enabled by larger embedding tables improve model quality." A Wukong
+//! layer is an ensemble of a **Factorization Machine Block** (low-rank
+//! pairwise interactions over embedding views) and a **Linear Compression
+//! Block**, stacked with residual connections; quality scales with a single
+//! *scale* knob that widens and deepens the stack together.
+
+use mtia_core::DType;
+
+use crate::graph::{Graph, TensorKind};
+use crate::ops::{OpKind, TbeParams};
+use crate::tensor::Shape;
+
+use super::{append_add, append_layernorm, append_mlp, append_sigmoid_head};
+
+/// Configuration of a Wukong instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WukongConfig {
+    /// Model name.
+    pub name: String,
+    /// Batch size.
+    pub batch: u64,
+    /// The scaling knob: layers, widths, and FM ranks all grow with it.
+    /// Scale 1 ≈ a small late-stage ranker (~2 MF/sample); scale 16 is a
+    /// ~2 GF/sample giant, three orders of magnitude up.
+    pub scale: u64,
+    /// Number of embedding tables.
+    pub num_tables: u64,
+    /// Rows per table.
+    pub rows_per_table: u64,
+    /// Embedding dimension.
+    pub embedding_dim: u64,
+    /// Lookups per sample per table.
+    pub pooling_factor: u64,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl WukongConfig {
+    /// A small reference configuration at the given scale.
+    pub fn at_scale(scale: u64, batch: u64) -> Self {
+        WukongConfig {
+            name: format!("wukong-x{scale}"),
+            batch,
+            scale,
+            num_tables: 32 + 16 * scale, // larger tables at larger scales
+            rows_per_table: 2_000_000,
+            embedding_dim: 96,
+            pooling_factor: 20,
+            dtype: DType::Fp16,
+        }
+    }
+
+    /// Stacked layers at this scale.
+    pub fn layers(&self) -> u64 {
+        2 + self.scale
+    }
+
+    /// Hidden width at this scale.
+    pub fn hidden(&self) -> u64 {
+        256 * self.scale
+    }
+
+    /// FM low-rank projection width.
+    pub fn fm_rank(&self) -> u64 {
+        (8 * self.scale).max(8)
+    }
+
+    /// Builds the compute graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn build(&self) -> Graph {
+        assert!(self.scale > 0, "scale must be positive");
+        let b = self.batch;
+        let dt = self.dtype;
+        let h = self.hidden();
+        let mut g = Graph::new(self.name.clone(), b);
+
+        // Sparse front end.
+        let tbe = TbeParams {
+            num_tables: self.num_tables,
+            rows_per_table: self.rows_per_table,
+            embedding_dim: self.embedding_dim,
+            pooling_factor: self.pooling_factor,
+            batch: b,
+            weighted: false,
+            pooled: true,
+        };
+        let indices = g.add_tensor(
+            "sparse_indices",
+            Shape::matrix(b, self.num_tables * self.pooling_factor),
+            DType::Fp32,
+            TensorKind::Input,
+        );
+        let tables = g.add_tensor(
+            "embedding_tables",
+            Shape::matrix(self.num_tables * self.rows_per_table, self.embedding_dim),
+            dt,
+            TensorKind::EmbeddingTable,
+        );
+        let pooled_cols = self.num_tables * self.embedding_dim;
+        let pooled = g.add_tensor(
+            "pooled_embeddings",
+            Shape::matrix(b, pooled_cols),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node("tbe", OpKind::Tbe(tbe), [indices, tables], [pooled]);
+
+        let mut current = append_mlp(&mut g, "proj", pooled, b, pooled_cols, &[h], dt);
+
+        // Wukong layers: FMB (low-rank interactions) ⊕ LCB, residual, LN.
+        let fm_features = self.fm_rank();
+        let fm_dim = (h / fm_features).max(1);
+        for layer in 0..self.layers() {
+            let p = format!("wk{layer}");
+            // FMB: project to rank views, interact, project back.
+            let fm_proj = append_mlp(
+                &mut g,
+                &format!("{p}_fmb_proj"),
+                current,
+                b,
+                h,
+                &[fm_features * fm_dim],
+                dt,
+            );
+            let pairs = fm_features * (fm_features - 1) / 2;
+            let inter = g.add_tensor(
+                format!("{p}_fmb_inter"),
+                Shape::matrix(b, pairs),
+                dt,
+                TensorKind::Activation,
+            );
+            g.add_node(
+                format!("{p}_fmb_interaction"),
+                OpKind::Interaction { batch: b, features: fm_features, dim: fm_dim },
+                [fm_proj],
+                [inter],
+            );
+            let fmb = append_mlp(&mut g, &format!("{p}_fmb_out"), inter, b, pairs, &[h], dt);
+
+            // LCB: a plain linear compression of the layer input.
+            let lcb = append_mlp(&mut g, &format!("{p}_lcb"), current, b, h, &[h], dt);
+
+            let ensemble = append_add(&mut g, &format!("{p}_ens"), fmb, lcb, b, h, dt);
+            let residual = append_add(&mut g, &format!("{p}_res"), ensemble, current, b, h, dt);
+            current = append_layernorm(&mut g, &format!("{p}_ln"), residual, b, h, dt);
+        }
+
+        append_sigmoid_head(&mut g, current, b, h, dt);
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+
+    /// FLOPs per sample at this configuration.
+    pub fn mflops_per_sample(&self) -> f64 {
+        self.build().flops_per_sample().as_mflops()
+    }
+}
+
+/// The §2 scaling sweep: Wukong instances across two orders of magnitude
+/// of per-sample complexity.
+pub fn scaling_sweep(batch: u64) -> Vec<WukongConfig> {
+    [1u64, 2, 4, 8, 16].into_iter().map(|s| WukongConfig::at_scale(s, batch)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates_across_scales() {
+        for cfg in scaling_sweep(64) {
+            let g = cfg.build();
+            assert_eq!(g.validate(), Ok(()), "{}", cfg.name);
+            assert_eq!(g.stats().sparse_nodes, 1);
+        }
+    }
+
+    #[test]
+    fn complexity_spans_two_orders_of_magnitude() {
+        // §2: "Wukong extends DHEN by scaling models across two orders of
+        // magnitude."
+        let sweep = scaling_sweep(64);
+        let lo = sweep.first().unwrap().mflops_per_sample();
+        let hi = sweep.last().unwrap().mflops_per_sample();
+        assert!(hi / lo >= 100.0, "scaling span {:.1}x", hi / lo);
+    }
+
+    #[test]
+    fn scale_grows_depth_width_and_tables() {
+        let small = WukongConfig::at_scale(1, 32);
+        let large = WukongConfig::at_scale(8, 32);
+        assert!(large.layers() > small.layers());
+        assert!(large.hidden() > small.hidden());
+        assert!(large.num_tables > small.num_tables);
+    }
+
+    #[test]
+    fn flops_are_batch_invariant_per_sample() {
+        let a = WukongConfig::at_scale(2, 64).mflops_per_sample();
+        let b = WukongConfig::at_scale(2, 256).mflops_per_sample();
+        assert!((a - b).abs() / a < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = WukongConfig::at_scale(0, 8).build();
+    }
+}

@@ -1,0 +1,153 @@
+//! LayerNorm and SoftMax as the multi-step pipelines §4.3 describes.
+//!
+//! "LayerNorm requires three distinct steps to process the data: row-wise
+//! mean, row-wise variance, and element-wise result. ... SoftMax was even
+//! more challenging because it involves five distinct steps." The numeric
+//! kernels here follow exactly those step decompositions (the same ones
+//! the scalar/vector/SIMD pipeline executes), so the step structure the
+//! cost models charge for is the real one.
+
+use crate::tensor::DenseTensor;
+
+/// Row-wise LayerNorm in the three §4.3 steps: mean, variance, normalize.
+///
+/// # Panics
+///
+/// Panics if `eps` is not positive.
+pub fn layernorm(t: &DenseTensor, eps: f32) -> DenseTensor {
+    assert!(eps > 0.0, "epsilon must be positive");
+    let mut out = DenseTensor::zeros(t.rows(), t.cols());
+    let n = t.cols() as f32;
+    for r in 0..t.rows() {
+        let row = t.row(r);
+        // Step 1: row-wise mean.
+        let mean: f32 = row.iter().sum::<f32>() / n;
+        // Step 2: row-wise variance.
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        // Step 3: element-wise result.
+        let inv = (var + eps).sqrt().recip();
+        for (o, &v) in out.row_mut(r).iter_mut().zip(row) {
+            *o = (v - mean) * inv;
+        }
+    }
+    out
+}
+
+/// Row-wise SoftMax in the five §4.3 steps: row max, subtract, exp, row
+/// sum, divide.
+pub fn softmax(t: &DenseTensor) -> DenseTensor {
+    let mut out = DenseTensor::zeros(t.rows(), t.cols());
+    for r in 0..t.rows() {
+        let row = t.row(r);
+        // Step 1: row-wise max (numerical stability).
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let dst = out.row_mut(r);
+        // Steps 2+3: subtract and exponentiate.
+        for (o, &v) in dst.iter_mut().zip(row) {
+            *o = (v - max).exp();
+        }
+        // Step 4: row-wise sum.
+        let sum: f32 = dst.iter().sum();
+        // Step 5: divide.
+        for o in dst.iter_mut() {
+            *o /= sum;
+        }
+    }
+    out
+}
+
+/// Number of pipeline steps each kernel takes — the constants the §4.3
+/// cost model charges for.
+pub mod steps {
+    /// LayerNorm: mean, variance, normalize.
+    pub const LAYERNORM: u64 = 3;
+    /// SoftMax: max, subtract, exp, sum, divide.
+    pub const SOFTMAX: u64 = 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layernorm_rows_have_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = DenseTensor::gaussian(16, 256, 3.0, &mut rng);
+        let n = layernorm(&t, 1e-6);
+        for r in 0..n.rows() {
+            let row = n.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            let var: f32 =
+                row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_is_shift_and_scale_invariant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = DenseTensor::gaussian(4, 64, 1.0, &mut rng);
+        let mut shifted = t.clone();
+        for v in shifted.data_mut() {
+            *v = *v * 5.0 + 3.0;
+        }
+        let a = layernorm(&t, 1e-6);
+        let b = layernorm(&shifted, 1e-6);
+        let snr = b.snr_db_vs(&a);
+        assert!(snr > 55.0, "invariance snr {snr}");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = DenseTensor::gaussian(8, 128, 2.0, &mut rng);
+        let s = softmax(&t);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sum {sum}");
+            assert!(s.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = DenseTensor::from_data(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut shifted = t.clone();
+        for v in shifted.data_mut() {
+            *v += 1000.0;
+        }
+        let a = softmax(&t);
+        let b = softmax(&shifted);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        // Without the row-max step this would overflow to NaN.
+        let t = DenseTensor::from_data(1, 3, vec![500.0, 400.0, 300.0]);
+        let s = softmax(&t);
+        assert!(!s.has_non_finite());
+        assert!(s.get(0, 0) > 0.999);
+    }
+
+    #[test]
+    fn softmax_preserves_order() {
+        let t = DenseTensor::from_data(1, 4, vec![0.1, 2.0, -1.0, 0.5]);
+        let s = softmax(&t);
+        assert!(s.get(0, 1) > s.get(0, 3));
+        assert!(s.get(0, 3) > s.get(0, 0));
+        assert!(s.get(0, 0) > s.get(0, 2));
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn step_counts_match_kernel_model() {
+        assert_eq!(steps::LAYERNORM, 3);
+        assert_eq!(steps::SOFTMAX, 5);
+    }
+}

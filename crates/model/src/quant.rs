@@ -1,0 +1,309 @@
+//! Dynamic INT8 quantization (§3.3, §4.4).
+//!
+//! MTIA 2i computes activation quantization parameters on the fly: the
+//! Reduction Engine emits per-row min/max after the matmul and the SIMD
+//! engine applies row-wise scaling. This module implements the numeric side
+//! of that pipeline — per-tensor, per-row, and per-row-group symmetric
+//! quantization, plus an INT8 matmul — so the §4.4 model-quality
+//! comparisons can be run for real.
+
+use crate::tensor::DenseTensor;
+
+/// Quantization granularity for the activation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One scale for the whole tensor.
+    PerTensor,
+    /// One scale per batch row ("row-wise quantization with M as the batch
+    /// dimension", §4.4).
+    PerRow,
+    /// One scale per group of `n` consecutive rows ("per-N batch-item").
+    PerRowGroup(usize),
+}
+
+/// A symmetric INT8-quantized matrix with its scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    /// One scale per row group (length depends on granularity).
+    scales: Vec<f32>,
+    group: usize,
+}
+
+impl QuantizedTensor {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The per-group scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Scale applying to row `r`.
+    pub fn scale_of_row(&self, r: usize) -> f32 {
+        self.scales[r / self.group]
+    }
+
+    /// Quantized row `r`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn dequantize(&self) -> DenseTensor {
+        let mut out = DenseTensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let s = self.scale_of_row(r);
+            let dst = out.row_mut(r);
+            for (d, &q) in dst.iter_mut().zip(self.row(r)) {
+                *d = q as f32 * s;
+            }
+        }
+        out
+    }
+}
+
+/// Quantizes symmetrically to INT8 at the given granularity, exactly as the
+/// RE (min/max) + SIMD (scale) pipeline would.
+pub fn quantize(t: &DenseTensor, granularity: Granularity) -> QuantizedTensor {
+    let rows = t.rows();
+    let cols = t.cols();
+    let group = match granularity {
+        Granularity::PerTensor => rows,
+        Granularity::PerRow => 1,
+        Granularity::PerRowGroup(n) => n.max(1),
+    };
+    let n_groups = rows.div_ceil(group);
+    let mut scales = Vec::with_capacity(n_groups);
+    for gi in 0..n_groups {
+        let lo = gi * group;
+        let hi = ((gi + 1) * group).min(rows);
+        let mut max_abs = 0.0f32;
+        for r in lo..hi {
+            for &v in t.row(r) {
+                max_abs = max_abs.max(v.abs());
+            }
+        }
+        scales.push(if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 });
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        let s = scales[r / group];
+        for &v in t.row(r) {
+            data.push((v / s).round().clamp(-127.0, 127.0) as i8);
+        }
+    }
+    QuantizedTensor { rows, cols, data, scales, group }
+}
+
+/// INT8 matmul with row-wise activation scales and static per-column (here:
+/// per-tensor) weight scales: `y = (Xq · Wq) * sx[row] * sw` — the §4.4
+/// FC configuration (dynamic activations × static weights).
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree.
+pub fn quantized_matmul(x: &QuantizedTensor, w: &QuantizedTensor) -> DenseTensor {
+    assert_eq!(x.cols, w.rows, "quantized matmul shape mismatch");
+    let mut out = DenseTensor::zeros(x.rows, w.cols);
+    for i in 0..x.rows {
+        let sx = x.scale_of_row(i);
+        let xi = x.row(i);
+        for j in 0..w.cols {
+            let mut acc: i32 = 0;
+            for (k, &xv) in xi.iter().enumerate() {
+                acc += xv as i32 * w.data[k * w.cols + j] as i32;
+            }
+            // Weight scale: per-tensor (group covers all rows) in this
+            // configuration; per-row weight scales would index by k and
+            // belong inside the loop.
+            let sw = w.scales[0];
+            out.set(i, j, acc as f32 * sx * sw);
+        }
+    }
+    out
+}
+
+/// End-to-end quality comparison for one FC layer: FP32 reference vs FP16
+/// and vs dynamic-INT8 at each granularity. Returns SNRs in dB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FcQualityReport {
+    /// FP16 activations and weights.
+    pub fp16_snr_db: f64,
+    /// INT8 per-tensor activations, per-tensor static weights.
+    pub int8_per_tensor_snr_db: f64,
+    /// INT8 per-row activations, per-tensor static weights.
+    pub int8_per_row_snr_db: f64,
+}
+
+/// Runs the §4.4 quality experiment on one activation/weight pair.
+pub fn fc_quality(x: &DenseTensor, w: &DenseTensor) -> FcQualityReport {
+    let reference = x.matmul(w);
+
+    let fp16 = crate::tensor::round_to_fp16(x).matmul(&crate::tensor::round_to_fp16(w));
+    let wq = quantize(w, Granularity::PerTensor); // static weights
+
+    let per_tensor = quantized_matmul(&quantize(x, Granularity::PerTensor), &wq);
+    let per_row = quantized_matmul(&quantize(x, Granularity::PerRow), &wq);
+
+    FcQualityReport {
+        fp16_snr_db: fp16.snr_db_vs(&reference),
+        int8_per_tensor_snr_db: per_tensor.snr_db_vs(&reference),
+        int8_per_row_snr_db: per_row.snr_db_vs(&reference),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_activations(rng: &mut StdRng) -> DenseTensor {
+        DenseTensor::gaussian(64, 128, 1.0, rng)
+    }
+
+    /// Activations where some rows have much larger magnitude than others —
+    /// the realistic serving case that breaks per-tensor quantization.
+    fn skewed_activations(rng: &mut StdRng) -> DenseTensor {
+        let mut t = DenseTensor::gaussian(64, 128, 1.0, rng);
+        for r in 0..8 {
+            for v in t.row_mut(r * 8) {
+                *v *= 50.0;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn quantize_roundtrip_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform_activations(&mut rng);
+        let q = quantize(&t, Granularity::PerRow);
+        let snr = q.dequantize().snr_db_vs(&t);
+        assert!(snr > 35.0, "per-row int8 roundtrip snr {snr}");
+    }
+
+    #[test]
+    fn scales_are_positive_and_cover_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = skewed_activations(&mut rng);
+        let q = quantize(&t, Granularity::PerRow);
+        assert_eq!(q.scales().len(), 64);
+        assert!(q.scales().iter().all(|&s| s > 0.0));
+        // Every quantized value is within i8 range by construction; the
+        // max row must actually use the top of the range.
+        let max_q = q.data.iter().map(|&v| (v as i32).abs()).max().unwrap();
+        assert_eq!(max_q, 127);
+    }
+
+    #[test]
+    fn per_row_group_interpolates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = skewed_activations(&mut rng);
+        let per_row = quantize(&t, Granularity::PerRow).dequantize().snr_db_vs(&t);
+        let per_group = quantize(&t, Granularity::PerRowGroup(8)).dequantize().snr_db_vs(&t);
+        let per_tensor = quantize(&t, Granularity::PerTensor).dequantize().snr_db_vs(&t);
+        assert!(per_row >= per_group && per_group >= per_tensor,
+            "granularity ordering: row {per_row}, group {per_group}, tensor {per_tensor}");
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_safely() {
+        let t = DenseTensor::zeros(4, 4);
+        let q = quantize(&t, Granularity::PerTensor);
+        assert!(q.dequantize().data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn quantized_matmul_matches_reference_for_small_values() {
+        // Exact when inputs are small integers within range.
+        let x = DenseTensor::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let w = DenseTensor::from_data(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let y = quantized_matmul(
+            &quantize(&x, Granularity::PerRow),
+            &quantize(&w, Granularity::PerTensor),
+        );
+        let reference = x.matmul(&w);
+        let snr = y.snr_db_vs(&reference);
+        assert!(snr > 40.0, "snr {snr}");
+    }
+
+    #[test]
+    fn paper_finding_row_wise_matches_fp16_quality() {
+        // §4.4: "row-wise quantization of activations, combined with static
+        // INT8 quantization of weights, achieves model quality comparable
+        // to FP16" — and per-tensor does not, once activations are skewed.
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = skewed_activations(&mut rng);
+        let w = DenseTensor::gaussian(128, 64, 0.05, &mut rng);
+        let report = fc_quality(&x, &w);
+        // "Comparable quality" is a model-metric statement: row-wise INT8
+        // keeps enough output fidelity (> 30 dB SNR) to be quality-neutral
+        // on CTR predictions, even though its raw SNR sits below FP16's.
+        assert!(
+            report.int8_per_row_snr_db > 30.0,
+            "per-row int8 snr too low: {:.1} dB",
+            report.int8_per_row_snr_db
+        );
+        assert!(report.fp16_snr_db > report.int8_per_row_snr_db);
+        assert!(
+            report.int8_per_row_snr_db > report.int8_per_tensor_snr_db + 3.0,
+            "per-row ({:.1} dB) should beat per-tensor ({:.1} dB) in aggregate",
+            report.int8_per_row_snr_db,
+            report.int8_per_tensor_snr_db
+        );
+
+        // The aggregate SNR hides the real damage: per-tensor scaling
+        // destroys the *small-magnitude rows* (their samples get almost no
+        // quantization levels), which is exactly the per-user quality loss
+        // production cares about. Compare worst-row SNR.
+        let reference = x.matmul(&w);
+        let wq = quantize(&w, Granularity::PerTensor);
+        let per_tensor_out = quantized_matmul(&quantize(&x, Granularity::PerTensor), &wq);
+        let per_row_out = quantized_matmul(&quantize(&x, Granularity::PerRow), &wq);
+        let worst_row_snr = |out: &DenseTensor| -> f64 {
+            (0..out.rows())
+                .map(|r| {
+                    let reference_row = DenseTensor::from_data(
+                        1,
+                        reference.cols(),
+                        reference.row(r).to_vec(),
+                    );
+                    let out_row =
+                        DenseTensor::from_data(1, out.cols(), out.row(r).to_vec());
+                    out_row.snr_db_vs(&reference_row)
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let wt = worst_row_snr(&per_tensor_out);
+        let wr = worst_row_snr(&per_row_out);
+        assert!(
+            wr > wt + 15.0,
+            "worst-row SNR: per-row {wr:.1} dB must dominate per-tensor {wt:.1} dB"
+        );
+    }
+
+    #[test]
+    fn random_group_sizes_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let rows = rng.gen_range(1..50);
+            let cols = rng.gen_range(1..20);
+            let group = rng.gen_range(1..10);
+            let t = DenseTensor::gaussian(rows, cols, 1.0, &mut rng);
+            let q = quantize(&t, Granularity::PerRowGroup(group));
+            assert_eq!(q.scales().len(), rows.div_ceil(group));
+            let _ = q.dequantize();
+        }
+    }
+}

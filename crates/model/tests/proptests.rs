@@ -1,0 +1,155 @@
+//! Property-based invariants of the model-side substrates.
+
+use mtia_core::DType;
+use mtia_model::graph::{Graph, TensorKind};
+use mtia_model::jagged::JaggedTensor;
+use mtia_model::ops::OpKind;
+use mtia_model::tensor::{f32_to_f16_to_f32, DenseTensor, Shape};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FP16 rounding is idempotent and monotone on finite inputs.
+    #[test]
+    fn fp16_rounding_idempotent(bits in any::<u32>()) {
+        let v = f32::from_bits(bits);
+        prop_assume!(v.is_finite());
+        let once = f32_to_f16_to_f32(v);
+        let twice = f32_to_f16_to_f32(once);
+        if once.is_finite() {
+            prop_assert_eq!(once.to_bits(), twice.to_bits());
+        } else {
+            prop_assert!(twice.is_infinite() || twice.is_nan());
+        }
+    }
+
+    /// FP16 rounding error is within half an ulp for normal halves.
+    #[test]
+    fn fp16_relative_error_bounded(v in -60_000.0f32..60_000.0) {
+        prop_assume!(v.abs() > 1e-4); // stay in the normal range
+        let r = f32_to_f16_to_f32(v);
+        let rel = ((r - v) / v).abs();
+        prop_assert!(rel <= 2.0_f32.powi(-11), "rel err {rel} for {v}");
+    }
+
+    /// Jagged → dense → jagged round-trips for arbitrary layouts.
+    #[test]
+    fn jagged_dense_roundtrip(
+        lengths in proptest::collection::vec(0usize..16, 1..16),
+        dim in 1usize..8,
+    ) {
+        let mut jagged = JaggedTensor::zeros(&lengths, dim);
+        let mut counter = 0.0f32;
+        for i in 0..jagged.batch() {
+            for v in jagged.row_mut(i) {
+                counter += 1.0;
+                *v = counter;
+            }
+        }
+        let dense = jagged.to_dense();
+        let back = JaggedTensor::from_dense(&dense, &lengths, dim);
+        prop_assert_eq!(back, jagged);
+    }
+
+    /// Sum-pooling a jagged tensor conserves mass.
+    #[test]
+    fn jagged_pool_conserves_sum(
+        lengths in proptest::collection::vec(0usize..12, 1..12),
+        dim in 1usize..6,
+    ) {
+        let mut jagged = JaggedTensor::zeros(&lengths, dim);
+        let mut counter = 0.0f32;
+        for i in 0..jagged.batch() {
+            for v in jagged.row_mut(i) {
+                counter += 0.5;
+                *v = counter;
+            }
+        }
+        let total: f64 = jagged.values().iter().map(|&v| v as f64).sum();
+        let pooled = jagged.sum_pool();
+        let pooled_total: f64 = pooled.data().iter().map(|&v| v as f64).sum();
+        prop_assert!((total - pooled_total).abs() < 1e-3 * total.abs().max(1.0));
+    }
+
+    /// Graph liveness peak is at least the largest single live pair
+    /// (input + output of any node), and total flops are order-invariant.
+    #[test]
+    fn liveness_lower_bound(widths in proptest::collection::vec(1u64..512, 2..12)) {
+        let mut g = Graph::new("chain", 8);
+        let mut prev = g.add_tensor(
+            "in",
+            Shape::matrix(8, widths[0]),
+            DType::Fp32,
+            TensorKind::Input,
+        );
+        let mut prev_width = widths[0];
+        let mut max_pair = 0u64;
+        for (i, &w) in widths.iter().enumerate().skip(1) {
+            let next = g.add_tensor(
+                format!("t{i}"),
+                Shape::matrix(8, w),
+                DType::Fp32,
+                TensorKind::Activation,
+            );
+            let weight = g.add_tensor(
+                format!("w{i}"),
+                Shape::matrix(prev_width, w),
+                DType::Fp32,
+                TensorKind::Weight,
+            );
+            g.add_node(
+                format!("fc{i}"),
+                OpKind::Fc { batch: 8, in_features: prev_width, out_features: w },
+                [prev, weight],
+                [next],
+            );
+            max_pair = max_pair.max(8 * 4 * (prev_width + w));
+            prev = next;
+            prev_width = w;
+        }
+        prop_assert_eq!(g.validate(), Ok(()));
+        let peak = g.peak_activation_bytes().as_u64();
+        prop_assert!(peak >= max_pair, "peak {peak} < max pair {max_pair}");
+    }
+
+    /// 2:4 pruning is idempotent and never increases weight energy.
+    #[test]
+    fn sparsity_pruning_idempotent(
+        values in proptest::collection::vec(-10.0f32..10.0, 4..128),
+    ) {
+        let cols = values.len();
+        let t = DenseTensor::from_data(1, cols, values);
+        let once = mtia_model::sparsity::prune_2_4(&t);
+        let twice = mtia_model::sparsity::prune_2_4(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(mtia_model::sparsity::satisfies_2_4(&once));
+        let energy = mtia_model::sparsity::energy_retained(&t, &once);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&energy));
+    }
+
+    /// Every op's reported byte volumes are consistent: fused boundary
+    /// traffic equals its members' endpoints.
+    #[test]
+    fn fused_boundary_traffic(batch in 1u64..64, inf in 1u64..64, outf in 1u64..64) {
+        let fc = OpKind::Fc { batch, in_features: inf, out_features: outf };
+        let ew = OpKind::Elementwise {
+            elems: batch * outf,
+            kind: mtia_model::ops::EwKind::Nonlinear,
+            arity: 1,
+        };
+        let fused = OpKind::Fused(vec![fc.clone(), ew.clone()]);
+        prop_assert_eq!(
+            fused.activation_in_bytes(DType::Fp16),
+            fc.activation_in_bytes(DType::Fp16)
+        );
+        prop_assert_eq!(
+            fused.activation_out_bytes(DType::Fp16),
+            ew.activation_out_bytes(DType::Fp16)
+        );
+        prop_assert_eq!(
+            fused.flops().as_f64(),
+            fc.flops().as_f64() + ew.flops().as_f64()
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! NUMA-aware accelerator allocation (§3.4).
+//!
+//! "Our container management system allocates accelerators to ML models at
+//! the granularity of one or more accelerators, along with the
+//! corresponding cores, DRAM, and NIC bandwidth. The scheduling is
+//! NUMA-aware, ensuring that sharded models are placed on one or more
+//! modules within the same PCIe switch."
+
+use std::fmt;
+
+use mtia_core::spec::ServerSpec;
+
+/// One accelerator slot in a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    /// PCIe-switch (NUMA) domain the slot hangs off.
+    switch: u32,
+    /// Owning allocation, if any.
+    owner: Option<u32>,
+}
+
+/// A placement decision for one model replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Allocation id.
+    pub id: u32,
+    /// The PCIe switch everything landed on.
+    pub switch: u32,
+    /// Slot indices assigned.
+    pub slots: Vec<usize>,
+}
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationError {
+    /// More accelerators requested than one PCIe switch holds — sharded
+    /// models must not span switches (§3.4).
+    ExceedsSwitchCapacity {
+        /// Requested accelerators.
+        requested: u32,
+        /// Accelerators per switch.
+        per_switch: u32,
+    },
+    /// No switch currently has enough contiguous free slots.
+    Fragmented,
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::ExceedsSwitchCapacity { requested, per_switch } => write!(
+                f,
+                "requested {requested} accelerators but a PCIe switch holds {per_switch}"
+            ),
+            AllocationError::Fragmented => {
+                write!(f, "no PCIe switch has enough free accelerators")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// The per-server allocator.
+#[derive(Debug, Clone)]
+pub struct ServerAllocator {
+    slots: Vec<Slot>,
+    per_switch: u32,
+    next_id: u32,
+}
+
+impl ServerAllocator {
+    /// Creates an allocator for `server` (24 slots across 2 switches for
+    /// the production MTIA server).
+    pub fn new(server: &ServerSpec) -> Self {
+        let per_switch = server.accels_per_pcie_switch;
+        let switches = server.accelerators.div_ceil(per_switch);
+        let mut slots = Vec::with_capacity(server.accelerators as usize);
+        for s in 0..switches {
+            for _ in 0..per_switch.min(server.accelerators - s * per_switch) {
+                slots.push(Slot { switch: s, owner: None });
+            }
+        }
+        ServerAllocator { slots, per_switch, next_id: 0 }
+    }
+
+    /// Total accelerator slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Free slots.
+    pub fn free(&self) -> usize {
+        self.slots.iter().filter(|s| s.owner.is_none()).count()
+    }
+
+    /// Mean occupancy.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free() as f64 / self.capacity() as f64
+    }
+
+    /// Allocates `accelerators` slots on a single PCIe switch (best-fit:
+    /// the switch with the least free headroom that still fits, to limit
+    /// fragmentation).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocationError::ExceedsSwitchCapacity`] when the request can
+    /// never fit one switch; [`AllocationError::Fragmented`] when no switch
+    /// currently has room.
+    pub fn allocate(&mut self, accelerators: u32) -> Result<Placement, AllocationError> {
+        if accelerators > self.per_switch {
+            return Err(AllocationError::ExceedsSwitchCapacity {
+                requested: accelerators,
+                per_switch: self.per_switch,
+            });
+        }
+        // Free counts per switch.
+        let switches: Vec<u32> =
+            self.slots.iter().map(|s| s.switch).collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+        let mut best: Option<(u32, usize)> = None; // (switch, free)
+        for &sw in &switches {
+            let free = self
+                .slots
+                .iter()
+                .filter(|s| s.switch == sw && s.owner.is_none())
+                .count();
+            if free >= accelerators as usize
+                && best.map(|(_, bf)| free < bf).unwrap_or(true)
+            {
+                best = Some((sw, free));
+            }
+        }
+        let Some((switch, _)) = best else { return Err(AllocationError::Fragmented) };
+
+        self.next_id += 1;
+        let id = self.next_id;
+        let mut taken = Vec::with_capacity(accelerators as usize);
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if taken.len() == accelerators as usize {
+                break;
+            }
+            if slot.switch == switch && slot.owner.is_none() {
+                slot.owner = Some(id);
+                taken.push(i);
+            }
+        }
+        Ok(Placement { id, switch, slots: taken })
+    }
+
+    /// Releases an allocation. Unknown ids are ignored (idempotent).
+    pub fn release(&mut self, id: u32) {
+        for slot in &mut self.slots {
+            if slot.owner == Some(id) {
+                slot.owner = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::spec::chips;
+
+    fn allocator() -> ServerAllocator {
+        ServerAllocator::new(&chips::mtia_server())
+    }
+
+    #[test]
+    fn production_server_topology() {
+        let a = allocator();
+        assert_eq!(a.capacity(), 24);
+        assert_eq!(a.free(), 24);
+        assert_eq!(a.utilization(), 0.0);
+    }
+
+    #[test]
+    fn sharded_model_lands_on_one_switch() {
+        let mut a = allocator();
+        let p = a.allocate(4).unwrap();
+        assert_eq!(p.slots.len(), 4);
+        // All slots on the same switch — the §3.4 invariant.
+        let sw = p.switch;
+        for &i in &p.slots {
+            assert_eq!(a.slots[i].switch, sw);
+        }
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let mut a = allocator();
+        let err = a.allocate(13).unwrap_err();
+        assert!(matches!(err, AllocationError::ExceedsSwitchCapacity { per_switch: 12, .. }));
+    }
+
+    #[test]
+    fn best_fit_limits_fragmentation() {
+        let mut a = allocator();
+        // Take 8 on switch 0 → switch 0 has 4 free, switch 1 has 12.
+        let first = a.allocate(8).unwrap();
+        // A 4-wide request best-fits into switch 0's remaining 4 slots,
+        // keeping switch 1 whole for a future 12-wide model.
+        let second = a.allocate(4).unwrap();
+        assert_eq!(second.switch, first.switch);
+        let big = a.allocate(12).unwrap();
+        assert_ne!(big.switch, first.switch);
+        assert_eq!(a.free(), 0);
+    }
+
+    #[test]
+    fn fragmentation_detected_and_release_recovers() {
+        let mut a = allocator();
+        let p1 = a.allocate(7).unwrap();
+        let _p2 = a.allocate(7).unwrap();
+        // 5 free per switch: a 6-wide request cannot be placed.
+        assert_eq!(a.allocate(6).unwrap_err(), AllocationError::Fragmented);
+        a.release(p1.id);
+        assert!(a.allocate(6).is_ok());
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let mut a = allocator();
+        let p = a.allocate(3).unwrap();
+        a.release(p.id);
+        a.release(p.id);
+        assert_eq!(a.free(), 24);
+    }
+}

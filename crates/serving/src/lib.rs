@@ -1,0 +1,46 @@
+//! The serving-stack simulation: request arrivals, coalescing, remote/merge
+//! job scheduling on shared accelerators (Fig. 5), host-resource limits in
+//! the 24-accelerator server (§3.4), latency-percentile tracking against
+//! P99 SLOs, and the §5.6 live A/B testing harness.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use mtia_serving::scheduler::{simulate_remote_merge, RemoteMergeConfig};
+//! use mtia_serving::traffic::PoissonArrivals;
+//! use mtia_core::SimTime;
+//! use rand::SeedableRng;
+//!
+//! let config = RemoteMergeConfig {
+//!     devices: 2,
+//!     remote_jobs_per_request: 4,
+//!     remote_total_time: SimTime::from_millis(8),
+//!     merge_time: SimTime::from_millis(10),
+//!     dispatch_overhead: SimTime::from_millis(1),
+//! };
+//! let mut arrivals =
+//!     PoissonArrivals::new(40.0, rand::rngs::StdRng::seed_from_u64(1));
+//! let stats = simulate_remote_merge(
+//!     config, &mut arrivals, SimTime::from_secs(20), SimTime::from_secs(2));
+//! assert!(stats.request_latency.p99() > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ab;
+pub mod allocation;
+pub mod cluster;
+pub mod coalescer;
+pub mod latency;
+pub mod replayer;
+pub mod scheduler;
+pub mod traffic;
+
+pub use ab::{normalized_entropy, run_ab_test, AbReport, PlatformArm};
+pub use allocation::{AllocationError, Placement, ServerAllocator};
+pub use coalescer::{simulate_coalescer, CoalescerConfig, CoalescerStats};
+pub use latency::LatencyHistogram;
+pub use replayer::{overclock_gain_on_trace, replay, ReplayDeployment, ReplayReport};
+pub use scheduler::{max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig, RemoteMergeStats};
+pub use traffic::{ArrivalProcess, DiurnalArrivals, PoissonArrivals, ReplayTrace};

@@ -1,0 +1,242 @@
+//! Request-arrival processes.
+//!
+//! Production traffic is Poisson at short horizons with a strong diurnal
+//! envelope at long horizons; §5.3/§5.4 lean on that variability (peak
+//! buffers, P90 budgeting). Offline replay (§5.2, §6) feeds recorded
+//! arrival times instead.
+
+use mtia_core::SimTime;
+use rand::Rng;
+
+/// A source of request arrival times.
+pub trait ArrivalProcess {
+    /// Returns the next arrival strictly after `now`, or `None` when the
+    /// trace is exhausted.
+    fn next_arrival(&mut self, now: SimTime) -> Option<SimTime>;
+}
+
+/// Poisson arrivals at a constant rate.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals<R: Rng> {
+    rate_per_s: f64,
+    rng: R,
+}
+
+impl<R: Rng> PoissonArrivals<R> {
+    /// Creates a Poisson process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_s` is not positive.
+    pub fn new(rate_per_s: f64, rng: R) -> Self {
+        assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        PoissonArrivals { rate_per_s, rng }
+    }
+}
+
+impl<R: Rng> ArrivalProcess for PoissonArrivals<R> {
+    fn next_arrival(&mut self, now: SimTime) -> Option<SimTime> {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = -u.ln() / self.rate_per_s;
+        Some(now + SimTime::from_secs_f64(gap))
+    }
+}
+
+/// Poisson arrivals whose rate follows a sinusoidal diurnal envelope:
+/// `rate(t) = base × (1 + amplitude · sin(2πt/period))`.
+#[derive(Debug, Clone)]
+pub struct DiurnalArrivals<R: Rng> {
+    base_rate_per_s: f64,
+    amplitude: f64,
+    period: SimTime,
+    rng: R,
+}
+
+impl<R: Rng> DiurnalArrivals<R> {
+    /// Creates a diurnal process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base rate is not positive or `amplitude` is outside
+    /// `[0, 1)`.
+    pub fn new(base_rate_per_s: f64, amplitude: f64, period: SimTime, rng: R) -> Self {
+        assert!(base_rate_per_s > 0.0, "arrival rate must be positive");
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        DiurnalArrivals { base_rate_per_s, amplitude, period, rng }
+    }
+
+    /// Instantaneous rate at `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t.as_secs_f64()
+            / self.period.as_secs_f64();
+        self.base_rate_per_s * (1.0 + self.amplitude * phase.sin())
+    }
+
+    /// Peak instantaneous rate.
+    pub fn peak_rate(&self) -> f64 {
+        self.base_rate_per_s * (1.0 + self.amplitude)
+    }
+}
+
+impl<R: Rng> ArrivalProcess for DiurnalArrivals<R> {
+    fn next_arrival(&mut self, now: SimTime) -> Option<SimTime> {
+        // Thinning: sample at the peak rate, accept with rate(t)/peak.
+        let peak = self.peak_rate();
+        let mut t = now;
+        loop {
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += SimTime::from_secs_f64(-u.ln() / peak);
+            let accept: f64 = self.rng.gen();
+            if accept < self.rate_at(t) / peak {
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Replays a recorded arrival trace (offline replayer tests, §5.2/§6).
+#[derive(Debug, Clone)]
+pub struct ReplayTrace {
+    arrivals: Vec<SimTime>,
+    cursor: usize,
+}
+
+impl ReplayTrace {
+    /// Creates a trace from sorted arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are not non-decreasing.
+    pub fn new(arrivals: Vec<SimTime>) -> Self {
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "replay trace must be sorted"
+        );
+        ReplayTrace { arrivals, cursor: 0 }
+    }
+
+    /// Records a trace from any process, `n` arrivals long.
+    pub fn record(process: &mut impl ArrivalProcess, n: usize) -> Self {
+        let mut arrivals = Vec::with_capacity(n);
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            match process.next_arrival(now) {
+                Some(t) => {
+                    arrivals.push(t);
+                    now = t;
+                }
+                None => break,
+            }
+        }
+        ReplayTrace { arrivals, cursor: 0 }
+    }
+
+    /// Number of arrivals remaining.
+    pub fn remaining(&self) -> usize {
+        self.arrivals.len() - self.cursor
+    }
+}
+
+impl ArrivalProcess for ReplayTrace {
+    fn next_arrival(&mut self, now: SimTime) -> Option<SimTime> {
+        while self.cursor < self.arrivals.len() {
+            let t = self.arrivals[self.cursor];
+            self.cursor += 1;
+            if t > now {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_rate_matches() {
+        let mut p = PoissonArrivals::new(1000.0, StdRng::seed_from_u64(1));
+        let mut now = SimTime::ZERO;
+        let n = 20_000;
+        for _ in 0..n {
+            now = p.next_arrival(now).unwrap();
+        }
+        let measured = n as f64 / now.as_secs_f64();
+        assert!((measured - 1000.0).abs() / 1000.0 < 0.05, "rate {measured}");
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_is_one() {
+        let mut p = PoissonArrivals::new(100.0, StdRng::seed_from_u64(2));
+        let mut now = SimTime::ZERO;
+        let mut gaps = Vec::new();
+        for _ in 0..10_000 {
+            let next = p.next_arrival(now).unwrap();
+            gaps.push((next - now).as_secs_f64());
+            now = next;
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var =
+            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates() {
+        let d = DiurnalArrivals::new(
+            100.0,
+            0.5,
+            SimTime::from_secs(86_400),
+            StdRng::seed_from_u64(3),
+        );
+        assert_eq!(d.peak_rate(), 150.0);
+        let quarter = SimTime::from_secs(86_400 / 4);
+        assert!((d.rate_at(quarter) - 150.0).abs() < 1.0);
+        let three_quarter = SimTime::from_secs(3 * 86_400 / 4);
+        assert!((d.rate_at(three_quarter) - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn diurnal_arrivals_follow_envelope() {
+        let period = SimTime::from_secs(1000);
+        let mut d = DiurnalArrivals::new(500.0, 0.8, period, StdRng::seed_from_u64(4));
+        let mut now = SimTime::ZERO;
+        let mut first_half = 0u32;
+        let mut second_half = 0u32;
+        while now < period {
+            now = d.next_arrival(now).unwrap();
+            if now < period.scale(0.5) {
+                first_half += 1;
+            } else if now < period {
+                second_half += 1;
+            }
+        }
+        // sin > 0 in the first half-period → more traffic.
+        assert!(first_half as f64 > 1.5 * second_half as f64, "{first_half} vs {second_half}");
+    }
+
+    #[test]
+    fn replay_roundtrip() {
+        let mut p = PoissonArrivals::new(100.0, StdRng::seed_from_u64(5));
+        let mut trace = ReplayTrace::record(&mut p, 100);
+        assert_eq!(trace.remaining(), 100);
+        let mut now = SimTime::ZERO;
+        let mut n = 0;
+        while let Some(t) = trace.next_arrival(now) {
+            assert!(t > now);
+            now = t;
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_panics() {
+        let _ = ReplayTrace::new(vec![SimTime::from_secs(2), SimTime::from_secs(1)]);
+    }
+}

@@ -1,0 +1,227 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! The chip-level models in this crate are analytic (kernel-granular), but
+//! the serving stack (`mtia-serving`) and fleet studies (`mtia-fleet`)
+//! simulate queues, coalescing windows, and rollouts as discrete events.
+//! This engine is a classic event calendar: schedule closures at absolute
+//! [`SimTime`]s, run until quiescence or a horizon.
+//!
+//! # Examples
+//!
+//! ```
+//! use mtia_sim::engine::Simulator;
+//! use mtia_core::SimTime;
+//!
+//! let mut sim = Simulator::new();
+//! let fired = std::rc::Rc::new(std::cell::Cell::new(0u32));
+//! let f = fired.clone();
+//! sim.schedule(SimTime::from_micros(5), move |_| { f.set(f.get() + 1); });
+//! sim.run();
+//! assert_eq!(fired.get(), 1);
+//! assert_eq!(sim.now(), SimTime::from_micros(5));
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mtia_core::SimTime;
+
+/// An event handler: runs at its scheduled time with access to the
+/// simulator to schedule follow-up events.
+type Handler = Box<dyn FnOnce(&mut Simulator)>;
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    handler: Handler,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// Events scheduled for the same instant run in scheduling order
+/// (deterministic FIFO tie-break).
+#[derive(Default)]
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Reverse<Entry>>,
+}
+
+impl Simulator {
+    /// Creates a simulator at time zero.
+    pub fn new() -> Self {
+        Simulator::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `handler` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule(&mut self, at: SimTime, handler: impl FnOnce(&mut Simulator) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.seq += 1;
+        self.queue.push(Reverse(Entry { time: at, seq: self.seq, handler: Box::new(handler) }));
+    }
+
+    /// Schedules `handler` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        handler: impl FnOnce(&mut Simulator) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.schedule(at, handler);
+    }
+
+    /// Runs until no events remain. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs until no events remain or the horizon is reached (events beyond
+    /// the horizon stay queued; time stops at the horizon).
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(Reverse(top)) = self.queue.peek() {
+            if top.time > horizon {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(horizon);
+        self.now
+    }
+
+    /// Executes the next event, if any. Returns whether one ran.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(entry)) => {
+                debug_assert!(entry.time >= self.now);
+                self.now = entry.time;
+                self.executed += 1;
+                (entry.handler)(self);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (i, t) in [(1, 30u64), (2, 10), (3, 20)] {
+            let log = log.clone();
+            sim.schedule(SimTime::from_nanos(t), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2, 3, 1]);
+        assert_eq!(sim.executed_events(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            sim.schedule(SimTime::from_nanos(7), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cascading_events() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(RefCell::new(0u32));
+        fn chain(sim: &mut Simulator, count: Rc<RefCell<u32>>, remaining: u32) {
+            if remaining == 0 {
+                return;
+            }
+            sim.schedule_in(SimTime::from_nanos(10), move |s| {
+                *count.borrow_mut() += 1;
+                chain(s, count, remaining - 1);
+            });
+        }
+        chain(&mut sim, count.clone(), 100);
+        let end = sim.run();
+        assert_eq!(*count.borrow(), 100);
+        assert_eq!(end, SimTime::from_nanos(1000));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        for t in 1..=10u64 {
+            let hits = hits.clone();
+            sim.schedule(SimTime::from_micros(t), move |_| *hits.borrow_mut() += 1);
+        }
+        sim.run_until(SimTime::from_micros(5));
+        assert_eq!(*hits.borrow(), 5);
+        assert_eq!(sim.pending_events(), 5);
+        sim.run();
+        assert_eq!(*hits.borrow(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_micros(10), |_| {});
+        sim.run();
+        sim.schedule(SimTime::from_micros(5), |_| {});
+    }
+}

@@ -1,0 +1,9 @@
+//! The MTIA 2i memory subsystem: SRAM (LLC/LLS), caches, and LPDDR.
+
+pub mod cache;
+pub mod lpddr;
+pub mod sram;
+
+pub use cache::{zipf_hit_rate, CacheStats, SetAssocCache};
+pub use lpddr::{AccessPattern, LpddrController, MemoryErrorModel};
+pub use sram::{place_model, DataPlacement, MemLevel, SramPartition};

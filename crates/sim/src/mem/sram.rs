@@ -1,0 +1,241 @@
+//! The shared on-chip SRAM and its LLC/LLS partitioning (§3.6, §4.1).
+//!
+//! The 256 MB SRAM is split at 32 MB granularity into a hardware-managed
+//! cache (**LLC**) and software-managed scratch (**LLS**). The autotuner's
+//! placement rule: size the LLS to hold the whole activation buffer (which
+//! is reused across the model's execution), give the rest to the LLC for
+//! weights; when activations do not fit, compare the next-lower batch size
+//! against running activations through the LLC.
+
+use std::fmt;
+
+use mtia_core::spec::SramSpec;
+use mtia_core::units::Bytes;
+use mtia_core::ConfigError;
+
+/// A chosen SRAM partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramPartition {
+    /// Granules assigned to the software-managed scratch (LLS).
+    pub lls_granules: u32,
+    /// Granules assigned to the hardware-managed cache (LLC).
+    pub llc_granules: u32,
+    /// Granule size.
+    pub granule: Bytes,
+}
+
+impl SramPartition {
+    /// Creates a partition of `spec` with `lls_granules` scratch granules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] if more granules are requested
+    /// than the SRAM has.
+    pub fn new(spec: &SramSpec, lls_granules: u32) -> Result<Self, ConfigError> {
+        let total = spec.granules();
+        if lls_granules > total {
+            return Err(ConfigError::OutOfRange {
+                what: "lls_granules",
+                valid: "0..=total SRAM granules",
+            });
+        }
+        Ok(SramPartition {
+            lls_granules,
+            llc_granules: total - lls_granules,
+            granule: spec.partition_granule,
+        })
+    }
+
+    /// The §4.1 placement rule: smallest LLS that holds `activation_bytes`,
+    /// remainder to LLC. Returns `None` if the activations cannot fit even
+    /// with every granule (the "activation buffer too large" case).
+    pub fn fit_activations(spec: &SramSpec, activation_bytes: Bytes) -> Option<Self> {
+        let granule = spec.partition_granule.as_u64();
+        let needed = activation_bytes.as_u64().div_ceil(granule) as u32;
+        if needed > spec.granules() {
+            return None;
+        }
+        Some(SramPartition::new(spec, needed).expect("needed ≤ total"))
+    }
+
+    /// LLS capacity.
+    pub fn lls_bytes(&self) -> Bytes {
+        self.granule * self.lls_granules as u64
+    }
+
+    /// LLC capacity.
+    pub fn llc_bytes(&self) -> Bytes {
+        self.granule * self.llc_granules as u64
+    }
+}
+
+impl fmt::Display for SramPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LLS {} / LLC {}", self.lls_bytes(), self.llc_bytes())
+    }
+}
+
+/// Where a tensor physically lives during an operator's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemLevel {
+    /// Per-PE Local Memory (384 KB × 64).
+    LocalMemory,
+    /// Software-managed SRAM scratch.
+    Lls,
+    /// Hardware-managed SRAM cache (weights resident here when they fit).
+    Llc,
+    /// Off-chip LPDDR.
+    Dram,
+    /// Host DRAM across PCIe.
+    Host,
+}
+
+impl MemLevel {
+    /// Whether the level is on-chip.
+    pub fn on_chip(self) -> bool {
+        matches!(self, MemLevel::LocalMemory | MemLevel::Lls | MemLevel::Llc)
+    }
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemLevel::LocalMemory => "local-memory",
+            MemLevel::Lls => "lls",
+            MemLevel::Llc => "llc",
+            MemLevel::Dram => "dram",
+            MemLevel::Host => "host",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Placement outcome for a model's data, produced by the §4.1 rule and
+/// consumed by the kernel cost models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataPlacement {
+    /// The SRAM partition in force.
+    pub partition: SramPartition,
+    /// Where activations live.
+    pub activations: MemLevel,
+    /// Bytes of FC weights resident in the LLC in steady state.
+    pub resident_weight_bytes: Bytes,
+    /// LLC bytes left over for caching embedding rows.
+    pub embedding_cache_bytes: Bytes,
+}
+
+/// Computes the steady-state placement for a model with the given
+/// activation buffer and total FC weight bytes.
+///
+/// Activations that fit get a dedicated LLS (and stay on-chip); otherwise
+/// they fall back to flowing through the LLC with DRAM spill. Weights then
+/// occupy the LLC up to `weight_llc_fraction` of it; what remains caches
+/// embedding rows (§4.2: "the LLC is primarily used for loading weights for
+/// FCs").
+pub fn place_model(
+    spec: &SramSpec,
+    activation_bytes: Bytes,
+    weight_bytes: Bytes,
+    weight_llc_fraction: f64,
+) -> DataPlacement {
+    match SramPartition::fit_activations(spec, activation_bytes) {
+        Some(partition) => {
+            let llc = partition.llc_bytes();
+            let weight_budget = llc.scale(weight_llc_fraction);
+            let resident = weight_bytes.min(weight_budget);
+            DataPlacement {
+                partition,
+                activations: MemLevel::Lls,
+                resident_weight_bytes: resident,
+                embedding_cache_bytes: llc.saturating_sub(resident),
+            }
+        }
+        None => {
+            // All granules to LLC; activations stream through it (and spill
+            // to DRAM — the §6 "90 % throughput drop" regime when hot).
+            let partition = SramPartition::new(spec, 0).expect("zero LLS is valid");
+            let llc = partition.llc_bytes();
+            // Activations now compete for LLC; weights get what's left.
+            let act_share = activation_bytes.min(llc.scale(0.5));
+            let weight_budget = llc.saturating_sub(act_share).scale(weight_llc_fraction);
+            let resident = weight_bytes.min(weight_budget);
+            DataPlacement {
+                partition,
+                activations: MemLevel::Dram,
+                resident_weight_bytes: resident,
+                embedding_cache_bytes: llc
+                    .saturating_sub(act_share)
+                    .saturating_sub(resident),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::spec::chips;
+
+    fn sram() -> SramSpec {
+        chips::mtia2i().sram
+    }
+
+    #[test]
+    fn partition_arithmetic() {
+        let p = SramPartition::new(&sram(), 3).unwrap();
+        assert_eq!(p.lls_bytes(), Bytes::from_mib(96));
+        assert_eq!(p.llc_bytes(), Bytes::from_mib(160));
+        assert_eq!(p.to_string(), "LLS 96.00 MiB / LLC 160.00 MiB");
+    }
+
+    #[test]
+    fn partition_rejects_overflow() {
+        assert!(SramPartition::new(&sram(), 9).is_err());
+        assert!(SramPartition::new(&sram(), 8).is_ok());
+    }
+
+    #[test]
+    fn fit_activations_rounds_up_to_granule() {
+        let p = SramPartition::fit_activations(&sram(), Bytes::from_mib(33)).unwrap();
+        assert_eq!(p.lls_granules, 2);
+        let p = SramPartition::fit_activations(&sram(), Bytes::from_mib(32)).unwrap();
+        assert_eq!(p.lls_granules, 1);
+        assert!(SramPartition::fit_activations(&sram(), Bytes::from_mib(300)).is_none());
+    }
+
+    #[test]
+    fn place_small_model_pins_activations() {
+        let placement =
+            place_model(&sram(), Bytes::from_mib(40), Bytes::from_mib(100), 0.75);
+        assert_eq!(placement.activations, MemLevel::Lls);
+        assert_eq!(placement.partition.lls_granules, 2);
+        // 192 MB LLC × 0.75 = 144 MB budget ≥ 100 MB weights → all resident.
+        assert_eq!(placement.resident_weight_bytes, Bytes::from_mib(100));
+        assert!(placement.embedding_cache_bytes >= Bytes::from_mib(90));
+    }
+
+    #[test]
+    fn place_large_weights_partially_resident() {
+        let placement =
+            place_model(&sram(), Bytes::from_mib(40), Bytes::from_mib(500), 0.75);
+        assert!(placement.resident_weight_bytes < Bytes::from_mib(500));
+        assert!(placement.resident_weight_bytes > Bytes::ZERO);
+    }
+
+    #[test]
+    fn place_oversized_activations_spills() {
+        let placement =
+            place_model(&sram(), Bytes::from_mib(400), Bytes::from_mib(50), 0.75);
+        assert_eq!(placement.activations, MemLevel::Dram);
+        assert_eq!(placement.partition.lls_granules, 0);
+    }
+
+    #[test]
+    fn mem_level_classification() {
+        assert!(MemLevel::Lls.on_chip());
+        assert!(MemLevel::Llc.on_chip());
+        assert!(MemLevel::LocalMemory.on_chip());
+        assert!(!MemLevel::Dram.on_chip());
+        assert!(!MemLevel::Host.on_chip());
+    }
+}

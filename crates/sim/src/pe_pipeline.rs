@@ -1,0 +1,293 @@
+//! An operational model of the PE's coarse-grained pipeline (§3.2).
+//!
+//! Within a PE, the RISC-V scalar core issues custom instructions to the
+//! Command Processor, which tracks dependencies over hardware-managed
+//! **Circular Buffers** and dispatches to the fixed-function units. A GEMM
+//! tile flows `FI DMA_IN → DPE → SIMD epilogue`, with DMA of tile *i+1*
+//! overlapping compute of tile *i* as long as a CB slot is free.
+//!
+//! This module simulates that per-tile recurrence exactly. It serves two
+//! purposes: it demonstrates *why* the §3.3 instruction-issue and
+//! double-buffering features matter (utilization collapses without them),
+//! and it cross-validates the analytic roofline in [`crate::kernels`] —
+//! the two models agree on steady-state throughput by construction, and the
+//! pipeline adds the ramp-up effects the roofline ignores.
+
+use mtia_core::spec::{ChipFeature, ChipSpec};
+use mtia_core::units::{Bytes, SimTime};
+use mtia_core::DType;
+
+use crate::kernels::{ISSUE_CYCLES_BASELINE, ISSUE_CYCLES_ENHANCED};
+
+/// Per-tile timing of one kernel's pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Tiles to process.
+    pub tiles: u32,
+    /// Scalar-core time to issue one tile's custom instructions.
+    pub issue_time: SimTime,
+    /// FI DMA time to stage one tile's operands into Local Memory.
+    pub dma_time: SimTime,
+    /// DPE compute time per tile.
+    pub compute_time: SimTime,
+    /// SIMD-engine epilogue time per tile (activation/quantization).
+    pub simd_time: SimTime,
+    /// Circular-buffer slots between the DMA and the DPE (1 = no
+    /// double-buffering).
+    pub cb_slots: u32,
+}
+
+/// What the pipeline simulation measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Total elapsed time from first issue to last SIMD completion.
+    pub makespan: SimTime,
+    /// Total DPE busy time.
+    pub dpe_busy: SimTime,
+    /// Time the DPE spent waiting on operands or issue after its first
+    /// tile.
+    pub dpe_stall: SimTime,
+}
+
+impl PipelineStats {
+    /// DPE utilization over the makespan.
+    pub fn dpe_utilization(&self) -> f64 {
+        self.dpe_busy.as_secs_f64() / self.makespan.as_secs_f64().max(1e-30)
+    }
+}
+
+/// Runs the per-tile recurrence.
+///
+/// # Panics
+///
+/// Panics if `tiles` or `cb_slots` is zero.
+pub fn simulate_pipeline(config: PipelineConfig) -> PipelineStats {
+    assert!(config.tiles > 0, "need at least one tile");
+    assert!(config.cb_slots > 0, "need at least one circular-buffer slot");
+    let n = config.tiles as usize;
+    let slots = config.cb_slots as usize;
+
+    let mut issue_done = vec![SimTime::ZERO; n];
+    let mut dma_done = vec![SimTime::ZERO; n];
+    let mut dpe_done = vec![SimTime::ZERO; n];
+    let mut simd_done = vec![SimTime::ZERO; n];
+    let mut dpe_start_first = SimTime::ZERO;
+    let mut dpe_busy = SimTime::ZERO;
+    let mut dpe_stall = SimTime::ZERO;
+    let mut last_dpe_done = SimTime::ZERO;
+
+    for i in 0..n {
+        // The scalar core issues tiles in order.
+        let issue_start = if i == 0 { SimTime::ZERO } else { issue_done[i - 1] };
+        issue_done[i] = issue_start + config.issue_time;
+
+        // DMA needs its instructions issued, the FI free, and a CB slot —
+        // a slot frees when the DPE retires the tile `cb_slots` back.
+        let mut dma_start = issue_done[i];
+        if i > 0 {
+            dma_start = dma_start.max(dma_done[i - 1]);
+        }
+        if i >= slots {
+            dma_start = dma_start.max(dpe_done[i - slots]);
+        }
+        dma_done[i] = dma_start + config.dma_time;
+
+        // DPE consumes tiles in order.
+        let dpe_start = if i == 0 {
+            dma_done[i]
+        } else {
+            dma_done[i].max(dpe_done[i - 1])
+        };
+        if i == 0 {
+            dpe_start_first = dpe_start;
+        } else {
+            dpe_stall += dpe_start.saturating_sub(last_dpe_done);
+        }
+        dpe_done[i] = dpe_start + config.compute_time;
+        last_dpe_done = dpe_done[i];
+        dpe_busy += config.compute_time;
+
+        // SIMD epilogue, in order.
+        let simd_start = if i == 0 {
+            dpe_done[i]
+        } else {
+            dpe_done[i].max(simd_done[i - 1])
+        };
+        simd_done[i] = simd_start + config.simd_time;
+    }
+
+    let _ = dpe_start_first;
+    PipelineStats { makespan: simd_done[n - 1], dpe_busy, dpe_stall }
+}
+
+/// Builds a per-tile pipeline configuration for an `m × k × n` FP16 GEMM on
+/// `chip`, with the DPE's 32×32(×2-tile) geometry and the §3.3
+/// instruction-issue state taken from the chip's feature set.
+pub fn gemm_pipeline_config(chip: &ChipSpec, m: u64, k: u64, n: u64) -> PipelineConfig {
+    // One "tile pass" covers a 32 (M) × 64 (N) output tile across 32 of K.
+    let tiles_total = m.div_ceil(32) * k.div_ceil(32) * n.div_ceil(64);
+    let tiles_per_pe = tiles_total.div_ceil(chip.pe_count() as u64).max(1) as u32;
+
+    // DPE: 2048 MACs/cycle at FP16 half rate → one 32×32×64 tile pass
+    // (131072 flops) in 64 cycles.
+    let tile_flops = 2.0 * 32.0 * 32.0 * 64.0;
+    let compute_cycles = tile_flops / chip.pe.dpe_ops_per_cycle(DType::Fp16);
+    let compute_time = chip.frequency.time_for_cycles(compute_cycles);
+
+    // DMA: stage the tile operands (A 32×32 + B 32×64, FP16) over the
+    // per-PE Local Memory fill bandwidth.
+    let tile_bytes = Bytes::new((32 * 32 + 32 * 64) * DType::Fp16.size_bytes());
+    let dma_time = chip.pe.local_memory_bw.time_to_move(tile_bytes);
+
+    // SIMD epilogue touches the 32×64 output at the engine rate.
+    let simd_ops = 32.0 * 64.0;
+    let simd_time = chip
+        .frequency
+        .time_for_cycles(simd_ops / chip.pe.simd_engine_lanes.get(DType::Fp16) as f64);
+
+    let issue_cycles = if chip.has_feature(ChipFeature::MultiContextGemm)
+        && chip.has_feature(ChipFeature::AutoIncrementOffset)
+    {
+        ISSUE_CYCLES_ENHANCED
+    } else {
+        ISSUE_CYCLES_BASELINE
+    };
+    let issue_time = chip.frequency.time_for_cycles(issue_cycles);
+
+    PipelineConfig {
+        tiles: tiles_per_pe,
+        issue_time,
+        dma_time,
+        compute_time,
+        simd_time,
+        cb_slots: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::spec::chips;
+
+    fn balanced(tiles: u32, cb_slots: u32) -> PipelineConfig {
+        PipelineConfig {
+            tiles,
+            issue_time: SimTime::from_nanos(3),
+            dma_time: SimTime::from_nanos(30),
+            compute_time: SimTime::from_nanos(47),
+            simd_time: SimTime::from_nanos(10),
+            cb_slots,
+        }
+    }
+
+    #[test]
+    fn double_buffering_reaches_high_dpe_utilization() {
+        let stats = simulate_pipeline(balanced(2048, 4));
+        assert!(
+            stats.dpe_utilization() > 0.92,
+            "utilization {:.3}",
+            stats.dpe_utilization()
+        );
+        // Steady state: one tile per compute_time.
+        let ideal = SimTime::from_nanos(47) * 2048;
+        assert!(stats.makespan < ideal.scale(1.05), "{}", stats.makespan);
+    }
+
+    #[test]
+    fn single_buffering_serializes_dma_and_compute() {
+        let stats = simulate_pipeline(balanced(2048, 1));
+        // cb_slots = 1: tile i+1's DMA waits for tile i's compute.
+        let serial = 47.0 / (47.0 + 30.0);
+        assert!(
+            (stats.dpe_utilization() - serial).abs() < 0.03,
+            "utilization {:.3} vs serialized {serial:.3}",
+            stats.dpe_utilization()
+        );
+    }
+
+    #[test]
+    fn slow_issue_bottlenecks_the_pipeline() {
+        let mut config = balanced(2048, 4);
+        config.issue_time = SimTime::from_nanos(74); // 100 cycles at 1.35 GHz
+        let stats = simulate_pipeline(config);
+        // Issue rate (74 ns/tile) < compute rate (47 ns/tile): utilization
+        // collapses toward 47/74.
+        let bound = 47.0 / 74.0;
+        assert!(
+            (stats.dpe_utilization() - bound).abs() < 0.05,
+            "utilization {:.3} vs issue bound {bound:.3}",
+            stats.dpe_utilization()
+        );
+        assert!(stats.dpe_stall > SimTime::ZERO);
+    }
+
+    #[test]
+    fn pipeline_agrees_with_the_analytic_roofline() {
+        // Steady-state tile rate = max of the per-stage times; the pipeline
+        // simulation must match that within ramp effects.
+        for config in [balanced(4096, 4), balanced(4096, 2)] {
+            let stats = simulate_pipeline(config);
+            let stage_max = config
+                .issue_time
+                .max(config.dma_time)
+                .max(config.compute_time)
+                .max(config.simd_time);
+            let analytic = stage_max * config.tiles as u64;
+            let ratio = stats.makespan.as_secs_f64() / analytic.as_secs_f64();
+            assert!(
+                (0.98..=1.10).contains(&ratio),
+                "pipeline/analytic ratio {ratio:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_config_from_spec_is_compute_bound_when_enhanced() {
+        let chip = chips::mtia2i();
+        let config = gemm_pipeline_config(&chip, 2048, 2048, 2048);
+        let stats = simulate_pipeline(config);
+        assert!(
+            stats.dpe_utilization() > 0.9,
+            "2K GEMM utilization {:.3}",
+            stats.dpe_utilization()
+        );
+        // And the issue stage is far from binding.
+        assert!(config.issue_time < config.compute_time);
+    }
+
+    #[test]
+    fn gemm_config_issue_bound_without_enhancements() {
+        let chip = chips::mtia2i_without_issue_enhancements();
+        let config = gemm_pipeline_config(&chip, 2048, 2048, 2048);
+        assert!(config.issue_time > config.compute_time);
+        let stats = simulate_pipeline(config);
+        let bound =
+            config.compute_time.as_secs_f64() / config.issue_time.as_secs_f64();
+        assert!(
+            (stats.dpe_utilization() - bound).abs() < 0.05,
+            "utilization {:.3} vs {bound:.3}",
+            stats.dpe_utilization()
+        );
+    }
+
+    #[test]
+    fn one_tile_degenerate_case() {
+        let stats = simulate_pipeline(balanced(1, 4));
+        let expected = SimTime::from_nanos(3 + 30 + 47 + 10);
+        assert_eq!(stats.makespan, expected);
+        assert_eq!(stats.dpe_stall, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_tiles_panics() {
+        let _ = simulate_pipeline(PipelineConfig {
+            tiles: 0,
+            issue_time: SimTime::ZERO,
+            dma_time: SimTime::ZERO,
+            compute_time: SimTime::ZERO,
+            simd_time: SimTime::ZERO,
+            cb_slots: 1,
+        });
+    }
+}

@@ -1,0 +1,86 @@
+//! A day in fleet operations (§5): the ECC decision, the overclocking
+//! study, P90 power budgeting, and shipping a firmware fix for the NoC
+//! deadlock.
+//!
+//! ```text
+//! cargo run --release --example fleet_ops
+//! ```
+
+use mtia::fleet::firmware::{simulate_rollout, FirmwareBundle, Rollout};
+use mtia::fleet::memerr::{evaluate_mitigations, production_decision, run_sensitivity, run_survey};
+use mtia::fleet::overclock::{paper_frequencies, run_study, SiliconMargin};
+use mtia::fleet::power::{initial_rack_budget, PowerStudy, RackConfig};
+use mtia::core::power::PowerModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // ---- §5.1: should we enable ECC?
+    let survey = run_survey(1700, &mut rng);
+    println!(
+        "memory-error survey: {:.0}% of {} servers affected ({:.0}% single-card)",
+        survey.affected_rate * 100.0,
+        survey.servers,
+        survey.single_card_fraction * 100.0
+    );
+    let sensitivity = run_sensitivity(300, &mut rng);
+    let outcomes = evaluate_mitigations(survey, &sensitivity);
+    println!("decision: {:?}", production_decision(&outcomes));
+
+    // ---- §5.2: overclock from 1.1 to 1.35 GHz?
+    let study = run_study(SiliconMargin::production(), 3000, &paper_frequencies(), &mut rng);
+    for r in &study.results {
+        println!(
+            "qualification @ {}: {:.2}% pass rate, {:.2}% of chips pass all 10 tests",
+            r.frequency,
+            r.pass_rate * 100.0,
+            r.chips_fully_passing * 100.0
+        );
+    }
+    println!(
+        "fallout increase 1.1 → 1.35 GHz: {:.2} pp (negligible → ship at 1.35)",
+        study.fallout_increase() * 100.0
+    );
+
+    // ---- §5.3: how much rack power do we actually need?
+    let rack = RackConfig::production();
+    let power = PowerModel::mtia2i();
+    let p90_study = PowerStudy::run(&rack, &power, 0.45, &mut rng);
+    let initial = initial_rack_budget(&rack, &power);
+    let new = p90_study.new_rack_budget(&rack);
+    println!(
+        "rack budget: {initial} → {new} ({:.0}% reduction)",
+        (1.0 - new.as_f64() / initial.as_f64()) * 100.0
+    );
+
+    // ---- §5.5: the deadlock and its firmware fix.
+    let broken = FirmwareBundle::original();
+    let fixed = FirmwareBundle::mitigated();
+    println!(
+        "\ndeadlock possible under load: {} ({}) / {} ({})",
+        mtia::sim::noc::deadlock::deadlock_possible(broken.deadlock_config_under_load()),
+        broken.version,
+        mtia::sim::noc::deadlock::deadlock_possible(fixed.deadlock_config_under_load()),
+        fixed.version,
+    );
+    let outcome = simulate_rollout(&Rollout::standard(), &broken, 50_000, &mut rng);
+    match outcome.detected_at_stage {
+        Some(stage) => println!(
+            "staged rollout of the broken bundle: defect caught at stage {stage} \
+             after {} with {} servers impacted",
+            outcome.time_to_detection.unwrap(),
+            outcome.servers_impacted
+        ),
+        None => println!("staged rollout: defect not caught (unlucky draw)"),
+    }
+    let clean = simulate_rollout(&Rollout::standard(), &fixed, 50_000, &mut rng);
+    println!(
+        "staged rollout of the fixed bundle: detected_at={:?}, impacted={} \
+         (duration {} days)",
+        clean.detected_at_stage,
+        clean.servers_impacted,
+        Rollout::standard().duration().as_secs_f64() / 86_400.0
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build a production-like ranking model, compile it, run it on
+//! the MTIA 2i simulator, and compare it against the GPU baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mtia::prelude::*;
+
+fn main() {
+    // 1. A mid-complexity production ranking model (45 MFLOPS/sample).
+    let model = zoo::fig6_models().remove(2); // LC3
+    let graph = model.graph();
+    println!("model: {graph}");
+
+    // 2. Compile with the full §4.2/§6 optimization pipeline.
+    let compiled = compile(&graph, CompilerOptions::all());
+    println!("\npasses applied:");
+    for (pass, rewrites) in &compiled.pass_log {
+        println!("  {pass:<24} {rewrites} rewrites");
+    }
+
+    // 3. Execute on MTIA 2i (production config: controller ECC on).
+    let sim = ChipSim::new(chips::mtia2i());
+    let report = compiled.run(&sim);
+    println!("\nMTIA 2i execution:\n{report}");
+
+    // 4. The same model on the GPU comparator.
+    let gpu = GpuSim::new(chips::gpu_baseline()).run(&graph);
+    println!(
+        "GPU baseline: {:.0} samples/s per device",
+        gpu.throughput_samples_per_s()
+    );
+
+    // 5. Server-level Perf/TCO, the paper's headline metric.
+    let mtia_server = PlatformMetrics::new(
+        ServerCost::mtia_server(),
+        24.0 * report.throughput_samples_per_s(),
+    );
+    let gpu_server = PlatformMetrics::new(
+        ServerCost::gpu_server(),
+        8.0 * gpu.throughput_samples_per_s(),
+    );
+    let rel = mtia_server.relative_to(&gpu_server);
+    println!("\nserver-level comparison (24 MTIA chips vs 8 GPUs): {rel}");
+    println!("equivalent TCO reduction: {:.0}%", rel.tco_reduction() * 100.0);
+}

@@ -1,0 +1,76 @@
+//! The model-scaling story (§2, §3.6, §8): walk a Wukong scaling sweep
+//! across three orders of magnitude of per-sample complexity, watch the
+//! chip transition from SRAM-resident to LPDDR-streaming, and see why
+//! HSTU's sequence-sourced intensity escapes the frontier.
+//!
+//! ```text
+//! cargo run --release --example scaling_frontier
+//! ```
+
+use mtia::model::models::{hstu::HstuConfig, wukong};
+use mtia::prelude::*;
+
+fn main() {
+    let chip = chips::mtia2i_128gb();
+    let sim = ChipSim::new(chip.clone());
+    let peak = chip.gemm_peak(DType::Fp16, false).as_flops_per_s();
+
+    println!("Wukong scaling sweep (batch 256):");
+    println!(
+        "{:<12} {:>11} {:>12} {:>13} {:>9}  bottleneck",
+        "model", "GF/sample", "samples/s", "eff. TFLOPS", "of peak"
+    );
+    for cfg in wukong::scaling_sweep(256) {
+        let g = cfg.build();
+        let report = compile(&g, CompilerOptions::all()).run(&sim);
+        println!(
+            "{:<12} {:>11.3} {:>12.0} {:>13.1} {:>8.0}%  {:?}",
+            cfg.name,
+            g.flops_per_sample().as_gflops(),
+            report.throughput_samples_per_s(),
+            report.achieved_flops_per_s() / 1e12,
+            100.0 * report.achieved_flops_per_s() / peak,
+            report.dominant_bottleneck().unwrap(),
+        );
+    }
+
+    // The weight-streaming roofline that pins the big end of the sweep.
+    let stream_cap =
+        chip.effective_dram_bw(EccMode::ControllerEcc).as_bytes_per_s() * 256.0;
+    println!(
+        "\nweight-streaming roofline at batch 256: {:.1} TFLOPS \
+         ({:.0}% of the FP16 peak)",
+        stream_cap / 1e12,
+        100.0 * stream_cap / peak
+    );
+
+    // HSTU escapes: its intensity comes from sequence length, not from
+    // giant weight tensors (§8).
+    let hstu = HstuConfig {
+        name: "hstu-ranking".to_string(),
+        batch: 4,
+        num_tables: 8,
+        rows_per_table: 100_000_000,
+        embedding_dim: 512,
+        mean_seq: 512,
+        max_seq: 4096,
+        heads: 8,
+        layers: 8,
+        dtype: DType::Fp16,
+    };
+    let g = hstu.build();
+    let report = compile(&g, CompilerOptions::all()).run(&sim);
+    println!(
+        "\nHSTU at batch 4: {:.1} GF/request, {:.1} TFLOPS effective \
+         ({:.0}% of peak), bottleneck {:?}",
+        g.flops_per_sample().as_gflops(),
+        report.achieved_flops_per_s() / 1e12,
+        100.0 * report.achieved_flops_per_s() / peak,
+        report.dominant_bottleneck().unwrap(),
+    );
+    println!(
+        "\nconclusion (§3.6/§8): dense ~2 GF/sample models pin to the LPDDR \
+         roofline, while HSTU's ragged attention stays compute-fed at low \
+         batch — the workload class the next MTIA generation targets."
+    );
+}

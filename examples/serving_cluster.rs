@@ -1,0 +1,69 @@
+//! Serving a ranking model on a 24-accelerator server: autotuning, request
+//! coalescing, remote/merge job scheduling against a P99 SLO, and the
+//! Fig. 5 TBE-consolidation win.
+//!
+//! ```text
+//! cargo run --release --example serving_cluster
+//! ```
+
+use mtia::prelude::*;
+use mtia::serving::scheduler::{
+    max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig,
+};
+use mtia::serving::traffic::PoissonArrivals;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // ---- autotune the model for serving (§4.1: batch size, placement,
+    // sharding, coalescing).
+    let model = zoo::fig6_models().remove(6); // HC2: big tables + host churn
+    let tuner = Autotuner::new(ChipSim::new(chips::mtia2i_128gb()));
+    let tuned = tuner.tune(&model);
+    println!("autotuned {}:", tuned.name);
+    println!("  batch          : {}", tuned.batch);
+    println!("  placement      : {:?}", tuned.placement.decision);
+    println!("  shards         : {} device(s)", tuned.devices());
+    println!(
+        "  coalescing     : window {}, {} parallel, fill {:.0}%",
+        tuned.coalescing.config.window,
+        tuned.coalescing.config.parallel_windows,
+        tuned.coalescing.prediction.fill * 100.0
+    );
+    println!(
+        "  sustainable    : {:.0} samples/s per replica",
+        tuned.throughput_samples_per_s
+    );
+
+    // ---- Fig. 5: remote/merge job scheduling on the shared devices.
+    let slo = SimTime::from_millis(100);
+    let horizon = SimTime::from_secs(60);
+    let base = RemoteMergeConfig {
+        devices: 2,
+        remote_jobs_per_request: 4,
+        remote_total_time: SimTime::from_millis(8),
+        merge_time: SimTime::from_millis(10),
+        dispatch_overhead: SimTime::from_millis(1),
+    };
+    let consolidated = RemoteMergeConfig { remote_jobs_per_request: 2, ..base };
+
+    println!("\nremote/merge scheduling at the P99 ≤ 100 ms SLO:");
+    let (rate4, _) = max_rate_under_slo(base, slo, horizon, 7);
+    let (rate2, _) = max_rate_under_slo(consolidated, slo, horizon, 7);
+    println!("  4 remote jobs/request: {rate4:.1} req/s");
+    println!("  2 remote jobs/request: {rate2:.1} req/s  (TBE consolidation)");
+    println!("  throughput gain: {:.0}%", (rate2 / rate4 - 1.0) * 100.0);
+
+    // P99 at a common operating point.
+    let common = rate4 * 0.98;
+    for (label, config) in [("before", base), ("after ", consolidated)] {
+        let mut arrivals = PoissonArrivals::new(common, StdRng::seed_from_u64(3));
+        let stats =
+            simulate_remote_merge(config, &mut arrivals, horizon, SimTime::from_secs(6));
+        println!(
+            "  {label} consolidation @ {common:.0} req/s: P99 {} (merge wait P99 {})",
+            stats.request_latency.p99(),
+            stats.merge_wait.p99()
+        );
+    }
+}

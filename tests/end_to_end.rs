@@ -1,0 +1,110 @@
+//! Cross-crate integration: model generation → compilation → chip
+//! simulation → autotuning → serving, exercised together.
+
+use mtia::prelude::*;
+use mtia::serving::scheduler::{simulate_remote_merge, RemoteMergeConfig};
+use mtia::serving::traffic::PoissonArrivals;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_zoo_model_runs_on_both_platforms() {
+    let mtia = ChipSim::new(chips::mtia2i_128gb());
+    let gpu = GpuSim::new(chips::gpu_baseline());
+    for m in zoo::fig6_models().iter().chain(zoo::table1_models().iter()) {
+        let g = m.graph();
+        assert_eq!(g.validate(), Ok(()), "{}", m.name);
+        let compiled = compile(&g, CompilerOptions::all());
+        assert_eq!(compiled.graph.validate(), Ok(()), "{} post-compile", m.name);
+        let r = compiled.run(&mtia);
+        assert!(r.total_time() > SimTime::ZERO, "{}", m.name);
+        assert!(r.throughput_samples_per_s() > 0.0, "{}", m.name);
+        let gr = gpu.run(&g);
+        assert!(gr.total_time() > SimTime::ZERO, "{}", m.name);
+    }
+}
+
+#[test]
+fn compilation_never_slows_a_model_down() {
+    let sim = ChipSim::new(chips::mtia2i());
+    for m in zoo::fig6_models() {
+        let g = m.graph();
+        let baseline = compile(&g, CompilerOptions::none()).run(&sim).total_time();
+        let optimized = compile(&g, CompilerOptions::all()).run(&sim).total_time();
+        assert!(
+            optimized <= baseline.scale(1.001),
+            "{}: optimized {optimized} > baseline {baseline}",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn autotuner_produces_servable_configurations() {
+    let tuner = Autotuner::new(ChipSim::new(chips::mtia2i_128gb()));
+    for idx in [0usize, 7] {
+        // LC1 and HC3
+        let models = zoo::fig6_models();
+        let tuned = tuner.tune(&models[idx]);
+        assert!(tuned.throughput_samples_per_s > 0.0, "{}", tuned.name);
+        assert!(tuned.devices() >= 1);
+        assert!(tuned.coalescing.prediction.fill > 0.9, "{}", tuned.name);
+        // The tuned coalescing point respects the 100 ms SLO.
+        assert!(tuned.coalescing.prediction.p99 <= SimTime::from_millis(100));
+    }
+}
+
+#[test]
+fn tuned_config_survives_the_event_driven_serving_simulation() {
+    // Take the autotuner's service model into the discrete-event scheduler
+    // and verify the SLO holds at 80 % of the predicted max rate.
+    let slo = SimTime::from_millis(100);
+    let config = RemoteMergeConfig {
+        devices: 2,
+        remote_jobs_per_request: 2,
+        remote_total_time: SimTime::from_millis(8),
+        merge_time: SimTime::from_millis(10),
+        dispatch_overhead: SimTime::from_millis(1),
+    };
+    let (max_rate, _) = mtia::serving::scheduler::max_rate_under_slo(
+        config,
+        slo,
+        SimTime::from_secs(40),
+        11,
+    );
+    let mut arrivals = PoissonArrivals::new(max_rate * 0.8, StdRng::seed_from_u64(12));
+    let stats = simulate_remote_merge(
+        config,
+        &mut arrivals,
+        SimTime::from_secs(60),
+        SimTime::from_secs(6),
+    );
+    assert!(stats.request_latency.p99() <= slo, "p99 {}", stats.request_latency.p99());
+    assert!(stats.completed > 100);
+}
+
+#[test]
+fn sharded_and_unsharded_paths_agree_on_small_models() {
+    use mtia::autotune::sharding::{sharded_throughput, ShardingPlan};
+    let sim = ChipSim::new(chips::mtia2i());
+    let g = zoo::fig6_models()[1].graph(); // LC2 fits one device
+    let direct = compile(&g, CompilerOptions::all())
+        .run(&sim)
+        .throughput_samples_per_s();
+    let via_sharding = sharded_throughput(&sim, &g, ShardingPlan::single());
+    assert!((direct - via_sharding).abs() / direct < 1e-9);
+}
+
+#[test]
+fn ab_harness_validates_a_tuned_mtia_deployment() {
+    use mtia::serving::ab::{run_ab_test, PlatformArm};
+    let mut rng = StdRng::seed_from_u64(77);
+    let report = run_ab_test(
+        PlatformArm::gpu_control(),
+        PlatformArm::mtia_treatment(),
+        30_000,
+        -2.0,
+        &mut rng,
+    );
+    assert!(report.passes(0.01, 0.05), "{:?}", report.ne_regression());
+}

@@ -1,0 +1,191 @@
+//! Property-based invariants across the workspace: codecs round-trip,
+//! quantization is bounded, liveness analysis is order-robust, and the
+//! roofline cost model is monotone in work.
+
+use mtia::model::compress::{ans, lzss};
+use mtia::model::models::dlrm::DlrmConfig;
+use mtia::model::quant::{quantize, Granularity};
+use mtia::model::tensor::DenseTensor;
+use mtia::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// rANS round-trips arbitrary byte strings.
+    #[test]
+    fn rans_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let compressed = ans::compress(&data);
+        prop_assert_eq!(ans::decompress(&compressed).unwrap(), data);
+    }
+
+    /// LZSS round-trips arbitrary byte strings, including repetitive ones.
+    #[test]
+    fn lzss_roundtrip(
+        seed in proptest::collection::vec(any::<u8>(), 0..64),
+        repeats in 0usize..64,
+        tail in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut data = Vec::new();
+        for _ in 0..repeats {
+            data.extend_from_slice(&seed);
+        }
+        data.extend_from_slice(&tail);
+        let compressed = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&compressed).unwrap(), data);
+    }
+
+    /// Symmetric INT8 quantization keeps every element within half a step
+    /// of the original (per-row scale = max/127 → error ≤ scale/2 + eps).
+    #[test]
+    fn quantization_error_is_bounded(
+        values in proptest::collection::vec(-100.0f32..100.0, 1..256),
+        cols in 1usize..16,
+    ) {
+        let cols = cols.min(values.len());
+        let rows = values.len() / cols;
+        prop_assume!(rows >= 1);
+        let t = DenseTensor::from_data(rows, cols, values[..rows * cols].to_vec());
+        let q = quantize(&t, Granularity::PerRow);
+        let back = q.dequantize();
+        for r in 0..rows {
+            let scale = q.scale_of_row(r);
+            for c in 0..cols {
+                let err = (back.get(r, c) - t.get(r, c)).abs();
+                prop_assert!(
+                    err <= scale * 0.5 + 1e-6,
+                    "err {err} > half-step {scale}"
+                );
+            }
+        }
+    }
+
+    /// The liveness-minimizing scheduler never exceeds program order's
+    /// peak activation bytes, across model shapes.
+    #[test]
+    fn scheduler_is_never_worse(
+        batch in 16u64..512,
+        tables in 2u64..32,
+        dim in (3u32..7).prop_map(|p| 1u64 << p),
+    ) {
+        let mut cfg = DlrmConfig::small(batch);
+        cfg.num_tables = tables;
+        cfg.embedding_dim = dim;
+        cfg.bottom_mlp = vec![256, 128, dim];
+        let g = cfg.build();
+        let order = mtia::compiler::min_liveness_order(&g);
+        let tuned = g.peak_activation_bytes_for_order(&order);
+        prop_assert!(tuned <= g.peak_activation_bytes());
+    }
+
+    /// Kernel cost is monotone in batch size: more samples never take less
+    /// time under the same plan shape.
+    #[test]
+    fn chip_time_monotone_in_batch(batch in 32u64..1024) {
+        let sim = ChipSim::new(chips::mtia2i());
+        let small = compile(&DlrmConfig::small(batch).build(), CompilerOptions::all())
+            .run(&sim)
+            .total_time();
+        let large = compile(&DlrmConfig::small(batch * 2).build(), CompilerOptions::all())
+            .run(&sim)
+            .total_time();
+        prop_assert!(large >= small, "batch {batch}: {large} < {small}");
+    }
+
+    /// Throughput at 1.35 GHz is never below 1.1 GHz.
+    #[test]
+    fn overclock_never_hurts(batch in 64u64..512) {
+        let g = DlrmConfig::small(batch).build();
+        let fast = ChipSim::new(chips::mtia2i()).run_optimized(&g).total_time();
+        let slow = ChipSim::new(chips::mtia2i_design_freq())
+            .run_optimized(&g)
+            .total_time();
+        prop_assert!(fast <= slow);
+    }
+
+    /// Zipf hit rate is monotone in cache size and bounded.
+    #[test]
+    fn zipf_hit_rate_monotone(
+        catalog_exp in 6u32..9,
+        frac_a in 1u64..50,
+        frac_b in 51u64..500,
+    ) {
+        let catalog = 10u64.pow(catalog_exp);
+        let small = mtia::sim::mem::zipf_hit_rate(catalog, catalog * frac_a / 10_000, 0.95);
+        let large = mtia::sim::mem::zipf_hit_rate(catalog, catalog * frac_b / 10_000, 0.95);
+        prop_assert!((0.0..=1.0).contains(&small));
+        prop_assert!(large >= small - 1e-6);
+    }
+
+    /// The latency histogram's quantiles are ordered and bounded by max.
+    #[test]
+    fn latency_quantiles_ordered(
+        samples in proptest::collection::vec(1u64..10_000_000, 1..500),
+    ) {
+        let mut h = mtia::serving::LatencyHistogram::new();
+        for &s in &samples {
+            h.record(SimTime::from_nanos(s));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        prop_assert!(p50 <= p99);
+        prop_assert!(p99 <= h.max());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any combination of compiler options yields a valid graph whose
+    /// FLOPs never exceed the original (delayed broadcast may reduce them;
+    /// quantization adds only its bounded quant/dequant overhead).
+    #[test]
+    fn compiler_options_never_corrupt_the_graph(
+        vertical in any::<bool>(),
+        sibling in any::<bool>(),
+        ln in any::<bool>(),
+        mha in any::<bool>(),
+        broadcast in any::<bool>(),
+        sched in any::<bool>(),
+        tuned in any::<bool>(),
+        quant in any::<bool>(),
+    ) {
+        let options = CompilerOptions {
+            vertical_fusion: vertical,
+            sibling_transpose_fc: sibling,
+            layernorm_batching: ln,
+            mha_rewrite: mha,
+            delayed_broadcast: broadcast,
+            memory_aware_scheduling: sched,
+            tuned_kernels: tuned,
+            quantize_large_fcs: quant,
+        };
+        let g = mtia::model::models::merge::MergeNetworkConfig::case_study().build();
+        let compiled = compile(&g, options);
+        prop_assert_eq!(compiled.graph.validate(), Ok(()));
+        let before = g.stats().flops.as_f64();
+        let after = compiled.graph.stats().flops.as_f64();
+        prop_assert!(after <= before * 1.05, "flops {before} → {after}");
+        // The plan must cover the rewritten graph and execute.
+        let sim = ChipSim::new(chips::mtia2i());
+        let report = sim.run(&compiled.graph, &compiled.plan);
+        prop_assert!(report.total_time() > SimTime::ZERO);
+    }
+}
+
+/// Fused operators conserve FLOPs and never increase the simulated time of
+/// the fused region (deterministic spot check over the zoo).
+#[test]
+fn fusion_conserves_flops() {
+    for m in zoo::fig6_models().iter().take(4) {
+        let g = m.graph();
+        let fused = compile(&g, CompilerOptions::all());
+        let before = g.stats().flops.as_f64();
+        let after = fused.graph.stats().flops.as_f64();
+        assert!(
+            after <= before * 1.0001,
+            "{}: fusion changed FLOPs {before} → {after}",
+            m.name
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Paper-shape assertions: the headline quantitative claims, checked
+//! end-to-end through the reproduction harness.
+
+use mtia::prelude::*;
+
+/// §1: "MTIA 2i reduces the TCO by an average of 44% compared to GPUs."
+#[test]
+fn headline_average_tco_reduction() {
+    let report = mtia_bench::experiments::fig6::run();
+    let summary = &report.tables[1];
+    let reduction: f64 = summary.rows[1][1].trim_end_matches('%').parse().unwrap();
+    assert!(
+        (36.0..=52.0).contains(&reduction),
+        "average TCO reduction {reduction}% (paper: 44%)"
+    );
+}
+
+/// §6 / Fig. 4: the case study starts near 50 % of the GPU baseline's
+/// Perf/TCO and launches near 180 %.
+#[test]
+fn case_study_trajectory_endpoints() {
+    let stages = mtia_bench::experiments::fig4::stages();
+    let first = mtia_bench::experiments::fig4::evaluate_stage(&stages[0]);
+    let last = mtia_bench::experiments::fig4::evaluate_stage(stages.last().unwrap());
+    assert!(
+        (0.3..=0.7).contains(&first.rel.perf_per_tco),
+        "start {}",
+        first.rel.perf_per_tco
+    );
+    assert!(
+        (1.5..=2.2).contains(&last.rel.perf_per_tco),
+        "launch {}",
+        last.rel.perf_per_tco
+    );
+    // §6: Perf/Watt ends slightly above parity.
+    assert!(last.rel.perf_per_watt > 1.0);
+}
+
+/// §3.3: job launch < 1 µs, replace < 0.5 µs, ~80 % faster than MTIA 1.
+#[test]
+fn eager_mode_launch_latencies() {
+    use mtia::sim::control::JobLaunchModel;
+    let gen2 = JobLaunchModel::new(chips::mtia2i().control);
+    assert!(gen2.launch_time(64) < SimTime::from_micros(1));
+    assert!(gen2.replace_time(64) < SimTime::from_nanos(500));
+}
+
+/// §3.6/§8: Llama-class decode misses the 60 ms/token SLO on LPDDR while
+/// prefill meets the 600 ms TTFT.
+#[test]
+fn llm_prefill_passes_decode_fails() {
+    use mtia::model::models::llm::LlmConfig;
+    let sim = ChipSim::new(chips::mtia2i());
+    for cfg in [LlmConfig::llama2_7b(), LlmConfig::llama3_8b()] {
+        let prefill = sim.run_optimized(&cfg.prefill_graph(512)).total_time();
+        let decode = sim.run_optimized(&cfg.decode_step_graph(512)).total_time();
+        assert!(prefill <= SimTime::from_millis(600), "{}: {prefill}", cfg.name);
+        assert!(decode > SimTime::from_millis(60), "{}: {decode}", cfg.name);
+    }
+}
+
+/// §5.1: the ECC penalty lands in the published 10–15 % band and the
+/// survey reproduces the 24 % server rate.
+#[test]
+fn ecc_penalty_and_survey() {
+    let chip = chips::mtia2i();
+    let raw = chip.effective_dram_bw(EccMode::Disabled).as_bytes_per_s();
+    let ecc = chip.effective_dram_bw(EccMode::ControllerEcc).as_bytes_per_s();
+    let penalty = 1.0 - ecc / raw;
+    assert!((0.10..=0.15).contains(&penalty));
+
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let survey = mtia::fleet::memerr::run_survey(1700, &mut rng);
+    assert!((survey.affected_rate - 0.24).abs() < 0.04);
+}
+
+/// §4.1: kernel tuning via the perf DB is ≥1000× cheaper within 5 %.
+#[test]
+fn perfdb_speedup_claim() {
+    let report = mtia_bench::experiments::tuning::e4_kernel_tuning();
+    for row in &report.tables[0].rows {
+        let speedup: u64 = row[3].trim_end_matches('x').parse().unwrap();
+        assert!(speedup >= 1000, "{}", row[0]);
+    }
+}
+
+/// §4.2: sparse 40–60 % and dense >95 % SRAM hit rates on LLC-resident
+/// models.
+#[test]
+fn sram_hit_rate_bands() {
+    let sim = ChipSim::new(chips::mtia2i());
+    let models = zoo::fig6_models();
+    let lc1 = &models[0];
+    let r = sim.run_optimized(&lc1.graph());
+    assert!(r.tbe_hit_rate > 0.35 && r.tbe_hit_rate < 0.65, "{}", r.tbe_hit_rate);
+    assert!(r.dense_sram_hit_rate() > 0.95, "{}", r.dense_sram_hit_rate());
+}
+
+/// Table 2 cross-check: the derived peaks match the published
+/// specification to within rounding.
+#[test]
+fn spec_peaks_match_table2() {
+    let chip = chips::mtia2i();
+    assert!((chip.gemm_peak(DType::Int8, false).as_tflops() - 354.0).abs() < 4.0);
+    assert!((chip.gemm_peak(DType::Fp16, false).as_tflops() - 177.0).abs() < 2.0);
+    assert!((chip.gemm_peak(DType::Int8, true).as_tflops() - 708.0).abs() < 8.0);
+    let gap = chip.sram.bandwidth.as_bytes_per_s() / chip.dram.bandwidth.as_bytes_per_s();
+    assert!((gap - 13.2).abs() < 0.3, "SRAM:LPDDR gap {gap}");
+}
+
+/// The complete experiment suite runs and every table is non-empty.
+#[test]
+fn all_experiments_produce_tables() {
+    let reports = mtia_bench::experiments::run_all();
+    assert_eq!(reports.len(), 23);
+    for r in &reports {
+        assert!(!r.tables.is_empty(), "{} has no tables", r.id);
+        for t in &r.tables {
+            assert!(!t.rows.is_empty(), "{}: `{}` is empty", r.id, t.title);
+        }
+    }
+}
