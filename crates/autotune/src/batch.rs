@@ -90,12 +90,9 @@ mod tests {
 
     #[test]
     fn larger_batches_amortize_overheads() {
-        let choice = tune_batch_size(
-            &sim(),
-            SimTime::from_millis(100),
-            &[64, 256, 1024],
-            |b| DlrmConfig::small(b).build(),
-        );
+        let choice = tune_batch_size(&sim(), SimTime::from_millis(100), &[64, 256, 1024], |b| {
+            DlrmConfig::small(b).build()
+        });
         // Throughput grows with batch while everything fits on-chip.
         let t: Vec<f64> = choice.sweep.iter().map(|c| c.throughput).collect();
         assert!(t[1] > t[0] && t[2] > t[1], "{t:?}");
@@ -126,12 +123,9 @@ mod tests {
 
     #[test]
     fn infeasible_slo_minimizes_latency() {
-        let choice = tune_batch_size(
-            &sim(),
-            SimTime::from_nanos(1),
-            &[256, 512],
-            |b| DlrmConfig::small(b).build(),
-        );
+        let choice = tune_batch_size(&sim(), SimTime::from_nanos(1), &[256, 512], |b| {
+            DlrmConfig::small(b).build()
+        });
         assert!(choice.sweep.iter().all(|c| !c.feasible));
         // Falls back to the lowest-latency snapshot.
         assert_eq!(choice.batch, 256);

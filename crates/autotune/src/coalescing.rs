@@ -57,7 +57,9 @@ pub fn predict(
 
     // A batch closes at the window deadline or when it fills, whichever
     // comes first.
-    let batch = (per_window_rate * window_s).min(target_batch as f64).max(1.0);
+    let batch = (per_window_rate * window_s)
+        .min(target_batch as f64)
+        .max(1.0);
     // Gather time: fill time, bounded by the window deadline (the window
     // closes even if the minimum one-request batch took longer to appear).
     let gather_s = (batch / per_window_rate).min(window_s);
@@ -68,8 +70,11 @@ pub fn predict(
     // Sustainable request throughput of the p pipelines at this batch size.
     let capacity = batch * p / s;
     let rho = rate_per_s / capacity;
-    let queue_inflation =
-        if rho < 1.0 { 1.0 + rho * rho / (1.0 - rho) } else { f64::INFINITY };
+    let queue_inflation = if rho < 1.0 {
+        1.0 + rho * rho / (1.0 - rho)
+    } else {
+        f64::INFINITY
+    };
     let p99_s = gather_s + s * queue_inflation;
     CoalescingPrediction {
         batch,
@@ -133,12 +138,19 @@ pub fn tune_coalescing(
     let mut candidates: Vec<CoalescingChoice> = Vec::new();
     for window in windows {
         for parallel_windows in [1u32, 2, 4] {
-            let config = CoalescingConfig { window, parallel_windows };
+            let config = CoalescingConfig {
+                window,
+                parallel_windows,
+            };
             let Some(rate) = max_rate(config, target_batch, slo, service) else {
                 continue;
             };
             let prediction = predict(config, rate, target_batch, service);
-            candidates.push(CoalescingChoice { config, prediction, max_rate_per_s: rate });
+            candidates.push(CoalescingChoice {
+                config,
+                prediction,
+                max_rate_per_s: rate,
+            });
         }
     }
     let best_rate = candidates
@@ -171,7 +183,10 @@ mod tests {
 
     #[test]
     fn prediction_scales_with_rate() {
-        let config = CoalescingConfig { window: SimTime::from_millis(10), parallel_windows: 1 };
+        let config = CoalescingConfig {
+            window: SimTime::from_millis(10),
+            parallel_windows: 1,
+        };
         let slow = predict(config, 1_000.0, 512, &service);
         let fast = predict(config, 40_000.0, 512, &service);
         assert!(fast.batch > slow.batch);
@@ -184,7 +199,10 @@ mod tests {
         // 512 requests arrive in ~17 ms at 30k/s: the 50 ms window never
         // expires; gather time is the fill time (~17 ms), and P99 stays
         // well below window + inflated service.
-        let config = CoalescingConfig { window: SimTime::from_millis(50), parallel_windows: 1 };
+        let config = CoalescingConfig {
+            window: SimTime::from_millis(50),
+            parallel_windows: 1,
+        };
         let p = predict(config, 30_000.0, 512, &service);
         assert!((p.batch - 512.0).abs() < 1e-9);
         assert_eq!(p.fill, 1.0);
@@ -195,7 +213,10 @@ mod tests {
     #[test]
     fn overload_predicts_unbounded_p99() {
         // Capacity at batch 512 is 512/12.24 ms ≈ 41.8k/s; offer 2×.
-        let config = CoalescingConfig { window: SimTime::from_millis(10), parallel_windows: 1 };
+        let config = CoalescingConfig {
+            window: SimTime::from_millis(10),
+            parallel_windows: 1,
+        };
         let p = predict(config, 84_000.0, 512, &service);
         assert_eq!(p.p99, SimTime::MAX);
         assert_eq!(p.utilization, 1.0);
@@ -230,7 +251,10 @@ mod tests {
         let slo = SimTime::from_millis(100);
         let rate_at = |w_ms: u64| {
             max_rate(
-                CoalescingConfig { window: SimTime::from_millis(w_ms), parallel_windows: 1 },
+                CoalescingConfig {
+                    window: SimTime::from_millis(w_ms),
+                    parallel_windows: 1,
+                },
                 512,
                 slo,
                 &service,
@@ -254,7 +278,10 @@ mod tests {
         let choice = tune_coalescing(512, slo, &service);
         // Whatever the winner, it must beat the worst single configuration.
         let worst = max_rate(
-            CoalescingConfig { window: SimTime::from_millis(1), parallel_windows: 1 },
+            CoalescingConfig {
+                window: SimTime::from_millis(1),
+                parallel_windows: 1,
+            },
             512,
             slo,
             &service,

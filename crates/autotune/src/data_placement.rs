@@ -46,20 +46,20 @@ pub struct PlacementOutcome {
 /// Runs the §4.1 placement rule for a model built by `build` at `batch`.
 ///
 /// `build` must return a graph for any positive batch size.
-pub fn tune_placement(
-    sim: &ChipSim,
-    batch: u64,
-    build: impl Fn(u64) -> Graph,
-) -> PlacementOutcome {
+pub fn tune_placement(sim: &ChipSim, batch: u64, build: impl Fn(u64) -> Graph) -> PlacementOutcome {
     let sram = &sim.spec().sram;
     let graph = build(batch);
     let compiled = mtia_compiler::compile(&graph, mtia_compiler::CompilerOptions::all());
-    let activation_bytes = compiled.graph.peak_activation_bytes_for_order(&compiled.plan.order);
+    let activation_bytes = compiled
+        .graph
+        .peak_activation_bytes_for_order(&compiled.plan.order);
 
     if let Some(p) = SramPartition::fit_activations(sram, activation_bytes) {
         let report = compiled.run(sim);
         return PlacementOutcome {
-            decision: PlacementDecision::PinnedInLls { lls_granules: p.lls_granules },
+            decision: PlacementDecision::PinnedInLls {
+                lls_granules: p.lls_granules,
+            },
             throughput: report.throughput_samples_per_s(),
             activation_bytes,
         };
@@ -87,7 +87,10 @@ pub fn tune_placement(
             let fit_tput = c.run(sim).throughput_samples_per_s();
             if fit_tput >= spilled_tput {
                 PlacementOutcome {
-                    decision: PlacementDecision::ReducedBatch { batch: b, lls_granules: granules },
+                    decision: PlacementDecision::ReducedBatch {
+                        batch: b,
+                        lls_granules: granules,
+                    },
                     throughput: fit_tput,
                     activation_bytes: act,
                 }
@@ -138,7 +141,10 @@ mod tests {
         let models = zoo::fig6_models();
         let lc1 = &models[0];
         let out = tune_placement(&sim(), 1 << 17, |b| lc1.graph_at(b));
-        assert!(!matches!(out.decision, PlacementDecision::PinnedInLls { .. }));
+        assert!(!matches!(
+            out.decision,
+            PlacementDecision::PinnedInLls { .. }
+        ));
         assert!(out.throughput > 0.0);
         // The tuned decision beats or equals pure spilling at the original
         // batch by construction; verify the reduced-batch path was taken

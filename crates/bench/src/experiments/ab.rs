@@ -29,7 +29,14 @@ pub fn e14_ab_testing() -> ExperimentReport {
         "§5.6: split traffic, compare business metrics, normalized entropy, \
          and numerics; \"MTIA 2i meets SLOs, achieves comparable model \
          quality, and significantly reduces Perf/TCO\"",
-        &["arm", "NE", "NE regression", "revenue delta", "P99 latency", "passes"],
+        &[
+            "arm",
+            "NE",
+            "NE regression",
+            "revenue delta",
+            "P99 latency",
+            "passes",
+        ],
     );
     for (label, report) in [("healthy MTIA", &healthy), ("miscalibrated MTIA", &broken)] {
         t.row(&[
@@ -52,7 +59,10 @@ pub fn e14_ab_testing() -> ExperimentReport {
         format!("{}", healthy.control.latency.p99()),
     ]);
     let _ = pct(0.0);
-    ExperimentReport { id: "E14", tables: vec![t, c] }
+    ExperimentReport {
+        id: "E14",
+        tables: vec![t, c],
+    }
 }
 
 #[cfg(test)]

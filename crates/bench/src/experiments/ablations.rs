@@ -62,8 +62,8 @@ fn hbm_ablation() -> Table {
          around LPDDR",
         &["model", "LPDDR 204.8 GB/s", "HBM 1 TB/s", "HBM gain"],
     );
-    let hbm_chip = chips::mtia2i_128gb()
-        .with_hbm(Bandwidth::from_tb_per_s(1.0), Bytes::from_gib(96));
+    let hbm_chip =
+        chips::mtia2i_128gb().with_hbm(Bandwidth::from_tb_per_s(1.0), Bytes::from_gib(96));
     let lpddr = ChipSim::new(chips::mtia2i_128gb());
     let hbm = ChipSim::new(hbm_chip);
     let models = zoo::fig6_models();
@@ -101,12 +101,22 @@ fn gpu_generation_sensitivity() -> Table {
          roofline at market price; against an A100-class part (cheaper, \
          slower, lower power) the per-model wins grow — the headline is \
          robust to the comparator generation",
-        &["comparator", "mean perf vs GPU", "mean perf/TCO", "TCO reduction"],
+        &[
+            "comparator",
+            "mean perf vs GPU",
+            "mean perf/TCO",
+            "TCO reduction",
+        ],
     );
     let mtia_sim = ChipSim::new(chips::mtia2i_128gb());
     let models = zoo::fig6_models();
     for (label, gpu_spec, module_cost, typical_power) in [
-        ("H100-class (default)", chips::gpu_baseline(), mtia_core::calib::GPU_MODULE_COST, 560.0),
+        (
+            "H100-class (default)",
+            chips::gpu_baseline(),
+            mtia_core::calib::GPU_MODULE_COST,
+            560.0,
+        ),
         ("A100-class", chips::gpu_a100(), 55.0, 330.0),
     ] {
         let gpu_sim = GpuSim::new(gpu_spec);
@@ -197,9 +207,7 @@ mod tests {
     #[test]
     fn hbm_gains_are_sublinear() {
         let t = hbm_ablation();
-        let gain = |row: &Vec<String>| -> f64 {
-            row[3].trim_end_matches('x').parse().unwrap()
-        };
+        let gain = |row: &Vec<String>| -> f64 { row[3].trim_end_matches('x').parse().unwrap() };
         // Recommendation models: far below the 4.9× bandwidth ratio — the
         // SRAM already absorbed the locality.
         for row in t.rows.iter().take(t.rows.len() - 1) {
@@ -235,6 +243,9 @@ mod tests {
         let hit = parse_pct(&at_095[1]);
         assert!((40.0..=60.0).contains(&hit), "calibrated skew hit {hit}%");
         let at_080 = parse_pct(&t.rows[0][1]);
-        assert!(at_080 < 40.0, "low skew must fall out of the band: {at_080}%");
+        assert!(
+            at_080 < 40.0,
+            "low skew must fall out of the band: {at_080}%"
+        );
     }
 }

@@ -22,7 +22,12 @@ pub fn e1_job_launch() -> ExperimentReport {
         "MTIA 2i launches jobs in < 1 µs and replaces them in < 0.5 µs — up \
          to 80 % faster than MTIA 1 (quad-core Control Core + WQ broadcast + \
          per-PE WQE)",
-        &["chip", "launch (64 PEs)", "replace (64 PEs)", "vs MTIA 1 launch"],
+        &[
+            "chip",
+            "launch (64 PEs)",
+            "replace (64 PEs)",
+            "vs MTIA 1 launch",
+        ],
     );
     let gen1 = JobLaunchModel::new(chips::mtia1().control);
     let gen2 = JobLaunchModel::new(chips::mtia2i().control);
@@ -65,7 +70,10 @@ pub fn e1_job_launch() -> ExperimentReport {
             pct(r.launch_overhead().as_secs_f64() / r.total_time().as_secs_f64()),
         ]);
     }
-    ExperimentReport { id: "E1", tables: vec![t, m] }
+    ExperimentReport {
+        id: "E1",
+        tables: vec![t, m],
+    }
 }
 
 fn env_with(chip: &mtia_core::ChipSpec, resident: f64) -> KernelEnv<'_> {
@@ -88,12 +96,21 @@ pub fn e2_gemm_efficiency() -> ExperimentReport {
         ">92 % of peak for 2K×2K with multi-context + auto-increment \
          instructions; the unenhanced issue path bottlenecks, worst at \
          small shapes",
-        &["shape", "enhanced (% of peak)", "baseline issue (% of peak)", "bottleneck (baseline)"],
+        &[
+            "shape",
+            "enhanced (% of peak)",
+            "baseline issue (% of peak)",
+            "bottleneck (baseline)",
+        ],
     );
     let full = chips::mtia2i();
     let bare = chips::mtia2i_without_issue_enhancements();
     for n in [256u64, 512, 1024, 2048, 4096] {
-        let op = OpKind::Fc { batch: n, in_features: n, out_features: n };
+        let op = OpKind::Fc {
+            batch: n,
+            in_features: n,
+            out_features: n,
+        };
         let v = Some(FcVariant::optimized_for(n, n, n));
         let peak = full.gemm_peak(DType::Fp16, false).as_flops_per_s();
         let eff = |chip: &mtia_core::ChipSpec| {
@@ -118,7 +135,12 @@ pub fn e2_gemm_efficiency() -> ExperimentReport {
         "the Command Processor overlaps DMA and compute through circular \
          buffers (§3.2); with the §3.3 instruction features the DPE stays \
          >90 % busy, and the two models agree on steady-state throughput",
-        &["chip", "shape", "pipeline DPE utilization", "pipeline/roofline time"],
+        &[
+            "chip",
+            "shape",
+            "pipeline DPE utilization",
+            "pipeline/roofline time",
+        ],
     );
     for (name, chip) in [("enhanced", &full), ("baseline issue", &bare)] {
         for n in [512u64, 2048] {
@@ -138,20 +160,32 @@ pub fn e2_gemm_efficiency() -> ExperimentReport {
             ]);
         }
     }
-    ExperimentReport { id: "E2", tables: vec![t, v] }
+    ExperimentReport {
+        id: "E2",
+        tables: vec![t, v],
+    }
 }
 
 /// E7: the §4.2 streaming-GEMM optimization — decoupled loading, NoC
 /// broadcast reads, and DMA prefetch on the 512×26592×2048 shape.
 pub fn e7_broadcast_gemm() -> ExperimentReport {
     let chip = chips::mtia2i();
-    let op = OpKind::Fc { batch: 512, in_features: 26592, out_features: 2048 };
+    let op = OpKind::Fc {
+        batch: 512,
+        in_features: 26592,
+        out_features: 2048,
+    };
     let weight_mb = op.weight_bytes(DType::Fp16).as_mib();
     let mut t = Table::new(
         "E7: weight-broadcast streaming GEMM (512 × 26592 × 2048)",
         "§4.2: \"improved latency by 45% and achieved over 95% DRAM \
          bandwidth\" for this 109 MB weight tensor",
-        &["kernel variant", "latency", "DRAM bandwidth achieved", "of ECC-adjusted peak"],
+        &[
+            "kernel variant",
+            "latency",
+            "DRAM bandwidth achieved",
+            "of ECC-adjusted peak",
+        ],
     );
     let env = {
         let mut e = env_with(&chip, 0.0); // weights stream from DRAM
@@ -165,10 +199,14 @@ pub fn e7_broadcast_gemm() -> ExperimentReport {
         ..FcVariant::optimized_for(512, 26592, 2048)
     };
     let tuned = FcVariant::optimized_for(512, 26592, 2048);
-    let ecc_bw = chip.effective_dram_bw(EccMode::ControllerEcc).as_bytes_per_s();
+    let ecc_bw = chip
+        .effective_dram_bw(EccMode::ControllerEcc)
+        .as_bytes_per_s();
     let mut latencies = Vec::new();
-    for (name, v) in [("naive (no broadcast/prefetch)", naive), ("broadcast + prefetch + decoupled", tuned)]
-    {
+    for (name, v) in [
+        ("naive (no broadcast/prefetch)", naive),
+        ("broadcast + prefetch + decoupled", tuned),
+    ] {
         let c = cost_op(&env, &op, DType::Fp16, Some(v));
         let achieved = c.dram_bytes.as_f64() / c.time.as_secs_f64();
         latencies.push(c.time);
@@ -189,7 +227,10 @@ pub fn e7_broadcast_gemm() -> ExperimentReport {
         "latency improvement".into(),
         pct(1.0 - latencies[1].as_secs_f64() / latencies[0].as_secs_f64()),
     ]);
-    ExperimentReport { id: "E7", tables: vec![t, summary] }
+    ExperimentReport {
+        id: "E7",
+        tables: vec![t, summary],
+    }
 }
 
 /// Shared percentage parser for tests.
@@ -224,7 +265,11 @@ mod tests {
     #[test]
     fn e2_2k_exceeds_92_percent() {
         let r = e2_gemm_efficiency();
-        let row_2k = r.tables[0].rows.iter().find(|r| r[0].starts_with("2048")).unwrap();
+        let row_2k = r.tables[0]
+            .rows
+            .iter()
+            .find(|r| r[0].starts_with("2048"))
+            .unwrap();
         assert!(parse_pct(&row_2k[1]) > 92.0, "2K efficiency {}", row_2k[1]);
         assert!(parse_pct(&row_2k[2]) < parse_pct(&row_2k[1]));
     }

@@ -7,7 +7,6 @@ use mtia_core::spec::chips;
 use mtia_model::models::zoo;
 use mtia_sim::chip::ChipSim;
 
-
 use crate::platform::{compare_model_staged, ModelComparison, ServingFactors};
 use crate::{pct, ExperimentReport, Table};
 
@@ -90,7 +89,10 @@ pub fn stages() -> Vec<Stage> {
         Stage {
             label: "+ coalescing autotuned (>95% fill) & IBB deferral",
             options: CompilerOptions::all(),
-            serving: ServingFactors { batch_fill: 0.97, scheduling: 0.85 },
+            serving: ServingFactors {
+                batch_fill: 0.97,
+                scheduling: 0.85,
+            },
             evolved_model: true,
             overclocked: false,
             issue_enhanced_kernels: true,
@@ -111,7 +113,10 @@ pub fn stages() -> Vec<Stage> {
 /// Evaluates one stage.
 pub fn evaluate_stage(stage: &Stage) -> ModelComparison {
     let model = if stage.evolved_model {
-        zoo::fig6_models().into_iter().find(|m| m.name == "HC3").expect("HC3")
+        zoo::fig6_models()
+            .into_iter()
+            .find(|m| m.name == "HC3")
+            .expect("HC3")
     } else {
         zoo::case_study_initial()
     };
@@ -144,7 +149,12 @@ pub fn run() -> ExperimentReport {
         "Perf/TCO starts near 50 % of the GPU baseline and ends at ~180 %, \
          with ~102 % Perf/Watt at launch; complexity grows 140 → 940 \
          MFLOPS/sample during the same eight months",
-        &["stage", "model MF/sample", "perf/TCO vs GPU", "perf/W vs GPU"],
+        &[
+            "stage",
+            "model MF/sample",
+            "perf/TCO vs GPU",
+            "perf/W vs GPU",
+        ],
     );
     for stage in stages() {
         let c = evaluate_stage(&stage);
@@ -160,7 +170,10 @@ pub fn run() -> ExperimentReport {
     // The rejected model change (§6): tripling the remote embedding
     // inputs to the merge network pushes the activation buffer out of LLS;
     // every operator then round-trips activations through LPDDR.
-    let model = zoo::fig6_models().into_iter().find(|m| m.name == "HC3").expect("HC3");
+    let model = zoo::fig6_models()
+        .into_iter()
+        .find(|m| m.name == "HC3")
+        .expect("HC3");
     let graph = model.graph();
     let sim = ChipSim::new(chips::mtia2i_128gb());
     let tuned = mtia_compiler::compile(&graph, CompilerOptions::all());
@@ -176,8 +189,7 @@ pub fn run() -> ExperimentReport {
     spill_plan.activation_bytes =
         Some(wide_graph.peak_activation_bytes() * 3 + mtia_core::Bytes::from_mib(300));
     let spilled = sim.run(&wide_compiled.graph, &spill_plan);
-    let drop = 1.0
-        - spilled.throughput_samples_per_s() / pinned.throughput_samples_per_s();
+    let drop = 1.0 - spilled.throughput_samples_per_s() / pinned.throughput_samples_per_s();
     let mut rejected = Table::new(
         "Figure 4 sidebar: the rejected SRAM-unfriendly model change",
         "§6: tripling the remote embedding inputs 'caused a 90% drop in \
@@ -185,7 +197,12 @@ pub fn run() -> ExperimentReport {
          longer be pinned in SRAM'. We measure ~50%: the kernel roofline \
          absorbs part of the spill under weight streaming, and the paper's \
          figure compounds through the serving layer",
-        &["configuration", "activations", "samples/s", "throughput drop"],
+        &[
+            "configuration",
+            "activations",
+            "samples/s",
+            "throughput drop",
+        ],
     );
     rejected.row(&[
         "accepted change (extra DHEN layers, pinned)".into(),
@@ -199,7 +216,10 @@ pub fn run() -> ExperimentReport {
         crate::fx(spilled.throughput_samples_per_s(), 0),
         pct(drop),
     ]);
-    ExperimentReport { id: "F4", tables: vec![t, rejected] }
+    ExperimentReport {
+        id: "F4",
+        tables: vec![t, rejected],
+    }
 }
 
 #[cfg(test)]

@@ -3,9 +3,7 @@
 //! dropped from 99 ms to 86 ms, entirely in the merge-job wait.
 
 use mtia_core::SimTime;
-use mtia_serving::scheduler::{
-    max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig,
-};
+use mtia_serving::scheduler::{max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig};
 use mtia_serving::traffic::PoissonArrivals;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -74,8 +72,7 @@ pub fn run() -> ExperimentReport {
     for frac in [0.5, 0.7, 0.85, 0.95, 1.05] {
         let rate = rate4 * frac;
         let p99_of = |jobs: u32| {
-            let mut arrivals =
-                PoissonArrivals::new(rate, StdRng::seed_from_u64(23));
+            let mut arrivals = PoissonArrivals::new(rate, StdRng::seed_from_u64(23));
             simulate_remote_merge(deployment(jobs), &mut arrivals, horizon, warmup)
                 .request_latency
                 .p99()
@@ -103,7 +100,10 @@ pub fn run() -> ExperimentReport {
         format!("{}", p99_before.saturating_sub(p99_after)),
     ]);
 
-    ExperimentReport { id: "F5", tables: vec![t, series, summary] }
+    ExperimentReport {
+        id: "F5",
+        tables: vec![t, series, summary],
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +147,10 @@ mod tests {
     fn baseline_operates_near_the_100ms_slo() {
         // The paper's baseline sat at P99 ≈ 99 ms against a 100 ms SLO.
         let r = run();
-        let p99: f64 = r.tables[0].rows[0][2].trim_end_matches(" ms").parse().unwrap();
+        let p99: f64 = r.tables[0].rows[0][2]
+            .trim_end_matches(" ms")
+            .parse()
+            .unwrap();
         assert!((80.0..=105.0).contains(&p99), "baseline P99 {p99} ms");
     }
 }

@@ -51,7 +51,10 @@ pub fn run() -> ExperimentReport {
     summary.row(&["equivalent TCO reduction".into(), pct(1.0 - 1.0 / avg_tco)]);
     summary.row(&["mean perf/W vs GPU".into(), pct(avg_watt)]);
 
-    ExperimentReport { id: "F6", tables: vec![t, summary] }
+    ExperimentReport {
+        id: "F6",
+        tables: vec![t, summary],
+    }
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@ use mtia_core::spec::chips;
 use mtia_fleet::chipsize::{production_gain_over_replay, sample_portfolio};
 use mtia_fleet::firmware::{cadence, simulate_rollout, FirmwareBundle, Rollout};
 use mtia_fleet::memerr::{
-    decision_bandwidth_cost, ecc_keeps_tco_advantage, evaluate_mitigations,
-    production_decision, run_sensitivity, run_survey,
+    decision_bandwidth_cost, ecc_keeps_tco_advantage, evaluate_mitigations, production_decision,
+    run_sensitivity, run_survey,
 };
 use mtia_fleet::overclock::{paper_frequencies, run_study, SiliconMargin};
 use mtia_fleet::power::{capping_probability, initial_rack_budget, PowerStudy, RackConfig};
@@ -31,7 +31,10 @@ pub fn e9_ecc_study() -> ExperimentReport {
     );
     t.row(&["servers sampled".into(), survey.servers.to_string()]);
     t.row(&["servers with errors".into(), pct(survey.affected_rate)]);
-    t.row(&["of those, single-card".into(), pct(survey.single_card_fraction)]);
+    t.row(&[
+        "of those, single-card".into(),
+        pct(survey.single_card_fraction),
+    ]);
 
     let sensitivity = run_sensitivity(400, &mut rng);
     let mut s = Table::new(
@@ -51,7 +54,12 @@ pub fn e9_ecc_study() -> ExperimentReport {
         "§5.1: region ECC \"a difficult trade-off\"; software hashing \
          \"overhead too high\"; product teams cannot absorb the volume → \
          enable controller ECC (10–15 % throughput)",
-        &["mitigation", "throughput factor", "residual errors/day/1k cards", "viable"],
+        &[
+            "mitigation",
+            "throughput factor",
+            "residual errors/day/1k cards",
+            "viable",
+        ],
     );
     for o in &outcomes {
         m.row(&[
@@ -64,7 +72,10 @@ pub fn e9_ecc_study() -> ExperimentReport {
 
     let decision = production_decision(&outcomes);
     let sim = ChipSim::new(chips::mtia2i());
-    let hc3 = zoo::fig6_models().into_iter().find(|mm| mm.name == "HC3").unwrap();
+    let hc3 = zoo::fig6_models()
+        .into_iter()
+        .find(|mm| mm.name == "HC3")
+        .unwrap();
     let c = compare_model(&hc3);
     let mut d = Table::new(
         "E9d: the decision and its cost",
@@ -84,13 +95,21 @@ pub fn e9_ecc_study() -> ExperimentReport {
         ecc_keeps_tco_advantage(c.rel.perf).to_string(),
     ]);
     let _ = sim;
-    ExperimentReport { id: "E9", tables: vec![t, s, m, d] }
+    ExperimentReport {
+        id: "E9",
+        tables: vec![t, s, m, d],
+    }
 }
 
 /// E10: the 3,000-chip overclocking study plus end-to-end gains.
 pub fn e10_overclocking() -> ExperimentReport {
     let mut rng = StdRng::seed_from_u64(92);
-    let study = run_study(SiliconMargin::production(), 3000, &paper_frequencies(), &mut rng);
+    let study = run_study(
+        SiliconMargin::production(),
+        3000,
+        &paper_frequencies(),
+        &mut rng,
+    );
     let mut t = Table::new(
         "E10: overclocking qualification (3,000 chips × 10 tests)",
         "§5.2: \"negligible decreases in the test pass rate as the \
@@ -123,7 +142,10 @@ pub fn e10_overclocking() -> ExperimentReport {
         gains.push(gain);
         e.row(&[m.name.clone(), pct(gain)]);
     }
-    ExperimentReport { id: "E10", tables: vec![t, e] }
+    ExperimentReport {
+        id: "E10",
+        tables: vec![t, e],
+    }
 }
 
 /// E11: the provisioned-power study.
@@ -153,13 +175,19 @@ pub fn e11_power_budget() -> ExperimentReport {
         "analysis: P90 of busy production servers".into(),
         format!("{}", study.analysis_server_power),
     ]);
-    t.row(&["new rack budget (max of the two × 4 servers)".into(), format!("{new}")]);
+    t.row(&[
+        "new rack budget (max of the two × 4 servers)".into(),
+        format!("{new}"),
+    ]);
     t.row(&[
         "budget reduction".into(),
         pct(1.0 - new.as_f64() / initial.as_f64()),
     ]);
     t.row(&["capping probability at new budget".into(), pct(p_cap)]);
-    ExperimentReport { id: "E11", tables: vec![t] }
+    ExperimentReport {
+        id: "E11",
+        tables: vec![t],
+    }
 }
 
 /// E12: small-vs-big chips under production load.
@@ -170,13 +198,19 @@ pub fn e12_chip_size() -> ExperimentReport {
         "§5.4: \"an additional gain of 5% to 90% in Perf/TCO and Perf/Watt \
          in production compared to offline traffic replay\" — finer \
          allocation granularity + peak buffering favour 24 small chips",
-        &["portfolio", "small-chip utilization", "big-chip utilization", "production gain"],
+        &[
+            "portfolio",
+            "small-chip utilization",
+            "big-chip utilization",
+            "production gain",
+        ],
     );
     let mut gains = Vec::new();
-    let add_row = |label: String, portfolio: &[mtia_fleet::ModelDemand],
-                       t: &mut Table, gains: &mut Vec<f64>| {
-        let small =
-            mtia_fleet::provision(mtia_fleet::DeviceOption::small_chip(), portfolio);
+    let add_row = |label: String,
+                   portfolio: &[mtia_fleet::ModelDemand],
+                   t: &mut Table,
+                   gains: &mut Vec<f64>| {
+        let small = mtia_fleet::provision(mtia_fleet::DeviceOption::small_chip(), portfolio);
         let big = mtia_fleet::provision(mtia_fleet::DeviceOption::big_chip(), portfolio);
         let gain = production_gain_over_replay(portfolio);
         gains.push(gain);
@@ -189,22 +223,46 @@ pub fn e12_chip_size() -> ExperimentReport {
     };
     for i in 0..4 {
         let portfolio = sample_portfolio(40, &mut rng);
-        add_row(format!("mixed portfolio {}", i + 1), &portfolio, &mut t, &mut gains);
+        add_row(
+            format!("mixed portfolio {}", i + 1),
+            &portfolio,
+            &mut t,
+            &mut gains,
+        );
     }
     // The band's edges: a fleet of sub-device models (big chips strand the
     // most capacity) and a fleet of very large models (both options
     // amortize).
     let tiny: Vec<mtia_fleet::ModelDemand> = (0..30)
-        .map(|i| mtia_fleet::ModelDemand { peak: 0.4 + 0.06 * i as f64, avg_to_peak: 0.6 })
+        .map(|i| mtia_fleet::ModelDemand {
+            peak: 0.4 + 0.06 * i as f64,
+            avg_to_peak: 0.6,
+        })
         .collect();
     add_row("small-model-heavy fleet".into(), &tiny, &mut t, &mut gains);
     let big_models: Vec<mtia_fleet::ModelDemand> = (0..10)
-        .map(|i| mtia_fleet::ModelDemand { peak: 60.0 + 12.0 * i as f64, avg_to_peak: 0.6 })
+        .map(|i| mtia_fleet::ModelDemand {
+            peak: 60.0 + 12.0 * i as f64,
+            avg_to_peak: 0.6,
+        })
         .collect();
-    add_row("large-model-heavy fleet".into(), &big_models, &mut t, &mut gains);
+    add_row(
+        "large-model-heavy fleet".into(),
+        &big_models,
+        &mut t,
+        &mut gains,
+    );
     let mean = gains.iter().sum::<f64>() / gains.len() as f64;
-    t.row(&["mean".into(), "-".into(), "-".into(), format!("+{}", pct(mean))]);
-    ExperimentReport { id: "E12", tables: vec![t] }
+    t.row(&[
+        "mean".into(),
+        "-".into(),
+        "-".into(),
+        format!("+{}", pct(mean)),
+    ]);
+    ExperimentReport {
+        id: "E12",
+        tables: vec![t],
+    }
 }
 
 /// E13: the NoC deadlock and the firmware rollout machinery.
@@ -227,8 +285,7 @@ pub fn e13_firmware() -> ExperimentReport {
     for b in [&original, &mitigated] {
         t.row(&[
             b.version.clone(),
-            mtia_sim::noc::deadlock::deadlock_possible(b.deadlock_config_under_load())
-                .to_string(),
+            mtia_sim::noc::deadlock::deadlock_possible(b.deadlock_config_under_load()).to_string(),
             pct(stress_rate(b, &mut rng)),
         ]);
     }
@@ -272,7 +329,10 @@ pub fn e13_firmware() -> ExperimentReport {
          such as the 0.1% server impact noted earlier\"",
         &["metric", "value"],
     );
-    c.row(&["defect caught before full-fleet stage".into(), format!("{caught_early}/30")]);
+    c.row(&[
+        "defect caught before full-fleet stage".into(),
+        format!("{caught_early}/30"),
+    ]);
 
     // A simulated year of the continuous-deployment pipeline.
     let year = mtia_fleet::cd::simulate_year(mtia_fleet::cd::CdConfig::production(), &mut rng);
@@ -283,11 +343,17 @@ pub fn e13_firmware() -> ExperimentReport {
         &["metric", "value"],
     );
     y.row(&["builds produced".into(), year.builds.to_string()]);
-    y.row(&["rejected by stress testing".into(), year.rejected_by_stress.to_string()]);
+    y.row(&[
+        "rejected by stress testing".into(),
+        year.rejected_by_stress.to_string(),
+    ]);
     y.row(&["fleet-wide releases".into(), year.releases.to_string()]);
     y.row(&["escaped defects".into(), year.escaped_defects.to_string()]);
     y.row(&["containment rate".into(), pct(year.containment_rate())]);
-    ExperimentReport { id: "E13", tables: vec![t, r, c, y] }
+    ExperimentReport {
+        id: "E13",
+        tables: vec![t, r, c, y],
+    }
 }
 
 #[cfg(test)]
@@ -295,7 +361,10 @@ mod tests {
     use super::*;
 
     fn parse_pct(s: &str) -> f64 {
-        s.trim_start_matches('+').trim_end_matches('%').parse().unwrap()
+        s.trim_start_matches('+')
+            .trim_end_matches('%')
+            .parse()
+            .unwrap()
     }
 
     #[test]
@@ -314,8 +383,11 @@ mod tests {
         // §5.2: 5–20 % e2e gains "for the models we evaluated". Fully
         // DRAM-bound models sit at the low edge; the mean lands in band.
         let r = e10_overclocking();
-        let gains: Vec<f64> =
-            r.tables[1].rows.iter().map(|row| parse_pct(&row[1])).collect();
+        let gains: Vec<f64> = r.tables[1]
+            .rows
+            .iter()
+            .map(|row| parse_pct(&row[1]))
+            .collect();
         let mean = gains.iter().sum::<f64>() / gains.len() as f64;
         assert!((5.0..=20.0).contains(&mean), "mean overclock gain {mean}%");
         for (row, g) in r.tables[1].rows.iter().zip(&gains) {
@@ -345,7 +417,10 @@ mod tests {
         let r = e13_firmware();
         let y = &r.tables[3];
         let releases: u32 = y.rows[2][1].parse().unwrap();
-        assert!((18..=26).contains(&releases), "releases {releases} (paper: 23)");
+        assert!(
+            (18..=26).contains(&releases),
+            "releases {releases} (paper: 23)"
+        );
     }
 
     #[test]
@@ -353,10 +428,17 @@ mod tests {
         let r = e13_firmware();
         let original = parse_pct(&r.tables[0].rows[0][2]);
         let mitigated = parse_pct(&r.tables[0].rows[1][2]);
-        assert!((0.6..=1.4).contains(&original), "stress hang rate {original}%");
+        assert!(
+            (0.6..=1.4).contains(&original),
+            "stress hang rate {original}%"
+        );
         assert_eq!(mitigated, 0.0);
-        let caught: u32 =
-            r.tables[2].rows[0][1].split('/').next().unwrap().parse().unwrap();
+        let caught: u32 = r.tables[2].rows[0][1]
+            .split('/')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(caught >= 27, "caught {caught}/30");
     }
 }

@@ -25,8 +25,10 @@ pub fn run() -> ExperimentReport {
     let batch = 256u64;
     // The weight-streaming roofline: each FP16 weight byte read from LPDDR
     // yields 2 × batch/2 MACs across the batch → bandwidth × batch FLOPs/s.
-    let stream_cap =
-        chip.effective_dram_bw(EccMode::ControllerEcc).as_bytes_per_s() * batch as f64;
+    let stream_cap = chip
+        .effective_dram_bw(EccMode::ControllerEcc)
+        .as_bytes_per_s()
+        * batch as f64;
 
     let mut t = Table::new(
         "E17: effective FLOPS across the complexity frontier (Wukong sweep, batch 256)",
@@ -96,7 +98,10 @@ pub fn run() -> ExperimentReport {
         format!("{:?}", r.dominant_bottleneck().unwrap()),
     ]);
 
-    ExperimentReport { id: "E17", tables: vec![t] }
+    ExperimentReport {
+        id: "E17",
+        tables: vec![t],
+    }
 }
 
 #[cfg(test)]
@@ -115,7 +120,10 @@ mod tests {
     fn big_models_pin_to_the_streaming_roofline() {
         let rows = rows();
         let biggest = &rows[rows.len() - 2]; // largest Wukong
-        assert!(biggest[8].contains("Dram"), "expected DRAM-bound: {biggest:?}");
+        assert!(
+            biggest[8].contains("Dram"),
+            "expected DRAM-bound: {biggest:?}"
+        );
         let roofline_frac = pct_of(biggest, 7);
         assert!(
             roofline_frac > 70.0,
@@ -134,7 +142,11 @@ mod tests {
         let tput = |row: &Vec<String>| -> f64 { row[3].parse().unwrap() };
         let first = tput(&rows[0]);
         let last = tput(&rows[rows.len() - 2]);
-        assert!(first / last > 50.0, "throughput drop only {:.1}x", first / last);
+        assert!(
+            first / last > 50.0,
+            "throughput drop only {:.1}x",
+            first / last
+        );
     }
 
     #[test]

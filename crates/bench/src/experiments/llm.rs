@@ -20,8 +20,12 @@ pub const TOKEN_SLO: SimTime = SimTime::from_millis(60);
 /// Evaluates prefill TTFT and per-token decode latency for one model.
 pub fn evaluate(config: &LlmConfig, prompt: u64) -> (SimTime, SimTime) {
     let sim = ChipSim::new(chips::mtia2i());
-    let prefill = sim.run_optimized(&config.prefill_graph(prompt)).total_time();
-    let decode = sim.run_optimized(&config.decode_step_graph(prompt)).total_time();
+    let prefill = sim
+        .run_optimized(&config.prefill_graph(prompt))
+        .total_time();
+    let decode = sim
+        .run_optimized(&config.decode_step_graph(prompt))
+        .total_time();
     (prefill, decode)
 }
 
@@ -65,10 +69,18 @@ pub fn run() -> ExperimentReport {
         cap.row(&[
             name.to_string(),
             format!("{:.0} GiB", bytes / (1u64 << 30) as f64),
-            if bytes <= 128.0 * (1u64 << 30) as f64 { "yes" } else { "NO" }.to_string(),
+            if bytes <= 128.0 * (1u64 << 30) as f64 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
-    ExperimentReport { id: "E3", tables: vec![t, cap] }
+    ExperimentReport {
+        id: "E3",
+        tables: vec![t, cap],
+    }
 }
 
 /// Bench-friendly alias.
@@ -83,8 +95,14 @@ mod tests {
     #[test]
     fn llama2_7b_prefill_passes_decode_fails() {
         let (prefill, decode) = evaluate(&LlmConfig::llama2_7b(), 512);
-        assert!(prefill <= TTFT_SLO, "prefill {prefill} misses the 600 ms TTFT");
-        assert!(decode > TOKEN_SLO, "decode {decode} should miss 60 ms/token");
+        assert!(
+            prefill <= TTFT_SLO,
+            "prefill {prefill} misses the 600 ms TTFT"
+        );
+        assert!(
+            decode > TOKEN_SLO,
+            "decode {decode} should miss 60 ms/token"
+        );
         // The decode floor is the weight sweep over LPDDR: > 70 ms.
         assert!(decode > SimTime::from_millis(70), "decode {decode}");
     }

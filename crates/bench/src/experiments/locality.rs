@@ -43,17 +43,26 @@ pub fn e6_sram_hit_rates() -> ExperimentReport {
         "the TBE hit-rate predictions rest on Che's approximation; an actual \
          set-associative LRU cache replaying sampled Zipf(0.95) accesses \
          agrees within a few points",
-        &["catalog rows", "cached rows", "Che analytic", "simulated LRU", "delta"],
+        &[
+            "catalog rows",
+            "cached rows",
+            "Che analytic",
+            "simulated LRU",
+            "delta",
+        ],
     );
     use rand::Rng;
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(66);
     let skew = mtia_core::calib::EMBEDDING_ZIPF_SKEW;
-    for (catalog, cached) in [(2_000_000u64, 4_000u64), (2_000_000, 16_000), (8_000_000, 16_000)] {
+    for (catalog, cached) in [
+        (2_000_000u64, 4_000u64),
+        (2_000_000, 16_000),
+        (8_000_000, 16_000),
+    ] {
         let analytic = mtia_sim::mem::zipf_hit_rate(catalog, cached, skew);
         // Row-granular cache: line = one 128-byte row.
-        let mut cache =
-            mtia_sim::mem::SetAssocCache::new(cached * 128, 16, 128);
+        let mut cache = mtia_sim::mem::SetAssocCache::new(cached * 128, 16, 128);
         // Inverse-CDF Zipf sampling for s < 1 over the continuous measure
         // x^(−s): P(rank ≤ x) = (x^(1−s) − 1) / (N^(1−s) − 1), the same
         // normalization Che's integral uses.
@@ -81,7 +90,10 @@ pub fn e6_sram_hit_rates() -> ExperimentReport {
             format!("{:+.1} pp", (simulated - analytic) * 100.0),
         ]);
     }
-    ExperimentReport { id: "E6", tables: vec![t, v] }
+    ExperimentReport {
+        id: "E6",
+        tables: vec![t, v],
+    }
 }
 
 /// E15: the individual §4.2/§6 graph-optimization gains, measured on the
@@ -95,7 +107,13 @@ pub fn e15_fusion_gains() -> ExperimentReport {
          hundreds of LayerNorms batched to amortize launches; delayed IBB \
          +17 % throughput; Slice/Reshape/Concat → Transpose in MHA blocks; \
          §4.2: fusion shrinks the activation working set",
-        &["configuration", "batch latency", "vs baseline", "activation buffer", "nodes"],
+        &[
+            "configuration",
+            "batch latency",
+            "vs baseline",
+            "activation buffer",
+            "nodes",
+        ],
     );
 
     let graph = mtia_model::models::merge::MergeNetworkConfig::case_study().build();
@@ -104,7 +122,10 @@ pub fn e15_fusion_gains() -> ExperimentReport {
         ("no optimization", CompilerOptions::none()),
         (
             "+ vertical fusion",
-            CompilerOptions { vertical_fusion: true, ..CompilerOptions::none() },
+            CompilerOptions {
+                vertical_fusion: true,
+                ..CompilerOptions::none()
+            },
         ),
         (
             "+ sibling-transpose FC + MHA rewrite",
@@ -136,7 +157,10 @@ pub fn e15_fusion_gains() -> ExperimentReport {
                 ..CompilerOptions::none()
             },
         ),
-        ("all passes + tuned kernels + scheduling", CompilerOptions::all()),
+        (
+            "all passes + tuned kernels + scheduling",
+            CompilerOptions::all(),
+        ),
     ];
 
     let mut baseline = None;
@@ -156,7 +180,10 @@ pub fn e15_fusion_gains() -> ExperimentReport {
             compiled.graph.nodes().len().to_string(),
         ]);
     }
-    ExperimentReport { id: "E15", tables: vec![t] }
+    ExperimentReport {
+        id: "E15",
+        tables: vec![t],
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +191,10 @@ mod tests {
     use super::*;
 
     fn parse_pct(s: &str) -> f64 {
-        s.trim_start_matches('-').trim_end_matches('%').parse().unwrap()
+        s.trim_start_matches('-')
+            .trim_end_matches('%')
+            .parse()
+            .unwrap()
     }
 
     #[test]
@@ -238,8 +268,7 @@ mod tests {
 
     #[test]
     fn e15_every_pass_fires_on_the_raw_network() {
-        let graph =
-            mtia_model::models::merge::MergeNetworkConfig::case_study().build();
+        let graph = mtia_model::models::merge::MergeNetworkConfig::case_study().build();
         let compiled = mtia_compiler::compile(&graph, CompilerOptions::all());
         for pass in [
             "vertical-fusion",

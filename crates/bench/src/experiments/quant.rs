@@ -36,7 +36,11 @@ pub fn e8_quantization() -> ExperimentReport {
     // Performance: 2048³ FC (the paper's compute-bound example).
     let n = 2048u64;
     let v = Some(FcVariant::optimized_for(n, n, n));
-    let fc = OpKind::Fc { batch: n, in_features: n, out_features: n };
+    let fc = OpKind::Fc {
+        batch: n,
+        in_features: n,
+        out_features: n,
+    };
     let t_fp16 = cost_op(&env, &fc, DType::Fp16, v).time;
     let t_int8 = cost_op(&env, &fc, DType::Int8, v).time;
     // Quantization reads the FP16 activations out of LLS (a full sweep);
@@ -44,8 +48,7 @@ pub fn e8_quantization() -> ExperimentReport {
     // Memory as results stream out of the Reduction Engine.
     let t_quant = cost_op(&env, &OpKind::Quantize { elems: n * n }, DType::Fp16, None).time;
     let mut epilogue_env = env.clone();
-    epilogue_env.placement.activations =
-        mtia_sim::mem::sram::MemLevel::LocalMemory;
+    epilogue_env.placement.activations = mtia_sim::mem::sram::MemLevel::LocalMemory;
     let t_dequant = cost_op(
         &epilogue_env,
         &OpKind::Dequantize { elems: n * n },
@@ -91,8 +94,14 @@ pub fn e8_quantization() -> ExperimentReport {
         &["configuration", "output SNR (dB)"],
     );
     q.row(&["FP16".into(), fx(quality.fp16_snr_db, 1)]);
-    q.row(&["INT8 per-tensor".into(), fx(quality.int8_per_tensor_snr_db, 1)]);
-    q.row(&["INT8 per-row (dynamic)".into(), fx(quality.int8_per_row_snr_db, 1)]);
+    q.row(&[
+        "INT8 per-tensor".into(),
+        fx(quality.int8_per_tensor_snr_db, 1),
+    ]);
+    q.row(&[
+        "INT8 per-row (dynamic)".into(),
+        fx(quality.int8_per_row_snr_db, 1),
+    ]);
 
     // End-to-end: selective quantization of only the largest FC layers.
     let mut e2e = Table::new(
@@ -115,9 +124,8 @@ pub fn e8_quantization() -> ExperimentReport {
         let (graph, rewrites) = match threshold {
             None => (g.clone(), 0),
             Some(min_weight_bytes) => {
-                let pass = mtia_compiler::passes::quantize::SelectiveQuantization {
-                    min_weight_bytes,
-                };
+                let pass =
+                    mtia_compiler::passes::quantize::SelectiveQuantization { min_weight_bytes };
                 use mtia_compiler::Pass;
                 let r = pass.run(&g);
                 (r.graph, r.rewrites)
@@ -130,13 +138,14 @@ pub fn e8_quantization() -> ExperimentReport {
             format!("{}", report.total_time()),
             format!(
                 "+{}",
-                pct(baseline.total_time().as_secs_f64()
-                    / report.total_time().as_secs_f64()
-                    - 1.0)
+                pct(baseline.total_time().as_secs_f64() / report.total_time().as_secs_f64() - 1.0)
             ),
         ]);
     }
-    ExperimentReport { id: "E8", tables: vec![perf, q, e2e] }
+    ExperimentReport {
+        id: "E8",
+        tables: vec![perf, q, e2e],
+    }
 }
 
 /// E16: ANS weight compression and the GZIP-class PCIe path.
@@ -201,7 +210,10 @@ pub fn e16_compression() -> ExperimentReport {
         fx(ratio, 2),
         format!("{}", link.effective_bandwidth(ratio)),
     ]);
-    ExperimentReport { id: "E16", tables: vec![t, p] }
+    ExperimentReport {
+        id: "E16",
+        tables: vec![t, p],
+    }
 }
 
 /// Device-level sanity: INT8 end-to-end on a compiled model is bounded by
@@ -240,7 +252,10 @@ mod tests {
         let kernel = parse(&rows[1][2]);
         let e2e = parse(&rows[2][2]);
         assert!((1.8..=2.2).contains(&kernel), "kernel speedup {kernel}");
-        assert!((1.4..=1.8).contains(&e2e), "e2e speedup {e2e} (paper: ~1.6)");
+        assert!(
+            (1.4..=1.8).contains(&e2e),
+            "e2e speedup {e2e} (paper: ~1.6)"
+        );
         assert!(e2e < kernel);
     }
 
@@ -252,7 +267,10 @@ mod tests {
         let per_tensor: f64 = rows[1][1].parse().unwrap();
         let per_row: f64 = rows[2][1].parse().unwrap();
         assert!(fp16 > per_row && per_row > per_tensor);
-        assert!(per_row > 30.0, "per-row must stay quality-neutral: {per_row} dB");
+        assert!(
+            per_row > 30.0,
+            "per-row must stay quality-neutral: {per_row} dB"
+        );
     }
 
     #[test]
@@ -260,7 +278,11 @@ mod tests {
         let r = e8_quantization();
         let e2e = &r.tables[2];
         let gain = |row: &Vec<String>| -> f64 {
-            row[3].trim_start_matches('+').trim_end_matches('%').parse().unwrap()
+            row[3]
+                .trim_start_matches('+')
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
         };
         // Selective quantization yields a positive but modest gain (§4.4:
         // "a few percent" for typical models, more when big layers exist).
@@ -270,7 +292,10 @@ mod tests {
         // Quantizing everything adds little over selective (the small
         // layers' overhead eats their own gains).
         let blanket = gain(&e2e.rows[2]);
-        assert!(blanket <= selective + 10.0, "blanket {blanket}% vs {selective}%");
+        assert!(
+            blanket <= selective + 10.0,
+            "blanket {blanket}% vs {selective}%"
+        );
     }
 
     #[test]
@@ -281,7 +306,10 @@ mod tests {
         let fp16: f64 = rows[1][2].parse().unwrap();
         assert!(int8 < 0.6, "int8 ratio {int8} (paper: up to 0.5)");
         assert!(fp16 > 0.75, "fp16 ratio {fp16}");
-        assert!(rows.iter().all(|row| row[3] == "yes"), "round-trips must hold");
+        assert!(
+            rows.iter().all(|row| row[3] == "yes"),
+            "round-trips must hold"
+        );
     }
 
     #[test]
@@ -290,7 +318,12 @@ mod tests {
         let rows = &r.tables[1].rows;
         // Structured payload row quotes > 32 GB/s effective.
         assert!(rows[1][2].contains("GB/s"));
-        let eff: f64 = rows[1][2].split_whitespace().next().unwrap().parse().unwrap();
+        let eff: f64 = rows[1][2]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(eff > 32.0, "effective bw {eff} GB/s must beat raw PCIe");
     }
 

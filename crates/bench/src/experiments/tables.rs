@@ -35,7 +35,10 @@ pub fn table1() -> ExperimentReport {
             m.batch.to_string(),
         ]);
     }
-    ExperimentReport { id: "T1", tables: vec![t] }
+    ExperimentReport {
+        id: "T1",
+        tables: vec![t],
+    }
 }
 
 /// Table 2: MTIA 2i vs MTIA 1, with every compute rate *derived* from the
@@ -130,7 +133,10 @@ pub fn table2() -> ExperimentReport {
         "TB/s",
     );
     push("TDP", gen2.tdp.as_f64(), gen1.tdp.as_f64(), "W");
-    ExperimentReport { id: "T2", tables: vec![t] }
+    ExperimentReport {
+        id: "T2",
+        tables: vec![t],
+    }
 }
 
 #[cfg(test)]

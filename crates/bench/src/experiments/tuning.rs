@@ -20,18 +20,16 @@ fn sim_eval() -> impl FnMut(FcShape, FcVariant) -> SimTime {
             chip: &chip,
             noc: NocModel::new(chip.noc.clone()),
             dram: LpddrController::new(chip.dram.clone(), EccMode::ControllerEcc),
-            placement: place_model(
-                &chip.sram,
-                Bytes::from_mib(40),
-                Bytes::from_mib(200),
-                0.75,
-            ),
+            placement: place_model(&chip.sram, Bytes::from_mib(40), Bytes::from_mib(200), 0.75),
             weight_resident_fraction: 0.5,
             tbe_hit_rate: 0.5,
             skip_writeback_hints: true,
         };
-        let op =
-            OpKind::Fc { batch: shape.m, in_features: shape.k, out_features: shape.n };
+        let op = OpKind::Fc {
+            batch: shape.m,
+            in_features: shape.k,
+            out_features: shape.n,
+        };
         cost_op(&env, &op, DType::Fp16, Some(variant)).time
     }
 }
@@ -75,18 +73,23 @@ pub fn e4_kernel_tuning() -> ExperimentReport {
             ex.evaluations.to_string(),
             ann.evaluations.to_string(),
             format!("{}x", ex.evaluations / ann.evaluations),
-            format!("+{}", pct(ann.time.as_secs_f64() / ex.time.as_secs_f64() - 1.0)),
+            format!(
+                "+{}",
+                pct(ann.time.as_secs_f64() / ex.time.as_secs_f64() - 1.0)
+            ),
         ]);
     }
-    ExperimentReport { id: "E4", tables: vec![t] }
+    ExperimentReport {
+        id: "E4",
+        tables: vec![t],
+    }
 }
 
 /// E5: request-coalescing autotuning.
 pub fn e5_coalescing() -> ExperimentReport {
     // Service model from a mid-size ranking model: 2 ms fixed +
     // 20 µs/sample (s(512) ≈ 12 ms against the 100 ms SLO).
-    let service =
-        |b: u64| SimTime::from_micros(2000) + SimTime::from_micros(20) * b;
+    let service = |b: u64| SimTime::from_micros(2000) + SimTime::from_micros(20) * b;
     let slo = SimTime::from_millis(100);
     let target_batch = 512;
 
@@ -95,7 +98,12 @@ pub fn e5_coalescing() -> ExperimentReport {
         "§4.1: \"a model's throughput at its P99 latency SLO is highly \
          sensitive to these parameters. With effective autotuning, we \
          typically achieve >95% requests per batch\"",
-        &["window", "parallel windows", "max rate @ SLO (req/s)", "fill"],
+        &[
+            "window",
+            "parallel windows",
+            "max rate @ SLO (req/s)",
+            "fill",
+        ],
     );
     for window_ms in [1u64, 2, 5, 10, 20, 50] {
         for parallel in [1u32, 2] {
@@ -103,19 +111,10 @@ pub fn e5_coalescing() -> ExperimentReport {
                 window: SimTime::from_millis(window_ms),
                 parallel_windows: parallel,
             };
-            let rate = mtia_autotune::coalescing::max_rate(
-                config,
-                target_batch,
-                slo,
-                &service,
-            )
-            .unwrap_or(0.0);
-            let p = mtia_autotune::coalescing::predict(
-                config,
-                rate.max(1.0),
-                target_batch,
-                &service,
-            );
+            let rate = mtia_autotune::coalescing::max_rate(config, target_batch, slo, &service)
+                .unwrap_or(0.0);
+            let p =
+                mtia_autotune::coalescing::predict(config, rate.max(1.0), target_batch, &service);
             t.row(&[
                 format!("{window_ms} ms"),
                 parallel.to_string(),
@@ -129,7 +128,13 @@ pub fn e5_coalescing() -> ExperimentReport {
     let mut summary = Table::new(
         "E5 summary: autotuned operating point",
         ">95 % requests per batch at the tuned window",
-        &["window", "parallel windows", "max rate (req/s)", "fill", "P99"],
+        &[
+            "window",
+            "parallel windows",
+            "max rate (req/s)",
+            "fill",
+            "P99",
+        ],
     );
     summary.row(&[
         format!("{}", choice.config.window),
@@ -138,7 +143,10 @@ pub fn e5_coalescing() -> ExperimentReport {
         pct(choice.prediction.fill),
         format!("{}", choice.prediction.p99),
     ]);
-    ExperimentReport { id: "E5", tables: vec![t, summary] }
+    ExperimentReport {
+        id: "E5",
+        tables: vec![t, summary],
+    }
 }
 
 #[cfg(test)]
@@ -151,8 +159,11 @@ mod tests {
         for row in &r.tables[0].rows {
             let speedup: u64 = row[3].trim_end_matches('x').parse().unwrap();
             assert!(speedup >= 1000, "{}: speedup {speedup}", row[0]);
-            let gap: f64 =
-                row[4].trim_start_matches('+').trim_end_matches('%').parse().unwrap();
+            let gap: f64 = row[4]
+                .trim_start_matches('+')
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
             assert!(gap <= 5.0, "{}: ann gap {gap}%", row[0]);
         }
     }
@@ -160,8 +171,10 @@ mod tests {
     #[test]
     fn e5_tuned_fill_exceeds_95_percent() {
         let r = e5_coalescing();
-        let fill: f64 =
-            r.tables[1].rows[0][3].trim_end_matches('%').parse().unwrap();
+        let fill: f64 = r.tables[1].rows[0][3]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
         assert!(fill > 95.0, "tuned fill {fill}%");
     }
 

@@ -29,11 +29,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        paper_anchor: impl Into<String>,
-        header: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, paper_anchor: impl Into<String>, header: &[&str]) -> Self {
         Table {
             title: title.into(),
             paper_anchor: paper_anchor.into(),

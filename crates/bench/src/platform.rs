@@ -26,12 +26,18 @@ pub struct ServingFactors {
 impl ServingFactors {
     /// Fully tuned serving (the production configuration).
     pub fn tuned() -> Self {
-        ServingFactors { batch_fill: 0.97, scheduling: 1.0 }
+        ServingFactors {
+            batch_fill: 0.97,
+            scheduling: 1.0,
+        }
     }
 
     /// Untuned serving: default coalescing window, naive job ordering.
     pub fn untuned() -> Self {
-        ServingFactors { batch_fill: 0.60, scheduling: 0.85 }
+        ServingFactors {
+            batch_fill: 0.60,
+            scheduling: 0.85,
+        }
     }
 
     fn factor(&self) -> f64 {
@@ -89,7 +95,9 @@ pub fn compare_model_staged(
     // so a replica occupies exactly `shards` devices.
     let plan = tune_sharding(sim, &graph, 12);
     let device_tput = if plan.shards == 1 {
-        mtia_compiler::compile(&graph, options).run(sim).throughput_samples_per_s()
+        mtia_compiler::compile(&graph, options)
+            .run(sim)
+            .throughput_samples_per_s()
     } else {
         // `sharded_throughput` compiles with the full option set; for
         // staged (untuned) comparisons the single-device path above is the
@@ -100,13 +108,11 @@ pub fn compare_model_staged(
     let mtia_replicas = 24.0 / mtia_devices as f64;
     let mtia_server = chips::mtia_server();
     // Host ceiling per accelerator (feature staging shares host DRAM BW).
-    let host_limit = host_bound_samples_per_s(
-        &mtia_server,
-        &HostPipeline::optimized(per_sample_in),
-    ) * mtia_devices as f64;
-    let replica_tput = (device_tput * serving.factor()
-        / (1.0 + model.host_overhead))
-        .min(host_limit);
+    let host_limit =
+        host_bound_samples_per_s(&mtia_server, &HostPipeline::optimized(per_sample_in))
+            * mtia_devices as f64;
+    let replica_tput =
+        (device_tput * serving.factor() / (1.0 + model.host_overhead)).min(host_limit);
     let mtia_server_tput = replica_tput * mtia_replicas;
 
     // GPU side: mature stack, always tuned, always at the shipped batch;
@@ -121,18 +127,15 @@ pub fn compare_model_staged(
     let gpu_tput = if gpu_devices == 1 {
         gpu_sim.run(&gpu_graph).throughput_samples_per_s()
     } else {
-        let (remote, merge) =
-            mtia_autotune::split_for_shards(&gpu_graph, gpu_devices);
+        let (remote, merge) = mtia_autotune::split_for_shards(&gpu_graph, gpu_devices);
         let stage = gpu_sim.run(&remote).total_time() + gpu_sim.run(&merge).total_time();
         gpu_graph.batch() as f64 / stage.as_secs_f64()
     };
     let gpu_server_spec = chips::gpu_server();
-    let gpu_host_limit = host_bound_samples_per_s(
-        &gpu_server_spec,
-        &HostPipeline::optimized(per_sample_in),
-    ) * gpu_devices as f64;
-    let gpu_replica_tput =
-        (gpu_tput / (1.0 + model.host_overhead)).min(gpu_host_limit);
+    let gpu_host_limit =
+        host_bound_samples_per_s(&gpu_server_spec, &HostPipeline::optimized(per_sample_in))
+            * gpu_devices as f64;
+    let gpu_replica_tput = (gpu_tput / (1.0 + model.host_overhead)).min(gpu_host_limit);
     let gpu_server_tput = gpu_replica_tput * (8.0 / gpu_devices as f64);
 
     let mtia_metrics = PlatformMetrics::new(ServerCost::mtia_server(), mtia_server_tput);

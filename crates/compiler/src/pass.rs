@@ -44,7 +44,10 @@ impl GraphAnalysis {
                 consumers.entry(t).or_default().push(i);
             }
         }
-        GraphAnalysis { producer, consumers }
+        GraphAnalysis {
+            producer,
+            consumers,
+        }
     }
 
     /// The single consumer of `t`, if exactly one node consumes it.
@@ -121,7 +124,10 @@ mod tests {
             "null"
         }
         fn run(&self, graph: &Graph) -> PassResult {
-            PassResult { graph: graph.clone(), rewrites: 0 }
+            PassResult {
+                graph: graph.clone(),
+                rewrites: 0,
+            }
         }
     }
 

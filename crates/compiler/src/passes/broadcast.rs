@@ -17,23 +17,48 @@ use crate::pass::{GraphAnalysis, Pass, PassResult};
 /// past it). The second element is the op's output column width.
 fn shrink_rows(op: &OpKind, rows_out: u64, rows_in: u64) -> Option<(OpKind, u64)> {
     match *op {
-        OpKind::Fc { batch, in_features, out_features } if batch == rows_out => Some((
-            OpKind::Fc { batch: rows_in, in_features, out_features },
+        OpKind::Fc {
+            batch,
+            in_features,
+            out_features,
+        } if batch == rows_out => Some((
+            OpKind::Fc {
+                batch: rows_in,
+                in_features,
+                out_features,
+            },
             out_features,
         )),
-        OpKind::Elementwise { elems, kind, arity: 1 } if elems % rows_out == 0 => {
+        OpKind::Elementwise {
+            elems,
+            kind,
+            arity: 1,
+        } if elems % rows_out == 0 => {
             let cols = elems / rows_out;
             Some((
-                OpKind::Elementwise { elems: rows_in * cols, kind, arity: 1 },
+                OpKind::Elementwise {
+                    elems: rows_in * cols,
+                    kind,
+                    arity: 1,
+                },
                 cols,
             ))
         }
-        OpKind::LayerNorm { rows, cols } if rows == rows_out => {
-            Some((OpKind::LayerNorm { rows: rows_in, cols }, cols))
-        }
+        OpKind::LayerNorm { rows, cols } if rows == rows_out => Some((
+            OpKind::LayerNorm {
+                rows: rows_in,
+                cols,
+            },
+            cols,
+        )),
         OpKind::Cast { elems } if elems % rows_out == 0 => {
             let cols = elems / rows_out;
-            Some((OpKind::Cast { elems: rows_in * cols }, cols))
+            Some((
+                OpKind::Cast {
+                    elems: rows_in * cols,
+                },
+                cols,
+            ))
         }
         _ => None,
     }
@@ -55,19 +80,25 @@ impl Pass for DelayedBroadcast {
 
         // Find the first sinkable broadcast.
         for (i, node) in nodes.iter().enumerate() {
-            let OpKind::Broadcast { rows_in, rows_out, .. } = node.op else { continue };
+            let OpKind::Broadcast {
+                rows_in, rows_out, ..
+            } = node.op
+            else {
+                continue;
+            };
             if node.outputs.len() != 1 || rows_in >= rows_out {
                 continue;
             }
             let t = node.outputs[0];
-            let Some(j) = analysis.sole_consumer(t) else { continue };
+            let Some(j) = analysis.sole_consumer(t) else {
+                continue;
+            };
             let consumer = &nodes[j];
             // The broadcast output must be the consumer's row input.
             if consumer.inputs.first() != Some(&t) {
                 continue;
             }
-            let Some((shrunk_op, out_cols)) = shrink_rows(&consumer.op, rows_out, rows_in)
-            else {
+            let Some((shrunk_op, out_cols)) = shrink_rows(&consumer.op, rows_out, rows_in) else {
                 continue;
             };
 
@@ -93,15 +124,25 @@ impl Pass for DelayedBroadcast {
             // The broadcast moves to the consumer's slot and widens.
             new_nodes[j] = Node {
                 name: format!("{}_delayed", node.name),
-                op: OpKind::Broadcast { rows_in, rows_out, cols: out_cols },
+                op: OpKind::Broadcast {
+                    rows_in,
+                    rows_out,
+                    cols: out_cols,
+                },
                 inputs: vec![small],
                 outputs: consumer.outputs.clone(),
             };
             out.set_nodes(new_nodes);
             debug_assert_eq!(out.validate(), Ok(()));
-            return PassResult { graph: out, rewrites: 1 };
+            return PassResult {
+                graph: out,
+                rewrites: 1,
+            };
         }
-        PassResult { graph: graph.clone(), rewrites: 0 }
+        PassResult {
+            graph: graph.clone(),
+            rewrites: 0,
+        }
     }
 }
 
@@ -115,23 +156,48 @@ mod tests {
     /// user (2 rows) --broadcast→ 64 rows → cast → elementwise → output.
     fn early_broadcast_graph() -> Graph {
         let mut g = Graph::new("ibb", 64);
-        let user = g.add_tensor("user", Shape::matrix(2, 256), DType::Fp16, TensorKind::Input);
-        let wide =
-            g.add_tensor("wide", Shape::matrix(64, 256), DType::Fp16, TensorKind::Activation);
+        let user = g.add_tensor(
+            "user",
+            Shape::matrix(2, 256),
+            DType::Fp16,
+            TensorKind::Input,
+        );
+        let wide = g.add_tensor(
+            "wide",
+            Shape::matrix(64, 256),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
         g.add_node(
             "ibb",
-            OpKind::Broadcast { rows_in: 2, rows_out: 64, cols: 256 },
+            OpKind::Broadcast {
+                rows_in: 2,
+                rows_out: 64,
+                cols: 256,
+            },
             [user],
             [wide],
         );
-        let casted =
-            g.add_tensor("casted", Shape::matrix(64, 256), DType::Fp16, TensorKind::Activation);
+        let casted = g.add_tensor(
+            "casted",
+            Shape::matrix(64, 256),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
         g.add_node("cast", OpKind::Cast { elems: 64 * 256 }, [wide], [casted]);
-        let act =
-            g.add_tensor("act", Shape::matrix(64, 256), DType::Fp16, TensorKind::Output);
+        let act = g.add_tensor(
+            "act",
+            Shape::matrix(64, 256),
+            DType::Fp16,
+            TensorKind::Output,
+        );
         g.add_node(
             "gelu",
-            OpKind::Elementwise { elems: 64 * 256, kind: EwKind::Nonlinear, arity: 1 },
+            OpKind::Elementwise {
+                elems: 64 * 256,
+                kind: EwKind::Nonlinear,
+                arity: 1,
+            },
             [casted],
             [act],
         );
@@ -146,7 +212,10 @@ mod tests {
         let (out, log) = pm.run(&g);
         assert_eq!(log[0].1, 2, "broadcast sinks past cast and gelu");
         // The broadcast is now last.
-        assert!(matches!(out.nodes().last().unwrap().op, OpKind::Broadcast { .. }));
+        assert!(matches!(
+            out.nodes().last().unwrap().op,
+            OpKind::Broadcast { .. }
+        ));
         assert_eq!(out.validate(), Ok(()));
     }
 
@@ -161,10 +230,7 @@ mod tests {
         // §6: "reducing the memory footprint of some models by up to 2x".
         // Here the only remaining wide tensor is the final output: 33 KB
         // live vs 64 KB before, a 1.94× reduction.
-        assert!(
-            out.peak_activation_bytes().as_f64()
-                <= g.peak_activation_bytes().as_f64() * 0.55
-        );
+        assert!(out.peak_activation_bytes().as_f64() <= g.peak_activation_bytes().as_f64() * 0.55);
     }
 
     #[test]
@@ -172,17 +238,30 @@ mod tests {
         let mut g = Graph::new("stop", 8);
         let user = g.add_tensor("user", Shape::matrix(1, 8), DType::Fp16, TensorKind::Input);
         let ads = g.add_tensor("ads", Shape::matrix(8, 8), DType::Fp16, TensorKind::Input);
-        let wide = g.add_tensor("wide", Shape::matrix(8, 8), DType::Fp16, TensorKind::Activation);
+        let wide = g.add_tensor(
+            "wide",
+            Shape::matrix(8, 8),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
         g.add_node(
             "ibb",
-            OpKind::Broadcast { rows_in: 1, rows_out: 8, cols: 8 },
+            OpKind::Broadcast {
+                rows_in: 1,
+                rows_out: 8,
+                cols: 8,
+            },
             [user],
             [wide],
         );
         let out = g.add_tensor("out", Shape::matrix(8, 8), DType::Fp16, TensorKind::Output);
         g.add_node(
             "pair_add",
-            OpKind::Elementwise { elems: 64, kind: EwKind::Arithmetic, arity: 2 },
+            OpKind::Elementwise {
+                elems: 64,
+                kind: EwKind::Arithmetic,
+                arity: 2,
+            },
             [wide, ads],
             [out],
         );
@@ -191,7 +270,11 @@ mod tests {
 
     #[test]
     fn shrink_rows_variants() {
-        let fc = OpKind::Fc { batch: 64, in_features: 8, out_features: 16 };
+        let fc = OpKind::Fc {
+            batch: 64,
+            in_features: 8,
+            out_features: 16,
+        };
         let (s, cols) = shrink_rows(&fc, 64, 2).unwrap();
         assert!(matches!(s, OpKind::Fc { batch: 2, .. }));
         assert_eq!(cols, 16);

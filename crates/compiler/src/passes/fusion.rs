@@ -67,7 +67,9 @@ impl Pass for VerticalFusion {
                     break;
                 }
                 let t = node.outputs[0];
-                let Some(j) = analysis.sole_consumer(t) else { break };
+                let Some(j) = analysis.sole_consumer(t) else {
+                    break;
+                };
                 if absorbed.contains(&j) || j <= i {
                     break;
                 }
@@ -87,7 +89,10 @@ impl Pass for VerticalFusion {
 
         let mut out = graph.clone();
         out.set_nodes(new_nodes);
-        PassResult { graph: out, rewrites }
+        PassResult {
+            graph: out,
+            rewrites,
+        }
     }
 }
 
@@ -124,7 +129,12 @@ impl Pass for SiblingTransposeFc {
             // All consumers must be sibling FCs over the transposed tensor.
             let mut siblings = Vec::new();
             for &j in &consumer_ids {
-                if let OpKind::Fc { batch, in_features, out_features } = nodes[j].op {
+                if let OpKind::Fc {
+                    batch,
+                    in_features,
+                    out_features,
+                } = nodes[j].op
+                {
                     if nodes[j].inputs.first() == Some(&t) && !absorbed.contains(&j) {
                         siblings.push((j, batch, in_features, out_features));
                         continue;
@@ -134,7 +144,9 @@ impl Pass for SiblingTransposeFc {
                 break;
             }
             if siblings.len() < 2
-                || !siblings.windows(2).all(|w| w[0].1 == w[1].1 && w[0].2 == w[1].2)
+                || !siblings
+                    .windows(2)
+                    .all(|w| w[0].1 == w[1].1 && w[0].2 == w[1].2)
             {
                 new_nodes.push(original.clone());
                 continue;
@@ -145,7 +157,11 @@ impl Pass for SiblingTransposeFc {
             let total_out: u64 = siblings.iter().map(|s| s.3).sum();
             let combined = OpKind::Fused(vec![
                 original.op.clone(),
-                OpKind::Fc { batch, in_features, out_features: total_out },
+                OpKind::Fc {
+                    batch,
+                    in_features,
+                    out_features: total_out,
+                },
             ]);
             let mut inputs = original.inputs.clone();
             let mut outputs = Vec::new();
@@ -157,13 +173,21 @@ impl Pass for SiblingTransposeFc {
                 outputs.extend(nodes[j].outputs.iter().copied());
                 name.push('_');
             }
-            new_nodes.push(Node { name, op: combined, inputs, outputs });
+            new_nodes.push(Node {
+                name,
+                op: combined,
+                inputs,
+                outputs,
+            });
             rewrites += 1;
         }
 
         let mut out = graph.clone();
         out.set_nodes(new_nodes);
-        PassResult { graph: out, rewrites }
+        PassResult {
+            graph: out,
+            rewrites,
+        }
     }
 }
 
@@ -195,7 +219,9 @@ impl Pass for LayerNormBatching {
             if used.contains(&i) {
                 continue;
             }
-            let Some(cols) = ln_cols(&nodes[i].op) else { continue };
+            let Some(cols) = ln_cols(&nodes[i].op) else {
+                continue;
+            };
             let mut group = vec![i];
             for (j, node_j) in nodes.iter().enumerate().skip(i + 1) {
                 if used.contains(&j) || ln_cols(&node_j.op) != Some(cols) {
@@ -215,7 +241,10 @@ impl Pass for LayerNormBatching {
                 let anchor = i;
                 let safe = group.iter().all(|&m| {
                     nodes[m].outputs.iter().all(|t| {
-                        analysis.consumers_of(*t).iter().all(|&c| c > anchor || c >= m)
+                        analysis
+                            .consumers_of(*t)
+                            .iter()
+                            .all(|&c| c > anchor || c >= m)
                     })
                 });
                 if safe {
@@ -229,7 +258,10 @@ impl Pass for LayerNormBatching {
         }
 
         if groups.is_empty() {
-            return PassResult { graph: graph.clone(), rewrites: 0 };
+            return PassResult {
+                graph: graph.clone(),
+                rewrites: 0,
+            };
         }
 
         let mut new_nodes = Vec::with_capacity(nodes.len());
@@ -265,7 +297,10 @@ impl Pass for LayerNormBatching {
 
         let mut out = graph.clone();
         out.set_nodes(new_nodes);
-        PassResult { graph: out, rewrites }
+        PassResult {
+            graph: out,
+            rewrites,
+        }
     }
 }
 
@@ -317,9 +352,18 @@ mod tests {
     fn sibling_graph() -> Graph {
         let mut g = Graph::new("sib", 32);
         let x = g.add_tensor("x", Shape::matrix(64, 32), DType::Fp16, TensorKind::Input);
-        let xt =
-            g.add_tensor("xt", Shape::matrix(32, 64), DType::Fp16, TensorKind::Activation);
-        g.add_node("transpose", OpKind::Transpose { rows: 64, cols: 32 }, [x], [xt]);
+        let xt = g.add_tensor(
+            "xt",
+            Shape::matrix(32, 64),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            "transpose",
+            OpKind::Transpose { rows: 64, cols: 32 },
+            [x],
+            [xt],
+        );
         for k in 0..3u64 {
             let w = g.add_tensor(
                 format!("w{k}"),
@@ -335,7 +379,11 @@ mod tests {
             );
             g.add_node(
                 format!("fc{k}"),
-                OpKind::Fc { batch: 32, in_features: 64, out_features: 128 },
+                OpKind::Fc {
+                    batch: 32,
+                    in_features: 64,
+                    out_features: 128,
+                },
                 [xt, w],
                 [o],
             );
@@ -356,7 +404,10 @@ mod tests {
                 assert!(matches!(members[0], OpKind::Transpose { .. }));
                 assert!(matches!(
                     members[1],
-                    OpKind::Fc { out_features: 384, .. }
+                    OpKind::Fc {
+                        out_features: 384,
+                        ..
+                    }
                 ));
             }
             other => panic!("expected fused, got {other}"),
@@ -368,11 +419,25 @@ mod tests {
     fn sibling_fusion_requires_at_least_two_fcs() {
         let mut g = Graph::new("one", 8);
         let x = g.add_tensor("x", Shape::matrix(8, 8), DType::Fp16, TensorKind::Input);
-        let xt = g.add_tensor("xt", Shape::matrix(8, 8), DType::Fp16, TensorKind::Activation);
+        let xt = g.add_tensor(
+            "xt",
+            Shape::matrix(8, 8),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
         let w = g.add_tensor("w", Shape::matrix(8, 8), DType::Fp16, TensorKind::Weight);
         let o = g.add_tensor("o", Shape::matrix(8, 8), DType::Fp16, TensorKind::Output);
         g.add_node("t", OpKind::Transpose { rows: 8, cols: 8 }, [x], [xt]);
-        g.add_node("fc", OpKind::Fc { batch: 8, in_features: 8, out_features: 8 }, [xt, w], [o]);
+        g.add_node(
+            "fc",
+            OpKind::Fc {
+                batch: 8,
+                in_features: 8,
+                out_features: 8,
+            },
+            [xt, w],
+            [o],
+        );
         assert_eq!(SiblingTransposeFc.run(&g).rewrites, 0);
     }
 
@@ -398,13 +463,22 @@ mod tests {
             outs.push(o);
         }
         for (k, (i, o)) in lns.iter().enumerate() {
-            g.add_node(format!("ln{k}"), OpKind::LayerNorm { rows: 16, cols: 64 }, [*i], [*o]);
+            g.add_node(
+                format!("ln{k}"),
+                OpKind::LayerNorm { rows: 16, cols: 64 },
+                [*i],
+                [*o],
+            );
         }
         // A consumer of all outputs.
         let fin = g.add_tensor("fin", Shape::vector(1), DType::Fp16, TensorKind::Output);
         g.add_node(
             "sink",
-            OpKind::Concat { rows: 16, cols_total: 256, num_inputs: 4 },
+            OpKind::Concat {
+                rows: 16,
+                cols_total: 256,
+                num_inputs: 4,
+            },
             outs,
             [fin],
         );
@@ -418,7 +492,10 @@ mod tests {
             .iter()
             .find(|n| n.name.starts_with("batched_ln"))
             .expect("merged node");
-        assert!(matches!(merged.op, OpKind::LayerNorm { rows: 64, cols: 64 }));
+        assert!(matches!(
+            merged.op,
+            OpKind::LayerNorm { rows: 64, cols: 64 }
+        ));
         assert_eq!(result.graph.nodes().len(), 2);
     }
 
@@ -427,7 +504,12 @@ mod tests {
         // ln2 depends on ln1's output → cannot merge.
         let mut g = Graph::new("dep", 8);
         let a = g.add_tensor("a", Shape::matrix(8, 32), DType::Fp16, TensorKind::Input);
-        let b = g.add_tensor("b", Shape::matrix(8, 32), DType::Fp16, TensorKind::Activation);
+        let b = g.add_tensor(
+            "b",
+            Shape::matrix(8, 32),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
         let c = g.add_tensor("c", Shape::matrix(8, 32), DType::Fp16, TensorKind::Output);
         g.add_node("ln1", OpKind::LayerNorm { rows: 8, cols: 32 }, [a], [b]);
         g.add_node("ln2", OpKind::LayerNorm { rows: 8, cols: 32 }, [b], [c]);

@@ -44,20 +44,25 @@ impl Pass for MhaLayoutRewrite {
                 let k = analysis.sole_consumer(t2)?;
                 let concat = &nodes[k];
                 match concat.op {
-                    OpKind::Concat { rows, cols_total, .. } if concat.inputs == [t2] => {
-                        Some((j, k, rows, cols_total))
-                    }
+                    OpKind::Concat {
+                        rows, cols_total, ..
+                    } if concat.inputs == [t2] => Some((j, k, rows, cols_total)),
                     _ => None,
                 }
             })();
 
             match chain {
-                Some((j, k, rows, cols_total)) if !absorbed.contains(&j) && !absorbed.contains(&k) => {
+                Some((j, k, rows, cols_total))
+                    if !absorbed.contains(&j) && !absorbed.contains(&k) =>
+                {
                     absorbed.insert(j);
                     absorbed.insert(k);
                     new_nodes.push(Node {
                         name: format!("{}_as_transpose", node.name),
-                        op: OpKind::Transpose { rows, cols: cols_total },
+                        op: OpKind::Transpose {
+                            rows,
+                            cols: cols_total,
+                        },
                         inputs: node.inputs.clone(),
                         outputs: nodes[k].outputs.clone(),
                     });
@@ -69,7 +74,10 @@ impl Pass for MhaLayoutRewrite {
 
         let mut out = graph.clone();
         out.set_nodes(new_nodes);
-        PassResult { graph: out, rewrites }
+        PassResult {
+            graph: out,
+            rewrites,
+        }
     }
 }
 
@@ -83,14 +91,28 @@ mod tests {
     fn slice_reshape_concat() -> Graph {
         let mut g = Graph::new("mha", 8);
         let x = g.add_tensor("x", Shape::matrix(8, 64), DType::Fp16, TensorKind::Input);
-        let s = g.add_tensor("s", Shape::matrix(8, 32), DType::Fp16, TensorKind::Activation);
-        let r = g.add_tensor("r", Shape::matrix(16, 16), DType::Fp16, TensorKind::Activation);
+        let s = g.add_tensor(
+            "s",
+            Shape::matrix(8, 32),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
+        let r = g.add_tensor(
+            "r",
+            Shape::matrix(16, 16),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
         let c = g.add_tensor("c", Shape::matrix(16, 16), DType::Fp16, TensorKind::Output);
         g.add_node("slice", OpKind::Slice { rows: 8, cols: 32 }, [x], [s]);
         g.add_node("reshape", OpKind::Reshape { elems: 256 }, [s], [r]);
         g.add_node(
             "concat",
-            OpKind::Concat { rows: 16, cols_total: 16, num_inputs: 1 },
+            OpKind::Concat {
+                rows: 16,
+                cols_total: 16,
+                num_inputs: 1,
+            },
             [r],
             [c],
         );

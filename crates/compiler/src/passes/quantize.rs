@@ -24,7 +24,9 @@ pub struct SelectiveQuantization {
 impl Default for SelectiveQuantization {
     fn default() -> Self {
         // §4.4: only "the largest FC layers" amortize the overhead.
-        SelectiveQuantization { min_weight_bytes: Bytes::from_mib(8) }
+        SelectiveQuantization {
+            min_weight_bytes: Bytes::from_mib(8),
+        }
     }
 }
 
@@ -37,10 +39,19 @@ impl Pass for SelectiveQuantization {
         let mut rewrites = 0;
         let mut nodes = graph.nodes().to_vec();
         for node in &mut nodes {
-            if let OpKind::Fc { batch, in_features, out_features } = node.op {
+            if let OpKind::Fc {
+                batch,
+                in_features,
+                out_features,
+            } = node.op
+            {
                 let weight = DType::Fp16.bytes_for(in_features * out_features);
                 if weight >= self.min_weight_bytes {
-                    node.op = OpKind::QuantizedFc { batch, in_features, out_features };
+                    node.op = OpKind::QuantizedFc {
+                        batch,
+                        in_features,
+                        out_features,
+                    };
                     node.name = format!("{}_int8", node.name);
                     rewrites += 1;
                 }
@@ -48,7 +59,10 @@ impl Pass for SelectiveQuantization {
         }
         let mut out = graph.clone();
         out.set_nodes(nodes);
-        PassResult { graph: out, rewrites }
+        PassResult {
+            graph: out,
+            rewrites,
+        }
     }
 }
 
@@ -80,7 +94,10 @@ mod tests {
     fn threshold_zero_quantizes_everything() {
         let models = zoo::fig6_models();
         let g = models.iter().find(|m| m.name == "LC2").unwrap().graph();
-        let all = SelectiveQuantization { min_weight_bytes: Bytes::ZERO }.run(&g);
+        let all = SelectiveQuantization {
+            min_weight_bytes: Bytes::ZERO,
+        }
+        .run(&g);
         let fcs = g
             .nodes()
             .iter()

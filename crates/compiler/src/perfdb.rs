@@ -35,14 +35,22 @@ impl FcShape {
 
     /// Log-space feature vector for nearest-neighbour search.
     fn features(&self) -> [f64; 3] {
-        [(self.m as f64).ln(), (self.k as f64).ln(), (self.n as f64).ln()]
+        [
+            (self.m as f64).ln(),
+            (self.k as f64).ln(),
+            (self.n as f64).ln(),
+        ]
     }
 
     /// Euclidean distance in log-shape space.
     fn distance(&self, other: &FcShape) -> f64 {
         let a = self.features();
         let b = other.features();
-        a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -51,7 +59,11 @@ pub fn enumerate_variants(shape: FcShape) -> Vec<FcVariant> {
     let mut variants = Vec::new();
     let blocks_mk = [32u64, 64, 128, 256, 512];
     let blocks_n = [64u64, 128, 256, 512];
-    for stationarity in [Stationarity::Weight, Stationarity::Input, Stationarity::Output] {
+    for stationarity in [
+        Stationarity::Weight,
+        Stationarity::Input,
+        Stationarity::Output,
+    ] {
         for &block_m in &blocks_mk {
             for &block_k in &blocks_mk {
                 for &block_n in &blocks_n {
@@ -101,7 +113,11 @@ pub fn exhaustive_tune(
         }
     }
     let (time, variant) = best.expect("variant space is non-empty");
-    TuneOutcome { variant, time, evaluations }
+    TuneOutcome {
+        variant,
+        time,
+        evaluations,
+    }
 }
 
 /// The performance database: tuned shapes and their best variants.
@@ -171,7 +187,10 @@ impl PerfDb {
             .entries
             .iter()
             .min_by(|(a, _), (b, _)| {
-                shape.distance(a).partial_cmp(&shape.distance(b)).expect("finite distances")
+                shape
+                    .distance(a)
+                    .partial_cmp(&shape.distance(b))
+                    .expect("finite distances")
             })
             .expect("non-empty database");
         // Re-block the borrowed variant to the query shape's alignment: the
@@ -179,7 +198,11 @@ impl PerfDb {
         // prefetch); block sizes transfer as-is.
         let variant = *nearest_variant;
         let time = eval(shape, variant);
-        TuneOutcome { variant, time, evaluations: 1 }
+        TuneOutcome {
+            variant,
+            time,
+            evaluations: 1,
+        }
     }
 }
 
@@ -266,7 +289,11 @@ mod tests {
             let speedup = exhaustive.evaluations as f64 / ann.evaluations as f64;
             assert!(speedup >= 1000.0, "speedup {speedup}");
             let gap = ann.time.as_secs_f64() / exhaustive.time.as_secs_f64() - 1.0;
-            assert!(gap <= 0.05, "{q:?}: ann within {:.1}% of exhaustive", gap * 100.0);
+            assert!(
+                gap <= 0.05,
+                "{q:?}: ann within {:.1}% of exhaustive",
+                gap * 100.0
+            );
         }
     }
 

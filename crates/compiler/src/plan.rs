@@ -125,26 +125,43 @@ pub fn compile(graph: &Graph, options: CompilerOptions) -> Compiled {
     if options.tuned_kernels {
         for (i, node) in optimized.nodes().iter().enumerate() {
             let fc = match &node.op {
-                OpKind::Fc { batch, in_features, out_features }
-                | OpKind::QuantizedFc { batch, in_features, out_features } => {
-                    Some((*batch, *in_features, *out_features))
+                OpKind::Fc {
+                    batch,
+                    in_features,
+                    out_features,
                 }
+                | OpKind::QuantizedFc {
+                    batch,
+                    in_features,
+                    out_features,
+                } => Some((*batch, *in_features, *out_features)),
                 OpKind::Fused(members) => members.iter().find_map(|m| match m {
-                    OpKind::Fc { batch, in_features, out_features }
-                    | OpKind::QuantizedFc { batch, in_features, out_features } => {
-                        Some((*batch, *in_features, *out_features))
+                    OpKind::Fc {
+                        batch,
+                        in_features,
+                        out_features,
                     }
+                    | OpKind::QuantizedFc {
+                        batch,
+                        in_features,
+                        out_features,
+                    } => Some((*batch, *in_features, *out_features)),
                     _ => None,
                 }),
                 _ => None,
             };
             if let Some((m, k, n)) = fc {
-                plan.fc_variants.insert(i, FcVariant::optimized_for(m, k, n));
+                plan.fc_variants
+                    .insert(i, FcVariant::optimized_for(m, k, n));
             }
         }
     }
 
-    Compiled { graph: optimized, plan, pass_log }
+    Compiled {
+        graph: optimized,
+        plan,
+        pass_log,
+    }
 }
 
 #[cfg(test)]
@@ -198,7 +215,10 @@ mod tests {
         let compiled = compile(&g, CompilerOptions::all());
         let total: usize = compiled.pass_log.iter().map(|(_, n)| n).sum();
         assert!(total > 0, "no rewrites logged: {:?}", compiled.pass_log);
-        assert!(compiled.pass_log.iter().any(|(name, _)| name == "vertical-fusion"));
+        assert!(compiled
+            .pass_log
+            .iter()
+            .any(|(name, _)| name == "vertical-fusion"));
     }
 
     #[test]

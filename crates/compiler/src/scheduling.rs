@@ -86,7 +86,8 @@ fn greedy_min_liveness(graph: &Graph) -> Vec<usize> {
         let _ = i;
         for &t in &node.inputs {
             if is_activation(graph, t) && !producer.contains_key(&t) {
-                live.entry(t).or_insert_with(|| graph.tensor(t).bytes().as_u64());
+                live.entry(t)
+                    .or_insert_with(|| graph.tensor(t).bytes().as_u64());
             }
         }
     }
@@ -230,7 +231,11 @@ mod tests {
         );
         g.add_node(
             "join",
-            OpKind::Concat { rows: 1, cols_total: 2, num_inputs: 2 },
+            OpKind::Concat {
+                rows: 1,
+                cols_total: 2,
+                num_inputs: 2,
+            },
             finals.clone(),
             [join],
         );

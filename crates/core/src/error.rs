@@ -27,7 +27,11 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::MisalignedCapacity { what, capacity, granule } => write!(
+            ConfigError::MisalignedCapacity {
+                what,
+                capacity,
+                granule,
+            } => write!(
                 f,
                 "{what} capacity {capacity} B is not a multiple of the {granule} B granule"
             ),
@@ -55,7 +59,10 @@ mod tests {
         assert!(s.contains("100 B"));
         assert!(s.contains("32 B"));
 
-        let e = ConfigError::OutOfRange { what: "utilization", valid: "[0, 1]" };
+        let e = ConfigError::OutOfRange {
+            what: "utilization",
+            valid: "[0, 1]",
+        };
         assert!(e.to_string().contains("utilization"));
     }
 

@@ -27,6 +27,7 @@ pub mod calib;
 pub mod dtype;
 pub mod error;
 pub mod power;
+pub mod seed;
 pub mod spec;
 pub mod tco;
 pub mod units;

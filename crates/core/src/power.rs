@@ -62,7 +62,10 @@ impl PowerModel {
         );
         let f_ratio = frequency.ratio(self.nominal_frequency);
         let v_ratio = (voltage / self.nominal_voltage).powi(2);
-        self.idle + self.dynamic_at_nominal.scale(utilization * f_ratio * v_ratio)
+        self.idle
+            + self
+                .dynamic_at_nominal
+                .scale(utilization * f_ratio * v_ratio)
     }
 
     /// Peak (100 % utilization) power at a given frequency.

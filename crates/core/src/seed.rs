@@ -1,0 +1,62 @@
+//! The fleet-wide simulation seed.
+//!
+//! Every stochastic experiment in this workspace — fault plans, Poisson
+//! arrival streams, retry jitter, overclock sampling — must be a pure
+//! function of one documented `u64` so that any reported number can be
+//! reproduced bit-for-bit from the command line. Examples and
+//! integration tests derive their RNG streams from [`DEFAULT_SEED`]
+//! through [`derive`] rather than scattering ad-hoc literals.
+//!
+//! [`derive`] splits the root seed per *purpose label*, so independent
+//! subsystems (e.g. the fault plan and the arrival process) get
+//! decorrelated streams while remaining reproducible: changing the
+//! label changes the stream, changing the root seed changes all of them.
+
+/// The documented root seed for all examples and integration tests.
+///
+/// The value spells "MTIA 2i" in spirit: 0x2i = the second-generation
+/// inference chip, ISCA 2025 paper.
+pub const DEFAULT_SEED: u64 = 0x4D54_4941_2025_0002; // "MTIA" 2025 #2
+
+/// Derives a purpose-specific seed from `root` and a textual `label`.
+///
+/// FNV-1a over the label folded into a SplitMix64 finalizer: stable
+/// across platforms and releases, and documented here so external
+/// tooling can reproduce the same streams.
+///
+/// ```
+/// use mtia_core::seed::{derive, DEFAULT_SEED};
+/// let faults = derive(DEFAULT_SEED, "fault-plan");
+/// let arrivals = derive(DEFAULT_SEED, "arrivals");
+/// assert_ne!(faults, arrivals);
+/// assert_eq!(faults, derive(DEFAULT_SEED, "fault-plan"));
+/// ```
+pub fn derive(root: u64, label: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.as_bytes() {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut z = root ^ hash;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_stable_and_label_sensitive() {
+        assert_eq!(derive(DEFAULT_SEED, "a"), derive(DEFAULT_SEED, "a"));
+        assert_ne!(derive(DEFAULT_SEED, "a"), derive(DEFAULT_SEED, "b"));
+        assert_ne!(derive(1, "a"), derive(2, "a"));
+    }
+
+    #[test]
+    fn derived_streams_differ_from_root() {
+        assert_ne!(derive(DEFAULT_SEED, "fault-plan"), DEFAULT_SEED);
+    }
+}

@@ -39,7 +39,12 @@ pub struct PerDtype<T> {
 impl<T: Copy> PerDtype<T> {
     /// Creates a table with the same value for every data type.
     pub fn splat(v: T) -> Self {
-        PerDtype { int8: v, fp16: v, bf16: v, fp32: v }
+        PerDtype {
+            int8: v,
+            fp16: v,
+            bf16: v,
+            fp32: v,
+        }
     }
 
     /// Looks up the value for `dtype`.
@@ -110,7 +115,11 @@ impl PeSpec {
     /// MAC operations per cycle for `dtype` (each MAC is 2 ops).
     pub fn dpe_ops_per_cycle(&self, dtype: DType) -> f64 {
         let macs = (self.dpe_mac_tiles * self.dpe_macs_per_tile) as f64;
-        let rate = if dtype.is_integer() { 1.0 } else { self.dpe_fp16_rate_factor };
+        let rate = if dtype.is_integer() {
+            1.0
+        } else {
+            self.dpe_fp16_rate_factor
+        };
         macs * 2.0 * rate
     }
 }
@@ -241,8 +250,11 @@ impl ChipSpec {
     pub fn gemm_peak(&self, dtype: DType, sparsity: bool) -> FlopRate {
         let per_pe = self.pe.dpe_ops_per_cycle(dtype);
         let raw = per_pe * self.pe_count() as f64 * self.frequency.as_hz();
-        let factor =
-            if sparsity && self.has_feature(ChipFeature::Sparsity2To4) { 2.0 } else { 1.0 };
+        let factor = if sparsity && self.has_feature(ChipFeature::Sparsity2To4) {
+            2.0
+        } else {
+            1.0
+        };
         FlopRate::from_flops_per_s(raw * factor)
     }
 
@@ -294,7 +306,9 @@ impl ChipSpec {
     /// Effective DRAM bandwidth under `ecc`, applying the controller-based
     /// ECC penalty from §5.1 when enabled on DRAM without inline ECC.
     pub fn effective_dram_bw(&self, ecc: EccMode) -> Bandwidth {
-        self.dram.bandwidth.scale(ecc.bandwidth_factor(self.dram.inline_ecc))
+        self.dram
+            .bandwidth
+            .scale(ecc.bandwidth_factor(self.dram.inline_ecc))
     }
 
     /// A hypothetical variant with a different shared-SRAM capacity —
@@ -312,8 +326,11 @@ impl ChipSpec {
     #[must_use]
     pub fn with_hbm(&self, bandwidth: Bandwidth, capacity: Bytes) -> ChipSpec {
         let mut spec = self.clone();
-        spec.dram =
-            DramSpec { capacity, bandwidth, inline_ecc: true };
+        spec.dram = DramSpec {
+            capacity,
+            bandwidth,
+            inline_ecc: true,
+        };
         spec
     }
 }
@@ -420,8 +437,7 @@ impl ServerSpec {
     /// Host DRAM bandwidth available per accelerator when all accelerators
     /// are drawing on it simultaneously — the §3.4 bottleneck.
     pub fn host_dram_bw_per_accel(&self) -> Bandwidth {
-        (self.host_dram_bw_per_socket * self.cpu_sockets as f64)
-            / self.accelerators as f64
+        (self.host_dram_bw_per_socket * self.cpu_sockets as f64) / self.accelerators as f64
     }
 
     /// NIC bandwidth available per accelerator.
@@ -456,7 +472,12 @@ pub mod chips {
                 // core (§3.2).
                 simd_engine_lanes: PerDtype::splat(64),
                 // 64 B vector registers: 64/size_bytes lanes.
-                vector_lanes: PerDtype { int8: 64, fp16: 32, bf16: 16, fp32: 16 },
+                vector_lanes: PerDtype {
+                    int8: 64,
+                    fp16: 32,
+                    bf16: 16,
+                    fp32: 16,
+                },
                 scalar_issue_per_cycle: 0.5,
                 max_accum_rows: 128,
             },
@@ -480,7 +501,11 @@ pub mod chips {
                 pcie_bw: Bandwidth::from_gb_per_s(32.0),
                 decompress_bw: Some(Bandwidth::from_gb_per_s(25.0)),
             },
-            control: ControlSpec { cores: 4, wq_broadcast: true, pe_wqe: true },
+            control: ControlSpec {
+                cores: 4,
+                wq_broadcast: true,
+                pe_wqe: true,
+            },
             tdp: Watts::new(85.0),
             typical_power: Watts::new(65.0),
             die_area_mm2: 25.6 * 16.4,
@@ -552,8 +577,18 @@ pub mod chips {
                 dpe_macs_per_tile: 32 * 32,
                 dpe_fp16_rate_factor: 0.5,
                 // MTIA 1's SIMD engine matches its vector core widths.
-                simd_engine_lanes: PerDtype { int8: 64, fp16: 32, bf16: 16, fp32: 16 },
-                vector_lanes: PerDtype { int8: 64, fp16: 32, bf16: 16, fp32: 16 },
+                simd_engine_lanes: PerDtype {
+                    int8: 64,
+                    fp16: 32,
+                    bf16: 16,
+                    fp32: 16,
+                },
+                vector_lanes: PerDtype {
+                    int8: 64,
+                    fp16: 32,
+                    bf16: 16,
+                    fp32: 16,
+                },
                 scalar_issue_per_cycle: 0.5,
                 max_accum_rows: 32,
             },
@@ -577,7 +612,11 @@ pub mod chips {
                 pcie_bw: Bandwidth::from_gb_per_s(16.0),
                 decompress_bw: None,
             },
-            control: ControlSpec { cores: 1, wq_broadcast: false, pe_wqe: false },
+            control: ControlSpec {
+                cores: 1,
+                wq_broadcast: false,
+                pe_wqe: false,
+            },
             tdp: Watts::new(35.0),
             typical_power: Watts::new(25.0),
             die_area_mm2: 19.3 * 19.1,
@@ -664,12 +703,32 @@ mod tests {
         let chip = mtia2i();
         // 354 TOPS INT8, 177 TFLOPS FP16/BF16 (Table 2), derived from
         // 64 PEs × 2 tiles × 1024 MACs × 2 ops × 1.35 GHz.
-        assert!(close(chip.gemm_peak(DType::Int8, false).as_tflops(), 354.0, 0.01));
-        assert!(close(chip.gemm_peak(DType::Fp16, false).as_tflops(), 177.0, 0.01));
-        assert!(close(chip.gemm_peak(DType::Bf16, false).as_tflops(), 177.0, 0.01));
+        assert!(close(
+            chip.gemm_peak(DType::Int8, false).as_tflops(),
+            354.0,
+            0.01
+        ));
+        assert!(close(
+            chip.gemm_peak(DType::Fp16, false).as_tflops(),
+            177.0,
+            0.01
+        ));
+        assert!(close(
+            chip.gemm_peak(DType::Bf16, false).as_tflops(),
+            177.0,
+            0.01
+        ));
         // 2:4 sparsity doubles: 708 / 354.
-        assert!(close(chip.gemm_peak(DType::Int8, true).as_tflops(), 708.0, 0.01));
-        assert!(close(chip.gemm_peak(DType::Fp16, true).as_tflops(), 354.0, 0.01));
+        assert!(close(
+            chip.gemm_peak(DType::Int8, true).as_tflops(),
+            708.0,
+            0.01
+        ));
+        assert!(close(
+            chip.gemm_peak(DType::Fp16, true).as_tflops(),
+            354.0,
+            0.01
+        ));
     }
 
     #[test]
@@ -698,8 +757,16 @@ mod tests {
         let chip = mtia1();
         // Table 2 lists 102.4 INT8 / 51.2 FP16 TOPS for MTIA 1; the derived
         // value 64 × 1024 × 2 × 0.8 GHz = 104.9 is within rounding of that.
-        assert!(close(chip.gemm_peak(DType::Int8, false).as_tflops(), 102.4, 0.03));
-        assert!(close(chip.gemm_peak(DType::Fp16, false).as_tflops(), 51.2, 0.03));
+        assert!(close(
+            chip.gemm_peak(DType::Int8, false).as_tflops(),
+            102.4,
+            0.03
+        ));
+        assert!(close(
+            chip.gemm_peak(DType::Fp16, false).as_tflops(),
+            51.2,
+            0.03
+        ));
         assert!(close(chip.vector_peak(DType::Int8).as_tflops(), 3.2, 0.03));
         assert!(close(chip.vector_peak(DType::Fp16).as_tflops(), 1.6, 0.03));
         assert!(!chip.has_feature(ChipFeature::Sparsity2To4));
@@ -717,14 +784,17 @@ mod tests {
         let sram_bw_ratio =
             gen2.sram.bandwidth.as_bytes_per_s() / gen1.sram.bandwidth.as_bytes_per_s();
         assert!(sram_bw_ratio > 3.0, "SRAM BW ratio {sram_bw_ratio}");
-        let noc_ratio = gen2.noc.bisection_bw.as_bytes_per_s()
-            / gen1.noc.bisection_bw.as_bytes_per_s();
+        let noc_ratio =
+            gen2.noc.bisection_bw.as_bytes_per_s() / gen1.noc.bisection_bw.as_bytes_per_s();
         assert!(close(noc_ratio, 3.3, 0.05), "NoC ratio {noc_ratio}");
         assert_eq!(gen2.dram.capacity.as_u64(), gen1.dram.capacity.as_u64() * 2);
         let dram_bw_ratio =
             gen2.dram.bandwidth.as_bytes_per_s() / gen1.dram.bandwidth.as_bytes_per_s();
         assert!(close(dram_bw_ratio, 204.8 / 176.0, 0.01));
-        assert_eq!(gen2.pe.local_memory.as_u64(), gen1.pe.local_memory.as_u64() * 3);
+        assert_eq!(
+            gen2.pe.local_memory.as_u64(),
+            gen1.pe.local_memory.as_u64() * 3
+        );
     }
 
     #[test]
@@ -732,8 +802,7 @@ mod tests {
         // §3.6: "2.7 TB/s ... whereas LPDDR offers just 204 GB/s — a 13×
         // difference".
         let chip = mtia2i();
-        let gap =
-            chip.sram.bandwidth.as_bytes_per_s() / chip.dram.bandwidth.as_bytes_per_s();
+        let gap = chip.sram.bandwidth.as_bytes_per_s() / chip.dram.bandwidth.as_bytes_per_s();
         assert!(close(gap, 13.2, 0.02), "gap {gap}");
     }
 
@@ -799,7 +868,11 @@ mod tests {
         // accelerator.
         let server = mtia_server();
         assert!(close(server.cores_per_accel(), 8.0, 1e-9));
-        assert!(close(server.host_dram_bw_per_accel().as_gb_per_s(), 38.3, 0.01));
+        assert!(close(
+            server.host_dram_bw_per_accel().as_gb_per_s(),
+            38.3,
+            0.01
+        ));
         assert!(close(server.nic_bw_per_accel().as_gb_per_s(), 4.17, 0.01));
         assert_eq!(server.accelerators, 24);
         assert_eq!(server.accels_per_pcie_switch, 12);
@@ -807,7 +880,12 @@ mod tests {
 
     #[test]
     fn per_dtype_lookup() {
-        let t = PerDtype { int8: 1, fp16: 2, bf16: 3, fp32: 4 };
+        let t = PerDtype {
+            int8: 1,
+            fp16: 2,
+            bf16: 3,
+            fp32: 4,
+        };
         assert_eq!(t.get(DType::Int8), 1);
         assert_eq!(t.get(DType::Fp16), 2);
         assert_eq!(t.get(DType::Bf16), 3);

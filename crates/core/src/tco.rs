@@ -39,9 +39,7 @@ impl ServerCost {
 
     /// The calibrated 24-accelerator MTIA 2i server.
     pub fn mtia_server() -> Self {
-        let capex = CostUnits::new(
-            calib::SERVER_BASE_COST + 24.0 * calib::MTIA_MODULE_COST,
-        );
+        let capex = CostUnits::new(calib::SERVER_BASE_COST + 24.0 * calib::MTIA_MODULE_COST);
         let power = Watts::new(calib::MTIA_SERVER_HOST_POWER_W) + Watts::new(24.0 * 65.0);
         ServerCost { capex, power }
     }
@@ -55,19 +53,15 @@ impl ServerCost {
     /// for comparator-generation sensitivity studies.
     pub fn gpu_server_with(module_cost: f64, typical_power: Watts) -> Self {
         let capex = CostUnits::new(calib::SERVER_BASE_COST + 8.0 * module_cost);
-        let power =
-            Watts::new(calib::GPU_SERVER_HOST_POWER_W) + typical_power.scale(8.0);
+        let power = Watts::new(calib::GPU_SERVER_HOST_POWER_W) + typical_power.scale(8.0);
         ServerCost { capex, power }
     }
 
     /// An MTIA server whose accelerators draw `per_chip_power` (used by the
     /// §5.3 provisioned-power study and the §5.2 overclocking study).
     pub fn mtia_server_at_power(per_chip_power: Watts) -> Self {
-        let capex = CostUnits::new(
-            calib::SERVER_BASE_COST + 24.0 * calib::MTIA_MODULE_COST,
-        );
-        let power =
-            Watts::new(calib::MTIA_SERVER_HOST_POWER_W) + per_chip_power.scale(24.0);
+        let capex = CostUnits::new(calib::SERVER_BASE_COST + 24.0 * calib::MTIA_MODULE_COST);
+        let power = Watts::new(calib::MTIA_SERVER_HOST_POWER_W) + per_chip_power.scale(24.0);
         ServerCost { capex, power }
     }
 
@@ -211,7 +205,11 @@ mod tests {
 
     #[test]
     fn display_formats_percentages() {
-        let rel = RelativeEfficiency { perf: 0.5, perf_per_tco: 1.8, perf_per_watt: 1.02 };
+        let rel = RelativeEfficiency {
+            perf: 0.5,
+            perf_per_tco: 1.8,
+            perf_per_watt: 1.02,
+        };
         assert_eq!(rel.to_string(), "perf 50%, perf/TCO 180%, perf/W 102%");
     }
 

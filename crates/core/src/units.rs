@@ -867,7 +867,10 @@ mod tests {
         let bw = Bandwidth::from_gb_per_s(100.0);
         let t = bw.time_to_move(Bytes::new(1_000_000_000));
         assert_eq!(t, SimTime::from_millis(10));
-        assert_eq!(bw.bytes_in(SimTime::from_millis(10)).as_u64(), 1_000_000_000);
+        assert_eq!(
+            bw.bytes_in(SimTime::from_millis(10)).as_u64(),
+            1_000_000_000
+        );
     }
 
     #[test]
@@ -929,9 +932,13 @@ mod tests {
 
     #[test]
     fn sums_work() {
-        let total: Bytes = [Bytes::new(1), Bytes::new(2), Bytes::new(3)].into_iter().sum();
+        let total: Bytes = [Bytes::new(1), Bytes::new(2), Bytes::new(3)]
+            .into_iter()
+            .sum();
         assert_eq!(total, Bytes::new(6));
-        let t: SimTime = [SimTime::from_nanos(1), SimTime::from_nanos(2)].into_iter().sum();
+        let t: SimTime = [SimTime::from_nanos(1), SimTime::from_nanos(2)]
+            .into_iter()
+            .sum();
         assert_eq!(t, SimTime::from_nanos(3));
     }
 

@@ -139,7 +139,10 @@ pub fn simulate_year<R: Rng + ?Sized>(config: CdConfig, rng: &mut R) -> YearRepo
 
 /// Emergency deployment timing check: the 3-hour and 1-hour paths.
 pub fn emergency_paths() -> (SimTime, SimTime) {
-    (Rollout::emergency().duration(), Rollout::extreme().duration())
+    (
+        Rollout::emergency().duration(),
+        Rollout::extreme().duration(),
+    )
 }
 
 #[cfg(test)]

@@ -27,13 +27,21 @@ pub struct DeviceOption {
 impl DeviceOption {
     /// The small-chip option (MTIA-like: 24 per server).
     pub fn small_chip() -> Self {
-        DeviceOption { name: "small (24/server)", device_throughput: 1.0, per_server: 24 }
+        DeviceOption {
+            name: "small (24/server)",
+            device_throughput: 1.0,
+            per_server: 24,
+        }
     }
 
     /// The big-chip option (GPU-like: 8 per server, ~3× the per-device
     /// throughput so server totals are comparable).
     pub fn big_chip() -> Self {
-        DeviceOption { name: "big (8/server)", device_throughput: 3.0, per_server: 8 }
+        DeviceOption {
+            name: "big (8/server)",
+            device_throughput: 3.0,
+            per_server: 8,
+        }
     }
 }
 
@@ -54,7 +62,10 @@ pub fn sample_portfolio<R: Rng + ?Sized>(models: u32, rng: &mut R) -> Vec<ModelD
         .map(|_| {
             // Log-uniform peak demand from 0.3 to 30 device-units.
             let log: f64 = rng.gen_range(0.3f64.ln()..30f64.ln());
-            ModelDemand { peak: log.exp(), avg_to_peak: rng.gen_range(0.45..0.75) }
+            ModelDemand {
+                peak: log.exp(),
+                avg_to_peak: rng.gen_range(0.45..0.75),
+            }
         })
         .collect()
 }
@@ -114,7 +125,10 @@ mod tests {
     fn small_chips_quantize_demand_tighter() {
         // A model needing 1.2 units: small chips provision 2 devices (2.0),
         // big chips 1 device (3.0) — 50 % more stranded capacity.
-        let demand = [ModelDemand { peak: 1.2, avg_to_peak: 0.6 }];
+        let demand = [ModelDemand {
+            peak: 1.2,
+            avg_to_peak: 0.6,
+        }];
         let small = provision(DeviceOption::small_chip(), &demand);
         let big = provision(DeviceOption::big_chip(), &demand);
         assert_eq!(small.devices, 2);
@@ -143,7 +157,10 @@ mod tests {
         // Fleets dominated by sub-device models are where big chips waste
         // the most.
         let tiny: Vec<ModelDemand> = (0..30)
-            .map(|i| ModelDemand { peak: 0.4 + 0.05 * i as f64, avg_to_peak: 0.6 })
+            .map(|i| ModelDemand {
+                peak: 0.4 + 0.05 * i as f64,
+                avg_to_peak: 0.6,
+            })
             .collect();
         let gain = production_gain_over_replay(&tiny);
         assert!(gain > 0.4, "tiny-model gain {gain}");
@@ -152,7 +169,10 @@ mod tests {
     #[test]
     fn huge_models_equalize_the_options() {
         // A model needing 300 units amortizes quantization on both.
-        let huge = [ModelDemand { peak: 300.0, avg_to_peak: 0.6 }];
+        let huge = [ModelDemand {
+            peak: 300.0,
+            avg_to_peak: 0.6,
+        }];
         let gain = production_gain_over_replay(&huge);
         assert!(gain.abs() < 0.05, "huge-model gain {gain}");
     }

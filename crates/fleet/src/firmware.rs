@@ -10,8 +10,7 @@
 
 use mtia_core::SimTime;
 use mtia_sim::noc::deadlock::{
-    deadlock_possible, DeadlockConfig, PRODUCTION_TRIGGER_PROBABILITY,
-    STRESS_TRIGGER_PROBABILITY,
+    deadlock_possible, DeadlockConfig, PRODUCTION_TRIGGER_PROBABILITY, STRESS_TRIGGER_PROBABILITY,
 };
 use rand::Rng;
 
@@ -28,12 +27,18 @@ pub struct FirmwareBundle {
 impl FirmwareBundle {
     /// The bundle as originally shipped (deadlock-prone under load).
     pub fn original() -> Self {
-        FirmwareBundle { version: "fw-2024.01".to_string(), control_memory_in_sram: false }
+        FirmwareBundle {
+            version: "fw-2024.01".to_string(),
+            control_memory_in_sram: false,
+        }
     }
 
     /// The mitigated bundle.
     pub fn mitigated() -> Self {
-        FirmwareBundle { version: "fw-2024.02".to_string(), control_memory_in_sram: true }
+        FirmwareBundle {
+            version: "fw-2024.02".to_string(),
+            control_memory_in_sram: true,
+        }
     }
 
     /// The NoC deadlock configuration this bundle produces under load.
@@ -82,10 +87,22 @@ impl Rollout {
         let day = SimTime::from_secs(86_400);
         Rollout {
             stages: vec![
-                RolloutStage { fleet_fraction: 0.01, soak: day * 2 }, // staging
-                RolloutStage { fleet_fraction: 0.05, soak: day * 3 },
-                RolloutStage { fleet_fraction: 0.25, soak: day * 5 },
-                RolloutStage { fleet_fraction: 1.00, soak: day * 8 },
+                RolloutStage {
+                    fleet_fraction: 0.01,
+                    soak: day * 2,
+                }, // staging
+                RolloutStage {
+                    fleet_fraction: 0.05,
+                    soak: day * 3,
+                },
+                RolloutStage {
+                    fleet_fraction: 0.25,
+                    soak: day * 5,
+                },
+                RolloutStage {
+                    fleet_fraction: 1.00,
+                    soak: day * 8,
+                },
             ],
         }
     }
@@ -96,9 +113,18 @@ impl Rollout {
         let hour = SimTime::from_secs(3600);
         Rollout {
             stages: vec![
-                RolloutStage { fleet_fraction: 0.1, soak: hour },
-                RolloutStage { fleet_fraction: 0.5, soak: hour },
-                RolloutStage { fleet_fraction: 1.0, soak: hour },
+                RolloutStage {
+                    fleet_fraction: 0.1,
+                    soak: hour,
+                },
+                RolloutStage {
+                    fleet_fraction: 0.5,
+                    soak: hour,
+                },
+                RolloutStage {
+                    fleet_fraction: 1.0,
+                    soak: hour,
+                },
             ],
         }
     }
@@ -194,7 +220,9 @@ mod tests {
     fn original_bundle_hangs_under_stress_at_one_percent() {
         let bundle = FirmwareBundle::original();
         let mut rng = StdRng::seed_from_u64(71);
-        let hangs = (0..20_000).filter(|_| bundle.stress_run_hangs(&mut rng)).count();
+        let hangs = (0..20_000)
+            .filter(|_| bundle.stress_run_hangs(&mut rng))
+            .count();
         let rate = hangs as f64 / 20_000.0;
         assert!((rate - 0.01).abs() < 0.004, "stress hang rate {rate}");
     }
@@ -213,13 +241,19 @@ mod tests {
         let days = r.duration().as_secs_f64() / 86_400.0;
         assert_eq!(days, 18.0);
         // Fractions are monotone and end at 1.0.
-        assert!(r.stages.windows(2).all(|w| w[1].fleet_fraction > w[0].fleet_fraction));
+        assert!(r
+            .stages
+            .windows(2)
+            .all(|w| w[1].fleet_fraction > w[0].fleet_fraction));
         assert_eq!(r.stages.last().unwrap().fleet_fraction, 1.0);
     }
 
     #[test]
     fn emergency_rollouts_are_fast() {
-        assert_eq!(Rollout::emergency().duration(), SimTime::from_secs(3 * 3600));
+        assert_eq!(
+            Rollout::emergency().duration(),
+            SimTime::from_secs(3 * 3600)
+        );
         assert_eq!(Rollout::extreme().duration(), SimTime::from_secs(3600));
     }
 

@@ -24,6 +24,7 @@ pub mod firmware;
 pub mod memerr;
 pub mod overclock;
 pub mod power;
+pub mod rollout_serving;
 
 pub use cd::{simulate_year, CdConfig, YearReport};
 pub use chipsize::{production_gain_over_replay, provision, DeviceOption, ModelDemand};
@@ -31,3 +32,6 @@ pub use firmware::{simulate_rollout, FirmwareBundle, Rollout, RolloutOutcome};
 pub use memerr::{evaluate_mitigations, run_sensitivity, run_survey, Mitigation};
 pub use overclock::{run_study, OverclockStudy, SiliconMargin};
 pub use power::{initial_rack_budget, PowerStudy, RackConfig};
+pub use rollout_serving::{
+    maintenance_schedule, simulate_rollout_serving, RolloutServingConfig, RolloutServingReport,
+};

@@ -187,8 +187,7 @@ pub fn evaluate_mitigations(
 pub fn ecc_keeps_tco_advantage(mtia_vs_gpu_perf: f64) -> bool {
     let ecc_factor = 1.0 - mtia_core::calib::CONTROLLER_ECC_PENALTY;
     let gpu = PlatformMetrics::new(ServerCost::gpu_server(), 1.0);
-    let mtia =
-        PlatformMetrics::new(ServerCost::mtia_server(), mtia_vs_gpu_perf * ecc_factor);
+    let mtia = PlatformMetrics::new(ServerCost::mtia_server(), mtia_vs_gpu_perf * ecc_factor);
     mtia.relative_to(&gpu).perf_per_tco > 1.0
 }
 
@@ -198,7 +197,9 @@ pub fn production_decision(outcomes: &[MitigationOutcome]) -> EccMode {
         .iter()
         .filter(|o| o.viable)
         .max_by(|a, b| {
-            a.throughput_factor.partial_cmp(&b.throughput_factor).expect("finite")
+            a.throughput_factor
+                .partial_cmp(&b.throughput_factor)
+                .expect("finite")
         })
         .expect("at least one viable mitigation");
     match best.mitigation {
@@ -210,7 +211,9 @@ pub fn production_decision(outcomes: &[MitigationOutcome]) -> EccMode {
 /// Convenience: the spec-level bandwidth cost of the decision.
 pub fn decision_bandwidth_cost() -> f64 {
     let chip = chips::mtia2i();
-    let with = chip.effective_dram_bw(EccMode::ControllerEcc).as_bytes_per_s();
+    let with = chip
+        .effective_dram_bw(EccMode::ControllerEcc)
+        .as_bytes_per_s();
     let without = chip.effective_dram_bw(EccMode::Disabled).as_bytes_per_s();
     1.0 - with / without
 }
@@ -236,7 +239,10 @@ mod tests {
         let idx = s.rate_of(InjectionTarget::TbeIndices);
         let w = s.rate_of(InjectionTarget::DenseWeights);
         assert!(idx > 0.5, "index flips almost always corrupt: {idx}");
-        assert!(w > 0.1, "weight flips corrupt with meaningful probability: {w}");
+        assert!(
+            w > 0.1,
+            "weight flips corrupt with meaningful probability: {w}"
+        );
         assert!(idx > w);
     }
 
@@ -258,7 +264,10 @@ mod tests {
         let survey = run_survey(1700, &mut rng);
         let sensitivity = run_sensitivity(300, &mut rng);
         let outcomes = evaluate_mitigations(survey, &sensitivity);
-        let no_ecc = outcomes.iter().find(|o| o.mitigation == Mitigation::NoEcc).unwrap();
+        let no_ecc = outcomes
+            .iter()
+            .find(|o| o.mitigation == Mitigation::NoEcc)
+            .unwrap();
         assert!(!no_ecc.viable);
         assert!(no_ecc.residual_errors_per_day > OPERATOR_TOLERANCE_PER_DAY_PER_1K_CARDS);
     }

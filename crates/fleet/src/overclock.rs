@@ -86,7 +86,10 @@ pub struct SiliconMargin {
 impl SiliconMargin {
     /// The calibrated production population.
     pub fn production() -> Self {
-        SiliconMargin { mean_ghz: 1.72, std_ghz: 0.09 }
+        SiliconMargin {
+            mean_ghz: 1.72,
+            std_ghz: 0.09,
+        }
     }
 
     /// Samples one chip.
@@ -95,7 +98,9 @@ impl SiliconMargin {
         let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let fmax = (self.mean_ghz + z * self.std_ghz).max(0.8);
-        ChipSample { fmax: Hertz::from_ghz(fmax) }
+        ChipSample {
+            fmax: Hertz::from_ghz(fmax),
+        }
     }
 }
 
@@ -147,8 +152,7 @@ pub fn run_study<R: Rng + ?Sized>(
     frequencies: &[Hertz],
     rng: &mut R,
 ) -> OverclockStudy {
-    let population: Vec<ChipSample> =
-        (0..chips).map(|_| margin.sample_chip(rng)).collect();
+    let population: Vec<ChipSample> = (0..chips).map(|_| margin.sample_chip(rng)).collect();
     let mut results = Vec::with_capacity(frequencies.len());
     for &frequency in frequencies {
         let mut passes_count = 0u64;
@@ -177,7 +181,11 @@ pub fn run_study<R: Rng + ?Sized>(
 
 /// The paper's frequency ladder.
 pub fn paper_frequencies() -> [Hertz; 3] {
-    [Hertz::from_ghz(1.1), Hertz::from_ghz(1.25), Hertz::from_ghz(1.35)]
+    [
+        Hertz::from_ghz(1.1),
+        Hertz::from_ghz(1.25),
+        Hertz::from_ghz(1.35),
+    ]
 }
 
 #[cfg(test)]
@@ -188,7 +196,12 @@ mod tests {
 
     fn study() -> OverclockStudy {
         let mut rng = StdRng::seed_from_u64(52);
-        run_study(SiliconMargin::production(), 3000, &paper_frequencies(), &mut rng)
+        run_study(
+            SiliconMargin::production(),
+            3000,
+            &paper_frequencies(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -198,9 +211,18 @@ mod tests {
         let s = study();
         assert_eq!(s.chips, 3000);
         for r in &s.results {
-            assert!(r.pass_rate > 0.995, "{}: pass rate {}", r.frequency, r.pass_rate);
+            assert!(
+                r.pass_rate > 0.995,
+                "{}: pass rate {}",
+                r.frequency,
+                r.pass_rate
+            );
         }
-        assert!(s.fallout_increase() < 0.01, "fallout {}", s.fallout_increase());
+        assert!(
+            s.fallout_increase() < 0.01,
+            "fallout {}",
+            s.fallout_increase()
+        );
     }
 
     #[test]
@@ -217,7 +239,11 @@ mod tests {
         let s = run_study(
             SiliconMargin::production(),
             1000,
-            &[Hertz::from_ghz(1.35), Hertz::from_ghz(1.7), Hertz::from_ghz(1.9)],
+            &[
+                Hertz::from_ghz(1.35),
+                Hertz::from_ghz(1.7),
+                Hertz::from_ghz(1.9),
+            ],
             &mut rng,
         );
         let at_19 = s.results.last().unwrap();
@@ -226,7 +252,9 @@ mod tests {
 
     #[test]
     fn stress_tests_are_stricter_than_functional() {
-        let chip = ChipSample { fmax: Hertz::from_ghz(1.40) };
+        let chip = ChipSample {
+            fmax: Hertz::from_ghz(1.40),
+        };
         let mut rng = StdRng::seed_from_u64(54);
         // At 1.35, the 0.08 guard-band power test fails this die (1.40 −
         // 0.08 < 1.35); the 0.02 guard-band PCIe test passes.

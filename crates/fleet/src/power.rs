@@ -111,8 +111,7 @@ impl PowerStudy {
                 .map(|_| {
                     // Normalize so the diurnal envelope's peak (≈ 0.80)
                     // maps to the models' peak compute utilization.
-                    let u = sample_utilization(hour, rng) * peak_compute_utilization
-                        / 0.80;
+                    let u = sample_utilization(hour, rng) * peak_compute_utilization / 0.80;
                     power.at_utilization(u.min(1.0)).as_f64()
                 })
                 .sum();
@@ -120,7 +119,10 @@ impl PowerStudy {
         }
         let analysis_server_power = Watts::new(p90(&mut server_samples));
 
-        PowerStudy { experiment_server_power, analysis_server_power }
+        PowerStudy {
+            experiment_server_power,
+            analysis_server_power,
+        }
     }
 
     /// The new rack budget: the larger of the two measurements, per server,
@@ -149,8 +151,7 @@ pub fn capping_probability<R: Rng + ?Sized>(
         for _ in 0..rack.servers {
             let server: f64 = (0..rack.accelerators_per_server)
                 .map(|_| {
-                    let u = sample_utilization(hour, rng) * peak_compute_utilization
-                        / 0.80;
+                    let u = sample_utilization(hour, rng) * peak_compute_utilization / 0.80;
                     power.at_utilization(u.min(1.0)).as_f64()
                 })
                 .sum();
@@ -222,10 +223,17 @@ mod tests {
     #[test]
     fn utilization_envelope_is_diurnal() {
         let mut rng = StdRng::seed_from_u64(55);
-        let afternoon: f64 =
-            (0..500).map(|_| sample_utilization(15.0, &mut rng)).sum::<f64>() / 500.0;
-        let night: f64 =
-            (0..500).map(|_| sample_utilization(3.0, &mut rng)).sum::<f64>() / 500.0;
-        assert!(afternoon > night + 0.3, "afternoon {afternoon} night {night}");
+        let afternoon: f64 = (0..500)
+            .map(|_| sample_utilization(15.0, &mut rng))
+            .sum::<f64>()
+            / 500.0;
+        let night: f64 = (0..500)
+            .map(|_| sample_utilization(3.0, &mut rng))
+            .sum::<f64>()
+            / 500.0;
+        assert!(
+            afternoon > night + 0.3,
+            "afternoon {afternoon} night {night}"
+        );
     }
 }

@@ -262,7 +262,9 @@ mod tests {
         // Static per-tensor weight quantization (§4.4): the global outlier
         // sets the scale, concentrating the bulk into a few bins.
         let q = crate::quant::quantize(&weights, crate::quant::Granularity::PerTensor);
-        let int8: Vec<u8> = (0..128).flat_map(|r| q.row(r).iter().map(|&v| v as u8)).collect();
+        let int8: Vec<u8> = (0..128)
+            .flat_map(|r| q.row(r).iter().map(|&v| v as u8))
+            .collect();
         let int8_ratio = compression_ratio(&int8);
         assert!(int8_ratio < 0.6, "int8 ratio {int8_ratio}");
 
@@ -276,8 +278,9 @@ mod tests {
     fn near_entropy_on_skewed_data() {
         // Two symbols at 90/10: entropy = 0.469 bits/byte = ratio ~0.059.
         let mut rng = StdRng::seed_from_u64(13);
-        let data: Vec<u8> =
-            (0..100_000).map(|_| if rng.gen_bool(0.9) { 0u8 } else { 1u8 }).collect();
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| if rng.gen_bool(0.9) { 0u8 } else { 1u8 })
+            .collect();
         let c = compress(&data);
         let bits_per_byte = (c.len() - 520) as f64 * 8.0 / data.len() as f64;
         assert!(bits_per_byte < 0.50, "achieved {bits_per_byte} bits/byte");

@@ -140,7 +140,9 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, LzssError> {
     let mut flag_bit = 8;
     while out.len() < len {
         if flag_bit == 8 {
-            let Some(&f) = frame.get(pos) else { return Err(LzssError::Truncated) };
+            let Some(&f) = frame.get(pos) else {
+                return Err(LzssError::Truncated);
+            };
             flags = f;
             flag_bit = 0;
             pos += 1;
@@ -163,7 +165,9 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, LzssError> {
                 out.push(b);
             }
         } else {
-            let Some(&b) = frame.get(pos) else { return Err(LzssError::Truncated) };
+            let Some(&b) = frame.get(pos) else {
+                return Err(LzssError::Truncated);
+            };
             out.push(b);
             pos += 1;
         }
@@ -185,8 +189,7 @@ mod tests {
 
     #[test]
     fn roundtrip_text() {
-        let data = b"the quick brown fox jumps over the lazy dog. the quick brown fox!"
-            .to_vec();
+        let data = b"the quick brown fox jumps over the lazy dog. the quick brown fox!".to_vec();
         assert_eq!(decompress(&compress(&data)).unwrap(), data);
     }
 
@@ -249,7 +252,10 @@ mod tests {
     fn truncated_errors() {
         let c = compress(&[9u8; 100]);
         assert_eq!(decompress(&c[..7]).unwrap_err(), LzssError::Truncated);
-        assert_eq!(decompress(&c[..c.len() - 1]).unwrap_err(), LzssError::Truncated);
+        assert_eq!(
+            decompress(&c[..c.len() - 1]).unwrap_err(),
+            LzssError::Truncated
+        );
     }
 
     #[test]

@@ -209,7 +209,11 @@ mod tests {
         let w = DenseTensor::gaussian(32, 16, 0.1, &mut rng);
         let report = weight_injection_campaign(&x, &w, 400, &mut rng);
         assert_eq!(report.trials, 400);
-        assert!(report.failure_rate() > 0.2, "failure rate {}", report.failure_rate());
+        assert!(
+            report.failure_rate() > 0.2,
+            "failure rate {}",
+            report.failure_rate()
+        );
         assert!(report.non_finite + report.silent > 0);
         assert!(report.benign > 0, "mantissa flips should often be benign");
     }

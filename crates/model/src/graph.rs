@@ -163,7 +163,12 @@ impl Graph {
     /// Panics if `batch` is zero.
     pub fn new(name: impl Into<String>, batch: u64) -> Self {
         assert!(batch > 0, "batch size must be positive");
-        Graph { name: name.into(), batch, tensors: Vec::new(), nodes: Vec::new() }
+        Graph {
+            name: name.into(),
+            batch,
+            tensors: Vec::new(),
+            nodes: Vec::new(),
+        }
     }
 
     /// The model name.
@@ -185,7 +190,12 @@ impl Graph {
         kind: TensorKind,
     ) -> TensorId {
         let id = TensorId(self.tensors.len());
-        self.tensors.push(TensorDef { name: name.into(), shape, dtype, kind });
+        self.tensors.push(TensorDef {
+            name: name.into(),
+            shape,
+            dtype,
+            kind,
+        });
         id
     }
 
@@ -249,7 +259,9 @@ impl Graph {
         for (i, node) in self.nodes.iter().enumerate() {
             for &t in node.inputs.iter().chain(&node.outputs) {
                 if t.0 >= self.tensors.len() {
-                    return Err(GraphError::UnknownTensor { node: node.name.clone() });
+                    return Err(GraphError::UnknownTensor {
+                        node: node.name.clone(),
+                    });
                 }
             }
             for &t in &node.outputs {
@@ -281,7 +293,10 @@ impl Graph {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> GraphStats {
-        let mut s = GraphStats { nodes: self.nodes.len(), ..GraphStats::default() };
+        let mut s = GraphStats {
+            nodes: self.nodes.len(),
+            ..GraphStats::default()
+        };
         for node in &self.nodes {
             s.flops += node.op.flops();
             let dtype = self.node_dtype(node);
@@ -422,18 +437,31 @@ mod tests {
         let mut g = Graph::new("test", 16);
         let input = g.add_tensor("in", Shape::matrix(16, 4), DType::Fp16, TensorKind::Input);
         let w1 = g.add_tensor("w1", Shape::matrix(4, 8), DType::Fp16, TensorKind::Weight);
-        let a = g.add_tensor("a", Shape::matrix(16, 8), DType::Fp16, TensorKind::Activation);
+        let a = g.add_tensor(
+            "a",
+            Shape::matrix(16, 8),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
         let w2 = g.add_tensor("w2", Shape::matrix(8, 2), DType::Fp16, TensorKind::Weight);
         let out = g.add_tensor("out", Shape::matrix(16, 2), DType::Fp16, TensorKind::Output);
         g.add_node(
             "fc1",
-            OpKind::Fc { batch: 16, in_features: 4, out_features: 8 },
+            OpKind::Fc {
+                batch: 16,
+                in_features: 4,
+                out_features: 8,
+            },
             [input, w1],
             [a],
         );
         g.add_node(
             "fc2",
-            OpKind::Fc { batch: 16, in_features: 8, out_features: 2 },
+            OpKind::Fc {
+                batch: 16,
+                in_features: 8,
+                out_features: 2,
+            },
             [a, w2],
             [out],
         );
@@ -452,7 +480,10 @@ mod tests {
         assert_eq!(s.nodes, 2);
         assert_eq!(s.gemm_nodes, 2);
         assert_eq!(s.sparse_nodes, 0);
-        assert_eq!(s.flops.as_f64(), 2.0 * 16.0 * 4.0 * 8.0 + 2.0 * 16.0 * 8.0 * 2.0);
+        assert_eq!(
+            s.flops.as_f64(),
+            2.0 * 16.0 * 4.0 * 8.0 + 2.0 * 16.0 * 8.0 * 2.0
+        );
         assert_eq!(s.weight_bytes.as_u64(), 2 * (4 * 8 + 8 * 2));
         assert_eq!(g.flops_per_sample().as_f64(), s.flops.as_f64() / 16.0);
     }
@@ -460,11 +491,18 @@ mod tests {
     #[test]
     fn undefined_activation_detected() {
         let mut g = Graph::new("bad", 1);
-        let ghost =
-            g.add_tensor("ghost", Shape::vector(4), DType::Fp16, TensorKind::Activation);
+        let ghost = g.add_tensor(
+            "ghost",
+            Shape::vector(4),
+            DType::Fp16,
+            TensorKind::Activation,
+        );
         let out = g.add_tensor("out", Shape::vector(4), DType::Fp16, TensorKind::Output);
         g.add_node("ew", OpKind::Cast { elems: 4 }, [ghost], [out]);
-        assert!(matches!(g.validate(), Err(GraphError::UndefinedActivation { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::UndefinedActivation { .. })
+        ));
     }
 
     #[test]
@@ -473,7 +511,10 @@ mod tests {
         let a = g.add_tensor("a", Shape::vector(4), DType::Fp16, TensorKind::Activation);
         g.add_node("n1", OpKind::Cast { elems: 4 }, [], [a]);
         g.add_node("n2", OpKind::Cast { elems: 4 }, [], [a]);
-        assert!(matches!(g.validate(), Err(GraphError::MultipleProducers { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::MultipleProducers { .. })
+        ));
     }
 
     #[test]
@@ -503,14 +544,28 @@ mod tests {
         // order must give the same peak as default here.
         let mut g = Graph::new("diamond", 1);
         let input = g.add_tensor("in", Shape::vector(100), DType::Fp32, TensorKind::Input);
-        let x1 = g.add_tensor("x1", Shape::vector(100), DType::Fp32, TensorKind::Activation);
-        let x2 = g.add_tensor("x2", Shape::vector(100), DType::Fp32, TensorKind::Activation);
+        let x1 = g.add_tensor(
+            "x1",
+            Shape::vector(100),
+            DType::Fp32,
+            TensorKind::Activation,
+        );
+        let x2 = g.add_tensor(
+            "x2",
+            Shape::vector(100),
+            DType::Fp32,
+            TensorKind::Activation,
+        );
         let out = g.add_tensor("out", Shape::vector(100), DType::Fp32, TensorKind::Output);
         g.add_node("p1", OpKind::Cast { elems: 100 }, [input], [x1]);
         g.add_node("p2", OpKind::Cast { elems: 100 }, [input], [x2]);
         g.add_node(
             "join",
-            OpKind::Elementwise { elems: 100, kind: crate::ops::EwKind::Arithmetic, arity: 2 },
+            OpKind::Elementwise {
+                elems: 100,
+                kind: crate::ops::EwKind::Arithmetic,
+                arity: 2,
+            },
             [x1, x2],
             [out],
         );

@@ -30,7 +30,10 @@ impl BiasTables {
         let timestamp = (0..time_buckets)
             .map(|i| 0.5 * (-(i as f32) / time_buckets as f32 * 2.0).exp())
             .collect();
-        BiasTables { positional, timestamp }
+        BiasTables {
+            positional,
+            timestamp,
+        }
     }
 }
 
@@ -115,8 +118,7 @@ pub fn bias_piecewise_lut(
         segment_loads += 1;
         for i in 0..seq {
             for j in 0..=i {
-                let t =
-                    time_bucket(timestamps[i] - timestamps[j], tables.timestamp.len());
+                let t = time_bucket(timestamps[i] - timestamps[j], tables.timestamp.len());
                 if (start..end).contains(&t) {
                     bias[i * seq + j] += lut[t - start];
                 }
@@ -125,7 +127,10 @@ pub fn bias_piecewise_lut(
         start = end;
     }
 
-    PiecewiseResult { bias, segment_loads }
+    PiecewiseResult {
+        bias,
+        segment_loads,
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +138,9 @@ mod tests {
     use super::*;
 
     fn monotone_timestamps(seq: usize) -> Vec<u64> {
-        (0..seq as u64).map(|i| 1_700_000_000 + i * i * 13).collect()
+        (0..seq as u64)
+            .map(|i| 1_700_000_000 + i * i * 13)
+            .collect()
     }
 
     #[test]
@@ -178,7 +185,7 @@ mod tests {
         assert_eq!(time_bucket(0, 32), 0);
         assert_eq!(time_bucket(1, 32), 1);
         assert!(time_bucket(1 << 40, 32) == 31); // clamped
-        // Log bucketing: doubling the delta moves one bucket.
+                                                 // Log bucketing: doubling the delta moves one bucket.
         assert_eq!(time_bucket(1024, 32), time_bucket(512, 32) + 1);
     }
 

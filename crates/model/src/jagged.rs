@@ -38,7 +38,11 @@ impl JaggedTensor {
             total += l;
             offsets.push(total);
         }
-        JaggedTensor { offsets, values: vec![0.0; total * dim], dim }
+        JaggedTensor {
+            offsets,
+            values: vec![0.0; total * dim],
+            dim,
+        }
     }
 
     /// Creates a jagged tensor from offsets and values.
@@ -49,14 +53,24 @@ impl JaggedTensor {
     /// or if the value length does not match.
     pub fn from_parts(offsets: Vec<usize>, values: Vec<f32>, dim: usize) -> Self {
         assert!(dim > 0, "zero-sized embedding dimension");
-        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+        assert!(
+            !offsets.is_empty() && offsets[0] == 0,
+            "offsets must start at 0"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be sorted"
+        );
         assert_eq!(
             values.len(),
             offsets.last().unwrap() * dim,
             "value buffer does not match offsets × dim"
         );
-        JaggedTensor { offsets, values, dim }
+        JaggedTensor {
+            offsets,
+            values,
+            dim,
+        }
     }
 
     /// Number of rows (batch size).
@@ -129,7 +143,10 @@ impl JaggedTensor {
         assert_eq!(dense.rows(), lengths.len(), "batch mismatch");
         let mut jagged = JaggedTensor::zeros(lengths, dim);
         for (i, &len) in lengths.iter().enumerate() {
-            assert!(len * dim <= dense.cols(), "row {i} longer than dense capacity");
+            assert!(
+                len * dim <= dense.cols(),
+                "row {i} longer than dense capacity"
+            );
             let src = &dense.row(i)[..len * dim];
             jagged.row_mut(i).copy_from_slice(src);
         }
@@ -161,9 +178,17 @@ impl JaggedTensor {
     pub fn hadamard(&self, other: &JaggedTensor) -> JaggedTensor {
         assert_eq!(self.offsets, other.offsets, "jagged layouts differ");
         assert_eq!(self.dim, other.dim, "jagged dims differ");
-        let values =
-            self.values.iter().zip(&other.values).map(|(a, b)| a * b).collect();
-        JaggedTensor { offsets: self.offsets.clone(), values, dim: self.dim }
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a * b)
+            .collect();
+        JaggedTensor {
+            offsets: self.offsets.clone(),
+            values,
+            dim: self.dim,
+        }
     }
 
     /// Applies a `dim × out_dim` linear transformation to every position.
@@ -182,7 +207,11 @@ impl JaggedTensor {
                 }
             }
         }
-        JaggedTensor { offsets: self.offsets.clone(), values, dim: out_dim }
+        JaggedTensor {
+            offsets: self.offsets.clone(),
+            values,
+            dim: out_dim,
+        }
     }
 
     /// Fraction of a padded dense representation that would be wasted —

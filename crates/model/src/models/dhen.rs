@@ -132,14 +132,25 @@ impl DhenConfig {
         );
         g.add_node(
             "merge_concat",
-            OpKind::Concat { rows: b, cols_total: merged_cols, num_inputs: 2 },
+            OpKind::Concat {
+                rows: b,
+                cols_total: merged_cols,
+                num_inputs: 2,
+            },
             [dense_in, pooled],
             [merged],
         );
 
         // Project into the stack width.
-        let mut current =
-            append_mlp(&mut g, "stack_proj", merged, b, merged_cols, &[self.hidden], dt);
+        let mut current = append_mlp(
+            &mut g,
+            "stack_proj",
+            merged,
+            b,
+            merged_cols,
+            &[self.hidden],
+            dt,
+        );
 
         // Stacked DHEN layers.
         for layer in 0..self.layers {
@@ -186,21 +197,43 @@ impl DhenConfig {
             dt,
         );
         let pairs = self.fm_features * (self.fm_features - 1) / 2;
-        let fm_inter =
-            g.add_tensor(format!("{p}_fm_inter"), Shape::matrix(b, pairs), dt, TensorKind::Activation);
+        let fm_inter = g.add_tensor(
+            format!("{p}_fm_inter"),
+            Shape::matrix(b, pairs),
+            dt,
+            TensorKind::Activation,
+        );
         g.add_node(
             format!("{p}_fm_interaction"),
-            OpKind::Interaction { batch: b, features: self.fm_features, dim: fm_dim },
+            OpKind::Interaction {
+                batch: b,
+                features: self.fm_features,
+                dim: fm_dim,
+            },
             [fm_in],
             [fm_inter],
         );
         let fm_out = append_mlp(g, &format!("{p}_fm_out"), fm_inter, b, pairs, &[h], dt);
 
         // Linear Compression Block.
-        let lcb_mid =
-            append_mlp(g, &format!("{p}_lcb_down"), input, b, h, &[self.lcb_width], dt);
-        let lcb_out =
-            append_mlp(g, &format!("{p}_lcb_up"), lcb_mid, b, self.lcb_width, &[h], dt);
+        let lcb_mid = append_mlp(
+            g,
+            &format!("{p}_lcb_down"),
+            input,
+            b,
+            h,
+            &[self.lcb_width],
+            dt,
+        );
+        let lcb_out = append_mlp(
+            g,
+            &format!("{p}_lcb_up"),
+            lcb_mid,
+            b,
+            self.lcb_width,
+            &[h],
+            dt,
+        );
 
         // Ensemble: elementwise sum of the two branch outputs.
         let ensemble = append_add(g, &format!("{p}_ensemble"), fm_out, lcb_out, b, h, dt);
@@ -301,7 +334,12 @@ mod tests {
     #[test]
     fn mha_blocks_add_attention_nodes() {
         let mut cfg = DhenConfig::small(32);
-        cfg.mha = Some(MhaBlockConfig { blocks: 3, heads: 4, seq: 16, head_dim: 32 });
+        cfg.mha = Some(MhaBlockConfig {
+            blocks: 3,
+            heads: 4,
+            seq: 16,
+            head_dim: 32,
+        });
         let g = cfg.build();
         assert_eq!(g.validate(), Ok(()));
         let attn = g

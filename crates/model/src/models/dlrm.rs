@@ -77,8 +77,15 @@ impl DlrmConfig {
             dt,
             TensorKind::Input,
         );
-        let bottom_out =
-            append_mlp(&mut g, "bottom", dense_in, b, self.dense_features, &self.bottom_mlp, dt);
+        let bottom_out = append_mlp(
+            &mut g,
+            "bottom",
+            dense_in,
+            b,
+            self.dense_features,
+            &self.bottom_mlp,
+            dt,
+        );
 
         // Sparse side.
         let tbe = TbeParams {
@@ -121,7 +128,11 @@ impl DlrmConfig {
         );
         g.add_node(
             "interaction",
-            OpKind::Interaction { batch: b, features, dim: self.embedding_dim },
+            OpKind::Interaction {
+                batch: b,
+                features,
+                dim: self.embedding_dim,
+            },
             [bottom_out, pooled],
             [interacted],
         );
@@ -136,7 +147,11 @@ impl DlrmConfig {
         );
         g.add_node(
             "concat",
-            OpKind::Concat { rows: b, cols_total: concat_cols, num_inputs: 2 },
+            OpKind::Concat {
+                rows: b,
+                cols_total: concat_cols,
+                num_inputs: 2,
+            },
             [interacted, bottom_out],
             [concat],
         );
@@ -161,9 +176,17 @@ impl DlrmConfig {
 /// by the §4.4 quantization experiments when comparing execution plans.
 pub fn quantized_fc_ops(batch: u64, in_features: u64, out_features: u64) -> Vec<OpKind> {
     vec![
-        OpKind::Quantize { elems: batch * in_features },
-        OpKind::Fc { batch, in_features, out_features },
-        OpKind::Dequantize { elems: batch * out_features },
+        OpKind::Quantize {
+            elems: batch * in_features,
+        },
+        OpKind::Fc {
+            batch,
+            in_features,
+            out_features,
+        },
+        OpKind::Dequantize {
+            elems: batch * out_features,
+        },
     ]
 }
 
@@ -198,8 +221,7 @@ mod tests {
         let cfg = DlrmConfig::small(256);
         let g = cfg.build();
         let s = g.stats();
-        let frac =
-            s.table_bytes.as_f64() / (s.table_bytes.as_f64() + s.weight_bytes.as_f64());
+        let frac = s.table_bytes.as_f64() / (s.table_bytes.as_f64() + s.weight_bytes.as_f64());
         assert!(frac > 0.9, "embedding fraction {frac}");
         assert_eq!(s.table_bytes, cfg.table_bytes());
     }

@@ -110,8 +110,7 @@ impl HstuConfig {
         for layer in 0..self.layers {
             let p = format!("hstu{layer}");
             // Pointwise projections (U, V, Q, K in HSTU's formulation).
-            let uvqk =
-                append_mlp(&mut g, &format!("{p}_uvqk"), current, rows, d, &[4 * d], dt);
+            let uvqk = append_mlp(&mut g, &format!("{p}_uvqk"), current, rows, d, &[4 * d], dt);
             // Ragged attention with positional/timestamp bias.
             let attn_out = g.add_tensor(
                 format!("{p}_attn_out"),
@@ -133,8 +132,15 @@ impl HstuConfig {
             );
             // Output projection, gated elementwise (Hadamard with U), skip,
             // and LayerNorm.
-            let proj =
-                append_mlp(&mut g, &format!("{p}_out_proj"), attn_out, rows, d, &[d], dt);
+            let proj = append_mlp(
+                &mut g,
+                &format!("{p}_out_proj"),
+                attn_out,
+                rows,
+                d,
+                &[d],
+                dt,
+            );
             let gated = append_add(&mut g, &format!("{p}_gate"), proj, uvqk, rows, d, dt);
             let skip = append_add(&mut g, &format!("{p}_skip"), gated, current, rows, d, dt);
             current = append_layernorm(&mut g, &format!("{p}_ln"), skip, rows, d, dt);
@@ -205,8 +211,7 @@ mod tests {
         // most demanding recommendation models".
         let hstu = HstuConfig::small(1);
         let dlrm = crate::models::dlrm::DlrmConfig::small(1).build();
-        let ratio =
-            hstu.build().stats().flops.as_f64() / dlrm.stats().flops.as_f64();
+        let ratio = hstu.build().stats().flops.as_f64() / dlrm.stats().flops.as_f64();
         assert!(ratio > 10.0, "complexity ratio {ratio}");
     }
 

@@ -116,19 +116,42 @@ impl LlmConfig {
             TensorKind::Input,
         );
         // Mark it produced by an embedding gather (cheap; vocab table).
-        let embed_out =
-            g.add_tensor("embedded", Shape::matrix(seq, d), dt, TensorKind::Activation);
-        g.add_node("embed", OpKind::Cast { elems: seq * d }, [current], [embed_out]);
+        let embed_out = g.add_tensor(
+            "embedded",
+            Shape::matrix(seq, d),
+            dt,
+            TensorKind::Activation,
+        );
+        g.add_node(
+            "embed",
+            OpKind::Cast { elems: seq * d },
+            [current],
+            [embed_out],
+        );
         current = embed_out;
 
         for layer in 0..self.layers {
             let p = format!("l{layer}");
             // QKV projections.
             let q = append_mlp(&mut g, &format!("{p}_q"), current, seq, d, &[d], dt);
-            let k =
-                append_mlp(&mut g, &format!("{p}_k"), current, seq, d, &[self.kv_width()], dt);
-            let v =
-                append_mlp(&mut g, &format!("{p}_v"), current, seq, d, &[self.kv_width()], dt);
+            let k = append_mlp(
+                &mut g,
+                &format!("{p}_k"),
+                current,
+                seq,
+                d,
+                &[self.kv_width()],
+                dt,
+            );
+            let v = append_mlp(
+                &mut g,
+                &format!("{p}_v"),
+                current,
+                seq,
+                d,
+                &[self.kv_width()],
+                dt,
+            );
             // Attention over the full context (prefill: seq × seq; decode:
             // 1 × context via the KV cache).
             let attn_out = g.add_tensor(
@@ -153,9 +176,24 @@ impl LlmConfig {
             );
             let o = append_mlp(&mut g, &format!("{p}_o"), attn_out, seq, d, &[d], dt);
             // SwiGLU FFN: gate & up (d → ffn), down (ffn → d).
-            let gate =
-                append_mlp(&mut g, &format!("{p}_gate"), o, seq, d, &[self.ffn_hidden], dt);
-            let up = append_mlp(&mut g, &format!("{p}_up"), o, seq, d, &[self.ffn_hidden], dt);
+            let gate = append_mlp(
+                &mut g,
+                &format!("{p}_gate"),
+                o,
+                seq,
+                d,
+                &[self.ffn_hidden],
+                dt,
+            );
+            let up = append_mlp(
+                &mut g,
+                &format!("{p}_up"),
+                o,
+                seq,
+                d,
+                &[self.ffn_hidden],
+                dt,
+            );
             let fused = super::append_add(
                 &mut g,
                 &format!("{p}_swiglu"),
@@ -191,7 +229,11 @@ impl LlmConfig {
         );
         g.add_node(
             "lm_head",
-            OpKind::Fc { batch: 1, in_features: d, out_features: self.vocab },
+            OpKind::Fc {
+                batch: 1,
+                in_features: d,
+                out_features: self.vocab,
+            },
             [current, head_w],
             [logits],
         );
@@ -232,7 +274,10 @@ mod tests {
         let l3 = LlmConfig::llama3_8b();
         let c2 = l2.kv_cache_bytes(4096).as_f64();
         let c3 = l3.kv_cache_bytes(4096).as_f64();
-        assert!((c2 / c3 - 4.0).abs() < 0.01, "GQA 8/32 heads → 4× smaller cache");
+        assert!(
+            (c2 / c3 - 4.0).abs() < 0.01,
+            "GQA 8/32 heads → 4× smaller cache"
+        );
     }
 
     #[test]

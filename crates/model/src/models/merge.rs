@@ -88,7 +88,11 @@ impl MergeNetworkConfig {
         );
         g.add_node(
             "ibb",
-            OpKind::Broadcast { rows_in: user_rows, rows_out: b, cols: self.user_width },
+            OpKind::Broadcast {
+                rows_in: user_rows,
+                rows_out: b,
+                cols: self.user_width,
+            },
             [user_in],
             [user_wide],
         );
@@ -101,11 +105,20 @@ impl MergeNetworkConfig {
         );
         g.add_node(
             "user_cast",
-            OpKind::Cast { elems: b * self.user_width },
+            OpKind::Cast {
+                elems: b * self.user_width,
+            },
             [user_wide],
             [user_cast],
         );
-        let user_tower = self.fc(&mut g, "user_tower", user_cast, b, self.user_width, self.shared_width);
+        let user_tower = self.fc(
+            &mut g,
+            "user_tower",
+            user_cast,
+            b,
+            self.user_width,
+            self.shared_width,
+        );
 
         // ---- Pattern 2: shared transposed input + sibling FCs.
         let shared_t = g.add_tensor(
@@ -116,7 +129,10 @@ impl MergeNetworkConfig {
         );
         g.add_node(
             "shared_transpose",
-            OpKind::Transpose { rows: b, cols: self.shared_width },
+            OpKind::Transpose {
+                rows: b,
+                cols: self.shared_width,
+            },
             [user_tower],
             [shared_t],
         );
@@ -136,7 +152,11 @@ impl MergeNetworkConfig {
             );
             g.add_node(
                 format!("sib{k}_fc"),
-                OpKind::Fc { batch: b, in_features: self.shared_width, out_features: self.sibling_out },
+                OpKind::Fc {
+                    batch: b,
+                    in_features: self.shared_width,
+                    out_features: self.sibling_out,
+                },
                 [shared_t, w],
                 [o],
             );
@@ -151,7 +171,11 @@ impl MergeNetworkConfig {
         );
         g.add_node(
             "sibling_concat",
-            OpKind::Concat { rows: b, cols_total: sib_cols, num_inputs: self.sibling_fcs },
+            OpKind::Concat {
+                rows: b,
+                cols_total: sib_cols,
+                num_inputs: self.sibling_fcs,
+            },
             sibling_outs,
             [sib_concat],
         );
@@ -180,7 +204,10 @@ impl MergeNetworkConfig {
             );
             g.add_node(
                 format!("branch{k}_ln"),
-                OpKind::LayerNorm { rows: b, cols: self.branch_width },
+                OpKind::LayerNorm {
+                    rows: b,
+                    cols: self.branch_width,
+                },
                 [fc_out],
                 [o],
             );
@@ -195,7 +222,11 @@ impl MergeNetworkConfig {
         );
         g.add_node(
             "ensemble_concat",
-            OpKind::Concat { rows: b, cols_total: ens_cols, num_inputs: self.ensemble_branches },
+            OpKind::Concat {
+                rows: b,
+                cols_total: ens_cols,
+                num_inputs: self.ensemble_branches,
+            },
             branch_ln_outs,
             [ensemble],
         );
@@ -213,7 +244,10 @@ impl MergeNetworkConfig {
             );
             g.add_node(
                 format!("mha{k}_slice"),
-                OpKind::Slice { rows: b, cols: half },
+                OpKind::Slice {
+                    rows: b,
+                    cols: half,
+                },
                 [current],
                 [sliced],
             );
@@ -237,7 +271,11 @@ impl MergeNetworkConfig {
             );
             g.add_node(
                 format!("mha{k}_concat"),
-                OpKind::Concat { rows: b, cols_total: half, num_inputs: 1 },
+                OpKind::Concat {
+                    rows: b,
+                    cols_total: half,
+                    num_inputs: 1,
+                },
                 [reshaped],
                 [re_concat],
             );
@@ -275,7 +313,11 @@ impl MergeNetworkConfig {
         );
         g.add_node(
             format!("{name}_fc"),
-            OpKind::Fc { batch, in_features, out_features },
+            OpKind::Fc {
+                batch,
+                in_features,
+                out_features,
+            },
             [input, w],
             [o],
         );
@@ -287,7 +329,11 @@ impl MergeNetworkConfig {
         );
         g.add_node(
             format!("{name}_relu"),
-            OpKind::Elementwise { elems: batch * out_features, kind: EwKind::Nonlinear, arity: 1 },
+            OpKind::Elementwise {
+                elems: batch * out_features,
+                kind: EwKind::Nonlinear,
+                arity: 1,
+            },
             [o],
             [a],
         );
@@ -315,9 +361,8 @@ mod tests {
     #[test]
     fn contains_every_target_pattern() {
         let g = MergeNetworkConfig::case_study().build();
-        let count = |pred: &dyn Fn(&OpKind) -> bool| {
-            g.nodes().iter().filter(|n| pred(&n.op)).count()
-        };
+        let count =
+            |pred: &dyn Fn(&OpKind) -> bool| g.nodes().iter().filter(|n| pred(&n.op)).count();
         assert!(count(&|op| matches!(op, OpKind::Broadcast { .. })) >= 1);
         assert!(count(&|op| matches!(op, OpKind::Transpose { .. })) >= 1);
         assert!(count(&|op| matches!(op, OpKind::Slice { .. })) >= 4);

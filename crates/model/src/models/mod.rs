@@ -50,7 +50,11 @@ pub(crate) fn append_mlp(
         );
         graph.add_node(
             format!("{prefix}_fc{i}"),
-            OpKind::Fc { batch, in_features, out_features },
+            OpKind::Fc {
+                batch,
+                in_features,
+                out_features,
+            },
             [current, w],
             [fc_out],
         );
@@ -99,7 +103,11 @@ pub(crate) fn append_sigmoid_head(
     );
     graph.add_node(
         "head_fc",
-        OpKind::Fc { batch, in_features, out_features: 1 },
+        OpKind::Fc {
+            batch,
+            in_features,
+            out_features: 1,
+        },
         [input, w],
         [logit],
     );
@@ -111,7 +119,11 @@ pub(crate) fn append_sigmoid_head(
     );
     graph.add_node(
         "sigmoid",
-        OpKind::Elementwise { elems: batch, kind: EwKind::Nonlinear, arity: 1 },
+        OpKind::Elementwise {
+            elems: batch,
+            kind: EwKind::Nonlinear,
+            arity: 1,
+        },
         [logit],
         [out],
     );
@@ -155,7 +167,11 @@ pub(crate) fn append_add(
     );
     graph.add_node(
         name,
-        OpKind::Elementwise { elems: rows * cols, kind: EwKind::Arithmetic, arity: 2 },
+        OpKind::Elementwise {
+            elems: rows * cols,
+            kind: EwKind::Arithmetic,
+            arity: 2,
+        },
         [a, b],
         [out],
     );

@@ -138,7 +138,11 @@ impl WukongConfig {
             );
             g.add_node(
                 format!("{p}_fmb_interaction"),
-                OpKind::Interaction { batch: b, features: fm_features, dim: fm_dim },
+                OpKind::Interaction {
+                    batch: b,
+                    features: fm_features,
+                    dim: fm_dim,
+                },
                 [fm_proj],
                 [inter],
             );
@@ -166,7 +170,10 @@ impl WukongConfig {
 /// The §2 scaling sweep: Wukong instances across two orders of magnitude
 /// of per-sample complexity.
 pub fn scaling_sweep(batch: u64) -> Vec<WukongConfig> {
-    [1u64, 2, 4, 8, 16].into_iter().map(|s| WukongConfig::at_scale(s, batch)).collect()
+    [1u64, 2, 4, 8, 16]
+        .into_iter()
+        .map(|s| WukongConfig::at_scale(s, batch))
+        .collect()
 }
 
 #[cfg(test)]

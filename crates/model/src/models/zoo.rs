@@ -117,9 +117,9 @@ impl ZooModel {
     pub fn table_bytes(&self) -> Bytes {
         match &self.arch {
             ZooArch::Dlrm(c) => c.table_bytes(),
-            ZooArch::Dhen(c) => {
-                c.dtype.bytes_for(c.num_tables * c.rows_per_table * c.embedding_dim)
-            }
+            ZooArch::Dhen(c) => c
+                .dtype
+                .bytes_for(c.num_tables * c.rows_per_table * c.embedding_dim),
             ZooArch::Hstu(c) => c.table_bytes(),
         }
     }
@@ -131,12 +131,7 @@ impl ZooModel {
 /// # Panics
 ///
 /// Panics if the target cannot be bracketed in `[lo, hi]`.
-fn calibrate_width(
-    lo: u64,
-    hi: u64,
-    target_mflops: f64,
-    build: impl Fn(u64) -> Graph,
-) -> u64 {
+fn calibrate_width(lo: u64, hi: u64, target_mflops: f64, build: impl Fn(u64) -> Graph) -> u64 {
     let eval = |w: u64| build(w).flops_per_sample().as_mflops();
     assert!(
         eval(lo) <= target_mflops && eval(hi) >= target_mflops,
@@ -264,7 +259,12 @@ pub fn fig6_models() -> Vec<ZooModel> {
             512,
             60,
             0.10,
-            Some(MhaBlockConfig { blocks: 4, heads: 8, seq: 32, head_dim: 16 }),
+            Some(MhaBlockConfig {
+                blocks: 4,
+                heads: 8,
+                seq: 32,
+                head_dim: 16,
+            }),
         ),
         hc_model("HC4", 1000.0, 256, 200, 0.12, None),
     ]
@@ -335,8 +335,7 @@ mod tests {
     fn fig6_complexities_match_targets() {
         for m in fig6_models() {
             let measured = m.mflops_per_sample();
-            let err = (measured - m.target_mflops_per_sample).abs()
-                / m.target_mflops_per_sample;
+            let err = (measured - m.target_mflops_per_sample).abs() / m.target_mflops_per_sample;
             assert!(
                 err < 0.05,
                 "{}: target {} measured {measured:.1} MFLOPS/sample",
@@ -350,10 +349,14 @@ mod tests {
     fn fig6_population_shape() {
         let models = fig6_models();
         assert_eq!(models.len(), 9);
-        let lc: Vec<_> =
-            models.iter().filter(|m| m.class == ComplexityClass::LowComplexity).collect();
-        let hc: Vec<_> =
-            models.iter().filter(|m| m.class == ComplexityClass::HighComplexity).collect();
+        let lc: Vec<_> = models
+            .iter()
+            .filter(|m| m.class == ComplexityClass::LowComplexity)
+            .collect();
+        let hc: Vec<_> = models
+            .iter()
+            .filter(|m| m.class == ComplexityClass::HighComplexity)
+            .collect();
         assert_eq!(lc.len(), 5);
         assert_eq!(hc.len(), 4);
         // §7: LC 15–105, HC 480–1000 MFLOPS/sample.
@@ -400,7 +403,10 @@ mod tests {
         let late = &models[2];
         assert!((late.mflops_per_sample() - 1000.0).abs() / 1000.0 < 0.05);
         let gib = late.table_bytes().as_gib();
-        assert!((100.0..=300.0).contains(&gib), "late-stage tables {gib} GiB");
+        assert!(
+            (100.0..=300.0).contains(&gib),
+            "late-stage tables {gib} GiB"
+        );
 
         // HSTU: 1 TB / 2 TB tables, 10 / 80 GFLOPS per request.
         let hr = &models[3];

@@ -232,9 +232,11 @@ impl OpKind {
     /// operations, matching how the paper quotes GFLOPS/sample.
     pub fn flops(&self) -> FlopCount {
         let f = match self {
-            OpKind::Fc { batch, in_features, out_features } => {
-                2.0 * (*batch as f64) * (*in_features as f64) * (*out_features as f64)
-            }
+            OpKind::Fc {
+                batch,
+                in_features,
+                out_features,
+            } => 2.0 * (*batch as f64) * (*in_features as f64) * (*out_features as f64),
             OpKind::Tbe(p) => {
                 let adds = p.lookups() as f64 * p.embedding_dim as f64;
                 if p.weighted {
@@ -269,7 +271,11 @@ impl OpKind {
             | OpKind::Slice { .. }
             | OpKind::Reshape { .. } => 0.0,
             OpKind::Elementwise { elems, arity, .. } => (*elems as f64) * (*arity as f64),
-            OpKind::Interaction { batch, features, dim } => {
+            OpKind::Interaction {
+                batch,
+                features,
+                dim,
+            } => {
                 // Pairwise dots between all feature pairs.
                 let pairs = (*features * (*features - 1) / 2) as f64;
                 2.0 * (*batch as f64) * pairs * (*dim as f64)
@@ -280,13 +286,15 @@ impl OpKind {
             }
             OpKind::Broadcast { .. } => 0.0,
             OpKind::Cast { elems } => *elems as f64,
-            OpKind::QuantizedFc { batch, in_features, out_features } => {
+            OpKind::QuantizedFc {
+                batch,
+                in_features,
+                out_features,
+            } => {
                 2.0 * (*batch as f64) * (*in_features as f64) * (*out_features as f64)
                     + 3.0 * (*batch as f64) * ((*in_features + *out_features) as f64)
             }
-            OpKind::Fused(members) => {
-                members.iter().map(|m| m.flops().as_f64()).sum()
-            }
+            OpKind::Fused(members) => members.iter().map(|m| m.flops().as_f64()).sum(),
         };
         FlopCount::new(f)
     }
@@ -295,17 +303,19 @@ impl OpKind {
     /// operator reads.
     pub fn weight_bytes(&self, dtype: DType) -> Bytes {
         match self {
-            OpKind::Fc { in_features, out_features, .. } => {
-                dtype.bytes_for(in_features * out_features)
-            }
+            OpKind::Fc {
+                in_features,
+                out_features,
+                ..
+            } => dtype.bytes_for(in_features * out_features),
             // Statically-quantized INT8 weights.
-            OpKind::QuantizedFc { in_features, out_features, .. } => {
-                DType::Int8.bytes_for(in_features * out_features)
-            }
+            OpKind::QuantizedFc {
+                in_features,
+                out_features,
+                ..
+            } => DType::Int8.bytes_for(in_features * out_features),
             OpKind::Tbe(p) => p.table_bytes(dtype),
-            OpKind::Fused(members) => {
-                members.iter().map(|m| m.weight_bytes(dtype)).sum()
-            }
+            OpKind::Fused(members) => members.iter().map(|m| m.weight_bytes(dtype)).sum(),
             _ => Bytes::ZERO,
         }
     }
@@ -313,7 +323,9 @@ impl OpKind {
     /// Bytes of activations the operator reads per invocation.
     pub fn activation_in_bytes(&self, dtype: DType) -> Bytes {
         match self {
-            OpKind::Fc { batch, in_features, .. } => dtype.bytes_for(batch * in_features),
+            OpKind::Fc {
+                batch, in_features, ..
+            } => dtype.bytes_for(batch * in_features),
             OpKind::Tbe(p) => {
                 // Indices: one u32 per lookup.
                 Bytes::new(4 * p.lookups())
@@ -331,19 +343,23 @@ impl OpKind {
             OpKind::Transpose { rows, cols } | OpKind::Slice { rows, cols } => {
                 dtype.bytes_for(rows * cols)
             }
-            OpKind::Concat { rows, cols_total, .. } => dtype.bytes_for(rows * cols_total),
+            OpKind::Concat {
+                rows, cols_total, ..
+            } => dtype.bytes_for(rows * cols_total),
             OpKind::Reshape { .. } => Bytes::ZERO,
-            OpKind::Elementwise { elems, arity, .. } => {
-                dtype.bytes_for(*elems * (*arity as u64))
-            }
-            OpKind::Interaction { batch, features, dim } => {
-                dtype.bytes_for(batch * features * dim)
-            }
+            OpKind::Elementwise { elems, arity, .. } => dtype.bytes_for(*elems * (*arity as u64)),
+            OpKind::Interaction {
+                batch,
+                features,
+                dim,
+            } => dtype.bytes_for(batch * features * dim),
             OpKind::Quantize { elems } => DType::Fp16.bytes_for(*elems),
             OpKind::Dequantize { elems } => DType::Int8.bytes_for(*elems),
             OpKind::Broadcast { rows_in, cols, .. } => dtype.bytes_for(rows_in * cols),
             OpKind::Cast { elems } => DType::Fp32.bytes_for(*elems),
-            OpKind::QuantizedFc { batch, in_features, .. } => {
+            OpKind::QuantizedFc {
+                batch, in_features, ..
+            } => {
                 dtype.bytes_for(batch * in_features) // FP16 in, quantized inline
             }
             OpKind::Fused(members) => members
@@ -356,7 +372,11 @@ impl OpKind {
     /// Bytes of activations the operator writes per invocation.
     pub fn activation_out_bytes(&self, dtype: DType) -> Bytes {
         match self {
-            OpKind::Fc { batch, out_features, .. } => dtype.bytes_for(batch * out_features),
+            OpKind::Fc {
+                batch,
+                out_features,
+                ..
+            } => dtype.bytes_for(batch * out_features),
             OpKind::Tbe(p) => {
                 if p.pooled {
                     dtype.bytes_for(p.batch * p.num_tables * p.embedding_dim)
@@ -374,17 +394,23 @@ impl OpKind {
             OpKind::Transpose { rows, cols } | OpKind::Slice { rows, cols } => {
                 dtype.bytes_for(rows * cols)
             }
-            OpKind::Concat { rows, cols_total, .. } => dtype.bytes_for(rows * cols_total),
+            OpKind::Concat {
+                rows, cols_total, ..
+            } => dtype.bytes_for(rows * cols_total),
             OpKind::Reshape { .. } => Bytes::ZERO,
             OpKind::Elementwise { elems, .. } => dtype.bytes_for(*elems),
-            OpKind::Interaction { batch, features, .. } => {
-                dtype.bytes_for(batch * features * (features - 1) / 2)
-            }
+            OpKind::Interaction {
+                batch, features, ..
+            } => dtype.bytes_for(batch * features * (features - 1) / 2),
             OpKind::Quantize { elems } => DType::Int8.bytes_for(*elems),
             OpKind::Dequantize { elems } => DType::Fp16.bytes_for(*elems),
             OpKind::Broadcast { rows_out, cols, .. } => dtype.bytes_for(rows_out * cols),
             OpKind::Cast { elems } => DType::Fp16.bytes_for(*elems),
-            OpKind::QuantizedFc { batch, out_features, .. } => {
+            OpKind::QuantizedFc {
+                batch,
+                out_features,
+                ..
+            } => {
                 dtype.bytes_for(batch * out_features) // dequantized on the way out
             }
             OpKind::Fused(members) => members
@@ -454,7 +480,11 @@ impl OpKind {
 impl fmt::Display for OpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OpKind::Fc { batch, in_features, out_features } => {
+            OpKind::Fc {
+                batch,
+                in_features,
+                out_features,
+            } => {
                 write!(f, "fc {batch}x{in_features}x{out_features}")
             }
             OpKind::Tbe(p) => write!(
@@ -495,10 +525,20 @@ mod tests {
 
     #[test]
     fn fc_flops_and_bytes() {
-        let fc = OpKind::Fc { batch: 512, in_features: 1024, out_features: 2048 };
+        let fc = OpKind::Fc {
+            batch: 512,
+            in_features: 1024,
+            out_features: 2048,
+        };
         assert_eq!(fc.flops().as_f64(), 2.0 * 512.0 * 1024.0 * 2048.0);
-        assert_eq!(fc.weight_bytes(DType::Fp16), DType::Fp16.bytes_for(1024 * 2048));
-        assert_eq!(fc.activation_in_bytes(DType::Fp16), DType::Fp16.bytes_for(512 * 1024));
+        assert_eq!(
+            fc.weight_bytes(DType::Fp16),
+            DType::Fp16.bytes_for(1024 * 2048)
+        );
+        assert_eq!(
+            fc.activation_in_bytes(DType::Fp16),
+            DType::Fp16.bytes_for(512 * 1024)
+        );
         assert_eq!(
             fc.activation_out_bytes(DType::Fp16),
             DType::Fp16.bytes_for(512 * 2048)
@@ -509,7 +549,11 @@ mod tests {
     #[test]
     fn paper_example_fc_shape_flops() {
         // §4.2's 512 × 26592 × 2048 shape has a 109 MB FP16 weight tensor.
-        let fc = OpKind::Fc { batch: 512, in_features: 26592, out_features: 2048 };
+        let fc = OpKind::Fc {
+            batch: 512,
+            in_features: 26592,
+            out_features: 2048,
+        };
         let mb = fc.weight_bytes(DType::Fp16).as_mib();
         assert!((mb - 103.9).abs() < 1.0, "weight {mb} MiB"); // 109 MB decimal ≈ 104 MiB
     }
@@ -529,7 +573,10 @@ mod tests {
             2 * 256 * 10 * 128
         );
         // Indices are 4 bytes per lookup.
-        assert_eq!(op.activation_in_bytes(DType::Fp16).as_u64(), 4 * p.lookups());
+        assert_eq!(
+            op.activation_in_bytes(DType::Fp16).as_u64(),
+            4 * p.lookups()
+        );
         assert_eq!(op.category(), OpCategory::Sparse);
     }
 
@@ -547,16 +594,27 @@ mod tests {
         let mut p = tbe();
         p.pooled = false;
         let op = OpKind::Tbe(p);
-        assert_eq!(op.activation_out_bytes(DType::Fp16), p.gathered_bytes(DType::Fp16));
+        assert_eq!(
+            op.activation_out_bytes(DType::Fp16),
+            p.gathered_bytes(DType::Fp16)
+        );
     }
 
     #[test]
     fn layout_ops_have_zero_flops() {
         for op in [
             OpKind::Transpose { rows: 10, cols: 10 },
-            OpKind::Concat { rows: 4, cols_total: 8, num_inputs: 2 },
+            OpKind::Concat {
+                rows: 4,
+                cols_total: 8,
+                num_inputs: 2,
+            },
             OpKind::Reshape { elems: 100 },
-            OpKind::Broadcast { rows_in: 1, rows_out: 8, cols: 4 },
+            OpKind::Broadcast {
+                rows_in: 1,
+                rows_out: 8,
+                cols: 4,
+            },
         ] {
             assert_eq!(op.flops().as_f64(), 0.0, "{op}");
             assert_eq!(op.category(), OpCategory::DataMovement);
@@ -565,7 +623,12 @@ mod tests {
 
     #[test]
     fn attention_flops_scale_quadratically_in_seq() {
-        let base = AttentionParams { batch: 8, heads: 4, seq: 128, head_dim: 64 };
+        let base = AttentionParams {
+            batch: 8,
+            heads: 4,
+            seq: 128,
+            head_dim: 64,
+        };
         let double = AttentionParams { seq: 256, ..base };
         let f1 = OpKind::Attention(base).flops().as_f64();
         let f2 = OpKind::Attention(double).flops().as_f64();
@@ -590,12 +653,19 @@ mod tests {
         })
         .flops()
         .as_f64();
-        assert!(ragged < dense / 50.0, "ragged attention must skip padding work");
+        assert!(
+            ragged < dense / 50.0,
+            "ragged attention must skip padding work"
+        );
     }
 
     #[test]
     fn interaction_pairs() {
-        let op = OpKind::Interaction { batch: 2, features: 4, dim: 8 };
+        let op = OpKind::Interaction {
+            batch: 2,
+            features: 4,
+            dim: 8,
+        };
         // 6 pairs × 8 dims × 2 ops × 2 batch.
         assert_eq!(op.flops().as_f64(), 2.0 * 6.0 * 8.0 * 2.0);
         assert_eq!(op.activation_out_bytes(DType::Fp16).as_u64(), 2 * 2 * 6);
@@ -613,21 +683,36 @@ mod tests {
 
     #[test]
     fn broadcast_expands_rows() {
-        let b = OpKind::Broadcast { rows_in: 2, rows_out: 64, cols: 16 };
+        let b = OpKind::Broadcast {
+            rows_in: 2,
+            rows_out: 64,
+            cols: 16,
+        };
         assert_eq!(b.activation_in_bytes(DType::Fp16).as_u64(), 2 * 2 * 16);
         assert_eq!(b.activation_out_bytes(DType::Fp16).as_u64(), 2 * 64 * 16);
     }
 
     #[test]
     fn fused_aggregates_members() {
-        let fc = OpKind::Fc { batch: 8, in_features: 16, out_features: 32 };
-        let ew = OpKind::Elementwise { elems: 8 * 32, kind: EwKind::Nonlinear, arity: 1 };
+        let fc = OpKind::Fc {
+            batch: 8,
+            in_features: 16,
+            out_features: 32,
+        };
+        let ew = OpKind::Elementwise {
+            elems: 8 * 32,
+            kind: EwKind::Nonlinear,
+            arity: 1,
+        };
         let fused = OpKind::Fused(vec![fc.clone(), ew.clone()]);
         assert_eq!(
             fused.flops().as_f64(),
             fc.flops().as_f64() + ew.flops().as_f64()
         );
-        assert_eq!(fused.weight_bytes(DType::Fp16), fc.weight_bytes(DType::Fp16));
+        assert_eq!(
+            fused.weight_bytes(DType::Fp16),
+            fc.weight_bytes(DType::Fp16)
+        );
         // Boundary traffic only: input of the first, output of the last.
         assert_eq!(
             fused.activation_in_bytes(DType::Fp16),
@@ -643,7 +728,11 @@ mod tests {
 
     #[test]
     fn display_and_mnemonics() {
-        let fc = OpKind::Fc { batch: 1, in_features: 2, out_features: 3 };
+        let fc = OpKind::Fc {
+            batch: 1,
+            in_features: 2,
+            out_features: 3,
+        };
         assert_eq!(fc.to_string(), "fc 1x2x3");
         assert_eq!(fc.mnemonic(), "fc");
         assert_eq!(OpKind::Reshape { elems: 4 }.to_string(), "reshape");

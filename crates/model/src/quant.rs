@@ -102,7 +102,13 @@ pub fn quantize(t: &DenseTensor, granularity: Granularity) -> QuantizedTensor {
             data.push((v / s).round().clamp(-127.0, 127.0) as i8);
         }
     }
-    QuantizedTensor { rows, cols, data, scales, group }
+    QuantizedTensor {
+        rows,
+        cols,
+        data,
+        scales,
+        group,
+    }
 }
 
 /// INT8 matmul with row-wise activation scales and static per-column (here:
@@ -211,10 +217,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t = skewed_activations(&mut rng);
         let per_row = quantize(&t, Granularity::PerRow).dequantize().snr_db_vs(&t);
-        let per_group = quantize(&t, Granularity::PerRowGroup(8)).dequantize().snr_db_vs(&t);
-        let per_tensor = quantize(&t, Granularity::PerTensor).dequantize().snr_db_vs(&t);
-        assert!(per_row >= per_group && per_group >= per_tensor,
-            "granularity ordering: row {per_row}, group {per_group}, tensor {per_tensor}");
+        let per_group = quantize(&t, Granularity::PerRowGroup(8))
+            .dequantize()
+            .snr_db_vs(&t);
+        let per_tensor = quantize(&t, Granularity::PerTensor)
+            .dequantize()
+            .snr_db_vs(&t);
+        assert!(
+            per_row >= per_group && per_group >= per_tensor,
+            "granularity ordering: row {per_row}, group {per_group}, tensor {per_tensor}"
+        );
     }
 
     #[test]
@@ -274,13 +286,9 @@ mod tests {
         let worst_row_snr = |out: &DenseTensor| -> f64 {
             (0..out.rows())
                 .map(|r| {
-                    let reference_row = DenseTensor::from_data(
-                        1,
-                        reference.cols(),
-                        reference.row(r).to_vec(),
-                    );
-                    let out_row =
-                        DenseTensor::from_data(1, out.cols(), out.row(r).to_vec());
+                    let reference_row =
+                        DenseTensor::from_data(1, reference.cols(), reference.row(r).to_vec());
+                    let out_row = DenseTensor::from_data(1, out.cols(), out.row(r).to_vec());
                     out_row.snr_db_vs(&reference_row)
                 })
                 .fold(f64::INFINITY, f64::min)

@@ -21,9 +21,7 @@ pub fn prune_2_4(t: &DenseTensor) -> DenseTensor {
             }
             // Find the two largest magnitudes; zero the rest.
             let mut idx: Vec<usize> = (0..group.len()).collect();
-            idx.sort_by(|&a, &b| {
-                group[b].abs().partial_cmp(&group[a].abs()).unwrap()
-            });
+            idx.sort_by(|&a, &b| group[b].abs().partial_cmp(&group[a].abs()).unwrap());
             for &i in &idx[2..] {
                 group[i] = 0.0;
             }
@@ -119,7 +117,10 @@ mod tests {
         let dense = DenseTensor::gaussian(64, 128, 1.0, &mut rng);
         let p_dense = prune_2_4(&dense);
         let dense_energy = energy_retained(&dense, &p_dense);
-        assert!(dense_energy < 0.95, "dense gaussian retained {dense_energy}");
+        assert!(
+            dense_energy < 0.95,
+            "dense gaussian retained {dense_energy}"
+        );
 
         // A genuinely 50 %-sparse weight matrix.
         let mut sparse = DenseTensor::gaussian(64, 128, 1.0, &mut rng);

@@ -32,7 +32,10 @@ impl Shape {
     /// Panics if any dimension is zero.
     pub fn new(dims: impl Into<Vec<u64>>) -> Self {
         let dims = dims.into();
-        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension in shape {dims:?}");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
         Shape(dims)
     }
 
@@ -112,7 +115,11 @@ impl DenseTensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "zero-sized tensor");
-        DenseTensor { rows, cols, data: vec![0.0; rows * cols] }
+        DenseTensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a tensor from row-major data.
@@ -160,7 +167,10 @@ impl DenseTensor {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -170,7 +180,10 @@ impl DenseTensor {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -391,8 +404,12 @@ mod tests {
         let t = DenseTensor::gaussian(100, 100, 2.0, &mut rng);
         let n = t.data().len() as f64;
         let mean: f64 = t.data().iter().map(|&v| v as f64).sum::<f64>() / n;
-        let var: f64 =
-            t.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = t
+            .data()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
     }

@@ -22,7 +22,11 @@ use mtia_core::SimTime;
 /// Panics if inputs are empty or lengths differ.
 pub fn normalized_entropy(labels: &[bool], predictions: &[f64]) -> f64 {
     assert!(!labels.is_empty(), "empty evaluation set");
-    assert_eq!(labels.len(), predictions.len(), "labels/predictions mismatch");
+    assert_eq!(
+        labels.len(),
+        predictions.len(),
+        "labels/predictions mismatch"
+    );
     let n = labels.len() as f64;
     let clamp = |p: f64| p.clamp(1e-9, 1.0 - 1e-9);
     let log_loss: f64 = labels
@@ -83,7 +87,10 @@ impl PlatformArm {
     /// An MTIA arm with a broken quantization config — used to show the
     /// harness *detects* quality regressions.
     pub fn mtia_miscalibrated() -> Self {
-        PlatformArm { logit_bias: 0.35, ..Self::mtia_treatment() }
+        PlatformArm {
+            logit_bias: 0.35,
+            ..Self::mtia_treatment()
+        }
     }
 }
 
@@ -125,8 +132,7 @@ impl AbReport {
     /// Whether the treatment passes the launch bar: NE within
     /// `ne_tolerance` and revenue within `revenue_tolerance` of control.
     pub fn passes(&self, ne_tolerance: f64, revenue_tolerance: f64) -> bool {
-        self.ne_regression() <= ne_tolerance
-            && self.revenue_delta().abs() <= revenue_tolerance
+        self.ne_regression() <= ne_tolerance && self.revenue_delta().abs() <= revenue_tolerance
     }
 }
 
@@ -183,7 +189,10 @@ pub fn run_ab_test<R: Rng + ?Sized>(
             latency,
         }
     };
-    AbReport { control: run_arm(control, rng), treatment: run_arm(treatment, rng) }
+    AbReport {
+        control: run_arm(control, rng),
+        treatment: run_arm(treatment, rng),
+    }
 }
 
 #[cfg(test)]

@@ -48,7 +48,10 @@ pub enum AllocationError {
 impl fmt::Display for AllocationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AllocationError::ExceedsSwitchCapacity { requested, per_switch } => write!(
+            AllocationError::ExceedsSwitchCapacity {
+                requested,
+                per_switch,
+            } => write!(
                 f,
                 "requested {requested} accelerators but a PCIe switch holds {per_switch}"
             ),
@@ -78,10 +81,17 @@ impl ServerAllocator {
         let mut slots = Vec::with_capacity(server.accelerators as usize);
         for s in 0..switches {
             for _ in 0..per_switch.min(server.accelerators - s * per_switch) {
-                slots.push(Slot { switch: s, owner: None });
+                slots.push(Slot {
+                    switch: s,
+                    owner: None,
+                });
             }
         }
-        ServerAllocator { slots, per_switch, next_id: 0 }
+        ServerAllocator {
+            slots,
+            per_switch,
+            next_id: 0,
+        }
     }
 
     /// Total accelerator slots.
@@ -116,10 +126,13 @@ impl ServerAllocator {
             });
         }
         // Free counts per switch.
-        let switches: Vec<u32> =
-            self.slots.iter().map(|s| s.switch).collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .collect();
+        let switches: Vec<u32> = self
+            .slots
+            .iter()
+            .map(|s| s.switch)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let mut best: Option<(u32, usize)> = None; // (switch, free)
         for &sw in &switches {
             let free = self
@@ -127,13 +140,13 @@ impl ServerAllocator {
                 .iter()
                 .filter(|s| s.switch == sw && s.owner.is_none())
                 .count();
-            if free >= accelerators as usize
-                && best.map(|(_, bf)| free < bf).unwrap_or(true)
-            {
+            if free >= accelerators as usize && best.map(|(_, bf)| free < bf).unwrap_or(true) {
                 best = Some((sw, free));
             }
         }
-        let Some((switch, _)) = best else { return Err(AllocationError::Fragmented) };
+        let Some((switch, _)) = best else {
+            return Err(AllocationError::Fragmented);
+        };
 
         self.next_id += 1;
         let id = self.next_id;
@@ -147,7 +160,11 @@ impl ServerAllocator {
                 taken.push(i);
             }
         }
-        Ok(Placement { id, switch, slots: taken })
+        Ok(Placement {
+            id,
+            switch,
+            slots: taken,
+        })
     }
 
     /// Releases an allocation. Unknown ids are ignored (idempotent).
@@ -193,7 +210,10 @@ mod tests {
     fn oversized_request_rejected() {
         let mut a = allocator();
         let err = a.allocate(13).unwrap_err();
-        assert!(matches!(err, AllocationError::ExceedsSwitchCapacity { per_switch: 12, .. }));
+        assert!(matches!(
+            err,
+            AllocationError::ExceedsSwitchCapacity { per_switch: 12, .. }
+        ));
     }
 
     #[test]

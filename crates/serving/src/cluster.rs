@@ -25,12 +25,20 @@ pub struct HostPipeline {
 impl HostPipeline {
     /// The unoptimized pipeline.
     pub fn naive(input_bytes_per_sample: Bytes) -> Self {
-        HostPipeline { input_bytes_per_sample, memory_copies: 2, cast_on_device: false }
+        HostPipeline {
+            input_bytes_per_sample,
+            memory_copies: 2,
+            cast_on_device: false,
+        }
     }
 
     /// The §3.4-optimized pipeline.
     pub fn optimized(input_bytes_per_sample: Bytes) -> Self {
-        HostPipeline { input_bytes_per_sample, memory_copies: 1, cast_on_device: true }
+        HostPipeline {
+            input_bytes_per_sample,
+            memory_copies: 1,
+            cast_on_device: true,
+        }
     }
 
     /// Bytes of host-DRAM traffic per sample: each copy pass reads and
@@ -70,11 +78,7 @@ pub fn effective_samples_per_s(
 }
 
 /// Host time to stage one batch of `batch` samples.
-pub fn host_time_per_batch(
-    server: &ServerSpec,
-    pipeline: &HostPipeline,
-    batch: u64,
-) -> SimTime {
+pub fn host_time_per_batch(server: &ServerSpec, pipeline: &HostPipeline, batch: u64) -> SimTime {
     let rate = host_bound_samples_per_s(server, pipeline);
     SimTime::from_secs_f64(batch as f64 / rate)
 }
@@ -95,7 +99,10 @@ mod tests {
         // A low-complexity model sustains ~2M samples/s on the device.
         let device = 2_000_000.0;
         let effective = effective_samples_per_s(&server, &pipeline, device);
-        assert!(effective < device, "host must bind: host {host}, device {device}");
+        assert!(
+            effective < device,
+            "host must bind: host {host}, device {device}"
+        );
         assert_eq!(effective, host);
     }
 
@@ -103,9 +110,12 @@ mod tests {
     fn optimizations_halve_host_traffic() {
         let naive = HostPipeline::naive(Bytes::from_kib(4));
         let optimized = HostPipeline::optimized(Bytes::from_kib(4));
-        let ratio = naive.host_bytes_per_sample().as_f64()
-            / optimized.host_bytes_per_sample().as_f64();
-        assert!((ratio - 2.0).abs() < 1e-9, "copy elimination halves traffic: {ratio}");
+        let ratio =
+            naive.host_bytes_per_sample().as_f64() / optimized.host_bytes_per_sample().as_f64();
+        assert!(
+            (ratio - 2.0).abs() < 1e-9,
+            "copy elimination halves traffic: {ratio}"
+        );
         let server = chips::mtia_server();
         assert!(
             host_bound_samples_per_s(&server, &optimized)

@@ -57,8 +57,13 @@ pub fn simulate_coalescer(
         opened_at: Option<SimTime>,
         members: Vec<SimTime>,
     }
-    let mut windows =
-        vec![Window { opened_at: None, members: Vec::new() }; config.parallel_windows as usize];
+    let mut windows = vec![
+        Window {
+            opened_at: None,
+            members: Vec::new()
+        };
+        config.parallel_windows as usize
+    ];
     let mut stats = CoalescerStats {
         batches: 0,
         requests: 0,
@@ -71,8 +76,11 @@ pub fn simulate_coalescer(
     let mut rr = 0usize;
     let mut now = SimTime::ZERO;
 
-    let close = |w: &mut Window, at: SimTime, stats: &mut CoalescerStats,
-                     fill_sum: &mut f64, full: &mut u64| {
+    let close = |w: &mut Window,
+                 at: SimTime,
+                 stats: &mut CoalescerStats,
+                 fill_sum: &mut f64,
+                 full: &mut u64| {
         if w.members.is_empty() {
             w.opened_at = None;
             return;
@@ -99,7 +107,13 @@ pub fn simulate_coalescer(
         for w in windows.iter_mut() {
             if let Some(opened) = w.opened_at {
                 if opened + config.window <= now {
-                    close(w, opened + config.window, &mut stats, &mut fill_sum, &mut full);
+                    close(
+                        w,
+                        opened + config.window,
+                        &mut stats,
+                        &mut fill_sum,
+                        &mut full,
+                    );
                 }
             }
         }
@@ -118,7 +132,13 @@ pub fn simulate_coalescer(
     // Flush.
     for w in windows.iter_mut() {
         let at = w.opened_at.map(|o| o + config.window).unwrap_or(now);
-        close(w, at.min(horizon.max(now)), &mut stats, &mut fill_sum, &mut full);
+        close(
+            w,
+            at.min(horizon.max(now)),
+            &mut stats,
+            &mut fill_sum,
+            &mut full,
+        );
     }
 
     if stats.batches > 0 {
@@ -182,7 +202,11 @@ mod tests {
         // Expected batch = rate × window.
         let stats = run(20_000.0, 10, 512);
         let expected = 20_000.0 * 0.010 / 512.0; // ≈ 0.39 fill
-        assert!((stats.mean_fill - expected).abs() < 0.08, "fill {}", stats.mean_fill);
+        assert!(
+            (stats.mean_fill - expected).abs() < 0.08,
+            "fill {}",
+            stats.mean_fill
+        );
     }
 
     #[test]

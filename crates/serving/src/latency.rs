@@ -79,7 +79,14 @@ impl LatencyHistogram {
     }
 
     /// The `q`-quantile (e.g. 0.99 for P99), as the upper edge of the
-    /// containing bucket. Zero when empty.
+    /// containing bucket.
+    ///
+    /// **Empty-histogram contract:** with no recorded samples this
+    /// returns [`SimTime::ZERO`] rather than panicking — convenient for
+    /// reports that print before warmup has produced data, but easy to
+    /// mistake for "the P99 is zero". Callers that need to distinguish
+    /// "no data" from "zero latency" should use
+    /// [`checked_quantile`](Self::checked_quantile).
     ///
     /// # Panics
     ///
@@ -100,7 +107,23 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// P99 shorthand.
+    /// Like [`quantile`](Self::quantile), but `None` when the histogram
+    /// is empty instead of the ambiguous `SimTime::ZERO`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn checked_quantile(&self, q: f64) -> Option<SimTime> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.quantile(q))
+        }
+    }
+
+    /// P99 shorthand. Empty histograms report `SimTime::ZERO` (see
+    /// [`quantile`](Self::quantile) for the contract).
     pub fn p99(&self) -> SimTime {
         self.quantile(0.99)
     }
@@ -140,6 +163,16 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.p99(), SimTime::ZERO);
         assert_eq!(h.mean(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn checked_quantile_distinguishes_empty_from_zero() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.checked_quantile(0.99), None);
+        h.record(SimTime::ZERO); // a genuine zero-latency sample
+        assert_eq!(h.checked_quantile(0.99), Some(SimTime::ZERO));
+        h.record(SimTime::from_millis(3));
+        assert_eq!(h.checked_quantile(0.99), Some(h.p99()));
     }
 
     #[test]

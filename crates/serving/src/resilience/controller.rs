@@ -1,0 +1,202 @@
+//! SLO-aware graceful degradation.
+//!
+//! When injected faults shrink the dispatchable pool, a serving tier
+//! that keeps admitting every request just converts the capacity loss
+//! into unbounded queueing — P99 explodes and *every* request misses the
+//! SLO. The controller instead watches a rolling latency window and
+//! sheds a deterministic fraction of incoming load whenever the observed
+//! P99 eats into the SLO headroom, stepping the fraction back down once
+//! latency recovers (classic additive-increase of shed level with
+//! hysteresis).
+//!
+//! Shedding is a pure hash of the request sequence number, not an RNG
+//! draw, so the same request stream sheds the same requests regardless
+//! of event interleaving — runs stay reproducible.
+
+use std::collections::VecDeque;
+
+use mtia_core::SimTime;
+
+/// Controller tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationConfig {
+    /// The latency SLO the tier protects (P99 target).
+    pub slo_p99: SimTime,
+    /// Shed more when rolling P99 exceeds `slo_p99 · shed_above`.
+    pub shed_above: f64,
+    /// Shed less when rolling P99 falls below `slo_p99 · recover_below`
+    /// (must be < `shed_above` for hysteresis).
+    pub recover_below: f64,
+    /// Shed-level adjustment per decision.
+    pub step: f64,
+    /// Upper bound on the shed fraction — never shed everything.
+    pub max_shed: f64,
+    /// Rolling window size in completed requests.
+    pub window: usize,
+    /// Minimum completions between decisions.
+    pub decide_every: usize,
+}
+
+impl DegradationConfig {
+    /// Protects the paper's 100 ms P99 serving SLO.
+    pub fn production() -> Self {
+        DegradationConfig {
+            slo_p99: SimTime::from_millis(100),
+            shed_above: 0.9,
+            recover_below: 0.6,
+            step: 0.05,
+            max_shed: 0.5,
+            window: 256,
+            decide_every: 32,
+        }
+    }
+}
+
+/// The rolling-P99 shed controller.
+#[derive(Debug, Clone)]
+pub struct DegradationController {
+    config: DegradationConfig,
+    window: VecDeque<SimTime>,
+    since_decision: usize,
+    shed_level: f64,
+    shed_count: u64,
+}
+
+impl DegradationController {
+    /// A controller admitting everything.
+    pub fn new(config: DegradationConfig) -> Self {
+        DegradationController {
+            config,
+            window: VecDeque::with_capacity(config.window),
+            since_decision: 0,
+            shed_level: 0.0,
+            shed_count: 0,
+        }
+    }
+
+    /// Current shed fraction in `[0, max_shed]`.
+    pub fn shed_level(&self) -> f64 {
+        self.shed_level
+    }
+
+    /// Requests shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed_count
+    }
+
+    /// Records a completed request's latency and periodically re-decides
+    /// the shed level.
+    pub fn observe(&mut self, latency: SimTime) {
+        if self.window.len() == self.config.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(latency);
+        self.since_decision += 1;
+        if self.since_decision >= self.config.decide_every {
+            self.since_decision = 0;
+            self.decide();
+        }
+    }
+
+    /// P99 over the rolling window (`None` until it has samples).
+    pub fn rolling_p99(&self) -> Option<SimTime> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<SimTime> = self.window.iter().copied().collect();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 - 1.0) * 0.99).round() as usize;
+        Some(sorted[idx.min(sorted.len() - 1)])
+    }
+
+    fn decide(&mut self) {
+        let Some(p99) = self.rolling_p99() else {
+            return;
+        };
+        let slo = self.config.slo_p99;
+        if p99 > slo.scale(self.config.shed_above) {
+            self.shed_level = (self.shed_level + self.config.step).min(self.config.max_shed);
+        } else if p99 < slo.scale(self.config.recover_below) {
+            self.shed_level = (self.shed_level - self.config.step).max(0.0);
+        }
+    }
+
+    /// Whether to admit request number `seq`. Deterministic: the shed
+    /// decision depends only on `(seq, shed_level)`.
+    pub fn admit(&mut self, seq: u64) -> bool {
+        if self.shed_level <= 0.0 {
+            return true;
+        }
+        // SplitMix64 finalizer → uniform in [0, 1).
+        let mut z = seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.shed_level {
+            self.shed_count += 1;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> DegradationController {
+        DegradationController::new(DegradationConfig::production())
+    }
+
+    #[test]
+    fn starts_admitting_everything() {
+        let mut c = controller();
+        assert!((0..1000).all(|seq| c.admit(seq)));
+        assert_eq!(c.shed_count(), 0);
+    }
+
+    #[test]
+    fn sustained_slo_misses_raise_shed_level() {
+        let mut c = controller();
+        for _ in 0..256 {
+            c.observe(SimTime::from_millis(150)); // well over the 100 ms SLO
+        }
+        assert!(c.shed_level() > 0.0, "controller must start shedding");
+        assert!(c.shed_level() <= DegradationConfig::production().max_shed);
+        let admitted = (0..1000u64).filter(|&s| c.admit(s)).count();
+        assert!(admitted < 1000, "some requests must be shed");
+        assert!(admitted > 400, "shed level is capped");
+    }
+
+    #[test]
+    fn recovery_steps_shed_back_down() {
+        let mut c = controller();
+        for _ in 0..256 {
+            c.observe(SimTime::from_millis(150));
+        }
+        let elevated = c.shed_level();
+        for _ in 0..2048 {
+            c.observe(SimTime::from_millis(20)); // far below recover_below
+        }
+        assert!(
+            c.shed_level() < elevated,
+            "shed level must decay after recovery"
+        );
+        assert_eq!(c.shed_level(), 0.0, "and reach zero under sustained health");
+    }
+
+    #[test]
+    fn admit_is_deterministic_in_seq() {
+        let mut a = controller();
+        let mut b = controller();
+        for _ in 0..256 {
+            a.observe(SimTime::from_millis(150));
+            b.observe(SimTime::from_millis(150));
+        }
+        for seq in 0..500 {
+            assert_eq!(a.admit(seq), b.admit(seq));
+        }
+    }
+}

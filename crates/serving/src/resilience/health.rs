@@ -1,0 +1,361 @@
+//! Per-device health-state machine.
+//!
+//! Serving treats each accelerator as a little lifecycle:
+//!
+//! ```text
+//!   Healthy ⇄ Degraded → Offline → Recovering → Healthy
+//!      │         │                     │
+//!      └─────────┴──→ Draining ──→ Offline   (operator/rollout path)
+//! ```
+//!
+//! * `Healthy` — full dispatch weight.
+//! * `Degraded` — still dispatchable, deprioritized; entered after a run
+//!   of errors (§5.1 SBE-heavy cards look exactly like this).
+//! * `Draining` — no new work; in-flight jobs finish. The firmware-rollout
+//!   path (§5.5) drains devices before updating them.
+//! * `Offline` — not dispatchable: PCIe loss, exhausted error budget, or a
+//!   completed drain.
+//! * `Recovering` — back online on probation; a run of successes promotes
+//!   to `Healthy`, any error demotes straight back to `Offline`.
+//!
+//! The one structural invariant — enforced by [`HealthState::legal`] and
+//! checked by property tests — is that `Offline` can never reach
+//! `Healthy` without passing through `Recovering`: a device that fell off
+//! the bus must re-earn trust.
+
+use mtia_core::SimTime;
+
+/// The five lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Full dispatch weight.
+    Healthy,
+    /// Dispatchable but deprioritized; error budget partially spent.
+    Degraded,
+    /// Finishing in-flight work; accepts no new jobs.
+    Draining,
+    /// Not dispatchable.
+    Offline,
+    /// Dispatchable on probation after leaving `Offline`.
+    Recovering,
+}
+
+impl HealthState {
+    /// Whether new jobs may be dispatched in this state.
+    pub fn is_dispatchable(self) -> bool {
+        matches!(
+            self,
+            HealthState::Healthy | HealthState::Degraded | HealthState::Recovering
+        )
+    }
+
+    /// The legal transition relation. `Offline → Healthy` is structurally
+    /// absent: recovery must pass probation.
+    pub fn legal(from: HealthState, to: HealthState) -> bool {
+        use HealthState::*;
+        matches!(
+            (from, to),
+            (Healthy, Degraded)
+                | (Healthy, Draining)
+                | (Healthy, Offline)
+                | (Degraded, Healthy)
+                | (Degraded, Draining)
+                | (Degraded, Offline)
+                | (Draining, Offline)
+                | (Offline, Recovering)
+                | (Recovering, Healthy)
+                | (Recovering, Offline)
+        )
+    }
+}
+
+/// Error/success thresholds driving automatic transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive job errors that demote `Healthy → Degraded`.
+    pub degrade_after_errors: u32,
+    /// Further consecutive errors that demote `Degraded → Offline`.
+    pub offline_after_errors: u32,
+    /// Consecutive successes that rehabilitate `Degraded → Healthy`.
+    pub rehabilitate_after_successes: u32,
+    /// Consecutive probation successes that promote
+    /// `Recovering → Healthy`.
+    pub probation_successes: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            degrade_after_errors: 3,
+            offline_after_errors: 6,
+            rehabilitate_after_successes: 8,
+            probation_successes: 5,
+        }
+    }
+}
+
+/// The per-device machine: current state plus the counters that drive
+/// automatic transitions, with a full transition log for reports and
+/// invariant checks.
+#[derive(Debug, Clone)]
+pub struct HealthMachine {
+    config: HealthConfig,
+    state: HealthState,
+    consecutive_errors: u32,
+    consecutive_successes: u32,
+    /// `(time, from, to)` log of every transition taken.
+    transitions: Vec<(SimTime, HealthState, HealthState)>,
+}
+
+impl HealthMachine {
+    /// A healthy machine under `config`.
+    pub fn new(config: HealthConfig) -> Self {
+        HealthMachine {
+            config,
+            state: HealthState::Healthy,
+            consecutive_errors: 0,
+            consecutive_successes: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Whether new jobs may be dispatched to the device.
+    pub fn is_dispatchable(&self) -> bool {
+        self.state.is_dispatchable()
+    }
+
+    /// The `(time, from, to)` transition log.
+    pub fn transitions(&self) -> &[(SimTime, HealthState, HealthState)] {
+        &self.transitions
+    }
+
+    fn transition(&mut self, to: HealthState, now: SimTime) {
+        debug_assert!(
+            HealthState::legal(self.state, to),
+            "illegal health transition {:?} → {to:?}",
+            self.state
+        );
+        self.transitions.push((now, self.state, to));
+        self.state = to;
+        self.consecutive_errors = 0;
+        self.consecutive_successes = 0;
+    }
+
+    /// Records a successful job on the device.
+    pub fn observe_success(&mut self, now: SimTime) {
+        self.consecutive_errors = 0;
+        self.consecutive_successes += 1;
+        match self.state {
+            HealthState::Recovering
+                if self.consecutive_successes >= self.config.probation_successes =>
+            {
+                self.transition(HealthState::Healthy, now);
+            }
+            HealthState::Degraded
+                if self.consecutive_successes >= self.config.rehabilitate_after_successes =>
+            {
+                self.transition(HealthState::Healthy, now);
+            }
+            _ => {}
+        }
+    }
+
+    /// Records a failed job on the device; may demote it.
+    pub fn observe_error(&mut self, now: SimTime) {
+        self.consecutive_successes = 0;
+        self.consecutive_errors += 1;
+        match self.state {
+            HealthState::Healthy if self.consecutive_errors >= self.config.degrade_after_errors => {
+                self.transition(HealthState::Degraded, now);
+            }
+            HealthState::Degraded
+                if self.consecutive_errors >= self.config.offline_after_errors =>
+            {
+                self.transition(HealthState::Offline, now);
+            }
+            HealthState::Recovering => {
+                // Any probation error sends the device straight back.
+                self.transition(HealthState::Offline, now);
+            }
+            _ => {}
+        }
+    }
+
+    /// Starts an operator/rollout drain. No-op unless dispatchable-and-
+    /// not-already-draining.
+    pub fn begin_drain(&mut self, now: SimTime) {
+        if matches!(self.state, HealthState::Healthy | HealthState::Degraded) {
+            self.transition(HealthState::Draining, now);
+        }
+    }
+
+    /// Finishes a drain (or reflects a hard fault): the device goes
+    /// offline from any state but `Offline` itself.
+    pub fn set_offline(&mut self, now: SimTime) {
+        if self.state != HealthState::Offline {
+            // Route through Draining if needed to keep every logged edge
+            // legal; a hard fault skips straight from dispatchable states.
+            match self.state {
+                HealthState::Healthy | HealthState::Degraded | HealthState::Draining => {
+                    self.transition(HealthState::Offline, now)
+                }
+                HealthState::Recovering => self.transition(HealthState::Offline, now),
+                HealthState::Offline => unreachable!(),
+            }
+        }
+    }
+
+    /// Brings an offline device back on probation. No-op unless offline.
+    pub fn begin_recovery(&mut self, now: SimTime) {
+        if self.state == HealthState::Offline {
+            self.transition(HealthState::Recovering, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> HealthMachine {
+        HealthMachine::new(HealthConfig::default())
+    }
+
+    #[test]
+    fn error_run_degrades_then_offlines() {
+        let mut m = machine();
+        for _ in 0..3 {
+            m.observe_error(SimTime::from_secs(1));
+        }
+        assert_eq!(m.state(), HealthState::Degraded);
+        assert!(m.is_dispatchable());
+        for _ in 0..6 {
+            m.observe_error(SimTime::from_secs(2));
+        }
+        assert_eq!(m.state(), HealthState::Offline);
+        assert!(!m.is_dispatchable());
+    }
+
+    #[test]
+    fn success_run_resets_error_budget() {
+        let mut m = machine();
+        m.observe_error(SimTime::ZERO);
+        m.observe_error(SimTime::ZERO);
+        m.observe_success(SimTime::ZERO);
+        m.observe_error(SimTime::ZERO);
+        m.observe_error(SimTime::ZERO);
+        assert_eq!(
+            m.state(),
+            HealthState::Healthy,
+            "non-consecutive errors don't demote"
+        );
+    }
+
+    #[test]
+    fn recovery_requires_probation() {
+        let mut m = machine();
+        for _ in 0..9 {
+            m.observe_error(SimTime::from_secs(1));
+        }
+        assert_eq!(m.state(), HealthState::Offline);
+        m.observe_success(SimTime::from_secs(2));
+        assert_eq!(
+            m.state(),
+            HealthState::Offline,
+            "successes can't revive offline directly"
+        );
+        m.begin_recovery(SimTime::from_secs(3));
+        assert_eq!(m.state(), HealthState::Recovering);
+        for _ in 0..5 {
+            m.observe_success(SimTime::from_secs(4));
+        }
+        assert_eq!(m.state(), HealthState::Healthy);
+        // The log never contains Offline → Healthy.
+        assert!(m
+            .transitions()
+            .iter()
+            .all(|&(_, from, to)| !(from == HealthState::Offline && to == HealthState::Healthy)));
+    }
+
+    #[test]
+    fn probation_error_demotes_immediately() {
+        let mut m = machine();
+        for _ in 0..9 {
+            m.observe_error(SimTime::ZERO);
+        }
+        m.begin_recovery(SimTime::ZERO);
+        m.observe_success(SimTime::ZERO);
+        m.observe_error(SimTime::ZERO);
+        assert_eq!(m.state(), HealthState::Offline);
+    }
+
+    #[test]
+    fn drain_path_reaches_offline() {
+        let mut m = machine();
+        m.begin_drain(SimTime::from_secs(1));
+        assert_eq!(m.state(), HealthState::Draining);
+        assert!(!m.is_dispatchable());
+        m.set_offline(SimTime::from_secs(2));
+        assert_eq!(m.state(), HealthState::Offline);
+    }
+
+    #[test]
+    fn degraded_rehabilitates_after_success_run() {
+        let mut m = machine();
+        for _ in 0..3 {
+            m.observe_error(SimTime::ZERO);
+        }
+        assert_eq!(m.state(), HealthState::Degraded);
+        for _ in 0..8 {
+            m.observe_success(SimTime::from_secs(1));
+        }
+        assert_eq!(m.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn every_logged_edge_is_legal() {
+        let mut m = machine();
+        // A messy lifecycle.
+        for i in 0..40u64 {
+            let t = SimTime::from_secs(i);
+            match i % 7 {
+                0..=2 => m.observe_error(t),
+                3 => m.observe_success(t),
+                4 => m.begin_recovery(t),
+                5 => m.observe_error(t),
+                _ => m.observe_success(t),
+            }
+        }
+        for &(_, from, to) in m.transitions() {
+            assert!(
+                HealthState::legal(from, to),
+                "illegal edge {from:?} → {to:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn offline_to_healthy_is_not_a_legal_edge() {
+        assert!(!HealthState::legal(
+            HealthState::Offline,
+            HealthState::Healthy
+        ));
+        assert!(!HealthState::legal(
+            HealthState::Draining,
+            HealthState::Healthy
+        ));
+        assert!(HealthState::legal(
+            HealthState::Offline,
+            HealthState::Recovering
+        ));
+        assert!(HealthState::legal(
+            HealthState::Recovering,
+            HealthState::Healthy
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! Resilient serving under injected faults (§5.1, §5.5).
+//!
+//! The paper's productionization story is that the chip only pays off if
+//! the *fleet* around it absorbs faults: LPDDR bit flips (§5.1), the
+//! PCIe-connectivity deadlock that hit ~1 % of servers under sustained
+//! 100 % PE utilization (§5.5), and the staged firmware rollouts that
+//! contain escaped defects. This module is the serving half of that
+//! story:
+//!
+//! * [`health`] — the per-device
+//!   `Healthy → Degraded → Draining → Offline → Recovering` machine;
+//!   `Offline` can never reach `Healthy` without probation.
+//! * [`retry`] — bounded exponential backoff with deterministic jitter,
+//!   plus optional merge-job hedging.
+//! * [`device`] — the [`DeviceSet`] pool every dispatch goes through:
+//!   health + injected fault state + busy/epoch tracking + the trailing
+//!   PE-utilization estimate that arms §5.5 faults.
+//! * [`controller`] — SLO-aware load shedding keyed off a rolling P99.
+//! * [`sim`] — the fault-injected remote/merge simulation comparing a
+//!   naive FIFO baseline against the resilient policy under
+//!   byte-identical [`FaultPlan`](mtia_sim::faults::FaultPlan) traces.
+//! * [`report`] — availability / success / latency reports embedding the
+//!   fault-trace fingerprint.
+
+pub mod controller;
+pub mod device;
+pub mod health;
+pub mod report;
+pub mod retry;
+pub mod sim;
+
+pub use controller::{DegradationConfig, DegradationController};
+pub use device::{Device, DeviceSet, FaultImpact};
+pub use health::{HealthConfig, HealthMachine, HealthState};
+pub use report::{PolicyComparison, ResilienceReport};
+pub use retry::{HedgePolicy, RetryPolicy};
+pub use sim::{
+    compare_policies, simulate_resilient_remote_merge, DispatchPolicy, MaintenanceWindow,
+    ResilienceConfig,
+};

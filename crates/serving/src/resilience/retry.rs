@@ -1,0 +1,184 @@
+//! Retry and hedging policy.
+//!
+//! Transient device faults (§5.1 DBEs, §5.5 PCIe incidents, job-launch
+//! hiccups) turn into failed jobs; the serving layer absorbs them with
+//! bounded, exponentially backed-off retries plus optional hedged
+//! duplicates for tail latency. All randomness (the jitter term) is a
+//! pure hash of `(seed, request, attempt)` so a given seed reproduces the
+//! exact same schedule regardless of event interleaving.
+
+use mtia_core::SimTime;
+
+/// Exponential-backoff retry policy with deterministic jitter.
+///
+/// Delay for the `n`-th retry (1-based) is
+/// `min(base_delay · multiplier^(n-1), max_delay)` scaled by a jitter
+/// factor in `[1, 1 + jitter)`, then clamped so the sequence of delays is
+/// monotone non-decreasing in `n` — a later retry never waits *less* than
+/// an earlier one (verified by property tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base_delay: SimTime,
+    /// Geometric growth factor per retry; must be ≥ 1.
+    pub multiplier: f64,
+    /// Cap on the un-jittered delay.
+    pub max_delay: SimTime,
+    /// Jitter fraction in `[0, 1)`: each delay is scaled by
+    /// `1 + jitter · u` for a deterministic `u ∈ [0, 1)`.
+    pub jitter: f64,
+    /// Total attempts allowed per job, including the first. `1` disables
+    /// retries entirely.
+    pub max_attempts: u32,
+    /// End-to-end budget per request: once elapsed, the request is
+    /// dropped rather than retried.
+    pub deadline: SimTime,
+}
+
+impl RetryPolicy {
+    /// The serving default: 3 attempts, 2 ms base, ×2 growth, 50 ms cap,
+    /// 25% jitter, 500 ms end-to-end budget (5× the 100 ms P99 SLO).
+    pub fn production() -> Self {
+        RetryPolicy {
+            base_delay: SimTime::from_millis(2),
+            multiplier: 2.0,
+            max_delay: SimTime::from_millis(50),
+            jitter: 0.25,
+            max_attempts: 3,
+            deadline: SimTime::from_millis(500),
+        }
+    }
+
+    /// No retries at all — the naive baseline.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::production()
+        }
+    }
+
+    /// Whether a job that has already used `attempts` attempts may try
+    /// again.
+    pub fn allows_retry(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts
+    }
+
+    /// The backoff delay before retry number `retry` (1-based), for the
+    /// request identified by `request` under `seed`.
+    ///
+    /// Deterministic, bounded by `max_delay · (1 + jitter)`, and monotone
+    /// non-decreasing in `retry`.
+    pub fn backoff_delay(&self, retry: u32, seed: u64, request: u64) -> SimTime {
+        assert!(retry >= 1, "retry numbering is 1-based");
+        let mut best = SimTime::ZERO;
+        // Running max over the jittered geometric sequence keeps the
+        // schedule monotone even when jitter would dip below the
+        // previous delay.
+        for n in 1..=retry {
+            let nominal = self
+                .base_delay
+                .scale(self.multiplier.powi(n as i32 - 1))
+                .min(self.max_delay);
+            let u = unit_hash(seed, request, n);
+            let jittered = nominal.scale(1.0 + self.jitter * u);
+            best = best.max(jittered);
+        }
+        best
+    }
+
+    /// Upper bound on any delay this policy can produce.
+    pub fn delay_bound(&self) -> SimTime {
+        self.max_delay.scale(1.0 + self.jitter)
+    }
+}
+
+/// Hedged-request policy: if a job is still outstanding `delay` after
+/// dispatch, issue up to `max_hedges` duplicates on other devices; the
+/// first completion wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// How long a job must be outstanding before a hedge fires.
+    pub delay: SimTime,
+    /// Maximum duplicates per job.
+    pub max_hedges: u32,
+}
+
+impl HedgePolicy {
+    /// Hedge after 4× the typical remote-job service time, one duplicate.
+    pub fn production() -> Self {
+        HedgePolicy {
+            delay: SimTime::from_millis(20),
+            max_hedges: 1,
+        }
+    }
+}
+
+/// A uniform value in `[0, 1)` derived from `(seed, request, attempt)`
+/// by a SplitMix64-style finalizer.
+fn unit_hash(seed: u64, request: u64, attempt: u32) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(request.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(attempt as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic() {
+        let p = RetryPolicy::production();
+        for retry in 1..=3 {
+            assert_eq!(
+                p.backoff_delay(retry, 42, 7),
+                p.backoff_delay(retry, 42, 7),
+                "same (seed, request, retry) must give the same delay"
+            );
+        }
+        assert_ne!(
+            p.backoff_delay(1, 42, 7),
+            p.backoff_delay(1, 42, 8),
+            "jitter varies by request"
+        );
+    }
+
+    #[test]
+    fn delays_are_monotone_and_bounded() {
+        let p = RetryPolicy::production();
+        for request in 0..50u64 {
+            let mut prev = SimTime::ZERO;
+            for retry in 1..=8 {
+                let d = p.backoff_delay(retry, 1, request);
+                assert!(d >= prev, "delay dipped at retry {retry}");
+                assert!(
+                    d <= p.delay_bound(),
+                    "delay exceeded bound at retry {retry}"
+                );
+                assert!(d >= p.base_delay, "delay below base at retry {retry}");
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_cap_is_enforced() {
+        let p = RetryPolicy::production();
+        assert!(p.allows_retry(1));
+        assert!(p.allows_retry(2));
+        assert!(!p.allows_retry(3));
+        assert!(!RetryPolicy::none().allows_retry(1));
+    }
+
+    #[test]
+    fn unit_hash_stays_in_unit_interval() {
+        for i in 0..1000u64 {
+            let u = unit_hash(i, i.wrapping_mul(31), (i % 7) as u32);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

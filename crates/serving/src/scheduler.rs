@@ -96,14 +96,17 @@ pub fn simulate_remote_merge(
     warmup: SimTime,
 ) -> RemoteMergeStats {
     assert!(config.devices > 0, "need at least one device");
-    assert!(config.remote_jobs_per_request > 0, "need at least one remote job");
+    assert!(
+        config.remote_jobs_per_request > 0,
+        "need at least one remote job"
+    );
 
     let mut events: BinaryHeap<Reverse<(SimTime, u64, Event)>> = BinaryHeap::new();
     let mut seq = 0u64;
     let push = |events: &mut BinaryHeap<Reverse<(SimTime, u64, Event)>>,
-                    seq: &mut u64,
-                    t: SimTime,
-                    e: Event| {
+                seq: &mut u64,
+                t: SimTime,
+                e: Event| {
         *seq += 1;
         events.push(Reverse((t, *seq, e)));
     };
@@ -152,7 +155,10 @@ pub fn simulate_remote_merge(
                     push(&mut events, &mut seq, next, Event::Arrival);
                 }
             }
-            Event::JobDone { request, kind_is_merge } => {
+            Event::JobDone {
+                request,
+                kind_is_merge,
+            } => {
                 free_devices += 1;
                 if kind_is_merge {
                     let arrived = arrival_of.remove(&request).expect("known request");
@@ -193,7 +199,10 @@ pub fn simulate_remote_merge(
                 &mut events,
                 &mut seq,
                 done,
-                Event::JobDone { request: job.request, kind_is_merge: job.kind == JobKind::Merge },
+                Event::JobDone {
+                    request: job.request,
+                    kind_is_merge: job.kind == JobKind::Merge,
+                },
             );
         }
     }
@@ -226,8 +235,7 @@ pub fn max_rate_under_slo(
     let (mut lo, mut hi) = (service_bound * 0.05, service_bound * 1.2);
     let warmup = horizon.scale(0.2);
     let run = |rate: f64| {
-        let mut arrivals =
-            crate::traffic::PoissonArrivals::new(rate, StdRng::seed_from_u64(seed));
+        let mut arrivals = crate::traffic::PoissonArrivals::new(rate, StdRng::seed_from_u64(seed));
         simulate_remote_merge(config, &mut arrivals, horizon, warmup)
     };
     for _ in 0..12 {

@@ -61,14 +61,21 @@ impl<R: Rng> DiurnalArrivals<R> {
     /// `[0, 1)`.
     pub fn new(base_rate_per_s: f64, amplitude: f64, period: SimTime, rng: R) -> Self {
         assert!(base_rate_per_s > 0.0, "arrival rate must be positive");
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
-        DiurnalArrivals { base_rate_per_s, amplitude, period, rng }
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
+        DiurnalArrivals {
+            base_rate_per_s,
+            amplitude,
+            period,
+            rng,
+        }
     }
 
     /// Instantaneous rate at `t`.
     pub fn rate_at(&self, t: SimTime) -> f64 {
-        let phase = 2.0 * std::f64::consts::PI * t.as_secs_f64()
-            / self.period.as_secs_f64();
+        let phase = 2.0 * std::f64::consts::PI * t.as_secs_f64() / self.period.as_secs_f64();
         self.base_rate_per_s * (1.0 + self.amplitude * phase.sin())
     }
 
@@ -112,7 +119,10 @@ impl ReplayTrace {
             arrivals.windows(2).all(|w| w[0] <= w[1]),
             "replay trace must be sorted"
         );
-        ReplayTrace { arrivals, cursor: 0 }
+        ReplayTrace {
+            arrivals,
+            cursor: 0,
+        }
     }
 
     /// Records a trace from any process, `n` arrivals long.
@@ -128,7 +138,10 @@ impl ReplayTrace {
                 None => break,
             }
         }
-        ReplayTrace { arrivals, cursor: 0 }
+        ReplayTrace {
+            arrivals,
+            cursor: 0,
+        }
     }
 
     /// Number of arrivals remaining.
@@ -179,8 +192,7 @@ mod tests {
             now = next;
         }
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        let var =
-            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
         let cv = var.sqrt() / mean;
         assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
     }
@@ -216,7 +228,10 @@ mod tests {
             }
         }
         // sin > 0 in the first half-period → more traffic.
-        assert!(first_half as f64 > 1.5 * second_half as f64, "{first_half} vs {second_half}");
+        assert!(
+            first_half as f64 > 1.5 * second_half as f64,
+            "{first_half} vs {second_half}"
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Property tests for the resilience layer's contracts: backoff delays
+//! are bounded and monotone, retries never exceed the attempt cap, and
+//! the health machine never revives an offline device without probation.
+
+use mtia_core::SimTime;
+use mtia_serving::resilience::health::{HealthConfig, HealthMachine, HealthState};
+use mtia_serving::resilience::retry::RetryPolicy;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn policy(base_ms: u64, multiplier: f64, max_ms: u64, jitter: f64, attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        base_delay: SimTime::from_millis(base_ms),
+        multiplier,
+        max_delay: SimTime::from_millis(max_ms),
+        jitter,
+        max_attempts: attempts,
+        deadline: SimTime::from_secs(10),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Backoff delays never exceed `max_delay · (1 + jitter)` and never
+    /// decrease as the retry count grows, for any policy shape, seed,
+    /// and request id.
+    #[test]
+    fn backoff_is_bounded_and_monotone(
+        base_ms in 1u64..50,
+        multiplier in 1.0f64..4.0,
+        max_ms in 50u64..2000,
+        jitter in 0.0f64..0.99,
+        seed in any::<u64>(),
+        request in any::<u64>(),
+    ) {
+        let p = policy(base_ms, multiplier, max_ms, jitter, 8);
+        let mut prev = SimTime::ZERO;
+        for retry in 1..=10u32 {
+            let d = p.backoff_delay(retry, seed, request);
+            prop_assert!(d >= p.base_delay, "delay below base at retry {}", retry);
+            prop_assert!(d >= prev, "delay decreased at retry {}", retry);
+            prop_assert!(d <= p.delay_bound(), "delay above bound at retry {}", retry);
+            prev = d;
+        }
+    }
+
+    /// However many failures arrive, the policy authorizes at most
+    /// `max_attempts` total attempts — no retry storms.
+    #[test]
+    fn attempt_cap_is_never_exceeded(
+        max_attempts in 1u32..10,
+        failures in 0u32..64,
+    ) {
+        let p = policy(2, 2.0, 100, 0.25, max_attempts);
+        let mut attempts = 0u32;
+        for _ in 0..=failures {
+            attempts += 1; // the attempt itself
+            if !p.allows_retry(attempts) {
+                break;
+            }
+        }
+        prop_assert!(attempts <= p.max_attempts);
+        prop_assert!(!p.allows_retry(p.max_attempts));
+    }
+
+    /// Whatever the event sequence, every transition the machine takes is
+    /// a legal edge, and `Offline` never reaches `Healthy` without
+    /// passing through `Recovering`.
+    #[test]
+    fn health_machine_never_skips_probation(ops in vec(any::<u8>(), 0..200)) {
+        let mut machine = HealthMachine::new(HealthConfig {
+            degrade_after_errors: 2,
+            offline_after_errors: 3,
+            rehabilitate_after_successes: 3,
+            probation_successes: 2,
+        });
+        for (i, op) in ops.iter().enumerate() {
+            let now = SimTime::from_millis(i as u64);
+            match op % 5 {
+                0 | 1 => machine.observe_error(now),
+                2 => machine.observe_success(now),
+                3 => machine.begin_recovery(now),
+                _ => machine.begin_drain(now),
+            }
+        }
+        for &(_, from, to) in machine.transitions() {
+            prop_assert!(
+                HealthState::legal(from, to),
+                "illegal edge {:?} -> {:?}", from, to
+            );
+            prop_assert!(
+                !(from == HealthState::Offline && to == HealthState::Healthy),
+                "offline device revived without probation"
+            );
+        }
+    }
+}

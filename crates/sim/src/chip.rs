@@ -79,9 +79,16 @@ impl Plan {
     pub fn optimized_for(graph: &Graph) -> Self {
         let mut plan = Plan::default_for(graph);
         for (i, node) in graph.nodes().iter().enumerate() {
-            if let OpKind::Fc { batch, in_features, out_features } = node.op {
-                plan.fc_variants
-                    .insert(i, FcVariant::optimized_for(batch, in_features, out_features));
+            if let OpKind::Fc {
+                batch,
+                in_features,
+                out_features,
+            } = node.op
+            {
+                plan.fc_variants.insert(
+                    i,
+                    FcVariant::optimized_for(batch, in_features, out_features),
+                );
             }
         }
         plan
@@ -206,8 +213,7 @@ impl ChipSim {
 
         // Sharding check (§4.1): model + runtime buffers vs device DRAM.
         let runtime_buffers = activation_bytes * 2;
-        let needs_sharding =
-            graph.model_bytes() + runtime_buffers > self.spec.dram.capacity;
+        let needs_sharding = graph.model_bytes() + runtime_buffers > self.spec.dram.capacity;
 
         ExecutionReport {
             model: graph.name().to_string(),
@@ -228,9 +234,7 @@ impl ChipSim {
         for node in graph.nodes() {
             if let OpKind::Tbe(p) = node.op {
                 total_rows += p.num_tables * p.rows_per_table;
-                row_bytes = row_bytes.max(
-                    p.embedding_dim * graph.node_dtype(node).size_bytes(),
-                );
+                row_bytes = row_bytes.max(p.embedding_dim * graph.node_dtype(node).size_bytes());
             }
         }
         if total_rows == 0 || row_bytes == 0 {
@@ -312,10 +316,13 @@ mod tests {
         let without = ChipSim::new(chips::mtia2i())
             .with_ecc(EccMode::Disabled)
             .run_optimized(&g);
-        let penalty = 1.0
-            - without.total_time().as_secs_f64() / with_ecc.total_time().as_secs_f64();
+        let penalty =
+            1.0 - without.total_time().as_secs_f64() / with_ecc.total_time().as_secs_f64();
         assert!(penalty > 0.0, "ECC must cost something on HC4");
-        assert!(penalty < 0.15, "penalty bounded by the bandwidth share: {penalty}");
+        assert!(
+            penalty < 0.15,
+            "penalty bounded by the bandwidth share: {penalty}"
+        );
     }
 
     #[test]
@@ -341,8 +348,7 @@ mod tests {
         let g = zoo::fig6_models().remove(5).graph(); // HC1, compute-heavy
         let deployed = ChipSim::new(chips::mtia2i()).run_optimized(&g);
         let design = ChipSim::new(chips::mtia2i_design_freq()).run_optimized(&g);
-        let gain = design.total_time().as_secs_f64() / deployed.total_time().as_secs_f64()
-            - 1.0;
+        let gain = design.total_time().as_secs_f64() / deployed.total_time().as_secs_f64() - 1.0;
         assert!(gain > 0.03, "overclock gain {gain}");
         assert!(gain < 0.25, "bounded by the frequency ratio: {gain}");
     }

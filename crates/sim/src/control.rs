@@ -70,8 +70,16 @@ mod tests {
         // §3.3: "launching jobs in under 1 µs and replacing jobs in less
         // than 0.5 µs".
         let m = JobLaunchModel::new(chips::mtia2i().control);
-        assert!(m.launch_time(64) < SimTime::from_micros(1), "{}", m.launch_time(64));
-        assert!(m.replace_time(64) < SimTime::from_nanos(500), "{}", m.replace_time(64));
+        assert!(
+            m.launch_time(64) < SimTime::from_micros(1),
+            "{}",
+            m.launch_time(64)
+        );
+        assert!(
+            m.replace_time(64) < SimTime::from_nanos(500),
+            "{}",
+            m.replace_time(64)
+        );
     }
 
     #[test]

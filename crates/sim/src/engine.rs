@@ -92,17 +92,21 @@ impl Simulator {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule(&mut self, at: SimTime, handler: impl FnOnce(&mut Simulator) + 'static) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         self.seq += 1;
-        self.queue.push(Reverse(Entry { time: at, seq: self.seq, handler: Box::new(handler) }));
+        self.queue.push(Reverse(Entry {
+            time: at,
+            seq: self.seq,
+            handler: Box::new(handler),
+        }));
     }
 
     /// Schedules `handler` after a relative delay.
-    pub fn schedule_in(
-        &mut self,
-        delay: SimTime,
-        handler: impl FnOnce(&mut Simulator) + 'static,
-    ) {
+    pub fn schedule_in(&mut self, delay: SimTime, handler: impl FnOnce(&mut Simulator) + 'static) {
         let at = self.now + delay;
         self.schedule(at, handler);
     }

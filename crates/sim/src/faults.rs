@@ -1,0 +1,686 @@
+//! Deterministic, seedable device-fault injection (§5).
+//!
+//! The paper's productionization lessons are about *surviving* faults:
+//! LPDDR bit flips (§5.1), the PCIe-connectivity deadlock that ~1 % of
+//! servers hit under 100 % PE-utilization stress (§5.5), and the staged
+//! rollouts that contain escaped defects. This module turns those fault
+//! processes into a replayable artifact: a [`FaultPlan`] is generated once
+//! from a `u64` seed and then *injected* into any simulated device fleet
+//! through a [`FaultClock`], so a resilient serving policy and a naive
+//! baseline can be compared under byte-identical fault traces.
+//!
+//! Fault taxonomy (each maps to a paper mechanism):
+//!
+//! * [`FaultKind::EccSingleBitBurst`] — correctable SBE windows from the
+//!   §5.1 memory-error process ([`MemoryErrorModel`]): the device keeps
+//!   serving but ECC scrubbing inflates service times.
+//! * [`FaultKind::EccDoubleBit`] — uncorrectable DBE: the job running on
+//!   the device at injection time fails and must be retried.
+//! * [`FaultKind::PcieLinkLoss`] — the §5.5 failure mode: the device drops
+//!   off the PCIe bus, but only when trailing PE utilization is at or
+//!   above the arming threshold (the deadlock needs sustained load).
+//! * [`FaultKind::NocStall`] — transient NoC congestion: service times
+//!   inflate by a multiplicative slowdown for the window.
+//! * [`FaultKind::TransientJobFailure`] — a one-off runtime/descriptor
+//!   error; the running job fails, the device is otherwise fine.
+
+use std::cmp::Ordering;
+
+use mtia_core::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mem::lpddr::MemoryErrorModel;
+
+/// Index of a device within the simulated fleet.
+pub type DeviceId = u32;
+
+/// Service-time inflation per in-window corrected single-bit flip.
+pub const SBE_SLOWDOWN_PER_FLIP: f64 = 0.01;
+
+/// Cap on the total SBE service-time inflation factor.
+pub const SBE_SLOWDOWN_CAP: f64 = 1.5;
+
+/// What a single injected fault does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Correctable single-bit-error burst of `flips` flips over the event
+    /// window. The device stays online but runs slower.
+    EccSingleBitBurst {
+        /// Corrected flips in the burst.
+        flips: u32,
+    },
+    /// Uncorrectable double-bit error: fails the job running on the device
+    /// at injection time. Instantaneous.
+    EccDoubleBit,
+    /// §5.5 PCIe connectivity loss. Arms only if the device's trailing PE
+    /// utilization is at least `min_utilization` when the event fires; the
+    /// link stays down for the event window (a host-driven reset).
+    PcieLinkLoss {
+        /// Utilization threshold below which the event does not trigger.
+        min_utilization: f64,
+    },
+    /// NoC congestion: service times multiply by `slowdown` (≥ 1) for the
+    /// event window.
+    NocStall {
+        /// Multiplicative service-time inflation.
+        slowdown: f64,
+    },
+    /// One-off transient job failure. Instantaneous.
+    TransientJobFailure,
+}
+
+impl FaultKind {
+    /// Whether the fault is a zero-width event (fails a job, leaves no
+    /// lingering condition).
+    pub fn is_instantaneous(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::EccDoubleBit | FaultKind::TransientJobFailure
+        )
+    }
+
+    fn fingerprint_words(&self) -> (u64, u64) {
+        match *self {
+            FaultKind::EccSingleBitBurst { flips } => (1, flips as u64),
+            FaultKind::EccDoubleBit => (2, 0),
+            FaultKind::PcieLinkLoss { min_utilization } => (3, min_utilization.to_bits()),
+            FaultKind::NocStall { slowdown } => (4, slowdown.to_bits()),
+            FaultKind::TransientJobFailure => (5, 0),
+        }
+    }
+}
+
+/// One timed fault against one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Injection time.
+    pub at: SimTime,
+    /// Target device.
+    pub device: DeviceId,
+    /// Fault class and parameters.
+    pub kind: FaultKind,
+    /// Window over which the condition persists (`ZERO` for instantaneous
+    /// kinds).
+    pub duration: SimTime,
+}
+
+impl FaultEvent {
+    /// End of the fault window.
+    pub fn until(&self) -> SimTime {
+        self.at + self.duration
+    }
+}
+
+/// Rates driving [`FaultPlan::generate`]. All rates are per device over
+/// the plan horizon unless noted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Fraction of devices that are §5.1 error-prone (SBE bursts land only
+    /// on these). The production survey value is
+    /// `MemoryErrorModel::production().per_card_rate` ≈ 1.14 %.
+    pub error_prone_card_rate: f64,
+    /// Mean SBE bursts per error-prone device over the horizon.
+    pub sbe_bursts_per_prone_device: f64,
+    /// Mean flips per SBE burst.
+    pub mean_flips_per_burst: f64,
+    /// Mean DBEs per device over the horizon (any device).
+    pub dbe_per_device: f64,
+    /// Mean §5.5 PCIe-loss events per device over the horizon.
+    pub pcie_loss_per_device: f64,
+    /// Utilization threshold arming PCIe-loss events.
+    pub pcie_min_utilization: f64,
+    /// Mean NoC-stall windows per device over the horizon.
+    pub noc_stalls_per_device: f64,
+    /// Mean transient job failures per device over the horizon.
+    pub transient_failures_per_device: f64,
+    /// Mean fault-window length (SBE bursts, NoC stalls).
+    pub mean_window: SimTime,
+    /// Time a lost PCIe link stays down before the host resets the card.
+    pub pcie_reset_after: SimTime,
+}
+
+impl FaultPlanConfig {
+    /// Calibrated to the paper's fleet observations, compressed onto a
+    /// simulation horizon: §5.1 card rates, stress-level §5.5 incidence.
+    pub fn production() -> Self {
+        let survey = MemoryErrorModel::production();
+        FaultPlanConfig {
+            error_prone_card_rate: survey.per_card_rate,
+            sbe_bursts_per_prone_device: survey.flips_per_day,
+            mean_flips_per_burst: 4.0,
+            dbe_per_device: 0.05,
+            pcie_loss_per_device: 0.01,
+            pcie_min_utilization: 0.9,
+            noc_stalls_per_device: 0.2,
+            transient_failures_per_device: 0.5,
+            mean_window: SimTime::from_millis(500),
+            pcie_reset_after: SimTime::from_secs(5),
+        }
+    }
+
+    /// An aggressive plan for resilience stress tests: every fault class
+    /// is frequent enough to hit a short horizon many times.
+    pub fn stress() -> Self {
+        FaultPlanConfig {
+            error_prone_card_rate: 0.5,
+            sbe_bursts_per_prone_device: 6.0,
+            mean_flips_per_burst: 10.0,
+            dbe_per_device: 3.0,
+            pcie_loss_per_device: 1.0,
+            pcie_min_utilization: 0.5,
+            noc_stalls_per_device: 2.0,
+            transient_failures_per_device: 6.0,
+            mean_window: SimTime::from_millis(800),
+            pcie_reset_after: SimTime::from_secs(3),
+        }
+    }
+}
+
+/// A deterministic, replayable schedule of fault injections.
+///
+/// Events are kept sorted by `(at, device)`; two plans generated from the
+/// same `(config, devices, horizon, seed)` are identical, and
+/// [`FaultPlan::fingerprint`] gives a cheap equality witness for reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (healthy-fleet baseline) tagged with `seed`.
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Generates a plan for `devices` devices over `horizon` from `seed`.
+    ///
+    /// Each fault class is an independent Poisson process per device;
+    /// event times, windows, and parameters are drawn from a dedicated RNG
+    /// stream so the plan is a pure function of the arguments.
+    pub fn generate(config: &FaultPlanConfig, devices: u32, horizon: SimTime, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let span = horizon.as_secs_f64();
+        let sample_count = |rng: &mut StdRng, mean: f64| -> u32 {
+            // Poisson via inversion; means here are small (< 20).
+            if mean <= 0.0 {
+                return 0;
+            }
+            let limit = (-mean).exp();
+            let mut product: f64 = 1.0;
+            let mut count = 0u32;
+            loop {
+                product *= rng.gen::<f64>();
+                if product <= limit {
+                    return count;
+                }
+                count += 1;
+            }
+        };
+        for device in 0..devices {
+            let prone = rng.gen_bool(config.error_prone_card_rate.clamp(0.0, 1.0));
+            let push_windows =
+                |rng: &mut StdRng,
+                 events: &mut Vec<FaultEvent>,
+                 mean_count: f64,
+                 make: &dyn Fn(&mut StdRng) -> (FaultKind, SimTime)| {
+                    let n = sample_count(rng, mean_count);
+                    for _ in 0..n {
+                        let at = SimTime::from_secs_f64(rng.gen::<f64>() * span);
+                        let (kind, duration) = make(rng);
+                        events.push(FaultEvent {
+                            at,
+                            device,
+                            kind,
+                            duration,
+                        });
+                    }
+                };
+            if prone {
+                let mean_flips = config.mean_flips_per_burst;
+                let mean_window = config.mean_window;
+                push_windows(
+                    &mut rng,
+                    &mut events,
+                    config.sbe_bursts_per_prone_device,
+                    &move |rng| {
+                        let flips = 1 + sample_count_free(rng, mean_flips - 1.0);
+                        (
+                            FaultKind::EccSingleBitBurst { flips },
+                            exp_window(rng, mean_window),
+                        )
+                    },
+                );
+            }
+            let mean_window = config.mean_window;
+            push_windows(&mut rng, &mut events, config.dbe_per_device, &|_rng| {
+                (FaultKind::EccDoubleBit, SimTime::ZERO)
+            });
+            let min_util = config.pcie_min_utilization;
+            let reset = config.pcie_reset_after;
+            push_windows(
+                &mut rng,
+                &mut events,
+                config.pcie_loss_per_device,
+                &move |_rng| {
+                    (
+                        FaultKind::PcieLinkLoss {
+                            min_utilization: min_util,
+                        },
+                        reset,
+                    )
+                },
+            );
+            push_windows(
+                &mut rng,
+                &mut events,
+                config.noc_stalls_per_device,
+                &move |rng| {
+                    let slowdown = 1.5 + 2.0 * rng.gen::<f64>();
+                    (
+                        FaultKind::NocStall { slowdown },
+                        exp_window(rng, mean_window),
+                    )
+                },
+            );
+            push_windows(
+                &mut rng,
+                &mut events,
+                config.transient_failures_per_device,
+                &|_rng| (FaultKind::TransientJobFailure, SimTime::ZERO),
+            );
+        }
+        let mut plan = FaultPlan { seed, events };
+        plan.sort();
+        plan
+    }
+
+    /// Adds one event (keeps the plan sorted). Builder for handcrafted
+    /// scenario tests and the fleet-rollout integration.
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self.sort();
+        self
+    }
+
+    fn sort(&mut self) {
+        self.events.sort_by(|a, b| match a.at.cmp(&b.at) {
+            Ordering::Equal => a.device.cmp(&b.device),
+            other => other,
+        });
+    }
+
+    /// The seed the plan was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The full sorted schedule.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events targeting one device.
+    pub fn events_for(&self, device: DeviceId) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.device == device)
+    }
+
+    /// FNV-1a digest over every event field: two plans with equal
+    /// fingerprints injected the same trace. Reports embed this so
+    /// "compared under identical fault traces" is checkable.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.seed);
+        for e in &self.events {
+            mix(e.at.as_picos());
+            mix(e.device as u64);
+            let (tag, param) = e.kind.fingerprint_words();
+            mix(tag);
+            mix(param);
+            mix(e.duration.as_picos());
+        }
+        hash
+    }
+}
+
+fn exp_window(rng: &mut StdRng, mean: SimTime) -> SimTime {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    mean.scale(-u.ln())
+}
+
+fn sample_count_free(rng: &mut StdRng, mean: f64) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = 1.0;
+    let mut count = 0u32;
+    loop {
+        product *= rng.gen::<f64>();
+        if product <= limit {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// Cursor over a [`FaultPlan`]: hands out events as simulation time
+/// advances. Pure iteration — replaying the same plan yields the same
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct FaultClock<'a> {
+    plan: &'a FaultPlan,
+    cursor: usize,
+}
+
+impl<'a> FaultClock<'a> {
+    /// A clock at the start of `plan`.
+    pub fn new(plan: &'a FaultPlan) -> Self {
+        FaultClock { plan, cursor: 0 }
+    }
+
+    /// Injection time of the next undelivered event.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.plan.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// Delivers the next event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<&'a FaultEvent> {
+        match self.plan.events.get(self.cursor) {
+            Some(e) if e.at <= now => {
+                self.cursor += 1;
+                Some(e)
+            }
+            _ => None,
+        }
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.plan.events.len() - self.cursor
+    }
+}
+
+/// The lingering fault conditions on one device, updated as events are
+/// applied and queried by schedulers for service-time and connectivity
+/// effects.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceFaultState {
+    /// Active `(until, slowdown)` NoC-stall windows.
+    stalls: Vec<(SimTime, f64)>,
+    /// Active `(until, flips)` SBE-burst windows.
+    sbe: Vec<(SimTime, u32)>,
+    /// When a lost PCIe link comes back (`None` = link up).
+    link_down_until: Option<SimTime>,
+}
+
+impl DeviceFaultState {
+    /// A healthy device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a windowed fault event. Instantaneous kinds
+    /// ([`FaultKind::is_instantaneous`]) are scheduler business (they fail
+    /// the running job) and are ignored here. Returns `true` if the event
+    /// armed (a `PcieLinkLoss` below its utilization threshold does not).
+    pub fn apply(&mut self, event: &FaultEvent, trailing_utilization: f64) -> bool {
+        match event.kind {
+            FaultKind::EccSingleBitBurst { flips } => {
+                self.sbe.push((event.until(), flips));
+                true
+            }
+            FaultKind::NocStall { slowdown } => {
+                self.stalls.push((event.until(), slowdown));
+                true
+            }
+            FaultKind::PcieLinkLoss { min_utilization } => {
+                if trailing_utilization + 1e-12 >= min_utilization {
+                    let until = event.until();
+                    self.link_down_until = Some(match self.link_down_until {
+                        Some(existing) => existing.max(until),
+                        None => until,
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::EccDoubleBit | FaultKind::TransientJobFailure => false,
+        }
+    }
+
+    /// Drops expired windows.
+    pub fn expire(&mut self, now: SimTime) {
+        self.stalls.retain(|&(until, _)| until > now);
+        self.sbe.retain(|&(until, _)| until > now);
+        if let Some(until) = self.link_down_until {
+            if until <= now {
+                self.link_down_until = None;
+            }
+        }
+    }
+
+    /// Whether the PCIe link is up at `now`.
+    pub fn link_up(&self, now: SimTime) -> bool {
+        match self.link_down_until {
+            Some(until) => now >= until,
+            None => true,
+        }
+    }
+
+    /// When the link recovers (if currently down).
+    pub fn link_recovers_at(&self) -> Option<SimTime> {
+        self.link_down_until
+    }
+
+    /// Multiplicative service-time inflation from all active windows.
+    pub fn service_time_factor(&self, now: SimTime) -> f64 {
+        let mut factor = 1.0;
+        for &(until, slowdown) in &self.stalls {
+            if until > now {
+                factor *= slowdown;
+            }
+        }
+        for &(until, flips) in &self.sbe {
+            if until > now {
+                factor *= (1.0 + SBE_SLOWDOWN_PER_FLIP * flips as f64).min(SBE_SLOWDOWN_CAP);
+            }
+        }
+        factor
+    }
+
+    /// Whether any fault condition is currently active.
+    pub fn is_clean(&self, now: SimTime) -> bool {
+        self.link_up(now)
+            && !self.stalls.iter().any(|&(until, _)| until > now)
+            && !self.sbe.iter().any(|&(until, _)| until > now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stress_plan(seed: u64) -> FaultPlan {
+        FaultPlan::generate(&FaultPlanConfig::stress(), 8, SimTime::from_secs(60), seed)
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = stress_plan(42);
+        let b = stress_plan(42);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = stress_plan(43);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_horizon() {
+        let plan = stress_plan(1);
+        assert!(!plan.events().is_empty());
+        assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(plan.events().iter().all(|e| e.at <= SimTime::from_secs(60)));
+        assert!(plan.events().iter().all(|e| e.device < 8));
+    }
+
+    #[test]
+    fn stress_plan_covers_every_fault_class() {
+        let plan = stress_plan(2);
+        let has = |pred: &dyn Fn(&FaultKind) -> bool| plan.events().iter().any(|e| pred(&e.kind));
+        assert!(has(&|k| matches!(k, FaultKind::EccSingleBitBurst { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::EccDoubleBit)));
+        assert!(has(&|k| matches!(k, FaultKind::PcieLinkLoss { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::NocStall { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::TransientJobFailure)));
+    }
+
+    #[test]
+    fn production_rates_are_sparse() {
+        let plan = FaultPlan::generate(
+            &FaultPlanConfig::production(),
+            1000,
+            SimTime::from_secs(60),
+            7,
+        );
+        // ~1.14 % of 1000 cards are prone; windowed faults stay rare.
+        let sbe = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::EccSingleBitBurst { .. }))
+            .count();
+        assert!(sbe < 200, "sbe bursts {sbe}");
+        let prone_devices: std::collections::BTreeSet<_> = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::EccSingleBitBurst { .. }))
+            .map(|e| e.device)
+            .collect();
+        assert!(
+            (prone_devices.len() as f64) < 0.05 * 1000.0,
+            "prone devices {}",
+            prone_devices.len()
+        );
+    }
+
+    #[test]
+    fn clock_delivers_in_order_and_once() {
+        let plan = stress_plan(3);
+        let mut clock = FaultClock::new(&plan);
+        let mut seen = 0;
+        let mut last = SimTime::ZERO;
+        while let Some(at) = clock.next_at() {
+            let e = clock.pop_due(SimTime::MAX).expect("due event");
+            assert_eq!(e.at, at);
+            assert!(e.at >= last);
+            last = e.at;
+            seen += 1;
+        }
+        assert_eq!(seen, plan.events().len());
+        assert_eq!(clock.remaining(), 0);
+        assert!(clock.pop_due(SimTime::MAX).is_none());
+    }
+
+    #[test]
+    fn clock_respects_now() {
+        let plan = FaultPlan::empty(0)
+            .with_event(FaultEvent {
+                at: SimTime::from_secs(10),
+                device: 0,
+                kind: FaultKind::EccDoubleBit,
+                duration: SimTime::ZERO,
+            })
+            .with_event(FaultEvent {
+                at: SimTime::from_secs(5),
+                device: 1,
+                kind: FaultKind::TransientJobFailure,
+                duration: SimTime::ZERO,
+            });
+        let mut clock = FaultClock::new(&plan);
+        assert!(clock.pop_due(SimTime::from_secs(1)).is_none());
+        let first = clock.pop_due(SimTime::from_secs(6)).expect("first event");
+        assert_eq!(first.device, 1, "earlier event delivered first");
+        assert!(clock.pop_due(SimTime::from_secs(6)).is_none());
+    }
+
+    #[test]
+    fn pcie_loss_requires_utilization() {
+        let event = FaultEvent {
+            at: SimTime::from_secs(1),
+            device: 0,
+            kind: FaultKind::PcieLinkLoss {
+                min_utilization: 0.9,
+            },
+            duration: SimTime::from_secs(5),
+        };
+        let mut idle = DeviceFaultState::new();
+        assert!(!idle.apply(&event, 0.3), "idle device must not arm §5.5");
+        assert!(idle.link_up(SimTime::from_secs(2)));
+
+        let mut busy = DeviceFaultState::new();
+        assert!(busy.apply(&event, 0.97));
+        assert!(!busy.link_up(SimTime::from_secs(2)));
+        assert!(
+            busy.link_up(SimTime::from_secs(6)),
+            "reset restores the link"
+        );
+        assert_eq!(busy.link_recovers_at(), Some(SimTime::from_secs(6)));
+    }
+
+    #[test]
+    fn service_factor_stacks_and_expires() {
+        let mut state = DeviceFaultState::new();
+        state.apply(
+            &FaultEvent {
+                at: SimTime::ZERO,
+                device: 0,
+                kind: FaultKind::NocStall { slowdown: 2.0 },
+                duration: SimTime::from_secs(10),
+            },
+            0.0,
+        );
+        state.apply(
+            &FaultEvent {
+                at: SimTime::ZERO,
+                device: 0,
+                kind: FaultKind::EccSingleBitBurst { flips: 10 },
+                duration: SimTime::from_secs(4),
+            },
+            0.0,
+        );
+        let early = state.service_time_factor(SimTime::from_secs(1));
+        assert!((early - 2.0 * 1.1).abs() < 1e-9, "stacked factor {early}");
+        let later = state.service_time_factor(SimTime::from_secs(5));
+        assert!((later - 2.0).abs() < 1e-9, "sbe window expired: {later}");
+        state.expire(SimTime::from_secs(11));
+        assert!(state.is_clean(SimTime::from_secs(11)));
+        assert_eq!(state.service_time_factor(SimTime::from_secs(11)), 1.0);
+    }
+
+    #[test]
+    fn sbe_slowdown_is_capped() {
+        let mut state = DeviceFaultState::new();
+        state.apply(
+            &FaultEvent {
+                at: SimTime::ZERO,
+                device: 0,
+                kind: FaultKind::EccSingleBitBurst { flips: 1000 },
+                duration: SimTime::from_secs(1),
+            },
+            0.0,
+        );
+        assert_eq!(state.service_time_factor(SimTime::ZERO), SBE_SLOWDOWN_CAP);
+    }
+}

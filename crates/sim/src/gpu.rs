@@ -122,14 +122,22 @@ impl GpuSim {
                 OpCategory::Simd | OpCategory::DataMovement => {
                     // Memory-bound elementwise / layout traffic; the mature
                     // stack fuses roughly half of these into neighbours.
-                    let bytes = node.op.activation_in_bytes(dtype)
-                        + node.op.activation_out_bytes(dtype);
+                    let bytes =
+                        node.op.activation_in_bytes(dtype) + node.op.activation_out_bytes(dtype);
                     self.spec.hbm_bw.time_to_move(bytes) + launch / 2
                 }
             };
-            nodes.push(GpuNodeCost { node: i, name: node.name.clone(), time });
+            nodes.push(GpuNodeCost {
+                node: i,
+                name: node.name.clone(),
+                time,
+            });
         }
-        GpuReport { model: graph.name().to_string(), batch: graph.batch(), nodes }
+        GpuReport {
+            model: graph.name().to_string(),
+            batch: graph.batch(),
+            nodes,
+        }
     }
 }
 

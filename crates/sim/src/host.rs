@@ -92,7 +92,10 @@ mod tests {
         assert!((raw.as_gb_per_s() - 32.0).abs() < 0.5);
         // 2:1 compressible data: the engine ingests the compressed stream
         // at 25 GB/s and emits 50 GB/s of logical data.
-        assert!((compressed.as_gb_per_s() - 50.0).abs() < 1.0, "{compressed}");
+        assert!(
+            (compressed.as_gb_per_s() - 50.0).abs() < 1.0,
+            "{compressed}"
+        );
     }
 
     #[test]

@@ -131,7 +131,11 @@ impl FcVariant {
     /// activation pre-loading, blocks matched to the shape.
     pub fn optimized_for(m: u64, k: u64, n: u64) -> Self {
         FcVariant {
-            stationarity: if k * n > m * k { Stationarity::Input } else { Stationarity::Weight },
+            stationarity: if k * n > m * k {
+                Stationarity::Input
+            } else {
+                Stationarity::Weight
+            },
             block_m: pick_block(m, 32),
             block_k: pick_block(k, 32),
             block_n: pick_block(n, 64),
@@ -197,7 +201,9 @@ impl<'a> KernelEnv<'a> {
     /// `instructions` custom instructions.
     fn issue_time(&self, instructions: u64) -> SimTime {
         let per_pe = instructions as f64 / self.chip.pe_count() as f64;
-        self.chip.frequency.time_for_cycles(per_pe * self.issue_cycles())
+        self.chip
+            .frequency
+            .time_for_cycles(per_pe * self.issue_cycles())
     }
 
     /// Time to read/write `bytes` of activations at their placed level.
@@ -213,7 +219,8 @@ impl<'a> KernelEnv<'a> {
                 } else {
                     bytes
                 };
-                self.dram.transfer_time(effective, AccessPattern::Sequential)
+                self.dram
+                    .transfer_time(effective, AccessPattern::Sequential)
             }
         }
     }
@@ -225,31 +232,38 @@ impl<'a> KernelEnv<'a> {
 
 /// Computes the cost of `op` at `dtype`, using `variant` for FC nodes
 /// (`None` selects [`FcVariant::default_for`]).
-pub fn cost_op(env: &KernelEnv<'_>, op: &OpKind, dtype: DType, variant: Option<FcVariant>) -> OpCost {
+pub fn cost_op(
+    env: &KernelEnv<'_>,
+    op: &OpKind,
+    dtype: DType,
+    variant: Option<FcVariant>,
+) -> OpCost {
     match op {
-        OpKind::Fc { batch, in_features, out_features } => {
+        OpKind::Fc {
+            batch,
+            in_features,
+            out_features,
+        } => {
             let v = variant
                 .unwrap_or_else(|| FcVariant::default_for(*batch, *in_features, *out_features));
             cost_fc(env, *batch, *in_features, *out_features, dtype, v)
         }
-        OpKind::QuantizedFc { batch, in_features, out_features } => {
+        OpKind::QuantizedFc {
+            batch,
+            in_features,
+            out_features,
+        } => {
             // INT8 DPE path plus the §4.4 quant/dequant overhead: a full
             // LLS sweep of the FP16 activations on the way in, and an
             // epilogue dequant pass through Local Memory on the way out.
             let v = variant
                 .unwrap_or_else(|| FcVariant::default_for(*batch, *in_features, *out_features));
             let mut c = cost_fc(env, *batch, *in_features, *out_features, DType::Int8, v);
-            let quant =
-                cost_simd_passes(env, batch * in_features, 2, DType::Fp32, 0.7);
+            let quant = cost_simd_passes(env, batch * in_features, 2, DType::Fp32, 0.7);
             let mut epilogue_env = env.clone();
             epilogue_env.placement.activations = MemLevel::LocalMemory;
-            let dequant = cost_simd_passes(
-                &epilogue_env,
-                batch * out_features,
-                2,
-                DType::Fp32,
-                0.7,
-            );
+            let dequant =
+                cost_simd_passes(&epilogue_env, batch * out_features, 2, DType::Fp32, 0.7);
             c.time = c.time + quant.time + dequant.time;
             c.flops += quant.flops;
             c.flops += dequant.flops;
@@ -276,10 +290,17 @@ pub fn cost_op(env: &KernelEnv<'_>, op: &OpKind, dtype: DType, variant: Option<F
             // Two GEMMs (QKᵀ, AV) on the DPE plus a softmax over s×s.
             let gemm_flops = op.flops();
             let v = FcVariant::optimized_for(p.seq, p.head_dim, p.seq);
-            let mut qk = cost_fc_raw(env, gemm_flops, Bytes::ZERO, op.activation_in_bytes(dtype),
-                op.activation_out_bytes(dtype), dtype, v, 0.75);
-            let soft =
-                cost_simd_passes(env, p.batch * p.heads * p.seq * p.seq, 5, dtype, 0.5);
+            let mut qk = cost_fc_raw(
+                env,
+                gemm_flops,
+                Bytes::ZERO,
+                op.activation_in_bytes(dtype),
+                op.activation_out_bytes(dtype),
+                dtype,
+                v,
+                0.75,
+            );
+            let soft = cost_simd_passes(env, p.batch * p.heads * p.seq * p.seq, 5, dtype, 0.5);
             qk.time += soft.time;
             qk.instructions += soft.instructions;
             qk
@@ -289,10 +310,23 @@ pub fn cost_op(env: &KernelEnv<'_>, op: &OpKind, dtype: DType, variant: Option<F
             let v = FcVariant::optimized_for(p.mean_seq, p.head_dim, p.mean_seq);
             // Ragged attention runs at lower DPE efficiency (jagged tiles)
             // and adds the LUT-based bias gather on the SIMD engine (§4.3).
-            let mut c = cost_fc_raw(env, gemm_flops, Bytes::ZERO, op.activation_in_bytes(dtype),
-                op.activation_out_bytes(dtype), dtype, v, 0.5);
-            let bias =
-                cost_simd_passes(env, p.batch * p.heads * p.mean_seq * p.mean_seq, 2, dtype, 0.4);
+            let mut c = cost_fc_raw(
+                env,
+                gemm_flops,
+                Bytes::ZERO,
+                op.activation_in_bytes(dtype),
+                op.activation_out_bytes(dtype),
+                dtype,
+                v,
+                0.5,
+            );
+            let bias = cost_simd_passes(
+                env,
+                p.batch * p.heads * p.mean_seq * p.mean_seq,
+                2,
+                dtype,
+                0.4,
+            );
             c.time += bias.time;
             c.instructions += bias.instructions;
             c
@@ -300,9 +334,9 @@ pub fn cost_op(env: &KernelEnv<'_>, op: &OpKind, dtype: DType, variant: Option<F
         OpKind::Transpose { rows, cols } | OpKind::Slice { rows, cols } => {
             cost_layout(env, dtype.bytes_for(rows * cols) * 2)
         }
-        OpKind::Concat { rows, cols_total, .. } => {
-            cost_layout(env, dtype.bytes_for(rows * cols_total) * 2)
-        }
+        OpKind::Concat {
+            rows, cols_total, ..
+        } => cost_layout(env, dtype.bytes_for(rows * cols_total) * 2),
         OpKind::Reshape { .. } => OpCost::idle(),
         OpKind::Elementwise { elems, kind, arity } => {
             let passes = match kind {
@@ -314,8 +348,16 @@ pub fn cost_op(env: &KernelEnv<'_>, op: &OpKind, dtype: DType, variant: Option<F
         OpKind::Interaction { .. } => {
             // Batched small GEMM on the DPE at reduced efficiency.
             let v = FcVariant::default_for(32, 64, 32);
-            cost_fc_raw(env, op.flops(), Bytes::ZERO, op.activation_in_bytes(dtype),
-                op.activation_out_bytes(dtype), dtype, v, 0.5)
+            cost_fc_raw(
+                env,
+                op.flops(),
+                Bytes::ZERO,
+                op.activation_in_bytes(dtype),
+                op.activation_out_bytes(dtype),
+                dtype,
+                v,
+                0.5,
+            )
         }
         OpKind::Quantize { elems } | OpKind::Dequantize { elems } => {
             // RE min/max pass + SIMD scale pass (§4.4's overhead).
@@ -359,23 +401,15 @@ pub fn cost_op(env: &KernelEnv<'_>, op: &OpKind, dtype: DType, variant: Option<F
 }
 
 /// FC cost with explicit shape.
-fn cost_fc(
-    env: &KernelEnv<'_>,
-    m: u64,
-    k: u64,
-    n: u64,
-    dtype: DType,
-    v: FcVariant,
-) -> OpCost {
+fn cost_fc(env: &KernelEnv<'_>, m: u64, k: u64, n: u64, dtype: DType, v: FcVariant) -> OpCost {
     let flops = FlopCount::new(2.0 * m as f64 * k as f64 * n as f64);
     let weight_bytes = dtype.bytes_for(k * n);
     let act_in = dtype.bytes_for(m * k);
     let act_out = dtype.bytes_for(m * n);
     // Block-quantization efficiency: padding waste along each dimension.
     let util = |d: u64, b: u64| d as f64 / (d.div_ceil(b) * b) as f64;
-    let shape_eff = util(m, v.block_m.max(32))
-        * util(k, v.block_k.max(32))
-        * util(n, v.block_n.max(64));
+    let shape_eff =
+        util(m, v.block_m.max(32)) * util(k, v.block_k.max(32)) * util(n, v.block_n.max(64));
     // The DPE sustains ~97 % of peak on perfectly blocked shapes.
     let eff = 0.97 * shape_eff;
     cost_fc_raw(env, flops, weight_bytes, act_in, act_out, dtype, v, eff)
@@ -435,7 +469,11 @@ fn cost_fc_raw(
 
     // SRAM bandwidth for weight reads + on-chip activations.
     let sram_traffic = sram_weight_reads
-        + if env.act_is_dram() { Bytes::ZERO } else { act_in + act_out };
+        + if env.act_is_dram() {
+            Bytes::ZERO
+        } else {
+            act_in + act_out
+        };
     let sram_time = chip.sram.bandwidth.time_to_move(sram_traffic);
 
     // Instruction issue: one custom instruction per DPE tile pass.
@@ -446,14 +484,29 @@ fn cost_fc_raw(
         (compute, Bottleneck::Compute),
         (dram_time, Bottleneck::Dram),
         (noc_time, Bottleneck::Noc),
-        (act_time, if env.act_is_dram() { Bottleneck::Dram } else { Bottleneck::Sram }),
+        (
+            act_time,
+            if env.act_is_dram() {
+                Bottleneck::Dram
+            } else {
+                Bottleneck::Sram
+            },
+        ),
         (lm_time, Bottleneck::LocalMemory),
         (sram_time, Bottleneck::Sram),
         (issue, Bottleneck::InstructionIssue),
     ]);
 
-    let act_dram = if env.act_is_dram() { act_in + act_out } else { Bytes::ZERO };
-    let act_sram = if env.act_is_dram() { Bytes::ZERO } else { act_in + act_out };
+    let act_dram = if env.act_is_dram() {
+        act_in + act_out
+    } else {
+        Bytes::ZERO
+    };
+    let act_sram = if env.act_is_dram() {
+        Bytes::ZERO
+    } else {
+        act_in + act_out
+    };
     OpCost {
         time,
         flops,
@@ -477,13 +530,18 @@ fn cost_tbe(env: &KernelEnv<'_>, p: &mtia_model::ops::TbeParams, dtype: DType) -
 
     // SIMD accumulation of the pooled rows (FP32 accumulate).
     let accum_ops = FlopCount::new((p.lookups() * p.embedding_dim) as f64);
-    let simd_time = chip.simd_engine_peak(DType::Fp32).time_to_compute(accum_ops);
+    let simd_time = chip
+        .simd_engine_peak(DType::Fp32)
+        .time_to_compute(accum_ops);
 
     // Instructions: one indexed DMA per row with the §3.3 DMA_IN upgrade,
     // five (address-computation) without; accumulation instructions handle
     // `max_accum_rows` rows each.
-    let dma_per_row: u64 =
-        if chip.has_feature(ChipFeature::IndexedDma) { 1 } else { 5 };
+    let dma_per_row: u64 = if chip.has_feature(ChipFeature::IndexedDma) {
+        1
+    } else {
+        5
+    };
     let accum_instrs = p
         .batch
         .saturating_mul(p.num_tables)
@@ -500,7 +558,14 @@ fn cost_tbe(env: &KernelEnv<'_>, p: &mtia_model::ops::TbeParams, dtype: DType) -
         (simd_time, Bottleneck::Compute),
         (issue, Bottleneck::InstructionIssue),
     ]);
-    OpCost { time, flops: accum_ops, dram_bytes, sram_bytes, instructions, bottleneck }
+    OpCost {
+        time,
+        flops: accum_ops,
+        dram_bytes,
+        sram_bytes,
+        instructions,
+        bottleneck,
+    }
 }
 
 /// SIMD-engine cost for `passes` sweeps over `elems` elements.
@@ -519,28 +584,60 @@ fn cost_simd_passes(
     let mem_time = env.activation_time(bytes);
     // One vector instruction per 64 B per pass, issued at 1 cycle each.
     let instructions = (elems * passes * dtype.size_bytes()).div_ceil(64);
-    let issue =
-        chip.frequency.time_for_cycles(instructions as f64 / chip.pe_count() as f64);
+    let issue = chip
+        .frequency
+        .time_for_cycles(instructions as f64 / chip.pe_count() as f64);
     let (time, bottleneck) = max_bottleneck(&[
         (compute, Bottleneck::Compute),
-        (mem_time, if env.act_is_dram() { Bottleneck::Dram } else { Bottleneck::Sram }),
+        (
+            mem_time,
+            if env.act_is_dram() {
+                Bottleneck::Dram
+            } else {
+                Bottleneck::Sram
+            },
+        ),
         (issue, Bottleneck::InstructionIssue),
     ]);
-    let (dram_bytes, sram_bytes) =
-        if env.act_is_dram() { (bytes, Bytes::ZERO) } else { (Bytes::ZERO, bytes) };
-    OpCost { time, flops: ops, dram_bytes, sram_bytes, instructions, bottleneck }
+    let (dram_bytes, sram_bytes) = if env.act_is_dram() {
+        (bytes, Bytes::ZERO)
+    } else {
+        (Bytes::ZERO, bytes)
+    };
+    OpCost {
+        time,
+        flops: ops,
+        dram_bytes,
+        sram_bytes,
+        instructions,
+        bottleneck,
+    }
 }
 
 /// Layout-engine (MLU) cost for moving `bytes` through Local Memory.
 fn cost_layout(env: &KernelEnv<'_>, bytes: Bytes) -> OpCost {
-    let lm = env.chip.total_local_memory_bw().scale(0.5).time_to_move(bytes);
+    let lm = env
+        .chip
+        .total_local_memory_bw()
+        .scale(0.5)
+        .time_to_move(bytes);
     let mem = env.activation_time(bytes);
     let (time, bottleneck) = max_bottleneck(&[
         (lm, Bottleneck::LocalMemory),
-        (mem, if env.act_is_dram() { Bottleneck::Dram } else { Bottleneck::Sram }),
+        (
+            mem,
+            if env.act_is_dram() {
+                Bottleneck::Dram
+            } else {
+                Bottleneck::Sram
+            },
+        ),
     ]);
-    let (dram_bytes, sram_bytes) =
-        if env.act_is_dram() { (bytes, Bytes::ZERO) } else { (Bytes::ZERO, bytes) };
+    let (dram_bytes, sram_bytes) = if env.act_is_dram() {
+        (bytes, Bytes::ZERO)
+    } else {
+        (Bytes::ZERO, bytes)
+    };
     OpCost {
         time,
         flops: FlopCount::ZERO,
@@ -567,12 +664,7 @@ mod tests {
     use mtia_core::units::Bandwidth;
 
     fn env(chip: &ChipSpec) -> KernelEnv<'_> {
-        let placement = place_model(
-            &chip.sram,
-            Bytes::from_mib(40),
-            Bytes::from_mib(100),
-            0.75,
-        );
+        let placement = place_model(&chip.sram, Bytes::from_mib(40), Bytes::from_mib(100), 0.75);
         KernelEnv {
             chip,
             noc: NocModel::new(chip.noc.clone()),
@@ -592,7 +684,11 @@ mod tests {
         let v = FcVariant::optimized_for(2048, 2048, 2048);
         let c = cost_op(
             &e,
-            &OpKind::Fc { batch: 2048, in_features: 2048, out_features: 2048 },
+            &OpKind::Fc {
+                batch: 2048,
+                in_features: 2048,
+                out_features: 2048,
+            },
             DType::Fp16,
             Some(v),
         );
@@ -607,12 +703,21 @@ mod tests {
         // issue rate ... particularly for smaller GEMM shapes".
         let full = chips::mtia2i();
         let bare = chips::mtia2i_without_issue_enhancements();
-        let op = OpKind::Fc { batch: 512, in_features: 512, out_features: 512 };
+        let op = OpKind::Fc {
+            batch: 512,
+            in_features: 512,
+            out_features: 512,
+        };
         let v = Some(FcVariant::optimized_for(512, 512, 512));
         let c_full = cost_op(&env(&full), &op, DType::Fp16, v);
         let c_bare = cost_op(&env(&bare), &op, DType::Fp16, v);
         assert_eq!(c_bare.bottleneck, Bottleneck::InstructionIssue);
-        assert!(c_bare.time > c_full.time.scale(1.3), "{} vs {}", c_bare.time, c_full.time);
+        assert!(
+            c_bare.time > c_full.time.scale(1.3),
+            "{} vs {}",
+            c_bare.time,
+            c_full.time
+        );
     }
 
     #[test]
@@ -622,14 +727,21 @@ mod tests {
         let chip = chips::mtia2i();
         let mut e = env(&chip);
         e.weight_resident_fraction = 0.0;
-        let op = OpKind::Fc { batch: 512, in_features: 26592, out_features: 2048 };
-        let c = cost_op(&e, &op, DType::Fp16, Some(FcVariant::optimized_for(512, 26592, 2048)));
+        let op = OpKind::Fc {
+            batch: 512,
+            in_features: 26592,
+            out_features: 2048,
+        };
+        let c = cost_op(
+            &e,
+            &op,
+            DType::Fp16,
+            Some(FcVariant::optimized_for(512, 26592, 2048)),
+        );
         assert_eq!(c.bottleneck, Bottleneck::Dram);
         // >95 % of DRAM bandwidth with the optimized variant.
         let ecc_bw = chip.effective_dram_bw(EccMode::ControllerEcc);
-        let achieved = Bandwidth::from_bytes_per_s(
-            c.dram_bytes.as_f64() / c.time.as_secs_f64(),
-        );
+        let achieved = Bandwidth::from_bytes_per_s(c.dram_bytes.as_f64() / c.time.as_secs_f64());
         let frac = achieved.as_bytes_per_s() / ecc_bw.as_bytes_per_s();
         assert!(frac > 0.85, "DRAM bw fraction {frac}");
     }
@@ -641,7 +753,11 @@ mod tests {
         let chip = chips::mtia2i();
         let mut e = env(&chip);
         e.weight_resident_fraction = 0.0;
-        let op = OpKind::Fc { batch: 512, in_features: 26592, out_features: 2048 };
+        let op = OpKind::Fc {
+            batch: 512,
+            in_features: 26592,
+            out_features: 2048,
+        };
         let naive = FcVariant {
             broadcast_weights: false,
             prefetch: false,
@@ -661,7 +777,11 @@ mod tests {
     fn int8_doubles_dpe_throughput() {
         let chip = chips::mtia2i();
         let e = env(&chip);
-        let op = OpKind::Fc { batch: 2048, in_features: 2048, out_features: 2048 };
+        let op = OpKind::Fc {
+            batch: 2048,
+            in_features: 2048,
+            out_features: 2048,
+        };
         let v = FcVariant::optimized_for(2048, 2048, 2048);
         let t16 = cost_op(&e, &op, DType::Fp16, Some(v)).time;
         let t8 = cost_op(&e, &op, DType::Int8, Some(v)).time;
@@ -720,7 +840,11 @@ mod tests {
         let chip = chips::mtia2i();
         let mut e = env(&chip);
         e.skip_writeback_hints = false;
-        let op = OpKind::Fc { batch: 4096, in_features: 4096, out_features: 1024 };
+        let op = OpKind::Fc {
+            batch: 4096,
+            in_features: 4096,
+            out_features: 1024,
+        };
         let fits = cost_op(&e, &op, DType::Fp16, None);
         e.placement = place_model(
             &chip.sram,
@@ -729,7 +853,12 @@ mod tests {
             0.75,
         );
         let spilled = cost_op(&e, &op, DType::Fp16, None);
-        assert!(spilled.time > fits.time, "{} !> {}", spilled.time, fits.time);
+        assert!(
+            spilled.time > fits.time,
+            "{} !> {}",
+            spilled.time,
+            fits.time
+        );
         assert!(spilled.dram_bytes > fits.dram_bytes);
 
         // The §4.2 memory hints recover part of the spill cost.
@@ -745,7 +874,15 @@ mod tests {
         let e = env(&chip);
         let r = cost_op(&e, &OpKind::Reshape { elems: 1_000_000 }, DType::Fp16, None);
         assert_eq!(r.time, SimTime::ZERO);
-        let t = cost_op(&e, &OpKind::Transpose { rows: 1024, cols: 1024 }, DType::Fp16, None);
+        let t = cost_op(
+            &e,
+            &OpKind::Transpose {
+                rows: 1024,
+                cols: 1024,
+            },
+            DType::Fp16,
+            None,
+        );
         assert!(t.time > SimTime::ZERO);
         assert_eq!(t.flops.as_f64(), 0.0);
     }
@@ -754,8 +891,24 @@ mod tests {
     fn softmax_small_inner_dim_pays_transpose() {
         let chip = chips::mtia2i();
         let e = env(&chip);
-        let narrow = cost_op(&e, &OpKind::Softmax { rows: 65536, cols: 32 }, DType::Fp16, None);
-        let wide = cost_op(&e, &OpKind::Softmax { rows: 16384, cols: 128 }, DType::Fp16, None);
+        let narrow = cost_op(
+            &e,
+            &OpKind::Softmax {
+                rows: 65536,
+                cols: 32,
+            },
+            DType::Fp16,
+            None,
+        );
+        let wide = cost_op(
+            &e,
+            &OpKind::Softmax {
+                rows: 16384,
+                cols: 128,
+            },
+            DType::Fp16,
+            None,
+        );
         // Same total elements; the narrow one must be slower.
         assert!(narrow.time > wide.time);
     }
@@ -826,13 +979,21 @@ mod tests {
         let v = Some(FcVariant::optimized_for(n, n, n));
         let fp16 = cost_op(
             &e,
-            &OpKind::Fc { batch: n, in_features: n, out_features: n },
+            &OpKind::Fc {
+                batch: n,
+                in_features: n,
+                out_features: n,
+            },
             DType::Fp16,
             v,
         );
         let qfc = cost_op(
             &e,
-            &OpKind::QuantizedFc { batch: n, in_features: n, out_features: n },
+            &OpKind::QuantizedFc {
+                batch: n,
+                in_features: n,
+                out_features: n,
+            },
             DType::Fp16,
             v,
         );
@@ -841,13 +1002,20 @@ mod tests {
         // ...but slower than a bare INT8 matmul (the §4.4 overhead).
         let bare_int8 = cost_op(
             &e,
-            &OpKind::Fc { batch: n, in_features: n, out_features: n },
+            &OpKind::Fc {
+                batch: n,
+                in_features: n,
+                out_features: n,
+            },
             DType::Int8,
             v,
         );
         assert!(qfc.time > bare_int8.time);
         let speedup = fp16.time.as_secs_f64() / qfc.time.as_secs_f64();
-        assert!((1.3..=1.9).contains(&speedup), "quantized fc speedup {speedup}");
+        assert!(
+            (1.3..=1.9).contains(&speedup),
+            "quantized fc speedup {speedup}"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod chip;
 pub mod control;
 pub mod engine;
+pub mod faults;
 pub mod gpu;
 pub mod host;
 pub mod kernels;
@@ -37,6 +38,9 @@ pub mod pe_pipeline;
 pub mod report;
 
 pub use chip::{ChipSim, LaunchMode, Plan};
+pub use faults::{
+    DeviceFaultState, DeviceId, FaultClock, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig,
+};
 pub use gpu::{GpuReport, GpuSim};
 pub use kernels::{Bottleneck, FcVariant, OpCost, Stationarity};
 pub use pe_pipeline::{gemm_pipeline_config, simulate_pipeline, PipelineConfig, PipelineStats};

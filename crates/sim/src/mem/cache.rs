@@ -62,7 +62,10 @@ impl SetAssocCache {
     /// Panics if the capacity is not an exact multiple of `ways ×
     /// line_bytes` or any parameter is zero.
     pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
-        assert!(capacity_bytes > 0 && ways > 0 && line_bytes > 0, "zero cache parameter");
+        assert!(
+            capacity_bytes > 0 && ways > 0 && line_bytes > 0,
+            "zero cache parameter"
+        );
         let way_bytes = ways as u64 * line_bytes;
         assert!(
             capacity_bytes.is_multiple_of(way_bytes),
@@ -74,7 +77,12 @@ impl SetAssocCache {
             sets,
             ways,
             lines: vec![
-                Line { tag: 0, valid: false, dirty: false, stamp: 0 };
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    stamp: 0
+                };
                 sets * ways
             ],
             clock: 0,
@@ -121,7 +129,12 @@ impl SetAssocCache {
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
         }
-        *victim = Line { tag, valid: true, dirty: write, stamp: self.clock };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.clock,
+        };
         false
     }
 }
@@ -301,9 +314,11 @@ mod tests {
         // over 20–100 GB of tables is a 0.15–0.75 % row fraction.
         let rows = 400_000_000u64; // 50 GB of 128-dim fp16 rows
         for cached_rows in [400_000u64, 600_000, 1_200_000] {
-            let hit =
-                zipf_hit_rate(rows, cached_rows, mtia_core::calib::EMBEDDING_ZIPF_SKEW);
-            assert!(hit > 0.35 && hit < 0.65, "tbe hit rate {hit} at {cached_rows} rows");
+            let hit = zipf_hit_rate(rows, cached_rows, mtia_core::calib::EMBEDDING_ZIPF_SKEW);
+            assert!(
+                hit > 0.35 && hit < 0.65,
+                "tbe hit rate {hit} at {cached_rows} rows"
+            );
         }
     }
 }

@@ -77,7 +77,10 @@ pub struct MemoryErrorModel {
 impl MemoryErrorModel {
     /// The calibrated production model.
     pub fn production() -> Self {
-        MemoryErrorModel { per_card_rate: 0.0114, flips_per_day: 3.0 }
+        MemoryErrorModel {
+            per_card_rate: 0.0114,
+            flips_per_day: 3.0,
+        }
     }
 
     /// Samples whether one card is error-prone.
@@ -124,8 +127,10 @@ mod tests {
     fn gather_is_slower_than_sequential() {
         let c = controller(EccMode::ControllerEcc);
         assert!(
-            c.effective_bandwidth(AccessPattern::Gather).as_bytes_per_s()
-                < c.effective_bandwidth(AccessPattern::Sequential).as_bytes_per_s()
+            c.effective_bandwidth(AccessPattern::Gather)
+                .as_bytes_per_s()
+                < c.effective_bandwidth(AccessPattern::Sequential)
+                    .as_bytes_per_s()
         );
     }
 
@@ -136,7 +141,10 @@ mod tests {
         let t2 = c.transfer_time(Bytes::from_gib(2), AccessPattern::Sequential);
         let diff = (t2.as_picos() as i128 - 2 * t1.as_picos() as i128).abs();
         assert!(diff <= 2, "non-linear: {t1} vs {t2}"); // ±1 ps rounding
-        assert_eq!(c.transfer_time(Bytes::ZERO, AccessPattern::Gather), SimTime::ZERO);
+        assert_eq!(
+            c.transfer_time(Bytes::ZERO, AccessPattern::Gather),
+            SimTime::ZERO
+        );
     }
 
     #[test]

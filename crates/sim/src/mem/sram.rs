@@ -163,9 +163,7 @@ pub fn place_model(
                 partition,
                 activations: MemLevel::Dram,
                 resident_weight_bytes: resident,
-                embedding_cache_bytes: llc
-                    .saturating_sub(act_share)
-                    .saturating_sub(resident),
+                embedding_cache_bytes: llc.saturating_sub(act_share).saturating_sub(resident),
             }
         }
     }
@@ -205,8 +203,7 @@ mod tests {
 
     #[test]
     fn place_small_model_pins_activations() {
-        let placement =
-            place_model(&sram(), Bytes::from_mib(40), Bytes::from_mib(100), 0.75);
+        let placement = place_model(&sram(), Bytes::from_mib(40), Bytes::from_mib(100), 0.75);
         assert_eq!(placement.activations, MemLevel::Lls);
         assert_eq!(placement.partition.lls_granules, 2);
         // 192 MB LLC × 0.75 = 144 MB budget ≥ 100 MB weights → all resident.
@@ -216,16 +213,14 @@ mod tests {
 
     #[test]
     fn place_large_weights_partially_resident() {
-        let placement =
-            place_model(&sram(), Bytes::from_mib(40), Bytes::from_mib(500), 0.75);
+        let placement = place_model(&sram(), Bytes::from_mib(40), Bytes::from_mib(500), 0.75);
         assert!(placement.resident_weight_bytes < Bytes::from_mib(500));
         assert!(placement.resident_weight_bytes > Bytes::ZERO);
     }
 
     #[test]
     fn place_oversized_activations_spills() {
-        let placement =
-            place_model(&sram(), Bytes::from_mib(400), Bytes::from_mib(50), 0.75);
+        let placement = place_model(&sram(), Bytes::from_mib(400), Bytes::from_mib(50), 0.75);
         assert_eq!(placement.activations, MemLevel::Dram);
         assert_eq!(placement.partition.lls_granules, 0);
     }

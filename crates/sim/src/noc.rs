@@ -30,7 +30,12 @@ impl LeakyBucket {
     /// Panics if `rate` is zero.
     pub fn new(rate: Bandwidth, burst: Bytes) -> Self {
         assert!(rate.as_bytes_per_s() > 0.0, "shaper rate must be positive");
-        LeakyBucket { rate, burst, tokens: burst.as_f64(), last_update: SimTime::ZERO }
+        LeakyBucket {
+            rate,
+            burst,
+            tokens: burst.as_f64(),
+            last_update: SimTime::ZERO,
+        }
     }
 
     /// Requests admission of `bytes` at time `now`. Returns the delay until
@@ -43,8 +48,7 @@ impl LeakyBucket {
         assert!(now >= self.last_update, "time moved backwards in shaper");
         // Refill.
         let elapsed = (now - self.last_update).as_secs_f64();
-        self.tokens =
-            (self.tokens + elapsed * self.rate.as_bytes_per_s()).min(self.burst.as_f64());
+        self.tokens = (self.tokens + elapsed * self.rate.as_bytes_per_s()).min(self.burst.as_f64());
         self.last_update = now;
 
         let need = bytes.as_f64();
@@ -70,7 +74,10 @@ pub struct NocModel {
 impl NocModel {
     /// Creates a model from the chip's NoC specification.
     pub fn new(spec: NocSpec) -> Self {
-        NocModel { spec, header_bytes: 16 }
+        NocModel {
+            spec,
+            header_bytes: 16,
+        }
     }
 
     /// Whether broadcast reads are available.
@@ -167,7 +174,10 @@ pub mod deadlock {
         /// After the firmware update relocated the Control Core's memory to
         /// device SRAM.
         pub fn post_mitigation_under_load() -> Self {
-            DeadlockConfig { control_memory_on_host: false, ..Self::pre_mitigation_under_load() }
+            DeadlockConfig {
+                control_memory_on_host: false,
+                ..Self::pre_mitigation_under_load()
+            }
         }
     }
 
@@ -209,9 +219,13 @@ pub mod deadlock {
             Grey,
             Black,
         }
-        let agents = [Agent::ControlCore, Agent::PcieController, Agent::Noc, Agent::Host];
-        let mut marks: HashMap<Agent, Mark> =
-            agents.iter().map(|&a| (a, Mark::White)).collect();
+        let agents = [
+            Agent::ControlCore,
+            Agent::PcieController,
+            Agent::Noc,
+            Agent::Host,
+        ];
+        let mut marks: HashMap<Agent, Mark> = agents.iter().map(|&a| (a, Mark::White)).collect();
         fn dfs(
             a: Agent,
             adj: &HashMap<Agent, Vec<Agent>>,
@@ -267,7 +281,10 @@ mod tests {
         assert_eq!(b.admit(Bytes::from_kib(64), SimTime::ZERO), SimTime::ZERO);
         // Bucket empty: 64 KiB at 10 GB/s ≈ 6.55 µs delay.
         let d = b.admit(Bytes::from_kib(64), SimTime::ZERO);
-        assert!(d > SimTime::from_micros(6) && d < SimTime::from_micros(7), "delay {d}");
+        assert!(
+            d > SimTime::from_micros(6) && d < SimTime::from_micros(7),
+            "delay {d}"
+        );
     }
 
     #[test]
@@ -275,7 +292,10 @@ mod tests {
         let mut b = LeakyBucket::new(Bandwidth::from_gb_per_s(10.0), Bytes::from_kib(64));
         assert_eq!(b.admit(Bytes::from_kib(64), SimTime::ZERO), SimTime::ZERO);
         // After 10 µs, 100 KB ≥ 64 KiB refilled (capped at burst).
-        assert_eq!(b.admit(Bytes::from_kib(64), SimTime::from_micros(10)), SimTime::ZERO);
+        assert_eq!(
+            b.admit(Bytes::from_kib(64), SimTime::from_micros(10)),
+            SimTime::ZERO
+        );
     }
 
     #[test]
@@ -314,12 +334,16 @@ mod tests {
 
     #[test]
     fn deadlock_reproduces_under_pre_mitigation_load() {
-        assert!(deadlock_possible(DeadlockConfig::pre_mitigation_under_load()));
+        assert!(deadlock_possible(
+            DeadlockConfig::pre_mitigation_under_load()
+        ));
     }
 
     #[test]
     fn firmware_mitigation_breaks_the_cycle() {
-        assert!(!deadlock_possible(DeadlockConfig::post_mitigation_under_load()));
+        assert!(!deadlock_possible(
+            DeadlockConfig::post_mitigation_under_load()
+        ));
     }
 
     #[test]

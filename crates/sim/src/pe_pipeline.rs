@@ -63,7 +63,10 @@ impl PipelineStats {
 /// Panics if `tiles` or `cb_slots` is zero.
 pub fn simulate_pipeline(config: PipelineConfig) -> PipelineStats {
     assert!(config.tiles > 0, "need at least one tile");
-    assert!(config.cb_slots > 0, "need at least one circular-buffer slot");
+    assert!(
+        config.cb_slots > 0,
+        "need at least one circular-buffer slot"
+    );
     let n = config.tiles as usize;
     let slots = config.cb_slots as usize;
 
@@ -78,7 +81,11 @@ pub fn simulate_pipeline(config: PipelineConfig) -> PipelineStats {
 
     for i in 0..n {
         // The scalar core issues tiles in order.
-        let issue_start = if i == 0 { SimTime::ZERO } else { issue_done[i - 1] };
+        let issue_start = if i == 0 {
+            SimTime::ZERO
+        } else {
+            issue_done[i - 1]
+        };
         issue_done[i] = issue_start + config.issue_time;
 
         // DMA needs its instructions issued, the FI free, and a CB slot —
@@ -117,7 +124,11 @@ pub fn simulate_pipeline(config: PipelineConfig) -> PipelineStats {
     }
 
     let _ = dpe_start_first;
-    PipelineStats { makespan: simd_done[n - 1], dpe_busy, dpe_stall }
+    PipelineStats {
+        makespan: simd_done[n - 1],
+        dpe_busy,
+        dpe_stall,
+    }
 }
 
 /// Builds a per-tile pipeline configuration for an `m × k × n` FP16 GEMM on
@@ -261,8 +272,7 @@ mod tests {
         let config = gemm_pipeline_config(&chip, 2048, 2048, 2048);
         assert!(config.issue_time > config.compute_time);
         let stats = simulate_pipeline(config);
-        let bound =
-            config.compute_time.as_secs_f64() / config.issue_time.as_secs_f64();
+        let bound = config.compute_time.as_secs_f64() / config.issue_time.as_secs_f64();
         assert!(
             (stats.dpe_utilization() - bound).abs() < 0.05,
             "utilization {:.3} vs {bound:.3}",

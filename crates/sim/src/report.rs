@@ -47,7 +47,10 @@ pub struct ExecutionReport {
 impl ExecutionReport {
     /// Total time for one batch, including launch overheads.
     pub fn total_time(&self) -> SimTime {
-        self.nodes.iter().map(|n| n.cost.time + n.launch_overhead).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.cost.time + n.launch_overhead)
+            .sum()
     }
 
     /// Kernel time only (no launch overhead).
@@ -128,7 +131,9 @@ impl ExecutionReport {
         let mut totals: BTreeMap<u8, (SimTime, Bottleneck)> = BTreeMap::new();
         for n in &self.nodes {
             let key = n.cost.bottleneck as u8;
-            let e = totals.entry(key).or_insert((SimTime::ZERO, n.cost.bottleneck));
+            let e = totals
+                .entry(key)
+                .or_insert((SimTime::ZERO, n.cost.bottleneck));
             e.0 += n.cost.time;
         }
         totals.into_values().max_by_key(|(t, _)| *t).map(|(_, b)| b)
@@ -191,12 +196,7 @@ mod tests {
                 node(1, 30, Bottleneck::Dram, OpCategory::Sparse),
                 node(2, 5, Bottleneck::Compute, OpCategory::Simd),
             ],
-            placement: place_model(
-                &chip.sram,
-                Bytes::from_mib(10),
-                Bytes::from_mib(10),
-                0.75,
-            ),
+            placement: place_model(&chip.sram, Bytes::from_mib(10), Bytes::from_mib(10), 0.75),
             weight_resident_fraction: 1.0,
             tbe_hit_rate: 0.5,
             needs_sharding: false,
@@ -208,7 +208,10 @@ mod tests {
         let r = report();
         assert_eq!(r.kernel_time(), SimTime::from_micros(45));
         assert_eq!(r.launch_overhead(), SimTime::from_nanos(1200));
-        assert_eq!(r.total_time(), SimTime::from_micros(45) + SimTime::from_nanos(1200));
+        assert_eq!(
+            r.total_time(),
+            SimTime::from_micros(45) + SimTime::from_nanos(1200)
+        );
         assert!(r.throughput_samples_per_s() > 0.0);
     }
 

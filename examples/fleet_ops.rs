@@ -6,16 +6,17 @@
 //! cargo run --release --example fleet_ops
 //! ```
 
+use mtia::core::power::PowerModel;
+use mtia::core::seed::{derive, DEFAULT_SEED};
 use mtia::fleet::firmware::{simulate_rollout, FirmwareBundle, Rollout};
 use mtia::fleet::memerr::{evaluate_mitigations, production_decision, run_sensitivity, run_survey};
 use mtia::fleet::overclock::{paper_frequencies, run_study, SiliconMargin};
 use mtia::fleet::power::{initial_rack_budget, PowerStudy, RackConfig};
-use mtia::core::power::PowerModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2024);
+    let mut rng = StdRng::seed_from_u64(derive(DEFAULT_SEED, "fleet-ops"));
 
     // ---- §5.1: should we enable ECC?
     let survey = run_survey(1700, &mut rng);
@@ -30,7 +31,12 @@ fn main() {
     println!("decision: {:?}", production_decision(&outcomes));
 
     // ---- §5.2: overclock from 1.1 to 1.35 GHz?
-    let study = run_study(SiliconMargin::production(), 3000, &paper_frequencies(), &mut rng);
+    let study = run_study(
+        SiliconMargin::production(),
+        3000,
+        &paper_frequencies(),
+        &mut rng,
+    );
     for r in &study.results {
         println!(
             "qualification @ {}: {:.2}% pass rate, {:.2}% of chips pass all 10 tests",

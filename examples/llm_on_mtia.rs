@@ -32,7 +32,11 @@ fn main() {
         let per_token = decode.total_time();
         println!(
             "  decode: {per_token}/token  [≤ {token_slo}: {}]  bottleneck: {:?}",
-            if per_token <= token_slo { "PASS" } else { "FAIL" },
+            if per_token <= token_slo {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             decode.dominant_bottleneck().unwrap(),
         );
 

@@ -38,8 +38,7 @@ fn main() {
     println!(
         "\nrejected model change (3x remote embeddings, activations spill to LPDDR):\n  \
          throughput drops {:.0}% — the paper saw ~90%",
-        (1.0 - spilled.throughput_samples_per_s() / tuned.throughput_samples_per_s())
-            * 100.0
+        (1.0 - spilled.throughput_samples_per_s() / tuned.throughput_samples_per_s()) * 100.0
     );
 
     // ---- the accepted alternative: two extra DHEN layers (the evolved
@@ -60,8 +59,7 @@ fn main() {
     let at_design = compile(&evolved_graph, CompilerOptions::all()).run(&sim_design);
     println!(
         "overclock 1.1 → 1.35 GHz: +{:.0}% throughput",
-        (evolved_report.throughput_samples_per_s() / at_design.throughput_samples_per_s()
-            - 1.0)
+        (evolved_report.throughput_samples_per_s() / at_design.throughput_samples_per_s() - 1.0)
             * 100.0
     );
 

@@ -43,5 +43,8 @@ fn main() {
     );
     let rel = mtia_server.relative_to(&gpu_server);
     println!("\nserver-level comparison (24 MTIA chips vs 8 GPUs): {rel}");
-    println!("equivalent TCO reduction: {:.0}%", rel.tco_reduction() * 100.0);
+    println!(
+        "equivalent TCO reduction: {:.0}%",
+        rel.tco_reduction() * 100.0
+    );
 }

@@ -35,8 +35,10 @@ fn main() {
     }
 
     // The weight-streaming roofline that pins the big end of the sweep.
-    let stream_cap =
-        chip.effective_dram_bw(EccMode::ControllerEcc).as_bytes_per_s() * 256.0;
+    let stream_cap = chip
+        .effective_dram_bw(EccMode::ControllerEcc)
+        .as_bytes_per_s()
+        * 256.0;
     println!(
         "\nweight-streaming roofline at batch 256: {:.1} TFLOPS \
          ({:.0}% of the FP16 peak)",

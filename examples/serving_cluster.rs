@@ -7,9 +7,7 @@
 //! ```
 
 use mtia::prelude::*;
-use mtia::serving::scheduler::{
-    max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig,
-};
+use mtia::serving::scheduler::{max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig};
 use mtia::serving::traffic::PoissonArrivals;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,11 +43,15 @@ fn main() {
         merge_time: SimTime::from_millis(10),
         dispatch_overhead: SimTime::from_millis(1),
     };
-    let consolidated = RemoteMergeConfig { remote_jobs_per_request: 2, ..base };
+    let consolidated = RemoteMergeConfig {
+        remote_jobs_per_request: 2,
+        ..base
+    };
 
     println!("\nremote/merge scheduling at the P99 ≤ 100 ms SLO:");
-    let (rate4, _) = max_rate_under_slo(base, slo, horizon, 7);
-    let (rate2, _) = max_rate_under_slo(consolidated, slo, horizon, 7);
+    let slo_seed = derive(DEFAULT_SEED, "serving-cluster/slo-search");
+    let (rate4, _) = max_rate_under_slo(base, slo, horizon, slo_seed);
+    let (rate2, _) = max_rate_under_slo(consolidated, slo, horizon, slo_seed);
     println!("  4 remote jobs/request: {rate4:.1} req/s");
     println!("  2 remote jobs/request: {rate2:.1} req/s  (TBE consolidation)");
     println!("  throughput gain: {:.0}%", (rate2 / rate4 - 1.0) * 100.0);
@@ -57,9 +59,11 @@ fn main() {
     // P99 at a common operating point.
     let common = rate4 * 0.98;
     for (label, config) in [("before", base), ("after ", consolidated)] {
-        let mut arrivals = PoissonArrivals::new(common, StdRng::seed_from_u64(3));
-        let stats =
-            simulate_remote_merge(config, &mut arrivals, horizon, SimTime::from_secs(6));
+        let mut arrivals = PoissonArrivals::new(
+            common,
+            StdRng::seed_from_u64(derive(DEFAULT_SEED, "serving-cluster/arrivals")),
+        );
+        let stats = simulate_remote_merge(config, &mut arrivals, horizon, SimTime::from_secs(6));
         println!(
             "  {label} consolidation @ {common:.0} req/s: P99 {} (merge wait P99 {})",
             stats.request_latency.p99(),

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: formatting, lints, release build,
+# and the complete test suite. Everything is hermetic — the three external
+# dependencies (rand, proptest, criterion) are vendored path crates under
+# third_party/, so no network or registry access is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "CI gate passed."

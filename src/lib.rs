@@ -55,6 +55,7 @@ pub use mtia_sim as sim;
 pub mod prelude {
     pub use mtia_autotune::{Autotuner, TunedModel};
     pub use mtia_compiler::{compile, Compiled, CompilerOptions};
+    pub use mtia_core::seed::{derive, DEFAULT_SEED};
     pub use mtia_core::spec::{chips, EccMode};
     pub use mtia_core::tco::{PlatformMetrics, ServerCost};
     pub use mtia_core::units::{Bandwidth, Bytes, SimTime, Watts};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-37efa9ac55adce2d.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-37efa9ac55adce2d: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-dcff7d3bc170de62.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-dcff7d3bc170de62.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-dcff7d3bc170de62.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

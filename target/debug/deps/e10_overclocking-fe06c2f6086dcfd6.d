@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_overclocking-fe06c2f6086dcfd6.d: crates/bench/benches/e10_overclocking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_overclocking-fe06c2f6086dcfd6.rmeta: crates/bench/benches/e10_overclocking.rs Cargo.toml
+
+crates/bench/benches/e10_overclocking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

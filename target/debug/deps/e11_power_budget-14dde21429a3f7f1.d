@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_power_budget-14dde21429a3f7f1.d: crates/bench/benches/e11_power_budget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_power_budget-14dde21429a3f7f1.rmeta: crates/bench/benches/e11_power_budget.rs Cargo.toml
+
+crates/bench/benches/e11_power_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

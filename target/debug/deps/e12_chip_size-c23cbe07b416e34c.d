@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_chip_size-c23cbe07b416e34c.d: crates/bench/benches/e12_chip_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_chip_size-c23cbe07b416e34c.rmeta: crates/bench/benches/e12_chip_size.rs Cargo.toml
+
+crates/bench/benches/e12_chip_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_firmware-97367db9897360e3.d: crates/bench/benches/e13_firmware.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_firmware-97367db9897360e3.rmeta: crates/bench/benches/e13_firmware.rs Cargo.toml
+
+crates/bench/benches/e13_firmware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

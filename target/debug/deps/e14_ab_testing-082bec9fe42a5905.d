@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e14_ab_testing-082bec9fe42a5905.d: crates/bench/benches/e14_ab_testing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe14_ab_testing-082bec9fe42a5905.rmeta: crates/bench/benches/e14_ab_testing.rs Cargo.toml
+
+crates/bench/benches/e14_ab_testing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e15_fusion_gains-162ba7137f5c1e5c.d: crates/bench/benches/e15_fusion_gains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe15_fusion_gains-162ba7137f5c1e5c.rmeta: crates/bench/benches/e15_fusion_gains.rs Cargo.toml
+
+crates/bench/benches/e15_fusion_gains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e16_compression-3b03018bccf9031b.d: crates/bench/benches/e16_compression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe16_compression-3b03018bccf9031b.rmeta: crates/bench/benches/e16_compression.rs Cargo.toml
+
+crates/bench/benches/e16_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e17_complexity_frontier-2309059dae0fac60.d: crates/bench/benches/e17_complexity_frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe17_complexity_frontier-2309059dae0fac60.rmeta: crates/bench/benches/e17_complexity_frontier.rs Cargo.toml
+
+crates/bench/benches/e17_complexity_frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

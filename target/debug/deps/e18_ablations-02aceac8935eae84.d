@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e18_ablations-02aceac8935eae84.d: crates/bench/benches/e18_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe18_ablations-02aceac8935eae84.rmeta: crates/bench/benches/e18_ablations.rs Cargo.toml
+
+crates/bench/benches/e18_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

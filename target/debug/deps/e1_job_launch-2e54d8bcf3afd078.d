@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_job_launch-2e54d8bcf3afd078.d: crates/bench/benches/e1_job_launch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_job_launch-2e54d8bcf3afd078.rmeta: crates/bench/benches/e1_job_launch.rs Cargo.toml
+
+crates/bench/benches/e1_job_launch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

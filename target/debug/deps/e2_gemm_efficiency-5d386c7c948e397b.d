@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_gemm_efficiency-5d386c7c948e397b.d: crates/bench/benches/e2_gemm_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_gemm_efficiency-5d386c7c948e397b.rmeta: crates/bench/benches/e2_gemm_efficiency.rs Cargo.toml
+
+crates/bench/benches/e2_gemm_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_llm_roofline-718dd1f7c8d25ce9.d: crates/bench/benches/e3_llm_roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_llm_roofline-718dd1f7c8d25ce9.rmeta: crates/bench/benches/e3_llm_roofline.rs Cargo.toml
+
+crates/bench/benches/e3_llm_roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

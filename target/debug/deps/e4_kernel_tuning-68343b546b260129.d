@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_kernel_tuning-68343b546b260129.d: crates/bench/benches/e4_kernel_tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_kernel_tuning-68343b546b260129.rmeta: crates/bench/benches/e4_kernel_tuning.rs Cargo.toml
+
+crates/bench/benches/e4_kernel_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_coalescing-cd813228e972c77c.d: crates/bench/benches/e5_coalescing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_coalescing-cd813228e972c77c.rmeta: crates/bench/benches/e5_coalescing.rs Cargo.toml
+
+crates/bench/benches/e5_coalescing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_sram_hit_rates-6434bf1ddc223fd3.d: crates/bench/benches/e6_sram_hit_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_sram_hit_rates-6434bf1ddc223fd3.rmeta: crates/bench/benches/e6_sram_hit_rates.rs Cargo.toml
+
+crates/bench/benches/e6_sram_hit_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

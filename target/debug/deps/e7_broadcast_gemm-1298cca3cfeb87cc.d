@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_broadcast_gemm-1298cca3cfeb87cc.d: crates/bench/benches/e7_broadcast_gemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_broadcast_gemm-1298cca3cfeb87cc.rmeta: crates/bench/benches/e7_broadcast_gemm.rs Cargo.toml
+
+crates/bench/benches/e7_broadcast_gemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

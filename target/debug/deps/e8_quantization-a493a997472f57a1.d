@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_quantization-a493a997472f57a1.d: crates/bench/benches/e8_quantization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_quantization-a493a997472f57a1.rmeta: crates/bench/benches/e8_quantization.rs Cargo.toml
+
+crates/bench/benches/e8_quantization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_ecc_study-8eb79a3d616c0afc.d: crates/bench/benches/e9_ecc_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_ecc_study-8eb79a3d616c0afc.rmeta: crates/bench/benches/e9_ecc_study.rs Cargo.toml
+
+crates/bench/benches/e9_ecc_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0b0af9e81d061c6c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0b0af9e81d061c6c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3f218d0cdff769f2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3f218d0cdff769f2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_case_study-771b08264117d682.d: crates/bench/benches/fig4_case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_case_study-771b08264117d682.rmeta: crates/bench/benches/fig4_case_study.rs Cargo.toml
+
+crates/bench/benches/fig4_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

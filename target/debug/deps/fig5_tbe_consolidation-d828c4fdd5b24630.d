@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_tbe_consolidation-d828c4fdd5b24630.d: crates/bench/benches/fig5_tbe_consolidation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_tbe_consolidation-d828c4fdd5b24630.rmeta: crates/bench/benches/fig5_tbe_consolidation.rs Cargo.toml
+
+crates/bench/benches/fig5_tbe_consolidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

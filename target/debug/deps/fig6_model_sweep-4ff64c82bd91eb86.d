@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_model_sweep-4ff64c82bd91eb86.d: crates/bench/benches/fig6_model_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_model_sweep-4ff64c82bd91eb86.rmeta: crates/bench/benches/fig6_model_sweep.rs Cargo.toml
+
+crates/bench/benches/fig6_model_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-20f65a34716334d0.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-20f65a34716334d0: tests/invariants.rs
+
+tests/invariants.rs:

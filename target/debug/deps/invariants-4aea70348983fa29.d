@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-4aea70348983fa29.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-4aea70348983fa29: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mtia-3caa341137cc62be.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmtia-3caa341137cc62be.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmtia-3caa341137cc62be.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mtia-57b216004d685d33.d: src/lib.rs
+
+/root/repo/target/debug/deps/mtia-57b216004d685d33: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mtia-8b4e3a32e46e3541.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmtia-8b4e3a32e46e3541.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmtia-8b4e3a32e46e3541.rmeta: src/lib.rs
+
+src/lib.rs:

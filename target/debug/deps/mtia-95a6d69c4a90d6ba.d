@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mtia-95a6d69c4a90d6ba.d: src/lib.rs
+
+/root/repo/target/debug/deps/mtia-95a6d69c4a90d6ba: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mtia-dd3be0e9bee6c30e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmtia-dd3be0e9bee6c30e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

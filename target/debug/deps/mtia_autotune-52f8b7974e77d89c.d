@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mtia_autotune-52f8b7974e77d89c.d: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmtia_autotune-52f8b7974e77d89c.rmeta: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs Cargo.toml
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/batch.rs:
+crates/autotune/src/coalescing.rs:
+crates/autotune/src/data_placement.rs:
+crates/autotune/src/pipeline.rs:
+crates/autotune/src/sharding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

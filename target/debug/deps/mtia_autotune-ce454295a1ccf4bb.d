@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mtia_autotune-ce454295a1ccf4bb.d: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs
+
+/root/repo/target/debug/deps/libmtia_autotune-ce454295a1ccf4bb.rlib: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs
+
+/root/repo/target/debug/deps/libmtia_autotune-ce454295a1ccf4bb.rmeta: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/batch.rs:
+crates/autotune/src/coalescing.rs:
+crates/autotune/src/data_placement.rs:
+crates/autotune/src/pipeline.rs:
+crates/autotune/src/sharding.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mtia_autotune-efb8884a36a8afa4.d: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs
+
+/root/repo/target/debug/deps/mtia_autotune-efb8884a36a8afa4: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/batch.rs:
+crates/autotune/src/coalescing.rs:
+crates/autotune/src/data_placement.rs:
+crates/autotune/src/pipeline.rs:
+crates/autotune/src/sharding.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/mtia_bench-9e1da5adc91aaac4.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ab.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/chip_exps.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fleet_exps.rs crates/bench/src/experiments/frontier.rs crates/bench/src/experiments/llm.rs crates/bench/src/experiments/locality.rs crates/bench/src/experiments/quant.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/tuning.rs crates/bench/src/platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmtia_bench-9e1da5adc91aaac4.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ab.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/chip_exps.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fleet_exps.rs crates/bench/src/experiments/frontier.rs crates/bench/src/experiments/llm.rs crates/bench/src/experiments/locality.rs crates/bench/src/experiments/quant.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/tuning.rs crates/bench/src/platform.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ab.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/chip_exps.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fleet_exps.rs:
+crates/bench/src/experiments/frontier.rs:
+crates/bench/src/experiments/llm.rs:
+crates/bench/src/experiments/locality.rs:
+crates/bench/src/experiments/quant.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/experiments/tuning.rs:
+crates/bench/src/platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

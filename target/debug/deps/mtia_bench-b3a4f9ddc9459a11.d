@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/mtia_bench-b3a4f9ddc9459a11.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ab.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/chip_exps.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fleet_exps.rs crates/bench/src/experiments/frontier.rs crates/bench/src/experiments/llm.rs crates/bench/src/experiments/locality.rs crates/bench/src/experiments/quant.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/tuning.rs crates/bench/src/platform.rs
+
+/root/repo/target/debug/deps/libmtia_bench-b3a4f9ddc9459a11.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ab.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/chip_exps.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fleet_exps.rs crates/bench/src/experiments/frontier.rs crates/bench/src/experiments/llm.rs crates/bench/src/experiments/locality.rs crates/bench/src/experiments/quant.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/tuning.rs crates/bench/src/platform.rs
+
+/root/repo/target/debug/deps/libmtia_bench-b3a4f9ddc9459a11.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ab.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/chip_exps.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fleet_exps.rs crates/bench/src/experiments/frontier.rs crates/bench/src/experiments/llm.rs crates/bench/src/experiments/locality.rs crates/bench/src/experiments/quant.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/tuning.rs crates/bench/src/platform.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ab.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/chip_exps.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fleet_exps.rs:
+crates/bench/src/experiments/frontier.rs:
+crates/bench/src/experiments/llm.rs:
+crates/bench/src/experiments/locality.rs:
+crates/bench/src/experiments/quant.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/experiments/tuning.rs:
+crates/bench/src/platform.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mtia_compiler-688c86fe4a593aed.d: crates/compiler/src/lib.rs crates/compiler/src/pass.rs crates/compiler/src/passes/mod.rs crates/compiler/src/passes/broadcast.rs crates/compiler/src/passes/fusion.rs crates/compiler/src/passes/mha.rs crates/compiler/src/passes/quantize.rs crates/compiler/src/perfdb.rs crates/compiler/src/plan.rs crates/compiler/src/scheduling.rs
+
+/root/repo/target/debug/deps/mtia_compiler-688c86fe4a593aed: crates/compiler/src/lib.rs crates/compiler/src/pass.rs crates/compiler/src/passes/mod.rs crates/compiler/src/passes/broadcast.rs crates/compiler/src/passes/fusion.rs crates/compiler/src/passes/mha.rs crates/compiler/src/passes/quantize.rs crates/compiler/src/perfdb.rs crates/compiler/src/plan.rs crates/compiler/src/scheduling.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/pass.rs:
+crates/compiler/src/passes/mod.rs:
+crates/compiler/src/passes/broadcast.rs:
+crates/compiler/src/passes/fusion.rs:
+crates/compiler/src/passes/mha.rs:
+crates/compiler/src/passes/quantize.rs:
+crates/compiler/src/perfdb.rs:
+crates/compiler/src/plan.rs:
+crates/compiler/src/scheduling.rs:

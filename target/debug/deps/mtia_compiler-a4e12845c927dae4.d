@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mtia_compiler-a4e12845c927dae4.d: crates/compiler/src/lib.rs crates/compiler/src/pass.rs crates/compiler/src/passes/mod.rs crates/compiler/src/passes/broadcast.rs crates/compiler/src/passes/fusion.rs crates/compiler/src/passes/mha.rs crates/compiler/src/passes/quantize.rs crates/compiler/src/perfdb.rs crates/compiler/src/plan.rs crates/compiler/src/scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmtia_compiler-a4e12845c927dae4.rmeta: crates/compiler/src/lib.rs crates/compiler/src/pass.rs crates/compiler/src/passes/mod.rs crates/compiler/src/passes/broadcast.rs crates/compiler/src/passes/fusion.rs crates/compiler/src/passes/mha.rs crates/compiler/src/passes/quantize.rs crates/compiler/src/perfdb.rs crates/compiler/src/plan.rs crates/compiler/src/scheduling.rs Cargo.toml
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/pass.rs:
+crates/compiler/src/passes/mod.rs:
+crates/compiler/src/passes/broadcast.rs:
+crates/compiler/src/passes/fusion.rs:
+crates/compiler/src/passes/mha.rs:
+crates/compiler/src/passes/quantize.rs:
+crates/compiler/src/perfdb.rs:
+crates/compiler/src/plan.rs:
+crates/compiler/src/scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mtia_core-575e24b386b4f02d.d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/mtia_core-575e24b386b4f02d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calib.rs:
+crates/core/src/dtype.rs:
+crates/core/src/error.rs:
+crates/core/src/power.rs:
+crates/core/src/seed.rs:
+crates/core/src/spec.rs:
+crates/core/src/tco.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mtia_core-e9cde72ac87d4613.d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/libmtia_core-e9cde72ac87d4613.rlib: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/libmtia_core-e9cde72ac87d4613.rmeta: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calib.rs:
+crates/core/src/dtype.rs:
+crates/core/src/error.rs:
+crates/core/src/power.rs:
+crates/core/src/seed.rs:
+crates/core/src/spec.rs:
+crates/core/src/tco.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mtia_core-f99b836d3eaf2e75.d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmtia_core-f99b836d3eaf2e75.rmeta: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/calib.rs:
+crates/core/src/dtype.rs:
+crates/core/src/error.rs:
+crates/core/src/power.rs:
+crates/core/src/seed.rs:
+crates/core/src/spec.rs:
+crates/core/src/tco.rs:
+crates/core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mtia_fleet-2d2c87dd16e70d53.d: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs crates/fleet/src/rollout_serving.rs
+
+/root/repo/target/debug/deps/mtia_fleet-2d2c87dd16e70d53: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs crates/fleet/src/rollout_serving.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/cd.rs:
+crates/fleet/src/chipsize.rs:
+crates/fleet/src/firmware.rs:
+crates/fleet/src/memerr.rs:
+crates/fleet/src/overclock.rs:
+crates/fleet/src/power.rs:
+crates/fleet/src/rollout_serving.rs:

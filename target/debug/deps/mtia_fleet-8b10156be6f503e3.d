@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mtia_fleet-8b10156be6f503e3.d: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs crates/fleet/src/rollout_serving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmtia_fleet-8b10156be6f503e3.rmeta: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs crates/fleet/src/rollout_serving.rs Cargo.toml
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/cd.rs:
+crates/fleet/src/chipsize.rs:
+crates/fleet/src/firmware.rs:
+crates/fleet/src/memerr.rs:
+crates/fleet/src/overclock.rs:
+crates/fleet/src/power.rs:
+crates/fleet/src/rollout_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

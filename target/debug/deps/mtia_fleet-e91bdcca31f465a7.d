@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mtia_fleet-e91bdcca31f465a7.d: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs
+
+/root/repo/target/debug/deps/libmtia_fleet-e91bdcca31f465a7.rlib: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs
+
+/root/repo/target/debug/deps/libmtia_fleet-e91bdcca31f465a7.rmeta: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/cd.rs:
+crates/fleet/src/chipsize.rs:
+crates/fleet/src/firmware.rs:
+crates/fleet/src/memerr.rs:
+crates/fleet/src/overclock.rs:
+crates/fleet/src/power.rs:

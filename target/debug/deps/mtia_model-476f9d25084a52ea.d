@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/mtia_model-476f9d25084a52ea.d: crates/model/src/lib.rs crates/model/src/compress/mod.rs crates/model/src/compress/ans.rs crates/model/src/compress/lzss.rs crates/model/src/error_inject.rs crates/model/src/graph.rs crates/model/src/hstu_bias.rs crates/model/src/jagged.rs crates/model/src/models/mod.rs crates/model/src/models/dhen.rs crates/model/src/models/dlrm.rs crates/model/src/models/hstu.rs crates/model/src/models/llm.rs crates/model/src/models/merge.rs crates/model/src/models/wukong.rs crates/model/src/models/zoo.rs crates/model/src/norm.rs crates/model/src/ops.rs crates/model/src/quant.rs crates/model/src/sparsity.rs crates/model/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmtia_model-476f9d25084a52ea.rmeta: crates/model/src/lib.rs crates/model/src/compress/mod.rs crates/model/src/compress/ans.rs crates/model/src/compress/lzss.rs crates/model/src/error_inject.rs crates/model/src/graph.rs crates/model/src/hstu_bias.rs crates/model/src/jagged.rs crates/model/src/models/mod.rs crates/model/src/models/dhen.rs crates/model/src/models/dlrm.rs crates/model/src/models/hstu.rs crates/model/src/models/llm.rs crates/model/src/models/merge.rs crates/model/src/models/wukong.rs crates/model/src/models/zoo.rs crates/model/src/norm.rs crates/model/src/ops.rs crates/model/src/quant.rs crates/model/src/sparsity.rs crates/model/src/tensor.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/compress/mod.rs:
+crates/model/src/compress/ans.rs:
+crates/model/src/compress/lzss.rs:
+crates/model/src/error_inject.rs:
+crates/model/src/graph.rs:
+crates/model/src/hstu_bias.rs:
+crates/model/src/jagged.rs:
+crates/model/src/models/mod.rs:
+crates/model/src/models/dhen.rs:
+crates/model/src/models/dlrm.rs:
+crates/model/src/models/hstu.rs:
+crates/model/src/models/llm.rs:
+crates/model/src/models/merge.rs:
+crates/model/src/models/wukong.rs:
+crates/model/src/models/zoo.rs:
+crates/model/src/norm.rs:
+crates/model/src/ops.rs:
+crates/model/src/quant.rs:
+crates/model/src/sparsity.rs:
+crates/model/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/mtia_model-bb81c309c0980e96.d: crates/model/src/lib.rs crates/model/src/compress/mod.rs crates/model/src/compress/ans.rs crates/model/src/compress/lzss.rs crates/model/src/error_inject.rs crates/model/src/graph.rs crates/model/src/hstu_bias.rs crates/model/src/jagged.rs crates/model/src/models/mod.rs crates/model/src/models/dhen.rs crates/model/src/models/dlrm.rs crates/model/src/models/hstu.rs crates/model/src/models/llm.rs crates/model/src/models/merge.rs crates/model/src/models/wukong.rs crates/model/src/models/zoo.rs crates/model/src/norm.rs crates/model/src/ops.rs crates/model/src/quant.rs crates/model/src/sparsity.rs crates/model/src/tensor.rs
+
+/root/repo/target/debug/deps/libmtia_model-bb81c309c0980e96.rlib: crates/model/src/lib.rs crates/model/src/compress/mod.rs crates/model/src/compress/ans.rs crates/model/src/compress/lzss.rs crates/model/src/error_inject.rs crates/model/src/graph.rs crates/model/src/hstu_bias.rs crates/model/src/jagged.rs crates/model/src/models/mod.rs crates/model/src/models/dhen.rs crates/model/src/models/dlrm.rs crates/model/src/models/hstu.rs crates/model/src/models/llm.rs crates/model/src/models/merge.rs crates/model/src/models/wukong.rs crates/model/src/models/zoo.rs crates/model/src/norm.rs crates/model/src/ops.rs crates/model/src/quant.rs crates/model/src/sparsity.rs crates/model/src/tensor.rs
+
+/root/repo/target/debug/deps/libmtia_model-bb81c309c0980e96.rmeta: crates/model/src/lib.rs crates/model/src/compress/mod.rs crates/model/src/compress/ans.rs crates/model/src/compress/lzss.rs crates/model/src/error_inject.rs crates/model/src/graph.rs crates/model/src/hstu_bias.rs crates/model/src/jagged.rs crates/model/src/models/mod.rs crates/model/src/models/dhen.rs crates/model/src/models/dlrm.rs crates/model/src/models/hstu.rs crates/model/src/models/llm.rs crates/model/src/models/merge.rs crates/model/src/models/wukong.rs crates/model/src/models/zoo.rs crates/model/src/norm.rs crates/model/src/ops.rs crates/model/src/quant.rs crates/model/src/sparsity.rs crates/model/src/tensor.rs
+
+crates/model/src/lib.rs:
+crates/model/src/compress/mod.rs:
+crates/model/src/compress/ans.rs:
+crates/model/src/compress/lzss.rs:
+crates/model/src/error_inject.rs:
+crates/model/src/graph.rs:
+crates/model/src/hstu_bias.rs:
+crates/model/src/jagged.rs:
+crates/model/src/models/mod.rs:
+crates/model/src/models/dhen.rs:
+crates/model/src/models/dlrm.rs:
+crates/model/src/models/hstu.rs:
+crates/model/src/models/llm.rs:
+crates/model/src/models/merge.rs:
+crates/model/src/models/wukong.rs:
+crates/model/src/models/zoo.rs:
+crates/model/src/norm.rs:
+crates/model/src/ops.rs:
+crates/model/src/quant.rs:
+crates/model/src/sparsity.rs:
+crates/model/src/tensor.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mtia_serving-a680136ea3124e6d.d: crates/serving/src/lib.rs crates/serving/src/ab.rs crates/serving/src/allocation.rs crates/serving/src/cluster.rs crates/serving/src/coalescer.rs crates/serving/src/latency.rs crates/serving/src/replayer.rs crates/serving/src/resilience/mod.rs crates/serving/src/resilience/controller.rs crates/serving/src/resilience/device.rs crates/serving/src/resilience/health.rs crates/serving/src/resilience/report.rs crates/serving/src/resilience/retry.rs crates/serving/src/resilience/sim.rs crates/serving/src/scheduler.rs crates/serving/src/traffic.rs
+
+/root/repo/target/debug/deps/mtia_serving-a680136ea3124e6d: crates/serving/src/lib.rs crates/serving/src/ab.rs crates/serving/src/allocation.rs crates/serving/src/cluster.rs crates/serving/src/coalescer.rs crates/serving/src/latency.rs crates/serving/src/replayer.rs crates/serving/src/resilience/mod.rs crates/serving/src/resilience/controller.rs crates/serving/src/resilience/device.rs crates/serving/src/resilience/health.rs crates/serving/src/resilience/report.rs crates/serving/src/resilience/retry.rs crates/serving/src/resilience/sim.rs crates/serving/src/scheduler.rs crates/serving/src/traffic.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/ab.rs:
+crates/serving/src/allocation.rs:
+crates/serving/src/cluster.rs:
+crates/serving/src/coalescer.rs:
+crates/serving/src/latency.rs:
+crates/serving/src/replayer.rs:
+crates/serving/src/resilience/mod.rs:
+crates/serving/src/resilience/controller.rs:
+crates/serving/src/resilience/device.rs:
+crates/serving/src/resilience/health.rs:
+crates/serving/src/resilience/report.rs:
+crates/serving/src/resilience/retry.rs:
+crates/serving/src/resilience/sim.rs:
+crates/serving/src/scheduler.rs:
+crates/serving/src/traffic.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/mtia_serving-be4e701d489faabf.d: crates/serving/src/lib.rs crates/serving/src/ab.rs crates/serving/src/allocation.rs crates/serving/src/cluster.rs crates/serving/src/coalescer.rs crates/serving/src/latency.rs crates/serving/src/replayer.rs crates/serving/src/resilience/mod.rs crates/serving/src/resilience/controller.rs crates/serving/src/resilience/device.rs crates/serving/src/resilience/health.rs crates/serving/src/resilience/report.rs crates/serving/src/resilience/retry.rs crates/serving/src/resilience/sim.rs crates/serving/src/scheduler.rs crates/serving/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmtia_serving-be4e701d489faabf.rmeta: crates/serving/src/lib.rs crates/serving/src/ab.rs crates/serving/src/allocation.rs crates/serving/src/cluster.rs crates/serving/src/coalescer.rs crates/serving/src/latency.rs crates/serving/src/replayer.rs crates/serving/src/resilience/mod.rs crates/serving/src/resilience/controller.rs crates/serving/src/resilience/device.rs crates/serving/src/resilience/health.rs crates/serving/src/resilience/report.rs crates/serving/src/resilience/retry.rs crates/serving/src/resilience/sim.rs crates/serving/src/scheduler.rs crates/serving/src/traffic.rs Cargo.toml
+
+crates/serving/src/lib.rs:
+crates/serving/src/ab.rs:
+crates/serving/src/allocation.rs:
+crates/serving/src/cluster.rs:
+crates/serving/src/coalescer.rs:
+crates/serving/src/latency.rs:
+crates/serving/src/replayer.rs:
+crates/serving/src/resilience/mod.rs:
+crates/serving/src/resilience/controller.rs:
+crates/serving/src/resilience/device.rs:
+crates/serving/src/resilience/health.rs:
+crates/serving/src/resilience/report.rs:
+crates/serving/src/resilience/retry.rs:
+crates/serving/src/resilience/sim.rs:
+crates/serving/src/scheduler.rs:
+crates/serving/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

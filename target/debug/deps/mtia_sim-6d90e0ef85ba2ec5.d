@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mtia_sim-6d90e0ef85ba2ec5.d: crates/sim/src/lib.rs crates/sim/src/chip.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/faults.rs crates/sim/src/gpu.rs crates/sim/src/host.rs crates/sim/src/kernels.rs crates/sim/src/mem/mod.rs crates/sim/src/mem/cache.rs crates/sim/src/mem/lpddr.rs crates/sim/src/mem/sram.rs crates/sim/src/noc.rs crates/sim/src/pe_pipeline.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/mtia_sim-6d90e0ef85ba2ec5: crates/sim/src/lib.rs crates/sim/src/chip.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/faults.rs crates/sim/src/gpu.rs crates/sim/src/host.rs crates/sim/src/kernels.rs crates/sim/src/mem/mod.rs crates/sim/src/mem/cache.rs crates/sim/src/mem/lpddr.rs crates/sim/src/mem/sram.rs crates/sim/src/noc.rs crates/sim/src/pe_pipeline.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/chip.rs:
+crates/sim/src/control.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/gpu.rs:
+crates/sim/src/host.rs:
+crates/sim/src/kernels.rs:
+crates/sim/src/mem/mod.rs:
+crates/sim/src/mem/cache.rs:
+crates/sim/src/mem/lpddr.rs:
+crates/sim/src/mem/sram.rs:
+crates/sim/src/noc.rs:
+crates/sim/src/pe_pipeline.rs:
+crates/sim/src/report.rs:

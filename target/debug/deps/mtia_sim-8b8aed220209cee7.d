@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/mtia_sim-8b8aed220209cee7.d: crates/sim/src/lib.rs crates/sim/src/chip.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/faults.rs crates/sim/src/gpu.rs crates/sim/src/host.rs crates/sim/src/kernels.rs crates/sim/src/mem/mod.rs crates/sim/src/mem/cache.rs crates/sim/src/mem/lpddr.rs crates/sim/src/mem/sram.rs crates/sim/src/noc.rs crates/sim/src/pe_pipeline.rs crates/sim/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmtia_sim-8b8aed220209cee7.rmeta: crates/sim/src/lib.rs crates/sim/src/chip.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/faults.rs crates/sim/src/gpu.rs crates/sim/src/host.rs crates/sim/src/kernels.rs crates/sim/src/mem/mod.rs crates/sim/src/mem/cache.rs crates/sim/src/mem/lpddr.rs crates/sim/src/mem/sram.rs crates/sim/src/noc.rs crates/sim/src/pe_pipeline.rs crates/sim/src/report.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/chip.rs:
+crates/sim/src/control.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/gpu.rs:
+crates/sim/src/host.rs:
+crates/sim/src/kernels.rs:
+crates/sim/src/mem/mod.rs:
+crates/sim/src/mem/cache.rs:
+crates/sim/src/mem/lpddr.rs:
+crates/sim/src/mem/sram.rs:
+crates/sim/src/noc.rs:
+crates/sim/src/pe_pipeline.rs:
+crates/sim/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-628a79a80cdb03c0.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-628a79a80cdb03c0: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c08018296468080f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c08018296468080f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

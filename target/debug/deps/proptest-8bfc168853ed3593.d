@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-8bfc168853ed3593.d: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-8bfc168853ed3593: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/arbitrary.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:

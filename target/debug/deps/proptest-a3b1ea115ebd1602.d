@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-a3b1ea115ebd1602.d: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-a3b1ea115ebd1602.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/arbitrary.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-d23e8495e4677b47.d: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-d23e8495e4677b47.rlib: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-d23e8495e4677b47.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/arbitrary.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:

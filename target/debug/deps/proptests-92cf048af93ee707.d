@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-92cf048af93ee707.d: crates/model/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-92cf048af93ee707: crates/model/tests/proptests.rs
+
+crates/model/tests/proptests.rs:

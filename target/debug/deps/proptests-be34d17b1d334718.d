@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-be34d17b1d334718.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-be34d17b1d334718: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

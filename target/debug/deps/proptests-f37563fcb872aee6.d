@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f37563fcb872aee6.d: crates/model/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f37563fcb872aee6.rmeta: crates/model/tests/proptests.rs Cargo.toml
+
+crates/model/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

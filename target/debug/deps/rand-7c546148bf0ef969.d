@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rand-7c546148bf0ef969.d: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-7c546148bf0ef969.rmeta: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs Cargo.toml
+
+third_party/rand/src/lib.rs:
+third_party/rand/src/distributions.rs:
+third_party/rand/src/rngs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-9053adc6d2c264ec.d: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-9053adc6d2c264ec.rlib: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-9053adc6d2c264ec.rmeta: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs
+
+third_party/rand/src/lib.rs:
+third_party/rand/src/distributions.rs:
+third_party/rand/src/rngs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e34d16929de835b2.d: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/rand-e34d16929de835b2: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs
+
+third_party/rand/src/lib.rs:
+third_party/rand/src/distributions.rs:
+third_party/rand/src/rngs.rs:

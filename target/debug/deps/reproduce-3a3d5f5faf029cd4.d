@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-3a3d5f5faf029cd4.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-3a3d5f5faf029cd4: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-ef9e2f27696fbe9f.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-ef9e2f27696fbe9f: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

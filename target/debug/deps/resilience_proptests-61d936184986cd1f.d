@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_proptests-61d936184986cd1f.d: crates/serving/tests/resilience_proptests.rs
+
+/root/repo/target/debug/deps/resilience_proptests-61d936184986cd1f: crates/serving/tests/resilience_proptests.rs
+
+crates/serving/tests/resilience_proptests.rs:

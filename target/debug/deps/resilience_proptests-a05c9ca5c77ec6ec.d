@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience_proptests-a05c9ca5c77ec6ec.d: crates/serving/tests/resilience_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience_proptests-a05c9ca5c77ec6ec.rmeta: crates/serving/tests/resilience_proptests.rs Cargo.toml
+
+crates/serving/tests/resilience_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

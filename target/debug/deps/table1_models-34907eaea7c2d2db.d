@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_models-34907eaea7c2d2db.d: crates/bench/benches/table1_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_models-34907eaea7c2d2db.rmeta: crates/bench/benches/table1_models.rs Cargo.toml
+
+crates/bench/benches/table1_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

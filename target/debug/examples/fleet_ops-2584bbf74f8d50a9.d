@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_ops-2584bbf74f8d50a9.d: examples/fleet_ops.rs
+
+/root/repo/target/debug/examples/fleet_ops-2584bbf74f8d50a9: examples/fleet_ops.rs
+
+examples/fleet_ops.rs:

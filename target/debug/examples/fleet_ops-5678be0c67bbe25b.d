@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_ops-5678be0c67bbe25b.d: examples/fleet_ops.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_ops-5678be0c67bbe25b.rmeta: examples/fleet_ops.rs Cargo.toml
+
+examples/fleet_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_ops-58c77c93de08f4c7.d: examples/fleet_ops.rs
+
+/root/repo/target/debug/examples/fleet_ops-58c77c93de08f4c7: examples/fleet_ops.rs
+
+examples/fleet_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/llm_on_mtia-4b3017f74ee6c707.d: examples/llm_on_mtia.rs Cargo.toml
+
+/root/repo/target/debug/examples/libllm_on_mtia-4b3017f74ee6c707.rmeta: examples/llm_on_mtia.rs Cargo.toml
+
+examples/llm_on_mtia.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llm_on_mtia-9c348de36eeb50bb.d: examples/llm_on_mtia.rs
+
+/root/repo/target/debug/examples/llm_on_mtia-9c348de36eeb50bb: examples/llm_on_mtia.rs
+
+examples/llm_on_mtia.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llm_on_mtia-ce87808e11b47d56.d: examples/llm_on_mtia.rs
+
+/root/repo/target/debug/examples/llm_on_mtia-ce87808e11b47d56: examples/llm_on_mtia.rs
+
+examples/llm_on_mtia.rs:

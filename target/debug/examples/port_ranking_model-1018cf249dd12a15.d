@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/port_ranking_model-1018cf249dd12a15.d: examples/port_ranking_model.rs
+
+/root/repo/target/debug/examples/port_ranking_model-1018cf249dd12a15: examples/port_ranking_model.rs
+
+examples/port_ranking_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/port_ranking_model-3d3d1870aebffe83.d: examples/port_ranking_model.rs
+
+/root/repo/target/debug/examples/port_ranking_model-3d3d1870aebffe83: examples/port_ranking_model.rs
+
+examples/port_ranking_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/port_ranking_model-5802cf9ca3229200.d: examples/port_ranking_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libport_ranking_model-5802cf9ca3229200.rmeta: examples/port_ranking_model.rs Cargo.toml
+
+examples/port_ranking_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-39f7f67af9dd87db.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-39f7f67af9dd87db: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e0eab467846ef4bb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e0eab467846ef4bb: examples/quickstart.rs
+
+examples/quickstart.rs:

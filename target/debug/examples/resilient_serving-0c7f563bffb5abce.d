@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilient_serving-0c7f563bffb5abce.d: examples/resilient_serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilient_serving-0c7f563bffb5abce.rmeta: examples/resilient_serving.rs Cargo.toml
+
+examples/resilient_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

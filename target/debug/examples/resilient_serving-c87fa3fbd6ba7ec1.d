@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_serving-c87fa3fbd6ba7ec1.d: examples/resilient_serving.rs
+
+/root/repo/target/debug/examples/resilient_serving-c87fa3fbd6ba7ec1: examples/resilient_serving.rs
+
+examples/resilient_serving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_frontier-624b9c429854fa0d.d: examples/scaling_frontier.rs
+
+/root/repo/target/debug/examples/scaling_frontier-624b9c429854fa0d: examples/scaling_frontier.rs
+
+examples/scaling_frontier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_frontier-6c9462c4c95788cc.d: examples/scaling_frontier.rs
+
+/root/repo/target/debug/examples/scaling_frontier-6c9462c4c95788cc: examples/scaling_frontier.rs
+
+examples/scaling_frontier.rs:

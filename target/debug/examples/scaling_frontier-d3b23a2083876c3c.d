@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling_frontier-d3b23a2083876c3c.d: examples/scaling_frontier.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling_frontier-d3b23a2083876c3c.rmeta: examples/scaling_frontier.rs Cargo.toml
+
+examples/scaling_frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

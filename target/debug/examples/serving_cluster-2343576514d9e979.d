@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serving_cluster-2343576514d9e979.d: examples/serving_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserving_cluster-2343576514d9e979.rmeta: examples/serving_cluster.rs Cargo.toml
+
+examples/serving_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

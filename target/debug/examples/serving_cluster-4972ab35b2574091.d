@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving_cluster-4972ab35b2574091.d: examples/serving_cluster.rs
+
+/root/repo/target/debug/examples/serving_cluster-4972ab35b2574091: examples/serving_cluster.rs
+
+examples/serving_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving_cluster-507bd50f49346f28.d: examples/serving_cluster.rs
+
+/root/repo/target/debug/examples/serving_cluster-507bd50f49346f28: examples/serving_cluster.rs
+
+examples/serving_cluster.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9d99407f14b134cc.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9d99407f14b134cc.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9d99407f14b134cc.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mtia-3190d31a0f8b1a8a.d: src/lib.rs
+
+/root/repo/target/release/deps/libmtia-3190d31a0f8b1a8a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmtia-3190d31a0f8b1a8a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mtia-42cfe7c68b9e133a.d: src/lib.rs
+
+/root/repo/target/release/deps/libmtia-42cfe7c68b9e133a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmtia-42cfe7c68b9e133a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mtia_autotune-c5877b5200f14e63.d: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs
+
+/root/repo/target/release/deps/libmtia_autotune-c5877b5200f14e63.rlib: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs
+
+/root/repo/target/release/deps/libmtia_autotune-c5877b5200f14e63.rmeta: crates/autotune/src/lib.rs crates/autotune/src/batch.rs crates/autotune/src/coalescing.rs crates/autotune/src/data_placement.rs crates/autotune/src/pipeline.rs crates/autotune/src/sharding.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/batch.rs:
+crates/autotune/src/coalescing.rs:
+crates/autotune/src/data_placement.rs:
+crates/autotune/src/pipeline.rs:
+crates/autotune/src/sharding.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mtia_core-28d46c44550c86f5.d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libmtia_core-28d46c44550c86f5.rlib: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libmtia_core-28d46c44550c86f5.rmeta: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/dtype.rs crates/core/src/error.rs crates/core/src/power.rs crates/core/src/seed.rs crates/core/src/spec.rs crates/core/src/tco.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calib.rs:
+crates/core/src/dtype.rs:
+crates/core/src/error.rs:
+crates/core/src/power.rs:
+crates/core/src/seed.rs:
+crates/core/src/spec.rs:
+crates/core/src/tco.rs:
+crates/core/src/units.rs:

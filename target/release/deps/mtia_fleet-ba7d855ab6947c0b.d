@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mtia_fleet-ba7d855ab6947c0b.d: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs crates/fleet/src/rollout_serving.rs
+
+/root/repo/target/release/deps/libmtia_fleet-ba7d855ab6947c0b.rlib: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs crates/fleet/src/rollout_serving.rs
+
+/root/repo/target/release/deps/libmtia_fleet-ba7d855ab6947c0b.rmeta: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs crates/fleet/src/rollout_serving.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/cd.rs:
+crates/fleet/src/chipsize.rs:
+crates/fleet/src/firmware.rs:
+crates/fleet/src/memerr.rs:
+crates/fleet/src/overclock.rs:
+crates/fleet/src/power.rs:
+crates/fleet/src/rollout_serving.rs:

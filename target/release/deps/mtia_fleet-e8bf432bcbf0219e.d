@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mtia_fleet-e8bf432bcbf0219e.d: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs
+
+/root/repo/target/release/deps/libmtia_fleet-e8bf432bcbf0219e.rlib: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs
+
+/root/repo/target/release/deps/libmtia_fleet-e8bf432bcbf0219e.rmeta: crates/fleet/src/lib.rs crates/fleet/src/cd.rs crates/fleet/src/chipsize.rs crates/fleet/src/firmware.rs crates/fleet/src/memerr.rs crates/fleet/src/overclock.rs crates/fleet/src/power.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/cd.rs:
+crates/fleet/src/chipsize.rs:
+crates/fleet/src/firmware.rs:
+crates/fleet/src/memerr.rs:
+crates/fleet/src/overclock.rs:
+crates/fleet/src/power.rs:

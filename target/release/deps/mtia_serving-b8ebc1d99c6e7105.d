@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/mtia_serving-b8ebc1d99c6e7105.d: crates/serving/src/lib.rs crates/serving/src/ab.rs crates/serving/src/allocation.rs crates/serving/src/cluster.rs crates/serving/src/coalescer.rs crates/serving/src/latency.rs crates/serving/src/replayer.rs crates/serving/src/resilience/mod.rs crates/serving/src/resilience/controller.rs crates/serving/src/resilience/device.rs crates/serving/src/resilience/health.rs crates/serving/src/resilience/report.rs crates/serving/src/resilience/retry.rs crates/serving/src/resilience/sim.rs crates/serving/src/scheduler.rs crates/serving/src/traffic.rs
+
+/root/repo/target/release/deps/libmtia_serving-b8ebc1d99c6e7105.rlib: crates/serving/src/lib.rs crates/serving/src/ab.rs crates/serving/src/allocation.rs crates/serving/src/cluster.rs crates/serving/src/coalescer.rs crates/serving/src/latency.rs crates/serving/src/replayer.rs crates/serving/src/resilience/mod.rs crates/serving/src/resilience/controller.rs crates/serving/src/resilience/device.rs crates/serving/src/resilience/health.rs crates/serving/src/resilience/report.rs crates/serving/src/resilience/retry.rs crates/serving/src/resilience/sim.rs crates/serving/src/scheduler.rs crates/serving/src/traffic.rs
+
+/root/repo/target/release/deps/libmtia_serving-b8ebc1d99c6e7105.rmeta: crates/serving/src/lib.rs crates/serving/src/ab.rs crates/serving/src/allocation.rs crates/serving/src/cluster.rs crates/serving/src/coalescer.rs crates/serving/src/latency.rs crates/serving/src/replayer.rs crates/serving/src/resilience/mod.rs crates/serving/src/resilience/controller.rs crates/serving/src/resilience/device.rs crates/serving/src/resilience/health.rs crates/serving/src/resilience/report.rs crates/serving/src/resilience/retry.rs crates/serving/src/resilience/sim.rs crates/serving/src/scheduler.rs crates/serving/src/traffic.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/ab.rs:
+crates/serving/src/allocation.rs:
+crates/serving/src/cluster.rs:
+crates/serving/src/coalescer.rs:
+crates/serving/src/latency.rs:
+crates/serving/src/replayer.rs:
+crates/serving/src/resilience/mod.rs:
+crates/serving/src/resilience/controller.rs:
+crates/serving/src/resilience/device.rs:
+crates/serving/src/resilience/health.rs:
+crates/serving/src/resilience/report.rs:
+crates/serving/src/resilience/retry.rs:
+crates/serving/src/resilience/sim.rs:
+crates/serving/src/scheduler.rs:
+crates/serving/src/traffic.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/mtia_sim-d98342151ed41e76.d: crates/sim/src/lib.rs crates/sim/src/chip.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/faults.rs crates/sim/src/gpu.rs crates/sim/src/host.rs crates/sim/src/kernels.rs crates/sim/src/mem/mod.rs crates/sim/src/mem/cache.rs crates/sim/src/mem/lpddr.rs crates/sim/src/mem/sram.rs crates/sim/src/noc.rs crates/sim/src/pe_pipeline.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libmtia_sim-d98342151ed41e76.rlib: crates/sim/src/lib.rs crates/sim/src/chip.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/faults.rs crates/sim/src/gpu.rs crates/sim/src/host.rs crates/sim/src/kernels.rs crates/sim/src/mem/mod.rs crates/sim/src/mem/cache.rs crates/sim/src/mem/lpddr.rs crates/sim/src/mem/sram.rs crates/sim/src/noc.rs crates/sim/src/pe_pipeline.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libmtia_sim-d98342151ed41e76.rmeta: crates/sim/src/lib.rs crates/sim/src/chip.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/faults.rs crates/sim/src/gpu.rs crates/sim/src/host.rs crates/sim/src/kernels.rs crates/sim/src/mem/mod.rs crates/sim/src/mem/cache.rs crates/sim/src/mem/lpddr.rs crates/sim/src/mem/sram.rs crates/sim/src/noc.rs crates/sim/src/pe_pipeline.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/chip.rs:
+crates/sim/src/control.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/gpu.rs:
+crates/sim/src/host.rs:
+crates/sim/src/kernels.rs:
+crates/sim/src/mem/mod.rs:
+crates/sim/src/mem/cache.rs:
+crates/sim/src/mem/lpddr.rs:
+crates/sim/src/mem/sram.rs:
+crates/sim/src/noc.rs:
+crates/sim/src/pe_pipeline.rs:
+crates/sim/src/report.rs:

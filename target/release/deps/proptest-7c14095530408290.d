@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-7c14095530408290.d: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-7c14095530408290.rlib: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-7c14095530408290.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/arbitrary.rs third_party/proptest/src/collection.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/arbitrary.rs:
+third_party/proptest/src/collection.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-93c7f899daeca88a.d: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-93c7f899daeca88a.rlib: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-93c7f899daeca88a.rmeta: third_party/rand/src/lib.rs third_party/rand/src/distributions.rs third_party/rand/src/rngs.rs
+
+third_party/rand/src/lib.rs:
+third_party/rand/src/distributions.rs:
+third_party/rand/src/rngs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-704750925342515a.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-704750925342515a: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

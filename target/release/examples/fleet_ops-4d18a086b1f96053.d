@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_ops-4d18a086b1f96053.d: examples/fleet_ops.rs
+
+/root/repo/target/release/examples/fleet_ops-4d18a086b1f96053: examples/fleet_ops.rs
+
+examples/fleet_ops.rs:

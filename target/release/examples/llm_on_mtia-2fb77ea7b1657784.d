@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/llm_on_mtia-2fb77ea7b1657784.d: examples/llm_on_mtia.rs
+
+/root/repo/target/release/examples/llm_on_mtia-2fb77ea7b1657784: examples/llm_on_mtia.rs
+
+examples/llm_on_mtia.rs:

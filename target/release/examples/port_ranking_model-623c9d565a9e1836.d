@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/port_ranking_model-623c9d565a9e1836.d: examples/port_ranking_model.rs
+
+/root/repo/target/release/examples/port_ranking_model-623c9d565a9e1836: examples/port_ranking_model.rs
+
+examples/port_ranking_model.rs:

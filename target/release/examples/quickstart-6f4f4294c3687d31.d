@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6f4f4294c3687d31.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6f4f4294c3687d31: examples/quickstart.rs
+
+examples/quickstart.rs:

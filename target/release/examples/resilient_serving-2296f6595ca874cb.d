@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resilient_serving-2296f6595ca874cb.d: examples/resilient_serving.rs
+
+/root/repo/target/release/examples/resilient_serving-2296f6595ca874cb: examples/resilient_serving.rs
+
+examples/resilient_serving.rs:

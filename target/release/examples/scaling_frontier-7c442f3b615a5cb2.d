@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_frontier-7c442f3b615a5cb2.d: examples/scaling_frontier.rs
+
+/root/repo/target/release/examples/scaling_frontier-7c442f3b615a5cb2: examples/scaling_frontier.rs
+
+examples/scaling_frontier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serving_cluster-f7f73b18a50d7c52.d: examples/serving_cluster.rs
+
+/root/repo/target/release/examples/serving_cluster-f7f73b18a50d7c52: examples/serving_cluster.rs
+
+examples/serving_cluster.rs:

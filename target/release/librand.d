@@ -1,0 +1,1 @@
+/root/repo/target/release/librand.rlib: /root/repo/third_party/rand/src/distributions.rs /root/repo/third_party/rand/src/lib.rs /root/repo/third_party/rand/src/rngs.rs

@@ -54,7 +54,11 @@ fn llm_prefill_passes_decode_fails() {
     for cfg in [LlmConfig::llama2_7b(), LlmConfig::llama3_8b()] {
         let prefill = sim.run_optimized(&cfg.prefill_graph(512)).total_time();
         let decode = sim.run_optimized(&cfg.decode_step_graph(512)).total_time();
-        assert!(prefill <= SimTime::from_millis(600), "{}: {prefill}", cfg.name);
+        assert!(
+            prefill <= SimTime::from_millis(600),
+            "{}: {prefill}",
+            cfg.name
+        );
         assert!(decode > SimTime::from_millis(60), "{}: {decode}", cfg.name);
     }
 }
@@ -65,12 +69,16 @@ fn llm_prefill_passes_decode_fails() {
 fn ecc_penalty_and_survey() {
     let chip = chips::mtia2i();
     let raw = chip.effective_dram_bw(EccMode::Disabled).as_bytes_per_s();
-    let ecc = chip.effective_dram_bw(EccMode::ControllerEcc).as_bytes_per_s();
+    let ecc = chip
+        .effective_dram_bw(EccMode::ControllerEcc)
+        .as_bytes_per_s();
     let penalty = 1.0 - ecc / raw;
     assert!((0.10..=0.15).contains(&penalty));
 
+    use mtia::core::seed::{derive, DEFAULT_SEED};
     use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng =
+        rand::rngs::StdRng::seed_from_u64(derive(DEFAULT_SEED, "paper-claims/memerr-survey"));
     let survey = mtia::fleet::memerr::run_survey(1700, &mut rng);
     assert!((survey.affected_rate - 0.24).abs() < 0.04);
 }
@@ -93,8 +101,16 @@ fn sram_hit_rate_bands() {
     let models = zoo::fig6_models();
     let lc1 = &models[0];
     let r = sim.run_optimized(&lc1.graph());
-    assert!(r.tbe_hit_rate > 0.35 && r.tbe_hit_rate < 0.65, "{}", r.tbe_hit_rate);
-    assert!(r.dense_sram_hit_rate() > 0.95, "{}", r.dense_sram_hit_rate());
+    assert!(
+        r.tbe_hit_rate > 0.35 && r.tbe_hit_rate < 0.65,
+        "{}",
+        r.tbe_hit_rate
+    );
+    assert!(
+        r.dense_sram_hit_rate() > 0.95,
+        "{}",
+        r.dense_sram_hit_rate()
+    );
 }
 
 /// Table 2 cross-check: the derived peaks match the published

@@ -1,0 +1,76 @@
+//! `any::<T>()`: full-domain strategies for primitives.
+
+use core::fmt::Debug;
+use core::marker::PhantomData;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(PhantomData<A>);
+
+/// Full-domain strategy for `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_prim {
+    ($($t:ty),+ $(,)?) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        })+
+    };
+}
+
+arbitrary_prim!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f32 {
+    /// Arbitrary bit patterns — includes subnormals, infinities, and NaN,
+    /// like upstream proptest's special-value bias.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.gen())
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Arbitrary bit patterns — includes subnormals, infinities, and NaN.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u32_covers_high_bits() {
+        let mut rng = TestRng::for_test("coverage");
+        let strat = any::<u32>();
+        let mut high = false;
+        for _ in 0..64 {
+            if strat.new_value(&mut rng) > u32::MAX / 2 {
+                high = true;
+            }
+        }
+        assert!(high, "full-domain u32 should hit the upper half");
+    }
+}

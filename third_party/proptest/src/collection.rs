@@ -1,0 +1,82 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use core::fmt::Debug;
+use core::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length bounds for generated collections.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `Vec` strategy with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.size.min + 1 == self.size.max {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max)
+        };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn vec_respects_bounds_and_varies() {
+        let mut rng = TestRng::for_test("vec");
+        let strat = vec(any::<u8>(), 0..9);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!(v.len() < 9);
+            lens.insert(v.len());
+        }
+        assert!(lens.len() > 4, "lengths should vary: {lens:?}");
+    }
+}

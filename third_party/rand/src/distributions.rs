@@ -1,0 +1,254 @@
+//! Distributions: `Standard`, `Uniform`, and the uniform-sampling traits.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: uniform over the full integer
+/// domain, uniform `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),+ $(,)?) => {
+        $(impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        <Standard as Distribution<u128>>::sample(self, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform on `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A uniform distribution over a fixed interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: uniform::SampleUniform + Copy + PartialOrd> Uniform<T> {
+    /// Uniform over the half-open interval `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new called with empty range");
+        Uniform { low, high }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(
+            low <= high,
+            "Uniform::new_inclusive called with empty range"
+        );
+        Uniform { low, high }
+    }
+}
+
+impl<T: uniform::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(self.low, self.high, rng)
+    }
+}
+
+/// Uniform-sampling plumbing, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use crate::RngCore;
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// One draw from `[low, high)`.
+        fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// One draw from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Range forms accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + Copy + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range called with empty range");
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + Copy + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range called with empty range");
+            T::sample_inclusive(lo, hi, rng)
+        }
+    }
+
+    /// Draws uniformly from `[0, span]` (inclusive) without modulo bias.
+    fn draw_u64_span<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        let buckets = span + 1;
+        // 2^64 mod buckets, computed without overflowing u64.
+        let rem = (u64::MAX % buckets + 1) % buckets;
+        if rem == 0 {
+            return rng.next_u64() % buckets;
+        }
+        // Accept draws below 2^64 - rem: a whole number of buckets.
+        let threshold = u64::MAX - rem + 1;
+        loop {
+            let v = rng.next_u64();
+            if v < threshold {
+                return v % buckets;
+            }
+        }
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),+ $(,)?) => {
+            $(impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let span = (high as u64) - (low as u64) - 1;
+                    low + draw_u64_span(span, rng) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let span = (high as u64) - (low as u64);
+                    low + draw_u64_span(span, rng) as $t
+                }
+            })+
+        };
+    }
+
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty : $u:ty),+ $(,)?) => {
+            $(impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let span = (high as $u).wrapping_sub(low as $u) as u64 - 1;
+                    low.wrapping_add(draw_u64_span(span, rng) as $t)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let span = (high as $u).wrapping_sub(low as $u) as u64;
+                    low.wrapping_add(draw_u64_span(span, rng) as $t)
+                }
+            })+
+        };
+    }
+
+    uniform_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),+ $(,)?) => {
+            $(impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let u: f64 = crate::Distribution::<f64>::sample(&crate::Standard, rng);
+                    let v = low as f64 + u * (high as f64 - low as f64);
+                    // Float rounding can land exactly on `high`
+                    // (probability ~0); fold that mass onto `low`.
+                    let v = v as $t;
+                    if v >= high { low } else { v }
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let u: f64 = crate::Distribution::<f64>::sample(&crate::Standard, rng);
+                    let v = (low as f64 + u * (high as f64 - low as f64)) as $t;
+                    v.clamp(low, high)
+                }
+            })+
+        };
+    }
+
+    uniform_float!(f32, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_distribution_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let d = Uniform::new(0.0f64, 1.0f64);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = Uniform::new(10.0f64, 20.0f64);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 15.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn integer_ranges_are_unbiased_enough() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.gen_range(0usize..7)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn negative_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(-100..-50);
+            assert!((-100..-50).contains(&v));
+        }
+    }
+}
