@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-1c955f9add80d55c.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-1c955f9add80d55c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-b34e25c2a161b487.d: tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-b34e25c2a161b487: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mtia-f3f8ecee83bea67d.d: src/lib.rs
+
+/root/repo/target/release/deps/mtia-f3f8ecee83bea67d: src/lib.rs
+
+src/lib.rs:

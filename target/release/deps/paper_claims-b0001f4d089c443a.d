@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-b0001f4d089c443a.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-b0001f4d089c443a: tests/paper_claims.rs
+
+tests/paper_claims.rs:
