@@ -1,0 +1,5 @@
+//! `cargo bench --bench e19_sdc_defense` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::sdc_exps::e19_sdc_defense().print();
+}

@@ -15,6 +15,7 @@ pub mod frontier;
 pub mod llm;
 pub mod locality;
 pub mod quant;
+pub mod sdc_exps;
 pub mod tables;
 pub mod tuning;
 
@@ -46,5 +47,6 @@ pub fn run_all() -> Vec<ExperimentReport> {
         quant::e16_compression(),
         frontier::run(),
         ablations::run(),
+        sdc_exps::e19_sdc_defense(),
     ]
 }

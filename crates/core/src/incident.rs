@@ -1,0 +1,134 @@
+//! Silent-data-corruption incident vocabulary (§5.1, productionized).
+//!
+//! The paper's memory-error study established *that* LPDDR bit flips
+//! corrupt outputs; the online defense layers (`mtia-serving::sdc`,
+//! `mtia-fleet::quarantine`) turn each suspicious observation into an
+//! [`SdcIncident`] so detection recall, false positives, and latency can
+//! be accounted per detection mechanism. The types live here, below every
+//! behavioural crate, because model, serving, fleet, and bench all speak
+//! them.
+
+use std::fmt;
+
+use crate::units::SimTime;
+
+/// Which defense mechanism raised an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DetectionMethod {
+    /// A per-embedding-row checksum failed on read.
+    RowChecksum,
+    /// A TBE index escaped its table's valid row range.
+    IndexBounds,
+    /// The end-to-end checksum over a request's staged index stream
+    /// disagreed with the checksum attached at submission.
+    IndexStreamChecksum,
+    /// A dense-layer output contained NaN/Inf or exceeded its calibrated
+    /// range bound.
+    OutputGuard,
+    /// A periodic canary request's output fingerprint diverged from the
+    /// device's golden fingerprint.
+    CanaryFingerprint,
+    /// Shadow re-execution on a second device produced a different
+    /// output fingerprint for the same request.
+    ShadowVote,
+}
+
+impl DetectionMethod {
+    /// All methods, in escalation order (cheap inline guards first).
+    pub const ALL: [DetectionMethod; 6] = [
+        DetectionMethod::RowChecksum,
+        DetectionMethod::IndexBounds,
+        DetectionMethod::IndexStreamChecksum,
+        DetectionMethod::OutputGuard,
+        DetectionMethod::CanaryFingerprint,
+        DetectionMethod::ShadowVote,
+    ];
+
+    /// Whether the method runs inline on the serving path (as opposed to
+    /// the periodic/reactive canary and shadow mechanisms).
+    pub fn is_inline_guard(self) -> bool {
+        matches!(
+            self,
+            DetectionMethod::RowChecksum
+                | DetectionMethod::IndexBounds
+                | DetectionMethod::IndexStreamChecksum
+                | DetectionMethod::OutputGuard
+        )
+    }
+}
+
+impl fmt::Display for DetectionMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DetectionMethod::RowChecksum => "row-checksum",
+            DetectionMethod::IndexBounds => "index-bounds",
+            DetectionMethod::IndexStreamChecksum => "index-stream-checksum",
+            DetectionMethod::OutputGuard => "output-guard",
+            DetectionMethod::CanaryFingerprint => "canary-fingerprint",
+            DetectionMethod::ShadowVote => "shadow-vote",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One suspicious observation on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdcIncident {
+    /// When the defense mechanism fired.
+    pub at: SimTime,
+    /// Fleet index of the suspect device.
+    pub device: u32,
+    /// Which mechanism fired.
+    pub method: DetectionMethod,
+    /// Whether the device actually carried an active corruption at the
+    /// time (ground truth from the injector; `false` marks a false
+    /// positive).
+    pub genuine: bool,
+}
+
+impl fmt::Display for SdcIncident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] device {} {}{}",
+            self.at,
+            self.device,
+            self.method,
+            if self.genuine {
+                ""
+            } else {
+                " (false positive)"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_split_matches_escalation_order() {
+        let inline: Vec<_> = DetectionMethod::ALL
+            .iter()
+            .filter(|m| m.is_inline_guard())
+            .collect();
+        assert_eq!(inline.len(), 4);
+        assert!(!DetectionMethod::CanaryFingerprint.is_inline_guard());
+        assert!(!DetectionMethod::ShadowVote.is_inline_guard());
+    }
+
+    #[test]
+    fn incident_display_marks_false_positives() {
+        let i = SdcIncident {
+            at: SimTime::from_millis(5),
+            device: 3,
+            method: DetectionMethod::OutputGuard,
+            genuine: false,
+        };
+        let s = i.to_string();
+        assert!(s.contains("device 3"));
+        assert!(s.contains("output-guard"));
+        assert!(s.contains("false positive"));
+    }
+}

@@ -26,6 +26,7 @@
 pub mod calib;
 pub mod dtype;
 pub mod error;
+pub mod incident;
 pub mod power;
 pub mod seed;
 pub mod spec;
@@ -34,5 +35,6 @@ pub mod units;
 
 pub use dtype::DType;
 pub use error::ConfigError;
+pub use incident::{DetectionMethod, SdcIncident};
 pub use spec::{ChipFeature, ChipSpec, EccMode, GpuSpec, ServerSpec};
 pub use units::{Bandwidth, Bytes, CostUnits, FlopCount, FlopRate, Hertz, Joules, SimTime, Watts};

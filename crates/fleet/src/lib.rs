@@ -24,6 +24,7 @@ pub mod firmware;
 pub mod memerr;
 pub mod overclock;
 pub mod power;
+pub mod quarantine;
 pub mod rollout_serving;
 
 pub use cd::{simulate_year, CdConfig, YearReport};
@@ -32,6 +33,10 @@ pub use firmware::{simulate_rollout, FirmwareBundle, Rollout, RolloutOutcome};
 pub use memerr::{evaluate_mitigations, run_sensitivity, run_survey, Mitigation};
 pub use overclock::{run_study, OverclockStudy, SiliconMargin};
 pub use power::{initial_rack_budget, PowerStudy, RackConfig};
+pub use quarantine::{
+    run_defended_fleet, DefendedFleetReport, DeviceRepairLog, QuarantineConfig, QuarantineManager,
+    RepairState,
+};
 pub use rollout_serving::{
     maintenance_schedule, simulate_rollout_serving, RolloutServingConfig, RolloutServingReport,
 };

@@ -1,0 +1,403 @@
+//! Fleet quarantine/repair workflow for SDC-suspect devices (§5.1).
+//!
+//! `mtia-serving::sdc` raises per-device suspicion from inline guards,
+//! canary fingerprints, and shadow votes; when a device crosses the
+//! quarantine threshold the serving loop hands it here. The workflow is
+//! a small, strictly-ordered repair state machine layered *on top of*
+//! the PR-1 health machine (which handles the drain):
+//!
+//! ```text
+//!   InService → Quarantined → MemTest → InService   (repaired, probation)
+//!                                   └──→ Retired    (fault budget spent)
+//! ```
+//!
+//! The **only** paths out of `Quarantined` run through `MemTest` — a
+//! property test pins this. The targeted memtest scrubs the device's
+//! checksummed tables and pattern-tests its staging/scratch words,
+//! scanning regions in descending §5.1 sensitivity order (reusing
+//! [`crate::memerr::run_sensitivity`]'s measured failure rates), then
+//! reloads corrupted state from the host's golden copy. Devices whose
+//! lifetime fault count exhausts the budget are retired instead of
+//! returned.
+
+use std::collections::BTreeMap;
+
+use mtia_core::seed::derive;
+use mtia_core::SimTime;
+use mtia_model::error_inject::InjectionTarget;
+use mtia_serving::sdc::{
+    run_sdc_sim, DetectionPolicy, DeviceImage, QuarantineDecision, QuarantineHandler,
+    QuarantineRequest, SdcReport, SdcSimConfig,
+};
+use mtia_sim::faults::{FaultPlan, FaultPlanConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::memerr::{run_sensitivity, SensitivityReport};
+
+/// The repair lifecycle a suspect device walks through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RepairState {
+    /// Serving traffic (possibly on health-machine probation).
+    InService,
+    /// Pulled from dispatch; draining through the health machine.
+    Quarantined,
+    /// Running the targeted memtest + golden reload.
+    MemTest,
+    /// Permanently removed from the fleet.
+    Retired,
+}
+
+impl RepairState {
+    /// The legal transition relation. `Quarantined` has exactly one exit
+    /// (`MemTest`), and `MemTest` decides between return and retirement;
+    /// there is no other way out and `Retired` is absorbing.
+    pub fn legal(from: RepairState, to: RepairState) -> bool {
+        use RepairState::*;
+        matches!(
+            (from, to),
+            (InService, Quarantined)
+                | (Quarantined, MemTest)
+                | (MemTest, InService)
+                | (MemTest, Retired)
+        )
+    }
+}
+
+/// Timing and budget knobs for the quarantine workflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantineConfig {
+    /// Drain time before the memtest can start (in-flight work and
+    /// buffers flushing through the health machine).
+    pub drain_time: SimTime,
+    /// Targeted memtest duration (scrub + pattern test).
+    pub memtest_time: SimTime,
+    /// Golden-image reload time when the memtest found corruption.
+    pub reload_time: SimTime,
+    /// Lifetime memtest faults at or above which a device is retired.
+    pub retire_after_faults: usize,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            drain_time: SimTime::from_millis(5),
+            memtest_time: SimTime::from_millis(10),
+            reload_time: SimTime::from_millis(5),
+            retire_after_faults: 12,
+        }
+    }
+}
+
+/// One device's repair history.
+#[derive(Debug, Clone)]
+pub struct DeviceRepairLog {
+    /// Current repair state.
+    pub state: RepairState,
+    /// `(time, from, to)` log of every repair transition.
+    pub transitions: Vec<(SimTime, RepairState, RepairState)>,
+    /// Total faults found across all memtests.
+    pub lifetime_faults: usize,
+    /// Quarantine entries.
+    pub quarantines: u32,
+}
+
+impl DeviceRepairLog {
+    fn new() -> Self {
+        DeviceRepairLog {
+            state: RepairState::InService,
+            transitions: Vec::new(),
+            lifetime_faults: 0,
+            quarantines: 0,
+        }
+    }
+
+    fn transition(&mut self, to: RepairState, at: SimTime) {
+        assert!(
+            RepairState::legal(self.state, to),
+            "illegal repair transition {:?} → {to:?}",
+            self.state
+        );
+        self.transitions.push((at, self.state, to));
+        self.state = to;
+    }
+}
+
+/// The fleet-side implementation of the serving loop's
+/// [`QuarantineHandler`]: drain → targeted memtest (in sensitivity
+/// order) → golden reload → release on probation, or retire.
+#[derive(Debug, Clone)]
+pub struct QuarantineManager {
+    config: QuarantineConfig,
+    /// §5.1 per-region failure rates, used to order the memtest scan.
+    sensitivity: SensitivityReport,
+    logs: BTreeMap<u32, DeviceRepairLog>,
+}
+
+impl QuarantineManager {
+    /// A manager with the given knobs. The memtest scan order comes from
+    /// a seeded [`run_sensitivity`] campaign (most failure-prone §5.1
+    /// region first).
+    pub fn new(config: QuarantineConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(derive(seed, "quarantine/sensitivity"));
+        QuarantineManager {
+            config,
+            sensitivity: run_sensitivity(64, &mut rng),
+            logs: BTreeMap::new(),
+        }
+    }
+
+    /// Memtest scan order: §5.1 regions sorted by measured failure rate,
+    /// descending — the regions most likely to corrupt outputs are
+    /// scrubbed first.
+    pub fn scan_order(&self) -> Vec<InjectionTarget> {
+        let mut regions = [
+            InjectionTarget::EmbeddingRows,
+            InjectionTarget::TbeIndices,
+            InjectionTarget::DenseWeights,
+            InjectionTarget::Activations,
+        ];
+        regions.sort_by(|a, b| {
+            self.sensitivity
+                .rate_of(*b)
+                .total_cmp(&self.sensitivity.rate_of(*a))
+        });
+        regions.to_vec()
+    }
+
+    /// Per-device repair logs.
+    pub fn logs(&self) -> &BTreeMap<u32, DeviceRepairLog> {
+        &self.logs
+    }
+
+    /// Devices retired so far.
+    pub fn retired(&self) -> usize {
+        self.logs
+            .values()
+            .filter(|l| l.state == RepairState::Retired)
+            .count()
+    }
+
+    /// Total faults found by all memtests.
+    pub fn total_faults_found(&self) -> usize {
+        self.logs.values().map(|l| l.lifetime_faults).sum()
+    }
+}
+
+impl QuarantineHandler for QuarantineManager {
+    fn handle(&mut self, req: &QuarantineRequest, image: &mut DeviceImage) -> QuarantineDecision {
+        let log = self
+            .logs
+            .entry(req.device)
+            .or_insert_with(DeviceRepairLog::new);
+        log.quarantines += 1;
+        log.transition(RepairState::Quarantined, req.at);
+
+        // Drain completes, then the targeted memtest runs: CRC scrub of
+        // the checksummed tables plus the staging/scratch pattern test,
+        // walking regions in sensitivity order. The golden reload clears
+        // whatever it found.
+        let memtest_start = req.at + self.config.drain_time;
+        log.transition(RepairState::MemTest, memtest_start);
+        let findings = image.memtest();
+        let repaired = image.repair();
+        debug_assert_eq!(
+            findings, repaired,
+            "repair must fix exactly what memtest found"
+        );
+        log.lifetime_faults += findings.total();
+
+        let mut done = memtest_start + self.config.memtest_time;
+        if findings.total() > 0 {
+            done += self.config.reload_time;
+        }
+        if log.lifetime_faults >= self.config.retire_after_faults {
+            log.transition(RepairState::Retired, done);
+            QuarantineDecision::Retire
+        } else {
+            log.transition(RepairState::InService, done);
+            QuarantineDecision::Repair { back_at: done }
+        }
+    }
+}
+
+/// Everything one defended-fleet run produced: the serving-side report
+/// plus the fleet-side repair logs.
+#[derive(Debug, Clone)]
+pub struct DefendedFleetReport {
+    /// Serving-side outcomes (recall, FP rate, latency, overhead, …).
+    pub sdc: SdcReport,
+    /// Per-device repair histories.
+    pub device_logs: BTreeMap<u32, DeviceRepairLog>,
+    /// The memtest scan order the manager used.
+    pub scan_order: Vec<InjectionTarget>,
+}
+
+/// Runs the end-to-end defended fleet: an `sdc_study` bit-flip trace
+/// against `policy`, with quarantined devices repaired by the full
+/// fleet workflow. Deterministic in `(policy, seed)`.
+pub fn run_defended_fleet(policy: DetectionPolicy, seed: u64) -> DefendedFleetReport {
+    let cfg = SdcSimConfig::default_for(policy, seed);
+    let horizon = cfg.inter_arrival * (cfg.requests as u64 + 1);
+    let plan = FaultPlan::generate(
+        &FaultPlanConfig::sdc_study(),
+        cfg.devices,
+        horizon,
+        derive(seed, "sdc/plan"),
+    );
+    let mut manager = QuarantineManager::new(QuarantineConfig::default(), seed);
+    let sdc = run_sdc_sim(&cfg, &plan, &mut manager);
+    DefendedFleetReport {
+        sdc,
+        scan_order: manager.scan_order(),
+        device_logs: manager.logs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::seed::DEFAULT_SEED;
+    use mtia_serving::sdc::ImageSpec;
+
+    #[test]
+    fn only_memtest_leads_out_of_quarantine() {
+        use RepairState::*;
+        for to in [InService, Quarantined, Retired] {
+            assert!(!RepairState::legal(Quarantined, to), "Quarantined → {to:?}");
+        }
+        assert!(RepairState::legal(Quarantined, MemTest));
+        assert!(RepairState::legal(MemTest, InService));
+        assert!(RepairState::legal(MemTest, Retired));
+        // Retired is absorbing; InService only enters quarantine.
+        for to in [InService, Quarantined, MemTest] {
+            assert!(!RepairState::legal(Retired, to));
+        }
+        assert!(!RepairState::legal(InService, MemTest));
+        assert!(!RepairState::legal(InService, Retired));
+    }
+
+    #[test]
+    fn manager_repairs_and_logs_a_corrupted_device() {
+        let mut manager = QuarantineManager::new(QuarantineConfig::default(), DEFAULT_SEED);
+        let mut image = ImageSpec::small(DEFAULT_SEED).build();
+        image.apply_flip(InjectionTarget::EmbeddingRows, 42, 19);
+        image.apply_flip(InjectionTarget::TbeIndices, 1, 3);
+        let req = QuarantineRequest {
+            device: 7,
+            at: SimTime::from_millis(100),
+            suspicion: 1.2,
+        };
+        let decision = manager.handle(&req, &mut image);
+        assert!(matches!(decision, QuarantineDecision::Repair { .. }));
+        assert!(image.is_clean(), "handler must leave the image clean");
+        let log = &manager.logs()[&7];
+        assert_eq!(log.state, RepairState::InService);
+        assert_eq!(log.lifetime_faults, 2);
+        let states: Vec<_> = log.transitions.iter().map(|t| t.2).collect();
+        assert_eq!(
+            states,
+            vec![
+                RepairState::Quarantined,
+                RepairState::MemTest,
+                RepairState::InService
+            ]
+        );
+        // Repair timing includes drain + memtest + reload.
+        if let QuarantineDecision::Repair { back_at } = decision {
+            let c = QuarantineConfig::default();
+            assert_eq!(
+                back_at,
+                req.at + c.drain_time + c.memtest_time + c.reload_time
+            );
+        }
+    }
+
+    #[test]
+    fn fault_budget_exhaustion_retires() {
+        let config = QuarantineConfig {
+            retire_after_faults: 2,
+            ..QuarantineConfig::default()
+        };
+        let mut manager = QuarantineManager::new(config, DEFAULT_SEED);
+        let mut image = ImageSpec::small(DEFAULT_SEED).build();
+        image.apply_flip(InjectionTarget::DenseWeights, 3, 11);
+        let req = |at| QuarantineRequest {
+            device: 0,
+            at: SimTime::from_millis(at),
+            suspicion: 1.0,
+        };
+        assert!(matches!(
+            manager.handle(&req(10), &mut image),
+            QuarantineDecision::Repair { .. }
+        ));
+        image.apply_flip(InjectionTarget::Activations, 0, 5);
+        assert_eq!(
+            manager.handle(&req(50), &mut image),
+            QuarantineDecision::Retire
+        );
+        assert_eq!(manager.logs()[&0].state, RepairState::Retired);
+        assert_eq!(manager.retired(), 1);
+        // Every logged edge is legal.
+        for log in manager.logs().values() {
+            for &(_, from, to) in &log.transitions {
+                assert!(RepairState::legal(from, to), "{from:?} → {to:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_order_covers_all_regions_most_sensitive_first() {
+        let manager = QuarantineManager::new(QuarantineConfig::default(), DEFAULT_SEED);
+        let order = manager.scan_order();
+        assert_eq!(order.len(), 4);
+        for r in [
+            InjectionTarget::EmbeddingRows,
+            InjectionTarget::TbeIndices,
+            InjectionTarget::DenseWeights,
+            InjectionTarget::Activations,
+        ] {
+            assert!(order.contains(&r));
+        }
+        let rates: Vec<f64> = order
+            .iter()
+            .map(|r| manager.sensitivity.rate_of(*r))
+            .collect();
+        assert!(
+            rates.windows(2).all(|w| w[0] >= w[1]),
+            "descending {rates:?}"
+        );
+    }
+
+    #[test]
+    fn defended_fleet_end_to_end_contains_corruption() {
+        let report = run_defended_fleet(DetectionPolicy::full(16), DEFAULT_SEED);
+        assert_eq!(report.sdc.served_corrupted, 0);
+        assert!(report.sdc.recall() >= 0.9);
+        assert!(report.sdc.quarantines > 0);
+        assert!(!report.device_logs.is_empty());
+        assert!(report.sdc.repairs > 0);
+        // Fleet- and serving-side accounting agree on quarantine count.
+        let fleet_quarantines: u32 = report.device_logs.values().map(|l| l.quarantines).sum();
+        assert_eq!(fleet_quarantines, report.sdc.quarantines);
+        // Every device history walks only legal edges.
+        for log in report.device_logs.values() {
+            for &(_, from, to) in &log.transitions {
+                assert!(RepairState::legal(from, to));
+            }
+        }
+    }
+
+    #[test]
+    fn defended_fleet_is_deterministic() {
+        let a = run_defended_fleet(DetectionPolicy::full(16), DEFAULT_SEED);
+        let b = run_defended_fleet(DetectionPolicy::full(16), DEFAULT_SEED);
+        assert_eq!(a.sdc.timeline, b.sdc.timeline);
+        assert_eq!(a.sdc.fault_fingerprint, b.sdc.fault_fingerprint);
+        assert_eq!(a.scan_order, b.scan_order);
+        assert_eq!(
+            a.device_logs.keys().collect::<Vec<_>>(),
+            b.device_logs.keys().collect::<Vec<_>>()
+        );
+    }
+}

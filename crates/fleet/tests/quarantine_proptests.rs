@@ -1,0 +1,60 @@
+//! Property-based invariants of the quarantine/repair workflow (§5.1).
+
+use mtia_core::seed::{derive, DEFAULT_SEED};
+use mtia_fleet::quarantine::{run_defended_fleet, RepairState};
+use mtia_serving::sdc::DetectionPolicy;
+use proptest::prelude::*;
+
+/// The transition whitelist is exact: quarantine → memtest →
+/// release/retire are the only paths, and `Retired` is absorbing.
+#[test]
+fn transition_whitelist_is_exact() {
+    use RepairState::*;
+    let all = [InService, Quarantined, MemTest, Retired];
+    for from in all {
+        for to in all {
+            let expect = matches!(
+                (from, to),
+                (InService, Quarantined)
+                    | (Quarantined, MemTest)
+                    | (MemTest, InService)
+                    | (MemTest, Retired)
+            );
+            assert_eq!(
+                RepairState::legal(from, to),
+                expect,
+                "legal({from:?}, {to:?})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every device repair log from a defended run is a legal walk:
+    /// transitions chain, each edge is whitelisted, and the only exit
+    /// from `Quarantined` is `MemTest`. Holds for any run seed — and
+    /// the defense still serves zero corrupted responses.
+    #[test]
+    fn repair_logs_only_take_legal_paths(salt in 0u64..1024) {
+        let seed = derive(DEFAULT_SEED, &format!("quarantine/prop/{salt}"));
+        let report = run_defended_fleet(DetectionPolicy::full(12), seed);
+        for (device, log) in &report.device_logs {
+            let mut prev = RepairState::InService;
+            for (_, from, to) in &log.transitions {
+                prop_assert_eq!(*from, prev, "device {} log is not chained", device);
+                prop_assert!(
+                    RepairState::legal(*from, *to),
+                    "device {device}: illegal {from:?} -> {to:?}"
+                );
+                if *from == RepairState::Quarantined {
+                    prop_assert_eq!(*to, RepairState::MemTest);
+                }
+                prev = *to;
+            }
+            prop_assert_eq!(log.state, prev);
+        }
+        prop_assert_eq!(report.sdc.served_corrupted, 0);
+    }
+}

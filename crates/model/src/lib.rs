@@ -22,6 +22,7 @@ pub mod compress;
 pub mod error_inject;
 pub mod graph;
 pub mod hstu_bias;
+pub mod integrity;
 pub mod jagged;
 pub mod models;
 pub mod norm;
@@ -31,5 +32,6 @@ pub mod sparsity;
 pub mod tensor;
 
 pub use graph::{Graph, GraphError, GraphStats, Node, NodeId, TensorDef, TensorId, TensorKind};
+pub use integrity::{ChecksummedTable, IntegrityViolation, OutputGuard};
 pub use ops::{OpCategory, OpKind, TbeParams};
 pub use tensor::{DenseTensor, Shape};

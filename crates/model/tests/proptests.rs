@@ -153,3 +153,30 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CRC-32 row checksums detect every single-bit flip in a
+    /// checksummed embedding row — the §5.1 LPDDR fault unit.
+    #[test]
+    fn single_bit_flip_in_checksummed_row_is_detected(
+        data in proptest::collection::vec(-100.0f32..100.0, 32),
+        row in 0usize..4,
+        col in 0usize..8,
+        bit in 0u32..32,
+    ) {
+        use mtia_model::integrity::ChecksummedTable;
+        let mut table = ChecksummedTable::new(DenseTensor::from_data(4, 8, data));
+        prop_assert!(table.verify_row(row).is_ok());
+        let flat = row * 8 + col;
+        let raw = table.data_mut_unprotected().data_mut();
+        raw[flat] = f32::from_bits(raw[flat].to_bits() ^ (1u32 << bit));
+        prop_assert!(
+            table.verify_row(row).is_err(),
+            "bit {bit} flip at ({row},{col}) escaped the row checksum"
+        );
+        // Guarded gathers touching the row refuse to serve it.
+        prop_assert!(table.gather_pooled(&[row as u32]).is_err());
+    }
+}

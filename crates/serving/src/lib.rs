@@ -36,6 +36,7 @@ pub mod latency;
 pub mod replayer;
 pub mod resilience;
 pub mod scheduler;
+pub mod sdc;
 pub mod traffic;
 
 pub use ab::{normalized_entropy, run_ab_test, AbReport, PlatformArm};
@@ -50,5 +51,9 @@ pub use resilience::{
 };
 pub use scheduler::{
     max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig, RemoteMergeStats,
+};
+pub use sdc::{
+    run_sdc_sim, DetectionPolicy, DeviceImage, ImageSpec, InlineRepair, QuarantineDecision,
+    QuarantineHandler, QuarantineRequest, SdcReport, SdcSimConfig,
 };
 pub use traffic::{ArrivalProcess, DiurnalArrivals, PoissonArrivals, ReplayTrace};

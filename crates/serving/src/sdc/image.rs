@@ -1,0 +1,433 @@
+//! The per-device model memory image the §5.1 fault injector corrupts.
+//!
+//! Each simulated accelerator holds a small but *real* ranking-model
+//! working set in (simulated) LPDDR: a checksummed embedding table, a
+//! dense projection weight matrix, an index staging buffer, and an
+//! activation scratch slot. An injected
+//! [`FaultKind::LpddrBitFlip`](mtia_sim::faults::FaultKind) lands in one
+//! of those regions and *persists* until the quarantine workflow scrubs
+//! or reloads the image — exactly the §5.1 failure mode, made executable
+//! with real arithmetic rather than corruption probabilities.
+//!
+//! Region semantics:
+//!
+//! * [`InjectionTarget::EmbeddingRows`] — flips a bit of one stored row
+//!   element. Detected on read by the row CRC (guarded path) or consumed
+//!   silently (naive path).
+//! * [`InjectionTarget::DenseWeights`] — flips a bit of one FC weight.
+//!   Exponent-bit flips explode outputs (output guard); mantissa flips
+//!   corrupt silently (canary fingerprints catch them).
+//! * [`InjectionTarget::TbeIndices`] — a stuck bit in one slot of the
+//!   index staging buffer: every request staged through that slot gets
+//!   the bit XORed into its index. The end-to-end index-stream checksum
+//!   catches it; the naive path gathers the wrong row (or wraps on an
+//!   escaped index).
+//! * [`InjectionTarget::Activations`] — a stuck bit in one element of
+//!   the output scratch: applied to every computed output.
+
+use mtia_core::seed::derive;
+use mtia_model::error_inject::{flip_f32_bit, InjectionTarget};
+use mtia_model::integrity::{
+    index_stream_checksum, output_fingerprint, ChecksummedTable, IntegrityViolation, OutputGuard,
+};
+use mtia_model::tensor::DenseTensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Relative deviation from the golden output beyond which a response
+/// counts as *corrupted* (the §5.1 "output corruption" damage class);
+/// smaller deviations are numerically invisible to the product.
+pub const CORRUPTION_TOL: f64 = 1e-4;
+
+/// Shape and seed of the model working set every device loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageSpec {
+    /// Embedding-table rows.
+    pub emb_rows: usize,
+    /// Embedding dimension.
+    pub emb_dim: usize,
+    /// Dense projection output width.
+    pub out_dim: usize,
+    /// TBE lookups per request (index staging buffer slots).
+    pub lookups_per_request: usize,
+    /// Seed the golden image and request stream derive from.
+    pub seed: u64,
+}
+
+impl ImageSpec {
+    /// A small working set: big enough that flips usually land somewhere
+    /// consequential, small enough that thousands of guarded executions
+    /// cost nothing.
+    pub fn small(seed: u64) -> Self {
+        ImageSpec {
+            emb_rows: 64,
+            emb_dim: 16,
+            out_dim: 8,
+            lookups_per_request: 8,
+            seed,
+        }
+    }
+
+    /// Builds the golden device image for this spec.
+    pub fn build(&self) -> DeviceImage {
+        let mut rng = StdRng::seed_from_u64(derive(self.seed, "sdc/image"));
+        let embeddings = ChecksummedTable::new(DenseTensor::gaussian(
+            self.emb_rows,
+            self.emb_dim,
+            1.0,
+            &mut rng,
+        ));
+        let weights = ChecksummedTable::new(DenseTensor::gaussian(
+            self.emb_dim,
+            self.out_dim,
+            0.2,
+            &mut rng,
+        ));
+        DeviceImage {
+            spec: *self,
+            golden_embeddings: embeddings.clone(),
+            golden_weights: weights.clone(),
+            embeddings,
+            weights,
+            stuck_index_bits: Vec::new(),
+            stuck_activation_bits: Vec::new(),
+        }
+    }
+
+    /// The deterministic input of request `id`: lookup indices drawn
+    /// from a per-request SplitMix stream, plus the submitter-side
+    /// index-stream checksum. Pure function of `(spec.seed, id)`, so
+    /// every policy sees an identical request stream regardless of how
+    /// many extra executions (canaries, shadows) it performs.
+    pub fn request(&self, id: u64) -> RequestInput {
+        let mut state = derive(self.seed, "sdc/request") ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let indices: Vec<u32> = (0..self.lookups_per_request)
+            .map(|_| (next() % self.emb_rows as u64) as u32)
+            .collect();
+        let checksum = index_stream_checksum(&indices);
+        RequestInput {
+            id,
+            indices,
+            checksum,
+        }
+    }
+
+    /// The fixed canary request (a reserved id outside the user stream).
+    pub fn canary(&self) -> RequestInput {
+        self.request(u64::MAX)
+    }
+}
+
+/// One request's input: lookup indices plus the end-to-end checksum the
+/// submitter attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestInput {
+    /// Request id (drives the deterministic index draw).
+    pub id: u64,
+    /// TBE lookup indices as submitted.
+    pub indices: Vec<u32>,
+    /// [`index_stream_checksum`] over `indices`, computed at submission.
+    pub checksum: u32,
+}
+
+/// A device's resident model memory plus its golden (host-side) replica.
+#[derive(Debug, Clone)]
+pub struct DeviceImage {
+    spec: ImageSpec,
+    embeddings: ChecksummedTable,
+    weights: ChecksummedTable,
+    golden_embeddings: ChecksummedTable,
+    golden_weights: ChecksummedTable,
+    /// Stuck bits in the index staging buffer: `(slot, bit)`.
+    stuck_index_bits: Vec<(usize, u32)>,
+    /// Stuck bits in the activation scratch: `(slot, bit)`.
+    stuck_activation_bits: Vec<(usize, u32)>,
+}
+
+/// What a targeted memtest found on a device image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemtestFindings {
+    /// Embedding rows failing their CRC.
+    pub corrupted_embedding_rows: usize,
+    /// Weight matrix rows failing their CRC.
+    pub corrupted_weight_rows: usize,
+    /// Stuck bits found by the staging/scratch pattern test.
+    pub stuck_bits: usize,
+}
+
+impl MemtestFindings {
+    /// Total faults found.
+    pub fn total(&self) -> usize {
+        self.corrupted_embedding_rows + self.corrupted_weight_rows + self.stuck_bits
+    }
+}
+
+impl DeviceImage {
+    /// The spec the image was built from.
+    pub fn spec(&self) -> &ImageSpec {
+        &self.spec
+    }
+
+    /// Applies one injected LPDDR bit flip. `word` is reduced modulo the
+    /// region's size, matching the fault-trace contract.
+    pub fn apply_flip(&mut self, region: InjectionTarget, word: u32, bit: u32) {
+        let bit = bit % 32;
+        match region {
+            InjectionTarget::EmbeddingRows => {
+                let elems = self.spec.emb_rows * self.spec.emb_dim;
+                flip_f32_bit(
+                    self.embeddings.data_mut_unprotected(),
+                    word as usize % elems,
+                    bit,
+                );
+            }
+            InjectionTarget::DenseWeights => {
+                let elems = self.spec.emb_dim * self.spec.out_dim;
+                flip_f32_bit(
+                    self.weights.data_mut_unprotected(),
+                    word as usize % elems,
+                    bit,
+                );
+            }
+            InjectionTarget::TbeIndices => {
+                let slot = word as usize % self.spec.lookups_per_request;
+                self.stuck_index_bits.push((slot, bit));
+            }
+            InjectionTarget::Activations => {
+                let slot = word as usize % self.spec.out_dim;
+                self.stuck_activation_bits.push((slot, bit));
+            }
+        }
+    }
+
+    /// Stages a request's indices through the (possibly stuck) staging
+    /// buffer.
+    fn stage_indices(&self, req: &RequestInput) -> Vec<u32> {
+        let mut staged = req.indices.clone();
+        for &(slot, bit) in &self.stuck_index_bits {
+            staged[slot] ^= 1 << bit;
+        }
+        staged
+    }
+
+    /// Applies activation-scratch stuck bits to a computed output.
+    fn corrupt_output(&self, out: &mut DenseTensor) {
+        for &(slot, bit) in &self.stuck_activation_bits {
+            flip_f32_bit(out, slot, bit);
+        }
+    }
+
+    /// The *defended* inference path: index-stream checksum after
+    /// staging, bounds guard and CRC verify-on-read in the gather, and
+    /// the NaN/Inf/range guard on the dense output. Any violation aborts
+    /// before a response is produced.
+    pub fn execute_guarded(
+        &self,
+        req: &RequestInput,
+        guard: &OutputGuard,
+    ) -> Result<DenseTensor, IntegrityViolation> {
+        let staged = self.stage_indices(req);
+        if index_stream_checksum(&staged) != req.checksum {
+            return Err(IntegrityViolation::IndexStreamMismatch);
+        }
+        let pooled = self.embeddings.gather_pooled(&staged)?;
+        let pooled = DenseTensor::from_data(1, self.spec.emb_dim, pooled);
+        let mut out = pooled.matmul(self.weights.table());
+        self.corrupt_output(&mut out);
+        guard.check(&out)?;
+        Ok(out)
+    }
+
+    /// The naive pre-defense path: no staging checksum, wrapping gather,
+    /// no output guard — whatever comes out is served.
+    pub fn execute_unguarded(&self, req: &RequestInput) -> DenseTensor {
+        let staged = self.stage_indices(req);
+        let pooled = self.embeddings.gather_pooled_unguarded(&staged);
+        let pooled = DenseTensor::from_data(1, self.spec.emb_dim, pooled);
+        let mut out = pooled.matmul(self.weights.table());
+        self.corrupt_output(&mut out);
+        out
+    }
+
+    /// The reference output of `req` on an uncorrupted image — the
+    /// metrics oracle and the source of golden canary fingerprints.
+    pub fn execute_golden(&self, req: &RequestInput) -> DenseTensor {
+        let pooled = self
+            .golden_embeddings
+            .gather_pooled(&req.indices)
+            .expect("golden image is clean by construction");
+        let pooled = DenseTensor::from_data(1, self.spec.emb_dim, pooled);
+        pooled.matmul(self.golden_weights.table())
+    }
+
+    /// The golden fingerprint of the canary request.
+    pub fn golden_canary_fingerprint(&self) -> u64 {
+        output_fingerprint(&self.execute_golden(&self.spec.canary()))
+    }
+
+    /// Whether `out` deviates from the golden output of `req` beyond
+    /// [`CORRUPTION_TOL`] (or is non-finite) — the served-corruption
+    /// oracle.
+    pub fn is_corrupted_output(&self, req: &RequestInput, out: &DenseTensor) -> bool {
+        if out.has_non_finite() {
+            return true;
+        }
+        let golden = self.execute_golden(req);
+        let scale = golden.max_abs().max(1e-20) as f64;
+        golden
+            .data()
+            .iter()
+            .zip(out.data())
+            .any(|(g, o)| ((*g as f64) - (*o as f64)).abs() / scale > CORRUPTION_TOL)
+    }
+
+    /// Targeted memtest: CRC scrub of both tables plus a write/readback
+    /// pattern test over the staging buffer and activation scratch
+    /// (which finds stuck bits deterministically).
+    pub fn memtest(&self) -> MemtestFindings {
+        MemtestFindings {
+            corrupted_embedding_rows: self.embeddings.scrub().len(),
+            corrupted_weight_rows: self.weights.scrub().len(),
+            stuck_bits: self.stuck_index_bits.len() + self.stuck_activation_bits.len(),
+        }
+    }
+
+    /// Whether any corruption is present (memtest ground truth).
+    pub fn is_clean(&self) -> bool {
+        self.memtest().total() == 0
+    }
+
+    /// Repairs the image: reload corrupted rows from the golden replica
+    /// and remap the stuck staging/scratch words. Returns what the
+    /// repair fixed.
+    pub fn repair(&mut self) -> MemtestFindings {
+        let findings = self.memtest();
+        self.embeddings.repair_from(&self.golden_embeddings.clone());
+        self.weights.repair_from(&self.golden_weights.clone());
+        self.stuck_index_bits.clear();
+        self.stuck_activation_bits.clear();
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::seed::DEFAULT_SEED;
+    use mtia_model::integrity::DEFAULT_GUARD_MARGIN;
+
+    fn guard(image: &DeviceImage) -> OutputGuard {
+        let samples: Vec<DenseTensor> = (0..64)
+            .map(|i| image.execute_golden(&image.spec().request(i)))
+            .collect();
+        OutputGuard::calibrate(&samples, DEFAULT_GUARD_MARGIN)
+    }
+
+    #[test]
+    fn clean_image_serves_golden_outputs() {
+        let image = ImageSpec::small(DEFAULT_SEED).build();
+        let g = guard(&image);
+        for id in 0..50 {
+            let req = image.spec().request(id);
+            let out = image.execute_guarded(&req, &g).expect("clean run");
+            assert!(!image.is_corrupted_output(&req, &out));
+            assert_eq!(
+                output_fingerprint(&out),
+                output_fingerprint(&image.execute_golden(&req))
+            );
+        }
+        assert!(image.is_clean());
+    }
+
+    #[test]
+    fn embedding_flip_is_caught_by_row_checksum() {
+        let mut image = ImageSpec::small(DEFAULT_SEED).build();
+        let g = guard(&image);
+        image.apply_flip(InjectionTarget::EmbeddingRows, 7, 13);
+        // Some request touching the flipped row must trip the CRC.
+        let mut tripped = false;
+        for id in 0..200 {
+            match image.execute_guarded(&image.spec().request(id), &g) {
+                Err(IntegrityViolation::RowChecksumMismatch { .. }) => {
+                    tripped = true;
+                    break;
+                }
+                Err(v) => panic!("unexpected violation {v:?}"),
+                Ok(_) => {}
+            }
+        }
+        assert!(tripped, "row checksum never fired");
+    }
+
+    #[test]
+    fn stuck_index_bit_trips_stream_checksum_and_corrupts_naive() {
+        let mut image = ImageSpec::small(DEFAULT_SEED).build();
+        let g = guard(&image);
+        image.apply_flip(InjectionTarget::TbeIndices, 3, 2);
+        let req = image.spec().request(1);
+        assert_eq!(
+            image.execute_guarded(&req, &g),
+            Err(IntegrityViolation::IndexStreamMismatch)
+        );
+        // The naive path serves a silently wrong (or wrapped) gather.
+        let naive = image.execute_unguarded(&req);
+        assert!(image.is_corrupted_output(&req, &naive));
+    }
+
+    #[test]
+    fn exponent_weight_flip_trips_output_guard() {
+        let mut image = ImageSpec::small(DEFAULT_SEED).build();
+        let g = guard(&image);
+        image.apply_flip(InjectionTarget::DenseWeights, 11, 30);
+        let req = image.spec().request(2);
+        assert!(matches!(
+            image.execute_guarded(&req, &g),
+            Err(IntegrityViolation::OutputOutOfRange { .. })
+                | Err(IntegrityViolation::NonFiniteOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn silent_weight_flip_changes_canary_fingerprint() {
+        let mut image = ImageSpec::small(DEFAULT_SEED).build();
+        let g = guard(&image);
+        let golden_fp = image.golden_canary_fingerprint();
+        // A mid-mantissa flip: ~1% weight perturbation, invisible to the
+        // output guard, but the exact canary fingerprint diverges. (A
+        // bottom-mantissa flip can round away entirely in the dot
+        // product, so use a bit that survives accumulation.)
+        image.apply_flip(InjectionTarget::DenseWeights, 5, 16);
+        let out = image
+            .execute_guarded(&image.spec().canary(), &g)
+            .expect("mantissa flip passes inline guards");
+        assert_ne!(output_fingerprint(&out), golden_fp);
+    }
+
+    #[test]
+    fn memtest_finds_and_repair_clears_everything() {
+        let mut image = ImageSpec::small(DEFAULT_SEED).build();
+        image.apply_flip(InjectionTarget::EmbeddingRows, 100, 8);
+        image.apply_flip(InjectionTarget::DenseWeights, 3, 22);
+        image.apply_flip(InjectionTarget::TbeIndices, 0, 4);
+        image.apply_flip(InjectionTarget::Activations, 2, 9);
+        let findings = image.memtest();
+        assert_eq!(findings.corrupted_embedding_rows, 1);
+        assert_eq!(findings.corrupted_weight_rows, 1);
+        assert_eq!(findings.stuck_bits, 2);
+        assert_eq!(findings.total(), 4);
+        assert_eq!(image.repair(), findings);
+        assert!(image.is_clean());
+        // Post-repair the guarded path is clean again.
+        let g = guard(&image);
+        let req = image.spec().request(9);
+        let out = image.execute_guarded(&req, &g).expect("repaired");
+        assert!(!image.is_corrupted_output(&req, &out));
+    }
+}

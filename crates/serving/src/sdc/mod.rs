@@ -1,0 +1,35 @@
+//! Online silent-data-corruption defense (§5.1, productionized).
+//!
+//! The paper's memory-error study measured how LPDDR bit flips with ECC
+//! off corrupt TBE lookups, embedding rows, and dense weights — and put
+//! the hardware alternative, inline controller ECC, at a 10–15 %
+//! bandwidth cost. This module is the *software* defense: a guarded
+//! inference path whose integrity checks run inline, periodic canary
+//! requests fingerprint-checked against golden outputs, shadow
+//! re-execution voting on suspicion, and a per-device suspicion score
+//! that drives the fleet quarantine/repair workflow
+//! (`mtia-fleet::quarantine`).
+//!
+//! Layer map:
+//!
+//! * [`image`] — the per-device model memory the fault injector flips
+//!   bits in, with guarded/unguarded/golden execution paths.
+//! * [`policy`] — the detection-policy ladder (naive → guards →
+//!   +canaries → +shadow voting) and suspicion scoring knobs.
+//! * [`sim`] — the serving event loop: deferred commits, canary rounds,
+//!   votes, retries, and quarantine hand-off via [`QuarantineHandler`].
+//! * [`report`] — recall / false-positive / latency / overhead
+//!   accounting consumed by the E19 bench sweep.
+
+pub mod image;
+pub mod policy;
+pub mod report;
+pub mod sim;
+
+pub use image::{DeviceImage, ImageSpec, MemtestFindings, RequestInput, CORRUPTION_TOL};
+pub use policy::{DetectionPolicy, SuspicionConfig, GUARD_COST_FRACTION};
+pub use report::SdcReport;
+pub use sim::{
+    run_sdc_sim, InlineRepair, QuarantineDecision, QuarantineHandler, QuarantineRequest,
+    SdcSimConfig,
+};

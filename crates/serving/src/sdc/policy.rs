@@ -1,0 +1,174 @@
+//! Detection-policy and suspicion-scoring knobs for the SDC defense.
+//!
+//! The bench sweep (E19) walks the policy ladder the paper's §5.1
+//! economics motivate: do nothing (pre-defense serving), inline guards
+//! only, guards plus periodic canaries, and the full stack with shadow
+//! re-execution voting — each trading a little redundant work against
+//! detection recall, instead of paying the flat 10–15 % controller-ECC
+//! bandwidth tax.
+
+use mtia_model::integrity::DEFAULT_GUARD_MARGIN;
+
+/// Fraction of an inference's cost the inline guards add (CRC verify of
+/// the touched rows, index-stream checksum, output scan). Small against
+/// a full gather + matmul; the E19 report compares the *measured* total
+/// redundancy overhead (guards + canaries + shadows + replays) with the
+/// §5.1 controller-ECC alternative's 10–15 % bandwidth cost.
+pub const GUARD_COST_FRACTION: f64 = 0.03;
+
+/// How guard trips, canary results, and shadow votes move a device's
+/// suspicion score, and when the score triggers escalation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuspicionConfig {
+    /// Added per inline-guard trip.
+    pub guard_trip: f64,
+    /// Added per canary fingerprint mismatch (a canary failure is
+    /// near-certain corruption, so by default it alone quarantines).
+    pub canary_mismatch: f64,
+    /// Added per shadow-vote disagreement against this device.
+    pub shadow_mismatch: f64,
+    /// Multiplier applied on every *clean* canary (evidence of health
+    /// decays suspicion).
+    pub clean_canary_decay: f64,
+    /// Score at or above which the device is quarantined.
+    pub quarantine_threshold: f64,
+    /// Score above which a device's responses get shadow re-executed on
+    /// a peer before serving (when the policy enables shadow voting).
+    pub shadow_above: f64,
+}
+
+impl Default for SuspicionConfig {
+    fn default() -> Self {
+        SuspicionConfig {
+            guard_trip: 0.4,
+            canary_mismatch: 1.0,
+            shadow_mismatch: 0.6,
+            clean_canary_decay: 0.5,
+            quarantine_threshold: 1.0,
+            shadow_above: 0.3,
+        }
+    }
+}
+
+/// One point on the detection-policy ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionPolicy {
+    /// Display name (bench table row).
+    pub name: &'static str,
+    /// Run the inline guards (row CRC, index bounds, index-stream
+    /// checksum, output guard) on the serving path. When `false` the
+    /// device serves the pre-defense unguarded path.
+    pub inline_guards: bool,
+    /// Output-guard calibration margin (see
+    /// [`DEFAULT_GUARD_MARGIN`]; a tighter margin trades false
+    /// positives for sensitivity).
+    pub guard_margin: f32,
+    /// Issue a canary request on a device after every `n` served
+    /// requests, and *defer* response commitment to the next clean
+    /// canary (`None` disables canaries and deferral).
+    pub canary_every: Option<u32>,
+    /// Shadow re-execute suspect devices' responses on a peer and vote
+    /// before serving.
+    pub shadow_voting: bool,
+    /// Suspicion scoring/escalation knobs.
+    pub suspicion: SuspicionConfig,
+}
+
+impl DetectionPolicy {
+    /// Pre-defense serving: no guards, no canaries, no voting. Serves
+    /// whatever the hardware produces.
+    pub fn naive() -> Self {
+        DetectionPolicy {
+            name: "naive",
+            inline_guards: false,
+            guard_margin: DEFAULT_GUARD_MARGIN,
+            canary_every: None,
+            shadow_voting: false,
+            suspicion: SuspicionConfig::default(),
+        }
+    }
+
+    /// Inline guards only.
+    pub fn guards_only() -> Self {
+        DetectionPolicy {
+            name: "guards",
+            inline_guards: true,
+            guard_margin: DEFAULT_GUARD_MARGIN,
+            canary_every: None,
+            shadow_voting: false,
+            suspicion: SuspicionConfig::default(),
+        }
+    }
+
+    /// Guards plus a canary every `n` requests per device.
+    pub fn guards_canary(n: u32) -> Self {
+        DetectionPolicy {
+            name: "guards+canary",
+            inline_guards: true,
+            guard_margin: DEFAULT_GUARD_MARGIN,
+            canary_every: Some(n.max(1)),
+            shadow_voting: false,
+            suspicion: SuspicionConfig::default(),
+        }
+    }
+
+    /// The full stack: guards, canaries every `n`, shadow voting.
+    pub fn full(n: u32) -> Self {
+        DetectionPolicy {
+            name: "guards+canary+shadow",
+            inline_guards: true,
+            guard_margin: DEFAULT_GUARD_MARGIN,
+            canary_every: Some(n.max(1)),
+            shadow_voting: true,
+            suspicion: SuspicionConfig::default(),
+        }
+    }
+
+    /// The full stack with an over-tight output-guard margin — the
+    /// false-positive demonstration arm of the sweep.
+    pub fn full_tight_guard(n: u32) -> Self {
+        DetectionPolicy {
+            guard_margin: 1.0,
+            name: "full (tight guard)",
+            ..DetectionPolicy::full(n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_machinery() {
+        let naive = DetectionPolicy::naive();
+        assert!(!naive.inline_guards && naive.canary_every.is_none() && !naive.shadow_voting);
+        let guards = DetectionPolicy::guards_only();
+        assert!(guards.inline_guards && guards.canary_every.is_none());
+        let canary = DetectionPolicy::guards_canary(8);
+        assert_eq!(canary.canary_every, Some(8));
+        assert!(!canary.shadow_voting);
+        let full = DetectionPolicy::full(8);
+        assert!(full.inline_guards && full.canary_every == Some(8) && full.shadow_voting);
+    }
+
+    #[test]
+    fn tight_guard_variant_only_changes_the_margin() {
+        let full = DetectionPolicy::full(16);
+        let tight = DetectionPolicy::full_tight_guard(16);
+        assert_eq!(tight.guard_margin, 1.0);
+        assert_eq!(tight.canary_every, full.canary_every);
+        assert_eq!(tight.shadow_voting, full.shadow_voting);
+        assert!(tight.guard_margin < full.guard_margin);
+    }
+
+    #[test]
+    fn default_suspicion_quarantines_on_one_canary_or_three_guard_trips() {
+        let s = SuspicionConfig::default();
+        assert!(s.canary_mismatch >= s.quarantine_threshold);
+        assert!(s.guard_trip * 2.0 < s.quarantine_threshold);
+        assert!(s.guard_trip * 3.0 >= s.quarantine_threshold);
+        // One guard trip is enough to start shadowing.
+        assert!(s.guard_trip > s.shadow_above);
+    }
+}

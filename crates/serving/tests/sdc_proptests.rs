@@ -1,0 +1,115 @@
+//! Property-based invariants of the SDC defense path (§5.1).
+
+use mtia_core::seed::{derive, DEFAULT_SEED};
+use mtia_core::units::SimTime;
+use mtia_model::error_inject::InjectionTarget;
+use mtia_model::integrity::{output_fingerprint, OutputGuard, DEFAULT_GUARD_MARGIN};
+use mtia_model::tensor::DenseTensor;
+use mtia_serving::sdc::{
+    run_sdc_sim, DetectionPolicy, DeviceImage, ImageSpec, InlineRepair, SdcSimConfig,
+};
+use mtia_sim::faults::{FaultPlan, FaultPlanConfig};
+use proptest::prelude::*;
+
+/// Calibrates the output guard exactly the way `run_sdc_sim` does: the
+/// golden outputs of a 64-request sample plus the canary, at the
+/// default margin.
+fn sim_guard(image: &DeviceImage) -> OutputGuard {
+    let spec = image.spec();
+    let samples: Vec<DenseTensor> = (0..64)
+        .map(|i| image.execute_golden(&spec.request(i)))
+        .chain(std::iter::once(image.execute_golden(&spec.canary())))
+        .collect();
+    OutputGuard::calibrate(&samples, DEFAULT_GUARD_MARGIN)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Output guards never fire on a clean image: any image seed
+    /// derived from the default seed, any window of the request stream.
+    #[test]
+    fn guards_never_fire_on_clean_images(label in 0u64..512, base in 0u64..65536) {
+        let spec = ImageSpec::small(derive(DEFAULT_SEED, &format!("sdc/prop/{label}")));
+        let image = spec.build();
+        let guard = sim_guard(&image);
+        for id in base..base + 64 {
+            prop_assert!(
+                image.execute_guarded(&spec.request(id), &guard).is_ok(),
+                "guard false-positived on clean request {id}"
+            );
+        }
+        prop_assert!(image.execute_guarded(&spec.canary(), &guard).is_ok());
+    }
+
+    /// A clean fleet under the full policy serves everything, false-
+    /// positives nothing, and quarantines nobody — for any canary
+    /// frequency and fleet size.
+    #[test]
+    fn clean_fleet_never_false_positives(canary in 2u32..64, devices in 1u32..8) {
+        let mut cfg = SdcSimConfig::default_for(DetectionPolicy::full(canary), DEFAULT_SEED);
+        cfg.devices = devices;
+        cfg.requests = 400;
+        let plan = FaultPlan::generate(
+            &FaultPlanConfig {
+                error_prone_card_rate: 0.0,
+                ..FaultPlanConfig::sdc_study()
+            },
+            cfg.devices,
+            SimTime::from_secs(1),
+            derive(DEFAULT_SEED, "sdc/prop/clean"),
+        );
+        let mut handler = InlineRepair::new(SimTime::from_millis(10), 8);
+        let report = run_sdc_sim(&cfg, &plan, &mut handler);
+        prop_assert_eq!(report.false_positives, 0);
+        prop_assert_eq!(report.quarantines, 0);
+        prop_assert_eq!(report.served, report.offered);
+        prop_assert_eq!(report.served_corrupted, 0);
+    }
+
+    /// No single bit flip silently corrupts: either an inline guard or
+    /// the canary (fingerprint or guard) detects it, or every output in
+    /// the stream still matches golden within tolerance.
+    #[test]
+    fn single_flip_never_silently_corrupts(
+        region_idx in 0usize..4,
+        word in any::<u32>(),
+        bit in 0u32..32,
+    ) {
+        let regions = [
+            InjectionTarget::EmbeddingRows,
+            InjectionTarget::TbeIndices,
+            InjectionTarget::DenseWeights,
+            InjectionTarget::Activations,
+        ];
+        let spec = ImageSpec::small(DEFAULT_SEED);
+        let mut image = spec.build();
+        let guard = sim_guard(&image);
+        let golden_fp = image.golden_canary_fingerprint();
+        image.apply_flip(regions[region_idx], word, bit);
+
+        let mut detected = false;
+        let mut diverged = false;
+        for id in 0..256u64 {
+            let req = spec.request(id);
+            match image.execute_guarded(&req, &guard) {
+                Err(_) => {
+                    detected = true;
+                    break;
+                }
+                Ok(out) => diverged |= image.is_corrupted_output(&req, &out),
+            }
+        }
+        if !detected {
+            detected = match image.execute_guarded(&spec.canary(), &guard) {
+                Err(_) => true,
+                Ok(out) => output_fingerprint(&out) != golden_fp,
+            };
+        }
+        prop_assert!(
+            detected || !diverged,
+            "flip ({:?}, word {word}, bit {bit}) corrupted an output and escaped every detector",
+            regions[region_idx]
+        );
+    }
+}

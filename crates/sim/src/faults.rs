@@ -23,10 +23,20 @@
 //!   inflate by a multiplicative slowdown for the window.
 //! * [`FaultKind::TransientJobFailure`] — a one-off runtime/descriptor
 //!   error; the running job fails, the device is otherwise fine.
+//! * [`FaultKind::LpddrBitFlip`] — an ECC-off §5.1 bit flip landing in a
+//!   specific model memory region. The event is instantaneous but the
+//!   corruption *persists* in the device's memory image until something
+//!   scrubs or reloads it; the SDC-defense layer
+//!   (`mtia_serving::sdc`) owns that lingering state, not
+//!   [`DeviceFaultState`]. The region vocabulary is shared with the
+//!   offline `mtia_model::error_inject` campaigns
+//!   ([`InjectionTarget`]) so traces and campaigns describe corruption
+//!   in the same terms.
 
 use std::cmp::Ordering;
 
 use mtia_core::SimTime;
+use mtia_model::error_inject::InjectionTarget;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,6 +78,20 @@ pub enum FaultKind {
     },
     /// One-off transient job failure. Instantaneous.
     TransientJobFailure,
+    /// §5.1 with ECC off: a single bit flips somewhere in the device's
+    /// LPDDR-resident model memory. `word` indexes a word within the
+    /// region (interpreted modulo the region's size by whoever owns the
+    /// memory image) and `bit` is the bit position within that word.
+    /// Instantaneous to inject; persistent until scrubbed/reloaded.
+    LpddrBitFlip {
+        /// Which model memory region the flip lands in (shared with the
+        /// offline injection campaigns).
+        region: InjectionTarget,
+        /// Word index within the region (reduce modulo region size).
+        word: u32,
+        /// Bit position within the word (0 = LSB, < 32).
+        bit: u32,
+    },
 }
 
 impl FaultKind {
@@ -76,7 +100,9 @@ impl FaultKind {
     pub fn is_instantaneous(&self) -> bool {
         matches!(
             self,
-            FaultKind::EccDoubleBit | FaultKind::TransientJobFailure
+            FaultKind::EccDoubleBit
+                | FaultKind::TransientJobFailure
+                | FaultKind::LpddrBitFlip { .. }
         )
     }
 
@@ -87,6 +113,11 @@ impl FaultKind {
             FaultKind::PcieLinkLoss { min_utilization } => (3, min_utilization.to_bits()),
             FaultKind::NocStall { slowdown } => (4, slowdown.to_bits()),
             FaultKind::TransientJobFailure => (5, 0),
+            // region (2 bits) | word (32 bits) | bit (5 bits) pack exactly.
+            FaultKind::LpddrBitFlip { region, word, bit } => (
+                6,
+                ((region_tag(region) as u64) << 37) | ((word as u64) << 5) | bit as u64,
+            ),
         }
     }
 }
@@ -134,6 +165,11 @@ pub struct FaultPlanConfig {
     pub noc_stalls_per_device: f64,
     /// Mean transient job failures per device over the horizon.
     pub transient_failures_per_device: f64,
+    /// Mean ECC-off LPDDR bit flips per error-prone device over the
+    /// horizon ([`FaultKind::LpddrBitFlip`]). Zero in ECC-on worlds —
+    /// controller ECC corrects single-bit errors before the model sees
+    /// them — so the PR-1 presets leave this at 0.0.
+    pub bit_flips_per_prone_device: f64,
     /// Mean fault-window length (SBE bursts, NoC stalls).
     pub mean_window: SimTime,
     /// Time a lost PCIe link stays down before the host resets the card.
@@ -154,6 +190,7 @@ impl FaultPlanConfig {
             pcie_min_utilization: 0.9,
             noc_stalls_per_device: 0.2,
             transient_failures_per_device: 0.5,
+            bit_flips_per_prone_device: 0.0,
             mean_window: SimTime::from_millis(500),
             pcie_reset_after: SimTime::from_secs(5),
         }
@@ -171,9 +208,56 @@ impl FaultPlanConfig {
             pcie_min_utilization: 0.5,
             noc_stalls_per_device: 2.0,
             transient_failures_per_device: 6.0,
+            bit_flips_per_prone_device: 0.0,
             mean_window: SimTime::from_millis(800),
             pcie_reset_after: SimTime::from_secs(3),
         }
+    }
+
+    /// The §5.1 ECC-off study world: LPDDR bit flips reach model memory
+    /// and nothing else interferes, so the SDC-defense sweep isolates
+    /// corruption detection from the PR-1 availability machinery. Every
+    /// device is treated as exposed (no ECC means no prone/clean split).
+    pub fn sdc_study() -> Self {
+        FaultPlanConfig {
+            error_prone_card_rate: 1.0,
+            sbe_bursts_per_prone_device: 0.0,
+            mean_flips_per_burst: 0.0,
+            dbe_per_device: 0.0,
+            pcie_loss_per_device: 0.0,
+            pcie_min_utilization: 1.0,
+            noc_stalls_per_device: 0.0,
+            transient_failures_per_device: 0.0,
+            bit_flips_per_prone_device: 6.0,
+            mean_window: SimTime::from_millis(500),
+            pcie_reset_after: SimTime::from_secs(5),
+        }
+    }
+}
+
+/// Stable per-region tag used in fingerprints and region sampling.
+fn region_tag(region: InjectionTarget) -> u8 {
+    match region {
+        InjectionTarget::DenseWeights => 0,
+        InjectionTarget::EmbeddingRows => 1,
+        InjectionTarget::TbeIndices => 2,
+        InjectionTarget::Activations => 3,
+    }
+}
+
+/// Samples a flip region with the §5.1 byte-share weights: ~90 % of model
+/// DRAM holds embedding rows; indices, dense weights, and activation
+/// scratch split the rest (matching the blend `mtia_fleet::memerr` uses).
+fn sample_region(rng: &mut StdRng) -> InjectionTarget {
+    let u: f64 = rng.gen();
+    if u < 0.88 {
+        InjectionTarget::EmbeddingRows
+    } else if u < 0.93 {
+        InjectionTarget::TbeIndices
+    } else if u < 0.98 {
+        InjectionTarget::DenseWeights
+    } else {
+        InjectionTarget::Activations
     }
 }
 
@@ -254,6 +338,17 @@ impl FaultPlan {
                             FaultKind::EccSingleBitBurst { flips },
                             exp_window(rng, mean_window),
                         )
+                    },
+                );
+                push_windows(
+                    &mut rng,
+                    &mut events,
+                    config.bit_flips_per_prone_device,
+                    &|rng| {
+                        let region = sample_region(rng);
+                        let word = rng.gen::<u32>();
+                        let bit = rng.gen_range(0..32);
+                        (FaultKind::LpddrBitFlip { region, word, bit }, SimTime::ZERO)
                     },
                 );
             }
@@ -457,7 +552,12 @@ impl DeviceFaultState {
                     false
                 }
             }
-            FaultKind::EccDoubleBit | FaultKind::TransientJobFailure => false,
+            // Instantaneous kinds leave no windowed condition here; a
+            // bit flip's persistence lives in the memory image owned by
+            // the SDC layer, not in the link/slowdown state.
+            FaultKind::EccDoubleBit
+            | FaultKind::TransientJobFailure
+            | FaultKind::LpddrBitFlip { .. } => false,
         }
     }
 
@@ -573,6 +673,81 @@ mod tests {
             "prone devices {}",
             prone_devices.len()
         );
+    }
+
+    #[test]
+    fn sdc_study_plans_are_pure_bit_flip_traces() {
+        let plan = FaultPlan::generate(
+            &FaultPlanConfig::sdc_study(),
+            8,
+            SimTime::from_secs(60),
+            DEFAULT_SEED_FOR_TESTS,
+        );
+        assert!(!plan.events().is_empty());
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| matches!(e.kind, FaultKind::LpddrBitFlip { .. })));
+        assert!(plan.events().iter().all(|e| e.duration == SimTime::ZERO));
+        // The §5.1 byte-share weighting makes embedding rows dominate.
+        let rows = plan
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::LpddrBitFlip {
+                        region: InjectionTarget::EmbeddingRows,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(
+            rows * 2 > plan.events().len(),
+            "embedding rows must dominate: {rows}/{}",
+            plan.events().len()
+        );
+    }
+
+    const DEFAULT_SEED_FOR_TESTS: u64 = 0x5dc;
+
+    #[test]
+    fn bit_flip_rate_zero_leaves_legacy_plans_unchanged() {
+        // PR-1 presets must generate byte-identical traces after the
+        // bit-flip extension: a zero mean draws nothing from the RNG.
+        let plan = FaultPlan::generate(&FaultPlanConfig::stress(), 8, SimTime::from_secs(60), 42);
+        assert!(!plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::LpddrBitFlip { .. })));
+    }
+
+    #[test]
+    fn bit_flip_fingerprints_separate_region_word_bit() {
+        let mk = |region, word, bit| {
+            FaultPlan::empty(1).with_event(FaultEvent {
+                at: SimTime::from_secs(1),
+                device: 0,
+                kind: FaultKind::LpddrBitFlip { region, word, bit },
+                duration: SimTime::ZERO,
+            })
+        };
+        let a = mk(InjectionTarget::EmbeddingRows, 7, 3);
+        let b = mk(InjectionTarget::TbeIndices, 7, 3);
+        let c = mk(InjectionTarget::EmbeddingRows, 8, 3);
+        let d = mk(InjectionTarget::EmbeddingRows, 7, 4);
+        let fps = [
+            a.fingerprint(),
+            b.fingerprint(),
+            c.fingerprint(),
+            d.fingerprint(),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "events {i} and {j} collide");
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no tracked build artifacts"
+# Build output must never be committed: fail if the index contains any
+# target/ directory (workspace root or nested) or other generated junk.
+if git ls-files | grep -E '(^|/)target/|\.rlib$|\.rmeta$|\.crate$' >/dev/null; then
+  echo "error: build artifacts are tracked in git:" >&2
+  git ls-files | grep -E '(^|/)target/|\.rlib$|\.rmeta$|\.crate$' | head >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
