@@ -1,11 +1,220 @@
-//! Runs every table/figure reproduction and prints them in paper order —
-//! the source of `EXPERIMENTS.md`.
+//! Runs table/figure reproductions and prints them in paper order — the
+//! source of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! cargo run --release -p mtia-bench --bin reproduce
+//! cargo run --release -p mtia-bench --bin reproduce [-- OPTIONS]
+//!
+//! OPTIONS:
+//!   --threads N          worker threads for the experiment pool
+//!                        (default: auto; 1 = serial)
+//!   --filter STR         comma-separated substring terms selecting
+//!                        experiments by name; "quick" = the fast
+//!                        determinism subset
+//!   --list               print the experiment names and exit
+//!   --determinism-check  run the selection at 1 thread and at N
+//!                        threads and fail unless the rendered output
+//!                        is byte-identical
+//!   --bench-perf PATH    time each selected experiment at 1 thread and
+//!                        at N threads and write a JSON report (wall
+//!                        clock, speedup, kernel-cost-cache hit rate)
 //! ```
+//!
+//! Experiments are pure `(config, seed)` functions, so every mode prints
+//! byte-identical tables at any `--threads` value; only wall-clock (and
+//! the cache/timing telemetry in the JSON report) changes.
 
-fn main() {
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mtia_bench::experiments::{self, ExperimentEntry};
+use mtia_bench::render_reports;
+use mtia_core::pool;
+
+struct Options {
+    threads: usize,
+    filter: Option<String>,
+    list: bool,
+    determinism_check: bool,
+    bench_perf: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--threads N] [--filter STR] [--list] \
+         [--determinism-check] [--bench-perf PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        threads: 0,
+        filter: None,
+        list: false,
+        determinism_check: false,
+        bench_perf: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.threads = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--filter" => opts.filter = Some(args.next().unwrap_or_else(|| usage())),
+            "--list" => opts.list = true,
+            "--determinism-check" => opts.determinism_check = true,
+            "--bench-perf" => opts.bench_perf = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn selection(opts: &Options) -> Vec<ExperimentEntry> {
+    let entries = match &opts.filter {
+        Some(f) => experiments::filtered(f),
+        None => experiments::registry(),
+    };
+    if entries.is_empty() {
+        eprintln!("no experiments match the filter");
+        std::process::exit(2);
+    }
+    entries
+}
+
+/// Runs `entries` and reports wall-clock plus the kernel-cost-cache
+/// delta for the run (the cache is process-global, so it is reset first
+/// for honest cold-start numbers).
+fn timed_run(
+    entries: &[ExperimentEntry],
+    threads: usize,
+) -> (String, f64, mtia_core::memo::CacheStats) {
+    mtia_sim::costcache::reset();
+    pool::set_threads(threads);
+    let start = Instant::now();
+    let reports = experiments::run_entries(entries.to_vec());
+    let wall = start.elapsed().as_secs_f64();
+    pool::set_threads(0);
+    (render_reports(&reports), wall, mtia_sim::costcache::stats())
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Emits the BENCH_PERF.json payload: per-experiment wall clock at one
+/// thread and at `threads`, speedup, byte-identity, and cost-cache hit
+/// rates. Hand-rolled JSON — the workspace takes no serde dependency.
+fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
+    let mut rows = String::new();
+    let mut total_1t = 0.0;
+    let mut total_nt = 0.0;
+    let mut all_identical = true;
+    for (i, entry) in entries.iter().enumerate() {
+        let one = std::slice::from_ref(entry);
+        let (out_1t, wall_1t, _) = timed_run(one, 1);
+        let (out_nt, wall_nt, cache) = timed_run(one, threads);
+        let identical = out_1t == out_nt;
+        all_identical &= identical;
+        total_1t += wall_1t;
+        total_nt += wall_nt;
+        eprintln!(
+            "  {:<24} 1t {:>8.3}s  {}t {:>8.3}s  speedup {:>5.2}x  cache {:>5.1}%  {}",
+            entry.name,
+            wall_1t,
+            threads,
+            wall_nt,
+            wall_1t / wall_nt,
+            cache.hit_rate() * 100.0,
+            if identical { "identical" } else { "MISMATCH" },
+        );
+        write!(
+            rows,
+            "{}    {{\"name\": \"{}\", \"wall_s_1t\": {}, \"wall_s_nt\": {}, \
+             \"speedup\": {}, \"identical\": {}, \
+             \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}}}}}",
+            if i == 0 { "" } else { ",\n" },
+            entry.name,
+            json_f64(wall_1t),
+            json_f64(wall_nt),
+            json_f64(wall_1t / wall_nt),
+            identical,
+            cache.hits,
+            cache.misses,
+            json_f64(cache.hit_rate()),
+        )
+        .expect("string write");
+    }
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"host_parallelism\": {},\n  \
+         \"experiments\": [\n{}\n  ],\n  \"total_wall_s_1t\": {},\n  \
+         \"total_wall_s_nt\": {},\n  \"overall_speedup\": {},\n  \
+         \"all_identical\": {}\n}}\n",
+        threads,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rows,
+        json_f64(total_1t),
+        json_f64(total_nt),
+        json_f64(total_1t / total_nt),
+        all_identical,
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path}");
+    all_identical
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let entries = selection(&opts);
+    if opts.list {
+        for e in &entries {
+            println!("{}", e.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let threads = if opts.threads == 0 {
+        pool::configured_threads()
+    } else {
+        opts.threads
+    };
+
+    let mut failed = false;
+    if opts.determinism_check {
+        let (out_1t, wall_1t, _) = timed_run(&entries, 1);
+        let (out_nt, wall_nt, _) = timed_run(&entries, threads);
+        if out_1t == out_nt {
+            eprintln!(
+                "determinism check passed: {} experiments byte-identical at 1 \
+                 and {threads} threads ({wall_1t:.3}s -> {wall_nt:.3}s)",
+                entries.len()
+            );
+        } else {
+            eprintln!("determinism check FAILED: output differs between 1 and {threads} threads");
+            failed = true;
+        }
+    }
+    if let Some(path) = &opts.bench_perf {
+        failed |= !bench_perf(&entries, threads, path);
+    }
+    if opts.determinism_check || opts.bench_perf.is_some() {
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    pool::set_threads(threads);
     println!("# MTIA 2i reproduction — every table and figure\n");
     println!(
         "Generated by `cargo run --release -p mtia-bench --bin reproduce`.\n\
@@ -13,8 +222,7 @@ fn main() {
          result (who wins, by what factor, where thresholds fall) is the\n\
          reproduction target."
     );
-    for report in mtia_bench::experiments::run_all() {
-        println!("\n---\n\n# Experiment {}", report.id);
-        report.print();
-    }
+    let reports = experiments::run_entries(entries);
+    print!("{}", render_reports(&reports));
+    ExitCode::SUCCESS
 }

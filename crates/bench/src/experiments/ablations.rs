@@ -32,7 +32,8 @@ fn sram_ablation() -> Table {
         &["model", "128 MB", "256 MB (shipped)", "512 MB"],
     );
     let models = zoo::fig6_models();
-    for name in ["LC3", "HC1", "HC3"] {
+    // 3 models × 3 capacities, each an independent simulation.
+    let rows = mtia_core::pool::parallel_map(vec!["LC3", "HC1", "HC3"], |_, name| {
         let m = models.iter().find(|m| m.name == name).unwrap();
         let g = m.graph();
         let mut cells = vec![name.to_string()];
@@ -46,7 +47,10 @@ fn sram_ablation() -> Table {
             let tput = sim.run_optimized(&g).throughput_samples_per_s();
             cells.push(format!("{} ({:.0}/s)", pct(tput / base), tput));
         }
-        t.row(&cells);
+        cells
+    });
+    for cells in &rows {
+        t.row(cells);
     }
     t
 }
@@ -161,26 +165,29 @@ fn zipf_sensitivity() -> Table {
     let models = zoo::fig6_models();
     let lc3 = models.iter().find(|m| m.name == "LC3").unwrap().graph();
     let hc3 = models.iter().find(|m| m.name == "HC3").unwrap().graph();
-    for skew in [0.80, 0.90, 0.95, 1.05, 1.15] {
+    // One independent (skew, model) simulation pair per rung.
+    let rows = mtia_core::pool::parallel_map(vec![0.80, 0.90, 0.95, 1.05, 1.15], |_, skew| {
         let sim = ChipSim::new(chips::mtia2i_128gb()).with_zipf_skew(skew);
         let a = sim.run_optimized(&lc3).tbe_hit_rate;
         let b = sim.run_optimized(&hc3).tbe_hit_rate;
-        t.row(&[fx(skew, 2), pct(a), pct(b)]);
+        [fx(skew, 2), pct(a), pct(b)]
+    });
+    for row in &rows {
+        t.row(row);
     }
     t
 }
 
-/// Runs all ablations.
+/// Runs all ablations. The four studies share no state, so they run
+/// concurrently on the pool workers (each may fan out further).
 pub fn run() -> ExperimentReport {
-    ExperimentReport {
-        id: "E18",
-        tables: vec![
-            sram_ablation(),
-            hbm_ablation(),
-            gpu_generation_sensitivity(),
-            zipf_sensitivity(),
-        ],
-    }
+    let tables = mtia_core::pool::parallel_invoke(vec![
+        Box::new(sram_ablation) as Box<dyn FnOnce() -> Table + Send>,
+        Box::new(hbm_ablation),
+        Box::new(gpu_generation_sensitivity),
+        Box::new(zipf_sensitivity),
+    ]);
+    ExperimentReport { id: "E18", tables }
 }
 
 #[cfg(test)]

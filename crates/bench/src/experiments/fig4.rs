@@ -156,8 +156,13 @@ pub fn run() -> ExperimentReport {
             "perf/W vs GPU",
         ],
     );
-    for stage in stages() {
+    // Each stage recompiles and re-simulates the model independently —
+    // fan the trajectory out on the pool workers.
+    let staged = mtia_core::pool::parallel_map(stages(), |_, stage| {
         let c = evaluate_stage(&stage);
+        (stage, c)
+    });
+    for (stage, c) in staged {
         let mf = if stage.evolved_model { 940 } else { 140 };
         t.row(&[
             stage.label.to_string(),

@@ -43,23 +43,28 @@ pub fn run() -> ExperimentReport {
     );
 
     // Common high-load operating point for the latency comparison: run the
-    // baseline near its SLO limit.
-    let (rate4, _) = max_rate_under_slo(deployment(4), slo, horizon, 7);
+    // baseline near its SLO limit. The two SLO bisections are independent
+    // (each cell reseeds its own arrival stream), so they fan out on the
+    // pool workers.
+    let max_rates = mtia_core::pool::parallel_map(vec![4u32, 2], |_, jobs| {
+        max_rate_under_slo(deployment(jobs), slo, horizon, 7).0
+    });
+    let rate4 = max_rates[0];
     let common_rate = rate4 * 0.98;
-    let mut results = Vec::new();
-    for jobs in [4u32, 2] {
+    let results: Vec<(f64, _)> = mtia_core::pool::parallel_map(vec![4u32, 2], |i, jobs| {
         let config = deployment(jobs);
-        let (max_rate, _) = max_rate_under_slo(config, slo, horizon, 7);
         let mut arrivals = PoissonArrivals::new(common_rate, StdRng::seed_from_u64(21));
         let stats = simulate_remote_merge(config, &mut arrivals, horizon, warmup);
+        (max_rates[i], stats)
+    });
+    for (jobs, (max_rate, stats)) in [4u32, 2].iter().zip(&results) {
         t.row(&[
             format!("{jobs} remote jobs/request"),
-            fx(max_rate, 1),
+            fx(*max_rate, 1),
             format!("{}", stats.request_latency.p99()),
             format!("{}", stats.merge_wait.p99()),
             pct(stats.utilization),
         ]);
-        results.push((max_rate, stats));
     }
 
     // The figure's series: P99 vs offered rate for both configurations.
@@ -69,18 +74,23 @@ pub fn run() -> ExperimentReport {
          curves diverge as the merge queue saturates",
         &["rate (req/s)", "P99 (4 remote jobs)", "P99 (2 remote jobs)"],
     );
-    for frac in [0.5, 0.7, 0.85, 0.95, 1.05] {
-        let rate = rate4 * frac;
-        let p99_of = |jobs: u32| {
-            let mut arrivals = PoissonArrivals::new(rate, StdRng::seed_from_u64(23));
-            simulate_remote_merge(deployment(jobs), &mut arrivals, horizon, warmup)
-                .request_latency
-                .p99()
-        };
+    // 5 rates × 2 configurations = 10 independent (config, seed) cells.
+    let fracs = [0.5, 0.7, 0.85, 0.95, 1.05];
+    let cells: Vec<(f64, u32)> = fracs
+        .iter()
+        .flat_map(|&frac| [(frac, 4u32), (frac, 2u32)])
+        .collect();
+    let p99s = mtia_core::pool::parallel_map(cells, |_, (frac, jobs)| {
+        let mut arrivals = PoissonArrivals::new(rate4 * frac, StdRng::seed_from_u64(23));
+        simulate_remote_merge(deployment(jobs), &mut arrivals, horizon, warmup)
+            .request_latency
+            .p99()
+    });
+    for (i, frac) in fracs.iter().enumerate() {
         series.row(&[
-            format!("{rate:.0}"),
-            format!("{}", p99_of(4)),
-            format!("{}", p99_of(2)),
+            format!("{:.0}", rate4 * frac),
+            format!("{}", p99s[2 * i]),
+            format!("{}", p99s[2 * i + 1]),
         ]);
     }
 

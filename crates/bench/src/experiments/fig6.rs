@@ -24,10 +24,14 @@ pub fn run() -> ExperimentReport {
         ],
     );
 
+    // Nine independent compile+simulate cells — one pool task per model.
+    let compared = mtia_core::pool::parallel_map(zoo::fig6_models(), |_, m| {
+        let c = compare_model(&m);
+        (m, c)
+    });
     let mut tco_rels = Vec::new();
     let mut watt_rels = Vec::new();
-    for m in zoo::fig6_models() {
-        let c = compare_model(&m);
+    for (m, c) in compared {
         tco_rels.push(c.rel.perf_per_tco);
         watt_rels.push(c.rel.perf_per_watt);
         t.row(&[

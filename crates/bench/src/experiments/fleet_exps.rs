@@ -4,7 +4,7 @@
 use mtia_core::power::PowerModel;
 use mtia_core::spec::chips;
 use mtia_fleet::chipsize::{production_gain_over_replay, sample_portfolio};
-use mtia_fleet::firmware::{cadence, simulate_rollout, FirmwareBundle, Rollout};
+use mtia_fleet::firmware::{cadence, simulate_rollout_replicas, FirmwareBundle, Rollout};
 use mtia_fleet::memerr::{
     decision_bandwidth_cost, ecc_keeps_tco_advantage, evaluate_mitigations, production_decision,
     run_sensitivity, run_survey,
@@ -133,14 +133,16 @@ pub fn e10_overclocking() -> ExperimentReport {
          offline replayer tests\"",
         &["model", "gain"],
     );
-    let mut gains = Vec::new();
-    for m in zoo::fig6_models() {
+    // Two full model simulations per row, all independent — one pool
+    // task per model.
+    let gains = mtia_core::pool::parallel_map(zoo::fig6_models(), |_, m| {
         let g = m.graph();
         let fast = deployed.run_optimized(&g).throughput_samples_per_s();
         let slow = design.run_optimized(&g).throughput_samples_per_s();
-        let gain = fast / slow - 1.0;
-        gains.push(gain);
-        e.row(&[m.name.clone(), pct(gain)]);
+        (m.name, fast / slow - 1.0)
+    });
+    for (name, gain) in gains {
+        e.row(&[name, pct(gain)]);
     }
     ExperimentReport {
         id: "E10",
@@ -205,53 +207,54 @@ pub fn e12_chip_size() -> ExperimentReport {
             "production gain",
         ],
     );
-    let mut gains = Vec::new();
-    let add_row = |label: String,
-                   portfolio: &[mtia_fleet::ModelDemand],
-                   t: &mut Table,
-                   gains: &mut Vec<f64>| {
-        let small = mtia_fleet::provision(mtia_fleet::DeviceOption::small_chip(), portfolio);
-        let big = mtia_fleet::provision(mtia_fleet::DeviceOption::big_chip(), portfolio);
-        let gain = production_gain_over_replay(portfolio);
-        gains.push(gain);
-        t.row(&[
-            label,
-            pct(small.utilization),
-            pct(big.utilization),
-            format!("+{}", pct(gain)),
-        ]);
-    };
-    for i in 0..4 {
-        let portfolio = sample_portfolio(40, &mut rng);
-        add_row(
-            format!("mixed portfolio {}", i + 1),
-            &portfolio,
-            &mut t,
-            &mut gains,
-        );
-    }
+    // Portfolio sampling draws from one sequential RNG stream, so it
+    // stays serial; the per-portfolio provisioning below is pure and
+    // fans out on the pool workers.
+    let mut portfolios: Vec<(String, Vec<mtia_fleet::ModelDemand>)> = (0..4)
+        .map(|i| {
+            (
+                format!("mixed portfolio {}", i + 1),
+                sample_portfolio(40, &mut rng),
+            )
+        })
+        .collect();
     // The band's edges: a fleet of sub-device models (big chips strand the
     // most capacity) and a fleet of very large models (both options
     // amortize).
-    let tiny: Vec<mtia_fleet::ModelDemand> = (0..30)
-        .map(|i| mtia_fleet::ModelDemand {
-            peak: 0.4 + 0.06 * i as f64,
-            avg_to_peak: 0.6,
-        })
-        .collect();
-    add_row("small-model-heavy fleet".into(), &tiny, &mut t, &mut gains);
-    let big_models: Vec<mtia_fleet::ModelDemand> = (0..10)
-        .map(|i| mtia_fleet::ModelDemand {
-            peak: 60.0 + 12.0 * i as f64,
-            avg_to_peak: 0.6,
-        })
-        .collect();
-    add_row(
+    portfolios.push((
+        "small-model-heavy fleet".into(),
+        (0..30)
+            .map(|i| mtia_fleet::ModelDemand {
+                peak: 0.4 + 0.06 * i as f64,
+                avg_to_peak: 0.6,
+            })
+            .collect(),
+    ));
+    portfolios.push((
         "large-model-heavy fleet".into(),
-        &big_models,
-        &mut t,
-        &mut gains,
-    );
+        (0..10)
+            .map(|i| mtia_fleet::ModelDemand {
+                peak: 60.0 + 12.0 * i as f64,
+                avg_to_peak: 0.6,
+            })
+            .collect(),
+    ));
+    let rows = mtia_core::pool::parallel_map(portfolios, |_, (label, portfolio)| {
+        let small = mtia_fleet::provision(mtia_fleet::DeviceOption::small_chip(), &portfolio);
+        let big = mtia_fleet::provision(mtia_fleet::DeviceOption::big_chip(), &portfolio);
+        let gain = production_gain_over_replay(&portfolio);
+        (label, small.utilization, big.utilization, gain)
+    });
+    let mut gains = Vec::new();
+    for (label, small_util, big_util, gain) in rows {
+        gains.push(gain);
+        t.row(&[
+            label,
+            pct(small_util),
+            pct(big_util),
+            format!("+{}", pct(gain)),
+        ]);
+    }
     let mean = gains.iter().sum::<f64>() / gains.len() as f64;
     t.row(&[
         "mean".into(),
@@ -315,14 +318,13 @@ pub fn e13_firmware() -> ExperimentReport {
         format!("vs {} for GPUs", cadence::GPU_RELEASES_PER_YEAR),
     ]);
 
-    // Staged rollout catches the 0.1 % defect before full fleet.
-    let mut caught_early = 0;
-    for _ in 0..30 {
-        let o = simulate_rollout(&Rollout::standard(), &original, 50_000, &mut rng);
-        if o.detected_at_stage.map(|s| s < 3).unwrap_or(false) {
-            caught_early += 1;
-        }
-    }
+    // Staged rollout catches the 0.1 % defect before full fleet. The 30
+    // trials run as parallel replicas, each on its own derived RNG
+    // stream, so the count is thread-count invariant.
+    let caught_early = simulate_rollout_replicas(&Rollout::standard(), &original, 50_000, 95, 30)
+        .iter()
+        .filter(|o| o.detected_at_stage.map(|s| s < 3).unwrap_or(false))
+        .count();
     let mut c = Table::new(
         "E13c: staged rollout containment (30 trials, 50k-server fleet)",
         "§5.5: \"This incremental approach helps identify subtle issues, \

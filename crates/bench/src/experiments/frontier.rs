@@ -50,10 +50,15 @@ pub fn run() -> ExperimentReport {
         ],
     );
 
-    for cfg in wukong::scaling_sweep(batch) {
+    // Each sweep point compiles and simulates its own graph — pure cells,
+    // fanned out on the pool workers.
+    let sweep = mtia_core::pool::parallel_map(wukong::scaling_sweep(batch), |_, cfg| {
         let g = cfg.build();
         let compiled = mtia_compiler::compile(&g, mtia_compiler::CompilerOptions::all());
         let r = compiled.run(&sim);
+        (cfg, g, r)
+    });
+    for (cfg, g, r) in sweep {
         let achieved = r.achieved_flops_per_s();
         t.row(&[
             cfg.name.clone(),

@@ -19,34 +19,195 @@ pub mod sdc_exps;
 pub mod tables;
 pub mod tuning;
 
+use mtia_core::pool;
+
 use crate::ExperimentReport;
+
+/// One named, independently runnable experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentEntry {
+    /// Stable name used by `reproduce --filter`.
+    pub name: &'static str,
+    /// The experiment function. Must be pure: every experiment seeds its
+    /// own RNG streams, so entries can run concurrently in any order.
+    pub run: fn() -> ExperimentReport,
+}
+
+/// Every experiment, in paper order, with its `--filter` name.
+pub fn registry() -> Vec<ExperimentEntry> {
+    vec![
+        ExperimentEntry {
+            name: "table1",
+            run: tables::table1,
+        },
+        ExperimentEntry {
+            name: "table2",
+            run: tables::table2,
+        },
+        ExperimentEntry {
+            name: "fig4",
+            run: fig4::run,
+        },
+        ExperimentEntry {
+            name: "fig5",
+            run: fig5::run,
+        },
+        ExperimentEntry {
+            name: "fig6",
+            run: fig6::run,
+        },
+        ExperimentEntry {
+            name: "e1_job_launch",
+            run: chip_exps::e1_job_launch,
+        },
+        ExperimentEntry {
+            name: "e2_gemm_efficiency",
+            run: chip_exps::e2_gemm_efficiency,
+        },
+        ExperimentEntry {
+            name: "e3_llm_roofline",
+            run: llm::e3_llm_roofline,
+        },
+        ExperimentEntry {
+            name: "e4_kernel_tuning",
+            run: tuning::e4_kernel_tuning,
+        },
+        ExperimentEntry {
+            name: "e5_coalescing",
+            run: tuning::e5_coalescing,
+        },
+        ExperimentEntry {
+            name: "e6_sram_hit_rates",
+            run: locality::e6_sram_hit_rates,
+        },
+        ExperimentEntry {
+            name: "e7_broadcast_gemm",
+            run: chip_exps::e7_broadcast_gemm,
+        },
+        ExperimentEntry {
+            name: "e8_quantization",
+            run: quant::e8_quantization,
+        },
+        ExperimentEntry {
+            name: "e9_ecc_study",
+            run: fleet_exps::e9_ecc_study,
+        },
+        ExperimentEntry {
+            name: "e10_overclocking",
+            run: fleet_exps::e10_overclocking,
+        },
+        ExperimentEntry {
+            name: "e11_power_budget",
+            run: fleet_exps::e11_power_budget,
+        },
+        ExperimentEntry {
+            name: "e12_chip_size",
+            run: fleet_exps::e12_chip_size,
+        },
+        ExperimentEntry {
+            name: "e13_firmware",
+            run: fleet_exps::e13_firmware,
+        },
+        ExperimentEntry {
+            name: "e14_ab_testing",
+            run: ab::e14_ab_testing,
+        },
+        ExperimentEntry {
+            name: "e15_fusion_gains",
+            run: locality::e15_fusion_gains,
+        },
+        ExperimentEntry {
+            name: "e16_compression",
+            run: quant::e16_compression,
+        },
+        ExperimentEntry {
+            name: "e17_complexity_frontier",
+            run: frontier::run,
+        },
+        ExperimentEntry {
+            name: "e18_ablations",
+            run: ablations::run,
+        },
+        ExperimentEntry {
+            name: "e19_sdc_defense",
+            run: sdc_exps::e19_sdc_defense,
+        },
+    ]
+}
+
+/// The fast subset behind `--filter quick` and the determinism gate:
+/// fig5 (serving Monte-Carlo sweeps) plus a single E19 SDC ladder rung.
+pub fn quick_subset() -> Vec<ExperimentEntry> {
+    vec![
+        ExperimentEntry {
+            name: "fig5",
+            run: fig5::run,
+        },
+        ExperimentEntry {
+            name: "e19_rung",
+            run: sdc_exps::e19_single_rung,
+        },
+    ]
+}
+
+/// Registry entries whose name contains any comma-separated term of
+/// `filter` (case-insensitive). `"quick"` selects [`quick_subset`].
+pub fn filtered(filter: &str) -> Vec<ExperimentEntry> {
+    if filter.eq_ignore_ascii_case("quick") {
+        return quick_subset();
+    }
+    let terms: Vec<String> = filter
+        .split(',')
+        .map(|t| t.trim().to_ascii_lowercase())
+        .filter(|t| !t.is_empty())
+        .collect();
+    registry()
+        .into_iter()
+        .filter(|e| terms.iter().any(|t| e.name.contains(t.as_str())))
+        .collect()
+}
+
+/// Runs `entries` on the [`pool`] workers, reports in entry order.
+///
+/// Experiments are pure (self-seeded), so the result — and everything
+/// rendered from it — is byte-identical at any thread count; only
+/// wall-clock changes.
+pub fn run_entries(entries: Vec<ExperimentEntry>) -> Vec<ExperimentReport> {
+    pool::parallel_map(entries, |_, e| (e.run)())
+}
 
 /// Runs every experiment in paper order.
 pub fn run_all() -> Vec<ExperimentReport> {
-    vec![
-        tables::table1(),
-        tables::table2(),
-        fig4::run(),
-        fig5::run(),
-        fig6::run(),
-        chip_exps::e1_job_launch(),
-        chip_exps::e2_gemm_efficiency(),
-        llm::e3_llm_roofline(),
-        tuning::e4_kernel_tuning(),
-        tuning::e5_coalescing(),
-        locality::e6_sram_hit_rates(),
-        chip_exps::e7_broadcast_gemm(),
-        quant::e8_quantization(),
-        fleet_exps::e9_ecc_study(),
-        fleet_exps::e10_overclocking(),
-        fleet_exps::e11_power_budget(),
-        fleet_exps::e12_chip_size(),
-        fleet_exps::e13_firmware(),
-        ab::e14_ab_testing(),
-        locality::e15_fusion_gains(),
-        quant::e16_compression(),
-        frontier::run(),
-        ablations::run(),
-        sdc_exps::e19_sdc_defense(),
-    ]
+    run_entries(registry())
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_cover_the_paper_order() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 24);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate experiment name");
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let figs = filtered("fig");
+        assert_eq!(
+            figs.iter().map(|e| e.name).collect::<Vec<_>>(),
+            vec!["fig4", "fig5", "fig6"]
+        );
+        let multi = filtered("table1, e19");
+        assert_eq!(
+            multi.iter().map(|e| e.name).collect::<Vec<_>>(),
+            vec!["table1", "e19_sdc_defense"]
+        );
+        assert!(filtered("no_such_experiment").is_empty());
+        assert_eq!(filtered("quick").len(), quick_subset().len());
+    }
 }

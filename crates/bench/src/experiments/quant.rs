@@ -116,11 +116,14 @@ pub fn e8_quantization() -> ExperimentReport {
     let hc1 = models.iter().find(|m| m.name == "HC1").unwrap();
     let g = hc1.graph();
     let baseline = mtia_compiler::compile(&g, CompilerOptions::all()).run(&sim);
-    for (label, threshold) in [
+    // Each quantization threshold recompiles and re-simulates the model
+    // from scratch — independent cells, fanned out on the pool workers.
+    let thresholds = vec![
         ("FP16 everywhere", None),
         ("largest FCs only (≥8 MiB)", Some(Bytes::from_mib(8))),
         ("every FC (quality-risky)", Some(Bytes::ZERO)),
-    ] {
+    ];
+    let quant_runs = mtia_core::pool::parallel_map(thresholds, |_, (label, threshold)| {
         let (graph, rewrites) = match threshold {
             None => (g.clone(), 0),
             Some(min_weight_bytes) => {
@@ -132,6 +135,9 @@ pub fn e8_quantization() -> ExperimentReport {
             }
         };
         let report = mtia_compiler::compile(&graph, CompilerOptions::all()).run(&sim);
+        (label, rewrites, report)
+    });
+    for (label, rewrites, report) in quant_runs {
         e2e.row(&[
             label.to_string(),
             rewrites.to_string(),

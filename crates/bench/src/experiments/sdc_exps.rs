@@ -41,10 +41,14 @@ fn policy_label(p: &DetectionPolicy) -> String {
 
 /// E19: detection-policy sweep under injected ECC-off bit flips.
 pub fn e19_sdc_defense() -> ExperimentReport {
-    let runs: Vec<(DetectionPolicy, DefendedFleetReport)> = policies()
-        .into_iter()
-        .map(|p| (p, run_defended_fleet(p, DEFAULT_SEED)))
-        .collect();
+    // Every rung of the ladder replays the same seeded fault trace under
+    // a different policy — pure (config, seed) cells, fanned out on the
+    // pool workers.
+    let runs: Vec<(DetectionPolicy, DefendedFleetReport)> =
+        mtia_core::pool::parallel_map(policies(), |_, p| {
+            let report = run_defended_fleet(p, DEFAULT_SEED);
+            (p, report)
+        });
 
     let mut sweep = Table::new(
         "E19: SDC detection-policy sweep (one byte-identical bit-flip trace)",
@@ -152,8 +156,11 @@ pub fn e19_sdc_defense() -> ExperimentReport {
             1,
         ),
     ];
-    for (label, region, word, bit) in cases {
-        coverage.row(&[label.to_string(), first_detector(region, word, bit)]);
+    let detectors = mtia_core::pool::parallel_map(cases.to_vec(), |_, (_, region, word, bit)| {
+        first_detector(region, word, bit)
+    });
+    for ((label, ..), detector) in cases.iter().zip(detectors) {
+        coverage.row(&[label.to_string(), detector]);
     }
 
     // Steady-state cost: the same full policy on a clean fleet — the
@@ -218,6 +225,43 @@ pub fn e19_sdc_defense() -> ExperimentReport {
     ExperimentReport {
         id: "E19",
         tables: vec![sweep, methods, coverage, cost],
+    }
+}
+
+/// A single rung of the E19 ladder — the full defense stack on the
+/// byte-identical trace. This is the SDC half of the `--filter quick`
+/// determinism subset: small enough to run on every CI invocation,
+/// stochastic enough (fault plan + canary scheduling + quarantine
+/// machine) to catch any nondeterminism the parallel runtime could
+/// introduce.
+pub fn e19_single_rung() -> ExperimentReport {
+    let policy = DetectionPolicy::full(16);
+    let r = run_defended_fleet(policy, DEFAULT_SEED);
+    let s = &r.sdc;
+    let mut t = Table::new(
+        "E19 (single rung): guards+canary+shadow on the seeded flip trace",
+        "§5.1: the full online defense catches corruption before responses \
+         are served",
+        &["metric", "value"],
+    );
+    t.row(&[
+        "fault fingerprint".into(),
+        format!("{:016x}", s.fault_fingerprint),
+    ]);
+    t.row(&[
+        "corrupting flips".into(),
+        format!("{}/{} injected", s.flips_corrupting, s.flips_injected),
+    ]);
+    t.row(&["recall".into(), pct(s.recall())]);
+    t.row(&[
+        "served corrupted".into(),
+        format!("{} of {}", s.served_corrupted, s.served),
+    ]);
+    t.row(&["quarantines".into(), s.quarantines.to_string()]);
+    t.row(&["overhead".into(), pct(s.overhead())]);
+    ExperimentReport {
+        id: "E19q",
+        tables: vec![t],
     }
 }
 

@@ -1,7 +1,7 @@
 //! Autotuning experiments: the FC kernel performance database (E4, §4.1)
 //! and request-coalescing tuning (E5, §4.1).
 
-use mtia_compiler::perfdb::{exhaustive_tune, FcShape, PerfDb};
+use mtia_compiler::perfdb::{exhaustive_tune_par, FcShape, MemoEval, PerfDb};
 use mtia_core::spec::{chips, EccMode};
 use mtia_core::units::{Bytes, SimTime};
 use mtia_core::DType;
@@ -13,7 +13,7 @@ use mtia_sim::noc::NocModel;
 
 use crate::{fx, pct, ExperimentReport, Table};
 
-fn sim_eval() -> impl FnMut(FcShape, FcVariant) -> SimTime {
+fn sim_eval() -> impl Fn(FcShape, FcVariant) -> SimTime + Sync {
     let chip = chips::mtia2i();
     move |shape, variant| {
         let env = KernelEnv {
@@ -36,13 +36,18 @@ fn sim_eval() -> impl FnMut(FcShape, FcVariant) -> SimTime {
 
 /// E4: exhaustive FC tuning vs the perf-DB ANN lookup.
 pub fn e4_kernel_tuning() -> ExperimentReport {
-    let mut eval = sim_eval();
+    // The kernel-cost evaluator is pure, so tuning memoizes it: repeated
+    // (shape, variant) cells across grid seeding, exhaustive baselines,
+    // and ANN queries hit the sharded cache, and the grid itself tunes
+    // its shapes on the pool workers.
+    let eval = sim_eval();
+    let memo = MemoEval::new(&eval);
     let mut db = PerfDb::new();
-    db.seed_grid(
+    db.seed_grid_par(
         &[64, 256, 1024, 4096],
         &[128, 512, 2048, 8192],
         &[128, 512, 2048],
-        &mut eval,
+        &memo.as_fn(),
     );
 
     let mut t = Table::new(
@@ -66,8 +71,8 @@ pub fn e4_kernel_tuning() -> ExperimentReport {
         FcShape::new(1536, 1536, 640),
     ];
     for q in queries {
-        let ex = exhaustive_tune(q, &mut eval);
-        let ann = db.lookup_tune(q, &mut eval);
+        let ex = exhaustive_tune_par(q, &memo.as_fn());
+        let ann = db.lookup_tune(q, &mut memo.as_fn());
         t.row(&[
             format!("{}x{}x{}", q.m, q.k, q.n),
             ex.evaluations.to_string(),

@@ -103,6 +103,27 @@ impl ExperimentReport {
     }
 }
 
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tables {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders reports exactly as the `reproduce` binary prints them — one
+/// `# Experiment <id>` section per report. Byte-identity comparisons
+/// across thread counts diff this string.
+pub fn render_reports(reports: &[ExperimentReport]) -> String {
+    use fmt::Write;
+    let mut out = String::new();
+    for report in reports {
+        write!(out, "\n---\n\n# Experiment {}\n{report}", report.id).expect("string write");
+    }
+    out
+}
+
 /// Formats a ratio as a percentage string ("180%").
 pub fn pct(x: f64) -> String {
     format!("{:.0}%", x * 100.0)

@@ -12,6 +12,10 @@
 //! tuner measures every generated variant; the database answers with a
 //! single nearest-neighbour lookup.
 
+use std::hash::Hash;
+
+use mtia_core::memo::{stable_key, CacheStats, ShardedCache};
+use mtia_core::pool;
 use mtia_core::units::SimTime;
 use mtia_sim::kernels::{FcVariant, Stationarity};
 
@@ -120,6 +124,86 @@ pub fn exhaustive_tune(
     }
 }
 
+/// Exhaustively evaluates every variant on the [`pool`] workers.
+///
+/// Equivalent to [`exhaustive_tune`] — same winner, same tie-breaking
+/// (earliest-enumerated variant among time ties), chosen by a
+/// deterministic index-ordered argmin over the parallel results — but
+/// the evaluation fan-out runs concurrently, which is where exhaustive
+/// tuning spends all of its time.
+pub fn exhaustive_tune_par(
+    shape: FcShape,
+    eval: &(impl Fn(FcShape, FcVariant) -> SimTime + Sync),
+) -> TuneOutcome {
+    let variants = enumerate_variants(shape);
+    let evaluations = variants.len();
+    let times = pool::parallel_map((0..variants.len()).collect(), |_, i| {
+        eval(shape, variants[i])
+    });
+    let (best_idx, time) = times
+        .iter()
+        .copied()
+        .enumerate()
+        .min_by(|(ia, ta), (ib, tb)| ta.cmp(tb).then(ia.cmp(ib)))
+        .expect("variant space is non-empty");
+    TuneOutcome {
+        variant: variants[best_idx],
+        time,
+        evaluations,
+    }
+}
+
+/// A memoized, thread-safe wrapper around a kernel-evaluation function.
+///
+/// Tuning sweeps revisit `(shape, variant)` cells: the grid seeding, the
+/// exhaustive baselines, and the validating lookups all call the same
+/// simulator-backed evaluation. `MemoEval` interns results in a
+/// lock-sharded cache so each distinct cell is simulated once per
+/// process; being `&self`-based it is shared freely across the
+/// [`pool`] workers.
+///
+/// The wrapped function must be pure — the cache returns the first
+/// computed value for a key forever after.
+#[derive(Debug)]
+pub struct MemoEval<F> {
+    inner: F,
+    cache: ShardedCache<SimTime>,
+}
+
+impl<F: Fn(FcShape, FcVariant) -> SimTime> MemoEval<F> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: F) -> Self {
+        MemoEval {
+            inner,
+            cache: ShardedCache::default(),
+        }
+    }
+
+    /// Evaluates `(shape, variant)`, consulting the cache first.
+    pub fn eval(&self, shape: FcShape, variant: FcVariant) -> SimTime {
+        let key = stable_key(|h| {
+            shape.hash(h);
+            variant.hash(h);
+        });
+        self.cache
+            .get_or_insert_with(key, || (self.inner)(shape, variant))
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Borrowing closure adapter for the `&mut impl FnMut` tuning APIs
+    /// and (when the inner evaluator is `Sync`) the parallel ones.
+    pub fn as_fn(&self) -> impl Fn(FcShape, FcVariant) -> SimTime + Sync + '_
+    where
+        F: Sync,
+    {
+        move |shape, variant| self.eval(shape, variant)
+    }
+}
+
 /// The performance database: tuned shapes and their best variants.
 #[derive(Debug, Clone, Default)]
 pub struct PerfDb {
@@ -167,6 +251,37 @@ impl PerfDb {
                     self.insert(shape, outcome.variant);
                 }
             }
+        }
+        total
+    }
+
+    /// [`seed_grid`](Self::seed_grid) with the grid's shapes exhausted
+    /// on the [`pool`] workers. The database ends up with exactly the
+    /// same entries in the same order: the grid is enumerated
+    /// deterministically and results are collected by input index, so
+    /// threading never reorders (or changes) the stored variants.
+    pub fn seed_grid_par(
+        &mut self,
+        ms: &[u64],
+        ks: &[u64],
+        ns: &[u64],
+        eval: &(impl Fn(FcShape, FcVariant) -> SimTime + Sync),
+    ) -> usize {
+        let mut shapes = Vec::new();
+        for &m in ms {
+            for &k in ks {
+                for &n in ns {
+                    shapes.push(FcShape::new(m, k, n));
+                }
+            }
+        }
+        let outcomes = pool::parallel_map(shapes, |_, shape| {
+            (shape, exhaustive_tune(shape, &mut |s, v| eval(s, v)))
+        });
+        let mut total = 0;
+        for (shape, outcome) in outcomes {
+            total += outcome.evaluations;
+            self.insert(shape, outcome.variant);
         }
         total
     }
@@ -240,6 +355,73 @@ mod tests {
             };
             cost_op(&env, &op, DType::Fp16, Some(variant)).time
         }
+    }
+
+    /// A shareable (`Fn`) simulator-backed evaluation over a borrowed
+    /// chip, for the parallel/memoized APIs.
+    fn shared_eval(
+        chip: &mtia_core::ChipSpec,
+    ) -> impl Fn(FcShape, FcVariant) -> SimTime + Sync + '_ {
+        move |shape, variant| {
+            let placement =
+                place_model(&chip.sram, Bytes::from_mib(40), Bytes::from_mib(200), 0.75);
+            let env = KernelEnv {
+                chip,
+                noc: NocModel::new(chip.noc.clone()),
+                dram: LpddrController::new(chip.dram.clone(), EccMode::ControllerEcc),
+                placement,
+                weight_resident_fraction: 0.5,
+                tbe_hit_rate: 0.5,
+                skip_writeback_hints: true,
+            };
+            let op = OpKind::Fc {
+                batch: shape.m,
+                in_features: shape.k,
+                out_features: shape.n,
+            };
+            cost_op(&env, &op, DType::Fp16, Some(variant)).time
+        }
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_serial() {
+        let chip = chips::mtia2i();
+        let eval = shared_eval(&chip);
+        let shape = FcShape::new(384, 1536, 768);
+        let serial = exhaustive_tune(shape, &mut |s, v| eval(s, v));
+        let parallel = exhaustive_tune_par(shape, &eval);
+        assert_eq!(serial.variant, parallel.variant);
+        assert_eq!(serial.time, parallel.time);
+        assert_eq!(serial.evaluations, parallel.evaluations);
+    }
+
+    #[test]
+    fn memoized_eval_computes_each_cell_once() {
+        let chip = chips::mtia2i();
+        let memo = MemoEval::new(shared_eval(&chip));
+        let shape = FcShape::new(256, 1024, 512);
+        let first = exhaustive_tune_par(shape, &memo.as_fn());
+        let misses_after_first = memo.stats().misses;
+        let second = exhaustive_tune_par(shape, &memo.as_fn());
+        assert_eq!(first.variant, second.variant);
+        assert_eq!(first.time, second.time);
+        // The second sweep is answered entirely from the cache (allowing
+        // for first-sweep races that double-computed a fresh key).
+        assert_eq!(memo.stats().misses, misses_after_first);
+        assert!(memo.stats().hits >= first.evaluations as u64);
+    }
+
+    #[test]
+    fn seed_grid_par_builds_the_same_database() {
+        let chip = chips::mtia2i();
+        let eval = shared_eval(&chip);
+        let mut serial_db = PerfDb::new();
+        let serial_evals =
+            serial_db.seed_grid(&[64, 512], &[128, 1024], &[256], &mut |s, v| eval(s, v));
+        let mut par_db = PerfDb::new();
+        let par_evals = par_db.seed_grid_par(&[64, 512], &[128, 1024], &[256], &eval);
+        assert_eq!(serial_evals, par_evals);
+        assert_eq!(serial_db.entries, par_db.entries);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! element data types, the published chip/server specifications, and the
 //! TCO/power accounting used by every experiment.
 //!
-//! This crate is dependency-free and purely descriptive; the behavioural
-//! models live in `mtia-sim` and above.
+//! This crate is dependency-free and (apart from the small execution
+//! utilities in [`pool`] and [`memo`]) purely descriptive; the
+//! behavioural models live in `mtia-sim` and above.
 //!
 //! # Quick tour
 //!
@@ -27,6 +28,8 @@ pub mod calib;
 pub mod dtype;
 pub mod error;
 pub mod incident;
+pub mod memo;
+pub mod pool;
 pub mod power;
 pub mod seed;
 pub mod spec;

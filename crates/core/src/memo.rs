@@ -1,0 +1,235 @@
+//! A lock-sharded memoization cache for pure, `Copy` evaluation results.
+//!
+//! The analytic cost models in `mtia-sim` and the autotuning evaluations
+//! in `mtia-compiler` are pure functions of their inputs, and the
+//! experiment suite evaluates the *same* inputs thousands of times (the
+//! Table-1 model zoo is re-simulated by a dozen experiments; exhaustive
+//! tuning revisits the same `(shape, variant)` cells). A [`ShardedCache`]
+//! turns those repeats into a hash lookup.
+//!
+//! Sharding bounds contention under the [`crate::pool`] workers: keys
+//! spread over independent mutexes, so two threads only collide when
+//! they touch the same shard at the same instant. Values must be pure
+//! functions of their key, which is what keeps cached runs
+//! byte-identical to uncached runs — the cache can change *when* a value
+//! is computed, never *what* it is.
+//!
+//! Keys are 128-bit fingerprints built by [`stable_key`] from two
+//! independently-prefixed 64-bit hashes, making accidental collisions
+//! (which would silently return a wrong cost) negligible at any
+//! realistic cache size.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default shard count — enough to make worker collisions rare at the
+/// pool sizes this workspace uses.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Hit/miss counters snapshotted from a [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then inserted).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache; 0 when unused.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A concurrent memo table from 128-bit fingerprints to `Copy` values.
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<HashMap<u128, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Copy> ShardedCache<V> {
+    /// Creates a cache with `shards` independent mutex-protected maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: u128) -> &Mutex<HashMap<u128, V>> {
+        let fold = (key as u64) ^ ((key >> 64) as u64);
+        &self.shards[(fold as usize) % self.shards.len()]
+    }
+
+    /// Returns the cached value for `key`, computing it with `compute`
+    /// on a miss.
+    ///
+    /// `compute` runs **outside** the shard lock so a slow evaluation
+    /// never serializes other workers; if two threads race on the same
+    /// fresh key both compute it and the (identical, pure) value is
+    /// stored once — correctness never depends on winning the race.
+    pub fn get_or_insert_with(&self, key: u128, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self
+            .shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        self.shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+        value
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and zeroes the hit/miss counters — used to get
+    /// fair cold-cache timings when comparing thread counts.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<V: Copy> Default for ShardedCache<V> {
+    fn default() -> Self {
+        ShardedCache::new(DEFAULT_SHARDS)
+    }
+}
+
+/// Builds a 128-bit fingerprint from whatever `feed` hashes.
+///
+/// Two [`DefaultHasher`]s (deterministic within a build of the standard
+/// library) are seeded with distinct prefixes, so the halves are
+/// independent and a collision requires defeating both at once. The
+/// fingerprint is only used as an in-process cache key — it is never
+/// persisted, so cross-version hash stability is not required.
+pub fn stable_key(feed: impl Fn(&mut DefaultHasher)) -> u128 {
+    let mut lo = DefaultHasher::new();
+    0xA5u8.hash(&mut lo);
+    feed(&mut lo);
+    let mut hi = DefaultHasher::new();
+    0x5Au8.hash(&mut hi);
+    feed(&mut hi);
+    ((hi.finish() as u128) << 64) | (lo.finish() as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        let cache: ShardedCache<u64> = ShardedCache::default();
+        let mut calls = 0u32;
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with(42, || {
+                calls += 1;
+                7
+            });
+            assert_eq!(v, 7);
+        }
+        assert_eq!(calls, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_stats() {
+        let cache: ShardedCache<u64> = ShardedCache::new(4);
+        cache.get_or_insert_with(1, || 1);
+        cache.get_or_insert_with(1, || 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let cache: ShardedCache<u128> = ShardedCache::new(3);
+        for k in 0..1000u128 {
+            assert_eq!(cache.get_or_insert_with(k, || k * 3), k * 3);
+        }
+        for k in 0..1000u128 {
+            assert_eq!(cache.get_or_insert_with(k, || unreachable!()), k * 3);
+        }
+    }
+
+    #[test]
+    fn stable_key_is_deterministic_and_input_sensitive() {
+        let key = |s: &str| stable_key(|h| s.hash(h));
+        assert_eq!(key("gemm 512x512"), key("gemm 512x512"));
+        assert_ne!(key("gemm 512x512"), key("gemm 512x513"));
+        // The two 64-bit halves come from differently-prefixed hashers.
+        let k = key("x");
+        assert_ne!((k >> 64) as u64, k as u64);
+    }
+
+    #[test]
+    fn concurrent_use_under_the_pool() {
+        let cache: ShardedCache<u64> = ShardedCache::default();
+        let results = crate::pool::parallel_map_with(8, (0..512u64).collect(), |_, i| {
+            cache.get_or_insert_with((i % 32) as u128, || i % 32)
+        });
+        for (i, v) in results.iter().enumerate() {
+            assert_eq!(*v, (i % 32) as u64);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 512);
+        // Racing threads may duplicate a first computation, but at
+        // least one miss per distinct key and far more hits than keys.
+        assert!(stats.hits >= 512 - 64);
+    }
+}

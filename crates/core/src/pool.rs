@@ -1,0 +1,226 @@
+//! Deterministic fork-join parallelism over `std::thread::scope`.
+//!
+//! Every sweep in this workspace is a list of pure `(config, seed)`
+//! cells: evaluating cell *i* touches no state shared with cell *j*.
+//! [`parallel_map`] exploits that — it fans the cells out over scoped
+//! threads and collects results **by input index**, so the output
+//! vector is identical whatever the thread count or OS scheduling
+//! order. Combined with per-task RNG streams split via
+//! [`crate::seed::derive_indexed`] (never a shared `&mut rng`), the
+//! whole `reproduce` run is byte-identical at `--threads 1` and
+//! `--threads N`.
+//!
+//! The pool is hermetic: scoped `std::thread` only, no work-stealing
+//! deque, no new dependencies, no unsafe. Workers claim the next
+//! unstarted index from a shared atomic counter, so long and short
+//! cells balance without any up-front partitioning.
+//!
+//! # Determinism policy
+//!
+//! A loop may be routed through [`parallel_map`] only if each task is a
+//! pure function of its inputs: no shared `&mut` RNG threading one
+//! stream through the cells in order, no accumulation order that the
+//! scheduler could reorder. Loops that *do* fold one RNG stream
+//! sequentially (e.g. fleet studies sampling a survey then reusing the
+//! stream) stay serial, or are first restructured to give every cell
+//! its own derived seed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global thread-count override: 0 means "auto" (host parallelism).
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count used by [`parallel_map`].
+///
+/// `0` restores the default (one worker per available hardware
+/// thread). `reproduce --threads N` calls this once at startup;
+/// results are identical for every setting — only wall-clock changes.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::SeqCst);
+}
+
+/// The worker count [`parallel_map`] will use: the [`set_threads`]
+/// override if non-zero, otherwise the host's available parallelism.
+pub fn configured_threads() -> usize {
+    match CONFIGURED.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on the configured number of worker threads,
+/// returning results in **input order** regardless of scheduling.
+///
+/// `f` receives `(index, item)`; the index is the item's position in
+/// `items`, so per-task RNG streams can be split deterministically via
+/// [`crate::seed::derive_indexed`]. `f` must be a pure function of its
+/// arguments for the determinism guarantee to hold (it may still use
+/// internal caches whose values are themselves deterministic).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any task.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    parallel_map_with(configured_threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (used by tests that
+/// must compare thread counts without touching the global setting).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any task.
+pub fn parallel_map_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    // One slot per task. Workers pull the next unclaimed index from
+    // `next` and write the result into its own slot — index-ordered
+    // collection is what makes the output schedule-independent.
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = tasks[i]
+                        .lock()
+                        .expect("task slot poisoned")
+                        .take()
+                        .expect("each task is claimed exactly once");
+                    let result = f(i, item);
+                    *results[i].lock().expect("result slot poisoned") = Some(result);
+                })
+            })
+            .collect();
+        for worker in workers {
+            if let Err(payload) = worker.join() {
+                // Re-raise the task's own panic payload, not the
+                // scope's generic "a scoped thread panicked".
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// Runs a fixed set of heterogeneous closures concurrently, returning
+/// their results in declaration order. Convenience wrapper over
+/// [`parallel_map`] for "run these three independent analyses at once".
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any closure.
+pub fn parallel_invoke<R: Send>(jobs: Vec<Box<dyn FnOnce() -> R + Send + '_>>) -> Vec<R> {
+    parallel_map(jobs, |_, job| job())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map_with(8, items, |i, x| {
+            // Stagger completion times to shuffle the finish order.
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let work = |i: usize, x: u64| -> u64 {
+            let seed = crate::seed::derive_indexed(x, "pool-test", i as u64);
+            seed.rotate_left((i % 13) as u32)
+        };
+        let serial = parallel_map_with(1, (0..257).collect(), work);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(parallel_map_with(threads, (0..257).collect(), work), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_with(4, empty, |_, x| x).is_empty());
+        assert_eq!(parallel_map_with(4, vec![7], |i, x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        assert_eq!(
+            parallel_map_with(32, vec![1, 2, 3], |_, x| x + 1),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn parallel_invoke_preserves_declaration_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> &'static str + Send>> = vec![
+            Box::new(|| "first"),
+            Box::new(|| "second"),
+            Box::new(|| "third"),
+        ];
+        assert_eq!(parallel_invoke(jobs), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn set_threads_round_trips() {
+        let before = configured_threads();
+        set_threads(3);
+        assert_eq!(configured_threads(), 3);
+        set_threads(0);
+        assert!(configured_threads() >= 1);
+        set_threads(before);
+    }
+
+    #[test]
+    #[should_panic(expected = "task panic propagates")]
+    fn task_panics_propagate() {
+        let _ = parallel_map_with(2, vec![0u32, 1, 2, 3], |i, _| {
+            if i == 2 {
+                panic!("task panic propagates");
+            }
+            i
+        });
+    }
+}

@@ -200,6 +200,31 @@ pub fn simulate_rollout<R: Rng + ?Sized>(
     }
 }
 
+/// Runs `trials` independent rollout simulations on the
+/// [`mtia_core::pool`] workers, returning outcomes in trial order.
+///
+/// Trial `i` draws from its own RNG stream,
+/// `derive_indexed(root_seed, "firmware/rollout-trial", i)` — a pure
+/// function of the trial index rather than a position in one shared
+/// sequential stream — so the outcome vector is byte-identical at any
+/// thread count and any scheduling order.
+pub fn simulate_rollout_replicas(
+    rollout: &Rollout,
+    bundle: &FirmwareBundle,
+    fleet_servers: u32,
+    root_seed: u64,
+    trials: u32,
+) -> Vec<RolloutOutcome> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    mtia_core::pool::parallel_map((0..trials).collect(), |i, _| {
+        let seed = mtia_core::seed::derive_indexed(root_seed, "firmware/rollout-trial", i as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        simulate_rollout(rollout, bundle, fleet_servers, &mut rng)
+    })
+}
+
 /// Continuous-deployment cadence facts (§5.5).
 pub mod cadence {
     /// Firmware builds per day on the CI pipeline.
@@ -255,6 +280,28 @@ mod tests {
             SimTime::from_secs(3 * 3600)
         );
         assert_eq!(Rollout::extreme().duration(), SimTime::from_secs(3600));
+    }
+
+    #[test]
+    fn rollout_replicas_are_thread_count_invariant() {
+        let rollout = Rollout::standard();
+        let bundle = FirmwareBundle::original();
+        let run = |threads: usize| {
+            mtia_core::pool::set_threads(threads);
+            let outcomes = simulate_rollout_replicas(&rollout, &bundle, 50_000, 73, 12);
+            mtia_core::pool::set_threads(0);
+            outcomes
+        };
+        let serial = run(1);
+        let threaded = run(4);
+        assert_eq!(serial, threaded);
+        assert_eq!(serial.len(), 12);
+        // The defective bundle is caught in most trials.
+        let caught = serial
+            .iter()
+            .filter(|o| o.detected_at_stage.is_some())
+            .count();
+        assert!(caught >= 10, "caught {caught}/12");
     }
 
     #[test]

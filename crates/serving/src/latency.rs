@@ -60,6 +60,25 @@ impl LatencyHistogram {
         self.max = self.max.max(latency);
     }
 
+    /// Folds another histogram's samples into this one.
+    ///
+    /// The merge is *exact*: both histograms share the same fixed bucket
+    /// edges, so elementwise count addition yields the histogram that
+    /// recording all samples into one instance would have produced —
+    /// every quantile, the mean, the max, and the count are identical.
+    /// This is what lets parallel Monte-Carlo replicas keep per-shard
+    /// histograms and combine them after the fork-join, instead of
+    /// serializing on one shared histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum_picos += other.sum_picos;
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.total
@@ -217,6 +236,45 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn bad_quantile_panics() {
         let _ = LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn merge_equals_single_run() {
+        let samples: Vec<SimTime> = (1..=500u64)
+            .map(|i| SimTime::from_micros(i * i % 90_000 + 1))
+            .collect();
+        let mut single = LatencyHistogram::new();
+        for s in &samples {
+            single.record(*s);
+        }
+        // Shard round-robin into 3, then merge.
+        let mut shards = [
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        ];
+        for (i, s) in samples.iter().enumerate() {
+            shards[i % 3].record(*s);
+        }
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.mean(), single.mean());
+        assert_eq!(merged.max(), single.max());
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), single.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_millis(5));
+        let before = (h.count(), h.p99(), h.mean(), h.max());
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(before, (h.count(), h.p99(), h.mean(), h.max()));
     }
 
     #[test]

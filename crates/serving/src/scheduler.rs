@@ -41,9 +41,29 @@ pub struct RemoteMergeConfig {
 }
 
 impl RemoteMergeConfig {
-    /// Per-job duration of one remote job.
+    /// Mean per-job duration of one remote job (truncated to the
+    /// picosecond grid). Prefer [`remote_job_time_for`] when scheduling:
+    /// summing this value over the jobs under-counts
+    /// `remote_total_time` by up to `remote_jobs_per_request − 1` ps.
+    ///
+    /// [`remote_job_time_for`]: Self::remote_job_time_for
     pub fn remote_job_time(&self) -> SimTime {
         self.remote_total_time / self.remote_jobs_per_request.max(1) as u64
+    }
+
+    /// Duration of remote job `index` (0-based) of one request.
+    ///
+    /// The integer division's picosecond remainder is spread over the
+    /// first `remainder` jobs, so the per-job durations sum *exactly*
+    /// to `remote_total_time` — "the execution time of the merge and
+    /// remote jobs on the PE grid remains the same in both cases" must
+    /// hold on the simulator's own clock, whatever the job count.
+    pub fn remote_job_time_for(&self, index: u32) -> SimTime {
+        let jobs = self.remote_jobs_per_request.max(1) as u64;
+        let base = self.remote_total_time.as_picos() / jobs;
+        let remainder = self.remote_total_time.as_picos() % jobs;
+        let extra = u64::from((index as u64) < remainder);
+        SimTime::from_picos(base + extra)
     }
 }
 
@@ -143,11 +163,11 @@ pub fn simulate_remote_merge(
                 next_request += 1;
                 arrival_of.insert(request, now);
                 remotes_left.insert(request, config.remote_jobs_per_request);
-                for _ in 0..config.remote_jobs_per_request {
+                for i in 0..config.remote_jobs_per_request {
                     queue.push_back(Job {
                         request,
                         kind: JobKind::Remote,
-                        duration: config.remote_job_time(),
+                        duration: config.remote_job_time_for(i),
                         ready_at: now,
                     });
                 }
@@ -217,6 +237,58 @@ pub fn simulate_remote_merge(
     stats
 }
 
+/// Runs `replicas` independent Monte-Carlo replications of the
+/// deployment on the [`mtia_core::pool`] workers and merges their
+/// measurements into one [`RemoteMergeStats`].
+///
+/// Replica `i` draws its Poisson arrivals from the stream
+/// `derive_indexed(root_seed, "remote-merge/replica", i)` — a pure
+/// function of the replica index, never a shared sequential RNG — so
+/// the merged result is byte-identical at any thread count. Latency
+/// histograms combine exactly via [`LatencyHistogram::merge`];
+/// `completed` sums; throughput and utilization average over replicas.
+///
+/// # Panics
+///
+/// Panics if `replicas` is zero or the configuration is invalid.
+pub fn simulate_remote_merge_replicas(
+    config: RemoteMergeConfig,
+    rate: f64,
+    horizon: SimTime,
+    warmup: SimTime,
+    root_seed: u64,
+    replicas: u32,
+) -> RemoteMergeStats {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    assert!(replicas > 0, "need at least one replica");
+    let runs = mtia_core::pool::parallel_map((0..replicas).collect(), |i, _| {
+        let seed = mtia_core::seed::derive_indexed(root_seed, "remote-merge/replica", i as u64);
+        let mut arrivals = crate::traffic::PoissonArrivals::new(rate, StdRng::seed_from_u64(seed));
+        simulate_remote_merge(config, &mut arrivals, horizon, warmup)
+    });
+    let mut merged = RemoteMergeStats {
+        request_latency: LatencyHistogram::new(),
+        merge_wait: LatencyHistogram::new(),
+        remote_latency: LatencyHistogram::new(),
+        completed: 0,
+        throughput_per_s: 0.0,
+        utilization: 0.0,
+    };
+    for run in &runs {
+        merged.request_latency.merge(&run.request_latency);
+        merged.merge_wait.merge(&run.merge_wait);
+        merged.remote_latency.merge(&run.remote_latency);
+        merged.completed += run.completed;
+        merged.throughput_per_s += run.throughput_per_s;
+        merged.utilization += run.utilization;
+    }
+    merged.throughput_per_s /= runs.len() as f64;
+    merged.utilization /= runs.len() as f64;
+    merged
+}
+
 /// Bisects the maximum Poisson arrival rate whose simulated P99 stays
 /// within `slo`. Returns (rate, stats at that rate).
 pub fn max_rate_under_slo(
@@ -277,6 +349,62 @@ mod tests {
             SimTime::from_secs(60),
             SimTime::from_secs(5),
         )
+    }
+
+    #[test]
+    fn per_job_times_sum_exactly_to_the_total() {
+        // 10 ms does not divide by 3: the remainder (1 ps) must land on
+        // the early jobs, not vanish to truncation.
+        let mut config = base_config(3);
+        config.remote_total_time = SimTime::from_picos(10_000_000_001);
+        let sum: u64 = (0..config.remote_jobs_per_request)
+            .map(|i| config.remote_job_time_for(i).as_picos())
+            .sum();
+        assert_eq!(sum, config.remote_total_time.as_picos());
+        // Jobs differ by at most 1 ps and are non-increasing in index.
+        let times: Vec<u64> = (0..3)
+            .map(|i| config.remote_job_time_for(i).as_picos())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1));
+        // Exact divisions degenerate to the mean for every index.
+        let exact = base_config(4);
+        for i in 0..4 {
+            assert_eq!(exact.remote_job_time_for(i), exact.remote_job_time());
+        }
+        // Many more jobs than picoseconds: every job still schedules.
+        let mut tiny = base_config(7);
+        tiny.remote_total_time = SimTime::from_picos(3);
+        let sum: u64 = (0..7).map(|i| tiny.remote_job_time_for(i).as_picos()).sum();
+        assert_eq!(sum, 3);
+    }
+
+    #[test]
+    fn replicated_simulation_is_thread_count_invariant() {
+        let config = base_config(4);
+        let run = |threads: usize| {
+            mtia_core::pool::set_threads(threads);
+            let stats = simulate_remote_merge_replicas(
+                config,
+                40.0,
+                SimTime::from_secs(20),
+                SimTime::from_secs(2),
+                9,
+                4,
+            );
+            mtia_core::pool::set_threads(0);
+            stats
+        };
+        let serial = run(1);
+        let threaded = run(4);
+        assert_eq!(serial.completed, threaded.completed);
+        assert_eq!(serial.request_latency.p99(), threaded.request_latency.p99());
+        assert_eq!(
+            serial.request_latency.mean(),
+            threaded.request_latency.mean()
+        );
+        assert_eq!(serial.utilization, threaded.utilization);
+        // And the merged sample count covers all four replicas.
+        assert!(serial.request_latency.count() > 4 * 100);
     }
 
     #[test]

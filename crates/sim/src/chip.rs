@@ -14,7 +14,8 @@ use mtia_model::graph::Graph;
 use mtia_model::ops::OpKind;
 
 use crate::control::JobLaunchModel;
-use crate::kernels::{cost_op, FcVariant, KernelEnv};
+use crate::costcache::{cost_op_cached, env_signature};
+use crate::kernels::{FcVariant, KernelEnv};
 use crate::mem::cache::zipf_hit_rate;
 use crate::mem::lpddr::LpddrController;
 use crate::mem::sram::place_model;
@@ -183,6 +184,9 @@ impl ChipSim {
             tbe_hit_rate,
             skip_writeback_hints: plan.memory_hints,
         };
+        // One environment fingerprint per run: every node lookup below
+        // reuses it to key the process-wide cost memo cache.
+        let env_sig = env_signature(&env);
         let launch = JobLaunchModel::new(self.spec.control.clone());
         let per_node_overhead = match plan.launch_mode {
             LaunchMode::Eager => launch.replace_time(self.spec.pe_count()),
@@ -195,7 +199,7 @@ impl ChipSim {
             let node = &graph.nodes()[idx];
             let dtype = graph.node_dtype(node);
             let variant = plan.fc_variants.get(&idx).copied();
-            let cost = cost_op(&env, &node.op, dtype, variant);
+            let cost = cost_op_cached(&env, env_sig, &node.op, dtype, variant);
             // Graph mode pays one full job launch up front.
             let launch_overhead = if pos == 0 && plan.launch_mode == LaunchMode::Graph {
                 per_node_overhead + launch.launch_time(self.spec.pe_count())

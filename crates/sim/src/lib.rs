@@ -27,6 +27,7 @@
 
 pub mod chip;
 pub mod control;
+pub mod costcache;
 pub mod engine;
 pub mod faults;
 pub mod gpu;

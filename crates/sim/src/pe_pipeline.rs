@@ -70,62 +70,62 @@ pub fn simulate_pipeline(config: PipelineConfig) -> PipelineStats {
     let n = config.tiles as usize;
     let slots = config.cb_slots as usize;
 
-    let mut issue_done = vec![SimTime::ZERO; n];
-    let mut dma_done = vec![SimTime::ZERO; n];
-    let mut dpe_done = vec![SimTime::ZERO; n];
-    let mut simd_done = vec![SimTime::ZERO; n];
-    let mut dpe_start_first = SimTime::ZERO;
+    // The recurrence for tile `i` only reads tile `i-1` of each stage
+    // plus tile `i - cb_slots` of the DPE, so the per-stage completion
+    // arrays reduce to scalars and one `cb_slots`-deep ring buffer —
+    // O(1) memory however many tiles the kernel has (this runs inside
+    // the experiment sweeps' inner loops).
+    let mut prev_issue = SimTime::ZERO;
+    let mut prev_dma = SimTime::ZERO;
+    let mut prev_dpe = SimTime::ZERO;
+    let mut prev_simd = SimTime::ZERO;
+    let mut dpe_ring = vec![SimTime::ZERO; slots];
     let mut dpe_busy = SimTime::ZERO;
     let mut dpe_stall = SimTime::ZERO;
-    let mut last_dpe_done = SimTime::ZERO;
 
     for i in 0..n {
         // The scalar core issues tiles in order.
-        let issue_start = if i == 0 {
-            SimTime::ZERO
-        } else {
-            issue_done[i - 1]
-        };
-        issue_done[i] = issue_start + config.issue_time;
+        let issue_start = if i == 0 { SimTime::ZERO } else { prev_issue };
+        let issue_done = issue_start + config.issue_time;
+        prev_issue = issue_done;
 
         // DMA needs its instructions issued, the FI free, and a CB slot —
         // a slot frees when the DPE retires the tile `cb_slots` back.
-        let mut dma_start = issue_done[i];
+        let mut dma_start = issue_done;
         if i > 0 {
-            dma_start = dma_start.max(dma_done[i - 1]);
+            dma_start = dma_start.max(prev_dma);
         }
         if i >= slots {
-            dma_start = dma_start.max(dpe_done[i - slots]);
+            dma_start = dma_start.max(dpe_ring[i % slots]);
         }
-        dma_done[i] = dma_start + config.dma_time;
+        let dma_done = dma_start + config.dma_time;
+        prev_dma = dma_done;
 
         // DPE consumes tiles in order.
         let dpe_start = if i == 0 {
-            dma_done[i]
+            dma_done
         } else {
-            dma_done[i].max(dpe_done[i - 1])
+            dma_done.max(prev_dpe)
         };
-        if i == 0 {
-            dpe_start_first = dpe_start;
-        } else {
-            dpe_stall += dpe_start.saturating_sub(last_dpe_done);
+        if i > 0 {
+            dpe_stall += dpe_start.saturating_sub(prev_dpe);
         }
-        dpe_done[i] = dpe_start + config.compute_time;
-        last_dpe_done = dpe_done[i];
+        let dpe_done = dpe_start + config.compute_time;
+        dpe_ring[i % slots] = dpe_done;
+        prev_dpe = dpe_done;
         dpe_busy += config.compute_time;
 
         // SIMD epilogue, in order.
         let simd_start = if i == 0 {
-            dpe_done[i]
+            dpe_done
         } else {
-            dpe_done[i].max(simd_done[i - 1])
+            dpe_done.max(prev_simd)
         };
-        simd_done[i] = simd_start + config.simd_time;
+        prev_simd = simd_start + config.simd_time;
     }
 
-    let _ = dpe_start_first;
     PipelineStats {
-        makespan: simd_done[n - 1],
+        makespan: prev_simd,
         dpe_busy,
         dpe_stall,
     }

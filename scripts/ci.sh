@@ -24,6 +24,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> reproduce smoke: determinism + perf (--filter quick)"
+# The fast experiment subset, run at one thread and at all host threads:
+# fails if the rendered tables are not byte-identical, and leaves the
+# per-experiment wall-clock/speedup/cache telemetry in BENCH_PERF.json.
+time target/release/reproduce --threads "$(nproc)" --filter quick \
+  --determinism-check --bench-perf BENCH_PERF.json
+
 echo "==> cargo test"
 cargo test -q --workspace
 

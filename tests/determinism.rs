@@ -1,0 +1,39 @@
+//! Tier-1 determinism gate for the parallel experiment runtime.
+//!
+//! Experiments are pure `(config, seed)` functions and the pool collects
+//! results in submission order, so the rendered output must be
+//! byte-identical at any thread count. This runs the `--filter quick`
+//! subset — fig5 (serving Monte-Carlo sweeps) plus one E19 SDC ladder
+//! rung — the same selection `scripts/ci.sh` smoke-checks.
+
+use mtia_bench::experiments;
+use mtia_bench::render_reports;
+use mtia_core::pool;
+
+fn render_at(threads: usize) -> String {
+    pool::set_threads(threads);
+    let reports = experiments::run_entries(experiments::quick_subset());
+    pool::set_threads(0);
+    render_reports(&reports)
+}
+
+#[test]
+fn quick_subset_is_byte_identical_across_thread_counts() {
+    let serial = render_at(1);
+    let threaded = render_at(4);
+    assert!(!serial.is_empty());
+    assert!(
+        serial == threaded,
+        "reproduce output differs between 1 and 4 threads:\n\
+         --- 1 thread ---\n{serial}\n--- 4 threads ---\n{threaded}"
+    );
+}
+
+#[test]
+fn filter_quick_selects_the_gated_subset() {
+    let names: Vec<&str> = experiments::filtered("quick")
+        .iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(names, vec!["fig5", "e19_rung"]);
+}
