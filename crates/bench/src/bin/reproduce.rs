@@ -17,6 +17,12 @@
 //!   --bench-perf PATH    time each selected experiment at 1 thread and
 //!                        at N threads and write a JSON report (wall
 //!                        clock, speedup, kernel-cost-cache hit rate)
+//!   --trace-out DIR      write the pinned-seed scenario traces
+//!                        (canonical + Chrome trace_event JSON) and a
+//!                        per-experiment metrics dump into DIR
+//!   --telemetry-smoke    verify tracing is a pure observer: traced and
+//!                        untraced scenario results byte-identical,
+//!                        canonical exports stable, overhead < 10 %
 //! ```
 //!
 //! Experiments are pure `(config, seed)` functions, so every mode prints
@@ -37,12 +43,15 @@ struct Options {
     list: bool,
     determinism_check: bool,
     bench_perf: Option<String>,
+    trace_out: Option<String>,
+    telemetry_smoke: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--threads N] [--filter STR] [--list] \
-         [--determinism-check] [--bench-perf PATH]"
+         [--determinism-check] [--bench-perf PATH] [--trace-out DIR] \
+         [--telemetry-smoke]"
     );
     std::process::exit(2)
 }
@@ -54,6 +63,8 @@ fn parse_args() -> Options {
         list: false,
         determinism_check: false,
         bench_perf: None,
+        trace_out: None,
+        telemetry_smoke: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +77,8 @@ fn parse_args() -> Options {
             "--list" => opts.list = true,
             "--determinism-check" => opts.determinism_check = true,
             "--bench-perf" => opts.bench_perf = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => opts.trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--telemetry-smoke" => opts.telemetry_smoke = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -79,7 +92,20 @@ fn selection(opts: &Options) -> Vec<ExperimentEntry> {
         None => experiments::registry(),
     };
     if entries.is_empty() {
-        eprintln!("no experiments match the filter");
+        let near = opts
+            .filter
+            .as_deref()
+            .map(experiments::near_misses)
+            .unwrap_or_default();
+        if near.is_empty() {
+            eprintln!("no experiments match the filter");
+        } else {
+            eprintln!(
+                "no experiments match the filter; did you mean: {}?",
+                near.join(", ")
+            );
+        }
+        eprintln!("run with --list to see every experiment name");
         std::process::exit(2);
     }
     entries
@@ -173,6 +199,93 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
     all_identical
 }
 
+/// Writes the pinned-seed scenario traces (canonical + Chrome
+/// `trace_event` JSON, for chrome://tracing or Perfetto) plus one
+/// metrics dump per selected experiment into `dir`.
+fn trace_out(entries: &[ExperimentEntry], dir: &str) -> bool {
+    use mtia_bench::traces;
+    use mtia_core::telemetry::Telemetry;
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("failed to create {dir}: {e}");
+        return false;
+    }
+    let mut ok = true;
+    let mut write_file = |path: String, body: &str| {
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("failed to write {path}: {e}");
+            ok = false;
+        } else {
+            eprintln!("wrote {path}");
+        }
+    };
+    for scenario in traces::scenarios() {
+        let mut tel = Telemetry::new_enabled();
+        (scenario.run)(&mut tel);
+        write_file(
+            format!("{dir}/{}.trace.json", scenario.name),
+            &tel.to_canonical_json(),
+        );
+        write_file(
+            format!("{dir}/{}.chrome.json", scenario.name),
+            &tel.to_chrome_json(),
+        );
+    }
+    // Per-experiment metrics: wall clock + the kernel-cost-cache delta
+    // each experiment produced on a cold cache.
+    let mut rows = String::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let (_, wall, cache) = timed_run(std::slice::from_ref(entry), 1);
+        write!(
+            rows,
+            "{}    {{\"name\": \"{}\", \"wall_s\": {}, \
+             \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}}}}}",
+            if i == 0 { "" } else { ",\n" },
+            entry.name,
+            json_f64(wall),
+            cache.hits,
+            cache.misses,
+            json_f64(cache.hit_rate()),
+        )
+        .expect("string write");
+    }
+    write_file(
+        format!("{dir}/experiments.metrics.json"),
+        &format!("{{\n  \"experiments\": [\n{rows}\n  ]\n}}\n"),
+    );
+    ok
+}
+
+/// Checks tracing is a pure observer: traced and untraced scenario
+/// results are byte-identical, canonical exports are stable across
+/// runs, and the traced wall clock stays within the overhead budget.
+fn telemetry_smoke() -> bool {
+    let report = mtia_bench::traces::run_telemetry_smoke(5);
+    for (name, ok) in &report.identical {
+        eprintln!(
+            "  {name:<12} traced == untraced: {}",
+            if *ok { "identical" } else { "MISMATCH" }
+        );
+    }
+    for (name, ok) in &report.stable {
+        eprintln!(
+            "  {name:<12} canonical export:   {}",
+            if *ok { "stable" } else { "UNSTABLE" }
+        );
+    }
+    eprintln!(
+        "  wall clock: untraced {:.4}s, traced {:.4}s ({:+.1}% overhead)",
+        report.untraced_s,
+        report.traced_s,
+        report.overhead() * 100.0
+    );
+    let passed = report.passed(0.10);
+    eprintln!(
+        "telemetry smoke {}",
+        if passed { "passed" } else { "FAILED" }
+    );
+    passed
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let entries = selection(&opts);
@@ -206,7 +319,17 @@ fn main() -> ExitCode {
     if let Some(path) = &opts.bench_perf {
         failed |= !bench_perf(&entries, threads, path);
     }
-    if opts.determinism_check || opts.bench_perf.is_some() {
+    if opts.telemetry_smoke {
+        failed |= !telemetry_smoke();
+    }
+    if let Some(dir) = &opts.trace_out {
+        failed |= !trace_out(&entries, dir);
+    }
+    if opts.determinism_check
+        || opts.bench_perf.is_some()
+        || opts.telemetry_smoke
+        || opts.trace_out.is_some()
+    {
         return if failed {
             ExitCode::FAILURE
         } else {

@@ -167,6 +167,57 @@ pub fn filtered(filter: &str) -> Vec<ExperimentEntry> {
         .collect()
 }
 
+/// Levenshtein edit distance, for near-miss filter suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Experiment names close to the (zero-match) `filter` terms: within a
+/// small edit distance, or sharing a ≥ 3-character prefix. Ordered by
+/// distance, at most three. Backs the `reproduce --filter` error path,
+/// so a typo like `fig55` fails with "did you mean: fig5?".
+pub fn near_misses(filter: &str) -> Vec<&'static str> {
+    let terms: Vec<String> = filter
+        .split(',')
+        .map(|t| t.trim().to_ascii_lowercase())
+        .filter(|t| !t.is_empty())
+        .collect();
+    let mut scored: Vec<(usize, &'static str)> = registry()
+        .iter()
+        .filter_map(|e| {
+            let best = terms
+                .iter()
+                .map(|t| {
+                    let d = edit_distance(t, e.name);
+                    let prefix =
+                        t.len() >= 3 && (e.name.starts_with(t.as_str()) || t.starts_with(e.name));
+                    if prefix {
+                        d.min(1)
+                    } else {
+                        d
+                    }
+                })
+                .min()?;
+            (best <= 3).then_some((best, e.name))
+        })
+        .collect();
+    scored.sort();
+    scored.truncate(3);
+    scored.into_iter().map(|(_, name)| name).collect()
+}
+
 /// Runs `entries` on the [`pool`] workers, reports in entry order.
 ///
 /// Experiments are pure (self-seeded), so the result — and everything
@@ -209,5 +260,15 @@ mod registry_tests {
         );
         assert!(filtered("no_such_experiment").is_empty());
         assert_eq!(filtered("quick").len(), quick_subset().len());
+    }
+
+    #[test]
+    fn near_misses_suggest_close_names() {
+        assert_eq!(near_misses("fig55").first(), Some(&"fig5"));
+        assert!(near_misses("tabel1").contains(&"table1"));
+        let prefix = near_misses("e19_sdc");
+        assert_eq!(prefix, vec!["e19_sdc_defense"]);
+        assert!(near_misses("zzzzzzzzzzzz").is_empty());
+        assert!(near_misses("").is_empty());
     }
 }

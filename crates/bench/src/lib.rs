@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod platform;
+pub mod traces;
 
 use std::fmt;
 

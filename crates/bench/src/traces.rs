@@ -1,0 +1,271 @@
+//! Pinned-seed trace scenarios behind the golden-trace harness and the
+//! `reproduce --trace-out` / `--telemetry-smoke` modes.
+//!
+//! Each scenario runs one instrumented simulation — a chip-level model
+//! execution, a Fig. 5 serving cell, a staged firmware rollout — with a
+//! hard-coded `(config, seed)` pair, recording spans/metrics into the
+//! supplied [`Telemetry`] when it is enabled. The returned *fingerprint*
+//! string summarizes the simulation result and must be byte-identical
+//! whether tracing is on or off: tracing observes the run, it never
+//! perturbs it. The golden tests in `tests/golden_traces.rs` pin the
+//! canonical export of each scenario; [`run_telemetry_smoke`] checks the
+//! observer-effect and overhead budgets in CI.
+
+use std::time::Instant;
+
+use mtia_compiler::plan::{compile, CompilerOptions};
+use mtia_core::spec::chips;
+use mtia_core::telemetry::Telemetry;
+use mtia_core::SimTime;
+use mtia_fleet::firmware::{simulate_rollout_traced, FirmwareBundle, Rollout};
+use mtia_fleet::quarantine::{QuarantineConfig, QuarantineManager};
+use mtia_model::models::zoo;
+use mtia_serving::scheduler::{simulate_remote_merge_traced, RemoteMergeConfig};
+use mtia_serving::sdc::{ImageSpec, QuarantineHandler, QuarantineRequest};
+use mtia_serving::traffic::PoissonArrivals;
+use mtia_sim::chip::ChipSim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One named, pinned-seed trace scenario.
+#[derive(Clone, Copy)]
+pub struct TraceScenario {
+    /// Stable name; golden fixtures live at `tests/goldens/<name>.trace.json`.
+    pub name: &'static str,
+    /// Runs the simulation, recording into `tel` when enabled, and
+    /// returns a result fingerprint that must not depend on `tel`.
+    pub run: fn(&mut Telemetry) -> String,
+}
+
+/// Every golden-trace scenario.
+pub fn scenarios() -> Vec<TraceScenario> {
+    vec![
+        TraceScenario {
+            name: "quickstart",
+            run: quickstart_trace,
+        },
+        TraceScenario {
+            name: "fig5_cell",
+            run: fig5_cell_trace,
+        },
+        TraceScenario {
+            name: "rollout",
+            run: rollout_trace,
+        },
+    ]
+}
+
+/// The README quickstart: LC3 compiled with every optimization, executed
+/// once on the production MTIA 2i chip. Exercises the `chip.run` span
+/// tree, per-engine occupancy counters, and the LLC/LPDDR byte totals.
+pub fn quickstart_trace(tel: &mut Telemetry) -> String {
+    let model = zoo::fig6_models().remove(2);
+    debug_assert_eq!(model.name, "LC3");
+    let graph = model.graph();
+    let compiled = compile(&graph, CompilerOptions::all());
+    let sim = ChipSim::new(chips::mtia2i());
+    let report = compiled.run_traced(&sim, tel);
+    format!(
+        "model=LC3 nodes={} total_ps={} kernel_ps={}",
+        report.nodes.len(),
+        report.total_time().as_picos(),
+        report.kernel_time().as_picos(),
+    )
+}
+
+/// One Fig. 5 SLO-sweep cell: the 2-device remote/merge deployment at a
+/// fixed Poisson arrival rate. Exercises per-request lifecycle spans,
+/// the latency/merge-wait histograms, and the completion counters.
+pub fn fig5_cell_trace(tel: &mut Telemetry) -> String {
+    let config = RemoteMergeConfig {
+        devices: 2,
+        remote_jobs_per_request: 4,
+        remote_total_time: SimTime::from_millis(8),
+        merge_time: SimTime::from_millis(10),
+        dispatch_overhead: SimTime::from_millis(1),
+    };
+    let mut arrivals = PoissonArrivals::new(30.0, StdRng::seed_from_u64(42));
+    let stats = simulate_remote_merge_traced(
+        config,
+        &mut arrivals,
+        SimTime::from_secs(2),
+        SimTime::from_millis(200),
+        tel,
+    );
+    format!(
+        "completed={} p99_ps={} throughput={:.4}",
+        stats.completed,
+        stats.request_latency.p99().as_picos(),
+        stats.throughput_per_s,
+    )
+}
+
+/// A staged firmware rollout of the deadlock-prone bundle across 50 000
+/// servers (halts on detection), followed by a small quarantine/repair
+/// episode. Exercises per-stage spans, the `rollout.halted` instant, and
+/// the `repair.transition` event stream.
+pub fn rollout_trace(tel: &mut Telemetry) -> String {
+    let mut rng = StdRng::seed_from_u64(75);
+    let outcome = simulate_rollout_traced(
+        &Rollout::standard(),
+        &FirmwareBundle::original(),
+        50_000,
+        &mut rng,
+        tel,
+    );
+    let mut manager = QuarantineManager::new(QuarantineConfig::default(), 75);
+    let mut image = ImageSpec::small(75).build();
+    image.apply_flip(
+        mtia_model::error_inject::InjectionTarget::EmbeddingRows,
+        42,
+        19,
+    );
+    let _ = manager.handle(
+        &QuarantineRequest {
+            device: 3,
+            at: SimTime::from_millis(50),
+            suspicion: 1.0,
+        },
+        &mut image,
+    );
+    manager.export_telemetry(tel);
+    format!(
+        "detected_at_stage={:?} impacted={} detection_ps={:?} repairs={}",
+        outcome.detected_at_stage,
+        outcome.servers_impacted,
+        outcome.time_to_detection.map(|t| t.as_picos()),
+        manager.logs().len(),
+    )
+}
+
+/// The observer-effect + overhead budget checked by `scripts/ci.sh`.
+#[derive(Debug, Clone)]
+pub struct SmokeReport {
+    /// Per-scenario `(name, untraced fingerprint == traced fingerprint)`.
+    pub identical: Vec<(&'static str, bool)>,
+    /// Per-scenario canonical-export stability across two traced runs.
+    pub stable: Vec<(&'static str, bool)>,
+    /// Best-of-N wall clock for all scenarios untraced, seconds.
+    pub untraced_s: f64,
+    /// Best-of-N wall clock for all scenarios traced, seconds.
+    pub traced_s: f64,
+}
+
+impl SmokeReport {
+    /// Fractional overhead of tracing over the untraced baseline.
+    pub fn overhead(&self) -> f64 {
+        if self.untraced_s <= 0.0 {
+            return 0.0;
+        }
+        (self.traced_s - self.untraced_s) / self.untraced_s
+    }
+
+    /// Whether the smoke passes: every fingerprint identical, every
+    /// canonical export stable, and overhead under `max_overhead` (a
+    /// small absolute grace absorbs timer noise on sub-millisecond
+    /// scenarios).
+    pub fn passed(&self, max_overhead: f64) -> bool {
+        self.identical.iter().all(|&(_, ok)| ok)
+            && self.stable.iter().all(|&(_, ok)| ok)
+            && (self.overhead() <= max_overhead || self.traced_s - self.untraced_s < 0.05)
+    }
+}
+
+/// Runs every scenario traced and untraced, best-of-`rounds` timing, and
+/// reports fingerprint identity, canonical-export stability, and the
+/// wall-clock overhead of tracing.
+pub fn run_telemetry_smoke(rounds: usize) -> SmokeReport {
+    let rounds = rounds.max(1);
+    let list = scenarios();
+    let mut identical = Vec::new();
+    let mut stable = Vec::new();
+    for scenario in &list {
+        let untraced = (scenario.run)(&mut Telemetry::disabled());
+        let mut tel_a = Telemetry::new_enabled();
+        let traced = (scenario.run)(&mut tel_a);
+        identical.push((scenario.name, untraced == traced));
+        let mut tel_b = Telemetry::new_enabled();
+        (scenario.run)(&mut tel_b);
+        stable.push((
+            scenario.name,
+            tel_a.to_canonical_json() == tel_b.to_canonical_json(),
+        ));
+    }
+    let best = |traced: bool| -> f64 {
+        (0..rounds)
+            .map(|_| {
+                let start = Instant::now();
+                for scenario in &list {
+                    let mut tel = if traced {
+                        Telemetry::new_enabled()
+                    } else {
+                        Telemetry::disabled()
+                    };
+                    (scenario.run)(&mut tel);
+                    if traced {
+                        // Exporting is part of the traced cost.
+                        std::hint::black_box(tel.to_canonical_json());
+                    }
+                }
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let untraced_s = best(false);
+    let traced_s = best(true);
+    SmokeReport {
+        identical,
+        stable,
+        untraced_s,
+        traced_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_are_unique_and_fingerprints_trace_free() {
+        let list = scenarios();
+        let mut names: Vec<_> = list.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), list.len());
+        for scenario in &list {
+            let untraced = (scenario.run)(&mut Telemetry::disabled());
+            let mut tel = Telemetry::new_enabled();
+            let traced = (scenario.run)(&mut tel);
+            assert_eq!(untraced, traced, "{} fingerprint drifted", scenario.name);
+            assert!(
+                !tel.tracer.is_empty(),
+                "{} recorded no spans",
+                scenario.name
+            );
+            assert_eq!(tel.tracer.validate_nesting(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn canonical_exports_are_reproducible() {
+        for scenario in scenarios() {
+            let mut a = Telemetry::new_enabled();
+            let mut b = Telemetry::new_enabled();
+            (scenario.run)(&mut a);
+            (scenario.run)(&mut b);
+            assert_eq!(
+                a.to_canonical_json(),
+                b.to_canonical_json(),
+                "{} canonical export is unstable",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_passes_on_identity_checks() {
+        let report = run_telemetry_smoke(1);
+        assert!(report.identical.iter().all(|&(_, ok)| ok));
+        assert!(report.stable.iter().all(|&(_, ok)| ok));
+    }
+}

@@ -1,0 +1,84 @@
+//! CLI contract tests for the `reproduce` binary, driven through the
+//! real executable (`CARGO_BIN_EXE_reproduce`).
+
+use std::process::Command;
+
+fn reproduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+#[test]
+fn zero_match_filter_exits_nonzero_with_near_miss_suggestions() {
+    let out = reproduce()
+        .args(["--filter", "fig55", "--list"])
+        .output()
+        .expect("spawn reproduce");
+    assert!(
+        !out.status.success(),
+        "zero-match filter must exit nonzero, got {:?}",
+        out.status
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no experiments match the filter"),
+        "stderr missing diagnostic: {stderr}"
+    );
+    assert!(
+        stderr.contains("did you mean") && stderr.contains("fig5"),
+        "stderr missing near-miss suggestion: {stderr}"
+    );
+}
+
+#[test]
+fn zero_match_filter_with_no_near_miss_still_fails() {
+    let out = reproduce()
+        .args(["--filter", "zzzzzzzzzzzz", "--list"])
+        .output()
+        .expect("spawn reproduce");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no experiments match the filter"));
+    assert!(!stderr.contains("did you mean"));
+    assert!(stderr.contains("--list"));
+}
+
+#[test]
+fn list_prints_filtered_names() {
+    let out = reproduce()
+        .args(["--filter", "fig5", "--list"])
+        .output()
+        .expect("spawn reproduce");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.trim(), "fig5");
+}
+
+#[test]
+fn trace_out_writes_scenario_traces() {
+    let dir = std::env::temp_dir().join(format!("mtia-traces-{}", std::process::id()));
+    let out = reproduce()
+        .args(["--filter", "quick", "--trace-out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn reproduce");
+    assert!(
+        out.status.success(),
+        "trace-out failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for name in ["quickstart", "fig5_cell", "rollout"] {
+        let canonical = dir.join(format!("{name}.trace.json"));
+        let chrome = dir.join(format!("{name}.chrome.json"));
+        for path in [&canonical, &chrome] {
+            let body = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+            mtia_core::telemetry::json::parse(&body)
+                .unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
+        }
+    }
+    let metrics = dir.join("experiments.metrics.json");
+    let body = std::fs::read_to_string(&metrics).expect("experiments.metrics.json");
+    assert!(body.contains("\"fig5\"") && body.contains("\"e19_rung\""));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -88,6 +88,18 @@ impl Compiled {
     pub fn run(&self, sim: &ChipSim) -> mtia_sim::ExecutionReport {
         sim.run(&self.graph, &self.plan)
     }
+
+    /// [`run`](Self::run) with observability: forwards to
+    /// [`ChipSim::run_with_telemetry`], which records a `chip.run` span
+    /// tree and occupancy/byte counters when `tel` is enabled. The
+    /// report is identical to the untraced one.
+    pub fn run_traced(
+        &self,
+        sim: &ChipSim,
+        tel: &mut mtia_core::telemetry::Telemetry,
+    ) -> mtia_sim::ExecutionReport {
+        sim.run_with_telemetry(&self.graph, &self.plan, tel)
+    }
 }
 
 /// Compiles `graph` with `options`.

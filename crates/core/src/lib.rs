@@ -34,10 +34,12 @@ pub mod power;
 pub mod seed;
 pub mod spec;
 pub mod tco;
+pub mod telemetry;
 pub mod units;
 
 pub use dtype::DType;
 pub use error::ConfigError;
 pub use incident::{DetectionMethod, SdcIncident};
 pub use spec::{ChipFeature, ChipSpec, EccMode, GpuSpec, ServerSpec};
+pub use telemetry::{LatencyHistogram, Telemetry};
 pub use units::{Bandwidth, Bytes, CostUnits, FlopCount, FlopRate, Hertz, Joules, SimTime, Watts};

@@ -1,0 +1,318 @@
+//! Hierarchical trace spans and instant events on the simulated clock.
+//!
+//! A [`Tracer`] records two kinds of records:
+//!
+//! - **Spans** — named intervals `[start, end]` in sim-time with
+//!   structured attributes, forming a tree. The *stack API*
+//!   ([`Tracer::begin`] / [`Tracer::end`]) builds well-nested trees
+//!   (children are always contained in their parent); the *flat API*
+//!   ([`Tracer::complete`]) attaches an already-finished span to the
+//!   innermost open span (or the root), which is how overlapping
+//!   request lifecycles are recorded without pretending they nest.
+//! - **Instant events** — point-in-time markers (a health transition,
+//!   a rollout halt) with attributes.
+//!
+//! Nothing here reads `std::time`: every timestamp is a [`SimTime`]
+//! supplied by the caller, which is what makes traces replayable and
+//! byte-deterministic.
+
+use super::json::Json;
+use crate::units::SimTime;
+
+/// A named sim-time interval with attributes and child spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span name (stable across runs; no interned ids).
+    pub name: String,
+    /// Category, e.g. `"sim"`, `"serving"`, `"fleet"`.
+    pub cat: String,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Simulated end time (`>= start`).
+    pub end: SimTime,
+    /// Structured attributes in insertion order.
+    pub attrs: Vec<(String, Json)>,
+    /// Child spans in creation order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Creates a finished span with no children.
+    pub fn complete(
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        attrs: Vec<(String, Json)>,
+    ) -> Span {
+        let (start, end) = (start.min(end), start.max(end));
+        Span {
+            name: name.into(),
+            cat: cat.into(),
+            start,
+            end,
+            attrs,
+            children: Vec::new(),
+        }
+    }
+
+    /// Span duration.
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A point-in-time marker with attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantEvent {
+    /// Event name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Simulated timestamp.
+    pub ts: SimTime,
+    /// Structured attributes in insertion order.
+    pub attrs: Vec<(String, Json)>,
+}
+
+/// Records spans and instant events against the simulated clock.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tracer {
+    roots: Vec<Span>,
+    stack: Vec<Span>,
+    events: Vec<InstantEvent>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a span at sim-time `start`. Must be balanced by
+    /// [`end`](Self::end).
+    pub fn begin(&mut self, name: impl Into<String>, cat: impl Into<String>, start: SimTime) {
+        self.stack.push(Span {
+            name: name.into(),
+            cat: cat.into(),
+            start,
+            end: start,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        });
+    }
+
+    /// Closes the innermost open span at sim-time `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no span is open. An `end` earlier than the span's
+    /// start is clamped to the start (zero-duration span) rather than
+    /// producing a negative interval.
+    pub fn end(&mut self, end: SimTime) {
+        let mut span = self.stack.pop().expect("Tracer::end with no open span");
+        span.end = end.max(span.start);
+        self.attach(span);
+    }
+
+    /// Sets an attribute on the innermost open span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no span is open.
+    pub fn attr(&mut self, key: impl Into<String>, value: Json) {
+        let span = self
+            .stack
+            .last_mut()
+            .expect("Tracer::attr with no open span");
+        span.attrs.push((key.into(), value));
+    }
+
+    /// Attaches an already-finished span (flat API; see module docs).
+    pub fn complete(&mut self, span: Span) {
+        self.attach(span);
+    }
+
+    /// Records an instant event.
+    pub fn instant(
+        &mut self,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts: SimTime,
+        attrs: Vec<(String, Json)>,
+    ) {
+        self.events.push(InstantEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ts,
+            attrs,
+        });
+    }
+
+    fn attach(&mut self, span: Span) {
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(span),
+            None => self.roots.push(span),
+        }
+    }
+
+    /// Number of currently open (unbalanced) spans.
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Finished root spans in creation order.
+    pub fn roots(&self) -> &[Span] {
+        &self.roots
+    }
+
+    /// Instant events in creation order.
+    pub fn events(&self) -> &[InstantEvent] {
+        &self.events
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty() && self.stack.is_empty() && self.events.is_empty()
+    }
+
+    /// Moves another tracer's finished roots and events into this one
+    /// (shard merge). Open spans in `other` are dropped.
+    pub fn merge(&mut self, other: Tracer) {
+        self.roots.extend(other.roots);
+        self.events.extend(other.events);
+    }
+
+    /// Checks that every child interval is contained in its parent's
+    /// interval, recursively. Returns the path of the first violation.
+    ///
+    /// Spans built via the stack API are well-nested by construction
+    /// (when timestamps are monotone); this validator is the oracle the
+    /// property tests run against, and a cheap sanity check for traces
+    /// assembled through the flat API.
+    pub fn validate_nesting(&self) -> Result<(), String> {
+        fn check(path: &str, span: &Span) -> Result<(), String> {
+            if span.end < span.start {
+                return Err(format!(
+                    "{path}: end {} before start {}",
+                    span.end, span.start
+                ));
+            }
+            for child in &span.children {
+                let child_path = format!("{path}/{}", child.name);
+                if child.start < span.start || child.end > span.end {
+                    return Err(format!(
+                        "{child_path}: [{}, {}] escapes parent [{}, {}]",
+                        child.start, child.end, span.start, span.end
+                    ));
+                }
+                check(&child_path, child)?;
+            }
+            Ok(())
+        }
+        for root in &self.roots {
+            check(&root.name, root)?;
+        }
+        Ok(())
+    }
+
+    /// Flattens the span tree depth-first into `(path, span)` pairs,
+    /// where `path` joins ancestor names with `/`. Children follow
+    /// their parent; order is deterministic (creation order).
+    pub fn flatten(&self) -> Vec<(String, &Span)> {
+        fn walk<'a>(prefix: &str, span: &'a Span, out: &mut Vec<(String, &'a Span)>) {
+            let path = if prefix.is_empty() {
+                span.name.clone()
+            } else {
+                format!("{prefix}/{}", span.name)
+            };
+            out.push((path.clone(), span));
+            for child in &span.children {
+                walk(&path, child, out);
+            }
+        }
+        let mut out = Vec::new();
+        for root in &self.roots {
+            walk("", root, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn stack_api_builds_a_nested_tree() {
+        let mut tr = Tracer::new();
+        tr.begin("run", "sim", t(0));
+        tr.attr("nodes", Json::UInt(2));
+        tr.begin("node0", "sim", t(0));
+        tr.end(t(5));
+        tr.begin("node1", "sim", t(5));
+        tr.end(t(9));
+        tr.end(t(10));
+        assert_eq!(tr.open_depth(), 0);
+        assert_eq!(tr.roots().len(), 1);
+        let run = &tr.roots()[0];
+        assert_eq!(run.children.len(), 2);
+        assert_eq!(run.children[1].name, "node1");
+        assert_eq!(run.duration(), t(10));
+        tr.validate_nesting().expect("well nested");
+        let flat = tr.flatten();
+        let paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["run", "run/node0", "run/node1"]);
+    }
+
+    #[test]
+    fn flat_spans_may_overlap_under_one_parent() {
+        let mut tr = Tracer::new();
+        tr.begin("serve", "serving", t(0));
+        tr.complete(Span::complete("req0", "serving", t(0), t(10), vec![]));
+        tr.complete(Span::complete("req1", "serving", t(5), t(15), vec![]));
+        tr.end(t(20));
+        tr.validate_nesting().expect("contained in parent");
+    }
+
+    #[test]
+    fn validate_catches_escaping_children() {
+        let mut tr = Tracer::new();
+        tr.begin("parent", "x", t(5));
+        tr.complete(Span::complete("escapee", "x", t(0), t(3), vec![]));
+        tr.end(t(10));
+        let err = tr.validate_nesting().unwrap_err();
+        assert!(err.contains("parent/escapee"), "{err}");
+    }
+
+    #[test]
+    fn end_clamps_to_start() {
+        let mut tr = Tracer::new();
+        tr.begin("s", "x", t(10));
+        tr.end(t(3));
+        assert_eq!(tr.roots()[0].start, t(10));
+        assert_eq!(tr.roots()[0].end, t(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "no open span")]
+    fn unbalanced_end_panics() {
+        Tracer::new().end(t(0));
+    }
+
+    #[test]
+    fn instants_and_merge() {
+        let mut a = Tracer::new();
+        a.instant("halt", "fleet", t(7), vec![("stage".into(), Json::UInt(1))]);
+        let mut b = Tracer::new();
+        b.begin("r", "x", t(0));
+        b.end(t(1));
+        b.merge(a);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(b.roots().len(), 1);
+    }
+}

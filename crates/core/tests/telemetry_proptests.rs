@@ -1,0 +1,239 @@
+//! Property tests for [`mtia_core::telemetry`]: the merge algebra the
+//! sharded Monte-Carlo replicas rely on, well-nestedness of the stack
+//! span API, and lossless JSON round-tripping (including u64 timestamps
+//! past 2^53, where f64 would silently round).
+
+use mtia_core::pool;
+use mtia_core::telemetry::json::{self, Json};
+use mtia_core::telemetry::metrics::MetricsRegistry;
+use mtia_core::telemetry::Telemetry;
+use mtia_core::SimTime;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A deterministic splitmix64 stream, so a single `u64` seed drives
+/// arbitrarily shaped structured inputs without needing recursive
+/// strategies.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// One metric operation, decoded from the stream.
+#[derive(Clone, Debug)]
+enum Op {
+    Counter(String, u64),
+    Gauge(String, f64),
+    Hist(String, SimTime),
+}
+
+fn decode_ops(seed: u64, n: usize) -> Vec<Op> {
+    let mut s = Stream(seed);
+    (0..n)
+        .map(|_| {
+            let name = format!("m{}", s.below(5));
+            match s.below(3) {
+                0 => Op::Counter(name, s.below(1_000_000)),
+                1 => Op::Gauge(name, s.below(1_000_000) as f64 / 7.0),
+                _ => Op::Hist(name, SimTime::from_picos(1 + s.below(200_000_000_000_000))),
+            }
+        })
+        .collect()
+}
+
+fn apply(reg: &mut MetricsRegistry, op: &Op) {
+    match op {
+        Op::Counter(name, v) => reg.counter_add(name, *v),
+        Op::Gauge(name, v) => reg.gauge_max(name, *v),
+        Op::Hist(name, t) => reg.hist_record(name, *t),
+    }
+}
+
+/// Decodes an arbitrary `Json` document (bounded depth/width) from the
+/// stream; `budget` caps total node count.
+fn decode_json(s: &mut Stream, depth: usize, budget: &mut usize) -> Json {
+    *budget = budget.saturating_sub(1);
+    let leaf_only = depth == 0 || *budget == 0;
+    match if leaf_only { s.below(5) } else { s.below(7) } {
+        0 => Json::Null,
+        1 => Json::Bool(s.below(2) == 0),
+        2 => Json::UInt(s.next()),
+        3 => {
+            // Finite f64 with a fractional part; keep magnitudes sane.
+            Json::Num(s.below(1_000_000_000) as f64 / 64.0 - 1000.0)
+        }
+        4 => Json::Str(match s.below(4) {
+            0 => String::new(),
+            1 => "plain".to_string(),
+            2 => "esc \"quote\" \\ back \n tab\t".to_string(),
+            _ => format!("u{:x}\u{1}\u{7f}", s.next()),
+        }),
+        5 => {
+            let n = s.below(4) as usize;
+            Json::Arr((0..n).map(|_| decode_json(s, depth - 1, budget)).collect())
+        }
+        _ => {
+            let n = s.below(4) as usize;
+            Json::obj(
+                (0..n)
+                    .map(|i| (format!("k{i}"), decode_json(s, depth - 1, budget)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sharding a metric-op stream across the worker pool and merging
+    /// the per-shard registries (in any grouping) equals applying every
+    /// op serially: merge is associative, commutative, and agrees with
+    /// the serial fold.
+    #[test]
+    fn registry_merge_is_shard_invariant(
+        seed in any::<u64>(),
+        n in 1usize..200,
+        shards in 1usize..8,
+        threads in 1usize..5,
+    ) {
+        let ops = decode_ops(seed, n);
+        let mut serial = MetricsRegistry::default();
+        for op in &ops {
+            apply(&mut serial, op);
+        }
+
+        // Round-robin shard assignment, built concurrently on the pool.
+        let chunks: Vec<Vec<Op>> = (0..shards)
+            .map(|k| ops.iter().skip(k).step_by(shards).cloned().collect())
+            .collect();
+        let parts: Vec<MetricsRegistry> = pool::parallel_map_with(threads, chunks, |_, chunk| {
+            let mut reg = MetricsRegistry::default();
+            for op in &chunk {
+                apply(&mut reg, op);
+            }
+            reg
+        });
+
+        // Left fold (a ∪ b) ∪ c ...
+        let mut left = MetricsRegistry::default();
+        for part in &parts {
+            left.merge(part);
+        }
+        // Right fold a ∪ (b ∪ (c ∪ ...)), then reversed order.
+        let mut right = MetricsRegistry::default();
+        for part in parts.iter().rev() {
+            let mut tmp = part.clone();
+            tmp.merge(&right);
+            right = tmp;
+        }
+        prop_assert_eq!(&left, &serial);
+        prop_assert_eq!(&right, &serial);
+    }
+
+    /// Any begin/end sequence the stack API accepts yields a
+    /// well-nested span forest: every child interval is contained in
+    /// its parent's, even under arbitrary interleavings and time gaps.
+    #[test]
+    fn stack_api_spans_are_well_nested(
+        seed in any::<u64>(),
+        steps in 1usize..120,
+    ) {
+        let mut s = Stream(seed);
+        let mut tel = Telemetry::new_enabled();
+        let mut now = 0u64;
+        let mut depth = 0usize;
+        for i in 0..steps {
+            now += s.below(1_000_000);
+            // Bias toward opening so trees get a few levels deep.
+            if depth > 0 && s.below(3) == 0 {
+                tel.end_span(SimTime::from_picos(now));
+                depth -= 1;
+            } else {
+                tel.begin_span(format!("s{i}"), "prop", SimTime::from_picos(now));
+                if s.below(2) == 0 {
+                    tel.span_attr("i", Json::UInt(i as u64));
+                }
+                depth += 1;
+            }
+        }
+        while depth > 0 {
+            now += s.below(1_000_000);
+            tel.end_span(SimTime::from_picos(now));
+            depth -= 1;
+        }
+        prop_assert_eq!(tel.tracer.open_depth(), 0);
+        prop_assert_eq!(tel.tracer.validate_nesting(), Ok(()));
+    }
+
+    /// `render → parse → render` is a fixpoint for arbitrary documents,
+    /// and u64 values (beyond f64's 2^53 integer range) survive exactly.
+    #[test]
+    fn json_render_parse_round_trip(
+        seed in any::<u64>(),
+        extremes in vec(any::<u64>(), 0..8),
+    ) {
+        let mut s = Stream(seed);
+        let mut budget = 64usize;
+        let mut doc = decode_json(&mut s, 4, &mut budget);
+        // Splice in adversarial u64s at the top level.
+        if let Json::Obj(pairs) = &mut doc {
+            for (i, v) in extremes.iter().enumerate() {
+                pairs.push((format!("x{i}"), Json::UInt(*v)));
+            }
+        }
+        let rendered = doc.render();
+        let reparsed = json::parse(&rendered)
+            .map_err(|e| TestCaseError::Fail(format!("{e}: {rendered}")))?;
+        prop_assert_eq!(reparsed.render(), rendered);
+    }
+
+    /// Both exporters emit parseable JSON for arbitrary recorded
+    /// telemetry, and the canonical export is insensitive to metric
+    /// recording order (BTreeMap canonicalization).
+    #[test]
+    fn exports_parse_and_canonicalize(
+        seed in any::<u64>(),
+        n in 1usize..60,
+    ) {
+        let ops = decode_ops(seed, n);
+        let mut tel = Telemetry::new_enabled();
+        tel.begin_span("root", "prop", SimTime::ZERO);
+        for op in &ops {
+            apply(&mut tel.metrics, op);
+        }
+        tel.instant("tick", "prop", SimTime::from_picos(5), vec![]);
+        tel.end_span(SimTime::from_picos(10));
+
+        let mut shuffled = Telemetry::new_enabled();
+        shuffled.begin_span("root", "prop", SimTime::ZERO);
+        let mut s = Stream(seed ^ 0xdead_beef);
+        let mut reordered = ops.clone();
+        for i in (1..reordered.len()).rev() {
+            reordered.swap(i, s.below(i as u64 + 1) as usize);
+        }
+        for op in &reordered {
+            apply(&mut shuffled.metrics, op);
+        }
+        shuffled.instant("tick", "prop", SimTime::from_picos(5), vec![]);
+        shuffled.end_span(SimTime::from_picos(10));
+
+        let canonical = tel.to_canonical_json();
+        prop_assert_eq!(&canonical, &shuffled.to_canonical_json());
+        json::parse(&canonical)
+            .map_err(|e| TestCaseError::Fail(format!("canonical: {e}")))?;
+        json::parse(&tel.to_chrome_json())
+            .map_err(|e| TestCaseError::Fail(format!("chrome: {e}")))?;
+    }
+}

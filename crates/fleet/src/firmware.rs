@@ -8,6 +8,7 @@
 //! fleet-wide in 3 hours (1 hour with safety overrides). 23 bundles shipped
 //! fleet-wide in 2024, versus 1–2 firmware updates for third-party GPUs.
 
+use mtia_core::telemetry::{Json, Telemetry};
 use mtia_core::SimTime;
 use mtia_sim::noc::deadlock::{
     deadlock_possible, DeadlockConfig, PRODUCTION_TRIGGER_PROBABILITY, STRESS_TRIGGER_PROBABILITY,
@@ -165,18 +166,46 @@ pub fn simulate_rollout<R: Rng + ?Sized>(
     fleet_servers: u32,
     rng: &mut R,
 ) -> RolloutOutcome {
+    simulate_rollout_traced(
+        rollout,
+        bundle,
+        fleet_servers,
+        rng,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// [`simulate_rollout`] with observability: when `tel` is enabled,
+/// records a `fleet.rollout` root span with one child span per staged
+/// soak (sim-time placed on the cumulative rollout clock), a
+/// `rollout.halted` instant event when detection stops the rollout,
+/// and coverage/impact counters. The returned outcome is byte-identical
+/// to the untraced run (the RNG is consumed identically).
+pub fn simulate_rollout_traced<R: Rng + ?Sized>(
+    rollout: &Rollout,
+    bundle: &FirmwareBundle,
+    fleet_servers: u32,
+    rng: &mut R,
+    tel: &mut Telemetry,
+) -> RolloutOutcome {
     let mut covered = 0u32;
     let mut impacted = 0u32;
     let mut elapsed = SimTime::ZERO;
     // The deadlock predicate is a property of the bundle, not of a server:
     // evaluate the wait-for graph once.
     let hazardous = deadlock_possible(bundle.deadlock_config_under_load());
+    tel.begin_span("fleet.rollout", "fleet", SimTime::ZERO);
+    tel.span_attr("bundle", Json::Str(bundle.version.clone()));
+    tel.span_attr("fleet_servers", Json::UInt(fleet_servers as u64));
+    tel.span_attr("stages", Json::UInt(rollout.stages.len() as u64));
     for (i, stage) in rollout.stages.iter().enumerate() {
         let target = ((fleet_servers as f64) * stage.fleet_fraction).round() as u32;
         let newly = target.saturating_sub(covered);
         covered = target;
+        let stage_start = elapsed;
         elapsed += stage.soak;
         let mut detected = false;
+        let impacted_before = impacted;
         if hazardous {
             for _ in 0..newly {
                 if rng.gen_bool(PRODUCTION_TRIGGER_PROBABILITY) {
@@ -185,7 +214,36 @@ pub fn simulate_rollout<R: Rng + ?Sized>(
                 }
             }
         }
+        tel.complete_span(
+            format!("stage{i}"),
+            "fleet",
+            stage_start,
+            elapsed,
+            vec![
+                ("fleet_fraction".into(), Json::Num(stage.fleet_fraction)),
+                ("servers_added".into(), Json::UInt(newly as u64)),
+                (
+                    "servers_impacted".into(),
+                    Json::UInt((impacted - impacted_before) as u64),
+                ),
+            ],
+        );
+        tel.counter_add("fleet.rollout.servers_covered", newly as u64);
+        tel.counter_add(
+            "fleet.rollout.servers_impacted",
+            (impacted - impacted_before) as u64,
+        );
         if detected {
+            tel.instant(
+                "rollout.halted",
+                "fleet",
+                elapsed,
+                vec![
+                    ("stage".into(), Json::UInt(i as u64)),
+                    ("servers_impacted".into(), Json::UInt(impacted as u64)),
+                ],
+            );
+            tel.end_span(elapsed);
             return RolloutOutcome {
                 detected_at_stage: Some(i),
                 servers_impacted: impacted,
@@ -193,6 +251,7 @@ pub fn simulate_rollout<R: Rng + ?Sized>(
             };
         }
     }
+    tel.end_span(elapsed);
     RolloutOutcome {
         detected_at_stage: None,
         servers_impacted: impacted,
@@ -331,6 +390,42 @@ mod tests {
         );
         // Blast radius stays far below fleet-wide exposure.
         assert!((total_impacted as f64) / 50.0 < 0.001 * fleet as f64 * 0.3);
+    }
+
+    #[test]
+    fn traced_rollout_matches_untraced() {
+        let rollout = Rollout::standard();
+        let bundle = FirmwareBundle::original();
+        let untraced = simulate_rollout(&rollout, &bundle, 50_000, &mut StdRng::seed_from_u64(75));
+        let mut tel = Telemetry::new_enabled();
+        let traced = simulate_rollout_traced(
+            &rollout,
+            &bundle,
+            50_000,
+            &mut StdRng::seed_from_u64(75),
+            &mut tel,
+        );
+        assert_eq!(untraced, traced);
+        tel.tracer
+            .validate_nesting()
+            .expect("stage spans contained");
+        let root = &tel.tracer.roots()[0];
+        // Halted rollouts record exactly the stages that ran, plus the
+        // halt marker at the detection time.
+        let stage = traced.detected_at_stage.expect("defective bundle caught");
+        assert_eq!(root.children.len(), stage + 1);
+        assert_eq!(root.end, traced.time_to_detection.unwrap());
+        let halt = tel
+            .tracer
+            .events()
+            .iter()
+            .find(|e| e.name == "rollout.halted")
+            .expect("halt event");
+        assert_eq!(halt.ts, traced.time_to_detection.unwrap());
+        assert_eq!(
+            tel.metrics.counter("fleet.rollout.servers_impacted"),
+            traced.servers_impacted as u64
+        );
     }
 
     #[test]

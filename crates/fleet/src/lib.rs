@@ -29,7 +29,9 @@ pub mod rollout_serving;
 
 pub use cd::{simulate_year, CdConfig, YearReport};
 pub use chipsize::{production_gain_over_replay, provision, DeviceOption, ModelDemand};
-pub use firmware::{simulate_rollout, FirmwareBundle, Rollout, RolloutOutcome};
+pub use firmware::{
+    simulate_rollout, simulate_rollout_traced, FirmwareBundle, Rollout, RolloutOutcome,
+};
 pub use memerr::{evaluate_mitigations, run_sensitivity, run_survey, Mitigation};
 pub use overclock::{run_study, OverclockStudy, SiliconMargin};
 pub use power::{initial_rack_budget, PowerStudy, RackConfig};

@@ -182,6 +182,39 @@ impl QuarantineManager {
     pub fn total_faults_found(&self) -> usize {
         self.logs.values().map(|l| l.lifetime_faults).sum()
     }
+
+    /// Exports the repair state machine's history into a telemetry
+    /// capture: one `repair.transition` instant event per logged
+    /// `(time, from, to)` edge (ordered by device id, then by time —
+    /// the order the logs store them in, so the export is
+    /// deterministic), plus summary counters.
+    pub fn export_telemetry(&self, tel: &mut mtia_core::telemetry::Telemetry) {
+        use mtia_core::telemetry::Json;
+        if !tel.is_enabled() {
+            return;
+        }
+        for (&device, log) in &self.logs {
+            for &(at, from, to) in &log.transitions {
+                tel.instant(
+                    "repair.transition",
+                    "fleet",
+                    at,
+                    vec![
+                        ("device".into(), Json::UInt(device as u64)),
+                        ("from".into(), Json::Str(format!("{from:?}"))),
+                        ("to".into(), Json::Str(format!("{to:?}"))),
+                    ],
+                );
+            }
+            tel.counter_add("fleet.quarantine.transitions", log.transitions.len() as u64);
+            tel.counter_add("fleet.quarantine.entries", log.quarantines as u64);
+        }
+        tel.counter_add("fleet.quarantine.retired", self.retired() as u64);
+        tel.counter_add(
+            "fleet.quarantine.faults_found",
+            self.total_faults_found() as u64,
+        );
+    }
 }
 
 impl QuarantineHandler for QuarantineManager {
@@ -275,6 +308,39 @@ mod tests {
         }
         assert!(!RepairState::legal(InService, MemTest));
         assert!(!RepairState::legal(InService, Retired));
+    }
+
+    #[test]
+    fn telemetry_export_mirrors_the_repair_log() {
+        let mut manager = QuarantineManager::new(QuarantineConfig::default(), DEFAULT_SEED);
+        let mut image = ImageSpec::small(DEFAULT_SEED).build();
+        image.apply_flip(InjectionTarget::EmbeddingRows, 42, 19);
+        let req = QuarantineRequest {
+            device: 3,
+            at: SimTime::from_millis(50),
+            suspicion: 1.0,
+        };
+        let _ = manager.handle(&req, &mut image);
+        let mut tel = mtia_core::telemetry::Telemetry::new_enabled();
+        manager.export_telemetry(&mut tel);
+        let expected: usize = manager.logs().values().map(|l| l.transitions.len()).sum();
+        let transitions = tel
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "repair.transition")
+            .count();
+        assert_eq!(transitions, expected);
+        assert!(transitions >= 3, "drain → memtest → release");
+        assert_eq!(
+            tel.metrics.counter("fleet.quarantine.transitions"),
+            expected as u64
+        );
+        assert_eq!(tel.metrics.counter("fleet.quarantine.faults_found"), 1);
+        // A disabled handle stays empty.
+        let mut off = mtia_core::telemetry::Telemetry::disabled();
+        manager.export_telemetry(&mut off);
+        assert!(off.tracer.is_empty());
     }
 
     #[test]

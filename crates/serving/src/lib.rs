@@ -45,12 +45,13 @@ pub use coalescer::{simulate_coalescer, CoalescerConfig, CoalescerStats};
 pub use latency::LatencyHistogram;
 pub use replayer::{overclock_gain_on_trace, replay, ReplayDeployment, ReplayReport};
 pub use resilience::{
-    compare_policies, simulate_resilient_remote_merge, DeviceSet, DispatchPolicy, HealthConfig,
-    HealthMachine, HealthState, HedgePolicy, MaintenanceWindow, PolicyComparison, ResilienceConfig,
-    ResilienceReport, RetryPolicy,
+    compare_policies, simulate_resilient_remote_merge, simulate_resilient_remote_merge_traced,
+    DeviceSet, DispatchPolicy, HealthConfig, HealthMachine, HealthState, HedgePolicy,
+    MaintenanceWindow, PolicyComparison, ResilienceConfig, ResilienceReport, RetryPolicy,
 };
 pub use scheduler::{
-    max_rate_under_slo, simulate_remote_merge, RemoteMergeConfig, RemoteMergeStats,
+    max_rate_under_slo, simulate_remote_merge, simulate_remote_merge_traced, RemoteMergeConfig,
+    RemoteMergeStats,
 };
 pub use sdc::{
     run_sdc_sim, DetectionPolicy, DeviceImage, ImageSpec, InlineRepair, QuarantineDecision,

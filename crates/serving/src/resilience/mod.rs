@@ -35,6 +35,6 @@ pub use health::{HealthConfig, HealthMachine, HealthState};
 pub use report::{PolicyComparison, ResilienceReport};
 pub use retry::{HedgePolicy, RetryPolicy};
 pub use sim::{
-    compare_policies, simulate_resilient_remote_merge, DispatchPolicy, MaintenanceWindow,
-    ResilienceConfig,
+    compare_policies, simulate_resilient_remote_merge, simulate_resilient_remote_merge_traced,
+    DispatchPolicy, MaintenanceWindow, ResilienceConfig,
 };

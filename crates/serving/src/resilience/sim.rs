@@ -21,6 +21,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use mtia_core::telemetry::{Json, Telemetry};
 use mtia_core::SimTime;
 use mtia_sim::faults::{DeviceId, FaultClock, FaultPlan};
 
@@ -151,6 +152,7 @@ struct Engine<'a> {
     controller: Option<DegradationController>,
     report: ResilienceReport,
     warmup: SimTime,
+    tel: &'a mut Telemetry,
 }
 
 impl<'a> Engine<'a> {
@@ -163,6 +165,33 @@ impl<'a> Engine<'a> {
         if self.requests.remove(&request).is_some() {
             self.report.dropped += 1;
         }
+    }
+
+    /// Emits a `health.transition` instant event when a device's state
+    /// actually changed (per-device health transitions are the fleet
+    /// operator's primary signal; see §5.5).
+    fn record_health_transition(&mut self, device: DeviceId, before: HealthState, now: SimTime) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let after = self.set.get(device).health.state();
+        if before != after {
+            self.tel.instant(
+                "health.transition",
+                "serving",
+                now,
+                vec![
+                    ("device".into(), Json::UInt(device as u64)),
+                    ("from".into(), Json::Str(format!("{before:?}"))),
+                    ("to".into(), Json::Str(format!("{after:?}"))),
+                ],
+            );
+            self.tel.counter_add("serving.health_transitions", 1);
+        }
+    }
+
+    fn health_state(&self, device: DeviceId) -> HealthState {
+        self.set.get(device).health.state()
     }
 
     /// Dispatches queued tickets onto devices while both are available.
@@ -239,6 +268,18 @@ impl<'a> Engine<'a> {
             return;
         }
         self.report.retries += 1;
+        if self.tel.is_enabled() {
+            self.tel.instant(
+                "serving.retry",
+                "serving",
+                now,
+                vec![
+                    ("request".into(), Json::UInt(ticket.request)),
+                    ("attempt".into(), Json::UInt(ticket.attempts as u64)),
+                    ("delay_ps".into(), Json::UInt(delay.as_picos())),
+                ],
+            );
+        }
         self.push(now + delay, Ev::JobReady { ticket });
     }
 
@@ -248,20 +289,22 @@ impl<'a> Engine<'a> {
         if self.policy != DispatchPolicy::Resilient {
             return;
         }
-        let health = &mut self.set.get_mut(device).health;
-        let before = health.state();
-        health.observe_error(now);
-        if before != HealthState::Offline && health.state() == HealthState::Offline {
+        let before = self.health_state(device);
+        self.set.get_mut(device).health.observe_error(now);
+        if before != HealthState::Offline && self.health_state(device) == HealthState::Offline {
             self.push(now + self.config.offline_cooldown, Ev::Reenable { device });
         }
+        self.record_health_transition(device, before, now);
     }
 
     fn start_maintenance_hold(&mut self, device: DeviceId, now: SimTime) {
         if let Some(duration) = self.pending_maintenance.remove(&device) {
+            let before = self.health_state(device);
             let machine = &mut self.set.get_mut(device).health;
             machine.begin_drain(now);
             machine.set_offline(now);
             self.push(now + duration, Ev::MaintenanceDone { device });
+            self.record_health_transition(device, before, now);
         }
     }
 
@@ -285,6 +328,15 @@ impl<'a> Engine<'a> {
         if let Some(first) = arrivals.next_arrival(SimTime::ZERO) {
             self.push(first, Ev::Arrival);
         }
+
+        self.tel
+            .begin_span("serving.resilient", "serving", SimTime::ZERO);
+        let policy_name = self.policy.name();
+        self.tel
+            .span_attr("policy", Json::Str(policy_name.to_string()));
+        self.tel
+            .span_attr("devices", Json::UInt(self.config.workload.devices as u64));
+        self.tel.span_attr("seed", Json::UInt(self.config.seed));
 
         let mut next_request = 0u64;
         let mut now = SimTime::ZERO;
@@ -334,7 +386,9 @@ impl<'a> Engine<'a> {
                         .remove(&(device, epoch))
                         .expect("inflight ticket");
                     if self.policy == DispatchPolicy::Resilient {
+                        let before = self.health_state(device);
                         self.set.get_mut(device).health.observe_success(now);
+                        self.record_health_transition(device, before, now);
                         if self.set.get(device).health.state() == HealthState::Draining {
                             self.start_maintenance_hold(device, now);
                         }
@@ -345,8 +399,29 @@ impl<'a> Engine<'a> {
                             self.requests.remove(&ticket.request);
                             self.report.completed += 1;
                             let latency = now - arrived;
+                            if self.tel.is_enabled() {
+                                self.tel.complete_span(
+                                    format!("req{}", ticket.request),
+                                    "serving",
+                                    arrived,
+                                    now,
+                                    vec![
+                                        ("latency_ps".into(), Json::UInt(latency.as_picos())),
+                                        (
+                                            "merge_attempts".into(),
+                                            Json::UInt(ticket.attempts as u64),
+                                        ),
+                                    ],
+                                );
+                                if let Some(d) = &self.config.degradation {
+                                    if now >= self.warmup && latency > d.slo_p99 {
+                                        self.tel.counter_add("serving.slo_violations", 1);
+                                    }
+                                }
+                            }
                             if now >= self.warmup {
                                 self.report.request_latency.record(latency);
+                                self.tel.hist_record("serving.request_latency", latency);
                             }
                             if let Some(c) = &mut self.controller {
                                 c.observe(latency);
@@ -375,6 +450,17 @@ impl<'a> Engine<'a> {
                         // Still running: issue a duplicate merge elsewhere.
                         if self.requests.contains_key(&ticket.request) {
                             self.report.hedges += 1;
+                            if self.tel.is_enabled() {
+                                self.tel.instant(
+                                    "serving.hedge",
+                                    "serving",
+                                    now,
+                                    vec![
+                                        ("request".into(), Json::UInt(ticket.request)),
+                                        ("device".into(), Json::UInt(device as u64)),
+                                    ],
+                                );
+                            }
                             self.queue.push_back(Ticket {
                                 hedges: ticket.hedges + 1,
                                 ..ticket
@@ -391,13 +477,17 @@ impl<'a> Engine<'a> {
                         self.fail_request(ticket.request);
                     }
                     if self.policy == DispatchPolicy::Resilient {
+                        let before = self.health_state(device);
                         self.set.get_mut(device).health.begin_recovery(now);
+                        self.record_health_transition(device, before, now);
                     }
                 }
                 Ev::Reenable { device } => {
                     if self.set.get(device).faults.link_up(now) {
                         self.set.tick(now);
+                        let before = self.health_state(device);
                         self.set.get_mut(device).health.begin_recovery(now);
+                        self.record_health_transition(device, before, now);
                     }
                 }
                 Ev::MaintenanceStart { window } => {
@@ -407,7 +497,9 @@ impl<'a> Engine<'a> {
                         DispatchPolicy::Resilient => {
                             if self.set.get(w.device).is_busy() {
                                 // Drain: stop new work, wait for in-flight.
+                                let before = self.health_state(w.device);
                                 self.set.get_mut(w.device).health.begin_drain(now);
+                                self.record_health_transition(w.device, before, now);
                             } else {
                                 self.start_maintenance_hold(w.device, now);
                             }
@@ -431,7 +523,9 @@ impl<'a> Engine<'a> {
                 }
                 Ev::MaintenanceDone { device } => {
                     self.set.tick(now);
+                    let before = self.health_state(device);
                     self.set.get_mut(device).health.begin_recovery(now);
+                    self.record_health_transition(device, before, now);
                 }
                 Ev::FaultAt { index } => {
                     let fault = plan.events()[index];
@@ -447,7 +541,9 @@ impl<'a> Engine<'a> {
                         }
                         FaultImpact::LinkLost { epoch, recovers_at } => {
                             if self.policy == DispatchPolicy::Resilient {
+                                let before = self.health_state(fault.device);
                                 self.set.get_mut(fault.device).health.set_offline(now);
+                                self.record_health_transition(fault.device, before, now);
                             }
                             if let Some(ticket) = self.inflight.remove(&(fault.device, epoch)) {
                                 match self.policy {
@@ -487,6 +583,21 @@ impl<'a> Engine<'a> {
         self.report.availability = self
             .set
             .availability(now.min(horizon).max(SimTime::from_picos(1)));
+        self.tel.end_span(now.min(horizon));
+        if self.tel.is_enabled() {
+            for (name, value) in [
+                ("serving.offered", self.report.offered),
+                ("serving.completed", self.report.completed),
+                ("serving.shed", self.report.shed),
+                ("serving.dropped", self.report.dropped),
+                ("serving.stuck", self.report.stuck),
+                ("serving.retries", self.report.retries),
+                ("serving.hedges", self.report.hedges),
+                ("serving.job_failures", self.report.job_failures),
+            ] {
+                self.tel.counter_add(name, value);
+            }
+        }
         self.report
     }
 }
@@ -499,6 +610,34 @@ pub fn simulate_resilient_remote_merge(
     plan: &FaultPlan,
     horizon: SimTime,
     warmup: SimTime,
+) -> ResilienceReport {
+    simulate_resilient_remote_merge_traced(
+        config,
+        policy,
+        arrivals,
+        plan,
+        horizon,
+        warmup,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// [`simulate_resilient_remote_merge`] with observability: when `tel`
+/// is enabled, records a `serving.resilient` root span with a flat
+/// child span per completed request (enqueue → merge completion, with
+/// merge attempt counts), `health.transition` instant events for every
+/// per-device state change, `serving.retry`/`serving.hedge` instants,
+/// and shed/SLO-violation/outcome counters. The returned report is
+/// byte-identical to the untraced run.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_resilient_remote_merge_traced(
+    config: &ResilienceConfig,
+    policy: DispatchPolicy,
+    arrivals: &mut dyn ArrivalProcess,
+    plan: &FaultPlan,
+    horizon: SimTime,
+    warmup: SimTime,
+    tel: &mut Telemetry,
 ) -> ResilienceReport {
     assert!(config.workload.devices > 0, "need at least one device");
     assert!(
@@ -540,6 +679,7 @@ pub fn simulate_resilient_remote_merge(
             availability: 1.0,
         },
         warmup,
+        tel,
     };
     engine.run(arrivals, plan, horizon)
 }
@@ -680,6 +820,47 @@ mod tests {
             cmp.resilient.availability < 1.0,
             "outage shows up in availability"
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_transitions() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let cfg = config(7);
+        let plan = FaultPlan::generate(&FaultPlanConfig::stress(), 4, SimTime::from_secs(30), 7);
+        let horizon = SimTime::from_secs(30);
+        let warmup = SimTime::from_secs(2);
+        let run = |tel: &mut Telemetry| {
+            let mut arrivals =
+                crate::traffic::PoissonArrivals::new(60.0, StdRng::seed_from_u64(cfg.seed));
+            simulate_resilient_remote_merge_traced(
+                &cfg,
+                DispatchPolicy::Resilient,
+                &mut arrivals,
+                &plan,
+                horizon,
+                warmup,
+                tel,
+            )
+        };
+        let untraced = run(&mut Telemetry::disabled());
+        let mut tel = Telemetry::new_enabled();
+        let traced = run(&mut tel);
+        assert_eq!(untraced.completed, traced.completed);
+        assert_eq!(untraced.retries, traced.retries);
+        assert_eq!(untraced.request_latency.p99(), traced.request_latency.p99());
+        tel.tracer
+            .validate_nesting()
+            .expect("request spans contained");
+        assert_eq!(tel.metrics.counter("serving.completed"), traced.completed);
+        assert_eq!(tel.metrics.counter("serving.retries"), traced.retries);
+        // The stress plan produces faults, so health machines must move.
+        assert!(tel.metrics.counter("serving.health_transitions") > 0);
+        assert!(tel
+            .tracer
+            .events()
+            .iter()
+            .any(|e| e.name == "health.transition"));
     }
 
     #[test]

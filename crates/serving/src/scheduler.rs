@@ -13,6 +13,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use mtia_core::telemetry::{Json, Telemetry};
 use mtia_core::SimTime;
 
 use crate::latency::LatencyHistogram;
@@ -115,6 +116,32 @@ pub fn simulate_remote_merge(
     horizon: SimTime,
     warmup: SimTime,
 ) -> RemoteMergeStats {
+    simulate_remote_merge_traced(
+        config,
+        arrivals,
+        horizon,
+        warmup,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// [`simulate_remote_merge`] with observability: when `tel` is enabled,
+/// records one `serving.remote_merge` root span holding a flat child
+/// span per completed request (arrival → merge completion, overlapping
+/// freely as real lifecycles do), post-warmup latency/merge-wait
+/// histograms, and completion/dispatch counters. The returned stats are
+/// byte-identical to the untraced run.
+///
+/// # Panics
+///
+/// Panics if the configuration has zero devices or zero remote jobs.
+pub fn simulate_remote_merge_traced(
+    config: RemoteMergeConfig,
+    arrivals: &mut dyn ArrivalProcess,
+    horizon: SimTime,
+    warmup: SimTime,
+    tel: &mut Telemetry,
+) -> RemoteMergeStats {
     assert!(config.devices > 0, "need at least one device");
     assert!(
         config.remote_jobs_per_request > 0,
@@ -151,6 +178,13 @@ pub fn simulate_remote_merge(
         utilization: 0.0,
     };
 
+    tel.begin_span("serving.remote_merge", "serving", SimTime::ZERO);
+    tel.span_attr("devices", Json::UInt(config.devices as u64));
+    tel.span_attr(
+        "remote_jobs_per_request",
+        Json::UInt(config.remote_jobs_per_request as u64),
+    );
+
     let mut now = SimTime::ZERO;
     while let Some(Reverse((t, _, event))) = events.pop() {
         if t > horizon {
@@ -183,8 +217,19 @@ pub fn simulate_remote_merge(
                 if kind_is_merge {
                     let arrived = arrival_of.remove(&request).expect("known request");
                     stats.completed += 1;
+                    if tel.is_enabled() {
+                        tel.complete_span(
+                            format!("req{request}"),
+                            "serving",
+                            arrived,
+                            now,
+                            vec![("latency_ps".into(), Json::UInt((now - arrived).as_picos()))],
+                        );
+                        tel.counter_add("serving.completed", 1);
+                    }
                     if now >= warmup {
                         stats.request_latency.record(now - arrived);
+                        tel.hist_record("serving.request_latency", now - arrived);
                     }
                 } else {
                     let left = remotes_left.get_mut(&request).expect("known request");
@@ -211,8 +256,10 @@ pub fn simulate_remote_merge(
             free_devices -= 1;
             let occupancy = job.duration + config.dispatch_overhead;
             busy_time += occupancy;
+            tel.counter_add("serving.jobs_dispatched", 1);
             if job.kind == JobKind::Merge && now >= warmup {
                 stats.merge_wait.record(now - job.ready_at);
+                tel.hist_record("serving.merge_wait", now - job.ready_at);
             }
             let done = now + occupancy;
             push(
@@ -227,6 +274,7 @@ pub fn simulate_remote_merge(
         }
     }
 
+    tel.end_span(now);
     let measured = now.saturating_sub(warmup);
     if measured > SimTime::ZERO {
         stats.throughput_per_s = stats.request_latency.count() as f64 / measured.as_secs_f64();
@@ -465,6 +513,32 @@ mod tests {
     fn remote_latency_precedes_request_latency() {
         let stats = run_at(base_config(4), 40.0, 5);
         assert!(stats.remote_latency.p50() < stats.request_latency.p50());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let config = base_config(4);
+        let horizon = SimTime::from_secs(10);
+        let warmup = SimTime::from_secs(1);
+        let mut a1 = PoissonArrivals::new(30.0, StdRng::seed_from_u64(11));
+        let untraced = simulate_remote_merge(config, &mut a1, horizon, warmup);
+        let mut a2 = PoissonArrivals::new(30.0, StdRng::seed_from_u64(11));
+        let mut tel = Telemetry::new_enabled();
+        let traced = simulate_remote_merge_traced(config, &mut a2, horizon, warmup, &mut tel);
+        assert_eq!(untraced.completed, traced.completed);
+        assert_eq!(untraced.request_latency, traced.request_latency);
+        assert_eq!(untraced.utilization, traced.utilization);
+        tel.tracer
+            .validate_nesting()
+            .expect("request spans contained");
+        assert_eq!(tel.metrics.counter("serving.completed"), traced.completed);
+        // Every completed request shows up as a child span of the root.
+        assert_eq!(
+            tel.tracer.roots()[0].children.len() as u64,
+            traced.completed
+        );
+        let hist = tel.metrics.histogram("serving.request_latency").unwrap();
+        assert_eq!(hist.p99(), traced.request_latency.p99());
     }
 
     #[test]

@@ -8,10 +8,11 @@
 use std::collections::BTreeMap;
 
 use mtia_core::spec::{ChipSpec, EccMode};
-use mtia_core::units::Bytes;
+use mtia_core::telemetry::{Json, Telemetry};
+use mtia_core::units::{Bytes, SimTime};
 
 use mtia_model::graph::Graph;
-use mtia_model::ops::OpKind;
+use mtia_model::ops::{OpCategory, OpKind};
 
 use crate::control::JobLaunchModel;
 use crate::costcache::{cost_op_cached, env_signature};
@@ -151,6 +152,33 @@ impl ChipSim {
     /// Panics if the plan's order is not a permutation of the graph's
     /// nodes.
     pub fn run(&self, graph: &Graph, plan: &Plan) -> ExecutionReport {
+        self.run_with_telemetry(graph, plan, &mut Telemetry::disabled())
+    }
+
+    /// [`run`](Self::run) with observability: when `tel` is enabled,
+    /// records one `chip.run` span containing a child span per executed
+    /// node (sim-time placed on a cumulative cursor, so the trace reads
+    /// as the chip's serial timeline), engine-occupancy and byte
+    /// counters, and a per-node kernel-time histogram.
+    ///
+    /// The cost-cache hit/miss counters are recorded under the
+    /// `nondet.` prefix: the cache is process-global, so those two
+    /// numbers depend on what else ran first in the process and are
+    /// excluded from canonical (golden-diffable) exports.
+    ///
+    /// The returned report is byte-identical whether `tel` is enabled
+    /// or disabled — telemetry only observes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's order is not a permutation of the graph's
+    /// nodes.
+    pub fn run_with_telemetry(
+        &self,
+        graph: &Graph,
+        plan: &Plan,
+        tel: &mut Telemetry,
+    ) -> ExecutionReport {
         assert_eq!(
             plan.order.len(),
             graph.nodes().len(),
@@ -194,6 +222,15 @@ impl ChipSim {
             LaunchMode::Graph => mtia_core::SimTime::from_nanos(50),
         };
 
+        let cache_before = crate::costcache::stats();
+        tel.begin_span("chip.run", "sim", SimTime::ZERO);
+        tel.span_attr("model", Json::Str(graph.name().to_string()));
+        tel.span_attr("batch", Json::UInt(graph.batch()));
+        tel.span_attr("nodes", Json::UInt(plan.order.len() as u64));
+
+        // Cumulative sim-time cursor: nodes execute serially on the chip,
+        // so span `i` starts where span `i-1` ended.
+        let mut cursor = SimTime::ZERO;
         let mut nodes = Vec::with_capacity(plan.order.len());
         for (pos, &idx) in plan.order.iter().enumerate() {
             let node = &graph.nodes()[idx];
@@ -206,13 +243,63 @@ impl ChipSim {
             } else {
                 per_node_overhead
             };
+            let category = node.op.category();
+            if tel.is_enabled() {
+                let start = cursor;
+                cursor += launch_overhead + cost.time;
+                tel.complete_span(
+                    node.name.clone(),
+                    "sim",
+                    start,
+                    cursor,
+                    vec![
+                        ("node".into(), Json::UInt(idx as u64)),
+                        ("category".into(), Json::Str(format!("{category:?}"))),
+                        (
+                            "bottleneck".into(),
+                            Json::Str(format!("{:?}", cost.bottleneck)),
+                        ),
+                        ("dram_bytes".into(), Json::UInt(cost.dram_bytes.as_u64())),
+                        ("sram_bytes".into(), Json::UInt(cost.sram_bytes.as_u64())),
+                        (
+                            "launch_overhead_ps".into(),
+                            Json::UInt(launch_overhead.as_picos()),
+                        ),
+                    ],
+                );
+                // Engine occupancy (§3: DPE matrix math, SIMD vector
+                // work, RE irregular embedding gathers) and memory-system
+                // byte counters.
+                let engine = match category {
+                    OpCategory::Gemm => "chip.occupancy.dpe_ps",
+                    OpCategory::Simd => "chip.occupancy.simd_ps",
+                    OpCategory::Sparse => "chip.occupancy.re_ps",
+                    OpCategory::DataMovement => "chip.occupancy.dma_ps",
+                };
+                tel.counter_add(engine, cost.time.as_picos());
+                tel.counter_add("chip.llc.bytes", cost.sram_bytes.as_u64());
+                tel.counter_add("chip.lpddr.bytes", cost.dram_bytes.as_u64());
+                tel.hist_record("chip.node_time", cost.time);
+            }
             nodes.push(NodeCost {
                 node: idx,
                 name: node.name.clone(),
-                category: node.op.category(),
+                category,
                 cost,
                 launch_overhead,
             });
+        }
+        tel.end_span(cursor);
+        if tel.is_enabled() {
+            let cache_after = crate::costcache::stats();
+            tel.counter_add(
+                "nondet.costcache.hits",
+                cache_after.hits.saturating_sub(cache_before.hits),
+            );
+            tel.counter_add(
+                "nondet.costcache.misses",
+                cache_after.misses.saturating_sub(cache_before.misses),
+            );
         }
 
         // Sharding check (§4.1): model + runtime buffers vs device DRAM.
@@ -373,6 +460,33 @@ mod tests {
             with_hints < without,
             "hints must help on spilled activations: {with_hints} !< {without}"
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_nests() {
+        let g = DlrmConfig::small(256).build();
+        let s = sim();
+        let plan = Plan::default_for(&g);
+        let untraced = s.run(&g, &plan);
+        let mut tel = Telemetry::new_enabled();
+        let traced = s.run_with_telemetry(&g, &plan, &mut tel);
+        // Telemetry only observes: the report is identical.
+        assert_eq!(untraced, traced);
+        tel.tracer.validate_nesting().expect("well nested");
+        let run = &tel.tracer.roots()[0];
+        assert_eq!(run.children.len(), g.nodes().len());
+        assert_eq!(run.end, traced.total_time());
+        assert!(tel.metrics.counter("chip.llc.bytes") > 0);
+        let occupancy: u64 = [
+            "chip.occupancy.dpe_ps",
+            "chip.occupancy.simd_ps",
+            "chip.occupancy.re_ps",
+            "chip.occupancy.dma_ps",
+        ]
+        .iter()
+        .map(|k| tel.metrics.counter(k))
+        .sum();
+        assert_eq!(occupancy, traced.kernel_time().as_picos());
     }
 
     #[test]

@@ -31,6 +31,12 @@ echo "==> reproduce smoke: determinism + perf (--filter quick)"
 time target/release/reproduce --threads "$(nproc)" --filter quick \
   --determinism-check --bench-perf BENCH_PERF.json
 
+echo "==> telemetry smoke: tracing is a pure observer (+ trace artifacts)"
+# Traced and untraced runs of the pinned-seed scenarios must produce
+# byte-identical results with <10 % wall-clock overhead; the canonical +
+# Chrome trace_event exports land in traces/ for artifact upload.
+target/release/reproduce --filter quick --telemetry-smoke --trace-out traces
+
 echo "==> cargo test"
 cargo test -q --workspace
 

@@ -1,0 +1,120 @@
+//! The golden-trace harness: every pinned-seed trace scenario in
+//! [`mtia_bench::traces`] must reproduce its checked-in canonical
+//! export byte-for-byte.
+//!
+//! The canonical format is line-oriented (one span/event/metric record
+//! per line), so when a simulator change shifts timing the failure
+//! message names the first diverging span path rather than dumping two
+//! multi-kilobyte blobs. To re-pin after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_traces
+//! git diff tests/goldens/   # review every shifted span before committing
+//! ```
+
+use std::path::PathBuf;
+
+use mtia::core::telemetry::{diff_canonical, Telemetry};
+use mtia_bench::traces;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.trace.json"))
+}
+
+fn update_goldens() -> bool {
+    std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1")
+}
+
+/// Runs `scenario` traced and returns `(fingerprint, canonical export)`.
+fn run_scenario(scenario: &traces::TraceScenario) -> (String, String) {
+    let mut tel = Telemetry::new_enabled();
+    let fingerprint = (scenario.run)(&mut tel);
+    (fingerprint, tel.to_canonical_json())
+}
+
+#[test]
+fn golden_traces_match() {
+    let mut failures = Vec::new();
+    for scenario in traces::scenarios() {
+        let (_, actual) = run_scenario(&scenario);
+        let path = golden_path(scenario.name);
+        if update_goldens() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &actual).unwrap();
+            eprintln!("updated {}", path.display());
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run UPDATE_GOLDENS=1 cargo test --test golden_traces",
+                path.display()
+            )
+        });
+        if let Some(diff) = diff_canonical(&expected, &actual) {
+            failures.push(format!("{}:\n{diff}", scenario.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden trace drift (UPDATE_GOLDENS=1 re-pins after intentional changes):\n{}",
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn traced_runs_do_not_perturb_results() {
+    for scenario in traces::scenarios() {
+        let untraced = (scenario.run)(&mut Telemetry::disabled());
+        let (traced, _) = run_scenario(&scenario);
+        assert_eq!(
+            untraced, traced,
+            "{}: tracing changed the simulation result",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn canonical_export_is_deterministic_across_runs() {
+    for scenario in traces::scenarios() {
+        let (_, a) = run_scenario(&scenario);
+        let (_, b) = run_scenario(&scenario);
+        assert_eq!(a, b, "{}: canonical export unstable", scenario.name);
+    }
+}
+
+/// Perturbing a simulator cost constant must fail the golden diff with a
+/// span-level message — this is the regression the harness exists to
+/// catch, demonstrated by running the quickstart model on the
+/// design-frequency chip variant instead of the production one.
+#[test]
+fn perturbed_sim_cost_fails_with_span_level_diff() {
+    use mtia::compiler::{compile, CompilerOptions};
+    use mtia::core::spec::chips;
+    use mtia::model::models::zoo;
+    use mtia::sim::chip::ChipSim;
+
+    let graph = zoo::fig6_models().remove(2).graph();
+    let compiled = compile(&graph, CompilerOptions::all());
+
+    let mut baseline = Telemetry::new_enabled();
+    compiled.run_traced(&ChipSim::new(chips::mtia2i()), &mut baseline);
+    let mut perturbed = Telemetry::new_enabled();
+    compiled.run_traced(&ChipSim::new(chips::mtia2i_design_freq()), &mut perturbed);
+
+    let diff = diff_canonical(
+        &baseline.to_canonical_json(),
+        &perturbed.to_canonical_json(),
+    )
+    .expect("a frequency change must shift the trace");
+    assert!(
+        diff.contains("chip.run"),
+        "diff should name the diverging span path, got:\n{diff}"
+    );
+    assert!(
+        diff.contains("expected:") && diff.contains("actual:"),
+        "diff should show both lines, got:\n{diff}"
+    );
+}
