@@ -1,0 +1,5 @@
+//! `cargo bench --bench e21_failover` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::failover_exps::e21_failover().print();
+}

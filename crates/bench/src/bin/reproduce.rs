@@ -23,6 +23,10 @@
 //!   --telemetry-smoke    verify tracing is a pure observer: traced and
 //!                        untraced scenario results byte-identical,
 //!                        canonical exports stable, overhead < 10 %
+//!   --chaos-smoke        run the seeded chaos-schedule suite against a
+//!                        domain-aware failover cell and fail if any
+//!                        request is lost forever or goodput dips
+//!                        below 90 %
 //! ```
 //!
 //! Experiments are pure `(config, seed)` functions, so every mode prints
@@ -45,13 +49,14 @@ struct Options {
     bench_perf: Option<String>,
     trace_out: Option<String>,
     telemetry_smoke: bool,
+    chaos_smoke: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--threads N] [--filter STR] [--list] \
          [--determinism-check] [--bench-perf PATH] [--trace-out DIR] \
-         [--telemetry-smoke]"
+         [--telemetry-smoke] [--chaos-smoke]"
     );
     std::process::exit(2)
 }
@@ -65,6 +70,7 @@ fn parse_args() -> Options {
         bench_perf: None,
         trace_out: None,
         telemetry_smoke: false,
+        chaos_smoke: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -79,6 +85,7 @@ fn parse_args() -> Options {
             "--bench-perf" => opts.bench_perf = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-out" => opts.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--telemetry-smoke" => opts.telemetry_smoke = true,
+            "--chaos-smoke" => opts.chaos_smoke = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -286,6 +293,31 @@ fn telemetry_smoke() -> bool {
     passed
 }
 
+/// Runs the seeded chaos suite against the paper-shape pod with
+/// domain-aware placement and failover on: passes when no scenario
+/// loses a request forever, accounting conserves, and goodput holds.
+fn chaos_smoke() -> bool {
+    let report = mtia_bench::chaos::run_chaos_smoke(mtia_core::seed::DEFAULT_SEED);
+    for line in &report.lines {
+        let r = &line.report;
+        eprintln!(
+            "  {:<18} goodput {:>6.2}%  lost {}  unavailable {:.2}s  recovery {:.2}s  \
+             promo/restore/rerepl {}/{}/{}",
+            line.name,
+            r.goodput() * 100.0,
+            r.lost,
+            r.unavailable.as_secs_f64(),
+            r.recovery_time.as_secs_f64(),
+            r.promotions,
+            r.restores,
+            r.rereplications,
+        );
+    }
+    let passed = report.passed(0.90);
+    eprintln!("chaos smoke {}", if passed { "passed" } else { "FAILED" });
+    passed
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let entries = selection(&opts);
@@ -322,12 +354,16 @@ fn main() -> ExitCode {
     if opts.telemetry_smoke {
         failed |= !telemetry_smoke();
     }
+    if opts.chaos_smoke {
+        failed |= !chaos_smoke();
+    }
     if let Some(dir) = &opts.trace_out {
         failed |= !trace_out(&entries, dir);
     }
     if opts.determinism_check
         || opts.bench_perf.is_some()
         || opts.telemetry_smoke
+        || opts.chaos_smoke
         || opts.trace_out.is_some()
     {
         return if failed {

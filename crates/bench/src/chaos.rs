@@ -1,0 +1,433 @@
+//! Declarative chaos schedules over the fleet fault-domain tree.
+//!
+//! A [`ChaosSchedule`] is a seeded scenario spec — *which* correlated
+//! fault hits *which* domain, *when*, against *what* traffic — that
+//! compiles to a concrete [`FaultPlan`] via
+//! [`FleetTopology::correlated_event`] and an arrival process from the
+//! same derived seed. Running one schedule twice, or under two
+//! placement policies, therefore replays a byte-identical trace
+//! (`FailoverReport::fault_fingerprint` witnesses it), which is what
+//! makes the E21 naive-vs-domain-aware comparison and the CI chaos
+//! smoke an apples-to-apples availability measurement rather than two
+//! different storms.
+//!
+//! Three scenario families cover the §5.5 blast-radius ladder:
+//!
+//! - **single host loss** — one host crash takes all 24 accelerators
+//!   behind one PCIe fabric (§3.4) down at once;
+//! - **rolling rack loss** — a rack's hosts brown out one after
+//!   another, the way a failing power shelf takes a rack down;
+//! - **partition during diurnal peak** — a NIC partition isolates a
+//!   host exactly at the top of the sinusoidal traffic curve, when
+//!   spare capacity is thinnest.
+
+use mtia_core::seed::derive;
+use mtia_core::telemetry::Telemetry;
+use mtia_core::SimTime;
+use mtia_fleet::topology::{DomainLevel, FleetTopology};
+use mtia_serving::failover::{
+    simulate_cell_failover_traced, FailoverConfig, FailoverReport, PlacementPolicy,
+};
+use mtia_serving::traffic::{ArrivalProcess, DiurnalArrivals, PoissonArrivals};
+use mtia_sim::faults::{FaultKind, FaultPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which correlated storm the schedule injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosScenario {
+    /// One host crash: every device behind the host's PCIe fabric goes
+    /// down at `start` and reboots after `repair`.
+    SingleHostLoss {
+        /// Host index in the topology.
+        host: u32,
+        /// Host reboot time.
+        repair: SimTime,
+    },
+    /// A rack browns out host by host: host `i` of the rack loses power
+    /// at `start + i·stagger`, each restored after `repair`.
+    RollingRackLoss {
+        /// Rack index in the topology.
+        rack: u32,
+        /// Delay between consecutive host losses.
+        stagger: SimTime,
+        /// Per-host power-restore time.
+        repair: SimTime,
+    },
+    /// A NIC partition isolates one host at the diurnal traffic peak:
+    /// devices stay up and finish in-flight work, but no new work can
+    /// reach them until the partition heals after `heal`.
+    PartitionDuringPeak {
+        /// Host index in the topology.
+        host: u32,
+        /// Partition duration.
+        heal: SimTime,
+    },
+}
+
+impl ChaosScenario {
+    /// Stable scenario-family name for reports and telemetry.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ChaosScenario::SingleHostLoss { .. } => "single-host-loss",
+            ChaosScenario::RollingRackLoss { .. } => "rolling-rack-loss",
+            ChaosScenario::PartitionDuringPeak { .. } => "partition-at-peak",
+        }
+    }
+}
+
+/// One seeded chaos run: a scenario, its injection time, and the
+/// traffic it plays against. Everything downstream — the fault plan,
+/// the arrival stream — is a pure function of this struct.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSchedule {
+    /// Scenario-family name (stable across seeds).
+    pub name: &'static str,
+    /// The correlated storm to inject.
+    pub scenario: ChaosScenario,
+    /// When the first fault fires.
+    pub start: SimTime,
+    /// Offered arrival rate (base rate for the diurnal scenario).
+    pub rate_per_s: f64,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+    /// Warmup excluded from latency stats.
+    pub warmup: SimTime,
+    /// Root seed; the target domain and arrival stream derive from it.
+    pub seed: u64,
+}
+
+impl ChaosSchedule {
+    /// Seeded single-host-crash schedule: the victim host is drawn from
+    /// `derive(seed, "chaos.single-host")` over the topology's hosts.
+    pub fn single_host_loss(topo: &FleetTopology, seed: u64) -> Self {
+        let hosts = topo.domain_count(DomainLevel::Host) as u64;
+        ChaosSchedule {
+            name: "single-host-loss",
+            scenario: ChaosScenario::SingleHostLoss {
+                host: (derive(seed, "chaos.single-host") % hosts) as u32,
+                repair: SimTime::from_secs(20),
+            },
+            start: SimTime::from_secs(10),
+            rate_per_s: 160.0,
+            horizon: SimTime::from_secs(60),
+            warmup: SimTime::from_secs(2),
+            seed,
+        }
+    }
+
+    /// Seeded rolling-rack-loss schedule: the victim rack is drawn from
+    /// `derive(seed, "chaos.rolling-rack")`.
+    pub fn rolling_rack_loss(topo: &FleetTopology, seed: u64) -> Self {
+        let racks = topo.domain_count(DomainLevel::Rack) as u64;
+        ChaosSchedule {
+            name: "rolling-rack-loss",
+            scenario: ChaosScenario::RollingRackLoss {
+                rack: (derive(seed, "chaos.rolling-rack") % racks) as u32,
+                stagger: SimTime::from_secs(5),
+                repair: SimTime::from_secs(25),
+            },
+            start: SimTime::from_secs(10),
+            rate_per_s: 160.0,
+            horizon: SimTime::from_secs(80),
+            warmup: SimTime::from_secs(2),
+            seed,
+        }
+    }
+
+    /// Seeded partition-at-peak schedule: the victim host is drawn from
+    /// `derive(seed, "chaos.partition-host")`; the partition fires at
+    /// the crest of the diurnal curve (one quarter period in).
+    pub fn partition_during_peak(topo: &FleetTopology, seed: u64) -> Self {
+        let hosts = topo.domain_count(DomainLevel::Host) as u64;
+        let horizon = SimTime::from_secs(60);
+        ChaosSchedule {
+            name: "partition-at-peak",
+            scenario: ChaosScenario::PartitionDuringPeak {
+                host: (derive(seed, "chaos.partition-host") % hosts) as u32,
+                heal: SimTime::from_secs(8),
+            },
+            // rate(t) peaks at t = period/4 of the sinusoid.
+            start: horizon.scale(0.25),
+            rate_per_s: 160.0,
+            horizon,
+            warmup: SimTime::from_secs(2),
+            seed,
+        }
+    }
+
+    /// The standard three-scenario suite, all derived from one seed.
+    pub fn standard_suite(topo: &FleetTopology, seed: u64) -> Vec<ChaosSchedule> {
+        vec![
+            ChaosSchedule::single_host_loss(topo, seed),
+            ChaosSchedule::rolling_rack_loss(topo, seed),
+            ChaosSchedule::partition_during_peak(topo, seed),
+        ]
+    }
+
+    /// The same suite with victims *aimed* at the cell under test: host
+    /// 0 and rack 0 — the domains where both placement policies put the
+    /// first replicas (lowest-id tie-breaking is deterministic). A
+    /// seeded random victim usually misses a small cell on a large pod
+    /// entirely; aiming guarantees every scenario actually exercises
+    /// promotion/restore, which is what the CI smoke must gate on.
+    pub fn aimed_suite(topo: &FleetTopology, seed: u64) -> Vec<ChaosSchedule> {
+        let mut suite = ChaosSchedule::standard_suite(topo, seed);
+        suite[0].scenario = match suite[0].scenario {
+            ChaosScenario::SingleHostLoss { repair, .. } => {
+                ChaosScenario::SingleHostLoss { host: 0, repair }
+            }
+            other => other,
+        };
+        suite[1].scenario = match suite[1].scenario {
+            ChaosScenario::RollingRackLoss {
+                stagger, repair, ..
+            } => ChaosScenario::RollingRackLoss {
+                rack: 0,
+                stagger,
+                repair,
+            },
+            other => other,
+        };
+        suite[2].scenario = match suite[2].scenario {
+            ChaosScenario::PartitionDuringPeak { heal, .. } => {
+                ChaosScenario::PartitionDuringPeak { host: 0, heal }
+            }
+            other => other,
+        };
+        suite
+    }
+
+    /// Compiles the scenario to a concrete correlated fault plan over
+    /// `topo`. Pure: same schedule + topology → identical fingerprint.
+    pub fn plan(&self, topo: &FleetTopology) -> FaultPlan {
+        let plan = FaultPlan::empty(derive(self.seed, "chaos.plan"));
+        match self.scenario {
+            ChaosScenario::SingleHostLoss { host, repair } => topo.correlated_event(
+                plan,
+                DomainLevel::Host,
+                host,
+                self.start,
+                FaultKind::HostCrash,
+                repair,
+            ),
+            ChaosScenario::RollingRackLoss {
+                rack,
+                stagger,
+                repair,
+            } => {
+                let hosts_per_rack = topo.config().hosts_per_rack;
+                let first_host = rack * hosts_per_rack;
+                (0..hosts_per_rack).fold(plan, |acc, i| {
+                    topo.correlated_event(
+                        acc,
+                        DomainLevel::Host,
+                        first_host + i,
+                        self.start + stagger.scale(i as f64),
+                        FaultKind::RackPowerLoss,
+                        repair,
+                    )
+                })
+            }
+            ChaosScenario::PartitionDuringPeak { host, heal } => topo.correlated_event(
+                plan,
+                DomainLevel::Host,
+                host,
+                self.start,
+                FaultKind::NicPartition,
+                heal,
+            ),
+        }
+    }
+
+    /// The schedule's arrival process: Poisson for the loss scenarios,
+    /// diurnal (period = horizon, so the crest lands at `start`) for
+    /// the partition-at-peak scenario. Seeded from the schedule seed.
+    pub fn arrivals(&self) -> Box<dyn ArrivalProcess> {
+        let rng = StdRng::seed_from_u64(derive(self.seed, "chaos.arrivals"));
+        match self.scenario {
+            ChaosScenario::PartitionDuringPeak { .. } => Box::new(DiurnalArrivals::new(
+                self.rate_per_s,
+                0.6,
+                self.horizon,
+                rng,
+            )),
+            _ => Box::new(PoissonArrivals::new(self.rate_per_s, rng)),
+        }
+    }
+
+    /// Runs the schedule against a cell under `placement`, untraced.
+    pub fn run(
+        &self,
+        topo: &FleetTopology,
+        config: &FailoverConfig,
+        placement: PlacementPolicy,
+    ) -> FailoverReport {
+        self.run_traced(topo, config, placement, &mut Telemetry::disabled())
+    }
+
+    /// Runs the schedule with telemetry; the report must not depend on
+    /// whether `tel` is enabled.
+    pub fn run_traced(
+        &self,
+        topo: &FleetTopology,
+        config: &FailoverConfig,
+        placement: PlacementPolicy,
+        tel: &mut Telemetry,
+    ) -> FailoverReport {
+        let plan = self.plan(topo);
+        let mut arrivals = self.arrivals();
+        simulate_cell_failover_traced(
+            config,
+            placement,
+            topo,
+            arrivals.as_mut(),
+            &plan,
+            self.horizon,
+            self.warmup,
+            tel,
+        )
+    }
+}
+
+/// One scenario's line in the CI chaos smoke.
+#[derive(Debug, Clone)]
+pub struct ChaosSmokeLine {
+    /// Scenario-family name.
+    pub name: &'static str,
+    /// The domain-aware, failover-enabled report.
+    pub report: FailoverReport,
+}
+
+/// The `reproduce --chaos-smoke` / `scripts/ci.sh` gate: the standard
+/// seeded suite against a domain-aware, failover-enabled cell.
+#[derive(Debug, Clone)]
+pub struct ChaosSmokeReport {
+    /// One line per scenario.
+    pub lines: Vec<ChaosSmokeLine>,
+}
+
+impl ChaosSmokeReport {
+    /// The smoke passes when no scenario loses a request forever, every
+    /// run conserves its request accounting, and goodput stays at or
+    /// above `min_goodput`.
+    pub fn passed(&self, min_goodput: f64) -> bool {
+        self.lines.iter().all(|l| {
+            l.report.lost == 0 && l.report.unaccounted() == 0 && l.report.goodput() >= min_goodput
+        })
+    }
+}
+
+/// Runs the aimed chaos suite on the paper-shape pod with domain-aware
+/// placement and failover enabled.
+pub fn run_chaos_smoke(seed: u64) -> ChaosSmokeReport {
+    let topo = mtia_fleet::topology::TopologyConfig::paper_server().build();
+    let config = FailoverConfig::production(8, 2, seed);
+    let lines =
+        mtia_core::pool::parallel_map(ChaosSchedule::aimed_suite(&topo, seed), |_, schedule| {
+            ChaosSmokeLine {
+                name: schedule.name,
+                report: schedule.run(&topo, &config, PlacementPolicy::DomainAware),
+            }
+        });
+    ChaosSmokeReport { lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtia_core::seed::DEFAULT_SEED;
+    use mtia_fleet::topology::TopologyConfig;
+    use mtia_serving::failover::FaultDomains;
+
+    #[test]
+    fn schedules_are_pure_functions_of_the_seed() {
+        let topo = TopologyConfig::paper_server().build();
+        for (a, b) in ChaosSchedule::standard_suite(&topo, DEFAULT_SEED)
+            .into_iter()
+            .zip(ChaosSchedule::standard_suite(&topo, DEFAULT_SEED))
+        {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(
+                a.plan(&topo).fingerprint(),
+                b.plan(&topo).fingerprint(),
+                "{} plan must be reproducible",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_victim_stream_not_the_families() {
+        let topo = TopologyConfig::paper_server().build();
+        let a = ChaosSchedule::standard_suite(&topo, 1);
+        let b = ChaosSchedule::standard_suite(&topo, 2);
+        assert_eq!(
+            a.iter().map(|s| s.name).collect::<Vec<_>>(),
+            b.iter().map(|s| s.name).collect::<Vec<_>>(),
+        );
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.plan(&topo).fingerprint() != y.plan(&topo).fingerprint()),
+            "different seeds should eventually pick different victims"
+        );
+    }
+
+    #[test]
+    fn rolling_rack_covers_every_host_of_the_rack_staggered() {
+        let topo = TopologyConfig::paper_server().build();
+        let schedule = ChaosSchedule::rolling_rack_loss(&topo, DEFAULT_SEED);
+        let ChaosScenario::RollingRackLoss { rack, stagger, .. } = schedule.scenario else {
+            panic!("wrong scenario");
+        };
+        let plan = schedule.plan(&topo);
+        // One event per device of the rack, in stagger-separated waves.
+        assert_eq!(
+            plan.events().len() as u32,
+            topo.devices_per_rack(),
+            "every device of the rack is hit exactly once"
+        );
+        let hosts_per_rack = topo.config().hosts_per_rack;
+        for event in plan.events() {
+            assert_eq!(topo.rack_of(event.device), rack);
+            let wave = topo.host_of(event.device) - rack * hosts_per_rack;
+            assert_eq!(event.at, schedule.start + stagger.scale(wave as f64));
+            assert_eq!(event.kind, FaultKind::RackPowerLoss);
+        }
+    }
+
+    #[test]
+    fn partition_fires_at_the_diurnal_crest() {
+        let topo = TopologyConfig::paper_server().build();
+        let schedule = ChaosSchedule::partition_during_peak(&topo, DEFAULT_SEED);
+        assert_eq!(schedule.start, schedule.horizon.scale(0.25));
+        assert!(schedule
+            .plan(&topo)
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::NicPartition));
+    }
+
+    #[test]
+    fn chaos_smoke_loses_nothing_with_failover_on() {
+        let report = run_chaos_smoke(DEFAULT_SEED);
+        assert_eq!(report.lines.len(), 3);
+        for line in &report.lines {
+            assert_eq!(line.report.lost, 0, "{} lost requests", line.name);
+            assert_eq!(
+                line.report.unaccounted(),
+                0,
+                "{} leaked requests",
+                line.name
+            );
+        }
+        assert!(report.passed(0.9));
+        // Aimed victims guarantee the machinery is actually exercised:
+        // the loss scenarios must promote, not merely survive by luck.
+        assert!(
+            report.lines.iter().any(|l| l.report.promotions > 0),
+            "aimed suite never exercised promotion"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 pub mod ab;
 pub mod ablations;
 pub mod chip_exps;
+pub mod failover_exps;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -132,11 +133,16 @@ pub fn registry() -> Vec<ExperimentEntry> {
             name: "e19_sdc_defense",
             run: sdc_exps::e19_sdc_defense,
         },
+        ExperimentEntry {
+            name: "e21_failover",
+            run: failover_exps::e21_failover,
+        },
     ]
 }
 
 /// The fast subset behind `--filter quick` and the determinism gate:
-/// fig5 (serving Monte-Carlo sweeps) plus a single E19 SDC ladder rung.
+/// fig5 (serving Monte-Carlo sweeps), a single E19 SDC ladder rung, and
+/// the E21 toy-tree failover rung.
 pub fn quick_subset() -> Vec<ExperimentEntry> {
     vec![
         ExperimentEntry {
@@ -146,6 +152,10 @@ pub fn quick_subset() -> Vec<ExperimentEntry> {
         ExperimentEntry {
             name: "e19_rung",
             run: sdc_exps::e19_single_rung,
+        },
+        ExperimentEntry {
+            name: "e21_rung",
+            run: failover_exps::e21_rung,
         },
     ]
 }
@@ -239,7 +249,7 @@ mod registry_tests {
     #[test]
     fn registry_names_are_unique_and_cover_the_paper_order() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 24);
+        assert_eq!(names.len(), 25);
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();

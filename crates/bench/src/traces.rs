@@ -52,6 +52,10 @@ pub fn scenarios() -> Vec<TraceScenario> {
             name: "rollout",
             run: rollout_trace,
         },
+        TraceScenario {
+            name: "failover",
+            run: failover_trace,
+        },
     ]
 }
 
@@ -135,6 +139,38 @@ pub fn rollout_trace(tel: &mut Telemetry) -> String {
         outcome.servers_impacted,
         outcome.time_to_detection.map(|t| t.as_picos()),
         manager.logs().len(),
+    )
+}
+
+/// The E21 quick rung's domain-aware arm: a host-0 crash against a
+/// 4-shard cell on the 16-device toy tree, failover on. Exercises the
+/// `serving.failover` span, the fault/promotion/restore instants, the
+/// incident-latency histogram, and the failover counters.
+pub fn failover_trace(tel: &mut Telemetry) -> String {
+    use crate::chaos::{ChaosScenario, ChaosSchedule};
+    use mtia_fleet::topology::TopologyConfig;
+    use mtia_serving::failover::{FailoverConfig, PlacementPolicy};
+
+    let topo = TopologyConfig::small().build();
+    let seed = mtia_core::seed::derive(mtia_core::seed::DEFAULT_SEED, "trace.failover");
+    let config = FailoverConfig::production(4, 2, seed);
+    let mut schedule = ChaosSchedule::single_host_loss(&topo, seed);
+    schedule.scenario = ChaosScenario::SingleHostLoss {
+        host: 0,
+        repair: SimTime::from_secs(20),
+    };
+    schedule.rate_per_s = 80.0;
+    schedule.horizon = SimTime::from_secs(30);
+    let report = schedule.run_traced(&topo, &config, PlacementPolicy::DomainAware, tel);
+    format!(
+        "completed={}/{} lost={} promotions={} restores={} recovery_ps={} ckpt_fp={:016x}",
+        report.completed,
+        report.offered,
+        report.lost,
+        report.promotions,
+        report.restores,
+        report.recovery_time.as_picos(),
+        report.checkpoint_fingerprint,
     )
 }
 

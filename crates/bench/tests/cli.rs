@@ -67,7 +67,7 @@ fn trace_out_writes_scenario_traces() {
         "trace-out failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    for name in ["quickstart", "fig5_cell", "rollout"] {
+    for name in ["quickstart", "fig5_cell", "rollout", "failover"] {
         let canonical = dir.join(format!("{name}.trace.json"));
         let chrome = dir.join(format!("{name}.chrome.json"));
         for path in [&canonical, &chrome] {
@@ -80,5 +80,20 @@ fn trace_out_writes_scenario_traces() {
     let metrics = dir.join("experiments.metrics.json");
     let body = std::fs::read_to_string(&metrics).expect("experiments.metrics.json");
     assert!(body.contains("\"fig5\"") && body.contains("\"e19_rung\""));
+    assert!(body.contains("\"e21_rung\""));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_smoke_passes_and_reports_every_scenario() {
+    let out = reproduce()
+        .args(["--filter", "quick", "--chaos-smoke"])
+        .output()
+        .expect("spawn reproduce");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "chaos smoke failed: {stderr}");
+    assert!(stderr.contains("chaos smoke passed"), "stderr: {stderr}");
+    for scenario in ["single-host-loss", "rolling-rack-loss", "partition-at-peak"] {
+        assert!(stderr.contains(scenario), "missing {scenario}: {stderr}");
+    }
 }

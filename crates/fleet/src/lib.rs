@@ -26,6 +26,7 @@ pub mod overclock;
 pub mod power;
 pub mod quarantine;
 pub mod rollout_serving;
+pub mod topology;
 
 pub use cd::{simulate_year, CdConfig, YearReport};
 pub use chipsize::{production_gain_over_replay, provision, DeviceOption, ModelDemand};
@@ -42,3 +43,4 @@ pub use quarantine::{
 pub use rollout_serving::{
     maintenance_schedule, simulate_rollout_serving, RolloutServingConfig, RolloutServingReport,
 };
+pub use topology::{DomainLevel, FleetTopology, TopologyConfig};

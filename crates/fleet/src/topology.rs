@@ -1,0 +1,293 @@
+//! The fleet's fault-domain tree.
+//!
+//! Every correlated outage the serving stack must survive maps to one
+//! level of the physical containment hierarchy:
+//!
+//! ```text
+//!   power domain ─ rack ─ host ─ module ─ device
+//! ```
+//!
+//! A host crash (kernel panic, PCIe root-complex hang, §5.5) takes out
+//! every accelerator on the host at once — 24 in the paper's Grand
+//! Teton-derived server (§3.4, 12 modules × 2 accelerators). A rack or
+//! power-domain event takes out every host beneath it. [`FleetTopology`]
+//! is a purely arithmetic encoding of that tree: device ids are dense
+//! and contiguous within each domain, so every ancestor lookup is a
+//! division and every member set a range — deterministic, allocation-
+//! free, and trivially consistent (`devices_in(host_of(d))` always
+//! contains `d`).
+//!
+//! It implements [`mtia_serving::failover::FaultDomains`], which is how
+//! replica placement and re-replication consult it, and it knows how to
+//! fan a correlated fault out to a domain's members via
+//! [`FleetTopology::correlated_event`].
+
+use std::ops::Range;
+
+use mtia_core::SimTime;
+use mtia_serving::failover::FaultDomains;
+use mtia_sim::faults::{DeviceId, FaultKind, FaultPlan};
+
+/// Shape of the containment tree, bottom-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyConfig {
+    /// Accelerators per module (the paper's dual-chip module).
+    pub devices_per_module: u32,
+    /// Modules per host.
+    pub modules_per_host: u32,
+    /// Hosts per rack.
+    pub hosts_per_rack: u32,
+    /// Racks per power domain.
+    pub racks_per_power_domain: u32,
+    /// Power domains in the fleet.
+    pub power_domains: u32,
+}
+
+impl TopologyConfig {
+    /// The paper's server shape (§3.4): 12 dual-accelerator modules per
+    /// host → 24 devices behind one host's PCIe fabric, three such
+    /// hosts per rack, two racks per power feed, two feeds — a small
+    /// 288-device serving pod.
+    pub fn paper_server() -> Self {
+        TopologyConfig {
+            devices_per_module: 2,
+            modules_per_host: 12,
+            hosts_per_rack: 3,
+            racks_per_power_domain: 2,
+            power_domains: 2,
+        }
+    }
+
+    /// A 16-device toy tree (4 per host, 2 hosts per rack, 2 racks) for
+    /// tests and examples.
+    pub fn small() -> Self {
+        TopologyConfig {
+            devices_per_module: 2,
+            modules_per_host: 2,
+            hosts_per_rack: 2,
+            racks_per_power_domain: 2,
+            power_domains: 1,
+        }
+    }
+
+    /// Materializes the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level is zero.
+    pub fn build(self) -> FleetTopology {
+        assert!(
+            self.devices_per_module > 0
+                && self.modules_per_host > 0
+                && self.hosts_per_rack > 0
+                && self.racks_per_power_domain > 0
+                && self.power_domains > 0,
+            "every topology level must be non-empty"
+        );
+        FleetTopology { config: self }
+    }
+}
+
+/// One level of the fault-domain tree (the domains a correlated fault
+/// can target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainLevel {
+    /// A dual-accelerator module.
+    Module,
+    /// One server: everything behind one host's PCIe fabric.
+    Host,
+    /// One rack of hosts.
+    Rack,
+    /// One power feed's worth of racks.
+    PowerDomain,
+}
+
+/// The materialized fault-domain tree. Device ids are dense in
+/// `0..device_count()` and contiguous within every domain.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetTopology {
+    config: TopologyConfig,
+}
+
+impl FleetTopology {
+    /// The shape this tree was built from.
+    pub fn config(&self) -> TopologyConfig {
+        self.config
+    }
+
+    /// Devices per host (the host-crash blast radius).
+    pub fn devices_per_host(&self) -> u32 {
+        self.config.devices_per_module * self.config.modules_per_host
+    }
+
+    /// Devices per rack.
+    pub fn devices_per_rack(&self) -> u32 {
+        self.devices_per_host() * self.config.hosts_per_rack
+    }
+
+    /// Devices per power domain.
+    pub fn devices_per_power_domain(&self) -> u32 {
+        self.devices_per_rack() * self.config.racks_per_power_domain
+    }
+
+    /// Total devices in the fleet.
+    pub fn device_count(&self) -> u32 {
+        self.devices_per_power_domain() * self.config.power_domains
+    }
+
+    /// Total domains at `level`.
+    pub fn domain_count(&self, level: DomainLevel) -> u32 {
+        self.device_count() / self.domain_size(level)
+    }
+
+    fn domain_size(&self, level: DomainLevel) -> u32 {
+        match level {
+            DomainLevel::Module => self.config.devices_per_module,
+            DomainLevel::Host => self.devices_per_host(),
+            DomainLevel::Rack => self.devices_per_rack(),
+            DomainLevel::PowerDomain => self.devices_per_power_domain(),
+        }
+    }
+
+    /// Module index of `device`.
+    pub fn module_of(&self, device: DeviceId) -> u32 {
+        device / self.config.devices_per_module
+    }
+
+    /// The ancestor domain of `device` at `level`.
+    pub fn domain_of(&self, level: DomainLevel, device: DeviceId) -> u32 {
+        device / self.domain_size(level)
+    }
+
+    /// Member devices of domain `index` at `level`, as a dense range.
+    pub fn devices_in(&self, level: DomainLevel, index: u32) -> Range<DeviceId> {
+        let size = self.domain_size(level);
+        index * size..(index + 1) * size
+    }
+
+    /// Whether two devices share the domain at `level`.
+    pub fn shares_domain(&self, level: DomainLevel, a: DeviceId, b: DeviceId) -> bool {
+        self.domain_of(level, a) == self.domain_of(level, b)
+    }
+
+    /// Fans one correlated fault out to every member of domain `index`
+    /// at `level`, appending to `plan`. The `duration` is the domain's
+    /// repair/restart time (host reboot, rack power restore). Composes
+    /// freely with per-device events already in the plan.
+    pub fn correlated_event(
+        &self,
+        plan: FaultPlan,
+        level: DomainLevel,
+        index: u32,
+        at: SimTime,
+        kind: FaultKind,
+        duration: SimTime,
+    ) -> FaultPlan {
+        assert!(
+            index < self.domain_count(level),
+            "domain index out of range"
+        );
+        plan.with_correlated_event(self.devices_in(level, index), at, kind, duration)
+    }
+}
+
+impl FaultDomains for FleetTopology {
+    fn devices(&self) -> u32 {
+        self.device_count()
+    }
+    fn host_of(&self, device: DeviceId) -> u32 {
+        self.domain_of(DomainLevel::Host, device)
+    }
+    fn rack_of(&self, device: DeviceId) -> u32 {
+        self.domain_of(DomainLevel::Rack, device)
+    }
+    fn power_domain_of(&self, device: DeviceId) -> u32 {
+        self.domain_of(DomainLevel::PowerDomain, device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_server_matches_the_section_3_4_shape() {
+        let topo = TopologyConfig::paper_server().build();
+        assert_eq!(topo.devices_per_host(), 24, "§3.4: 24 accelerators/host");
+        assert_eq!(topo.device_count(), 288);
+        assert_eq!(topo.domain_count(DomainLevel::Host), 12);
+        assert_eq!(topo.domain_count(DomainLevel::Rack), 4);
+        assert_eq!(topo.domain_count(DomainLevel::PowerDomain), 2);
+    }
+
+    #[test]
+    fn ancestor_lookups_are_consistent_with_member_ranges() {
+        let topo = TopologyConfig::paper_server().build();
+        for level in [
+            DomainLevel::Module,
+            DomainLevel::Host,
+            DomainLevel::Rack,
+            DomainLevel::PowerDomain,
+        ] {
+            for device in 0..topo.device_count() {
+                let domain = topo.domain_of(level, device);
+                assert!(
+                    topo.devices_in(level, domain).contains(&device),
+                    "{level:?} domain {domain} must contain its own member {device}"
+                );
+            }
+            // Domains partition the fleet exactly.
+            let total: u32 = (0..topo.domain_count(level))
+                .map(|i| topo.devices_in(level, i).len() as u32)
+                .sum();
+            assert_eq!(total, topo.device_count());
+        }
+    }
+
+    #[test]
+    fn domains_nest() {
+        let topo = TopologyConfig::paper_server().build();
+        for device in 0..topo.device_count() {
+            let host = topo.host_of(device);
+            let rack = topo.rack_of(device);
+            for other in topo.devices_in(DomainLevel::Host, host) {
+                assert_eq!(topo.rack_of(other), rack, "same host ⇒ same rack");
+                assert_eq!(
+                    topo.power_domain_of(other),
+                    topo.power_domain_of(device),
+                    "same host ⇒ same power domain"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_event_covers_exactly_the_domain() {
+        let topo = TopologyConfig::small().build();
+        let plan = topo.correlated_event(
+            FaultPlan::empty(1),
+            DomainLevel::Host,
+            1,
+            SimTime::from_secs(5),
+            FaultKind::HostCrash,
+            SimTime::from_secs(10),
+        );
+        let devices: Vec<DeviceId> = plan.events().iter().map(|e| e.device).collect();
+        assert_eq!(devices, vec![4, 5, 6, 7], "host 1 of the small tree");
+        assert!(plan.events().iter().all(|e| e.kind == FaultKind::HostCrash));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_domain_panics() {
+        let topo = TopologyConfig::small().build();
+        let _ = topo.correlated_event(
+            FaultPlan::empty(1),
+            DomainLevel::Rack,
+            99,
+            SimTime::ZERO,
+            FaultKind::RackPowerLoss,
+            SimTime::from_secs(1),
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic cell checkpoints.
+//!
+//! A recovered host warm-restarts its replica from the shard's last
+//! checkpoint and replays the delta; the restore cost model in
+//! [`super::sim`] is `restore_floor + age · catchup_rate`. For that to
+//! be reproducible — and for two runs of the same seed to be provably
+//! *the same run* — the checkpoint must be a pure function of sim state.
+//! [`CellCheckpoint`] captures exactly the scheduler-visible shard
+//! state (queued requests, in-flight epoch, replica states, device
+//! health) and fingerprints it with FNV-1a; the engine folds every
+//! checkpoint fingerprint into the run report, so a single `u64`
+//! witnesses that two runs checkpointed identical state at identical
+//! instants.
+
+use mtia_core::SimTime;
+use mtia_sim::faults::DeviceId;
+
+use crate::resilience::HealthState;
+
+/// Scheduler-visible state of one replica at checkpoint time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaSnapshot {
+    /// Serving or standby on `device`.
+    Live {
+        /// Device hosting the replica.
+        device: DeviceId,
+    },
+    /// Lost to a fault at `since`.
+    Down {
+        /// Device the replica was on.
+        device: DeviceId,
+        /// When its domain was lost.
+        since: SimTime,
+    },
+    /// Warm-restoring / re-replicating; serviceable at `ready_at`.
+    Restoring {
+        /// Destination device.
+        device: DeviceId,
+        /// When the restore completes.
+        ready_at: SimTime,
+    },
+}
+
+/// A deterministic snapshot of one shard's cell state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellCheckpoint {
+    /// Checkpoint instant.
+    pub at: SimTime,
+    /// Shard index within the cell.
+    pub shard: u32,
+    /// Queued request ids with arrival times (dispatch order).
+    pub queued: Vec<(u64, SimTime)>,
+    /// `(device, epoch)` of the in-flight job, if any.
+    pub inflight: Option<(DeviceId, u64)>,
+    /// Replica states in replica-slot order.
+    pub replicas: Vec<ReplicaSnapshot>,
+    /// Health state of each replica's device, same order.
+    pub health: Vec<HealthState>,
+    /// Index of the serving primary in `replicas`, if one is live.
+    pub primary: Option<u32>,
+}
+
+impl CellCheckpoint {
+    /// FNV-1a digest over every field. Equal checkpoints — same shard
+    /// state at the same instant — hash equal; any divergence in queue
+    /// contents, epochs, replica placement, or health shows up here.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            hash ^= word;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.at.as_picos());
+        mix(self.shard as u64);
+        mix(self.queued.len() as u64);
+        for &(id, t) in &self.queued {
+            mix(id);
+            mix(t.as_picos());
+        }
+        match self.inflight {
+            Some((d, e)) => {
+                mix(1);
+                mix(d as u64);
+                mix(e);
+            }
+            None => mix(0),
+        }
+        for r in &self.replicas {
+            match *r {
+                ReplicaSnapshot::Live { device } => {
+                    mix(1);
+                    mix(device as u64);
+                }
+                ReplicaSnapshot::Down { device, since } => {
+                    mix(2);
+                    mix(device as u64);
+                    mix(since.as_picos());
+                }
+                ReplicaSnapshot::Restoring { device, ready_at } => {
+                    mix(3);
+                    mix(device as u64);
+                    mix(ready_at.as_picos());
+                }
+            }
+        }
+        for h in &self.health {
+            mix(match h {
+                HealthState::Healthy => 0,
+                HealthState::Degraded => 1,
+                HealthState::Draining => 2,
+                HealthState::Offline => 3,
+                HealthState::Recovering => 4,
+            });
+        }
+        mix(self.primary.map_or(u64::MAX, |p| p as u64));
+        hash
+    }
+}
+
+/// Folds one checkpoint fingerprint into a run-level digest (FNV-1a
+/// over the fingerprint sequence, order-sensitive).
+pub fn fold_fingerprint(digest: u64, checkpoint: u64) -> u64 {
+    let mut hash = if digest == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        digest
+    };
+    for byte in checkpoint.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkpoint() -> CellCheckpoint {
+        CellCheckpoint {
+            at: SimTime::from_secs(10),
+            shard: 2,
+            queued: vec![(7, SimTime::from_secs(9)), (8, SimTime::from_secs(10))],
+            inflight: Some((3, 41)),
+            replicas: vec![
+                ReplicaSnapshot::Live { device: 3 },
+                ReplicaSnapshot::Down {
+                    device: 9,
+                    since: SimTime::from_secs(8),
+                },
+            ],
+            health: vec![HealthState::Healthy, HealthState::Offline],
+            primary: Some(0),
+        }
+    }
+
+    #[test]
+    fn equal_state_hashes_equal() {
+        assert_eq!(checkpoint().fingerprint(), checkpoint().fingerprint());
+    }
+
+    #[test]
+    fn every_field_perturbs_the_fingerprint() {
+        let base = checkpoint().fingerprint();
+        let mut c = checkpoint();
+        c.queued.pop();
+        assert_ne!(c.fingerprint(), base, "queue contents");
+        let mut c = checkpoint();
+        c.inflight = Some((3, 42));
+        assert_ne!(c.fingerprint(), base, "in-flight epoch");
+        let mut c = checkpoint();
+        c.replicas[0] = ReplicaSnapshot::Live { device: 4 };
+        assert_ne!(c.fingerprint(), base, "replica device");
+        let mut c = checkpoint();
+        c.health[1] = HealthState::Recovering;
+        assert_ne!(c.fingerprint(), base, "health state");
+        let mut c = checkpoint();
+        c.primary = Some(1);
+        assert_ne!(c.fingerprint(), base, "primary index");
+    }
+
+    #[test]
+    fn fold_is_order_sensitive() {
+        let a = fold_fingerprint(fold_fingerprint(0, 1), 2);
+        let b = fold_fingerprint(fold_fingerprint(0, 2), 1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,229 @@
+//! Replica placement over fault domains.
+//!
+//! A cell of `shards × replicas_per_shard` replicas must land on
+//! physical devices. Where they land decides what a correlated fault
+//! costs: replicas of one shard co-located on one host all die together
+//! when that host crashes, and the shard goes dark. The two policies
+//! here bracket the design space — the naive packing a scheduler
+//! produces when it knows nothing about topology, and the anti-affinity
+//! greedy that production placement actually uses.
+
+use mtia_sim::faults::DeviceId;
+
+use super::FaultDomains;
+
+/// How replicas are assigned to devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Contiguous round-robin: replica `r` of shard `s` lands on device
+    /// `(s · R + r) mod N`. On a multi-device host this packs a shard's
+    /// replicas onto *the same host* — maximal blast radius.
+    Naive,
+    /// Greedy anti-affinity: each replica picks the device minimizing
+    /// `(same-host, same-rack, same-power-domain, load, id)` against the
+    /// shard's already-placed replicas. Deterministic (lowest id wins
+    /// ties).
+    DomainAware,
+}
+
+impl PlacementPolicy {
+    /// Stable name for reports and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::Naive => "naive",
+            PlacementPolicy::DomainAware => "domain-aware",
+        }
+    }
+}
+
+/// Places `shards × replicas_per_shard` replicas over `domains`.
+/// Returns one device list per shard.
+///
+/// # Panics
+///
+/// Panics if the cell needs more devices than the topology has (each
+/// replica occupies a whole device).
+pub fn place_replicas(
+    policy: PlacementPolicy,
+    domains: &dyn FaultDomains,
+    shards: u32,
+    replicas_per_shard: u32,
+) -> Vec<Vec<DeviceId>> {
+    let n = domains.devices();
+    assert!(
+        shards * replicas_per_shard <= n,
+        "cell needs {} devices, topology has {n}",
+        shards * replicas_per_shard
+    );
+    match policy {
+        PlacementPolicy::Naive => (0..shards)
+            .map(|s| {
+                (0..replicas_per_shard)
+                    .map(|r| (s * replicas_per_shard + r) % n)
+                    .collect()
+            })
+            .collect(),
+        PlacementPolicy::DomainAware => {
+            let mut load = vec![0u32; n as usize];
+            let mut placement: Vec<Vec<DeviceId>> = Vec::with_capacity(shards as usize);
+            for _ in 0..shards {
+                let mut shard: Vec<DeviceId> = Vec::with_capacity(replicas_per_shard as usize);
+                for _ in 0..replicas_per_shard {
+                    let device = (0..n)
+                        .filter(|d| !shard.contains(d))
+                        .min_by_key(|&d| {
+                            (
+                                conflicts(domains, &shard, d, Level::Host),
+                                conflicts(domains, &shard, d, Level::Rack),
+                                conflicts(domains, &shard, d, Level::Power),
+                                load[d as usize],
+                                d,
+                            )
+                        })
+                        .expect("shards*replicas <= devices leaves a candidate");
+                    load[device as usize] += 1;
+                    shard.push(device);
+                }
+                placement.push(shard);
+            }
+            placement
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Level {
+    Host,
+    Rack,
+    Power,
+}
+
+fn domain_of(domains: &dyn FaultDomains, level: Level, device: DeviceId) -> u32 {
+    match level {
+        Level::Host => domains.host_of(device),
+        Level::Rack => domains.rack_of(device),
+        Level::Power => domains.power_domain_of(device),
+    }
+}
+
+/// How many already-placed replicas of `shard` share `device`'s domain
+/// at `level`.
+fn conflicts(
+    domains: &dyn FaultDomains,
+    shard: &[DeviceId],
+    device: DeviceId,
+    level: Level,
+) -> u32 {
+    let mine = domain_of(domains, level, device);
+    shard
+        .iter()
+        .filter(|&&r| domain_of(domains, level, r) == mine)
+        .count() as u32
+}
+
+/// Picks a spare device for re-replication: unoccupied, reachable-set
+/// agnostic (the engine filters dead devices), preferring devices that
+/// share no host/rack with the shard's surviving replicas, lowest id
+/// within a class. Returns `None` when every device is occupied or
+/// excluded.
+pub fn pick_spare(
+    domains: &dyn FaultDomains,
+    occupied: &[bool],
+    excluded: &[bool],
+    survivors: &[DeviceId],
+) -> Option<DeviceId> {
+    (0..domains.devices())
+        .filter(|&d| !occupied[d as usize] && !excluded[d as usize])
+        .min_by_key(|&d| {
+            (
+                conflicts(domains, survivors, d, Level::Host),
+                conflicts(domains, survivors, d, Level::Rack),
+                d,
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failover::FlatDomains;
+
+    /// 2 devices per host, 2 hosts per rack, 2 racks: 8 devices.
+    struct TinyTopo;
+    impl FaultDomains for TinyTopo {
+        fn devices(&self) -> u32 {
+            8
+        }
+        fn host_of(&self, d: DeviceId) -> u32 {
+            d / 2
+        }
+        fn rack_of(&self, d: DeviceId) -> u32 {
+            d / 4
+        }
+        fn power_domain_of(&self, _: DeviceId) -> u32 {
+            0
+        }
+    }
+
+    #[test]
+    fn naive_packs_replicas_onto_one_host() {
+        let p = place_replicas(PlacementPolicy::Naive, &TinyTopo, 4, 2);
+        for shard in &p {
+            assert_eq!(
+                TinyTopo.host_of(shard[0]),
+                TinyTopo.host_of(shard[1]),
+                "naive placement co-locates: {shard:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_aware_splits_hosts_and_racks() {
+        let p = place_replicas(PlacementPolicy::DomainAware, &TinyTopo, 4, 2);
+        for shard in &p {
+            assert_ne!(
+                TinyTopo.host_of(shard[0]),
+                TinyTopo.host_of(shard[1]),
+                "domain-aware must split hosts: {shard:?}"
+            );
+            assert_ne!(
+                TinyTopo.rack_of(shard[0]),
+                TinyTopo.rack_of(shard[1]),
+                "with capacity to spare it also splits racks: {shard:?}"
+            );
+        }
+        // All 8 replicas on 8 devices: perfect load spread.
+        let mut used: Vec<DeviceId> = p.into_iter().flatten().collect();
+        used.sort_unstable();
+        assert_eq!(used, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = place_replicas(PlacementPolicy::DomainAware, &TinyTopo, 3, 2);
+        let b = place_replicas(PlacementPolicy::DomainAware, &TinyTopo, 3, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_domains_degenerate_to_load_balancing() {
+        let p = place_replicas(PlacementPolicy::DomainAware, &FlatDomains(6), 3, 2);
+        let mut used: Vec<DeviceId> = p.into_iter().flatten().collect();
+        used.sort_unstable();
+        assert_eq!(used, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn spare_pick_avoids_survivor_hosts() {
+        let mut occupied = vec![false; 8];
+        occupied[2] = true; // survivor replica on host 1
+        let spare = pick_spare(&TinyTopo, &occupied, &[false; 8], &[2]).unwrap();
+        assert_ne!(TinyTopo.host_of(spare), TinyTopo.host_of(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "devices")]
+    fn oversubscribed_cell_panics() {
+        place_replicas(PlacementPolicy::Naive, &FlatDomains(3), 2, 2);
+    }
+}

@@ -32,6 +32,7 @@ pub mod ab;
 pub mod allocation;
 pub mod cluster;
 pub mod coalescer;
+pub mod failover;
 pub mod latency;
 pub mod replayer;
 pub mod resilience;
@@ -42,6 +43,11 @@ pub mod traffic;
 pub use ab::{normalized_entropy, run_ab_test, AbReport, PlatformArm};
 pub use allocation::{AllocationError, Placement, ServerAllocator};
 pub use coalescer::{simulate_coalescer, CoalescerConfig, CoalescerStats};
+pub use failover::{
+    compare_failover, place_replicas, simulate_cell_failover, simulate_cell_failover_traced,
+    CellCheckpoint, FailoverComparison, FailoverConfig, FailoverReport, FaultDomains,
+    PlacementPolicy,
+};
 pub use latency::LatencyHistogram;
 pub use replayer::{overclock_gain_on_trace, replay, ReplayDeployment, ReplayReport};
 pub use resilience::{

@@ -120,9 +120,10 @@ impl Device {
         }
     }
 
-    /// Whether resilient dispatch may send a new job here.
+    /// Whether resilient dispatch may send a new job here. Requires the
+    /// device to be *reachable*: link up and not NIC-partitioned.
     pub fn is_dispatchable(&self, now: SimTime) -> bool {
-        !self.busy && self.health.is_dispatchable() && self.faults.link_up(now)
+        !self.busy && self.health.is_dispatchable() && self.faults.reachable(now)
     }
 }
 
@@ -144,6 +145,14 @@ pub enum FaultImpact {
         epoch: u64,
         /// When the host reset restores the link.
         recovers_at: SimTime,
+    },
+    /// The device is network-partitioned: powered and computing, but
+    /// unreachable for new dispatch until `heals_at`. In-flight work
+    /// keeps running (established DMA streams survive the partition in
+    /// this model); only *new* placement is blocked.
+    Partitioned {
+        /// When the partition heals and dispatch may resume.
+        heals_at: SimTime,
     },
 }
 
@@ -203,7 +212,7 @@ impl DeviceSet {
             let dispatchable = self
                 .devices
                 .iter()
-                .filter(|d| d.health.is_dispatchable() && d.faults.link_up(self.avail_last))
+                .filter(|d| d.health.is_dispatchable() && d.faults.reachable(self.avail_last))
                 .count();
             self.avail_accum += span * dispatchable as f64;
             self.avail_last = now;
@@ -223,7 +232,7 @@ impl DeviceSet {
             let dispatchable = self
                 .devices
                 .iter()
-                .filter(|d| d.health.is_dispatchable() && d.faults.link_up(self.avail_last))
+                .filter(|d| d.health.is_dispatchable() && d.faults.reachable(self.avail_last))
                 .count();
             accum += tail * dispatchable as f64;
         }
@@ -303,7 +312,10 @@ impl DeviceSet {
                     FaultImpact::None
                 }
             }
-            FaultKind::PcieLinkLoss { .. } => {
+            FaultKind::PcieLinkLoss { .. } | FaultKind::HostCrash | FaultKind::RackPowerLoss => {
+                // Correlated kinds arm unconditionally; PCIe loss arms on
+                // utilization. Either way an armed event downs the link and
+                // kills whatever was running.
                 if d.faults.apply(event, util) {
                     let epoch = if d.busy {
                         d.invalidate_inflight(now)
@@ -316,6 +328,12 @@ impl DeviceSet {
                     }
                 } else {
                     FaultImpact::None
+                }
+            }
+            FaultKind::NicPartition => {
+                d.faults.apply(event, util);
+                FaultImpact::Partitioned {
+                    heals_at: d.faults.partition_heals_at().unwrap_or(event.until()),
                 }
             }
             _ => {

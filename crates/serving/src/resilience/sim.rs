@@ -564,6 +564,23 @@ impl<'a> Engine<'a> {
                                 },
                             );
                         }
+                        FaultImpact::Partitioned { heals_at } => {
+                            // In-flight work survives a partition; only new
+                            // dispatch is blocked. Resilient dispatch sees it
+                            // through `reachable`; the naive baseline keeps
+                            // dispatching (its link check still passes).
+                            if self.policy == DispatchPolicy::Resilient {
+                                let before = self.health_state(fault.device);
+                                self.set.get_mut(fault.device).health.set_offline(now);
+                                self.record_health_transition(fault.device, before, now);
+                                self.push(
+                                    heals_at,
+                                    Ev::LinkRestored {
+                                        device: fault.device,
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
             }

@@ -3,8 +3,10 @@
 //! the health machine never revives an offline device without probation.
 
 use mtia_core::SimTime;
+use mtia_serving::resilience::device::DeviceSet;
 use mtia_serving::resilience::health::{HealthConfig, HealthMachine, HealthState};
 use mtia_serving::resilience::retry::RetryPolicy;
+use mtia_sim::faults::{FaultEvent, FaultKind};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -95,4 +97,85 @@ proptest! {
             );
         }
     }
+
+    /// The pool's availability integral is exactly the time-weighted mean
+    /// of `dispatchable_count()/len()` sampled at every state-change
+    /// boundary — for any sequence of correlated link/partition faults
+    /// against an idle pool.
+    #[test]
+    fn availability_integrates_the_dispatchable_fraction(
+        n in 1u32..8,
+        raw in vec(any::<u64>(), 1..24),
+    ) {
+        let mut set = DeviceSet::new(n, HealthConfig::default(), SimTime::from_secs(1));
+        // Decompose each word into (device, kind, at, duration) fields.
+        let mut events: Vec<FaultEvent> = raw
+            .into_iter()
+            .map(|w| FaultEvent {
+                at: SimTime::from_millis(1 + (w >> 16) % 5_000),
+                device: (w as u32) % n,
+                kind: match (w >> 8) % 3 {
+                    0 => FaultKind::HostCrash,
+                    1 => FaultKind::RackPowerLoss,
+                    _ => FaultKind::NicPartition,
+                },
+                duration: SimTime::from_millis(1 + (w >> 32) % 2_000),
+            })
+            .collect();
+        events.sort_by_key(|e| e.at);
+
+        // Shadow integral: between boundaries the dispatchable fraction
+        // is constant (interval-start sample, matching `tick`).
+        let mut shadow = 0.0f64;
+        let mut last = SimTime::ZERO;
+        let mut frac = set.dispatchable_count(SimTime::ZERO) as f64 / n as f64;
+        for event in &events {
+            shadow += frac * event.at.saturating_sub(last).as_secs_f64();
+            set.apply_fault(event, event.at);
+            last = event.at;
+            frac = set.dispatchable_count(event.at) as f64 / n as f64;
+        }
+        let horizon = last + SimTime::from_secs(1);
+        shadow += frac * horizon.saturating_sub(last).as_secs_f64();
+        let shadow_mean = shadow / horizon.as_secs_f64();
+
+        let actual = set.availability(horizon);
+        prop_assert!(
+            (actual - shadow_mean).abs() < 1e-9,
+            "availability {} != shadow integral {}", actual, shadow_mean
+        );
+        prop_assert!((0.0..=1.0).contains(&actual));
+    }
+}
+
+/// `Offline` cannot reach `Healthy` through the legal-edge graph without
+/// passing `Recovering`: with `Recovering` deleted from the graph,
+/// `Healthy` is unreachable from `Offline`. This closes the per-sequence
+/// property above over *all* sequences.
+#[test]
+fn offline_cannot_reach_healthy_without_recovering() {
+    const STATES: [HealthState; 5] = [
+        HealthState::Healthy,
+        HealthState::Degraded,
+        HealthState::Draining,
+        HealthState::Offline,
+        HealthState::Recovering,
+    ];
+    let mut reachable = vec![HealthState::Offline];
+    let mut frontier = vec![HealthState::Offline];
+    while let Some(from) = frontier.pop() {
+        for to in STATES {
+            if to != HealthState::Recovering
+                && HealthState::legal(from, to)
+                && !reachable.contains(&to)
+            {
+                reachable.push(to);
+                frontier.push(to);
+            }
+        }
+    }
+    assert!(
+        !reachable.contains(&HealthState::Healthy),
+        "a path revives Offline without probation: {reachable:?}"
+    );
 }

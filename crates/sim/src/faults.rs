@@ -32,6 +32,29 @@
 //!   offline `mtia_model::error_inject` campaigns
 //!   ([`InjectionTarget`]) so traces and campaigns describe corruption
 //!   in the same terms.
+//!
+//! Correlated fault domains (§2 server spec, §5.5 blast radius): the
+//! fleet is multi-device hosts in racks, so the outages that threaten
+//! serving SLOs are *correlated* — a host crash or a rack power event
+//! takes out every attached device at once. Three kinds model that:
+//!
+//! * [`FaultKind::HostCrash`] — kernel panic / PCIe root-port loss: every
+//!   device on the host drops simultaneously, in-flight work dies, and
+//!   the devices return only after the host reboots (the event window).
+//! * [`FaultKind::RackPowerLoss`] — the same failure shape at rack /
+//!   power-domain blast radius with a longer restoration window.
+//! * [`FaultKind::NicPartition`] — a network partition: the devices stay
+//!   up and finish what they hold, but nothing new can reach them until
+//!   the partition heals.
+//!
+//! These kinds are *per-device events like any other* — a domain-level
+//! injection fans out to one event per member device via
+//! [`FaultPlan::with_correlated_event`], so correlated plans compose
+//! with the independent per-device processes of [`FaultPlan::generate`]
+//! and replay under the same clock, fingerprint, and determinism
+//! guarantees. The domain tree itself (device → module → host → rack →
+//! power domain) lives in `mtia_fleet::topology`, which supplies the
+//! member-device sets.
 
 use std::cmp::Ordering;
 
@@ -92,6 +115,19 @@ pub enum FaultKind {
         /// Bit position within the word (0 = LSB, < 32).
         bit: u32,
     },
+    /// Correlated host loss: the device (and every sibling on the same
+    /// host — the fan-out is the injector's job) drops off at once. Any
+    /// in-flight job is lost and the device stays down for the event
+    /// window (the host reboot).
+    HostCrash,
+    /// Correlated rack/power-domain loss: identical device-level effect
+    /// to [`FaultKind::HostCrash`], injected at a larger blast radius
+    /// and typically with a longer restoration window.
+    RackPowerLoss,
+    /// Network partition: the device is unreachable for the window —
+    /// no new work can be dispatched — but it stays powered, so the job
+    /// it already holds completes normally.
+    NicPartition,
 }
 
 impl FaultKind {
@@ -103,6 +139,15 @@ impl FaultKind {
             FaultKind::EccDoubleBit
                 | FaultKind::TransientJobFailure
                 | FaultKind::LpddrBitFlip { .. }
+        )
+    }
+
+    /// Whether the fault is a correlated-domain kind (host/rack/network
+    /// blast radius rather than an independent per-device process).
+    pub fn is_correlated(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::HostCrash | FaultKind::RackPowerLoss | FaultKind::NicPartition
         )
     }
 
@@ -118,6 +163,9 @@ impl FaultKind {
                 6,
                 ((region_tag(region) as u64) << 37) | ((word as u64) << 5) | bit as u64,
             ),
+            FaultKind::HostCrash => (7, 0),
+            FaultKind::RackPowerLoss => (8, 0),
+            FaultKind::NicPartition => (9, 0),
         }
     }
 }
@@ -403,6 +451,31 @@ impl FaultPlan {
         self
     }
 
+    /// Fans a correlated domain-level fault out to every member device:
+    /// one event per device, all at `at` with the same `kind` and
+    /// `duration`, so a host crash or rack power loss hits its whole
+    /// blast radius on the same simulation instant. The member set comes
+    /// from the fault-domain topology (`mtia_fleet::topology`); passing
+    /// it as plain device ids keeps this crate topology-agnostic.
+    pub fn with_correlated_event(
+        mut self,
+        members: impl IntoIterator<Item = DeviceId>,
+        at: SimTime,
+        kind: FaultKind,
+        duration: SimTime,
+    ) -> Self {
+        for device in members {
+            self.events.push(FaultEvent {
+                at,
+                device,
+                kind,
+                duration,
+            });
+        }
+        self.sort();
+        self
+    }
+
     fn sort(&mut self) {
         self.events.sort_by(|a, b| match a.at.cmp(&b.at) {
             Ordering::Equal => a.device.cmp(&b.device),
@@ -516,8 +589,12 @@ pub struct DeviceFaultState {
     stalls: Vec<(SimTime, f64)>,
     /// Active `(until, flips)` SBE-burst windows.
     sbe: Vec<(SimTime, u32)>,
-    /// When a lost PCIe link comes back (`None` = link up).
+    /// When a lost PCIe link comes back (`None` = link up). Host crashes
+    /// and rack power losses land here too: the device is gone either way.
     link_down_until: Option<SimTime>,
+    /// When a network partition heals (`None` = reachable). Unlike a
+    /// downed link, a partitioned device keeps running what it holds.
+    partitioned_until: Option<SimTime>,
 }
 
 impl DeviceFaultState {
@@ -542,15 +619,25 @@ impl DeviceFaultState {
             }
             FaultKind::PcieLinkLoss { min_utilization } => {
                 if trailing_utilization + 1e-12 >= min_utilization {
-                    let until = event.until();
-                    self.link_down_until = Some(match self.link_down_until {
-                        Some(existing) => existing.max(until),
-                        None => until,
-                    });
+                    self.extend_link_down(event.until());
                     true
                 } else {
                     false
                 }
+            }
+            // Correlated domain kinds arm unconditionally: a host crash or
+            // power loss does not care how busy the device was.
+            FaultKind::HostCrash | FaultKind::RackPowerLoss => {
+                self.extend_link_down(event.until());
+                true
+            }
+            FaultKind::NicPartition => {
+                let until = event.until();
+                self.partitioned_until = Some(match self.partitioned_until {
+                    Some(existing) => existing.max(until),
+                    None => until,
+                });
+                true
             }
             // Instantaneous kinds leave no windowed condition here; a
             // bit flip's persistence lives in the memory image owned by
@@ -561,6 +648,13 @@ impl DeviceFaultState {
         }
     }
 
+    fn extend_link_down(&mut self, until: SimTime) {
+        self.link_down_until = Some(match self.link_down_until {
+            Some(existing) => existing.max(until),
+            None => until,
+        });
+    }
+
     /// Drops expired windows.
     pub fn expire(&mut self, now: SimTime) {
         self.stalls.retain(|&(until, _)| until > now);
@@ -568,6 +662,11 @@ impl DeviceFaultState {
         if let Some(until) = self.link_down_until {
             if until <= now {
                 self.link_down_until = None;
+            }
+        }
+        if let Some(until) = self.partitioned_until {
+            if until <= now {
+                self.partitioned_until = None;
             }
         }
     }
@@ -580,9 +679,24 @@ impl DeviceFaultState {
         }
     }
 
+    /// Whether the device can be reached for *new* work at `now`: link
+    /// up and no active network partition.
+    pub fn reachable(&self, now: SimTime) -> bool {
+        self.link_up(now)
+            && match self.partitioned_until {
+                Some(until) => now >= until,
+                None => true,
+            }
+    }
+
     /// When the link recovers (if currently down).
     pub fn link_recovers_at(&self) -> Option<SimTime> {
         self.link_down_until
+    }
+
+    /// When the active partition heals (if currently partitioned).
+    pub fn partition_heals_at(&self) -> Option<SimTime> {
+        self.partitioned_until
     }
 
     /// Multiplicative service-time inflation from all active windows.
@@ -603,7 +717,7 @@ impl DeviceFaultState {
 
     /// Whether any fault condition is currently active.
     pub fn is_clean(&self, now: SimTime) -> bool {
-        self.link_up(now)
+        self.reachable(now)
             && !self.stalls.iter().any(|&(until, _)| until > now)
             && !self.sbe.iter().any(|&(until, _)| until > now)
     }
@@ -842,6 +956,91 @@ mod tests {
         state.expire(SimTime::from_secs(11));
         assert!(state.is_clean(SimTime::from_secs(11)));
         assert_eq!(state.service_time_factor(SimTime::from_secs(11)), 1.0);
+    }
+
+    #[test]
+    fn correlated_event_fans_out_to_every_member() {
+        let plan = FaultPlan::empty(9).with_correlated_event(
+            4..8,
+            SimTime::from_secs(3),
+            FaultKind::HostCrash,
+            SimTime::from_secs(10),
+        );
+        assert_eq!(plan.events().len(), 4);
+        assert!(plan.events().iter().all(|e| {
+            e.at == SimTime::from_secs(3)
+                && e.kind == FaultKind::HostCrash
+                && e.duration == SimTime::from_secs(10)
+        }));
+        let devices: Vec<_> = plan.events().iter().map(|e| e.device).collect();
+        assert_eq!(devices, vec![4, 5, 6, 7], "sorted by device at equal time");
+        // Composable with an independent per-device plan: the merged plan
+        // stays sorted and the fingerprint covers both.
+        let merged = plan.clone().with_event(FaultEvent {
+            at: SimTime::from_secs(1),
+            device: 0,
+            kind: FaultKind::EccDoubleBit,
+            duration: SimTime::ZERO,
+        });
+        assert_eq!(merged.events()[0].device, 0);
+        assert_ne!(merged.fingerprint(), plan.fingerprint());
+    }
+
+    #[test]
+    fn host_crash_arms_regardless_of_utilization() {
+        let event = FaultEvent {
+            at: SimTime::from_secs(1),
+            device: 0,
+            kind: FaultKind::HostCrash,
+            duration: SimTime::from_secs(8),
+        };
+        let mut idle = DeviceFaultState::new();
+        assert!(idle.apply(&event, 0.0), "host crashes ignore utilization");
+        assert!(!idle.link_up(SimTime::from_secs(2)));
+        assert!(!idle.reachable(SimTime::from_secs(2)));
+        assert!(idle.link_up(SimTime::from_secs(9)), "host reboot restores");
+    }
+
+    #[test]
+    fn partition_blocks_reachability_but_not_the_link() {
+        let event = FaultEvent {
+            at: SimTime::from_secs(1),
+            device: 0,
+            kind: FaultKind::NicPartition,
+            duration: SimTime::from_secs(5),
+        };
+        let mut state = DeviceFaultState::new();
+        assert!(state.apply(&event, 0.0));
+        let mid = SimTime::from_secs(3);
+        assert!(state.link_up(mid), "partitioned device is still powered");
+        assert!(!state.reachable(mid), "but nothing new can reach it");
+        assert_eq!(state.partition_heals_at(), Some(SimTime::from_secs(6)));
+        assert!(state.reachable(SimTime::from_secs(6)));
+        state.expire(SimTime::from_secs(7));
+        assert!(state.is_clean(SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn correlated_kind_fingerprints_are_distinct() {
+        let mk = |kind| {
+            FaultPlan::empty(1).with_event(FaultEvent {
+                at: SimTime::from_secs(1),
+                device: 0,
+                kind,
+                duration: SimTime::from_secs(2),
+            })
+        };
+        let fps = [
+            mk(FaultKind::HostCrash).fingerprint(),
+            mk(FaultKind::RackPowerLoss).fingerprint(),
+            mk(FaultKind::NicPartition).fingerprint(),
+        ];
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[0], fps[2]);
+        assert_ne!(fps[1], fps[2]);
+        assert!(FaultKind::HostCrash.is_correlated());
+        assert!(!FaultKind::EccDoubleBit.is_correlated());
+        assert!(!FaultKind::HostCrash.is_instantaneous());
     }
 
     #[test]

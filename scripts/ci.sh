@@ -37,6 +37,12 @@ echo "==> telemetry smoke: tracing is a pure observer (+ trace artifacts)"
 # Chrome trace_event exports land in traces/ for artifact upload.
 target/release/reproduce --filter quick --telemetry-smoke --trace-out traces
 
+echo "==> chaos smoke: failover survives the seeded correlated-fault suite"
+# The aimed chaos suite (host crash, rolling rack loss, partition at the
+# diurnal peak) against a domain-aware failover cell: zero requests lost
+# forever, request accounting conserved, goodput >= 90 %.
+target/release/reproduce --chaos-smoke
+
 echo "==> cargo test"
 cargo test -q --workspace
 

@@ -35,5 +35,5 @@ fn filter_quick_selects_the_gated_subset() {
         .iter()
         .map(|e| e.name)
         .collect();
-    assert_eq!(names, vec!["fig5", "e19_rung"]);
+    assert_eq!(names, vec!["fig5", "e19_rung", "e21_rung"]);
 }
