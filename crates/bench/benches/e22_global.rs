@@ -1,0 +1,5 @@
+//! `cargo bench --bench e22_global` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::global_exps::e22_global().print();
+}

@@ -16,17 +16,21 @@
 //!                        is byte-identical
 //!   --bench-perf PATH    time each selected experiment at 1 thread and
 //!                        at N threads and write a JSON report (wall
-//!                        clock, speedup, kernel-cost-cache hit rate)
+//!                        clock, speedup, kernel-cost-cache hit rate
+//!                        plus per-shard hit/miss counts)
 //!   --trace-out DIR      write the pinned-seed scenario traces
 //!                        (canonical + Chrome trace_event JSON) and a
 //!                        per-experiment metrics dump into DIR
 //!   --telemetry-smoke    verify tracing is a pure observer: traced and
 //!                        untraced scenario results byte-identical,
 //!                        canonical exports stable, overhead < 10 %
-//!   --chaos-smoke        run the seeded chaos-schedule suite against a
-//!                        domain-aware failover cell and fail if any
-//!                        request is lost forever or goodput dips
-//!                        below 90 %
+//!   --chaos-smoke        run the seeded chaos-schedule suite — the
+//!                        cell-level scenarios against a domain-aware
+//!                        failover cell plus the region-level suite
+//!                        (pod loss, rolling pod loss, region outage,
+//!                        WAN partition) against the global router —
+//!                        and fail if accounting leaks a request or
+//!                        goodput dips below 90 %
 //! ```
 //!
 //! Experiments are pure `(config, seed)` functions, so every mode prints
@@ -154,6 +158,13 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
         let one = std::slice::from_ref(entry);
         let (out_1t, wall_1t, _) = timed_run(one, 1);
         let (out_nt, wall_nt, cache) = timed_run(one, threads);
+        // Per-shard counters from the N-thread run (the cache was reset
+        // at its start), so shard-load skew under the pool is visible.
+        let shards = mtia_sim::costcache::shard_stats();
+        let shard_rows: Vec<String> = shards
+            .iter()
+            .map(|s| format!("{{\"hits\": {}, \"misses\": {}}}", s.hits, s.misses))
+            .collect();
         let identical = out_1t == out_nt;
         all_identical &= identical;
         total_1t += wall_1t;
@@ -172,7 +183,8 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
             rows,
             "{}    {{\"name\": \"{}\", \"wall_s_1t\": {}, \"wall_s_nt\": {}, \
              \"speedup\": {}, \"identical\": {}, \
-             \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}}}}}",
+             \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}, \
+             \"shards\": [{}]}}}}",
             if i == 0 { "" } else { ",\n" },
             entry.name,
             json_f64(wall_1t),
@@ -182,6 +194,7 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
             cache.hits,
             cache.misses,
             json_f64(cache.hit_rate()),
+            shard_rows.join(", "),
         )
         .expect("string write");
     }
@@ -293,9 +306,13 @@ fn telemetry_smoke() -> bool {
     passed
 }
 
-/// Runs the seeded chaos suite against the paper-shape pod with
-/// domain-aware placement and failover on: passes when no scenario
-/// loses a request forever, accounting conserves, and goodput holds.
+/// Runs the seeded chaos suite: the cell-level scenarios against the
+/// paper-shape pod with domain-aware placement and failover on, plus
+/// the region-level suite against the global router on the toy global
+/// fleet. Passes when accounting conserves everywhere, no cell-level
+/// scenario loses a request forever, and goodput holds (region storms
+/// may legitimately kill in-flight work, so global lines gate on
+/// conservation + goodput only).
 fn chaos_smoke() -> bool {
     let report = mtia_bench::chaos::run_chaos_smoke(mtia_core::seed::DEFAULT_SEED);
     for line in &report.lines {
@@ -311,6 +328,20 @@ fn chaos_smoke() -> bool {
             r.promotions,
             r.restores,
             r.rereplications,
+        );
+    }
+    for line in &report.global_lines {
+        let r = &line.report;
+        eprintln!(
+            "  {:<24} goodput {:>6.2}%  shed {}  lost {}  spillover {}  recovery {:.2}s  \
+             headroom {:.1}%",
+            line.name,
+            r.goodput() * 100.0,
+            r.shed,
+            r.lost,
+            r.spillover,
+            r.recovery_time.as_secs_f64(),
+            r.capacity_headroom * 100.0,
         );
     }
     let passed = report.passed(0.90);

@@ -20,13 +20,25 @@
 //! - **partition during diurnal peak** — a NIC partition isolates a
 //!   host exactly at the top of the sinusoidal traffic curve, when
 //!   spare capacity is thinnest.
+//!
+//! Above the pod, the same discipline extends to the region-scale
+//! blast radii of the global router ([`GlobalChaosSchedule`]): single
+//! pod loss, a region's pods rolling over one by one, a full region
+//! outage timed to the victim's diurnal crest, and a WAN partition
+//! isolating one region — each compiled against a
+//! [`GlobalTopology`] and replayed on a byte-identical
+//! [`RegionalTrace`].
 
 use mtia_core::seed::derive;
 use mtia_core::telemetry::Telemetry;
 use mtia_core::SimTime;
-use mtia_fleet::topology::{DomainLevel, FleetTopology};
+use mtia_fleet::topology::{DomainLevel, FleetTopology, GlobalLevel, GlobalTopology};
 use mtia_serving::failover::{
     simulate_cell_failover_traced, FailoverConfig, FailoverReport, PlacementPolicy,
+};
+use mtia_serving::global::{
+    build_regional_trace, compare_global, simulate_global_traced, GlobalComparison, GlobalConfig,
+    GlobalReport, RegionalTrace, RegionalTrafficConfig, RoutingPolicy,
 };
 use mtia_serving::traffic::{ArrivalProcess, DiurnalArrivals, PoissonArrivals};
 use mtia_sim::faults::{FaultKind, FaultPlan};
@@ -290,6 +302,268 @@ impl ChaosSchedule {
     }
 }
 
+/// Which region-scale storm a [`GlobalChaosSchedule`] injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GlobalChaosScenario {
+    /// One whole pod drops at `start` (spine switch, pod power bus) and
+    /// returns after `repair`.
+    SinglePodLoss {
+        /// Pod index in the global topology.
+        pod: u32,
+        /// Pod restoration time.
+        repair: SimTime,
+    },
+    /// A region's pods go down one after another — a cascading regional
+    /// incident rather than a clean cut.
+    RollingPodLoss {
+        /// Victim region.
+        region: u32,
+        /// Delay between consecutive pod losses.
+        stagger: SimTime,
+        /// Per-pod restoration time.
+        repair: SimTime,
+    },
+    /// Every pod of a region goes dark exactly at the victim region's
+    /// diurnal crest — the worst instant the §4.1 disaster case can
+    /// pick.
+    RegionOutageAtPeak {
+        /// Victim region.
+        region: u32,
+        /// Region restoration time.
+        repair: SimTime,
+    },
+    /// A WAN partition isolates one region: its devices keep serving
+    /// local ingress but neither give nor take spillover until `heal`.
+    WanPartitionIsolation {
+        /// Isolated region.
+        region: u32,
+        /// Partition duration.
+        heal: SimTime,
+    },
+}
+
+impl GlobalChaosScenario {
+    /// Stable scenario-family name for reports and telemetry.
+    pub fn family(&self) -> &'static str {
+        match self {
+            GlobalChaosScenario::SinglePodLoss { .. } => "single-pod-loss",
+            GlobalChaosScenario::RollingPodLoss { .. } => "rolling-pod-loss",
+            GlobalChaosScenario::RegionOutageAtPeak { .. } => "region-outage-at-peak",
+            GlobalChaosScenario::WanPartitionIsolation { .. } => "wan-partition-isolation",
+        }
+    }
+}
+
+/// One seeded region-scale chaos run: scenario, regional traffic shape,
+/// horizon, seed. The fault plan and the arrival trace are pure
+/// functions of this struct plus the topology.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalChaosSchedule {
+    /// Scenario-family name (stable across seeds).
+    pub name: &'static str,
+    /// The region-scale storm to inject.
+    pub scenario: GlobalChaosScenario,
+    /// When the first fault fires.
+    pub start: SimTime,
+    /// Per-region traffic shape.
+    pub traffic: RegionalTrafficConfig,
+    /// Simulation horizon (arrivals stop here; the run drains fully).
+    pub horizon: SimTime,
+    /// Root seed; victims and arrival streams derive from it.
+    pub seed: u64,
+}
+
+impl GlobalChaosSchedule {
+    /// The smoke-sized traffic shape: light enough that the toy fleet
+    /// can absorb a region outage without saturating.
+    fn smoke_traffic(horizon: SimTime) -> RegionalTrafficConfig {
+        RegionalTrafficConfig::production(20.0, horizon)
+    }
+
+    /// Seeded single-pod-loss schedule; the victim pod is drawn from
+    /// `derive(seed, "chaos.pod")`.
+    pub fn single_pod_loss(global: &GlobalTopology, seed: u64) -> Self {
+        let horizon = SimTime::from_secs(60);
+        GlobalChaosSchedule {
+            name: "single-pod-loss",
+            scenario: GlobalChaosScenario::SinglePodLoss {
+                pod: (derive(seed, "chaos.pod") % global.pod_count() as u64) as u32,
+                repair: SimTime::from_secs(15),
+            },
+            start: SimTime::from_secs(12),
+            traffic: Self::smoke_traffic(horizon),
+            horizon,
+            seed,
+        }
+    }
+
+    /// Seeded rolling-pod-loss schedule inside the region drawn from
+    /// `derive(seed, "chaos.rolling-region")`.
+    pub fn rolling_pod_loss(global: &GlobalTopology, seed: u64) -> Self {
+        let horizon = SimTime::from_secs(70);
+        GlobalChaosSchedule {
+            name: "rolling-pod-loss",
+            scenario: GlobalChaosScenario::RollingPodLoss {
+                region: (derive(seed, "chaos.rolling-region") % global.region_count() as u64)
+                    as u32,
+                stagger: SimTime::from_secs(6),
+                repair: SimTime::from_secs(18),
+            },
+            start: SimTime::from_secs(10),
+            traffic: Self::smoke_traffic(horizon),
+            horizon,
+            seed,
+        }
+    }
+
+    /// Seeded region-outage schedule, timed to the victim region's
+    /// diurnal crest.
+    pub fn region_outage_at_peak(global: &GlobalTopology, seed: u64) -> Self {
+        let horizon = SimTime::from_secs(60);
+        let traffic = Self::smoke_traffic(horizon);
+        let region = (derive(seed, "chaos.outage-region") % global.region_count() as u64) as u32;
+        // Region r's phase-shifted sinusoid crests where
+        // (t + phase_r) / period = 1/4, i.e. a quarter period in minus
+        // the region's timezone offset (mod period).
+        let regions = global.region_count() as f64;
+        let crest = 0.25 - region as f64 / regions;
+        let crest = if crest < 0.0 { crest + 1.0 } else { crest };
+        GlobalChaosSchedule {
+            name: "region-outage-at-peak",
+            scenario: GlobalChaosScenario::RegionOutageAtPeak {
+                region,
+                repair: SimTime::from_secs(15),
+            },
+            start: traffic.period.scale(crest),
+            traffic,
+            horizon,
+            seed,
+        }
+    }
+
+    /// Seeded WAN-partition schedule isolating the region drawn from
+    /// `derive(seed, "chaos.partition-region")`.
+    pub fn wan_partition_isolation(global: &GlobalTopology, seed: u64) -> Self {
+        let horizon = SimTime::from_secs(60);
+        GlobalChaosSchedule {
+            name: "wan-partition-isolation",
+            scenario: GlobalChaosScenario::WanPartitionIsolation {
+                region: (derive(seed, "chaos.partition-region") % global.region_count() as u64)
+                    as u32,
+                heal: SimTime::from_secs(20),
+            },
+            start: SimTime::from_secs(15),
+            traffic: Self::smoke_traffic(horizon),
+            horizon,
+            seed,
+        }
+    }
+
+    /// The standard four-scenario region-scale suite from one seed.
+    pub fn region_suite(global: &GlobalTopology, seed: u64) -> Vec<GlobalChaosSchedule> {
+        vec![
+            GlobalChaosSchedule::single_pod_loss(global, seed),
+            GlobalChaosSchedule::rolling_pod_loss(global, seed),
+            GlobalChaosSchedule::region_outage_at_peak(global, seed),
+            GlobalChaosSchedule::wan_partition_isolation(global, seed),
+        ]
+    }
+
+    /// Compiles the scenario to a correlated fault plan over `global`.
+    /// Pure: same schedule + topology → identical fingerprint.
+    pub fn plan(&self, global: &GlobalTopology) -> FaultPlan {
+        let plan = FaultPlan::empty(derive(self.seed, "chaos.global-plan"));
+        match self.scenario {
+            GlobalChaosScenario::SinglePodLoss { pod, repair } => global.correlated_event(
+                plan,
+                GlobalLevel::Pod,
+                pod,
+                self.start,
+                FaultKind::PodLoss,
+                repair,
+            ),
+            GlobalChaosScenario::RollingPodLoss {
+                region,
+                stagger,
+                repair,
+            } => {
+                let pods_per_region = global.config().pods_per_region;
+                let first = region * pods_per_region;
+                (0..pods_per_region).fold(plan, |acc, i| {
+                    global.correlated_event(
+                        acc,
+                        GlobalLevel::Pod,
+                        first + i,
+                        self.start + stagger.scale(i as f64),
+                        FaultKind::PodLoss,
+                        repair,
+                    )
+                })
+            }
+            GlobalChaosScenario::RegionOutageAtPeak { region, repair } => global.correlated_event(
+                plan,
+                GlobalLevel::Region,
+                region,
+                self.start,
+                FaultKind::RegionOutage,
+                repair,
+            ),
+            GlobalChaosScenario::WanPartitionIsolation { region, heal } => global.correlated_event(
+                plan,
+                GlobalLevel::Region,
+                region,
+                self.start,
+                FaultKind::WanPartition,
+                heal,
+            ),
+        }
+    }
+
+    /// The schedule's multi-region arrival trace (seeded, replayable).
+    pub fn trace(&self, global: &GlobalTopology) -> RegionalTrace {
+        build_regional_trace(
+            &self.traffic,
+            global.region_count(),
+            self.horizon,
+            derive(self.seed, "chaos.global-arrivals"),
+        )
+    }
+
+    /// Runs the schedule under `policy`, untraced.
+    pub fn run(&self, global: &GlobalTopology, policy: RoutingPolicy) -> GlobalReport {
+        self.run_traced(global, policy, &mut Telemetry::disabled())
+    }
+
+    /// Runs the schedule with telemetry; the report must not depend on
+    /// whether `tel` is enabled.
+    pub fn run_traced(
+        &self,
+        global: &GlobalTopology,
+        policy: RoutingPolicy,
+        tel: &mut Telemetry,
+    ) -> GlobalReport {
+        simulate_global_traced(
+            &global.fleet_spec(),
+            &GlobalConfig::production(self.seed),
+            &self.trace(global),
+            &self.plan(global),
+            policy,
+            tel,
+        )
+    }
+
+    /// Replays the schedule through both routing arms on the identical
+    /// trace.
+    pub fn compare(&self, global: &GlobalTopology) -> GlobalComparison {
+        compare_global(
+            &global.fleet_spec(),
+            &GlobalConfig::production(self.seed),
+            &self.trace(global),
+            &self.plan(global),
+        )
+    }
+}
+
 /// One scenario's line in the CI chaos smoke.
 #[derive(Debug, Clone)]
 pub struct ChaosSmokeLine {
@@ -299,27 +573,45 @@ pub struct ChaosSmokeLine {
     pub report: FailoverReport,
 }
 
+/// One region-scale scenario's line in the CI chaos smoke.
+#[derive(Debug, Clone)]
+pub struct GlobalChaosSmokeLine {
+    /// Scenario-family name.
+    pub name: &'static str,
+    /// The global-router report.
+    pub report: GlobalReport,
+}
+
 /// The `reproduce --chaos-smoke` / `scripts/ci.sh` gate: the standard
-/// seeded suite against a domain-aware, failover-enabled cell.
+/// seeded suite against a domain-aware, failover-enabled cell, plus the
+/// region-scale suite against the global router.
 #[derive(Debug, Clone)]
 pub struct ChaosSmokeReport {
-    /// One line per scenario.
+    /// One line per cell-level scenario.
     pub lines: Vec<ChaosSmokeLine>,
+    /// One line per region-scale scenario (global-router arm).
+    pub global_lines: Vec<GlobalChaosSmokeLine>,
 }
 
 impl ChaosSmokeReport {
-    /// The smoke passes when no scenario loses a request forever, every
-    /// run conserves its request accounting, and goodput stays at or
-    /// above `min_goodput`.
+    /// The smoke passes when no cell scenario loses a request forever,
+    /// every run (cell and global) conserves its request accounting,
+    /// and goodput stays at or above `min_goodput` everywhere. Region-
+    /// scale storms legitimately kill in-flight work, so the global
+    /// lines gate on conservation + goodput rather than zero loss.
     pub fn passed(&self, min_goodput: f64) -> bool {
         self.lines.iter().all(|l| {
             l.report.lost == 0 && l.report.unaccounted() == 0 && l.report.goodput() >= min_goodput
-        })
+        }) && self
+            .global_lines
+            .iter()
+            .all(|l| l.report.unaccounted() == 0 && l.report.goodput() >= min_goodput)
     }
 }
 
 /// Runs the aimed chaos suite on the paper-shape pod with domain-aware
-/// placement and failover enabled.
+/// placement and failover enabled, plus the region-scale suite on the
+/// toy global fleet under the health-aware router.
 pub fn run_chaos_smoke(seed: u64) -> ChaosSmokeReport {
     let topo = mtia_fleet::topology::TopologyConfig::paper_server().build();
     let config = FailoverConfig::production(8, 2, seed);
@@ -330,7 +622,18 @@ pub fn run_chaos_smoke(seed: u64) -> ChaosSmokeReport {
                 report: schedule.run(&topo, &config, PlacementPolicy::DomainAware),
             }
         });
-    ChaosSmokeReport { lines }
+    let global = mtia_fleet::topology::GlobalTopologyConfig::global_small().build();
+    let global_lines = mtia_core::pool::parallel_map(
+        GlobalChaosSchedule::region_suite(&global, seed),
+        |_, schedule| GlobalChaosSmokeLine {
+            name: schedule.name,
+            report: schedule.run(&global, RoutingPolicy::HealthAware),
+        },
+    );
+    ChaosSmokeReport {
+        lines,
+        global_lines,
+    }
 }
 
 #[cfg(test)]
@@ -413,8 +716,17 @@ mod tests {
     fn chaos_smoke_loses_nothing_with_failover_on() {
         let report = run_chaos_smoke(DEFAULT_SEED);
         assert_eq!(report.lines.len(), 3);
+        assert_eq!(report.global_lines.len(), 4);
         for line in &report.lines {
             assert_eq!(line.report.lost, 0, "{} lost requests", line.name);
+            assert_eq!(
+                line.report.unaccounted(),
+                0,
+                "{} leaked requests",
+                line.name
+            );
+        }
+        for line in &report.global_lines {
             assert_eq!(
                 line.report.unaccounted(),
                 0,
@@ -428,6 +740,69 @@ mod tests {
         assert!(
             report.lines.iter().any(|l| l.report.promotions > 0),
             "aimed suite never exercised promotion"
+        );
+        // And at least one region-scale storm must force cross-region
+        // spillover through the router.
+        assert!(
+            report.global_lines.iter().any(|l| l.report.spillover > 0),
+            "region suite never exercised spillover"
+        );
+    }
+
+    #[test]
+    fn global_schedules_are_pure_functions_of_the_seed() {
+        let global = mtia_fleet::topology::GlobalTopologyConfig::global_small().build();
+        for (a, b) in GlobalChaosSchedule::region_suite(&global, DEFAULT_SEED)
+            .into_iter()
+            .zip(GlobalChaosSchedule::region_suite(&global, DEFAULT_SEED))
+        {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.plan(&global).fingerprint(), b.plan(&global).fingerprint());
+            assert_eq!(
+                a.trace(&global).fingerprint(),
+                b.trace(&global).fingerprint()
+            );
+        }
+    }
+
+    #[test]
+    fn region_outage_fires_at_the_victims_crest() {
+        let global = mtia_fleet::topology::GlobalTopologyConfig::global_small().build();
+        let schedule = GlobalChaosSchedule::region_outage_at_peak(&global, DEFAULT_SEED);
+        let GlobalChaosScenario::RegionOutageAtPeak { region, .. } = schedule.scenario else {
+            panic!("wrong scenario");
+        };
+        // Crest instant: a quarter period in, minus the region's
+        // timezone offset, wrapped into the period.
+        let regions = global.region_count() as f64;
+        let mut crest = 0.25 - region as f64 / regions;
+        if crest < 0.0 {
+            crest += 1.0;
+        }
+        assert_eq!(schedule.start, schedule.traffic.period.scale(crest));
+        let plan = schedule.plan(&global);
+        assert_eq!(
+            plan.events().len() as u32,
+            global.devices_per_region(),
+            "the whole region is hit"
+        );
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::RegionOutage));
+    }
+
+    #[test]
+    fn region_suite_compares_router_favorably() {
+        let global = mtia_fleet::topology::GlobalTopologyConfig::global_small().build();
+        let schedule = GlobalChaosSchedule::region_outage_at_peak(&global, DEFAULT_SEED);
+        let cmp = schedule.compare(&global);
+        assert!(cmp.same_trace());
+        assert!(
+            cmp.goodput_gain_pp() > 0.0,
+            "router {} vs naive {}",
+            cmp.router.goodput(),
+            cmp.naive.goodput()
         );
     }
 }

@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fleet_exps;
 pub mod frontier;
+pub mod global_exps;
 pub mod llm;
 pub mod locality;
 pub mod quant;
@@ -137,12 +138,17 @@ pub fn registry() -> Vec<ExperimentEntry> {
             name: "e21_failover",
             run: failover_exps::e21_failover,
         },
+        ExperimentEntry {
+            name: "e22_global",
+            run: global_exps::e22_global,
+        },
     ]
 }
 
 /// The fast subset behind `--filter quick` and the determinism gate:
-/// fig5 (serving Monte-Carlo sweeps), a single E19 SDC ladder rung, and
-/// the E21 toy-tree failover rung.
+/// fig5 (serving Monte-Carlo sweeps), a single E19 SDC ladder rung, the
+/// E21 toy-tree failover rung, and the E22 toy-fleet global-router
+/// rung.
 pub fn quick_subset() -> Vec<ExperimentEntry> {
     vec![
         ExperimentEntry {
@@ -156,6 +162,10 @@ pub fn quick_subset() -> Vec<ExperimentEntry> {
         ExperimentEntry {
             name: "e21_rung",
             run: failover_exps::e21_rung,
+        },
+        ExperimentEntry {
+            name: "e22_rung",
+            run: global_exps::e22_rung,
         },
     ]
 }
@@ -249,7 +259,7 @@ mod registry_tests {
     #[test]
     fn registry_names_are_unique_and_cover_the_paper_order() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 25);
+        assert_eq!(names.len(), 26);
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();

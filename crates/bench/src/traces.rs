@@ -56,6 +56,10 @@ pub fn scenarios() -> Vec<TraceScenario> {
             name: "failover",
             run: failover_trace,
         },
+        TraceScenario {
+            name: "global_router",
+            run: global_router_trace,
+        },
     ]
 }
 
@@ -171,6 +175,37 @@ pub fn failover_trace(tel: &mut Telemetry) -> String {
         report.restores,
         report.recovery_time.as_picos(),
         report.checkpoint_fingerprint,
+    )
+}
+
+/// The global router riding out a region outage on the 64-device toy
+/// fleet, arrival rate throttled so the golden stays small. Exercises
+/// the per-request global-routing lifecycle chain — region ingress →
+/// route decision (pod/tier/spillover attributes) → pod serve → cell —
+/// plus the `serving.global` root span and the goodput counters.
+pub fn global_router_trace(tel: &mut Telemetry) -> String {
+    use crate::chaos::GlobalChaosSchedule;
+    use mtia_fleet::topology::GlobalTopologyConfig;
+    use mtia_serving::global::RoutingPolicy;
+
+    let global = GlobalTopologyConfig::global_small().build();
+    let seed = mtia_core::seed::derive(mtia_core::seed::DEFAULT_SEED, "trace.global");
+    let mut schedule = GlobalChaosSchedule::region_outage_at_peak(&global, seed);
+    // ~1 req/s per region over the 60 s horizon keeps the span count
+    // (five spans per request) golden-sized while still spilling
+    // cross-region traffic during the outage window.
+    schedule.traffic.base_rate_per_s = 1.0;
+    let report = schedule.run_traced(&global, RoutingPolicy::HealthAware, tel);
+    format!(
+        "offered={} full={} degraded={} shed={} lost={} spillover={} p99_ps={} trace_fp={:016x}",
+        report.offered,
+        report.served_full,
+        report.served_degraded,
+        report.shed,
+        report.lost,
+        report.spillover,
+        report.request_latency.p99().as_picos(),
+        report.trace_fingerprint,
     )
 }
 

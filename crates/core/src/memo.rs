@@ -55,12 +55,31 @@ impl CacheStats {
     }
 }
 
+/// One lock-protected map plus its own hit/miss counters. Counters
+/// live on the shard so reporting can show how evenly [`stable_key`]
+/// spreads load — a skewed shard histogram means contention, a fleet
+/// of all-miss shards means the workload never repeats a key.
+#[derive(Debug)]
+struct Shard<V> {
+    map: Mutex<HashMap<u128, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
 /// A concurrent memo table from 128-bit fingerprints to `Copy` values.
 #[derive(Debug)]
 pub struct ShardedCache<V> {
-    shards: Vec<Mutex<HashMap<u128, V>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    shards: Vec<Shard<V>>,
 }
 
 impl<V: Copy> ShardedCache<V> {
@@ -72,13 +91,11 @@ impl<V: Copy> ShardedCache<V> {
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         ShardedCache {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
         }
     }
 
-    fn shard_of(&self, key: u128) -> &Mutex<HashMap<u128, V>> {
+    fn shard_of(&self, key: u128) -> &Shard<V> {
         let fold = (key as u64) ^ ((key >> 64) as u64);
         &self.shards[(fold as usize) % self.shards.len()]
     }
@@ -91,37 +108,53 @@ impl<V: Copy> ShardedCache<V> {
     /// fresh key both compute it and the (identical, pure) value is
     /// stored once — correctness never depends on winning the race.
     pub fn get_or_insert_with(&self, key: u128, compute: impl FnOnce() -> V) -> V {
-        if let Some(v) = self
-            .shard_of(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(&key)
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(key);
+        if let Some(v) = shard.map.lock().expect("cache shard poisoned").get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return *v;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
-        self.shard_of(key)
+        shard
+            .map
             .lock()
             .expect("cache shard poisoned")
             .insert(key, value);
         value
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss counters, summed over shards.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        self.shard_stats()
+            .into_iter()
+            .fold(CacheStats::default(), |acc, s| CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            })
+    }
+
+    /// Per-shard counter snapshots, in shard order — the load-spread
+    /// view `reproduce --bench-perf` reports.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| CacheStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Cached entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.map.lock().expect("cache shard poisoned").len())
             .sum()
     }
 
@@ -134,10 +167,10 @@ impl<V: Copy> ShardedCache<V> {
     /// fair cold-cache timings when comparing thread counts.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            shard.map.lock().expect("cache shard poisoned").clear();
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -205,6 +238,28 @@ mod tests {
         for k in 0..1000u128 {
             assert_eq!(cache.get_or_insert_with(k, || unreachable!()), k * 3);
         }
+    }
+
+    #[test]
+    fn shard_stats_sum_to_the_global_stats() {
+        let cache: ShardedCache<u64> = ShardedCache::new(4);
+        for k in 0..64u128 {
+            cache.get_or_insert_with(k, || k as u64);
+            cache.get_or_insert_with(k, || unreachable!());
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), cache.shard_count());
+        let total: u64 = per_shard.iter().map(|s| s.lookups()).sum();
+        assert_eq!(total, cache.stats().lookups());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 64,
+                misses: 64
+            }
+        );
+        // stable_key-less sequential keys still land on every shard.
+        assert!(per_shard.iter().all(|s| s.lookups() > 0));
     }
 
     #[test]

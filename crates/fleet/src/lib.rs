@@ -43,4 +43,6 @@ pub use quarantine::{
 pub use rollout_serving::{
     maintenance_schedule, simulate_rollout_serving, RolloutServingConfig, RolloutServingReport,
 };
-pub use topology::{DomainLevel, FleetTopology, TopologyConfig};
+pub use topology::{
+    DomainLevel, FleetTopology, GlobalLevel, GlobalTopology, GlobalTopologyConfig, TopologyConfig,
+};

@@ -21,11 +21,29 @@
 //! replica placement and re-replication consult it, and it knows how to
 //! fan a correlated fault out to a domain's members via
 //! [`FleetTopology::correlated_event`].
+//!
+//! Above the pod, [`GlobalTopology`] extends the same arithmetic tree
+//! two more levels for the region-scale disaster story:
+//!
+//! ```text
+//!   region ─ pod ─ power domain ─ rack ─ host ─ module ─ device
+//! ```
+//!
+//! Every pod is one [`FleetTopology`] (the paper's 288-device
+//! `paper_server()` by default), several pods make a region, several
+//! regions make the serving fleet, and configured inter-region WAN
+//! latencies make cross-region failover a priced decision rather than a
+//! free one. [`GlobalTopology::correlated_event`] fans
+//! [`FaultKind::PodLoss`], [`FaultKind::RegionOutage`], and
+//! [`FaultKind::WanPartition`] out to the full pod/region blast radius,
+//! and [`GlobalTopology::fleet_spec`] bridges to the plain-data shape
+//! `mtia_serving::global` routes over.
 
 use std::ops::Range;
 
 use mtia_core::SimTime;
 use mtia_serving::failover::FaultDomains;
+use mtia_serving::global::GlobalFleetSpec;
 use mtia_sim::faults::{DeviceId, FaultKind, FaultPlan};
 
 /// Shape of the containment tree, bottom-up.
@@ -206,6 +224,227 @@ impl FaultDomains for FleetTopology {
     }
 }
 
+/// Shape of the fleet above the pod: identical pods grouped into
+/// regions with a uniform one-way inter-region WAN latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalTopologyConfig {
+    /// The containment tree inside every pod.
+    pub pod: TopologyConfig,
+    /// Pods per region.
+    pub pods_per_region: u32,
+    /// Regions in the fleet.
+    pub regions: u32,
+    /// One-way WAN latency between any two distinct regions.
+    pub inter_region_latency: SimTime,
+}
+
+impl GlobalTopologyConfig {
+    /// The E22 planetary fleet: three regions (think NA/EU/APAC, one
+    /// timezone-ish WAN hop apart) of two `paper_server()` pods each —
+    /// 1728 devices.
+    pub fn planetary() -> Self {
+        GlobalTopologyConfig {
+            pod: TopologyConfig::paper_server(),
+            pods_per_region: 2,
+            regions: 3,
+            inter_region_latency: SimTime::from_millis(60),
+        }
+    }
+
+    /// A 64-device toy fleet (2 regions × 2 pods × the 16-device
+    /// `small()` tree) for tests, goldens, and examples.
+    pub fn global_small() -> Self {
+        GlobalTopologyConfig {
+            pod: TopologyConfig::small(),
+            pods_per_region: 2,
+            regions: 2,
+            inter_region_latency: SimTime::from_millis(40),
+        }
+    }
+
+    /// Materializes the global tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level (including the pod's own) is zero.
+    pub fn build(self) -> GlobalTopology {
+        assert!(
+            self.pods_per_region > 0 && self.regions > 0,
+            "every global topology level must be non-empty"
+        );
+        GlobalTopology {
+            config: self,
+            pod_topology: self.pod.build(),
+        }
+    }
+}
+
+/// The fleet levels above the pod's own tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalLevel {
+    /// One serving pod — a full [`FleetTopology`] behind one fleet-level
+    /// failure domain (spine switch, pod power bus).
+    Pod,
+    /// One region — every pod homed in one geography.
+    Region,
+}
+
+/// The materialized global tree: dense device ids, contiguous within
+/// every pod and region, so the arithmetic-encoding invariants of
+/// [`FleetTopology`] extend unchanged two levels up.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalTopology {
+    config: GlobalTopologyConfig,
+    pod_topology: FleetTopology,
+}
+
+impl GlobalTopology {
+    /// The shape this tree was built from.
+    pub fn config(&self) -> GlobalTopologyConfig {
+        self.config
+    }
+
+    /// The containment tree inside every pod.
+    pub fn pod_topology(&self) -> FleetTopology {
+        self.pod_topology
+    }
+
+    /// Devices per pod.
+    pub fn devices_per_pod(&self) -> u32 {
+        self.pod_topology.device_count()
+    }
+
+    /// Devices per region.
+    pub fn devices_per_region(&self) -> u32 {
+        self.devices_per_pod() * self.config.pods_per_region
+    }
+
+    /// Total pods.
+    pub fn pod_count(&self) -> u32 {
+        self.config.pods_per_region * self.config.regions
+    }
+
+    /// Total regions.
+    pub fn region_count(&self) -> u32 {
+        self.config.regions
+    }
+
+    /// Total devices across every region.
+    pub fn device_count(&self) -> u32 {
+        self.devices_per_region() * self.config.regions
+    }
+
+    /// Total domains at `level`.
+    pub fn domain_count(&self, level: GlobalLevel) -> u32 {
+        self.device_count() / self.domain_size(level)
+    }
+
+    fn domain_size(&self, level: GlobalLevel) -> u32 {
+        match level {
+            GlobalLevel::Pod => self.devices_per_pod(),
+            GlobalLevel::Region => self.devices_per_region(),
+        }
+    }
+
+    /// Pod index of `device`.
+    pub fn pod_of(&self, device: DeviceId) -> u32 {
+        device / self.devices_per_pod()
+    }
+
+    /// Region index of `device`.
+    pub fn region_of(&self, device: DeviceId) -> u32 {
+        device / self.devices_per_region()
+    }
+
+    /// Region homing pod `pod`.
+    pub fn region_of_pod(&self, pod: u32) -> u32 {
+        pod / self.config.pods_per_region
+    }
+
+    /// The ancestor domain of `device` at `level`.
+    pub fn domain_of(&self, level: GlobalLevel, device: DeviceId) -> u32 {
+        device / self.domain_size(level)
+    }
+
+    /// Member devices of domain `index` at `level`, as a dense range.
+    pub fn devices_in(&self, level: GlobalLevel, index: u32) -> Range<DeviceId> {
+        let size = self.domain_size(level);
+        index * size..(index + 1) * size
+    }
+
+    /// Whether two devices share the domain at `level`.
+    pub fn shares_domain(&self, level: GlobalLevel, a: DeviceId, b: DeviceId) -> bool {
+        self.domain_of(level, a) == self.domain_of(level, b)
+    }
+
+    /// One-way WAN latency between two regions (`ZERO` within one).
+    pub fn wan_latency(&self, a: u32, b: u32) -> SimTime {
+        if a == b {
+            SimTime::ZERO
+        } else {
+            self.config.inter_region_latency
+        }
+    }
+
+    /// Fans one correlated fault out to every device of pod/region
+    /// `index`, appending to `plan` — [`FaultKind::PodLoss`] at
+    /// [`GlobalLevel::Pod`], [`FaultKind::RegionOutage`] /
+    /// [`FaultKind::WanPartition`] at [`GlobalLevel::Region`].
+    pub fn correlated_event(
+        &self,
+        plan: FaultPlan,
+        level: GlobalLevel,
+        index: u32,
+        at: SimTime,
+        kind: FaultKind,
+        duration: SimTime,
+    ) -> FaultPlan {
+        assert!(
+            index < self.domain_count(level),
+            "domain index out of range"
+        );
+        plan.with_correlated_event(self.devices_in(level, index), at, kind, duration)
+    }
+
+    /// Bridges to the plain-data fleet shape `mtia_serving::global`
+    /// routes over. The spec's dense pod/device numbering is identical
+    /// to this tree's, so fault plans built against either agree.
+    pub fn fleet_spec(&self) -> GlobalFleetSpec {
+        let spec = GlobalFleetSpec::symmetric(
+            self.config.regions,
+            self.config.pods_per_region,
+            self.devices_per_pod(),
+            self.config.inter_region_latency,
+        );
+        spec.validate();
+        spec
+    }
+}
+
+impl FaultDomains for GlobalTopology {
+    fn devices(&self) -> u32 {
+        self.device_count()
+    }
+    fn host_of(&self, device: DeviceId) -> u32 {
+        let pod = self.pod_of(device);
+        let local = device % self.devices_per_pod();
+        pod * self.pod_topology.domain_count(DomainLevel::Host)
+            + self.pod_topology.domain_of(DomainLevel::Host, local)
+    }
+    fn rack_of(&self, device: DeviceId) -> u32 {
+        let pod = self.pod_of(device);
+        let local = device % self.devices_per_pod();
+        pod * self.pod_topology.domain_count(DomainLevel::Rack)
+            + self.pod_topology.domain_of(DomainLevel::Rack, local)
+    }
+    fn power_domain_of(&self, device: DeviceId) -> u32 {
+        let pod = self.pod_of(device);
+        let local = device % self.devices_per_pod();
+        pod * self.pod_topology.domain_count(DomainLevel::PowerDomain)
+            + self.pod_topology.domain_of(DomainLevel::PowerDomain, local)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +514,102 @@ mod tests {
         let devices: Vec<DeviceId> = plan.events().iter().map(|e| e.device).collect();
         assert_eq!(devices, vec![4, 5, 6, 7], "host 1 of the small tree");
         assert!(plan.events().iter().all(|e| e.kind == FaultKind::HostCrash));
+    }
+
+    #[test]
+    fn planetary_fleet_matches_the_e22_shape() {
+        let global = GlobalTopologyConfig::planetary().build();
+        assert_eq!(global.devices_per_pod(), 288);
+        assert_eq!(global.pod_count(), 6);
+        assert_eq!(global.region_count(), 3);
+        assert_eq!(global.device_count(), 1728);
+        assert_eq!(global.domain_count(GlobalLevel::Pod), 6);
+        assert_eq!(global.domain_count(GlobalLevel::Region), 3);
+        assert_eq!(global.wan_latency(0, 0), SimTime::ZERO);
+        assert_eq!(global.wan_latency(0, 2), SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn global_domains_nest_and_partition() {
+        let global = GlobalTopologyConfig::global_small().build();
+        for level in [GlobalLevel::Pod, GlobalLevel::Region] {
+            for device in 0..global.device_count() {
+                let domain = global.domain_of(level, device);
+                assert!(global.devices_in(level, domain).contains(&device));
+            }
+            let total: u32 = (0..global.domain_count(level))
+                .map(|i| global.devices_in(level, i).len() as u32)
+                .sum();
+            assert_eq!(total, global.device_count());
+        }
+        for device in 0..global.device_count() {
+            // Pods nest inside regions, and hosts inside pods: any two
+            // devices sharing a host share the pod and the region.
+            let pod = global.pod_of(device);
+            assert_eq!(global.region_of(device), global.region_of_pod(pod));
+            for other in global.devices_in(GlobalLevel::Pod, pod) {
+                if global.host_of(other) == global.host_of(device) {
+                    assert!(global.shares_domain(GlobalLevel::Pod, device, other));
+                    assert!(global.shares_domain(GlobalLevel::Region, device, other));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_fault_domains_refine_the_pod_tree() {
+        // Host/rack/power-domain ids stay globally unique and agree
+        // with the single-pod tree modulo the per-pod offset.
+        let global = GlobalTopologyConfig::global_small().build();
+        let pod_topo = global.pod_topology();
+        let per_pod_hosts = pod_topo.domain_count(DomainLevel::Host);
+        for device in 0..global.device_count() {
+            let local = device % global.devices_per_pod();
+            assert_eq!(
+                global.host_of(device),
+                global.pod_of(device) * per_pod_hosts + pod_topo.host_of(local)
+            );
+        }
+        // Distinct pods never share a host id.
+        let a = global.host_of(0);
+        let b = global.host_of(global.devices_per_pod());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn region_outage_fans_out_to_the_whole_region() {
+        let global = GlobalTopologyConfig::global_small().build();
+        let plan = global.correlated_event(
+            FaultPlan::empty(2),
+            GlobalLevel::Region,
+            1,
+            SimTime::from_secs(3),
+            FaultKind::RegionOutage,
+            SimTime::from_secs(30),
+        );
+        let devices: Vec<DeviceId> = plan.events().iter().map(|e| e.device).collect();
+        let expected: Vec<DeviceId> = global.devices_in(GlobalLevel::Region, 1).collect();
+        assert_eq!(devices, expected);
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::RegionOutage));
+    }
+
+    #[test]
+    fn fleet_spec_agrees_with_the_tree() {
+        let global = GlobalTopologyConfig::planetary().build();
+        let spec = global.fleet_spec();
+        assert_eq!(spec.pods(), global.pod_count());
+        assert_eq!(spec.devices(), global.device_count());
+        for device in (0..global.device_count()).step_by(97) {
+            assert_eq!(spec.pod_of_device(device), global.pod_of(device));
+            assert_eq!(
+                spec.region_of_pod(spec.pod_of_device(device)),
+                global.region_of(device)
+            );
+        }
+        assert_eq!(spec.wan_latency(1, 2), global.wan_latency(1, 2));
     }
 
     #[test]

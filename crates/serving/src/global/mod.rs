@@ -1,0 +1,518 @@
+//! Region-scale serving: a health-aware global router over many pods.
+//!
+//! Everything below the pod — shards, replicas, standby promotion — is
+//! the `failover` module's business. This module owns the level above:
+//! a fleet of pods grouped into regions, carrying per-region diurnal
+//! traffic, surviving *pod* and *region* scale disasters
+//! ([`FaultKind::PodLoss`], [`FaultKind::RegionOutage`],
+//! [`FaultKind::WanPartition`]) by routing traffic somewhere else
+//! rather than by promoting a standby.
+//!
+//! Three cooperating mechanisms (§4.1's fleet-of-pods serving story):
+//!
+//! * **health-aware routing** — every pod runs a probe-driven
+//!   [`HealthMachine`] (the PR-1 state machine, reused at pod
+//!   granularity): probes fail while the pod has zero up devices, the
+//!   machine walks Healthy → Degraded → Offline, and a restored pod
+//!   must pass probation (`Recovering`) before it takes full traffic
+//!   again. The router scores every reachable, dispatchable pod by
+//!   configured WAN latency plus an instantaneous queue estimate and
+//!   picks the cheapest — so traffic drains away from a dying region
+//!   and returns gradually, not as a thundering herd.
+//! * **spillover admission control** — cross-region failover is only
+//!   admitted into pods with utilization below
+//!   [`GlobalConfig::spillover_max_utilization`]: a region outage must
+//!   not be allowed to brown out the *surviving* regions.
+//! * **a three-tier degradation ladder** — full service → shed
+//!   low-priority requests → serve the remainder in a cheaper degraded
+//!   mode ([`GlobalConfig::degraded_service_time`]). Tier transitions
+//!   follow global utilization with hysteresis, so a region loss
+//!   *browns out* (some requests degraded, low-priority shed) instead
+//!   of blacking out (requests lost).
+//!
+//! The comparison methodology is the same as `compare_failover`: one
+//! byte-identical regional arrival trace ([`RegionalTrace`], with
+//! per-region timezone phase offsets and flash crowds) and one fault
+//! plan are replayed through a static-local arm and the router arm;
+//! [`GlobalComparison::same_trace`] witnesses the identity via both
+//! fingerprints.
+//!
+//! [`FaultKind::PodLoss`]: mtia_sim::faults::FaultKind::PodLoss
+//! [`FaultKind::RegionOutage`]: mtia_sim::faults::FaultKind::RegionOutage
+//! [`FaultKind::WanPartition`]: mtia_sim::faults::FaultKind::WanPartition
+//! [`HealthMachine`]: crate::resilience::HealthMachine
+
+mod report;
+mod sim;
+
+pub use report::{GlobalComparison, GlobalReport};
+pub use sim::{compare_global, simulate_global, simulate_global_traced};
+
+use mtia_core::seed::derive_indexed;
+use mtia_core::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::resilience::HealthConfig;
+use crate::traffic::{ArrivalProcess, FlashCrowd, RegionalArrivals};
+use mtia_sim::faults::DeviceId;
+
+/// The pod/region shape the global router serves, as plain data so the
+/// router stays independent of how the fleet crate models topology
+/// (`mtia_fleet::topology::GlobalTopology` converts into this).
+///
+/// Pods are dense `0..pods()`; device ids are dense and contiguous
+/// within each pod (`devices_per_pod` per pod), matching the arithmetic
+/// fault-domain encoding the rest of the stack uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalFleetSpec {
+    /// Region index of each pod (length = pod count).
+    pub pod_regions: Vec<u32>,
+    /// Number of regions.
+    pub regions: u32,
+    /// Devices per pod (uniform).
+    pub devices_per_pod: u32,
+    /// `wan[a][b]`: one-way inter-region latency; `ZERO` on the
+    /// diagonal.
+    pub wan: Vec<Vec<SimTime>>,
+}
+
+impl GlobalFleetSpec {
+    /// A symmetric fleet: `regions × pods_per_region` pods with a
+    /// uniform one-way inter-region latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn symmetric(
+        regions: u32,
+        pods_per_region: u32,
+        devices_per_pod: u32,
+        inter_region: SimTime,
+    ) -> Self {
+        assert!(
+            regions > 0 && pods_per_region > 0 && devices_per_pod > 0,
+            "every fleet dimension must be non-empty"
+        );
+        let pod_regions = (0..regions)
+            .flat_map(|r| std::iter::repeat_n(r, pods_per_region as usize))
+            .collect();
+        let wan = (0..regions)
+            .map(|a| {
+                (0..regions)
+                    .map(|b| if a == b { SimTime::ZERO } else { inter_region })
+                    .collect()
+            })
+            .collect();
+        GlobalFleetSpec {
+            pod_regions,
+            regions,
+            devices_per_pod,
+            wan,
+        }
+    }
+
+    /// Total pods.
+    pub fn pods(&self) -> u32 {
+        self.pod_regions.len() as u32
+    }
+
+    /// Total devices across the fleet.
+    pub fn devices(&self) -> u32 {
+        self.pods() * self.devices_per_pod
+    }
+
+    /// Region of pod `pod`.
+    pub fn region_of_pod(&self, pod: u32) -> u32 {
+        self.pod_regions[pod as usize]
+    }
+
+    /// Pod owning device `device`.
+    pub fn pod_of_device(&self, device: DeviceId) -> u32 {
+        device / self.devices_per_pod
+    }
+
+    /// Pods homed in region `region`, ascending.
+    pub fn pods_in_region(&self, region: u32) -> Vec<u32> {
+        (0..self.pods())
+            .filter(|&p| self.pod_regions[p as usize] == region)
+            .collect()
+    }
+
+    /// One-way WAN latency between two regions.
+    pub fn wan_latency(&self, a: u32, b: u32) -> SimTime {
+        self.wan[a as usize][b as usize]
+    }
+
+    /// Validates internal consistency (region indices in range, square
+    /// latency matrix with a zero diagonal).
+    pub fn validate(&self) {
+        assert!(!self.pod_regions.is_empty(), "fleet needs at least one pod");
+        assert!(
+            self.pod_regions.iter().all(|&r| r < self.regions),
+            "pod region out of range"
+        );
+        assert_eq!(self.wan.len() as u32, self.regions, "wan matrix height");
+        for (a, row) in self.wan.iter().enumerate() {
+            assert_eq!(row.len() as u32, self.regions, "wan matrix width");
+            assert_eq!(row[a], SimTime::ZERO, "wan diagonal must be zero");
+        }
+    }
+}
+
+/// Which arm routes the traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Static assignment: each region's requests round-robin over that
+    /// region's own pods, oblivious to health, partitions, or load —
+    /// the naive baseline that blacks out with its region.
+    StaticLocal,
+    /// The health-aware global router: probe-driven pod health,
+    /// latency/capacity scoring, cross-region spillover with admission
+    /// control, and the degradation ladder.
+    HealthAware,
+}
+
+impl RoutingPolicy {
+    /// Stable arm name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::StaticLocal => "static-local",
+            RoutingPolicy::HealthAware => "global-router",
+        }
+    }
+}
+
+/// Degradation-ladder thresholds on global utilization (in-service +
+/// queued over up-capacity), with hysteresis so tiers don't flap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderConfig {
+    /// Utilization at or above which tier 1 (shed low-priority) engages.
+    pub shed_enter: f64,
+    /// Utilization below which tier 1 disengages.
+    pub shed_exit: f64,
+    /// Utilization at or above which tier 2 (serve degraded) engages.
+    pub degrade_enter: f64,
+    /// Utilization below which tier 2 falls back to tier 1.
+    pub degrade_exit: f64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            shed_enter: 0.85,
+            shed_exit: 0.75,
+            degrade_enter: 0.95,
+            degrade_exit: 0.85,
+        }
+    }
+}
+
+/// Everything that parameterizes one global-serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalConfig {
+    /// Full-fidelity service time per request (one device-slot held).
+    pub service_time: SimTime,
+    /// Tier-2 degraded service time (stale/truncated responses are
+    /// cheaper to produce).
+    pub degraded_service_time: SimTime,
+    /// Queueing deadline: a request that cannot *start* service within
+    /// this of its arrival is lost.
+    pub deadline: SimTime,
+    /// Interval between pod health probes.
+    pub probe_interval: SimTime,
+    /// The per-pod health machine thresholds (probe granularity, so
+    /// much tighter than the per-device serving defaults).
+    pub health: HealthConfig,
+    /// Cross-region spillover is admitted only into pods below this
+    /// utilization.
+    pub spillover_max_utilization: f64,
+    /// Degradation-ladder thresholds.
+    pub ladder: LadderConfig,
+    /// Root seed (recorded in reports; the simulation itself is
+    /// deterministic given its inputs).
+    pub seed: u64,
+}
+
+impl GlobalConfig {
+    /// Production-flavored defaults: 450 ms full service, 150 ms
+    /// degraded, 2 s queueing deadline, 500 ms probes with aggressive
+    /// pod-level health thresholds, spillover admitted below 85 %.
+    pub fn production(seed: u64) -> Self {
+        GlobalConfig {
+            service_time: SimTime::from_millis(450),
+            degraded_service_time: SimTime::from_millis(150),
+            deadline: SimTime::from_secs(2),
+            probe_interval: SimTime::from_millis(500),
+            health: HealthConfig {
+                degrade_after_errors: 1,
+                offline_after_errors: 2,
+                rehabilitate_after_successes: 2,
+                probation_successes: 3,
+            },
+            spillover_max_utilization: 0.85,
+            ladder: LadderConfig::default(),
+            seed,
+        }
+    }
+}
+
+/// Request priority class, assigned at ingress. Tier 1 of the ladder
+/// sheds `Low`; `High` is shed only if nothing can serve it (lost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// User-facing, never intentionally shed.
+    High,
+    /// Prefetch/speculative work, shed first under pressure.
+    Low,
+}
+
+/// One request arriving at a region's ingress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalArrival {
+    /// Arrival time at the region's edge.
+    pub at: SimTime,
+    /// Ingress region.
+    pub region: u32,
+    /// Priority class.
+    pub priority: Priority,
+}
+
+/// A merged, sorted, replayable multi-region arrival trace — the
+/// byte-identical artifact both comparison arms consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionalTrace {
+    arrivals: Vec<GlobalArrival>,
+}
+
+impl RegionalTrace {
+    /// Wraps pre-sorted arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not sorted by `(at, region)`.
+    pub fn new(arrivals: Vec<GlobalArrival>) -> Self {
+        assert!(
+            arrivals
+                .windows(2)
+                .all(|w| (w[0].at, w[0].region) <= (w[1].at, w[1].region)),
+            "regional trace must be sorted by (time, region)"
+        );
+        RegionalTrace { arrivals }
+    }
+
+    /// The sorted arrivals.
+    pub fn arrivals(&self) -> &[GlobalArrival] {
+        &self.arrivals
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// FNV-1a digest over every arrival — the trace-identity witness
+    /// reports embed (mirroring `FaultPlan::fingerprint`).
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for a in &self.arrivals {
+            mix(a.at.as_picos());
+            mix(a.region as u64);
+            mix(match a.priority {
+                Priority::High => 0,
+                Priority::Low => 1,
+            });
+        }
+        hash
+    }
+}
+
+/// Shape of the per-region traffic feeding [`build_regional_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionalTrafficConfig {
+    /// Diurnal base rate per region (requests/s).
+    pub base_rate_per_s: f64,
+    /// Diurnal amplitude in `[0, 1)`.
+    pub amplitude: f64,
+    /// Diurnal period. Regions are phase-offset by `period / regions`
+    /// each — the timezone stagger.
+    pub period: SimTime,
+    /// Flash crowds per region over the horizon.
+    pub crowds_per_region: u32,
+    /// Flash-crowd rate multiplier.
+    pub crowd_multiplier: f64,
+    /// Flash-crowd duration.
+    pub crowd_duration: SimTime,
+    /// Fraction of requests tagged [`Priority::Low`].
+    pub low_priority_share: f64,
+}
+
+impl RegionalTrafficConfig {
+    /// The E22 planetary-scale shape: per-region diurnal curves one
+    /// timezone apart, one flash crowd per region, a fifth of traffic
+    /// sheddable.
+    pub fn production(base_rate_per_s: f64, period: SimTime) -> Self {
+        RegionalTrafficConfig {
+            base_rate_per_s,
+            amplitude: 0.4,
+            period,
+            crowds_per_region: 1,
+            crowd_multiplier: 1.6,
+            crowd_duration: period.scale(0.05),
+            low_priority_share: 0.2,
+        }
+    }
+}
+
+/// Builds the merged multi-region trace: per-region phase-offset
+/// diurnal envelopes with seeded flash crowds, arrivals recorded up to
+/// `horizon`, merged and sorted. A pure function of
+/// `(config, regions, horizon, seed)` — the replayable artifact both
+/// comparison arms share.
+pub fn build_regional_trace(
+    config: &RegionalTrafficConfig,
+    regions: u32,
+    horizon: SimTime,
+    seed: u64,
+) -> RegionalTrace {
+    let mut merged: Vec<GlobalArrival> = Vec::new();
+    for region in 0..regions {
+        // Independent derived streams per region: one for the arrival
+        // process (envelope + thinning), one for crowd placement, one
+        // for priorities.
+        let mut crowd_rng =
+            StdRng::seed_from_u64(derive_indexed(seed, "global.crowds", region as u64));
+        let crowds: Vec<FlashCrowd> = (0..config.crowds_per_region)
+            .map(|_| FlashCrowd {
+                start: horizon.scale(crowd_rng.gen::<f64>()),
+                duration: config.crowd_duration,
+                multiplier: config.crowd_multiplier,
+            })
+            .collect();
+        let phase = config.period.scale(region as f64 / regions as f64);
+        let mut process = RegionalArrivals::new(
+            config.base_rate_per_s,
+            config.amplitude,
+            config.period,
+            phase,
+            crowds,
+            StdRng::seed_from_u64(derive_indexed(seed, "global.arrivals", region as u64)),
+        );
+        let mut priority_rng =
+            StdRng::seed_from_u64(derive_indexed(seed, "global.priority", region as u64));
+        let mut now = SimTime::ZERO;
+        while let Some(t) = process.next_arrival(now) {
+            if t > horizon {
+                break;
+            }
+            let priority = if priority_rng.gen::<f64>() < config.low_priority_share {
+                Priority::Low
+            } else {
+                Priority::High
+            };
+            merged.push(GlobalArrival {
+                at: t,
+                region,
+                priority,
+            });
+            now = t;
+        }
+    }
+    merged.sort_by_key(|a| (a.at, a.region));
+    RegionalTrace::new(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_spec_is_consistent() {
+        let spec = GlobalFleetSpec::symmetric(3, 2, 16, SimTime::from_millis(60));
+        spec.validate();
+        assert_eq!(spec.pods(), 6);
+        assert_eq!(spec.devices(), 96);
+        assert_eq!(spec.region_of_pod(0), 0);
+        assert_eq!(spec.region_of_pod(5), 2);
+        assert_eq!(spec.pods_in_region(1), vec![2, 3]);
+        assert_eq!(spec.pod_of_device(17), 1);
+        assert_eq!(spec.wan_latency(0, 0), SimTime::ZERO);
+        assert_eq!(spec.wan_latency(0, 2), SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn trace_builder_is_deterministic_and_sorted() {
+        let config = RegionalTrafficConfig::production(200.0, SimTime::from_secs(60));
+        let a = build_regional_trace(&config, 3, SimTime::from_secs(60), 7);
+        let b = build_regional_trace(&config, 3, SimTime::from_secs(60), 7);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(!a.is_empty());
+        let c = build_regional_trace(&config, 3, SimTime::from_secs(60), 8);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Every region contributes and priorities are mixed.
+        for r in 0..3 {
+            assert!(a.arrivals().iter().any(|x| x.region == r));
+        }
+        assert!(a.arrivals().iter().any(|x| x.priority == Priority::Low));
+        assert!(a.arrivals().iter().any(|x| x.priority == Priority::High));
+    }
+
+    #[test]
+    fn regional_peaks_are_phase_staggered() {
+        // With period == horizon and three regions, each region's
+        // arrival mass peaks in a different third of the horizon.
+        let horizon = SimTime::from_secs(300);
+        let config = RegionalTrafficConfig {
+            base_rate_per_s: 100.0,
+            amplitude: 0.8,
+            period: horizon,
+            crowds_per_region: 0,
+            crowd_multiplier: 1.0,
+            crowd_duration: SimTime::ZERO,
+            low_priority_share: 0.2,
+        };
+        let trace = build_regional_trace(&config, 3, horizon, 11);
+        let busiest_third = |region: u32| -> usize {
+            let mut thirds = [0u32; 3];
+            for a in trace.arrivals().iter().filter(|a| a.region == region) {
+                let idx = ((a.at.as_secs_f64() / horizon.as_secs_f64()) * 3.0) as usize;
+                thirds[idx.min(2)] += 1;
+            }
+            (0..3).max_by_key(|&i| thirds[i]).unwrap()
+        };
+        let peaks: Vec<usize> = (0..3).map(busiest_third).collect();
+        let mut unique = peaks.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "staggered peaks, got {peaks:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_panics() {
+        let _ = RegionalTrace::new(vec![
+            GlobalArrival {
+                at: SimTime::from_secs(2),
+                region: 0,
+                priority: Priority::High,
+            },
+            GlobalArrival {
+                at: SimTime::from_secs(1),
+                region: 0,
+                priority: Priority::High,
+            },
+        ]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Scorecards for global-routing runs.
+
+use mtia_core::SimTime;
+
+use crate::latency::LatencyHistogram;
+
+/// What one global-serving run produced. All counters are exact event
+/// counts over a fully-drained run, so the conservation identity
+/// `offered == served_full + served_degraded + shed + lost` holds
+/// exactly ([`GlobalReport::unaccounted`] returns the residue).
+#[derive(Debug, Clone)]
+pub struct GlobalReport {
+    /// Routing arm name (`"static-local"` / `"global-router"`).
+    pub policy: &'static str,
+    /// The run's base seed.
+    pub seed: u64,
+    /// Fingerprint of the injected fault plan (trace identity).
+    pub fault_fingerprint: u64,
+    /// Fingerprint of the regional arrival trace (trace identity).
+    pub trace_fingerprint: u64,
+    /// Requests offered at region ingress.
+    pub offered: u64,
+    /// Requests served at full fidelity.
+    pub served_full: u64,
+    /// Requests served in tier-2 degraded mode (stale/truncated — still
+    /// a response, so they count toward goodput).
+    pub served_degraded: u64,
+    /// Low-priority requests shed by tier 1 of the ladder.
+    pub shed: u64,
+    /// Requests lost: unroutable at ingress, killed in flight by a
+    /// fault, or queued past the deadline.
+    pub lost: u64,
+    /// Of `lost`: no reachable dispatchable pod existed at ingress.
+    pub lost_unroutable: u64,
+    /// Of `lost`: in flight on capacity that a fault took down.
+    pub lost_killed: u64,
+    /// Of `lost`: waited in a pod queue past the deadline.
+    pub lost_deadline: u64,
+    /// Requests routed to a pod outside their ingress region.
+    pub spillover: u64,
+    /// End-to-end latency of served requests (both tiers).
+    pub request_latency: LatencyHistogram,
+    /// End-to-end latency of cross-region (spillover) requests only —
+    /// includes the two WAN crossings.
+    pub spillover_latency: LatencyHistogram,
+    /// Longest single window during which any pod sat at zero capacity
+    /// — the measured pod-recovery time.
+    pub recovery_time: SimTime,
+    /// Minimum over all arrival instants of the fleet's free-capacity
+    /// fraction (free slots over up slots) — how close the surviving
+    /// fleet came to saturation.
+    pub capacity_headroom: f64,
+    /// `routed[ingress_region][pod]`: exact request counts per
+    /// (ingress, destination) pair — the witness the partition property
+    /// test audits.
+    pub routed: Vec<Vec<u64>>,
+}
+
+impl GlobalReport {
+    /// Served fraction of offered load (full + degraded) — the
+    /// brownout-not-blackout headline. Shed low-priority work is a
+    /// deliberate ladder decision, not a failure, but it still isn't a
+    /// response: it counts against goodput, which is why tier 1 alone
+    /// cannot mask a real capacity hole.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        (self.served_full + self.served_degraded) as f64 / self.offered as f64
+    }
+
+    /// Served-or-deliberately-shed fraction: the share of offered load
+    /// the system *decided* about rather than dropped on the floor.
+    pub fn answered_or_shed(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        (self.served_full + self.served_degraded + self.shed) as f64 / self.offered as f64
+    }
+
+    /// Requests in no terminal bucket — zero in a fully-drained run;
+    /// the conservation check the property tests assert on.
+    pub fn unaccounted(&self) -> u64 {
+        self.offered - self.served_full - self.served_degraded - self.shed - self.lost
+    }
+}
+
+/// Static-local vs global-router on byte-identical traces.
+#[derive(Debug, Clone)]
+pub struct GlobalComparison {
+    /// Static per-region assignment, no health/ladder/spillover.
+    pub naive: GlobalReport,
+    /// The health-aware global router.
+    pub router: GlobalReport,
+}
+
+impl GlobalComparison {
+    /// Both arms saw the same arrival trace *and* the same fault plan
+    /// (both fingerprints match).
+    pub fn same_trace(&self) -> bool {
+        self.naive.fault_fingerprint == self.router.fault_fingerprint
+            && self.naive.trace_fingerprint == self.router.trace_fingerprint
+    }
+
+    /// Goodput advantage of the global router, in percentage points.
+    pub fn goodput_gain_pp(&self) -> f64 {
+        (self.router.goodput() - self.naive.goodput()) * 100.0
+    }
+}

@@ -1,0 +1,789 @@
+//! The deterministic global-serving simulation.
+//!
+//! An aggregate pod-level DES: pods are modeled as slot pools
+//! (`devices_up` concurrent requests) rather than per-device event
+//! streams, which is what makes replaying a ≥10⁶-request planetary
+//! trace through two arms affordable inside a unit test. The inputs —
+//! fleet spec, config, arrival trace, fault plan, routing policy — are
+//! plain values, the simulation is a pure function of them, and every
+//! tie is broken by a fixed source order (capacity < partition < probe
+//! < completion < arrival, then ascending ids), so byte-identical
+//! inputs give byte-identical reports at any thread count.
+//!
+//! Fault-plan interpretation at pod granularity:
+//!
+//! * capacity faults ([`FaultKind::HostCrash`],
+//!   [`FaultKind::RackPowerLoss`], [`FaultKind::PodLoss`],
+//!   [`FaultKind::RegionOutage`]) — each device's fault windows are
+//!   unioned, then each merged window becomes a `-1`/`+1` capacity
+//!   delta on the owning pod. A capacity drop below the in-service
+//!   count kills the latest-finishing in-flight requests immediately
+//!   (`lost_killed`).
+//! * reachability faults ([`FaultKind::WanPartition`],
+//!   [`FaultKind::NicPartition`]) — windows are unioned per *region*;
+//!   while a region is partitioned it serves only its own ingress and
+//!   receives no spillover.
+//!
+//! Per-request timing: routing happens at the ingress instant with the
+//! fleet state visible then; WAN transit does not delay queueing but
+//! the round trip (`2 × wan`) is charged to the reported latency, and
+//! the queueing deadline applies between ingress and service start.
+//!
+//! [`FaultKind::HostCrash`]: mtia_sim::faults::FaultKind::HostCrash
+//! [`FaultKind::RackPowerLoss`]: mtia_sim::faults::FaultKind::RackPowerLoss
+//! [`FaultKind::PodLoss`]: mtia_sim::faults::FaultKind::PodLoss
+//! [`FaultKind::RegionOutage`]: mtia_sim::faults::FaultKind::RegionOutage
+//! [`FaultKind::WanPartition`]: mtia_sim::faults::FaultKind::WanPartition
+//! [`FaultKind::NicPartition`]: mtia_sim::faults::FaultKind::NicPartition
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use mtia_core::telemetry::{Json, Telemetry};
+use mtia_core::SimTime;
+use mtia_sim::faults::{FaultKind, FaultPlan};
+
+use crate::latency::LatencyHistogram;
+use crate::resilience::{HealthMachine, HealthState};
+
+use super::report::{GlobalComparison, GlobalReport};
+use super::{GlobalConfig, GlobalFleetSpec, Priority, RegionalTrace, RoutingPolicy};
+
+/// Merges possibly-overlapping `(start, end)` windows into disjoint
+/// ascending intervals.
+fn merge_windows(mut windows: Vec<(SimTime, SimTime)>) -> Vec<(SimTime, SimTime)> {
+    windows.sort();
+    let mut merged: Vec<(SimTime, SimTime)> = Vec::new();
+    for (start, end) in windows {
+        match merged.last_mut() {
+            Some(last) if start <= last.1 => last.1 = last.1.max(end),
+            _ => merged.push((start, end)),
+        }
+    }
+    merged
+}
+
+/// Per-pod ±1 capacity deltas derived from the plan's power-loss
+/// windows, sorted `(time, pod, delta)` so drops apply before
+/// restorations at the same instant.
+fn capacity_deltas(spec: &GlobalFleetSpec, plan: &FaultPlan) -> Vec<(SimTime, u32, i32)> {
+    let mut per_device: BTreeMap<u32, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+    for event in plan.events() {
+        if matches!(
+            event.kind,
+            FaultKind::HostCrash
+                | FaultKind::RackPowerLoss
+                | FaultKind::PodLoss
+                | FaultKind::RegionOutage
+        ) {
+            per_device
+                .entry(event.device)
+                .or_default()
+                .push((event.at, event.until()));
+        }
+    }
+    let mut deltas = Vec::new();
+    for (device, windows) in per_device {
+        let pod = spec.pod_of_device(device);
+        for (start, end) in merge_windows(windows) {
+            deltas.push((start, pod, -1));
+            deltas.push((end, pod, 1));
+        }
+    }
+    deltas.sort_by_key(|&(at, pod, delta)| (at, pod, delta));
+    deltas
+}
+
+/// Per-region partition on/off toggles derived from the plan's
+/// partition windows, sorted `(time, region, on)` so heals apply
+/// before fresh partitions at the same instant.
+fn partition_toggles(spec: &GlobalFleetSpec, plan: &FaultPlan) -> Vec<(SimTime, u32, bool)> {
+    let mut per_region: BTreeMap<u32, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+    for event in plan.events() {
+        if matches!(
+            event.kind,
+            FaultKind::WanPartition | FaultKind::NicPartition
+        ) {
+            let region = spec.region_of_pod(spec.pod_of_device(event.device));
+            per_region
+                .entry(region)
+                .or_default()
+                .push((event.at, event.until()));
+        }
+    }
+    let mut toggles = Vec::new();
+    for (region, windows) in per_region {
+        for (start, end) in merge_windows(windows) {
+            toggles.push((start, region, true));
+            toggles.push((end, region, false));
+        }
+    }
+    toggles.sort_by_key(|&(at, region, on)| (at, region, on));
+    toggles
+}
+
+/// A request sitting in a pod's dispatch queue.
+#[derive(Debug, Clone, Copy)]
+struct QueuedRequest {
+    arrived: SimTime,
+    ingress: u32,
+    wan_rtt: SimTime,
+    degraded: bool,
+    tier: u8,
+}
+
+/// What the completion event needs to close out a served request.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    pod: u32,
+    arrived: SimTime,
+    started: SimTime,
+    ingress: u32,
+    wan_rtt: SimTime,
+    degraded: bool,
+    tier: u8,
+}
+
+struct PodState {
+    region: u32,
+    up: u32,
+    busy: u32,
+    queue: VecDeque<QueuedRequest>,
+    inflight: BTreeSet<(SimTime, u64)>,
+    health: HealthMachine,
+    down_since: Option<SimTime>,
+}
+
+struct Sim<'a> {
+    spec: &'a GlobalFleetSpec,
+    config: &'a GlobalConfig,
+    policy: RoutingPolicy,
+    pods: Vec<PodState>,
+    partitioned: Vec<bool>,
+    local_pods: Vec<Vec<u32>>,
+    rr: Vec<u64>,
+    completions: BTreeMap<(SimTime, u64), InFlight>,
+    seq: u64,
+    tier: u8,
+    total_up: u64,
+    total_busy: u64,
+    total_queued: u64,
+    // outcome accumulators
+    served_full: u64,
+    served_degraded: u64,
+    shed: u64,
+    lost_unroutable: u64,
+    lost_killed: u64,
+    lost_deadline: u64,
+    spillover: u64,
+    request_latency: LatencyHistogram,
+    spillover_latency: LatencyHistogram,
+    recovery_time: SimTime,
+    capacity_headroom: f64,
+    routed: Vec<Vec<u64>>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(spec: &'a GlobalFleetSpec, config: &'a GlobalConfig, policy: RoutingPolicy) -> Self {
+        let pods = (0..spec.pods())
+            .map(|p| PodState {
+                region: spec.region_of_pod(p),
+                up: spec.devices_per_pod,
+                busy: 0,
+                queue: VecDeque::new(),
+                inflight: BTreeSet::new(),
+                health: HealthMachine::new(config.health),
+                down_since: None,
+            })
+            .collect();
+        let local_pods = (0..spec.regions).map(|r| spec.pods_in_region(r)).collect();
+        Sim {
+            spec,
+            config,
+            policy,
+            pods,
+            partitioned: vec![false; spec.regions as usize],
+            local_pods,
+            rr: vec![0; spec.regions as usize],
+            completions: BTreeMap::new(),
+            seq: 0,
+            tier: 0,
+            total_up: spec.devices() as u64,
+            total_busy: 0,
+            total_queued: 0,
+            served_full: 0,
+            served_degraded: 0,
+            shed: 0,
+            lost_unroutable: 0,
+            lost_killed: 0,
+            lost_deadline: 0,
+            spillover: 0,
+            request_latency: LatencyHistogram::new(),
+            spillover_latency: LatencyHistogram::new(),
+            recovery_time: SimTime::ZERO,
+            capacity_headroom: 1.0,
+            routed: vec![vec![0; spec.pods() as usize]; spec.regions as usize],
+        }
+    }
+
+    /// Starts queued work on pod `pod` while free slots remain,
+    /// expiring requests whose queueing deadline already passed.
+    fn dispatch(&mut self, pod: u32, now: SimTime) {
+        let deadline = self.config.deadline;
+        let (full, degraded) = (self.config.service_time, self.config.degraded_service_time);
+        loop {
+            let state = &mut self.pods[pod as usize];
+            if state.busy >= state.up {
+                return;
+            }
+            let Some(req) = state.queue.pop_front() else {
+                return;
+            };
+            self.total_queued -= 1;
+            if now > req.arrived + deadline {
+                self.lost_deadline += 1;
+                continue;
+            }
+            let service = if req.degraded { degraded } else { full };
+            self.seq += 1;
+            let key = (now + service, self.seq);
+            state.busy += 1;
+            state.inflight.insert(key);
+            self.total_busy += 1;
+            self.completions.insert(
+                key,
+                InFlight {
+                    pod,
+                    arrived: req.arrived,
+                    started: now,
+                    ingress: req.ingress,
+                    wan_rtt: req.wan_rtt,
+                    degraded: req.degraded,
+                    tier: req.tier,
+                },
+            );
+        }
+    }
+
+    /// Applies one ±1 capacity delta, killing overflowing in-flight
+    /// work on a drop and back-filling from the queue on a restore.
+    fn apply_capacity_delta(&mut self, at: SimTime, pod: u32, delta: i32) {
+        let state = &mut self.pods[pod as usize];
+        if delta < 0 {
+            debug_assert!(state.up > 0, "capacity delta below zero");
+            state.up -= 1;
+            self.total_up -= 1;
+            if state.up == 0 && state.down_since.is_none() {
+                state.down_since = Some(at);
+            }
+            while state.busy > state.up {
+                // Kill the latest finisher: the request that would have
+                // held its slot longest.
+                let key = *state
+                    .inflight
+                    .iter()
+                    .next_back()
+                    .expect("busy implies inflight");
+                state.inflight.remove(&key);
+                self.completions.remove(&key);
+                state.busy -= 1;
+                self.total_busy -= 1;
+                self.lost_killed += 1;
+            }
+        } else {
+            if state.up == 0 {
+                if let Some(since) = state.down_since.take() {
+                    self.recovery_time = self.recovery_time.max(at.saturating_sub(since));
+                }
+            }
+            state.up += 1;
+            self.total_up += 1;
+            self.dispatch(pod, at);
+        }
+    }
+
+    /// One probe sweep: every pod's health machine observes whether the
+    /// pod currently has any up capacity.
+    fn probe(&mut self, now: SimTime) {
+        for state in &mut self.pods {
+            if state.up > 0 {
+                state.health.begin_recovery(now);
+                state.health.observe_success(now);
+            } else if state.health.state() != HealthState::Offline {
+                state.health.observe_error(now);
+            }
+        }
+    }
+
+    /// Moves the degradation ladder against global utilization with
+    /// hysteresis.
+    fn update_tier(&mut self) {
+        let util = if self.total_up == 0 {
+            f64::INFINITY
+        } else {
+            (self.total_busy + self.total_queued) as f64 / self.total_up as f64
+        };
+        let ladder = &self.config.ladder;
+        self.tier = match self.tier {
+            0 => {
+                if util >= ladder.degrade_enter {
+                    2
+                } else if util >= ladder.shed_enter {
+                    1
+                } else {
+                    0
+                }
+            }
+            1 => {
+                if util >= ladder.degrade_enter {
+                    2
+                } else if util < ladder.shed_exit {
+                    0
+                } else {
+                    1
+                }
+            }
+            _ => {
+                if util < ladder.shed_exit {
+                    0
+                } else if util < ladder.degrade_exit {
+                    1
+                } else {
+                    2
+                }
+            }
+        };
+    }
+
+    /// The router's scoring pass: cheapest reachable dispatchable pod,
+    /// where cost is WAN latency plus an instantaneous queue estimate;
+    /// cross-region candidates must also pass spillover admission.
+    fn route(&self, ingress: u32) -> Option<u32> {
+        let service_s = self.config.service_time.as_secs_f64();
+        let mut best: Option<(f64, u32)> = None;
+        for (p, state) in self.pods.iter().enumerate() {
+            let p = p as u32;
+            let local = state.region == ingress;
+            let reachable = local
+                || (!self.partitioned[ingress as usize]
+                    && !self.partitioned[state.region as usize]);
+            if !reachable || state.up == 0 || !state.health.is_dispatchable() {
+                continue;
+            }
+            let load = (state.busy as f64 + state.queue.len() as f64) / state.up as f64;
+            if !local && load >= self.config.spillover_max_utilization {
+                continue;
+            }
+            let score =
+                self.spec.wan_latency(ingress, state.region).as_secs_f64() + load * service_s;
+            if best.is_none_or(|(b, _)| score < b) {
+                best = Some((score, p));
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// One ingress arrival, end to end: headroom sample, ladder update,
+    /// shed/route decision, enqueue, immediate dispatch attempt.
+    fn arrive(&mut self, at: SimTime, region: u32, priority: Priority) {
+        let headroom = if self.total_up == 0 {
+            0.0
+        } else {
+            (self.total_up - self.total_busy) as f64 / self.total_up as f64
+        };
+        self.capacity_headroom = self.capacity_headroom.min(headroom);
+
+        let pod = match self.policy {
+            RoutingPolicy::StaticLocal => {
+                let local = &self.local_pods[region as usize];
+                let pod = local[(self.rr[region as usize] % local.len() as u64) as usize];
+                self.rr[region as usize] += 1;
+                pod
+            }
+            RoutingPolicy::HealthAware => {
+                self.update_tier();
+                if self.tier >= 1 && priority == Priority::Low {
+                    self.shed += 1;
+                    return;
+                }
+                match self.route(region) {
+                    Some(pod) => pod,
+                    None => {
+                        self.lost_unroutable += 1;
+                        return;
+                    }
+                }
+            }
+        };
+        let dest_region = self.pods[pod as usize].region;
+        let wan_rtt =
+            self.spec.wan_latency(region, dest_region) + self.spec.wan_latency(dest_region, region);
+        if dest_region != region {
+            self.spillover += 1;
+        }
+        self.routed[region as usize][pod as usize] += 1;
+        let degraded = self.policy == RoutingPolicy::HealthAware && self.tier == 2;
+        self.pods[pod as usize].queue.push_back(QueuedRequest {
+            arrived: at,
+            ingress: region,
+            wan_rtt,
+            degraded,
+            tier: if self.policy == RoutingPolicy::HealthAware {
+                self.tier
+            } else {
+                0
+            },
+        });
+        self.total_queued += 1;
+        self.dispatch(pod, at);
+    }
+
+    /// Finishes the earliest in-flight request, records its latency,
+    /// optionally emits its span chain, and back-fills the freed slot.
+    fn complete(&mut self, tel: &mut Telemetry) {
+        let (&key, &inflight) = self.completions.iter().next().expect("non-empty");
+        self.completions.remove(&key);
+        let (finish, _) = key;
+        let state = &mut self.pods[inflight.pod as usize];
+        state.inflight.remove(&key);
+        state.busy -= 1;
+        self.total_busy -= 1;
+        if inflight.degraded {
+            self.served_degraded += 1;
+        } else {
+            self.served_full += 1;
+        }
+        let latency = finish.saturating_sub(inflight.arrived) + inflight.wan_rtt;
+        self.request_latency.record(latency);
+        let spilled = self.pods[inflight.pod as usize].region != inflight.ingress;
+        if spilled {
+            self.spillover_latency.record(latency);
+        }
+        if tel.is_enabled() {
+            // The request's whole lifecycle chain, emitted atomically at
+            // completion so the span stack stays balanced.
+            tel.begin_span(
+                format!("ingress.region{}", inflight.ingress),
+                "global",
+                inflight.arrived,
+            );
+            tel.begin_span("route", "global", inflight.arrived);
+            tel.span_attr("pod", Json::UInt(inflight.pod as u64));
+            tel.span_attr("tier", Json::UInt(inflight.tier as u64));
+            tel.span_attr("spillover", Json::Bool(spilled));
+            tel.end_span(inflight.arrived);
+            tel.begin_span(
+                format!("pod{}.serve", inflight.pod),
+                "global",
+                inflight.started,
+            );
+            tel.begin_span("cell", "global", inflight.started);
+            tel.span_attr("degraded", Json::Bool(inflight.degraded));
+            tel.end_span(finish);
+            tel.end_span(finish);
+            tel.end_span(finish + inflight.wan_rtt);
+            tel.hist_record("global.request_latency", latency);
+        }
+        self.dispatch(inflight.pod, finish);
+    }
+}
+
+/// Replays `trace` against `plan` under `policy`, recording the
+/// request lifecycle into `tel` when tracing is enabled. Telemetry is a
+/// pure observer: the returned report is byte-identical whether `tel`
+/// is enabled or not.
+pub fn simulate_global_traced(
+    spec: &GlobalFleetSpec,
+    config: &GlobalConfig,
+    trace: &RegionalTrace,
+    plan: &FaultPlan,
+    policy: RoutingPolicy,
+    tel: &mut Telemetry,
+) -> GlobalReport {
+    spec.validate();
+    let deltas = capacity_deltas(spec, plan);
+    let toggles = partition_toggles(spec, plan);
+    let arrivals = trace.arrivals();
+    let last_arrival = arrivals.last().map_or(SimTime::ZERO, |a| a.at);
+
+    tel.begin_span("serving.global", "global", SimTime::ZERO);
+    tel.span_attr("policy", Json::Str(policy.name().to_string()));
+    tel.span_attr("regions", Json::UInt(spec.regions as u64));
+    tel.span_attr("pods", Json::UInt(spec.pods() as u64));
+    tel.span_attr("devices_per_pod", Json::UInt(spec.devices_per_pod as u64));
+    tel.span_attr("requests", Json::UInt(arrivals.len() as u64));
+    tel.span_attr("seed", Json::UInt(config.seed));
+
+    let mut sim = Sim::new(spec, config, policy);
+    let probing = policy == RoutingPolicy::HealthAware;
+    let mut probe_at = config.probe_interval;
+    let (mut di, mut ti, mut ai) = (0usize, 0usize, 0usize);
+    let mut end = SimTime::ZERO;
+
+    loop {
+        // Candidate next event per source; tie order is the tuple's
+        // second field: capacity < partition < probe < completion <
+        // arrival.
+        let mut next: Option<(SimTime, u8)> = None;
+        let mut consider = |at: Option<SimTime>, order: u8| {
+            if let Some(at) = at {
+                if next.is_none_or(|(t, o)| (at, order) < (t, o)) {
+                    next = Some((at, order));
+                }
+            }
+        };
+        consider(deltas.get(di).map(|d| d.0), 0);
+        consider(toggles.get(ti).map(|t| t.0), 1);
+        consider((probing && probe_at <= last_arrival).then_some(probe_at), 2);
+        consider(sim.completions.keys().next().map(|k| k.0), 3);
+        consider(arrivals.get(ai).map(|a| a.at), 4);
+        let Some((at, order)) = next else { break };
+        end = end.max(at);
+        match order {
+            0 => {
+                let (_, pod, delta) = deltas[di];
+                di += 1;
+                sim.apply_capacity_delta(at, pod, delta);
+            }
+            1 => {
+                let (_, region, on) = toggles[ti];
+                ti += 1;
+                sim.partitioned[region as usize] = on;
+            }
+            2 => {
+                probe_at += config.probe_interval;
+                sim.probe(at);
+            }
+            3 => sim.complete(tel),
+            _ => {
+                let arrival = arrivals[ai];
+                ai += 1;
+                sim.arrive(arrival.at, arrival.region, arrival.priority);
+            }
+        }
+    }
+
+    // Fully drained: every fault window is finite, so capacity always
+    // returns and the queues empty out.
+    debug_assert!(sim.completions.is_empty());
+    debug_assert!(sim.pods.iter().all(|p| p.queue.is_empty() && p.busy == 0));
+
+    let lost = sim.lost_unroutable + sim.lost_killed + sim.lost_deadline;
+    tel.counter_add("global.served_full", sim.served_full);
+    tel.counter_add("global.served_degraded", sim.served_degraded);
+    tel.counter_add("global.shed", sim.shed);
+    tel.counter_add("global.lost", lost);
+    tel.counter_add("global.spillover", sim.spillover);
+    tel.end_span(end);
+
+    GlobalReport {
+        policy: policy.name(),
+        seed: config.seed,
+        fault_fingerprint: plan.fingerprint(),
+        trace_fingerprint: trace.fingerprint(),
+        offered: arrivals.len() as u64,
+        served_full: sim.served_full,
+        served_degraded: sim.served_degraded,
+        shed: sim.shed,
+        lost,
+        lost_unroutable: sim.lost_unroutable,
+        lost_killed: sim.lost_killed,
+        lost_deadline: sim.lost_deadline,
+        spillover: sim.spillover,
+        request_latency: sim.request_latency,
+        spillover_latency: sim.spillover_latency,
+        recovery_time: sim.recovery_time,
+        capacity_headroom: sim.capacity_headroom,
+        routed: sim.routed,
+    }
+}
+
+/// Untraced [`simulate_global_traced`].
+pub fn simulate_global(
+    spec: &GlobalFleetSpec,
+    config: &GlobalConfig,
+    trace: &RegionalTrace,
+    plan: &FaultPlan,
+    policy: RoutingPolicy,
+) -> GlobalReport {
+    simulate_global_traced(
+        spec,
+        config,
+        trace,
+        plan,
+        policy,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// Replays one byte-identical `(trace, plan)` pair through the
+/// static-local arm and the global-router arm — the `compare_failover`
+/// methodology one level up.
+pub fn compare_global(
+    spec: &GlobalFleetSpec,
+    config: &GlobalConfig,
+    trace: &RegionalTrace,
+    plan: &FaultPlan,
+) -> GlobalComparison {
+    GlobalComparison {
+        naive: simulate_global(spec, config, trace, plan, RoutingPolicy::StaticLocal),
+        router: simulate_global(spec, config, trace, plan, RoutingPolicy::HealthAware),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{build_regional_trace, RegionalTrafficConfig};
+    use mtia_sim::faults::FaultEvent;
+
+    fn small_spec() -> GlobalFleetSpec {
+        GlobalFleetSpec::symmetric(2, 2, 8, SimTime::from_millis(60))
+    }
+
+    fn small_trace(spec: &GlobalFleetSpec, seed: u64) -> RegionalTrace {
+        let config = RegionalTrafficConfig::production(20.0, SimTime::from_secs(30));
+        build_regional_trace(&config, spec.regions, SimTime::from_secs(30), seed)
+    }
+
+    /// A fault plan taking every device of region 0 down for a window.
+    fn region0_outage(spec: &GlobalFleetSpec) -> FaultPlan {
+        let mut plan = FaultPlan::empty(9);
+        for pod in spec.pods_in_region(0) {
+            for d in 0..spec.devices_per_pod {
+                plan = plan.with_event(FaultEvent {
+                    at: SimTime::from_secs(10),
+                    device: pod * spec.devices_per_pod + d,
+                    kind: FaultKind::RegionOutage,
+                    duration: SimTime::from_secs(8),
+                });
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn clean_run_serves_everything() {
+        let spec = small_spec();
+        // Light load: even the diurnal-peak × flash-crowd rate stays
+        // below pod capacity, so nothing should queue past deadline.
+        let config = RegionalTrafficConfig::production(10.0, SimTime::from_secs(30));
+        let trace = build_regional_trace(&config, spec.regions, SimTime::from_secs(30), 3);
+        let plan = FaultPlan::empty(3);
+        for policy in [RoutingPolicy::StaticLocal, RoutingPolicy::HealthAware] {
+            let report =
+                simulate_global(&spec, &GlobalConfig::production(3), &trace, &plan, policy);
+            assert_eq!(report.unaccounted(), 0);
+            assert_eq!(report.lost, 0);
+            assert_eq!(report.shed, 0);
+            assert!(report.goodput() > 0.999, "{policy:?}: {}", report.goodput());
+        }
+    }
+
+    #[test]
+    fn region_outage_blacks_out_naive_but_not_router() {
+        let spec = small_spec();
+        let trace = small_trace(&spec, 5);
+        let plan = region0_outage(&spec);
+        let cmp = compare_global(&spec, &GlobalConfig::production(5), &trace, &plan);
+        assert!(cmp.same_trace());
+        assert_eq!(cmp.naive.unaccounted(), 0);
+        assert_eq!(cmp.router.unaccounted(), 0);
+        assert!(
+            cmp.router.goodput() > cmp.naive.goodput(),
+            "router {} vs naive {}",
+            cmp.router.goodput(),
+            cmp.naive.goodput()
+        );
+        // The router spills region-0 ingress into region 1.
+        assert!(cmp.router.spillover > 0);
+        assert_eq!(cmp.naive.spillover, 0);
+        // Naive keeps feeding the dead pods and loses requests.
+        assert!(cmp.naive.lost > 0);
+        assert!(cmp.router.lost < cmp.naive.lost);
+    }
+
+    #[test]
+    fn wan_partition_keeps_traffic_local() {
+        let spec = small_spec();
+        let trace = small_trace(&spec, 7);
+        // Region 1 is WAN-partitioned for the middle of the run.
+        let mut plan = FaultPlan::empty(7);
+        for pod in spec.pods_in_region(1) {
+            for d in 0..spec.devices_per_pod {
+                plan = plan.with_event(FaultEvent {
+                    at: SimTime::from_secs(5),
+                    device: pod * spec.devices_per_pod + d,
+                    kind: FaultKind::WanPartition,
+                    duration: SimTime::from_secs(20),
+                });
+            }
+        }
+        let report = simulate_global(
+            &spec,
+            &GlobalConfig::production(7),
+            &trace,
+            &plan,
+            RoutingPolicy::HealthAware,
+        );
+        assert_eq!(report.unaccounted(), 0);
+        // Partitioned devices keep serving their own region: nothing is
+        // lost to the partition itself in an underloaded fleet.
+        assert_eq!(report.lost_killed, 0);
+    }
+
+    #[test]
+    fn identical_inputs_identical_reports_and_tracing_is_pure() {
+        let spec = small_spec();
+        let trace = small_trace(&spec, 11);
+        let plan = region0_outage(&spec);
+        let config = GlobalConfig::production(11);
+        let a = simulate_global(&spec, &config, &trace, &plan, RoutingPolicy::HealthAware);
+        let mut tel = Telemetry::new_enabled();
+        let b = simulate_global_traced(
+            &spec,
+            &config,
+            &trace,
+            &plan,
+            RoutingPolicy::HealthAware,
+            &mut tel,
+        );
+        assert_eq!(a.served_full, b.served_full);
+        assert_eq!(a.served_degraded, b.served_degraded);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.lost, b.lost);
+        assert_eq!(a.routed, b.routed);
+        assert_eq!(a.request_latency.count(), b.request_latency.count());
+        assert!(!tel.to_canonical_json().is_empty());
+    }
+
+    #[test]
+    fn conservation_holds_under_heavy_chaos() {
+        let spec = small_spec();
+        let trace = small_trace(&spec, 13);
+        let mut plan = region0_outage(&spec);
+        // Pile a pod loss in region 1 and a WAN partition on top.
+        for d in 0..spec.devices_per_pod {
+            plan = plan.with_event(FaultEvent {
+                at: SimTime::from_secs(4),
+                device: 2 * spec.devices_per_pod + d,
+                kind: FaultKind::PodLoss,
+                duration: SimTime::from_secs(6),
+            });
+            plan = plan.with_event(FaultEvent {
+                at: SimTime::from_secs(12),
+                device: 3 * spec.devices_per_pod + d,
+                kind: FaultKind::WanPartition,
+                duration: SimTime::from_secs(5),
+            });
+        }
+        for policy in [RoutingPolicy::StaticLocal, RoutingPolicy::HealthAware] {
+            let report =
+                simulate_global(&spec, &GlobalConfig::production(13), &trace, &plan, policy);
+            assert_eq!(report.unaccounted(), 0, "{policy:?}");
+            assert_eq!(
+                report.lost,
+                report.lost_unroutable + report.lost_killed + report.lost_deadline
+            );
+        }
+    }
+}

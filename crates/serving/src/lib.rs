@@ -33,6 +33,7 @@ pub mod allocation;
 pub mod cluster;
 pub mod coalescer;
 pub mod failover;
+pub mod global;
 pub mod latency;
 pub mod replayer;
 pub mod resilience;
@@ -47,6 +48,11 @@ pub use failover::{
     compare_failover, place_replicas, simulate_cell_failover, simulate_cell_failover_traced,
     CellCheckpoint, FailoverComparison, FailoverConfig, FailoverReport, FaultDomains,
     PlacementPolicy,
+};
+pub use global::{
+    build_regional_trace, compare_global, simulate_global, simulate_global_traced, GlobalArrival,
+    GlobalComparison, GlobalConfig, GlobalFleetSpec, GlobalReport, LadderConfig, Priority,
+    RegionalTrace, RegionalTrafficConfig, RoutingPolicy,
 };
 pub use latency::LatencyHistogram;
 pub use replayer::{overclock_gain_on_trace, replay, ReplayDeployment, ReplayReport};
@@ -63,4 +69,6 @@ pub use sdc::{
     run_sdc_sim, DetectionPolicy, DeviceImage, ImageSpec, InlineRepair, QuarantineDecision,
     QuarantineHandler, QuarantineRequest, SdcReport, SdcSimConfig,
 };
-pub use traffic::{ArrivalProcess, DiurnalArrivals, PoissonArrivals, ReplayTrace};
+pub use traffic::{
+    ArrivalProcess, DiurnalArrivals, FlashCrowd, PoissonArrivals, RegionalArrivals, ReplayTrace,
+};

@@ -312,7 +312,11 @@ impl DeviceSet {
                     FaultImpact::None
                 }
             }
-            FaultKind::PcieLinkLoss { .. } | FaultKind::HostCrash | FaultKind::RackPowerLoss => {
+            FaultKind::PcieLinkLoss { .. }
+            | FaultKind::HostCrash
+            | FaultKind::RackPowerLoss
+            | FaultKind::PodLoss
+            | FaultKind::RegionOutage => {
                 // Correlated kinds arm unconditionally; PCIe loss arms on
                 // utilization. Either way an armed event downs the link and
                 // kills whatever was running.
@@ -330,7 +334,7 @@ impl DeviceSet {
                     FaultImpact::None
                 }
             }
-            FaultKind::NicPartition => {
+            FaultKind::NicPartition | FaultKind::WanPartition => {
                 d.faults.apply(event, util);
                 FaultImpact::Partitioned {
                     heals_at: d.faults.partition_heals_at().unwrap_or(event.until()),

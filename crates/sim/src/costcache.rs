@@ -79,6 +79,13 @@ pub fn stats() -> CacheStats {
     cache().stats()
 }
 
+/// Per-shard counter snapshots, in shard order — surfaced by
+/// `reproduce --bench-perf` so shard-load skew (and the ROADMAP-noted
+/// 0% hit rate on the quick subset) is visible in `BENCH_PERF.json`.
+pub fn shard_stats() -> Vec<CacheStats> {
+    cache().shard_stats()
+}
+
 /// Cached entries currently interned.
 pub fn entries() -> usize {
     cache().len()

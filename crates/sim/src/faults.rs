@@ -47,6 +47,14 @@
 //!   up and finish what they hold, but nothing new can reach them until
 //!   the partition heals.
 //!
+//! The region-scale disaster ladder extends the same shapes above the
+//! pod: [`FaultKind::PodLoss`] and [`FaultKind::RegionOutage`] are
+//! host-crash-shaped losses at pod and region blast radius, and
+//! [`FaultKind::WanPartition`] is a NIC-partition-shaped isolation of a
+//! whole region's WAN links. The global-router layer
+//! (`mtia_serving::global`) interprets their fan-out at pod/region
+//! granularity.
+//!
 //! These kinds are *per-device events like any other* — a domain-level
 //! injection fans out to one event per member device via
 //! [`FaultPlan::with_correlated_event`], so correlated plans compose
@@ -128,6 +136,21 @@ pub enum FaultKind {
     /// no new work can be dispatched — but it stays powered, so the job
     /// it already holds completes normally.
     NicPartition,
+    /// Correlated pod loss: a whole serving pod (hundreds of devices
+    /// behind one fleet-level failure domain — a spine switch, a pod
+    /// power bus) drops at once. Device-level effect identical to
+    /// [`FaultKind::HostCrash`], injected at pod blast radius.
+    PodLoss,
+    /// Correlated region outage: every pod of a region goes dark — the
+    /// §4.1 disaster case the global router exists to survive. Device-
+    /// level effect identical to [`FaultKind::HostCrash`], with a
+    /// restoration window measured in region-recovery time.
+    RegionOutage,
+    /// WAN partition: the region's devices stay up and keep serving
+    /// what they hold, but the region is unreachable across the WAN
+    /// until the partition heals — the device-level shape of
+    /// [`FaultKind::NicPartition`] at region blast radius.
+    WanPartition,
 }
 
 impl FaultKind {
@@ -147,7 +170,12 @@ impl FaultKind {
     pub fn is_correlated(&self) -> bool {
         matches!(
             self,
-            FaultKind::HostCrash | FaultKind::RackPowerLoss | FaultKind::NicPartition
+            FaultKind::HostCrash
+                | FaultKind::RackPowerLoss
+                | FaultKind::NicPartition
+                | FaultKind::PodLoss
+                | FaultKind::RegionOutage
+                | FaultKind::WanPartition
         )
     }
 
@@ -166,6 +194,9 @@ impl FaultKind {
             FaultKind::HostCrash => (7, 0),
             FaultKind::RackPowerLoss => (8, 0),
             FaultKind::NicPartition => (9, 0),
+            FaultKind::PodLoss => (10, 0),
+            FaultKind::RegionOutage => (11, 0),
+            FaultKind::WanPartition => (12, 0),
         }
     }
 }
@@ -626,12 +657,17 @@ impl DeviceFaultState {
                 }
             }
             // Correlated domain kinds arm unconditionally: a host crash or
-            // power loss does not care how busy the device was.
-            FaultKind::HostCrash | FaultKind::RackPowerLoss => {
+            // power loss does not care how busy the device was. Pod and
+            // region losses are the same device-level effect at a larger
+            // blast radius.
+            FaultKind::HostCrash
+            | FaultKind::RackPowerLoss
+            | FaultKind::PodLoss
+            | FaultKind::RegionOutage => {
                 self.extend_link_down(event.until());
                 true
             }
-            FaultKind::NicPartition => {
+            FaultKind::NicPartition | FaultKind::WanPartition => {
                 let until = event.until();
                 self.partitioned_until = Some(match self.partitioned_until {
                     Some(existing) => existing.max(until),
@@ -1034,13 +1070,53 @@ mod tests {
             mk(FaultKind::HostCrash).fingerprint(),
             mk(FaultKind::RackPowerLoss).fingerprint(),
             mk(FaultKind::NicPartition).fingerprint(),
+            mk(FaultKind::PodLoss).fingerprint(),
+            mk(FaultKind::RegionOutage).fingerprint(),
+            mk(FaultKind::WanPartition).fingerprint(),
         ];
-        assert_ne!(fps[0], fps[1]);
-        assert_ne!(fps[0], fps[2]);
-        assert_ne!(fps[1], fps[2]);
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "kinds {i} and {j} collide");
+            }
+        }
         assert!(FaultKind::HostCrash.is_correlated());
         assert!(!FaultKind::EccDoubleBit.is_correlated());
         assert!(!FaultKind::HostCrash.is_instantaneous());
+    }
+
+    #[test]
+    fn region_scale_kinds_mirror_their_host_scale_shapes() {
+        for kind in [
+            FaultKind::PodLoss,
+            FaultKind::RegionOutage,
+            FaultKind::WanPartition,
+        ] {
+            assert!(kind.is_correlated());
+            assert!(!kind.is_instantaneous());
+        }
+        // Pod/region losses take the link down regardless of load.
+        let loss = FaultEvent {
+            at: SimTime::from_secs(1),
+            device: 0,
+            kind: FaultKind::RegionOutage,
+            duration: SimTime::from_secs(30),
+        };
+        let mut state = DeviceFaultState::new();
+        assert!(state.apply(&loss, 0.0));
+        assert!(!state.link_up(SimTime::from_secs(2)));
+        assert!(state.link_up(SimTime::from_secs(31)));
+        // A WAN partition isolates without powering the device down.
+        let part = FaultEvent {
+            at: SimTime::from_secs(1),
+            device: 0,
+            kind: FaultKind::WanPartition,
+            duration: SimTime::from_secs(5),
+        };
+        let mut state = DeviceFaultState::new();
+        assert!(state.apply(&part, 0.0));
+        assert!(state.link_up(SimTime::from_secs(2)));
+        assert!(!state.reachable(SimTime::from_secs(2)));
+        assert!(state.reachable(SimTime::from_secs(6)));
     }
 
     #[test]

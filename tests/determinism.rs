@@ -3,8 +3,10 @@
 //! Experiments are pure `(config, seed)` functions and the pool collects
 //! results in submission order, so the rendered output must be
 //! byte-identical at any thread count. This runs the `--filter quick`
-//! subset — fig5 (serving Monte-Carlo sweeps) plus one E19 SDC ladder
-//! rung — the same selection `scripts/ci.sh` smoke-checks.
+//! subset — fig5 (serving Monte-Carlo sweeps), one E19 SDC ladder rung,
+//! the E21 failover rung, and the E22 global-router rung — the same
+//! selection `scripts/ci.sh` smoke-checks — plus the E22 headline
+//! comparison at 1/2/8 threads.
 
 use mtia_bench::experiments;
 use mtia_bench::render_reports;
@@ -35,5 +37,26 @@ fn filter_quick_selects_the_gated_subset() {
         .iter()
         .map(|e| e.name)
         .collect();
-    assert_eq!(names, vec!["fig5", "e19_rung", "e21_rung"]);
+    assert_eq!(names, vec!["fig5", "e19_rung", "e21_rung", "e22_rung"]);
+}
+
+/// The E22 regional replay must be byte-identical at any thread count:
+/// the trace is built once, both arms replay it, and the rendered
+/// comparison (fingerprints included) cannot depend on pool scheduling.
+#[test]
+fn e22_comparison_is_byte_identical_across_thread_counts() {
+    use mtia_bench::experiments::global_exps;
+
+    let render = |threads: usize| {
+        pool::set_threads(threads);
+        let report = global_exps::e22_rung();
+        pool::set_threads(0);
+        format!("{report}")
+    };
+    let one = render(1);
+    let two = render(2);
+    let eight = render(8);
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "E22 rung differs between 1 and 2 threads");
+    assert_eq!(one, eight, "E22 rung differs between 1 and 8 threads");
 }

@@ -85,6 +85,42 @@ fn canonical_export_is_deterministic_across_runs() {
     }
 }
 
+/// Changing the routing policy must fail the golden diff with a
+/// span-path message: the static-local arm routes the same requests to
+/// different pods (and sheds nothing), so the per-request lifecycle
+/// chains — `route` span attributes, `pod*.serve` paths — diverge from
+/// the pinned global-router trace.
+#[test]
+fn perturbed_routing_policy_fails_with_span_level_diff() {
+    use mtia::fleet::topology::GlobalTopologyConfig;
+    use mtia::serving::global::RoutingPolicy;
+    use mtia_bench::chaos::GlobalChaosSchedule;
+
+    let global = GlobalTopologyConfig::global_small().build();
+    let seed = mtia::core::seed::derive(mtia::core::seed::DEFAULT_SEED, "trace.global");
+    let mut schedule = GlobalChaosSchedule::region_outage_at_peak(&global, seed);
+    schedule.traffic.base_rate_per_s = 1.0;
+
+    let mut baseline = Telemetry::new_enabled();
+    schedule.run_traced(&global, RoutingPolicy::HealthAware, &mut baseline);
+    let mut perturbed = Telemetry::new_enabled();
+    schedule.run_traced(&global, RoutingPolicy::StaticLocal, &mut perturbed);
+
+    let diff = diff_canonical(
+        &baseline.to_canonical_json(),
+        &perturbed.to_canonical_json(),
+    )
+    .expect("a routing-policy change must shift the request lifecycle spans");
+    assert!(
+        diff.contains("serving.global") || diff.contains("route") || diff.contains("ingress"),
+        "diff should name the diverging span path, got:\n{diff}"
+    );
+    assert!(
+        diff.contains("expected:") && diff.contains("actual:"),
+        "diff should show both lines, got:\n{diff}"
+    );
+}
+
 /// Perturbing a simulator cost constant must fail the golden diff with a
 /// span-level message — this is the regression the harness exists to
 /// catch, demonstrated by running the quickstart model on the

@@ -129,7 +129,7 @@ fn spec_peaks_match_table2() {
 #[test]
 fn all_experiments_produce_tables() {
     let reports = mtia_bench::experiments::run_all();
-    assert_eq!(reports.len(), 25);
+    assert_eq!(reports.len(), 26);
     for r in &reports {
         assert!(!r.tables.is_empty(), "{} has no tables", r.id);
         for t in &r.tables {
@@ -165,4 +165,47 @@ fn sdc_defense_detects_and_never_serves_corruption() {
     assert_eq!(full.sdc.timeline, again.sdc.timeline);
     assert_eq!(full.sdc.served, again.sdc.served);
     assert_eq!(full.sdc.quarantines, again.sdc.quarantines);
+}
+
+/// ISSUE-6 acceptance / §4.1: E22 replays one byte-identical
+/// ≥10⁶-request multi-region trace through both routing arms; the
+/// global router retains ≥95 % goodput under a full region outage while
+/// the static arm loses approximately the victim region's traffic
+/// share.
+#[test]
+fn e22_region_outage_browns_out_instead_of_blacking_out() {
+    use mtia_bench::experiments::global_exps::E22Scenario;
+
+    let scenario = E22Scenario::production();
+    assert!(
+        scenario.trace.len() >= 1_000_000,
+        "E22 must drive at least a million requests, got {}",
+        scenario.trace.len()
+    );
+    let cmp = scenario.compare();
+    assert!(
+        cmp.same_trace(),
+        "arms must replay one byte-identical trace"
+    );
+    assert_eq!(cmp.naive.unaccounted(), 0);
+    assert_eq!(cmp.router.unaccounted(), 0);
+
+    assert!(
+        cmp.router.goodput() >= 0.95,
+        "router goodput {} under a full region outage",
+        cmp.router.goodput()
+    );
+    // The static arm loses ≈ the victim's traffic share over the
+    // outage window (modulo in-flight kills and deadline edges).
+    let share = scenario.victim_share();
+    let naive_loss = 1.0 - cmp.naive.goodput();
+    assert!(
+        (naive_loss - share).abs() <= 0.03,
+        "naive loss {naive_loss} should approximate victim share {share}"
+    );
+    assert!(cmp.goodput_gain_pp() > 0.0);
+    // The survival mechanism is visible in the ledger: cross-region
+    // spillover happened, and only the router arm spilled.
+    assert!(cmp.router.spillover > 0);
+    assert_eq!(cmp.naive.spillover, 0);
 }
