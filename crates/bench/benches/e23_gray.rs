@@ -1,0 +1,5 @@
+//! `cargo bench --bench e23_gray` — prints the reproduced rows.
+
+fn main() {
+    mtia_bench::experiments::gray_exps::e23_gray().print();
+}

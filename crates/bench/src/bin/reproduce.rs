@@ -153,6 +153,8 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
     let mut rows = String::new();
     let mut total_1t = 0.0;
     let mut total_nt = 0.0;
+    let mut total_hits = 0u64;
+    let mut total_misses = 0u64;
     let mut all_identical = true;
     for (i, entry) in entries.iter().enumerate() {
         let one = std::slice::from_ref(entry);
@@ -160,15 +162,26 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
         let (out_nt, wall_nt, cache) = timed_run(one, threads);
         // Per-shard counters from the N-thread run (the cache was reset
         // at its start), so shard-load skew under the pool is visible.
+        // Only shards that saw traffic are emitted — the all-zero
+        // entries carry no signal and used to dominate the file.
         let shards = mtia_sim::costcache::shard_stats();
         let shard_rows: Vec<String> = shards
             .iter()
-            .map(|s| format!("{{\"hits\": {}, \"misses\": {}}}", s.hits, s.misses))
+            .enumerate()
+            .filter(|(_, s)| s.hits + s.misses > 0)
+            .map(|(i, s)| {
+                format!(
+                    "{{\"shard\": {}, \"hits\": {}, \"misses\": {}}}",
+                    i, s.hits, s.misses
+                )
+            })
             .collect();
         let identical = out_1t == out_nt;
         all_identical &= identical;
         total_1t += wall_1t;
         total_nt += wall_nt;
+        total_hits += cache.hits;
+        total_misses += cache.misses;
         eprintln!(
             "  {:<24} 1t {:>8.3}s  {}t {:>8.3}s  speedup {:>5.2}x  cache {:>5.1}%  {}",
             entry.name,
@@ -211,6 +224,14 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
         json_f64(total_1t / total_nt),
         all_identical,
     );
+    if total_hits == 0 {
+        eprintln!(
+            "warning: kernel-cost-cache hit rate is 0% across the selected \
+             experiments ({total_misses} misses) — the selection never \
+             re-evaluates a (env, op) tuple, so the memo layer is dead \
+             weight for it"
+        );
+    }
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("failed to write {path}: {e}");
         std::process::exit(2);

@@ -32,6 +32,7 @@
 use mtia_core::seed::derive;
 use mtia_core::telemetry::Telemetry;
 use mtia_core::SimTime;
+use mtia_fleet::overclock::SiliconMargin;
 use mtia_fleet::topology::{DomainLevel, FleetTopology, GlobalLevel, GlobalTopology};
 use mtia_serving::failover::{
     simulate_cell_failover_traced, FailoverConfig, FailoverReport, PlacementPolicy,
@@ -41,9 +42,9 @@ use mtia_serving::global::{
     GlobalReport, RegionalTrace, RegionalTrafficConfig, RoutingPolicy,
 };
 use mtia_serving::traffic::{ArrivalProcess, DiurnalArrivals, PoissonArrivals};
-use mtia_sim::faults::{FaultKind, FaultPlan};
+use mtia_sim::faults::{throttle_floor, FaultEvent, FaultKind, FaultPlan};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Which correlated storm the schedule injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -340,6 +341,18 @@ pub enum GlobalChaosScenario {
         /// Partition duration.
         heal: SimTime,
     },
+    /// Fail-slow storm at the diurnal crest: a handful of devices per
+    /// pod thermally throttle (floors seeded from the silicon
+    /// frequency-margin distribution), one device per region starts a
+    /// progressive retention drift, and one NIC flaps intermittently.
+    /// Every victim keeps passing liveness probes — the storm is
+    /// invisible to the health-check-only router.
+    GrayFailure {
+        /// Thermally throttled devices per pod.
+        throttled_per_pod: u32,
+        /// How long the throttles last.
+        window: SimTime,
+    },
 }
 
 impl GlobalChaosScenario {
@@ -350,6 +363,18 @@ impl GlobalChaosScenario {
             GlobalChaosScenario::RollingPodLoss { .. } => "rolling-pod-loss",
             GlobalChaosScenario::RegionOutageAtPeak { .. } => "region-outage-at-peak",
             GlobalChaosScenario::WanPartitionIsolation { .. } => "wan-partition-isolation",
+            GlobalChaosScenario::GrayFailure { .. } => "gray-failure",
+        }
+    }
+
+    /// The routing arm the scenario is meant to stress. Fail-stop
+    /// storms exercise the health-aware router; the fail-slow storm is
+    /// invisible to liveness probes, so it runs the gray-resilient arm
+    /// (detector + hedging).
+    pub fn policy(&self) -> RoutingPolicy {
+        match self {
+            GlobalChaosScenario::GrayFailure { .. } => RoutingPolicy::GrayResilient,
+            _ => RoutingPolicy::HealthAware,
         }
     }
 }
@@ -459,13 +484,33 @@ impl GlobalChaosSchedule {
         }
     }
 
-    /// The standard four-scenario region-scale suite from one seed.
+    /// Seeded fail-slow storm timed to the diurnal crest — the
+    /// `gray_failure` preset behind `--chaos-smoke` and E23's rung.
+    pub fn gray_failure(_global: &GlobalTopology, seed: u64) -> Self {
+        let horizon = SimTime::from_secs(60);
+        let traffic = Self::smoke_traffic(horizon);
+        GlobalChaosSchedule {
+            name: "gray-failure",
+            scenario: GlobalChaosScenario::GrayFailure {
+                throttled_per_pod: 2,
+                window: SimTime::from_secs(25),
+            },
+            start: traffic.period.scale(0.25),
+            traffic,
+            horizon,
+            seed,
+        }
+    }
+
+    /// The standard five-scenario region-scale suite from one seed:
+    /// four fail-stop storms plus the fail-slow `gray_failure` preset.
     pub fn region_suite(global: &GlobalTopology, seed: u64) -> Vec<GlobalChaosSchedule> {
         vec![
             GlobalChaosSchedule::single_pod_loss(global, seed),
             GlobalChaosSchedule::rolling_pod_loss(global, seed),
             GlobalChaosSchedule::region_outage_at_peak(global, seed),
             GlobalChaosSchedule::wan_partition_isolation(global, seed),
+            GlobalChaosSchedule::gray_failure(global, seed),
         ]
     }
 
@@ -516,6 +561,61 @@ impl GlobalChaosSchedule {
                 FaultKind::WanPartition,
                 heal,
             ),
+            GlobalChaosScenario::GrayFailure {
+                throttled_per_pod,
+                window,
+            } => {
+                let spec = global.fleet_spec();
+                let margin = SiliconMargin::production();
+                let mut rng = StdRng::seed_from_u64(derive(self.seed, "chaos.gray"));
+                let mut plan = plan;
+                for pod in 0..spec.pods() {
+                    // Thermal throttles: victims drawn per pod, floors
+                    // seeded from each victim chip's frequency margin —
+                    // low-margin silicon throttles deeper (§5.2).
+                    for _ in 0..throttled_per_pod.min(spec.devices_per_pod) {
+                        let device =
+                            pod * spec.devices_per_pod + rng.gen_range(0..spec.devices_per_pod);
+                        let fmax = margin.sample_chip(&mut rng).fmax.as_ghz();
+                        plan = plan.with_event(FaultEvent {
+                            at: self.start,
+                            device,
+                            kind: FaultKind::ThermalThrottle {
+                                ramp_s: window.as_secs_f64() * 0.25,
+                                floor: throttle_floor(fmax, margin.mean_ghz, margin.std_ghz),
+                            },
+                            duration: window,
+                        });
+                    }
+                }
+                for region in 0..spec.regions {
+                    // One retention drifter per region (never heals)
+                    // and one intermittently flapping NIC.
+                    let pods = spec.pods_in_region(region);
+                    let drifter = pods[rng.gen_range(0..pods.len())] * spec.devices_per_pod
+                        + rng.gen_range(0..spec.devices_per_pod);
+                    plan = plan.with_event(FaultEvent {
+                        at: self.start,
+                        device: drifter,
+                        kind: FaultKind::MemoryRetentionDegradation {
+                            slowdown_per_hour: 30.0,
+                        },
+                        duration: SimTime::ZERO,
+                    });
+                    let flapper = pods[rng.gen_range(0..pods.len())] * spec.devices_per_pod
+                        + rng.gen_range(0..spec.devices_per_pod);
+                    plan = plan.with_event(FaultEvent {
+                        at: self.start,
+                        device: flapper,
+                        kind: FaultKind::NicFlap {
+                            period_s: 8.0,
+                            loss_frac: 0.4,
+                        },
+                        duration: window,
+                    });
+                }
+                plan
+            }
         }
     }
 
@@ -627,7 +727,9 @@ pub fn run_chaos_smoke(seed: u64) -> ChaosSmokeReport {
         GlobalChaosSchedule::region_suite(&global, seed),
         |_, schedule| GlobalChaosSmokeLine {
             name: schedule.name,
-            report: schedule.run(&global, RoutingPolicy::HealthAware),
+            // Fail-stop storms run the health-aware router; the
+            // fail-slow storm runs the gray-resilient arm it targets.
+            report: schedule.run(&global, schedule.scenario.policy()),
         },
     );
     ChaosSmokeReport {
@@ -716,7 +818,7 @@ mod tests {
     fn chaos_smoke_loses_nothing_with_failover_on() {
         let report = run_chaos_smoke(DEFAULT_SEED);
         assert_eq!(report.lines.len(), 3);
-        assert_eq!(report.global_lines.len(), 4);
+        assert_eq!(report.global_lines.len(), 5);
         for line in &report.lines {
             assert_eq!(line.report.lost, 0, "{} lost requests", line.name);
             assert_eq!(
@@ -747,6 +849,37 @@ mod tests {
             report.global_lines.iter().any(|l| l.report.spillover > 0),
             "region suite never exercised spillover"
         );
+        // The gray-failure line must actually exercise the fail-slow
+        // stack: it runs the outlier-hedge arm and nothing goes down.
+        let gray = report
+            .global_lines
+            .iter()
+            .find(|l| l.name == "gray-failure")
+            .expect("gray-failure line present");
+        assert_eq!(gray.report.policy, "outlier-hedge");
+        assert_eq!(gray.report.device_downs, 0, "fail-slow never kills");
+        assert_eq!(gray.report.lost_killed, 0);
+    }
+
+    #[test]
+    fn gray_failure_preset_is_pure_and_fail_slow_only() {
+        let global = mtia_fleet::topology::GlobalTopologyConfig::global_small().build();
+        let a = GlobalChaosSchedule::gray_failure(&global, DEFAULT_SEED);
+        let b = GlobalChaosSchedule::gray_failure(&global, DEFAULT_SEED);
+        assert_eq!(a.plan(&global).fingerprint(), b.plan(&global).fingerprint());
+        let plan = a.plan(&global);
+        assert!(!plan.events().is_empty());
+        assert!(
+            plan.events().iter().all(|e| e.kind.is_fail_slow()),
+            "gray preset must inject only fail-slow kinds"
+        );
+        // Low-margin silicon throttles deeper: every sampled floor is
+        // inside the clamp band.
+        for event in plan.events() {
+            if let FaultKind::ThermalThrottle { floor, .. } = event.kind {
+                assert!((0.15..=0.85).contains(&floor), "floor {floor}");
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod fleet_exps;
 pub mod frontier;
 pub mod global_exps;
+pub mod gray_exps;
 pub mod llm;
 pub mod locality;
 pub mod quant;
@@ -142,13 +143,17 @@ pub fn registry() -> Vec<ExperimentEntry> {
             name: "e22_global",
             run: global_exps::e22_global,
         },
+        ExperimentEntry {
+            name: "e23_gray",
+            run: gray_exps::e23_gray,
+        },
     ]
 }
 
 /// The fast subset behind `--filter quick` and the determinism gate:
 /// fig5 (serving Monte-Carlo sweeps), a single E19 SDC ladder rung, the
-/// E21 toy-tree failover rung, and the E22 toy-fleet global-router
-/// rung.
+/// E21 toy-tree failover rung, the E22 toy-fleet global-router rung,
+/// and the E23 toy-fleet gray-failure rung.
 pub fn quick_subset() -> Vec<ExperimentEntry> {
     vec![
         ExperimentEntry {
@@ -166,6 +171,10 @@ pub fn quick_subset() -> Vec<ExperimentEntry> {
         ExperimentEntry {
             name: "e22_rung",
             run: global_exps::e22_rung,
+        },
+        ExperimentEntry {
+            name: "e23_rung",
+            run: gray_exps::e23_rung,
         },
     ]
 }
@@ -259,7 +268,7 @@ mod registry_tests {
     #[test]
     fn registry_names_are_unique_and_cover_the_paper_order() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 26);
+        assert_eq!(names.len(), 27);
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();

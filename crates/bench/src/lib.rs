@@ -12,6 +12,7 @@
 pub mod chaos;
 pub mod experiments;
 pub mod platform;
+pub mod service_model;
 pub mod traces;
 
 use std::fmt;

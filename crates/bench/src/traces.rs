@@ -60,6 +60,10 @@ pub fn scenarios() -> Vec<TraceScenario> {
             name: "global_router",
             run: global_router_trace,
         },
+        TraceScenario {
+            name: "gray_failure",
+            run: gray_failure_trace,
+        },
     ]
 }
 
@@ -205,6 +209,38 @@ pub fn global_router_trace(tel: &mut Telemetry) -> String {
         report.lost,
         report.spillover,
         report.request_latency.p99().as_picos(),
+        report.trace_fingerprint,
+    )
+}
+
+/// The gray-resilient arm riding out the fail-slow storm on the
+/// 64-device toy fleet, arrival rate throttled so the golden stays
+/// small. Exercises the hedge attribute on route spans, the per-copy
+/// `device` attribute on cell spans, and the hedging/demotion counters
+/// next to the goodput ledger.
+pub fn gray_failure_trace(tel: &mut Telemetry) -> String {
+    use crate::chaos::GlobalChaosSchedule;
+    use mtia_fleet::topology::GlobalTopologyConfig;
+    use mtia_serving::global::RoutingPolicy;
+
+    let global = GlobalTopologyConfig::global_small().build();
+    let seed = mtia_core::seed::derive(mtia_core::seed::DEFAULT_SEED, "trace.gray");
+    let mut schedule = GlobalChaosSchedule::gray_failure(&global, seed);
+    // ~1 req/s per region keeps the golden small; the storm still
+    // throttles two devices per pod at the crest.
+    schedule.traffic.base_rate_per_s = 1.0;
+    let report = schedule.run_traced(&global, RoutingPolicy::GrayResilient, tel);
+    format!(
+        "offered={} full={} degraded={} lost={} hedges={}/{} dup={}+{} demotions={} trace_fp={:016x}",
+        report.offered,
+        report.served_full,
+        report.served_degraded,
+        report.lost,
+        report.hedges_issued,
+        report.hedge_wins,
+        report.duplicates_suppressed,
+        report.hedges_cancelled,
+        report.outlier_demotions,
         report.trace_fingerprint,
     )
 }

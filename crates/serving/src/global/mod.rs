@@ -53,6 +53,8 @@ use mtia_core::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::resilience::outlier::OutlierConfig;
+use crate::resilience::retry::HedgePolicy;
 use crate::resilience::HealthConfig;
 use crate::traffic::{ArrivalProcess, FlashCrowd, RegionalArrivals};
 use mtia_sim::faults::DeviceId;
@@ -171,6 +173,12 @@ pub enum RoutingPolicy {
     /// latency/capacity scoring, cross-region spillover with admission
     /// control, and the degradation ladder.
     HealthAware,
+    /// Everything [`RoutingPolicy::HealthAware`] does, plus the
+    /// gray-failure stack: peer-relative latency-outlier detection
+    /// demoting fail-slow devices (which still pass liveness probes)
+    /// and deadline-hedged re-issue of stuck requests to non-outlier
+    /// devices.
+    GrayResilient,
 }
 
 impl RoutingPolicy {
@@ -179,6 +187,7 @@ impl RoutingPolicy {
         match self {
             RoutingPolicy::StaticLocal => "static-local",
             RoutingPolicy::HealthAware => "global-router",
+            RoutingPolicy::GrayResilient => "outlier-hedge",
         }
     }
 }
@@ -208,6 +217,30 @@ impl Default for LadderConfig {
     }
 }
 
+/// The gray-failure stack carried by [`RoutingPolicy::GrayResilient`]:
+/// detector tuning plus the hedge policy. Inert under the other arms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayResilienceConfig {
+    /// Peer-relative outlier scoring (EWMA vs pod median at every
+    /// probe sweep).
+    pub outlier: OutlierConfig,
+    /// Hedged re-issue of requests outstanding past the pod's
+    /// quantile-derived deadline; `None` detects without hedging.
+    /// `delay` acts as the deadline floor.
+    pub hedge: Option<HedgePolicy>,
+}
+
+impl GrayResilienceConfig {
+    /// Production defaults: [`OutlierConfig::production`] scoring with
+    /// one hedge per request and a 20 ms deadline floor.
+    pub fn production() -> Self {
+        GrayResilienceConfig {
+            outlier: OutlierConfig::production(),
+            hedge: Some(HedgePolicy::production()),
+        }
+    }
+}
+
 /// Everything that parameterizes one global-serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GlobalConfig {
@@ -229,6 +262,9 @@ pub struct GlobalConfig {
     pub spillover_max_utilization: f64,
     /// Degradation-ladder thresholds.
     pub ladder: LadderConfig,
+    /// Gray-failure detection and hedging, consulted only by the
+    /// [`RoutingPolicy::GrayResilient`] arm.
+    pub gray: GrayResilienceConfig,
     /// Root seed (recorded in reports; the simulation itself is
     /// deterministic given its inputs).
     pub seed: u64,
@@ -252,6 +288,7 @@ impl GlobalConfig {
             },
             spillover_max_utilization: 0.85,
             ladder: LadderConfig::default(),
+            gray: GrayResilienceConfig::production(),
             seed,
         }
     }

@@ -38,6 +38,26 @@ pub struct GlobalReport {
     pub lost_deadline: u64,
     /// Requests routed to a pod outside their ingress region.
     pub spillover: u64,
+    /// Hedge copies issued for requests outstanding past the pod's
+    /// quantile deadline (GrayResilient arm only; zero elsewhere).
+    pub hedges_issued: u64,
+    /// Served requests whose *winning* copy was the hedge, not the
+    /// primary — the direct payoff of re-issuing.
+    pub hedge_wins: u64,
+    /// Duplicate copies that completed (or were killed) after their
+    /// request had already been answered — exact double-work
+    /// accounting; these never count as served.
+    pub duplicates_suppressed: u64,
+    /// Duplicate copies dropped *before* dispatch because their request
+    /// was already answered while they queued — hedges that cost
+    /// nothing but a queue slot.
+    pub hedges_cancelled: u64,
+    /// Sustained latency outliers demoted by the peer-relative detector
+    /// (device-level probation events, not request counts).
+    pub outlier_demotions: u64,
+    /// Device-down transitions from fail-stop faults (per-device
+    /// capacity kills, as opposed to fail-slow degradation).
+    pub device_downs: u64,
     /// End-to-end latency of served requests (both tiers).
     pub request_latency: LatencyHistogram,
     /// End-to-end latency of cross-region (spillover) requests only —

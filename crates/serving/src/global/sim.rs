@@ -1,28 +1,46 @@
 //! The deterministic global-serving simulation.
 //!
-//! An aggregate pod-level DES: pods are modeled as slot pools
-//! (`devices_up` concurrent requests) rather than per-device event
-//! streams, which is what makes replaying a ≥10⁶-request planetary
-//! trace through two arms affordable inside a unit test. The inputs —
-//! fleet spec, config, arrival trace, fault plan, routing policy — are
-//! plain values, the simulation is a pure function of them, and every
-//! tie is broken by a fixed source order (capacity < partition < probe
-//! < completion < arrival, then ascending ids), so byte-identical
-//! inputs give byte-identical reports at any thread count.
+//! A per-device DES: every accelerator has its own dispatch queue and
+//! serves one request at a time, so a single fail-slow device inflates
+//! *its own* queue instead of being averaged into a pod-wide slot pool
+//! — the fidelity step that makes gray failures visible at all. The
+//! inputs — fleet spec, config, arrival trace, fault plan, routing
+//! policy — are plain values, the simulation is a pure function of
+//! them, and every tie is broken by a fixed source order (device
+//! capacity < gray fault < partition < wake < probe < completion <
+//! hedge < arrival, then ascending ids), so byte-identical inputs give
+//! byte-identical reports at any thread count.
 //!
-//! Fault-plan interpretation at pod granularity:
+//! Fault-plan interpretation:
 //!
 //! * capacity faults ([`FaultKind::HostCrash`],
 //!   [`FaultKind::RackPowerLoss`], [`FaultKind::PodLoss`],
-//!   [`FaultKind::RegionOutage`]) — each device's fault windows are
-//!   unioned, then each merged window becomes a `-1`/`+1` capacity
-//!   delta on the owning pod. A capacity drop below the in-service
-//!   count kills the latest-finishing in-flight requests immediately
-//!   (`lost_killed`).
+//!   [`FaultKind::RegionOutage`]) — each device's windows are unioned
+//!   into up/down toggles. A device going down kills its in-flight
+//!   request (`lost_killed`) and its queue is re-dealt to surviving
+//!   devices in the pod (or waits for restore if the pod is empty).
 //! * reachability faults ([`FaultKind::WanPartition`],
 //!   [`FaultKind::NicPartition`]) — windows are unioned per *region*;
 //!   while a region is partitioned it serves only its own ingress and
 //!   receives no spillover.
+//! * fail-slow faults ([`FaultKind::ThermalThrottle`],
+//!   [`FaultKind::MemoryRetentionDegradation`], [`FaultKind::NicFlap`])
+//!   — applied to the device's [`DeviceFaultState`] in **every** arm
+//!   (the physics is arm-independent): throttle/retention multiply the
+//!   service time of work *starting* while active, and a flap's loss
+//!   phase blocks dispatch until the link's next clear instant (a wake
+//!   event). Crucially, none of these touch `up`, so the device passes
+//!   every liveness probe while degrading.
+//!
+//! The [`RoutingPolicy::GrayResilient`] arm layers detection on top:
+//! at every probe sweep each pod scores its devices' service-time
+//! EWMAs against the pod median ([`OutlierDetector`]), demotes
+//! sustained outliers through the legal `Healthy → Degraded` edge
+//! (assignment then avoids them), and derives a quantile hedge
+//! deadline; requests still unanswered past it are re-issued to a
+//! non-outlier device in-pod, then cross-pod, with exact
+//! duplicate-suppression accounting (`offered == served + shed +
+//! lost` still holds to the request; duplicates never double-count).
 //!
 //! Per-request timing: routing happens at the ingress instant with the
 //! fleet state visible then; WAN transit does not delay queueing but
@@ -35,14 +53,18 @@
 //! [`FaultKind::RegionOutage`]: mtia_sim::faults::FaultKind::RegionOutage
 //! [`FaultKind::WanPartition`]: mtia_sim::faults::FaultKind::WanPartition
 //! [`FaultKind::NicPartition`]: mtia_sim::faults::FaultKind::NicPartition
+//! [`FaultKind::ThermalThrottle`]: mtia_sim::faults::FaultKind::ThermalThrottle
+//! [`FaultKind::MemoryRetentionDegradation`]: mtia_sim::faults::FaultKind::MemoryRetentionDegradation
+//! [`FaultKind::NicFlap`]: mtia_sim::faults::FaultKind::NicFlap
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use mtia_core::telemetry::{Json, Telemetry};
 use mtia_core::SimTime;
-use mtia_sim::faults::{FaultKind, FaultPlan};
+use mtia_sim::faults::{DeviceFaultState, FaultKind, FaultPlan};
 
 use crate::latency::LatencyHistogram;
+use crate::resilience::outlier::OutlierDetector;
 use crate::resilience::{HealthMachine, HealthState};
 
 use super::report::{GlobalComparison, GlobalReport};
@@ -62,10 +84,10 @@ fn merge_windows(mut windows: Vec<(SimTime, SimTime)>) -> Vec<(SimTime, SimTime)
     merged
 }
 
-/// Per-pod ±1 capacity deltas derived from the plan's power-loss
-/// windows, sorted `(time, pod, delta)` so drops apply before
-/// restorations at the same instant.
-fn capacity_deltas(spec: &GlobalFleetSpec, plan: &FaultPlan) -> Vec<(SimTime, u32, i32)> {
+/// Per-device ±1 up/down toggles derived from the plan's fail-stop
+/// capacity windows, sorted `(time, device, delta)` so drops apply
+/// before restorations at the same instant.
+fn device_capacity_events(plan: &FaultPlan) -> Vec<(SimTime, u32, i32)> {
     let mut per_device: BTreeMap<u32, Vec<(SimTime, SimTime)>> = BTreeMap::new();
     for event in plan.events() {
         if matches!(
@@ -83,14 +105,27 @@ fn capacity_deltas(spec: &GlobalFleetSpec, plan: &FaultPlan) -> Vec<(SimTime, u3
     }
     let mut deltas = Vec::new();
     for (device, windows) in per_device {
-        let pod = spec.pod_of_device(device);
         for (start, end) in merge_windows(windows) {
-            deltas.push((start, pod, -1));
-            deltas.push((end, pod, 1));
+            deltas.push((start, device, -1));
+            deltas.push((end, device, 1));
         }
     }
-    deltas.sort_by_key(|&(at, pod, delta)| (at, pod, delta));
+    deltas.sort_by_key(|&(at, device, delta)| (at, device, delta));
     deltas
+}
+
+/// Indexes of the plan's fail-slow events in `(time, device)` order —
+/// each is applied to the owning device's fault state at its onset.
+fn gray_fault_events(plan: &FaultPlan) -> Vec<(SimTime, usize)> {
+    let mut events: Vec<(SimTime, usize)> = plan
+        .events()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind.is_fail_slow())
+        .map(|(i, e)| (e.at, i))
+        .collect();
+    events.sort_by_key(|&(at, i)| (at, i));
+    events
 }
 
 /// Per-region partition on/off toggles derived from the plan's
@@ -121,47 +156,92 @@ fn partition_toggles(spec: &GlobalFleetSpec, plan: &FaultPlan) -> Vec<(SimTime, 
     toggles
 }
 
-/// A request sitting in a pod's dispatch queue.
+/// One copy of a request (primary or hedge) sitting in a device queue
+/// or in flight.
 #[derive(Debug, Clone, Copy)]
-struct QueuedRequest {
+struct QueuedCopy {
+    req: u64,
     arrived: SimTime,
     ingress: u32,
     wan_rtt: SimTime,
     degraded: bool,
     tier: u8,
+    hedge: bool,
 }
 
-/// What the completion event needs to close out a served request.
+/// What the completion event needs to close out a copy.
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
-    pod: u32,
-    arrived: SimTime,
+    device: u32,
     started: SimTime,
+    copy: QueuedCopy,
+}
+
+/// Registry entry for one *logical* request: its copies race, the
+/// first completion answers it, and the loss class (if any) is decided
+/// by the last copy's fate.
+#[derive(Debug, Clone, Copy)]
+struct ReqState {
+    arrived: SimTime,
     ingress: u32,
-    wan_rtt: SimTime,
     degraded: bool,
     tier: u8,
+    pod: u32,
+    device: u32,
+    live: u32,
+    hedges: u32,
+    answered: bool,
+}
+
+/// How a copy ended without serving its request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyEnd {
+    /// Dropped at dispatch because the request was already answered.
+    Cancelled,
+    /// Queueing deadline passed before service could start.
+    Expired,
+    /// In flight on a device a fault took down.
+    Killed,
+}
+
+struct DeviceState {
+    pod: u32,
+    region: u32,
+    up: bool,
+    busy: Option<(SimTime, u64)>,
+    queue: VecDeque<QueuedCopy>,
+    faults: DeviceFaultState,
+    health: HealthMachine,
+    outlier: bool,
 }
 
 struct PodState {
     region: u32,
     up: u32,
     busy: u32,
-    queue: VecDeque<QueuedRequest>,
-    inflight: BTreeSet<(SimTime, u64)>,
+    queued: u32,
     health: HealthMachine,
     down_since: Option<SimTime>,
+    rr_dev: u64,
+    detector: OutlierDetector,
+    hedge_deadline: SimTime,
 }
 
 struct Sim<'a> {
     spec: &'a GlobalFleetSpec,
     config: &'a GlobalConfig,
     policy: RoutingPolicy,
+    gray_on: bool,
+    devices: Vec<DeviceState>,
     pods: Vec<PodState>,
     partitioned: Vec<bool>,
     local_pods: Vec<Vec<u32>>,
     rr: Vec<u64>,
     completions: BTreeMap<(SimTime, u64), InFlight>,
+    wakes: BTreeSet<(SimTime, u32)>,
+    hedge_timers: BTreeSet<(SimTime, u64)>,
+    reqs: BTreeMap<u64, ReqState>,
+    next_req: u64,
     seq: u64,
     tier: u8,
     total_up: u64,
@@ -175,6 +255,12 @@ struct Sim<'a> {
     lost_killed: u64,
     lost_deadline: u64,
     spillover: u64,
+    hedges_issued: u64,
+    hedge_wins: u64,
+    duplicates_suppressed: u64,
+    hedges_cancelled: u64,
+    outlier_demotions: u64,
+    device_downs: u64,
     request_latency: LatencyHistogram,
     spillover_latency: LatencyHistogram,
     recovery_time: SimTime,
@@ -184,15 +270,42 @@ struct Sim<'a> {
 
 impl<'a> Sim<'a> {
     fn new(spec: &'a GlobalFleetSpec, config: &'a GlobalConfig, policy: RoutingPolicy) -> Self {
+        let gray_on = policy == RoutingPolicy::GrayResilient;
+        // Before any sweep runs, hedge at multiplier × the base service
+        // time (floored by the policy delay like every later value).
+        let initial_deadline = SimTime::from_secs_f64(
+            config.service_time.as_secs_f64() * config.gray.outlier.hedge_multiplier,
+        );
+        let initial_deadline = match config.gray.hedge {
+            Some(policy) => initial_deadline.max(policy.delay),
+            None => initial_deadline,
+        };
+        let devices = (0..spec.devices())
+            .map(|d| {
+                let pod = spec.pod_of_device(d);
+                DeviceState {
+                    pod,
+                    region: spec.region_of_pod(pod),
+                    up: true,
+                    busy: None,
+                    queue: VecDeque::new(),
+                    faults: DeviceFaultState::new(),
+                    health: HealthMachine::new(config.health),
+                    outlier: false,
+                }
+            })
+            .collect();
         let pods = (0..spec.pods())
             .map(|p| PodState {
                 region: spec.region_of_pod(p),
                 up: spec.devices_per_pod,
                 busy: 0,
-                queue: VecDeque::new(),
-                inflight: BTreeSet::new(),
+                queued: 0,
                 health: HealthMachine::new(config.health),
                 down_since: None,
+                rr_dev: 0,
+                detector: OutlierDetector::new(spec.devices_per_pod as usize, config.gray.outlier),
+                hedge_deadline: initial_deadline,
             })
             .collect();
         let local_pods = (0..spec.regions).map(|r| spec.pods_in_region(r)).collect();
@@ -200,11 +313,17 @@ impl<'a> Sim<'a> {
             spec,
             config,
             policy,
+            gray_on,
+            devices,
             pods,
             partitioned: vec![false; spec.regions as usize],
             local_pods,
             rr: vec![0; spec.regions as usize],
             completions: BTreeMap::new(),
+            wakes: BTreeSet::new(),
+            hedge_timers: BTreeSet::new(),
+            reqs: BTreeMap::new(),
+            next_req: 0,
             seq: 0,
             tier: 0,
             total_up: spec.devices() as u64,
@@ -217,6 +336,12 @@ impl<'a> Sim<'a> {
             lost_killed: 0,
             lost_deadline: 0,
             spillover: 0,
+            hedges_issued: 0,
+            hedge_wins: 0,
+            duplicates_suppressed: 0,
+            hedges_cancelled: 0,
+            outlier_demotions: 0,
+            device_downs: 0,
             request_latency: LatencyHistogram::new(),
             spillover_latency: LatencyHistogram::new(),
             recovery_time: SimTime::ZERO,
@@ -225,84 +350,180 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Starts queued work on pod `pod` while free slots remain,
-    /// expiring requests whose queueing deadline already passed.
-    fn dispatch(&mut self, pod: u32, now: SimTime) {
-        let deadline = self.config.deadline;
-        let (full, degraded) = (self.config.service_time, self.config.degraded_service_time);
+    /// Resolves one copy that ended without answering its request,
+    /// counting a request-level loss only when the *last* live copy
+    /// dies unanswered.
+    fn drop_copy(&mut self, req: u64, end: CopyEnd) {
+        let Some(state) = self.reqs.get_mut(&req) else {
+            debug_assert!(false, "copy without registry entry");
+            return;
+        };
+        state.live -= 1;
+        let (answered, live) = (state.answered, state.live);
+        if answered {
+            match end {
+                CopyEnd::Cancelled => self.hedges_cancelled += 1,
+                _ => self.duplicates_suppressed += 1,
+            }
+        } else if live == 0 {
+            match end {
+                // A copy is cancelled only once the request is answered.
+                CopyEnd::Cancelled => debug_assert!(false, "cancelled an unanswered request"),
+                CopyEnd::Expired => self.lost_deadline += 1,
+                CopyEnd::Killed => self.lost_killed += 1,
+            }
+        }
+        if live == 0 {
+            self.reqs.remove(&req);
+        }
+    }
+
+    /// Starts the device's next queued copy if it is up, idle, and its
+    /// link is clear; a flap's loss phase schedules a wake at the next
+    /// clear instant instead. Cancelled and expired copies drain here.
+    fn dispatch(&mut self, d: u32, now: SimTime) {
+        let di = d as usize;
         loop {
-            let state = &mut self.pods[pod as usize];
-            if state.busy >= state.up {
+            let dev = &mut self.devices[di];
+            if !dev.up || dev.busy.is_some() || dev.queue.is_empty() {
                 return;
             }
-            let Some(req) = state.queue.pop_front() else {
+            dev.faults.expire(now);
+            if !dev.faults.reachable(now) {
+                if let Some(wake) = dev.faults.next_reachable_at(now) {
+                    self.wakes.insert((wake, d));
+                }
                 return;
-            };
+            }
+            let copy = dev.queue.pop_front().expect("checked non-empty");
+            let pod = dev.pod as usize;
+            self.pods[pod].queued -= 1;
             self.total_queued -= 1;
-            if now > req.arrived + deadline {
-                self.lost_deadline += 1;
+            let answered = self.reqs.get(&copy.req).is_none_or(|r| r.answered);
+            if answered {
+                self.drop_copy(copy.req, CopyEnd::Cancelled);
                 continue;
             }
-            let service = if req.degraded { degraded } else { full };
+            if now > copy.arrived + self.config.deadline {
+                self.drop_copy(copy.req, CopyEnd::Expired);
+                continue;
+            }
+            let base = if copy.degraded {
+                self.config.degraded_service_time
+            } else {
+                self.config.service_time
+            };
+            let service = base.scale(self.devices[di].faults.service_time_factor(now));
             self.seq += 1;
             let key = (now + service, self.seq);
-            state.busy += 1;
-            state.inflight.insert(key);
+            self.devices[di].busy = Some(key);
+            self.pods[pod].busy += 1;
             self.total_busy += 1;
             self.completions.insert(
                 key,
                 InFlight {
-                    pod,
-                    arrived: req.arrived,
+                    device: d,
                     started: now,
-                    ingress: req.ingress,
-                    wan_rtt: req.wan_rtt,
-                    degraded: req.degraded,
-                    tier: req.tier,
+                    copy,
                 },
             );
+            return;
         }
     }
 
-    /// Applies one ±1 capacity delta, killing overflowing in-flight
-    /// work on a drop and back-filling from the queue on a restore.
-    fn apply_capacity_delta(&mut self, at: SimTime, pod: u32, delta: i32) {
-        let state = &mut self.pods[pod as usize];
-        if delta < 0 {
-            debug_assert!(state.up > 0, "capacity delta below zero");
-            state.up -= 1;
-            self.total_up -= 1;
-            if state.up == 0 && state.down_since.is_none() {
-                state.down_since = Some(at);
+    /// Round-robin device pick within a pod, preferring (in the gray
+    /// arm) devices that are neither demoted nor flagged, then any up
+    /// device, then — with the whole pod down — any device at all, so
+    /// the naive arm keeps feeding dead capacity exactly like the old
+    /// pod-slot model did.
+    fn assign_device(&mut self, pod: u32) -> u32 {
+        let n = self.spec.devices_per_pod as u64;
+        let first = pod * self.spec.devices_per_pod;
+        let start = self.pods[pod as usize].rr_dev;
+        for pass in 0..3 {
+            for k in 0..n {
+                let d = first + ((start + k) % n) as u32;
+                let dev = &self.devices[d as usize];
+                let ok = match pass {
+                    0 => {
+                        dev.up
+                            && (!self.gray_on
+                                || (!dev.outlier
+                                    && matches!(
+                                        dev.health.state(),
+                                        HealthState::Healthy | HealthState::Recovering
+                                    )))
+                    }
+                    1 => dev.up,
+                    _ => true,
+                };
+                if ok {
+                    self.pods[pod as usize].rr_dev = start + k + 1;
+                    return d;
+                }
             }
-            while state.busy > state.up {
-                // Kill the latest finisher: the request that would have
-                // held its slot longest.
-                let key = *state
-                    .inflight
-                    .iter()
-                    .next_back()
-                    .expect("busy implies inflight");
-                state.inflight.remove(&key);
-                self.completions.remove(&key);
-                state.busy -= 1;
+        }
+        unreachable!("pass 2 accepts every device")
+    }
+
+    /// Applies one per-device up/down toggle. Down kills the device's
+    /// in-flight copy and re-deals its queue to surviving pod peers;
+    /// up starts probation and drains whatever queued on it meanwhile.
+    fn apply_device_delta(&mut self, at: SimTime, d: u32, delta: i32) {
+        let di = d as usize;
+        let pod = self.devices[di].pod as usize;
+        if delta < 0 {
+            debug_assert!(self.devices[di].up, "merged windows alternate");
+            self.devices[di].up = false;
+            self.devices[di].health.set_offline(at);
+            self.device_downs += 1;
+            self.pods[pod].up -= 1;
+            self.total_up -= 1;
+            if self.pods[pod].up == 0 && self.pods[pod].down_since.is_none() {
+                self.pods[pod].down_since = Some(at);
+            }
+            if let Some(key) = self.devices[di].busy.take() {
+                let inflight = self
+                    .completions
+                    .remove(&key)
+                    .expect("busy implies a pending completion");
+                self.pods[pod].busy -= 1;
                 self.total_busy -= 1;
-                self.lost_killed += 1;
+                self.drop_copy(inflight.copy.req, CopyEnd::Killed);
+            }
+            if self.pods[pod].up > 0 && !self.devices[di].queue.is_empty() {
+                let moved: Vec<QueuedCopy> = self.devices[di].queue.drain(..).collect();
+                let mut targets = BTreeSet::new();
+                for copy in moved {
+                    let t = self.assign_device(pod as u32);
+                    self.devices[t as usize].queue.push_back(copy);
+                    targets.insert(t);
+                }
+                for t in targets {
+                    self.dispatch(t, at);
+                }
             }
         } else {
-            if state.up == 0 {
-                if let Some(since) = state.down_since.take() {
+            if self.pods[pod].up == 0 {
+                if let Some(since) = self.pods[pod].down_since.take() {
                     self.recovery_time = self.recovery_time.max(at.saturating_sub(since));
                 }
             }
-            state.up += 1;
+            self.devices[di].up = true;
+            self.devices[di].health.begin_recovery(at);
+            self.pods[pod].up += 1;
             self.total_up += 1;
-            self.dispatch(pod, at);
+            self.dispatch(d, at);
         }
     }
 
-    /// One probe sweep: every pod's health machine observes whether the
-    /// pod currently has any up capacity.
+    /// One probe sweep. Every pod's health machine observes whether the
+    /// pod has up capacity (liveness — which fail-slow devices pass).
+    /// The gray arm then runs the peer-relative detector: canary
+    /// observations keep sidelined devices' estimates fresh, sustained
+    /// outliers are demoted `Healthy → Degraded`, recovered ones earn
+    /// their way back, and each pod's hedge deadline re-anchors to the
+    /// EWMA quantile.
     fn probe(&mut self, now: SimTime) {
         for state in &mut self.pods {
             if state.up > 0 {
@@ -310,6 +531,57 @@ impl<'a> Sim<'a> {
                 state.health.observe_success(now);
             } else if state.health.state() != HealthState::Offline {
                 state.health.observe_error(now);
+            }
+        }
+        if !self.gray_on {
+            return;
+        }
+        let dpp = self.spec.devices_per_pod as usize;
+        let service_secs = self.config.service_time.as_secs_f64();
+        let delay_floor = self.config.gray.hedge.map(|h| h.delay);
+        for (p, pod) in self.pods.iter_mut().enumerate() {
+            let first = p * dpp;
+            let mut active = vec![false; dpp];
+            for (k, slot) in active.iter_mut().enumerate() {
+                let dev = &self.devices[first + k];
+                *slot = dev.up;
+                // Sidelined devices see almost no traffic, so their
+                // EWMA would freeze at its demotion-time value; an
+                // out-of-band canary observation of the current fault
+                // factor lets them re-earn Healthy once the fault ends.
+                if dev.up
+                    && (dev.outlier
+                        || matches!(
+                            dev.health.state(),
+                            HealthState::Degraded | HealthState::Recovering
+                        ))
+                {
+                    pod.detector.observe(k, dev.faults.service_time_factor(now));
+                }
+            }
+            let sweep = pod.detector.sweep(1.0, &active);
+            let mut deadline = SimTime::from_secs_f64(sweep.hedge_deadline_secs * service_secs);
+            if let Some(floor) = delay_floor {
+                deadline = deadline.max(floor);
+            }
+            pod.hedge_deadline = deadline;
+            for k in 0..dpp {
+                let dev = &mut self.devices[first + k];
+                dev.outlier = sweep.sustained[k];
+                if sweep.sustained[k] {
+                    // Demote through the legal Healthy → Degraded edge
+                    // only; a second error would take Degraded →
+                    // Offline, which fail-slow must never do.
+                    if dev.health.state() == HealthState::Healthy {
+                        dev.health.observe_error(now);
+                        self.outlier_demotions += 1;
+                    }
+                } else if matches!(
+                    dev.health.state(),
+                    HealthState::Degraded | HealthState::Recovering
+                ) {
+                    dev.health.observe_success(now);
+                }
             }
         }
     }
@@ -357,11 +629,15 @@ impl<'a> Sim<'a> {
     /// The router's scoring pass: cheapest reachable dispatchable pod,
     /// where cost is WAN latency plus an instantaneous queue estimate;
     /// cross-region candidates must also pass spillover admission.
-    fn route(&self, ingress: u32) -> Option<u32> {
+    /// `exclude` skips one pod (hedges never re-target the primary).
+    fn route(&self, ingress: u32, exclude: Option<u32>) -> Option<u32> {
         let service_s = self.config.service_time.as_secs_f64();
         let mut best: Option<(f64, u32)> = None;
         for (p, state) in self.pods.iter().enumerate() {
             let p = p as u32;
+            if exclude == Some(p) {
+                continue;
+            }
             let local = state.region == ingress;
             let reachable = local
                 || (!self.partitioned[ingress as usize]
@@ -369,7 +645,7 @@ impl<'a> Sim<'a> {
             if !reachable || state.up == 0 || !state.health.is_dispatchable() {
                 continue;
             }
-            let load = (state.busy as f64 + state.queue.len() as f64) / state.up as f64;
+            let load = (state.busy as f64 + state.queued as f64) / state.up as f64;
             if !local && load >= self.config.spillover_max_utilization {
                 continue;
             }
@@ -383,7 +659,8 @@ impl<'a> Sim<'a> {
     }
 
     /// One ingress arrival, end to end: headroom sample, ladder update,
-    /// shed/route decision, enqueue, immediate dispatch attempt.
+    /// shed/route decision, device assignment, enqueue, immediate
+    /// dispatch attempt, hedge-timer arm.
     fn arrive(&mut self, at: SimTime, region: u32, priority: Priority) {
         let headroom = if self.total_up == 0 {
             0.0
@@ -399,13 +676,13 @@ impl<'a> Sim<'a> {
                 self.rr[region as usize] += 1;
                 pod
             }
-            RoutingPolicy::HealthAware => {
+            RoutingPolicy::HealthAware | RoutingPolicy::GrayResilient => {
                 self.update_tier();
                 if self.tier >= 1 && priority == Priority::Low {
                     self.shed += 1;
                     return;
                 }
-                match self.route(region) {
+                match self.route(region, None) {
                     Some(pod) => pod,
                     None => {
                         self.lost_unroutable += 1;
@@ -421,40 +698,176 @@ impl<'a> Sim<'a> {
             self.spillover += 1;
         }
         self.routed[region as usize][pod as usize] += 1;
-        let degraded = self.policy == RoutingPolicy::HealthAware && self.tier == 2;
-        self.pods[pod as usize].queue.push_back(QueuedRequest {
+        let routed_arm = self.policy != RoutingPolicy::StaticLocal;
+        let degraded = routed_arm && self.tier == 2;
+        let tier = if routed_arm { self.tier } else { 0 };
+        let device = self.assign_device(pod);
+        self.next_req += 1;
+        let req = self.next_req;
+        self.reqs.insert(
+            req,
+            ReqState {
+                arrived: at,
+                ingress: region,
+                degraded,
+                tier,
+                pod,
+                device,
+                live: 1,
+                hedges: 0,
+                answered: false,
+            },
+        );
+        self.devices[device as usize].queue.push_back(QueuedCopy {
+            req,
             arrived: at,
             ingress: region,
             wan_rtt,
             degraded,
-            tier: if self.policy == RoutingPolicy::HealthAware {
-                self.tier
-            } else {
-                0
-            },
+            tier,
+            hedge: false,
         });
+        self.pods[pod as usize].queued += 1;
         self.total_queued += 1;
-        self.dispatch(pod, at);
+        self.dispatch(device, at);
+        if self.gray_on && self.config.gray.hedge.is_some() {
+            self.hedge_timers
+                .insert((at + self.pods[pod as usize].hedge_deadline, req));
+        }
     }
 
-    /// Finishes the earliest in-flight request, records its latency,
-    /// optionally emits its span chain, and back-fills the freed slot.
+    /// Least-loaded clean device in `pod`, excluding `avoid` — `None`
+    /// when every candidate is down, demoted, or flagged.
+    fn clean_device_in(&self, pod: u32, avoid: Option<u32>) -> Option<u32> {
+        let first = pod * self.spec.devices_per_pod;
+        let mut best: Option<(usize, u32)> = None;
+        for k in 0..self.spec.devices_per_pod {
+            let d = first + k;
+            if avoid == Some(d) {
+                continue;
+            }
+            let dev = &self.devices[d as usize];
+            if !dev.up
+                || dev.outlier
+                || !matches!(
+                    dev.health.state(),
+                    HealthState::Healthy | HealthState::Recovering
+                )
+            {
+                continue;
+            }
+            let load = dev.queue.len() + usize::from(dev.busy.is_some());
+            if best.is_none_or(|(b, _)| load < b) {
+                best = Some((load, d));
+            }
+        }
+        best.map(|(_, d)| d)
+    }
+
+    /// A hedge's re-issue deadline elapsed: duplicate the request onto
+    /// a non-outlier device — in-pod first, cross-pod (with the usual
+    /// reachability and spillover admission) as the fallback. No-op if
+    /// the request already answered, exhausted its hedge budget, or no
+    /// clean target exists.
+    fn fire_hedge(&mut self, at: SimTime, id: u64) {
+        let Some(policy) = self.config.gray.hedge else {
+            return;
+        };
+        let Some(req) = self.reqs.get(&id).copied() else {
+            return; // request fully closed
+        };
+        if req.answered || req.hedges >= policy.max_hedges {
+            return;
+        }
+        let target = self.clean_device_in(req.pod, Some(req.device)).or_else(|| {
+            self.route(req.ingress, Some(req.pod))
+                .and_then(|p| self.clean_device_in(p, None))
+        });
+        let Some(target) = target else { return };
+        let entry = self.reqs.get_mut(&id).expect("checked above");
+        entry.hedges += 1;
+        entry.live += 1;
+        let more = entry.hedges < policy.max_hedges;
+        self.hedges_issued += 1;
+        let dest_region = self.devices[target as usize].region;
+        let wan_rtt = self.spec.wan_latency(req.ingress, dest_region)
+            + self.spec.wan_latency(dest_region, req.ingress);
+        let pod = self.devices[target as usize].pod as usize;
+        self.devices[target as usize].queue.push_back(QueuedCopy {
+            req: id,
+            arrived: req.arrived,
+            ingress: req.ingress,
+            wan_rtt,
+            degraded: req.degraded,
+            tier: req.tier,
+            hedge: true,
+        });
+        self.pods[pod].queued += 1;
+        self.total_queued += 1;
+        self.dispatch(target, at);
+        if more {
+            self.hedge_timers
+                .insert((at + self.pods[pod].hedge_deadline, id));
+        }
+    }
+
+    /// Finishes the earliest in-flight copy. The first copy to finish
+    /// answers its request (latency recorded, spans emitted); any later
+    /// copy is suppressed as a duplicate. Either way the device's
+    /// actual service factor feeds the detector.
     fn complete(&mut self, tel: &mut Telemetry) {
         let (&key, &inflight) = self.completions.iter().next().expect("non-empty");
         self.completions.remove(&key);
         let (finish, _) = key;
-        let state = &mut self.pods[inflight.pod as usize];
-        state.inflight.remove(&key);
-        state.busy -= 1;
+        let di = inflight.device as usize;
+        let copy = inflight.copy;
+        self.devices[di].busy = None;
+        let pod = self.devices[di].pod as usize;
+        self.pods[pod].busy -= 1;
         self.total_busy -= 1;
-        if inflight.degraded {
+        if self.gray_on {
+            // Observe the dimensionless service factor (actual over
+            // base for this copy's tier) so degraded-tier responses
+            // don't skew the pod median.
+            let base = if copy.degraded {
+                self.config.degraded_service_time
+            } else {
+                self.config.service_time
+            };
+            let factor = finish.saturating_sub(inflight.started).as_secs_f64()
+                / base.as_secs_f64().max(f64::MIN_POSITIVE);
+            let local = di - pod * self.spec.devices_per_pod as usize;
+            self.pods[pod].detector.observe(local, factor);
+        }
+        let state = self
+            .reqs
+            .get_mut(&copy.req)
+            .expect("in-flight copy has registry entry");
+        state.live -= 1;
+        let closed = state.live == 0;
+        if state.answered {
+            if closed {
+                self.reqs.remove(&copy.req);
+            }
+            self.duplicates_suppressed += 1;
+            self.dispatch(inflight.device, finish);
+            return;
+        }
+        state.answered = true;
+        if closed {
+            self.reqs.remove(&copy.req);
+        }
+        if copy.hedge {
+            self.hedge_wins += 1;
+        }
+        if copy.degraded {
             self.served_degraded += 1;
         } else {
             self.served_full += 1;
         }
-        let latency = finish.saturating_sub(inflight.arrived) + inflight.wan_rtt;
+        let latency = finish.saturating_sub(copy.arrived) + copy.wan_rtt;
         self.request_latency.record(latency);
-        let spilled = self.pods[inflight.pod as usize].region != inflight.ingress;
+        let spilled = self.devices[di].region != copy.ingress;
         if spilled {
             self.spillover_latency.record(latency);
         }
@@ -462,28 +875,30 @@ impl<'a> Sim<'a> {
             // The request's whole lifecycle chain, emitted atomically at
             // completion so the span stack stays balanced.
             tel.begin_span(
-                format!("ingress.region{}", inflight.ingress),
+                format!("ingress.region{}", copy.ingress),
                 "global",
-                inflight.arrived,
+                copy.arrived,
             );
-            tel.begin_span("route", "global", inflight.arrived);
-            tel.span_attr("pod", Json::UInt(inflight.pod as u64));
-            tel.span_attr("tier", Json::UInt(inflight.tier as u64));
+            tel.begin_span("route", "global", copy.arrived);
+            tel.span_attr("pod", Json::UInt(self.devices[di].pod as u64));
+            tel.span_attr("tier", Json::UInt(copy.tier as u64));
             tel.span_attr("spillover", Json::Bool(spilled));
-            tel.end_span(inflight.arrived);
+            tel.span_attr("hedge", Json::Bool(copy.hedge));
+            tel.end_span(copy.arrived);
             tel.begin_span(
-                format!("pod{}.serve", inflight.pod),
+                format!("pod{}.serve", self.devices[di].pod),
                 "global",
                 inflight.started,
             );
             tel.begin_span("cell", "global", inflight.started);
-            tel.span_attr("degraded", Json::Bool(inflight.degraded));
+            tel.span_attr("device", Json::UInt(inflight.device as u64));
+            tel.span_attr("degraded", Json::Bool(copy.degraded));
             tel.end_span(finish);
             tel.end_span(finish);
-            tel.end_span(finish + inflight.wan_rtt);
+            tel.end_span(finish + copy.wan_rtt);
             tel.hist_record("global.request_latency", latency);
         }
-        self.dispatch(inflight.pod, finish);
+        self.dispatch(inflight.device, finish);
     }
 }
 
@@ -500,7 +915,8 @@ pub fn simulate_global_traced(
     tel: &mut Telemetry,
 ) -> GlobalReport {
     spec.validate();
-    let deltas = capacity_deltas(spec, plan);
+    let deltas = device_capacity_events(plan);
+    let grays = gray_fault_events(plan);
     let toggles = partition_toggles(spec, plan);
     let arrivals = trace.arrivals();
     let last_arrival = arrivals.last().map_or(SimTime::ZERO, |a| a.at);
@@ -514,15 +930,17 @@ pub fn simulate_global_traced(
     tel.span_attr("seed", Json::UInt(config.seed));
 
     let mut sim = Sim::new(spec, config, policy);
-    let probing = policy == RoutingPolicy::HealthAware;
+    let probing = policy != RoutingPolicy::StaticLocal;
     let mut probe_at = config.probe_interval;
-    let (mut di, mut ti, mut ai) = (0usize, 0usize, 0usize);
+    let (mut di, mut gi, mut ti, mut ai) = (0usize, 0usize, 0usize, 0usize);
     let mut end = SimTime::ZERO;
 
     loop {
         // Candidate next event per source; tie order is the tuple's
-        // second field: capacity < partition < probe < completion <
-        // arrival.
+        // second field: device capacity < gray fault < partition <
+        // wake < probe < completion < hedge < arrival. Completions
+        // precede hedge timers so a request finishing exactly at its
+        // hedge deadline never duplicates.
         let mut next: Option<(SimTime, u8)> = None;
         let mut consider = |at: Option<SimTime>, order: u8| {
             if let Some(at) = at {
@@ -532,28 +950,50 @@ pub fn simulate_global_traced(
             }
         };
         consider(deltas.get(di).map(|d| d.0), 0);
-        consider(toggles.get(ti).map(|t| t.0), 1);
-        consider((probing && probe_at <= last_arrival).then_some(probe_at), 2);
-        consider(sim.completions.keys().next().map(|k| k.0), 3);
-        consider(arrivals.get(ai).map(|a| a.at), 4);
+        consider(grays.get(gi).map(|g| g.0), 1);
+        consider(toggles.get(ti).map(|t| t.0), 2);
+        consider(sim.wakes.iter().next().map(|w| w.0), 3);
+        consider((probing && probe_at <= last_arrival).then_some(probe_at), 4);
+        consider(sim.completions.keys().next().map(|k| k.0), 5);
+        consider(sim.hedge_timers.iter().next().map(|h| h.0), 6);
+        consider(arrivals.get(ai).map(|a| a.at), 7);
         let Some((at, order)) = next else { break };
         end = end.max(at);
         match order {
             0 => {
-                let (_, pod, delta) = deltas[di];
+                let (_, device, delta) = deltas[di];
                 di += 1;
-                sim.apply_capacity_delta(at, pod, delta);
+                sim.apply_device_delta(at, device, delta);
             }
             1 => {
+                let (_, idx) = grays[gi];
+                gi += 1;
+                let event = &plan.events()[idx];
+                let device = event.device as usize;
+                if device < sim.devices.len() {
+                    sim.devices[device].faults.apply(event, 1.0);
+                }
+            }
+            2 => {
                 let (_, region, on) = toggles[ti];
                 ti += 1;
                 sim.partitioned[region as usize] = on;
             }
-            2 => {
+            3 => {
+                let &(wake, device) = sim.wakes.iter().next().expect("considered");
+                sim.wakes.remove(&(wake, device));
+                sim.dispatch(device, wake);
+            }
+            4 => {
                 probe_at += config.probe_interval;
                 sim.probe(at);
             }
-            3 => sim.complete(tel),
+            5 => sim.complete(tel),
+            6 => {
+                let &(fire, req) = sim.hedge_timers.iter().next().expect("considered");
+                sim.hedge_timers.remove(&(fire, req));
+                sim.fire_hedge(fire, req);
+            }
             _ => {
                 let arrival = arrivals[ai];
                 ai += 1;
@@ -563,9 +1003,17 @@ pub fn simulate_global_traced(
     }
 
     // Fully drained: every fault window is finite, so capacity always
-    // returns and the queues empty out.
+    // returns, flapped links clear, and the queues empty out.
     debug_assert!(sim.completions.is_empty());
-    debug_assert!(sim.pods.iter().all(|p| p.queue.is_empty() && p.busy == 0));
+    debug_assert!(sim.reqs.is_empty(), "unresolved request copies");
+    debug_assert!(sim
+        .devices
+        .iter()
+        .all(|d| d.queue.is_empty() && d.busy.is_none()));
+    debug_assert!(
+        sim.duplicates_suppressed + sim.hedges_cancelled + sim.hedge_wins <= 2 * sim.hedges_issued,
+        "more duplicate outcomes than copies issued"
+    );
 
     let lost = sim.lost_unroutable + sim.lost_killed + sim.lost_deadline;
     tel.counter_add("global.served_full", sim.served_full);
@@ -573,6 +1021,10 @@ pub fn simulate_global_traced(
     tel.counter_add("global.shed", sim.shed);
     tel.counter_add("global.lost", lost);
     tel.counter_add("global.spillover", sim.spillover);
+    tel.counter_add("global.hedges_issued", sim.hedges_issued);
+    tel.counter_add("global.hedge_wins", sim.hedge_wins);
+    tel.counter_add("global.duplicates_suppressed", sim.duplicates_suppressed);
+    tel.counter_add("global.outlier_demotions", sim.outlier_demotions);
     tel.end_span(end);
 
     GlobalReport {
@@ -589,6 +1041,12 @@ pub fn simulate_global_traced(
         lost_killed: sim.lost_killed,
         lost_deadline: sim.lost_deadline,
         spillover: sim.spillover,
+        hedges_issued: sim.hedges_issued,
+        hedge_wins: sim.hedge_wins,
+        duplicates_suppressed: sim.duplicates_suppressed,
+        hedges_cancelled: sim.hedges_cancelled,
+        outlier_demotions: sim.outlier_demotions,
+        device_downs: sim.device_downs,
         request_latency: sim.request_latency,
         spillover_latency: sim.spillover_latency,
         recovery_time: sim.recovery_time,
@@ -661,6 +1119,24 @@ mod tests {
         plan
     }
 
+    /// Thermal throttles on a couple of pod-0 devices: deep floor,
+    /// short ramp, covering most of the run.
+    fn pod0_throttles(seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::empty(seed);
+        for device in [0, 1] {
+            plan = plan.with_event(FaultEvent {
+                at: SimTime::from_secs(3),
+                device,
+                kind: FaultKind::ThermalThrottle {
+                    ramp_s: 4.0,
+                    floor: 0.2,
+                },
+                duration: SimTime::from_secs(22),
+            });
+        }
+        plan
+    }
+
     #[test]
     fn clean_run_serves_everything() {
         let spec = small_spec();
@@ -669,7 +1145,11 @@ mod tests {
         let config = RegionalTrafficConfig::production(10.0, SimTime::from_secs(30));
         let trace = build_regional_trace(&config, spec.regions, SimTime::from_secs(30), 3);
         let plan = FaultPlan::empty(3);
-        for policy in [RoutingPolicy::StaticLocal, RoutingPolicy::HealthAware] {
+        for policy in [
+            RoutingPolicy::StaticLocal,
+            RoutingPolicy::HealthAware,
+            RoutingPolicy::GrayResilient,
+        ] {
             let report =
                 simulate_global(&spec, &GlobalConfig::production(3), &trace, &plan, policy);
             assert_eq!(report.unaccounted(), 0);
@@ -700,6 +1180,8 @@ mod tests {
         // Naive keeps feeding the dead pods and loses requests.
         assert!(cmp.naive.lost > 0);
         assert!(cmp.router.lost < cmp.naive.lost);
+        // Every downed device is a distinct down transition.
+        assert_eq!(cmp.naive.device_downs, 2 * spec.devices_per_pod as u64);
     }
 
     #[test]
@@ -776,7 +1258,11 @@ mod tests {
                 duration: SimTime::from_secs(5),
             });
         }
-        for policy in [RoutingPolicy::StaticLocal, RoutingPolicy::HealthAware] {
+        for policy in [
+            RoutingPolicy::StaticLocal,
+            RoutingPolicy::HealthAware,
+            RoutingPolicy::GrayResilient,
+        ] {
             let report =
                 simulate_global(&spec, &GlobalConfig::production(13), &trace, &plan, policy);
             assert_eq!(report.unaccounted(), 0, "{policy:?}");
@@ -785,5 +1271,89 @@ mod tests {
                 report.lost_unroutable + report.lost_killed + report.lost_deadline
             );
         }
+    }
+
+    #[test]
+    fn throttled_device_inflates_its_own_queue_and_gray_arm_routes_around() {
+        let spec = small_spec();
+        let trace = small_trace(&spec, 17);
+        let plan = pod0_throttles(17);
+        let config = GlobalConfig::production(17);
+        let naive = simulate_global(&spec, &config, &trace, &plan, RoutingPolicy::HealthAware);
+        let gray = simulate_global(&spec, &config, &trace, &plan, RoutingPolicy::GrayResilient);
+        assert_eq!(naive.unaccounted(), 0);
+        assert_eq!(gray.unaccounted(), 0);
+        // Fail-slow is invisible to liveness: nothing went down, yet the
+        // health-check-only arm's tail collapses on the throttled pair.
+        assert_eq!(naive.device_downs, 0);
+        assert_eq!(naive.outlier_demotions, 0);
+        assert!(gray.outlier_demotions > 0, "detector must fire");
+        let naive_p99 = naive.request_latency.quantile(0.99);
+        let gray_p99 = gray.request_latency.quantile(0.99);
+        assert!(
+            gray_p99 < naive_p99,
+            "gray P99 {gray_p99:?} vs naive {naive_p99:?}"
+        );
+        assert!(gray.goodput() >= naive.goodput());
+        // Copy accounting stays exact.
+        assert!(
+            gray.hedge_wins + gray.duplicates_suppressed + gray.hedges_cancelled
+                <= 2 * gray.hedges_issued
+        );
+    }
+
+    #[test]
+    fn nic_flap_blocks_dispatch_and_hedging_recovers_the_stuck_requests() {
+        let spec = small_spec();
+        let trace = small_trace(&spec, 19);
+        // One device flaps with long dead phases: queued work stalls
+        // past the 2 s deadline unless it is hedged elsewhere.
+        let plan = FaultPlan::empty(19).with_event(FaultEvent {
+            at: SimTime::from_secs(2),
+            device: 0,
+            kind: FaultKind::NicFlap {
+                period_s: 12.0,
+                loss_frac: 0.5,
+            },
+            duration: SimTime::from_secs(24),
+        });
+        let config = GlobalConfig::production(19);
+        let naive = simulate_global(&spec, &config, &trace, &plan, RoutingPolicy::HealthAware);
+        let gray = simulate_global(&spec, &config, &trace, &plan, RoutingPolicy::GrayResilient);
+        assert_eq!(naive.unaccounted(), 0);
+        assert_eq!(gray.unaccounted(), 0);
+        assert!(naive.lost_deadline > 0, "flap must strand naive requests");
+        assert!(gray.hedges_issued > 0);
+        assert!(
+            gray.lost < naive.lost,
+            "gray lost {} vs naive {}",
+            gray.lost,
+            naive.lost
+        );
+    }
+
+    #[test]
+    fn gray_arm_is_deterministic_and_tracing_is_pure() {
+        let spec = small_spec();
+        let trace = small_trace(&spec, 23);
+        let plan = pod0_throttles(23);
+        let config = GlobalConfig::production(23);
+        let a = simulate_global(&spec, &config, &trace, &plan, RoutingPolicy::GrayResilient);
+        let mut tel = Telemetry::new_enabled();
+        let b = simulate_global_traced(
+            &spec,
+            &config,
+            &trace,
+            &plan,
+            RoutingPolicy::GrayResilient,
+            &mut tel,
+        );
+        assert_eq!(a.served_full, b.served_full);
+        assert_eq!(a.hedges_issued, b.hedges_issued);
+        assert_eq!(a.hedge_wins, b.hedge_wins);
+        assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed);
+        assert_eq!(a.outlier_demotions, b.outlier_demotions);
+        assert_eq!(a.routed, b.routed);
+        assert!(!tel.to_canonical_json().is_empty());
     }
 }

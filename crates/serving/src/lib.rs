@@ -51,15 +51,16 @@ pub use failover::{
 };
 pub use global::{
     build_regional_trace, compare_global, simulate_global, simulate_global_traced, GlobalArrival,
-    GlobalComparison, GlobalConfig, GlobalFleetSpec, GlobalReport, LadderConfig, Priority,
-    RegionalTrace, RegionalTrafficConfig, RoutingPolicy,
+    GlobalComparison, GlobalConfig, GlobalFleetSpec, GlobalReport, GrayResilienceConfig,
+    LadderConfig, Priority, RegionalTrace, RegionalTrafficConfig, RoutingPolicy,
 };
 pub use latency::LatencyHistogram;
 pub use replayer::{overclock_gain_on_trace, replay, ReplayDeployment, ReplayReport};
 pub use resilience::{
     compare_policies, simulate_resilient_remote_merge, simulate_resilient_remote_merge_traced,
     DeviceSet, DispatchPolicy, HealthConfig, HealthMachine, HealthState, HedgePolicy,
-    MaintenanceWindow, PolicyComparison, ResilienceConfig, ResilienceReport, RetryPolicy,
+    MaintenanceWindow, OutlierConfig, OutlierDetector, PolicyComparison, ResilienceConfig,
+    ResilienceReport, RetryPolicy,
 };
 pub use scheduler::{
     max_rate_under_slo, simulate_remote_merge, simulate_remote_merge_traced, RemoteMergeConfig,

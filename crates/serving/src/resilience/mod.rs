@@ -12,6 +12,9 @@
 //!   `Offline` can never reach `Healthy` without probation.
 //! * [`retry`] — bounded exponential backoff with deterministic jitter,
 //!   plus optional merge-job hedging.
+//! * [`outlier`] — peer-relative fail-slow detection: per-device
+//!   service-time EWMAs scored against the pod median, driving
+//!   demotion of gray-failing devices that still pass liveness probes.
 //! * [`device`] — the [`DeviceSet`] pool every dispatch goes through:
 //!   health + injected fault state + busy/epoch tracking + the trailing
 //!   PE-utilization estimate that arms §5.5 faults.
@@ -25,6 +28,7 @@
 pub mod controller;
 pub mod device;
 pub mod health;
+pub mod outlier;
 pub mod report;
 pub mod retry;
 pub mod sim;
@@ -32,6 +36,7 @@ pub mod sim;
 pub use controller::{DegradationConfig, DegradationController};
 pub use device::{Device, DeviceSet, FaultImpact};
 pub use health::{HealthConfig, HealthMachine, HealthState};
+pub use outlier::{OutlierConfig, OutlierDetector};
 pub use report::{PolicyComparison, ResilienceReport};
 pub use retry::{HedgePolicy, RetryPolicy};
 pub use sim::{

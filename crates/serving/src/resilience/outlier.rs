@@ -1,0 +1,237 @@
+//! Peer-relative latency-outlier detection for fail-slow devices.
+//!
+//! A gray-failing device (thermal throttle, retention drift, NIC flap)
+//! passes every liveness probe — it is up, reachable, and answering —
+//! while quietly destroying tail latency. Threshold detectors on
+//! absolute latency misfire under diurnal load swings, so this
+//! detector scores each device *against its peers*: a deterministic
+//! EWMA of per-device service time, compared to the median EWMA of the
+//! device's pod at every probe sweep. A device is demoted only after
+//! `sustain` consecutive sweeps above `threshold ×` the pod median,
+//! which rides out one-off stalls, and it is cleared only after its
+//! estimate returns below the line — both directions are sticky.
+//!
+//! The same sweep derives the pod's hedging deadline: the
+//! `hedge_quantile` of its device EWMAs times `hedge_multiplier` — "a
+//! request outstanding longer than ~P90 of what this pod's devices
+//! take right now is probably stuck behind a straggler". Everything is
+//! a pure function of observed service times, so replays are
+//! byte-identical at any thread count.
+
+/// Tuning for [`OutlierDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutlierConfig {
+    /// EWMA smoothing factor in `(0, 1]` for per-device service-time
+    /// estimates (higher = faster to react, noisier).
+    pub alpha: f64,
+    /// A device scores as an outlier while its EWMA exceeds this
+    /// multiple of its pod's median EWMA.
+    pub threshold: f64,
+    /// Consecutive sweeps a device must score as an outlier before the
+    /// detector reports it as sustained.
+    pub sustain: u32,
+    /// Quantile of the pod's device EWMAs anchoring the hedge deadline.
+    pub hedge_quantile: f64,
+    /// Multiplier on that quantile: the hedge fires once a request has
+    /// been outstanding this many times the quantile estimate.
+    pub hedge_multiplier: f64,
+}
+
+impl OutlierConfig {
+    /// Serving defaults: α 0.3, demote past 1.5× the pod median for 3
+    /// straight sweeps, hedge at 1.5× the pod's P90 service estimate.
+    pub fn production() -> Self {
+        OutlierConfig {
+            alpha: 0.3,
+            threshold: 1.5,
+            sustain: 3,
+            hedge_quantile: 0.9,
+            hedge_multiplier: 1.5,
+        }
+    }
+}
+
+/// What one detector sweep concluded for a pod.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Median device EWMA (seconds) across the active devices.
+    pub median_secs: f64,
+    /// Hedge deadline (seconds) derived from the EWMA quantile.
+    pub hedge_deadline_secs: f64,
+    /// Per-device: sustained outlier as of this sweep.
+    pub sustained: Vec<bool>,
+}
+
+/// Per-pod detector state: one EWMA and one outlier streak per device.
+#[derive(Debug, Clone)]
+pub struct OutlierDetector {
+    config: OutlierConfig,
+    ewma: Vec<Option<f64>>,
+    streak: Vec<u32>,
+}
+
+impl OutlierDetector {
+    /// A detector for `devices` peers with no observations yet.
+    pub fn new(devices: usize, config: OutlierConfig) -> Self {
+        OutlierDetector {
+            config,
+            ewma: vec![None; devices],
+            streak: vec![0; devices],
+        }
+    }
+
+    /// Folds one measured service time (seconds) into the device's
+    /// EWMA.
+    pub fn observe(&mut self, device: usize, secs: f64) {
+        let alpha = self.config.alpha;
+        self.ewma[device] = Some(match self.ewma[device] {
+            Some(prev) => prev + alpha * (secs - prev),
+            None => secs,
+        });
+    }
+
+    /// The device's current service-time estimate, falling back to
+    /// `prior_secs` before any observation lands.
+    pub fn estimate(&self, device: usize, prior_secs: f64) -> f64 {
+        self.ewma[device].unwrap_or(prior_secs)
+    }
+
+    /// One probe-sweep scoring pass. `prior_secs` seeds unobserved
+    /// devices (typically the configured base service time) and
+    /// `active` masks devices that should not vote in the median
+    /// (down or drained capacity).
+    pub fn sweep(&mut self, prior_secs: f64, active: &[bool]) -> Sweep {
+        debug_assert_eq!(active.len(), self.ewma.len());
+        let mut values: Vec<f64> = (0..self.ewma.len())
+            .filter(|&d| active[d])
+            .map(|d| self.estimate(d, prior_secs))
+            .collect();
+        values.sort_by(f64::total_cmp);
+        let median_secs = quantile(&values, 0.5).unwrap_or(prior_secs);
+        let anchor = quantile(&values, self.config.hedge_quantile).unwrap_or(prior_secs);
+        let hedge_deadline_secs = anchor * self.config.hedge_multiplier;
+        let line = median_secs * self.config.threshold;
+        let mut sustained = vec![false; self.ewma.len()];
+        for d in 0..self.ewma.len() {
+            if active[d] && self.estimate(d, prior_secs) > line {
+                self.streak[d] = self.streak[d].saturating_add(1);
+            } else {
+                self.streak[d] = 0;
+            }
+            sustained[d] = self.streak[d] >= self.config.sustain;
+        }
+        Sweep {
+            median_secs,
+            hedge_deadline_secs,
+            sustained,
+        }
+    }
+}
+
+/// Nearest-rank quantile of an ascending slice.
+fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(devices: usize) -> OutlierDetector {
+        OutlierDetector::new(devices, OutlierConfig::production())
+    }
+
+    #[test]
+    fn uniform_fleet_never_flags_anyone() {
+        let mut det = detector(8);
+        let active = vec![true; 8];
+        for round in 0..50 {
+            for d in 0..8 {
+                det.observe(d, 0.45);
+            }
+            let sweep = det.sweep(0.45, &active);
+            assert!(
+                sweep.sustained.iter().all(|&s| !s),
+                "false positive at round {round}"
+            );
+            assert!((sweep.median_secs - 0.45).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sustained_straggler_is_flagged_and_clears_on_recovery() {
+        let mut det = detector(8);
+        let active = vec![true; 8];
+        // Device 3 serves 4× slower than its peers.
+        for _ in 0..10 {
+            for d in 0..8 {
+                det.observe(d, if d == 3 { 1.8 } else { 0.45 });
+            }
+        }
+        // Needs `sustain` sweeps before the flag raises.
+        let s1 = det.sweep(0.45, &active);
+        let s2 = det.sweep(0.45, &active);
+        assert!(!s1.sustained[3] && !s2.sustained[3], "flap resistance");
+        let s3 = det.sweep(0.45, &active);
+        assert!(s3.sustained[3], "sustained straggler must flag");
+        assert!((0..8).filter(|&d| s3.sustained[d]).count() == 1);
+        // The hedge deadline tracks the healthy quantile, not the
+        // straggler: well under the straggler's 1.8 s.
+        assert!(s3.hedge_deadline_secs < 1.2, "{}", s3.hedge_deadline_secs);
+        // Recovery: fast observations pull the EWMA back and the flag
+        // clears within a few sweeps.
+        for _ in 0..20 {
+            det.observe(3, 0.45);
+        }
+        let cleared = det.sweep(0.45, &active);
+        assert!(!cleared.sustained[3], "recovered device must clear");
+    }
+
+    #[test]
+    fn diurnal_swing_moves_the_median_not_the_flags() {
+        // Load doubles everyone's service time: peer-relative scoring
+        // stays quiet where an absolute threshold would page.
+        let mut det = detector(6);
+        let active = vec![true; 6];
+        for &level in &[0.45, 0.9, 1.4, 0.45] {
+            for _ in 0..12 {
+                for d in 0..6 {
+                    det.observe(d, level);
+                }
+                let sweep = det.sweep(0.45, &active);
+                assert!(sweep.sustained.iter().all(|&s| !s), "level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_devices_do_not_vote() {
+        let mut det = detector(4);
+        for d in 0..4 {
+            det.observe(d, if d == 0 { 5.0 } else { 0.45 });
+        }
+        // With device 0 masked out, the median ignores its estimate and
+        // its streak resets even while slow.
+        let active = vec![false, true, true, true];
+        for _ in 0..5 {
+            let sweep = det.sweep(0.45, &active);
+            assert!((sweep.median_secs - 0.45).abs() < 1e-12);
+            assert!(!sweep.sustained[0]);
+        }
+    }
+
+    #[test]
+    fn unobserved_devices_inherit_the_prior() {
+        let mut det = detector(3);
+        assert_eq!(det.estimate(0, 0.45), 0.45);
+        det.observe(0, 0.9);
+        assert!((det.estimate(0, 0.45) - 0.9).abs() < 1e-12);
+        // One more observation moves it by α toward the new sample.
+        det.observe(0, 0.45);
+        assert!((det.estimate(0, 0.45) - (0.9 + 0.3 * (0.45 - 0.9))).abs() < 1e-12);
+    }
+}

@@ -151,6 +151,40 @@ pub enum FaultKind {
     /// until the partition heals — the device-level shape of
     /// [`FaultKind::NicPartition`] at region blast radius.
     WanPartition,
+    /// Fail-slow thermal throttling (§5.2/§5.3: silicon run near its
+    /// frequency and power margins). Effective device speed ramps
+    /// linearly from 1.0 down to `floor` over the first `ramp_s`
+    /// seconds of the window and holds there until the window ends —
+    /// the device passes every liveness probe while its service times
+    /// inflate by up to `1 / floor`. The per-device `floor` is seeded
+    /// from the `fleet::overclock` frequency-margin distribution: a
+    /// low-margin chip throttles deeper.
+    ThermalThrottle {
+        /// Seconds over which the throttle worsens to its floor.
+        ramp_s: f64,
+        /// Final speed fraction in `(0, 1]` (0.25 = 4× slower).
+        floor: f64,
+    },
+    /// Fail-slow memory-retention degradation (§5.1 margins): refresh
+    /// overhead grows as cells weaken, inflating service times by
+    /// `slowdown_per_hour × hours since onset`. Progressive and does
+    /// **not** self-heal — the event's `duration` is ignored; only a
+    /// device swap (outside the plan) ends it.
+    MemoryRetentionDegradation {
+        /// Service-time inflation added per hour after onset.
+        slowdown_per_hour: f64,
+    },
+    /// Intermittent NIC flap — the hardest case for threshold
+    /// detectors. Within the window the device is unreachable for the
+    /// first `loss_frac` of every `period_s`-second cycle and healthy
+    /// the rest: any single probe is likely to pass, yet dispatched
+    /// work repeatedly stalls behind the dead phases.
+    NicFlap {
+        /// Flap cycle length in seconds.
+        period_s: f64,
+        /// Unreachable fraction of each cycle, in `[0, 1]`.
+        loss_frac: f64,
+    },
 }
 
 impl FaultKind {
@@ -179,6 +213,19 @@ impl FaultKind {
         )
     }
 
+    /// Whether the fault is fail-slow: the device keeps passing
+    /// liveness probes (it is up, reachable at least intermittently,
+    /// and serving) while its effective performance degrades. These
+    /// kinds never take capacity down through crash paths.
+    pub fn is_fail_slow(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::ThermalThrottle { .. }
+                | FaultKind::MemoryRetentionDegradation { .. }
+                | FaultKind::NicFlap { .. }
+        )
+    }
+
     fn fingerprint_words(&self) -> (u64, u64) {
         match *self {
             FaultKind::EccSingleBitBurst { flips } => (1, flips as u64),
@@ -197,6 +244,18 @@ impl FaultKind {
             FaultKind::PodLoss => (10, 0),
             FaultKind::RegionOutage => (11, 0),
             FaultKind::WanPartition => (12, 0),
+            // Two-f64 kinds fold both parameters into one word; the
+            // rotation keeps (a, b) and (b, a) from colliding.
+            FaultKind::ThermalThrottle { ramp_s, floor } => {
+                (13, ramp_s.to_bits().rotate_left(17) ^ floor.to_bits())
+            }
+            FaultKind::MemoryRetentionDegradation { slowdown_per_hour } => {
+                (14, slowdown_per_hour.to_bits())
+            }
+            FaultKind::NicFlap {
+                period_s,
+                loss_frac,
+            } => (15, period_s.to_bits().rotate_left(17) ^ loss_frac.to_bits()),
         }
     }
 }
@@ -253,6 +312,31 @@ pub struct FaultPlanConfig {
     pub mean_window: SimTime,
     /// Time a lost PCIe link stays down before the host resets the card.
     pub pcie_reset_after: SimTime,
+    /// Mean fail-slow [`FaultKind::ThermalThrottle`] windows per device
+    /// over the horizon. Zero (the legacy presets) draws nothing from
+    /// the RNG, so older plans replay byte-identically.
+    pub thermal_throttles_per_device: f64,
+    /// Mean thermal-throttle window length.
+    pub throttle_window: SimTime,
+    /// Seconds over which a throttle worsens to its floor.
+    pub throttle_ramp: SimTime,
+    /// `(mean_ghz, std_ghz)` of the silicon frequency-margin
+    /// distribution seeding per-device throttle depth — the §5.2
+    /// numbers `fleet::overclock::SiliconMargin::production()` uses. A
+    /// chip sampled below the mean throttles proportionally deeper.
+    pub throttle_margin_ghz: (f64, f64),
+    /// Mean [`FaultKind::MemoryRetentionDegradation`] onsets per device
+    /// over the horizon. Zero in the legacy presets.
+    pub retention_degradations_per_device: f64,
+    /// Service-time inflation added per hour by a retention onset.
+    pub retention_slowdown_per_hour: f64,
+    /// Mean [`FaultKind::NicFlap`] windows per device over the horizon.
+    /// Zero in the legacy presets.
+    pub nic_flaps_per_device: f64,
+    /// Flap cycle period.
+    pub flap_period: SimTime,
+    /// Unreachable fraction of each flap cycle.
+    pub flap_loss_frac: f64,
 }
 
 impl FaultPlanConfig {
@@ -272,6 +356,7 @@ impl FaultPlanConfig {
             bit_flips_per_prone_device: 0.0,
             mean_window: SimTime::from_millis(500),
             pcie_reset_after: SimTime::from_secs(5),
+            ..Self::fail_slow_off()
         }
     }
 
@@ -290,6 +375,7 @@ impl FaultPlanConfig {
             bit_flips_per_prone_device: 0.0,
             mean_window: SimTime::from_millis(800),
             pcie_reset_after: SimTime::from_secs(3),
+            ..Self::fail_slow_off()
         }
     }
 
@@ -310,8 +396,69 @@ impl FaultPlanConfig {
             bit_flips_per_prone_device: 6.0,
             mean_window: SimTime::from_millis(500),
             pcie_reset_after: SimTime::from_secs(5),
+            ..Self::fail_slow_off()
         }
     }
+
+    /// A pure gray-failure world: thermal throttles, retention drift,
+    /// and NIC flaps on an otherwise fault-free fleet, so the
+    /// outlier-detector studies isolate fail-slow from fail-stop.
+    pub fn gray_stress() -> Self {
+        FaultPlanConfig {
+            thermal_throttles_per_device: 1.0,
+            retention_degradations_per_device: 0.2,
+            nic_flaps_per_device: 0.6,
+            ..Self::fail_slow_off()
+        }
+    }
+
+    /// The fail-slow parameter block with every *rate* at zero: plans
+    /// generated by the legacy presets draw nothing from the RNG for
+    /// these classes and replay byte-identically. The non-rate
+    /// parameters carry production-flavored values (§5.2 margin
+    /// distribution, minutes-long throttle windows) so any preset can
+    /// switch a class on by raising its rate alone. The base carries
+    /// zero legacy rates too, so `gray_stress()` builds on it directly.
+    pub fn fail_slow_off() -> Self {
+        FaultPlanConfig {
+            error_prone_card_rate: 0.0,
+            sbe_bursts_per_prone_device: 0.0,
+            mean_flips_per_burst: 0.0,
+            dbe_per_device: 0.0,
+            pcie_loss_per_device: 0.0,
+            pcie_min_utilization: 1.0,
+            noc_stalls_per_device: 0.0,
+            transient_failures_per_device: 0.0,
+            bit_flips_per_prone_device: 0.0,
+            mean_window: SimTime::from_millis(500),
+            pcie_reset_after: SimTime::from_secs(5),
+            thermal_throttles_per_device: 0.0,
+            throttle_window: SimTime::from_secs(120),
+            throttle_ramp: SimTime::from_secs(30),
+            // SiliconMargin::production(): 1.72 GHz mean, 0.09 GHz σ.
+            throttle_margin_ghz: (1.72, 0.09),
+            retention_degradations_per_device: 0.0,
+            retention_slowdown_per_hour: 0.5,
+            nic_flaps_per_device: 0.0,
+            flap_period: SimTime::from_secs(10),
+            flap_loss_frac: 0.25,
+        }
+    }
+}
+
+/// Maps a chip's sampled maximum frequency against the fleet margin
+/// distribution `(mean_ghz, std_ghz)` to a thermal-throttle speed
+/// floor: a chip one σ below the mean throttles to ~33 %, a chip one σ
+/// above holds ~57 %, clamped to `[0.15, 0.85]`. Shared with the
+/// chaos-preset builders so handcrafted gray-failure events and
+/// generated plans seed throttle depth identically.
+pub fn throttle_floor(freq_ghz: f64, mean_ghz: f64, std_ghz: f64) -> f64 {
+    let z = if std_ghz > 0.0 {
+        (freq_ghz - mean_ghz) / std_ghz
+    } else {
+        0.0
+    };
+    (0.45 + 0.12 * z).clamp(0.15, 0.85)
 }
 
 /// Stable per-region tag used in fingerprints and region sampling.
@@ -467,6 +614,63 @@ impl FaultPlan {
                 &mut events,
                 config.transient_failures_per_device,
                 &|_rng| (FaultKind::TransientJobFailure, SimTime::ZERO),
+            );
+            // Fail-slow classes draw after every legacy class so plans
+            // from the older presets (all these rates zero) consume an
+            // identical RNG stream and replay byte-identically.
+            let ramp_s = config.throttle_ramp.as_secs_f64();
+            let throttle_window = config.throttle_window;
+            let (margin_mean, margin_std) = config.throttle_margin_ghz;
+            push_windows(
+                &mut rng,
+                &mut events,
+                config.thermal_throttles_per_device,
+                &move |rng| {
+                    // Box–Muller sample of the chip's frequency margin
+                    // (the §5.2 distribution): low-margin silicon
+                    // throttles deeper.
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen::<f64>();
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    let freq = margin_mean + margin_std * z;
+                    (
+                        FaultKind::ThermalThrottle {
+                            ramp_s,
+                            floor: throttle_floor(freq, margin_mean, margin_std),
+                        },
+                        exp_window(rng, throttle_window),
+                    )
+                },
+            );
+            let slowdown_per_hour = config.retention_slowdown_per_hour;
+            push_windows(
+                &mut rng,
+                &mut events,
+                config.retention_degradations_per_device,
+                &move |_rng| {
+                    // Duration is ignored for retention (it never
+                    // self-heals); ZERO keeps the fingerprint honest.
+                    (
+                        FaultKind::MemoryRetentionDegradation { slowdown_per_hour },
+                        SimTime::ZERO,
+                    )
+                },
+            );
+            let period_s = config.flap_period.as_secs_f64();
+            let loss_frac = config.flap_loss_frac;
+            push_windows(
+                &mut rng,
+                &mut events,
+                config.nic_flaps_per_device,
+                &move |rng| {
+                    (
+                        FaultKind::NicFlap {
+                            period_s,
+                            loss_frac,
+                        },
+                        exp_window(rng, mean_window.scale(8.0)),
+                    )
+                },
             );
         }
         let mut plan = FaultPlan { seed, events };
@@ -626,6 +830,13 @@ pub struct DeviceFaultState {
     /// When a network partition heals (`None` = reachable). Unlike a
     /// downed link, a partitioned device keeps running what it holds.
     partitioned_until: Option<SimTime>,
+    /// Active `(start, until, ramp_s, floor)` thermal-throttle windows.
+    throttles: Vec<(SimTime, SimTime, f64, f64)>,
+    /// `(onset, slowdown_per_hour)` retention degradations — these
+    /// never expire (the fault does not self-heal).
+    retentions: Vec<(SimTime, f64)>,
+    /// Active `(start, until, period_s, loss_frac)` NIC-flap windows.
+    flaps: Vec<(SimTime, SimTime, f64, f64)>,
 }
 
 impl DeviceFaultState {
@@ -675,6 +886,33 @@ impl DeviceFaultState {
                 });
                 true
             }
+            // Fail-slow kinds arm unconditionally: margin pressure does
+            // not care how busy the device is.
+            FaultKind::ThermalThrottle { ramp_s, floor } => {
+                self.throttles.push((
+                    event.at,
+                    event.until(),
+                    ramp_s.max(f64::MIN_POSITIVE),
+                    floor.clamp(0.05, 1.0),
+                ));
+                true
+            }
+            FaultKind::MemoryRetentionDegradation { slowdown_per_hour } => {
+                self.retentions.push((event.at, slowdown_per_hour.max(0.0)));
+                true
+            }
+            FaultKind::NicFlap {
+                period_s,
+                loss_frac,
+            } => {
+                self.flaps.push((
+                    event.at,
+                    event.until(),
+                    period_s.max(f64::MIN_POSITIVE),
+                    loss_frac.clamp(0.0, 1.0),
+                ));
+                true
+            }
             // Instantaneous kinds leave no windowed condition here; a
             // bit flip's persistence lives in the memory image owned by
             // the SDC layer, not in the link/slowdown state.
@@ -691,10 +929,12 @@ impl DeviceFaultState {
         });
     }
 
-    /// Drops expired windows.
+    /// Drops expired windows. Retention degradations never expire.
     pub fn expire(&mut self, now: SimTime) {
         self.stalls.retain(|&(until, _)| until > now);
         self.sbe.retain(|&(until, _)| until > now);
+        self.throttles.retain(|&(_, until, _, _)| until > now);
+        self.flaps.retain(|&(_, until, _, _)| until > now);
         if let Some(until) = self.link_down_until {
             if until <= now {
                 self.link_down_until = None;
@@ -716,13 +956,83 @@ impl DeviceFaultState {
     }
 
     /// Whether the device can be reached for *new* work at `now`: link
-    /// up and no active network partition.
+    /// up, no active network partition, and not inside the dead phase
+    /// of a NIC-flap cycle.
     pub fn reachable(&self, now: SimTime) -> bool {
         self.link_up(now)
             && match self.partitioned_until {
                 Some(until) => now >= until,
                 None => true,
             }
+            && !self.in_flap_loss(now)
+    }
+
+    /// Whether `now` falls in the unreachable phase of any active flap
+    /// window. Each cycle starts dead: the flap is observable from its
+    /// injection instant.
+    fn in_flap_loss(&self, now: SimTime) -> bool {
+        self.flaps.iter().any(|&(start, until, period_s, loss)| {
+            if now < start || now >= until || loss <= 0.0 {
+                return false;
+            }
+            let elapsed = now.saturating_sub(start).as_secs_f64();
+            let phase = (elapsed / period_s).fract();
+            phase < loss
+        })
+    }
+
+    /// The earliest instant strictly after `now` at which the device
+    /// may become reachable again, or `None` if it already is. Flap
+    /// cycles make reachability non-monotone, so callers should
+    /// re-check at the returned instant and reschedule if needed.
+    pub fn next_reachable_at(&self, now: SimTime) -> Option<SimTime> {
+        if self.reachable(now) {
+            return None;
+        }
+        let mut t = now;
+        // A handful of passes resolves any stack of link, partition,
+        // and flap phases; flap windows are finite so the fallback of
+        // the latest window end always terminates the search.
+        for _ in 0..8 {
+            let mut next = t;
+            if let Some(until) = self.link_down_until {
+                if t < until {
+                    next = next.max(until);
+                }
+            }
+            if let Some(until) = self.partitioned_until {
+                if t < until {
+                    next = next.max(until);
+                }
+            }
+            for &(start, until, period_s, loss) in &self.flaps {
+                if t < start || t >= until || loss <= 0.0 {
+                    continue;
+                }
+                let elapsed = t.saturating_sub(start).as_secs_f64();
+                let phase = (elapsed / period_s).fract();
+                if phase < loss {
+                    let clear = start
+                        + SimTime::from_secs_f64((elapsed - phase * period_s) + loss * period_s);
+                    next = next.max(clear.min(until));
+                }
+            }
+            if next > t && self.reachable(next) {
+                return Some(next);
+            }
+            if next == t {
+                break;
+            }
+            t = next;
+        }
+        let fallback = self
+            .flaps
+            .iter()
+            .map(|&(_, until, _, _)| until)
+            .max()
+            .unwrap_or(t)
+            .max(t);
+        Some(fallback.max(now + SimTime::from_millis(1)))
     }
 
     /// When the link recovers (if currently down).
@@ -736,6 +1046,9 @@ impl DeviceFaultState {
     }
 
     /// Multiplicative service-time inflation from all active windows.
+    /// Fail-slow factors are *time-varying*: a thermal throttle bites
+    /// deeper as it ramps, and retention drift grows with hours since
+    /// onset.
     pub fn service_time_factor(&self, now: SimTime) -> f64 {
         let mut factor = 1.0;
         for &(until, slowdown) in &self.stalls {
@@ -748,6 +1061,19 @@ impl DeviceFaultState {
                 factor *= (1.0 + SBE_SLOWDOWN_PER_FLIP * flips as f64).min(SBE_SLOWDOWN_CAP);
             }
         }
+        for &(start, until, ramp_s, floor) in &self.throttles {
+            if start <= now && until > now {
+                let progress = (now.saturating_sub(start).as_secs_f64() / ramp_s).clamp(0.0, 1.0);
+                let speed = 1.0 + (floor - 1.0) * progress;
+                factor *= 1.0 / speed;
+            }
+        }
+        for &(onset, per_hour) in &self.retentions {
+            if onset <= now {
+                let hours = now.saturating_sub(onset).as_secs_f64() / 3600.0;
+                factor *= 1.0 + per_hour * hours;
+            }
+        }
         factor
     }
 
@@ -756,6 +1082,15 @@ impl DeviceFaultState {
         self.reachable(now)
             && !self.stalls.iter().any(|&(until, _)| until > now)
             && !self.sbe.iter().any(|&(until, _)| until > now)
+            && !self
+                .throttles
+                .iter()
+                .any(|&(start, until, _, _)| start <= now && until > now)
+            && !self.retentions.iter().any(|&(onset, _)| onset <= now)
+            && !self
+                .flaps
+                .iter()
+                .any(|&(start, until, _, _)| start <= now && until > now)
     }
 }
 
@@ -1117,6 +1452,224 @@ mod tests {
         assert!(state.link_up(SimTime::from_secs(2)));
         assert!(!state.reachable(SimTime::from_secs(2)));
         assert!(state.reachable(SimTime::from_secs(6)));
+    }
+
+    #[test]
+    fn fail_slow_rates_zero_leave_legacy_plans_unchanged() {
+        // The fail-slow extension must not perturb older presets: a
+        // zero mean draws nothing from the RNG, so stress() plans are
+        // byte-identical to their pre-extension form.
+        let plan = stress_plan(42);
+        assert!(!plan.events().iter().any(|e| e.kind.is_fail_slow()));
+        assert_eq!(plan, stress_plan(42));
+    }
+
+    #[test]
+    fn gray_stress_generates_only_fail_slow_events() {
+        let plan = FaultPlan::generate(
+            &FaultPlanConfig::gray_stress(),
+            32,
+            SimTime::from_secs(300),
+            11,
+        );
+        assert!(!plan.events().is_empty());
+        assert!(plan.events().iter().all(|e| e.kind.is_fail_slow()));
+        let has = |pred: &dyn Fn(&FaultKind) -> bool| plan.events().iter().any(|e| pred(&e.kind));
+        assert!(has(&|k| matches!(k, FaultKind::ThermalThrottle { .. })));
+        assert!(has(&|k| matches!(
+            k,
+            FaultKind::MemoryRetentionDegradation { .. }
+        )));
+        assert!(has(&|k| matches!(k, FaultKind::NicFlap { .. })));
+        // Margin-seeded floors vary per event and stay in range.
+        let floors: Vec<f64> = plan
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::ThermalThrottle { floor, .. } => Some(floor),
+                _ => None,
+            })
+            .collect();
+        assert!(floors.iter().all(|f| (0.15..=0.85).contains(f)));
+        assert!(
+            floors.windows(2).any(|w| w[0] != w[1]),
+            "floors must vary with sampled silicon margin"
+        );
+    }
+
+    #[test]
+    fn thermal_throttle_ramps_and_recovers() {
+        let mut state = DeviceFaultState::new();
+        state.apply(
+            &FaultEvent {
+                at: SimTime::from_secs(10),
+                device: 0,
+                kind: FaultKind::ThermalThrottle {
+                    ramp_s: 20.0,
+                    floor: 0.25,
+                },
+                duration: SimTime::from_secs(60),
+            },
+            0.0,
+        );
+        // Before onset: clean.
+        assert_eq!(state.service_time_factor(SimTime::from_secs(5)), 1.0);
+        // Mid-ramp (t = 20 s, halfway): speed 0.625 → factor 1.6.
+        let mid = state.service_time_factor(SimTime::from_secs(20));
+        assert!((mid - 1.0 / 0.625).abs() < 1e-9, "mid-ramp factor {mid}");
+        // Fully ramped: 4× slower, and it worsened monotonically.
+        let deep = state.service_time_factor(SimTime::from_secs(40));
+        assert!((deep - 4.0).abs() < 1e-9, "floored factor {deep}");
+        assert!(deep > mid);
+        // The device stays reachable the whole time — it passes probes.
+        assert!(state.reachable(SimTime::from_secs(40)));
+        assert!(!state.is_clean(SimTime::from_secs(40)));
+        // Window end restores full speed.
+        assert_eq!(state.service_time_factor(SimTime::from_secs(71)), 1.0);
+        state.expire(SimTime::from_secs(71));
+        assert!(state.is_clean(SimTime::from_secs(71)));
+    }
+
+    #[test]
+    fn retention_degradation_grows_and_never_heals() {
+        let mut state = DeviceFaultState::new();
+        state.apply(
+            &FaultEvent {
+                at: SimTime::from_secs(100),
+                device: 0,
+                kind: FaultKind::MemoryRetentionDegradation {
+                    slowdown_per_hour: 2.0,
+                },
+                duration: SimTime::ZERO,
+            },
+            0.0,
+        );
+        let half_hour = state.service_time_factor(SimTime::from_secs(100 + 1800));
+        assert!(
+            (half_hour - 2.0).abs() < 1e-9,
+            "half-hour factor {half_hour}"
+        );
+        let two_hours = state.service_time_factor(SimTime::from_secs(100 + 7200));
+        assert!(
+            (two_hours - 5.0).abs() < 1e-9,
+            "two-hour factor {two_hours}"
+        );
+        // Expiry never clears it: the device needs a swap, not time.
+        state.expire(SimTime::from_secs(100_000));
+        assert!(!state.is_clean(SimTime::from_secs(100_000)));
+        assert!(state.service_time_factor(SimTime::from_secs(100_000)) > 5.0);
+    }
+
+    #[test]
+    fn nic_flap_is_intermittent_and_schedulable() {
+        let mut state = DeviceFaultState::new();
+        state.apply(
+            &FaultEvent {
+                at: SimTime::from_secs(10),
+                device: 0,
+                kind: FaultKind::NicFlap {
+                    period_s: 4.0,
+                    loss_frac: 0.25,
+                },
+                duration: SimTime::from_secs(20),
+            },
+            0.0,
+        );
+        // Each 4 s cycle starts with 1 s dead, then 3 s alive.
+        assert!(state.reachable(SimTime::from_secs(9)));
+        assert!(!state.reachable(SimTime::from_millis(10_500)));
+        assert!(state.reachable(SimTime::from_millis(11_500)));
+        assert!(!state.reachable(SimTime::from_millis(14_200)));
+        // The wake-up helper lands exactly on the phase boundary and is
+        // None when already reachable.
+        let wake = state
+            .next_reachable_at(SimTime::from_millis(10_500))
+            .expect("unreachable now");
+        assert_eq!(wake, SimTime::from_secs(11));
+        assert!(state.reachable(wake));
+        assert!(state.next_reachable_at(wake).is_none());
+        // After the window the flap is gone entirely.
+        assert!(state.reachable(SimTime::from_millis(30_100)));
+        state.expire(SimTime::from_secs(31));
+        assert!(state.is_clean(SimTime::from_secs(31)));
+        // Probes keep passing during the alive phases — the detector
+        // cannot rely on liveness alone.
+        assert!(!FaultKind::NicFlap {
+            period_s: 4.0,
+            loss_frac: 0.25
+        }
+        .is_instantaneous());
+    }
+
+    #[test]
+    fn fail_slow_fingerprints_separate_parameters() {
+        let mk = |kind| {
+            FaultPlan::empty(1).with_event(FaultEvent {
+                at: SimTime::from_secs(1),
+                device: 0,
+                kind,
+                duration: SimTime::from_secs(30),
+            })
+        };
+        let fps = [
+            mk(FaultKind::ThermalThrottle {
+                ramp_s: 30.0,
+                floor: 0.25,
+            })
+            .fingerprint(),
+            mk(FaultKind::ThermalThrottle {
+                ramp_s: 0.25,
+                floor: 30.0,
+            })
+            .fingerprint(),
+            mk(FaultKind::ThermalThrottle {
+                ramp_s: 30.0,
+                floor: 0.5,
+            })
+            .fingerprint(),
+            mk(FaultKind::MemoryRetentionDegradation {
+                slowdown_per_hour: 0.25,
+            })
+            .fingerprint(),
+            mk(FaultKind::NicFlap {
+                period_s: 30.0,
+                loss_frac: 0.25,
+            })
+            .fingerprint(),
+            mk(FaultKind::NicFlap {
+                period_s: 0.25,
+                loss_frac: 30.0,
+            })
+            .fingerprint(),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "kinds {i} and {j} collide");
+            }
+        }
+        assert!(FaultKind::ThermalThrottle {
+            ramp_s: 1.0,
+            floor: 0.5
+        }
+        .is_fail_slow());
+        assert!(!FaultKind::HostCrash.is_fail_slow());
+        assert!(!FaultKind::ThermalThrottle {
+            ramp_s: 1.0,
+            floor: 0.5
+        }
+        .is_correlated());
+    }
+
+    #[test]
+    fn throttle_floor_tracks_silicon_margin() {
+        // One σ below the mean bites deeper than one σ above.
+        let low = throttle_floor(1.63, 1.72, 0.09);
+        let high = throttle_floor(1.81, 1.72, 0.09);
+        assert!(low < high, "low-margin {low} vs high-margin {high}");
+        assert!((0.15..=0.85).contains(&low));
+        assert!((0.15..=0.85).contains(&high));
+        // Degenerate σ stays at the midpoint instead of dividing by 0.
+        assert!((throttle_floor(2.0, 1.72, 0.0) - 0.45).abs() < 1e-12);
     }
 
     #[test]

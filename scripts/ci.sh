@@ -25,10 +25,13 @@ echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> reproduce smoke: determinism + perf (--filter quick)"
-# The fast experiment subset (fig5, e19_rung, e21_rung, e22_rung), run at
-# one thread and at all host threads: fails if the rendered tables are not
-# byte-identical, and leaves the per-experiment wall-clock/speedup/cache
-# telemetry (global + per-shard counters) in BENCH_PERF.json.
+# The fast experiment subset (fig5, e19_rung, e21_rung, e22_rung,
+# e23_rung), run at one thread and at all host threads: fails if the
+# rendered tables are not byte-identical, and leaves the per-experiment
+# wall-clock/speedup/cache telemetry (global + non-zero per-shard
+# counters) in BENCH_PERF.json. Each serving rung routes a modeled batch
+# through sim::costcache, so a 0% overall hit rate here is a regression
+# (the binary warns on it).
 time target/release/reproduce --threads "$(nproc)" --filter quick \
   --determinism-check --bench-perf BENCH_PERF.json
 
@@ -42,8 +45,10 @@ echo "==> chaos smoke: failover survives the seeded correlated-fault suite"
 # The aimed chaos suite (host crash, rolling rack loss, partition at the
 # diurnal peak) against a domain-aware failover cell, plus the region
 # suite (pod loss, rolling pod loss, region outage at the crest, WAN
-# partition) against the global router: zero cell-level requests lost
-# forever, request accounting conserved everywhere, goodput >= 90 %.
+# partition, and the fail-slow gray_failure preset — thermal throttles,
+# retention drift, a flapping NIC — against the outlier-hedge arm): zero
+# cell-level requests lost forever, request accounting conserved
+# everywhere, goodput >= 90 %.
 target/release/reproduce --chaos-smoke
 
 echo "==> cargo test"

@@ -4,9 +4,9 @@
 //! results in submission order, so the rendered output must be
 //! byte-identical at any thread count. This runs the `--filter quick`
 //! subset — fig5 (serving Monte-Carlo sweeps), one E19 SDC ladder rung,
-//! the E21 failover rung, and the E22 global-router rung — the same
-//! selection `scripts/ci.sh` smoke-checks — plus the E22 headline
-//! comparison at 1/2/8 threads.
+//! the E21 failover rung, the E22 global-router rung, and the E23
+//! gray-failure rung — the same selection `scripts/ci.sh` smoke-checks
+//! — plus the E22 and E23 comparisons at 1/2/8 threads.
 
 use mtia_bench::experiments;
 use mtia_bench::render_reports;
@@ -37,7 +37,10 @@ fn filter_quick_selects_the_gated_subset() {
         .iter()
         .map(|e| e.name)
         .collect();
-    assert_eq!(names, vec!["fig5", "e19_rung", "e21_rung", "e22_rung"]);
+    assert_eq!(
+        names,
+        vec!["fig5", "e19_rung", "e21_rung", "e22_rung", "e23_rung"]
+    );
 }
 
 /// The E22 regional replay must be byte-identical at any thread count:
@@ -59,4 +62,25 @@ fn e22_comparison_is_byte_identical_across_thread_counts() {
     assert!(!one.is_empty());
     assert_eq!(one, two, "E22 rung differs between 1 and 2 threads");
     assert_eq!(one, eight, "E22 rung differs between 1 and 8 threads");
+}
+
+/// The E23 gray-failure replay — per-device queues, the outlier
+/// detector, and hedge timers — must likewise be byte-identical at any
+/// thread count, fingerprints included.
+#[test]
+fn e23_comparison_is_byte_identical_across_thread_counts() {
+    use mtia_bench::experiments::gray_exps;
+
+    let render = |threads: usize| {
+        pool::set_threads(threads);
+        let report = gray_exps::e23_rung();
+        pool::set_threads(0);
+        format!("{report}")
+    };
+    let one = render(1);
+    let two = render(2);
+    let eight = render(8);
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "E23 rung differs between 1 and 2 threads");
+    assert_eq!(one, eight, "E23 rung differs between 1 and 8 threads");
 }

@@ -129,7 +129,7 @@ fn spec_peaks_match_table2() {
 #[test]
 fn all_experiments_produce_tables() {
     let reports = mtia_bench::experiments::run_all();
-    assert_eq!(reports.len(), 26);
+    assert_eq!(reports.len(), 27);
     for r in &reports {
         assert!(!r.tables.is_empty(), "{} has no tables", r.id);
         for t in &r.tables {
@@ -208,4 +208,66 @@ fn e22_region_outage_browns_out_instead_of_blacking_out() {
     // spillover happened, and only the router arm spilled.
     assert!(cmp.router.spillover > 0);
     assert_eq!(cmp.naive.spillover, 0);
+}
+
+/// ISSUE-7 acceptance / §5.2: E23 replays one byte-identical
+/// ≥10⁶-request trace through a fail-slow storm that every liveness
+/// probe misses. The health-check-only arm's P99 collapses by ≥ 3×;
+/// the outlier-hedge arm holds goodput ≥ 99 % and P99 within 1.5× of
+/// the fault-free yardstick, with every hedged duplicate accounted.
+#[test]
+fn e23_gray_failure_detector_and_hedging_hold_the_slo() {
+    use mtia_bench::experiments::gray_exps::E23Scenario;
+
+    let scenario = E23Scenario::production();
+    assert!(
+        scenario.trace.len() >= 1_000_000,
+        "E23 must drive at least a million requests, got {}",
+        scenario.trace.len()
+    );
+    let [clean, naive, resilient] = scenario.arms();
+    for r in [&clean, &naive, &resilient] {
+        assert_eq!(r.unaccounted(), 0, "{} arm leaks requests", r.policy);
+        // The storm is fail-slow only: no device ever goes down, no
+        // request is killed in flight, in any arm.
+        assert_eq!(r.device_downs, 0);
+        assert_eq!(r.lost_killed, 0);
+    }
+    assert_eq!(naive.trace_fingerprint, resilient.trace_fingerprint);
+    assert_eq!(naive.fault_fingerprint, resilient.fault_fingerprint);
+    assert_eq!(clean.trace_fingerprint, naive.trace_fingerprint);
+
+    let base_p99 = clean.request_latency.p99().as_secs_f64();
+    let naive_p99 = naive.request_latency.p99().as_secs_f64();
+    let resilient_p99 = resilient.request_latency.p99().as_secs_f64();
+    assert!(
+        naive_p99 >= 3.0 * base_p99,
+        "gray storm must collapse the health-check-only P99: \
+         {naive_p99} vs fault-free {base_p99}"
+    );
+    assert!(
+        resilient.goodput() >= 0.99,
+        "resilient goodput {}",
+        resilient.goodput()
+    );
+    assert!(
+        resilient_p99 <= 1.5 * base_p99,
+        "resilient P99 {resilient_p99} must hold within 1.5x of \
+         fault-free {base_p99}"
+    );
+
+    // The mechanism is visible in the ledger: the detector demoted
+    // sustained stragglers, hedges fired, some won, and every duplicate
+    // landed in exactly one accounting bucket.
+    assert!(resilient.outlier_demotions > 0);
+    assert!(resilient.hedges_issued > 0);
+    assert!(resilient.hedge_wins > 0);
+    assert!(
+        resilient.hedge_wins + resilient.duplicates_suppressed + resilient.hedges_cancelled
+            <= 2 * resilient.hedges_issued,
+        "each hedge races at most two copies"
+    );
+    // The naive arm has neither detector nor hedging.
+    assert_eq!(naive.outlier_demotions, 0);
+    assert_eq!(naive.hedges_issued, 0);
 }
