@@ -1,0 +1,179 @@
+//! Microbenchmarks of the DES event queue: the slab indexed binary heap
+//! (`mtia_core::eventq::EventQueue`) against the `BTreeMap<(SimTime,
+//! u64), T>` it replaced in the serving DES hot path, across pending-set
+//! sizes from 10³ to 10⁶.
+//!
+//! Three access patterns, mirroring what `mtia_serving::global::Sim`
+//! actually does per simulated request:
+//!
+//! - **churn**: pop the earliest event, schedule a replacement — the
+//!   steady-state inner loop (≥98% of queue traffic in a replay);
+//! - **cancel**: revoke a pending event by handle — hedge timers and
+//!   device wakes that a completion beats;
+//! - **fill+drain**: bulk build-up then full drain — trace load and
+//!   end-of-horizon.
+//!
+//! Times are drawn from a narrow LCG window around the current front so
+//! the heap depth actually matters; both structures see the identical
+//! key sequence. The equivalence of pop *order* is proved elsewhere
+//! (`tests/event_queue_model.rs`); this file only measures speed.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mtia_core::eventq::EventQueue;
+use mtia_core::SimTime;
+
+/// Deterministic time stream: a small offset window keeps pushed events
+/// interleaved with the pending set instead of always landing last.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_offset(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % 4096
+    }
+}
+
+const SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+/// Pop/push (or cancel/push) pairs measured per iteration.
+const CHURN: u64 = 1_000;
+
+fn prefill_queue(n: usize) -> (EventQueue<u64>, Lcg, u64) {
+    let mut q = EventQueue::with_capacity(n);
+    let mut lcg = Lcg(0x9e3779b97f4a7c15);
+    for seq in 0..n as u64 {
+        q.push(SimTime::from_nanos(lcg.next_offset()), seq, seq);
+    }
+    (q, lcg, n as u64)
+}
+
+fn prefill_map(n: usize) -> (BTreeMap<(SimTime, u64), u64>, Lcg, u64) {
+    let mut m = BTreeMap::new();
+    let mut lcg = Lcg(0x9e3779b97f4a7c15);
+    for seq in 0..n as u64 {
+        m.insert((SimTime::from_nanos(lcg.next_offset()), seq), seq);
+    }
+    (m, lcg, n as u64)
+}
+
+fn bench_churn(c: &mut Criterion) {
+    for n in SIZES {
+        c.bench_function(&format!("slab_queue_churn_{n}"), |b| {
+            let (mut q, mut lcg, mut seq) = prefill_queue(n);
+            b.iter(|| {
+                for _ in 0..CHURN {
+                    let (t, _, v) = q.pop().expect("pending set never drains");
+                    black_box(v);
+                    q.push(t + SimTime::from_nanos(lcg.next_offset()), seq, seq);
+                    seq += 1;
+                }
+            });
+        });
+        c.bench_function(&format!("btreemap_churn_{n}"), |b| {
+            let (mut m, mut lcg, mut seq) = prefill_map(n);
+            b.iter(|| {
+                for _ in 0..CHURN {
+                    let ((t, _), v) = m.pop_first().expect("pending set never drains");
+                    black_box(v);
+                    m.insert((t + SimTime::from_nanos(lcg.next_offset()), seq), seq);
+                    seq += 1;
+                }
+            });
+        });
+    }
+}
+
+fn bench_cancel(c: &mut Criterion) {
+    for n in SIZES {
+        c.bench_function(&format!("slab_queue_cancel_{n}"), |b| {
+            let (mut q, mut lcg, mut seq) = prefill_queue(n);
+            // Rolling window of live handles to revoke, oldest first —
+            // the hedge-timer pattern.
+            let mut handles = std::collections::VecDeque::with_capacity(CHURN as usize);
+            b.iter(|| {
+                for _ in 0..CHURN {
+                    let id = q.push(SimTime::from_nanos(lcg.next_offset()), seq, seq);
+                    handles.push_back(id);
+                    seq += 1;
+                    if handles.len() > CHURN as usize / 2 {
+                        let victim = handles.pop_front().expect("window is non-empty");
+                        black_box(q.cancel(victim));
+                    }
+                }
+                while let Some(victim) = handles.pop_front() {
+                    black_box(q.cancel(victim));
+                }
+            });
+        });
+        c.bench_function(&format!("btreemap_cancel_{n}"), |b| {
+            let (mut m, mut lcg, mut seq) = prefill_map(n);
+            // The BTreeMap "handle" is the key itself: cancel = remove.
+            let mut keys = std::collections::VecDeque::with_capacity(CHURN as usize);
+            b.iter(|| {
+                for _ in 0..CHURN {
+                    let key = (SimTime::from_nanos(lcg.next_offset()), seq);
+                    m.insert(key, seq);
+                    keys.push_back(key);
+                    seq += 1;
+                    if keys.len() > CHURN as usize / 2 {
+                        let victim = keys.pop_front().expect("window is non-empty");
+                        black_box(m.remove(&victim));
+                    }
+                }
+                while let Some(victim) = keys.pop_front() {
+                    black_box(m.remove(&victim));
+                }
+            });
+        });
+    }
+}
+
+fn bench_fill_drain(c: &mut Criterion) {
+    // Full build-up + drain only at the two smaller sizes: per-iteration
+    // cost is O(n log n), and the larger sizes are covered by churn.
+    for n in [1_000usize, 10_000] {
+        c.bench_function(&format!("slab_queue_fill_drain_{n}"), |b| {
+            b.iter_batched(
+                || EventQueue::with_capacity(n),
+                |mut q| {
+                    let mut lcg = Lcg(7);
+                    for seq in 0..n as u64 {
+                        q.push(SimTime::from_nanos(lcg.next_offset()), seq, seq);
+                    }
+                    while let Some(ev) = q.pop() {
+                        black_box(ev);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        c.bench_function(&format!("btreemap_fill_drain_{n}"), |b| {
+            b.iter_batched(
+                BTreeMap::new,
+                |mut m| {
+                    let mut lcg = Lcg(7);
+                    for seq in 0..n as u64 {
+                        m.insert((SimTime::from_nanos(lcg.next_offset()), seq), seq);
+                    }
+                    while let Some(ev) = m.pop_first() {
+                        black_box(ev);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_churn, bench_cancel, bench_fill_drain
+}
+criterion_main!(benches);

@@ -16,8 +16,19 @@
 //!                        is byte-identical
 //!   --bench-perf PATH    time each selected experiment at 1 thread and
 //!                        at N threads and write a JSON report (wall
-//!                        clock, speedup, kernel-cost-cache hit rate
-//!                        plus per-shard hit/miss counts)
+//!                        clock, speedup, simulated DES events and
+//!                        events/sec, peak RSS, kernel-cost-cache hit
+//!                        rate plus per-shard hit/miss counts)
+//!   --perf-baseline PATH compare the --bench-perf results against a
+//!                        checked-in baseline JSON and fail when any
+//!                        gated experiment's single-thread events/sec
+//!                        regresses by more than 25%; only entries
+//!                        simulating ≥100k events are gated (smaller
+//!                        ones are timing noise). Setting
+//!                        MTIA_PERF_ALLOW_REGRESSION=1 downgrades the
+//!                        failure to a warning (for hosts with known
+//!                        slower/noisier clocks; the JSON still records
+//!                        the measured rates)
 //!   --trace-out DIR      write the pinned-seed scenario traces
 //!                        (canonical + Chrome trace_event JSON) and a
 //!                        per-experiment metrics dump into DIR
@@ -51,6 +62,7 @@ struct Options {
     list: bool,
     determinism_check: bool,
     bench_perf: Option<String>,
+    perf_baseline: Option<String>,
     trace_out: Option<String>,
     telemetry_smoke: bool,
     chaos_smoke: bool,
@@ -59,7 +71,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--threads N] [--filter STR] [--list] \
-         [--determinism-check] [--bench-perf PATH] [--trace-out DIR] \
+         [--determinism-check] [--bench-perf PATH] \
+         [--perf-baseline PATH] [--trace-out DIR] \
          [--telemetry-smoke] [--chaos-smoke]"
     );
     std::process::exit(2)
@@ -72,6 +85,7 @@ fn parse_args() -> Options {
         list: false,
         determinism_check: false,
         bench_perf: None,
+        perf_baseline: None,
         trace_out: None,
         telemetry_smoke: false,
         chaos_smoke: false,
@@ -87,6 +101,7 @@ fn parse_args() -> Options {
             "--list" => opts.list = true,
             "--determinism-check" => opts.determinism_check = true,
             "--bench-perf" => opts.bench_perf = Some(args.next().unwrap_or_else(|| usage())),
+            "--perf-baseline" => opts.perf_baseline = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-out" => opts.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--telemetry-smoke" => opts.telemetry_smoke = true,
             "--chaos-smoke" => opts.chaos_smoke = true,
@@ -122,20 +137,43 @@ fn selection(opts: &Options) -> Vec<ExperimentEntry> {
     entries
 }
 
-/// Runs `entries` and reports wall-clock plus the kernel-cost-cache
-/// delta for the run (the cache is process-global, so it is reset first
-/// for honest cold-start numbers).
-fn timed_run(
-    entries: &[ExperimentEntry],
-    threads: usize,
-) -> (String, f64, mtia_core::memo::CacheStats) {
+/// One timed pass over a selection: rendered output, wall clock, the
+/// kernel-cost-cache delta, and the simulated-DES-event delta (both
+/// process-global, so both are snapshotted around the run).
+struct TimedRun {
+    out: String,
+    wall: f64,
+    cache: mtia_core::memo::CacheStats,
+    events: u64,
+}
+
+/// Runs `entries` and reports wall-clock plus the kernel-cost-cache and
+/// DES-event deltas for the run (the cache is process-global, so it is
+/// reset first for honest cold-start numbers).
+fn timed_run(entries: &[ExperimentEntry], threads: usize) -> TimedRun {
     mtia_sim::costcache::reset();
+    let events_before = mtia_core::perfcount::events();
     pool::set_threads(threads);
     let start = Instant::now();
     let reports = experiments::run_entries(entries.to_vec());
     let wall = start.elapsed().as_secs_f64();
     pool::set_threads(0);
-    (render_reports(&reports), wall, mtia_sim::costcache::stats())
+    TimedRun {
+        out: render_reports(&reports),
+        wall,
+        cache: mtia_sim::costcache::stats(),
+        events: mtia_core::perfcount::events() - events_before,
+    }
+}
+
+/// Process peak resident-set size from `/proc/self/status` (`VmHWM`), in
+/// bytes. A high-water mark: per-experiment readings attribute the peak
+/// to the first entry that reached it. `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 fn json_f64(x: f64) -> String {
@@ -146,20 +184,42 @@ fn json_f64(x: f64) -> String {
     }
 }
 
+/// One experiment's measured rates, kept for the baseline gate.
+struct PerfRow {
+    name: &'static str,
+    events: u64,
+    events_per_sec_1t: f64,
+}
+
+/// Experiments below this simulated-event count are not regression-gated:
+/// their wall clock is milliseconds and the events/sec quotient is
+/// dominated by scheduler/allocator noise, not simulator throughput.
+const PERF_GATE_MIN_EVENTS: u64 = 100_000;
+
+/// Maximum tolerated single-thread events/sec drop vs the baseline.
+const PERF_GATE_MAX_REGRESSION: f64 = 0.25;
+
 /// Emits the BENCH_PERF.json payload: per-experiment wall clock at one
-/// thread and at `threads`, speedup, byte-identity, and cost-cache hit
+/// thread and at `threads`, speedup, byte-identity, simulated DES
+/// events with single-thread events/sec, peak RSS, and cost-cache hit
 /// rates. Hand-rolled JSON — the workspace takes no serde dependency.
-fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
+fn bench_perf(
+    entries: &[ExperimentEntry],
+    threads: usize,
+    path: &str,
+    measured: &mut Vec<PerfRow>,
+) -> bool {
     let mut rows = String::new();
     let mut total_1t = 0.0;
     let mut total_nt = 0.0;
+    let mut total_events = 0u64;
     let mut total_hits = 0u64;
     let mut total_misses = 0u64;
     let mut all_identical = true;
     for (i, entry) in entries.iter().enumerate() {
         let one = std::slice::from_ref(entry);
-        let (out_1t, wall_1t, _) = timed_run(one, 1);
-        let (out_nt, wall_nt, cache) = timed_run(one, threads);
+        let run_1t = timed_run(one, 1);
+        let run_nt = timed_run(one, threads);
         // Per-shard counters from the N-thread run (the cache was reset
         // at its start), so shard-load skew under the pool is visible.
         // Only shards that saw traffic are emitted — the all-zero
@@ -176,37 +236,61 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
                 )
             })
             .collect();
-        let identical = out_1t == out_nt;
+        let identical = run_1t.out == run_nt.out && run_1t.events == run_nt.events;
         all_identical &= identical;
-        total_1t += wall_1t;
-        total_nt += wall_nt;
-        total_hits += cache.hits;
-        total_misses += cache.misses;
+        total_1t += run_1t.wall;
+        total_nt += run_nt.wall;
+        total_events += run_1t.events;
+        total_hits += run_nt.cache.hits;
+        total_misses += run_nt.cache.misses;
+        // Single-thread rate, best-of-runs: on a one-core host both legs
+        // run at one thread, so taking the faster (min-time practice)
+        // roughly halves the scheduler jitter the regression gate sees.
+        let mut wall_1t = run_1t.wall;
+        if threads == 1 {
+            wall_1t = wall_1t.min(run_nt.wall);
+        }
+        let events_per_sec_1t = run_1t.events as f64 / wall_1t.max(1e-9);
+        let peak_rss = peak_rss_bytes();
+        measured.push(PerfRow {
+            name: entry.name,
+            events: run_1t.events,
+            events_per_sec_1t,
+        });
         eprintln!(
-            "  {:<24} 1t {:>8.3}s  {}t {:>8.3}s  speedup {:>5.2}x  cache {:>5.1}%  {}",
+            "  {:<24} 1t {:>8.3}s  {}t {:>8.3}s  speedup {:>5.2}x  \
+             {:>10} ev ({:>9.0}/s)  cache {:>5.1}%  {}",
             entry.name,
-            wall_1t,
+            run_1t.wall,
             threads,
-            wall_nt,
-            wall_1t / wall_nt,
-            cache.hit_rate() * 100.0,
+            run_nt.wall,
+            run_1t.wall / run_nt.wall,
+            run_1t.events,
+            events_per_sec_1t,
+            run_nt.cache.hit_rate() * 100.0,
             if identical { "identical" } else { "MISMATCH" },
         );
         write!(
             rows,
             "{}    {{\"name\": \"{}\", \"wall_s_1t\": {}, \"wall_s_nt\": {}, \
              \"speedup\": {}, \"identical\": {}, \
+             \"events\": {}, \"events_per_sec_1t\": {}, \
+             \"events_per_sec_nt\": {}, \"peak_rss_bytes\": {}, \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}, \
              \"shards\": [{}]}}}}",
             if i == 0 { "" } else { ",\n" },
             entry.name,
-            json_f64(wall_1t),
-            json_f64(wall_nt),
-            json_f64(wall_1t / wall_nt),
+            json_f64(run_1t.wall),
+            json_f64(run_nt.wall),
+            json_f64(run_1t.wall / run_nt.wall),
             identical,
-            cache.hits,
-            cache.misses,
-            json_f64(cache.hit_rate()),
+            run_1t.events,
+            json_f64(events_per_sec_1t),
+            json_f64(run_nt.events as f64 / run_nt.wall.max(1e-9)),
+            peak_rss.map_or("null".to_string(), |b| b.to_string()),
+            run_nt.cache.hits,
+            run_nt.cache.misses,
+            json_f64(run_nt.cache.hit_rate()),
             shard_rows.join(", "),
         )
         .expect("string write");
@@ -215,13 +299,17 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
         "{{\n  \"threads\": {},\n  \"host_parallelism\": {},\n  \
          \"experiments\": [\n{}\n  ],\n  \"total_wall_s_1t\": {},\n  \
          \"total_wall_s_nt\": {},\n  \"overall_speedup\": {},\n  \
-         \"all_identical\": {}\n}}\n",
+         \"total_events\": {},\n  \"overall_events_per_sec_1t\": {},\n  \
+         \"peak_rss_bytes\": {},\n  \"all_identical\": {}\n}}\n",
         threads,
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         rows,
         json_f64(total_1t),
         json_f64(total_nt),
         json_f64(total_1t / total_nt),
+        total_events,
+        json_f64(total_events as f64 / total_1t.max(1e-9)),
+        peak_rss_bytes().map_or("null".to_string(), |b| b.to_string()),
         all_identical,
     );
     if total_hits == 0 {
@@ -238,6 +326,118 @@ fn bench_perf(entries: &[ExperimentEntry], threads: usize, path: &str) -> bool {
     }
     eprintln!("wrote {path}");
     all_identical
+}
+
+/// Pulls `(name, events, events_per_sec_1t)` triples out of a
+/// `--bench-perf` JSON file. A purpose-built scanner, not a JSON parser:
+/// it reads the format `bench_perf` writes (and tolerates whitespace
+/// differences), which is all the baseline gate needs without a serde
+/// dependency.
+fn parse_baseline(body: &str) -> Vec<(String, u64, f64)> {
+    let mut rows = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find("\"name\": \"") {
+        rest = &rest[pos + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let field = |rest: &str, key: &str| -> Option<f64> {
+            let pos = rest.find(key)?;
+            let tail = &rest[pos + key.len()..];
+            let num: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | 'e' | 'E' | '+'))
+                .collect();
+            num.parse().ok()
+        };
+        // Search within this row only (up to the next "name" key or EOF)
+        // so a malformed row cannot borrow fields from its neighbor.
+        let row_end = rest.find("\"name\": \"").unwrap_or(rest.len());
+        let row = &rest[..row_end];
+        if let (Some(events), Some(eps)) = (
+            field(row, "\"events\": "),
+            field(row, "\"events_per_sec_1t\": "),
+        ) {
+            rows.push((name, events as u64, eps));
+        }
+        rest = &rest[end..];
+    }
+    rows
+}
+
+/// Gates the measured single-thread events/sec against a checked-in
+/// baseline: any entry simulating ≥[`PERF_GATE_MIN_EVENTS`] events in
+/// both runs must stay within [`PERF_GATE_MAX_REGRESSION`] of its
+/// baseline rate. `MTIA_PERF_ALLOW_REGRESSION=1` downgrades a failure
+/// to a warning.
+fn perf_baseline_gate(measured: &[PerfRow], path: &str) -> bool {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("failed to read perf baseline {path}: {e}");
+            return false;
+        }
+    };
+    let baseline = parse_baseline(&body);
+    if baseline.is_empty() {
+        eprintln!("perf baseline {path} contains no parsable experiment rows");
+        return false;
+    }
+    let mut gated = 0;
+    let mut regressed = Vec::new();
+    for row in measured {
+        let Some((_, base_events, base_eps)) =
+            baseline.iter().find(|(name, _, _)| name == row.name)
+        else {
+            continue;
+        };
+        if row.events < PERF_GATE_MIN_EVENTS
+            || *base_events < PERF_GATE_MIN_EVENTS
+            || *base_eps <= 0.0
+        {
+            continue;
+        }
+        gated += 1;
+        let ratio = row.events_per_sec_1t / base_eps;
+        let verdict = if ratio < 1.0 - PERF_GATE_MAX_REGRESSION {
+            regressed.push(row.name);
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  perf gate {:<24} {:>9.0}/s vs baseline {:>9.0}/s ({:+.1}%)  {}",
+            row.name,
+            row.events_per_sec_1t,
+            base_eps,
+            (ratio - 1.0) * 100.0,
+            verdict,
+        );
+    }
+    if gated == 0 {
+        eprintln!(
+            "perf gate: no experiment cleared the {PERF_GATE_MIN_EVENTS}-event \
+             floor in both runs — nothing gated"
+        );
+        return true;
+    }
+    if regressed.is_empty() {
+        eprintln!("perf gate passed: {gated} experiment(s) within 25% of baseline events/sec");
+        return true;
+    }
+    let allow = std::env::var("MTIA_PERF_ALLOW_REGRESSION").is_ok_and(|v| v == "1");
+    eprintln!(
+        "perf gate {}: events/sec regressed >25% vs {path} for: {}{}",
+        if allow { "overridden" } else { "FAILED" },
+        regressed.join(", "),
+        if allow {
+            " (MTIA_PERF_ALLOW_REGRESSION=1)"
+        } else {
+            "; rerun with MTIA_PERF_ALLOW_REGRESSION=1 to override on a \
+             known-slow host, or refresh BENCH_BASELINE.json if the \
+             slowdown is intended"
+        },
+    );
+    allow
 }
 
 /// Writes the pinned-seed scenario traces (canonical + Chrome
@@ -275,17 +475,18 @@ fn trace_out(entries: &[ExperimentEntry], dir: &str) -> bool {
     // each experiment produced on a cold cache.
     let mut rows = String::new();
     for (i, entry) in entries.iter().enumerate() {
-        let (_, wall, cache) = timed_run(std::slice::from_ref(entry), 1);
+        let run = timed_run(std::slice::from_ref(entry), 1);
         write!(
             rows,
-            "{}    {{\"name\": \"{}\", \"wall_s\": {}, \
+            "{}    {{\"name\": \"{}\", \"wall_s\": {}, \"events\": {}, \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}}}}}",
             if i == 0 { "" } else { ",\n" },
             entry.name,
-            json_f64(wall),
-            cache.hits,
-            cache.misses,
-            json_f64(cache.hit_rate()),
+            json_f64(run.wall),
+            run.events,
+            run.cache.hits,
+            run.cache.misses,
+            json_f64(run.cache.hit_rate()),
         )
         .expect("string write");
     }
@@ -387,13 +588,15 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     if opts.determinism_check {
-        let (out_1t, wall_1t, _) = timed_run(&entries, 1);
-        let (out_nt, wall_nt, _) = timed_run(&entries, threads);
-        if out_1t == out_nt {
+        let run_1t = timed_run(&entries, 1);
+        let run_nt = timed_run(&entries, threads);
+        if run_1t.out == run_nt.out {
             eprintln!(
                 "determinism check passed: {} experiments byte-identical at 1 \
-                 and {threads} threads ({wall_1t:.3}s -> {wall_nt:.3}s)",
-                entries.len()
+                 and {threads} threads ({:.3}s -> {:.3}s)",
+                entries.len(),
+                run_1t.wall,
+                run_nt.wall,
             );
         } else {
             eprintln!("determinism check FAILED: output differs between 1 and {threads} threads");
@@ -401,7 +604,14 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = &opts.bench_perf {
-        failed |= !bench_perf(&entries, threads, path);
+        let mut measured = Vec::new();
+        failed |= !bench_perf(&entries, threads, path, &mut measured);
+        if let Some(baseline) = &opts.perf_baseline {
+            failed |= !perf_baseline_gate(&measured, baseline);
+        }
+    } else if opts.perf_baseline.is_some() {
+        eprintln!("--perf-baseline requires --bench-perf");
+        usage();
     }
     if opts.telemetry_smoke {
         failed |= !telemetry_smoke();

@@ -17,6 +17,7 @@ pub mod global_exps;
 pub mod gray_exps;
 pub mod llm;
 pub mod locality;
+pub mod planet_exps;
 pub mod quant;
 pub mod sdc_exps;
 pub mod tables;
@@ -147,13 +148,18 @@ pub fn registry() -> Vec<ExperimentEntry> {
             name: "e23_gray",
             run: gray_exps::e23_gray,
         },
+        ExperimentEntry {
+            name: "e24_planet",
+            run: planet_exps::e24_planet,
+        },
     ]
 }
 
 /// The fast subset behind `--filter quick` and the determinism gate:
 /// fig5 (serving Monte-Carlo sweeps), a single E19 SDC ladder rung, the
 /// E21 toy-tree failover rung, the E22 toy-fleet global-router rung,
-/// and the E23 toy-fleet gray-failure rung.
+/// the E23 toy-fleet gray-failure rung, and the E24 sharded-planet
+/// rung (also the perf gate's stable events/sec row).
 pub fn quick_subset() -> Vec<ExperimentEntry> {
     vec![
         ExperimentEntry {
@@ -175,6 +181,10 @@ pub fn quick_subset() -> Vec<ExperimentEntry> {
         ExperimentEntry {
             name: "e23_rung",
             run: gray_exps::e23_rung,
+        },
+        ExperimentEntry {
+            name: "e24_rung",
+            run: planet_exps::e24_rung,
         },
     ]
 }
@@ -268,7 +278,7 @@ mod registry_tests {
     #[test]
     fn registry_names_are_unique_and_cover_the_paper_order() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 27);
+        assert_eq!(names.len(), 28);
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -27,8 +27,10 @@
 pub mod calib;
 pub mod dtype;
 pub mod error;
+pub mod eventq;
 pub mod incident;
 pub mod memo;
+pub mod perfcount;
 pub mod pool;
 pub mod power;
 pub mod seed;

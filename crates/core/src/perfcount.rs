@@ -1,0 +1,39 @@
+//! Process-wide simulated-event accounting.
+//!
+//! Every discrete-event simulator in the workspace that wants to show
+//! up in `reproduce --bench-perf`'s events/sec column flushes its
+//! per-run event count here once, when its report is built. The
+//! counter is a plain atomic: totals are deterministic (the same
+//! experiments flush the same counts in any interleaving) even though
+//! flush *order* is not, and nothing behavioural ever reads it — it is
+//! measurement plumbing, not simulation state.
+//!
+//! The bench runner snapshots the counter around a timed run:
+//!
+//! ```
+//! use mtia_core::perfcount;
+//!
+//! let before = perfcount::events();
+//! perfcount::add_events(12_345); // a simulator drains...
+//! let simulated = perfcount::events() - before;
+//! assert_eq!(simulated, 12_345);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DES_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds `n` simulated events to the process-wide total.
+pub fn add_events(n: u64) {
+    DES_EVENTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// The process-wide total of simulated events flushed so far.
+pub fn events() -> u64 {
+    DES_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Resets the counter to zero (bench-runner bookkeeping between runs).
+pub fn reset_events() {
+    DES_EVENTS.store(0, Ordering::Relaxed);
+}

@@ -43,9 +43,11 @@
 //! [`HealthMachine`]: crate::resilience::HealthMachine
 
 mod report;
+pub mod shard;
 mod sim;
 
 pub use report::{GlobalComparison, GlobalReport};
+pub use shard::{simulate_planet, CellSpec, PlanetConfig, PlanetReport};
 pub use sim::{compare_global, simulate_global, simulate_global_traced};
 
 use mtia_core::seed::derive_indexed;

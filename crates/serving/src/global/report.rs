@@ -58,6 +58,10 @@ pub struct GlobalReport {
     /// Device-down transitions from fail-stop faults (per-device
     /// capacity kills, as opposed to fail-slow degradation).
     pub device_downs: u64,
+    /// Simulated events processed by the DES loop over the whole run —
+    /// the raw-throughput denominator `--bench-perf` reports events/sec
+    /// against. Purely observational; never feeds back into routing.
+    pub events: u64,
     /// End-to-end latency of served requests (both tiers).
     pub request_latency: LatencyHistogram,
     /// End-to-end latency of cross-region (spillover) requests only —

@@ -1,0 +1,349 @@
+//! Cell-sharded parallel execution of the global DES.
+//!
+//! A planetary fleet is operated as many *serving cells* — disjoint
+//! pod/region groups with their own ingress traffic and fault plans.
+//! Requests never cross a cell boundary (each cell is a complete
+//! [`GlobalFleetSpec`]), which makes the cells' event streams
+//! independent between coupling points — exactly the structure a
+//! parallel DES wants.
+//!
+//! [`simulate_planet`] advances one resumable [`Sim`](super::sim) per
+//! cell in lock-step **epochs** on the `mtia_core::pool` workers:
+//!
+//! ```text
+//! epoch k:   cell 0 ──run_until(k·epoch)──┐
+//!            cell 1 ──run_until(k·epoch)──┤  parallel_map
+//!            …                            │  (index-ordered)
+//!            cell N ──run_until(k·epoch)──┘
+//! barrier:   fleet-wide utilization → ladder tier floor for epoch k+1
+//! ```
+//!
+//! Determinism does not depend on the thread count: each cell's
+//! simulation is a pure function of its inputs plus the tier floor
+//! sequence, `parallel_map` returns results in submission order, and
+//! the barrier reduction folds cell loads in cell-index order. One
+//! cell with coupling off is *exactly* [`simulate_global`] — the
+//! equivalence test pins that.
+//!
+//! The optional **ladder coupling** is the one fleet-wide control
+//! signal: at every barrier the driver sums `busy + queued` and `up`
+//! slots across cells and maps the global utilization through the
+//! first cell's ladder thresholds (no hysteresis — the floor is
+//! re-derived from scratch each barrier) into a minimum degradation
+//! tier every cell must respect in the next epoch. That models a
+//! planetary traffic controller reacting at control-plane cadence
+//! (the epoch) rather than per request, and it is what the epoch
+//! barrier is *for* — without it the cells would be embarrassingly
+//! parallel and no barrier would be needed.
+//!
+//! [`simulate_global`]: super::simulate_global
+
+use mtia_core::telemetry::Telemetry;
+use mtia_core::SimTime;
+use mtia_sim::faults::FaultPlan;
+
+use super::report::GlobalReport;
+use super::sim::Sim;
+use super::{GlobalConfig, GlobalFleetSpec, RegionalTrace, RoutingPolicy};
+
+/// One serving cell: a complete, self-contained global-DES input
+/// tuple. Cells are simulated independently and merged.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// The cell's pod/region shape.
+    pub spec: GlobalFleetSpec,
+    /// Router/ladder/gray configuration.
+    pub config: GlobalConfig,
+    /// The cell's ingress arrival trace.
+    pub trace: RegionalTrace,
+    /// The cell's fault plan.
+    pub plan: FaultPlan,
+    /// Routing arm.
+    pub policy: RoutingPolicy,
+}
+
+/// How the sharded driver advances and couples the cells.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanetConfig {
+    /// Epoch length — the barrier cadence. Smaller epochs couple the
+    /// ladder tighter and synchronize more often.
+    pub epoch: SimTime,
+    /// Couple the degradation ladder fleet-wide at each barrier. With
+    /// this off the cells are fully independent and a single-cell run
+    /// is byte-identical to [`simulate_global`](super::simulate_global).
+    pub couple_ladder: bool,
+}
+
+impl PlanetConfig {
+    /// Control-plane cadence: 1 s epochs, ladder coupling on.
+    pub fn production() -> Self {
+        PlanetConfig {
+            epoch: SimTime::from_secs(1),
+            couple_ladder: true,
+        }
+    }
+
+    /// Uncoupled cells (pure fan-out; no fleet-wide signal).
+    pub fn uncoupled(epoch: SimTime) -> Self {
+        PlanetConfig {
+            epoch,
+            couple_ladder: false,
+        }
+    }
+}
+
+/// A planetary replay's outcome: the per-cell reports plus the
+/// deterministic merge.
+#[derive(Debug, Clone)]
+pub struct PlanetReport {
+    /// One report per cell, in cell order.
+    pub cells: Vec<GlobalReport>,
+    /// The fleet-wide merge: counters summed, latency histograms
+    /// merged, recovery time maxed, headroom min'd, fingerprints
+    /// folded in cell order, `routed` block-diagonal over the cells'
+    /// disjoint region/pod index spaces.
+    pub merged: GlobalReport,
+}
+
+/// Folds per-cell fingerprints into one fleet identity (FNV-style,
+/// order-sensitive so cell permutations are visible).
+fn fold_fingerprints(parts: impl Iterator<Item = u64>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for byte in part.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Merges fully-drained per-cell reports into the fleet-wide view.
+fn merge_reports(cells: &[GlobalReport]) -> GlobalReport {
+    assert!(!cells.is_empty(), "a planet needs at least one cell");
+    let total_regions: usize = cells.iter().map(|c| c.routed.len()).sum();
+    let total_pods: usize = cells
+        .iter()
+        .map(|c| c.routed.first().map_or(0, Vec::len))
+        .sum();
+    let mut merged = GlobalReport {
+        policy: cells[0].policy,
+        seed: cells[0].seed,
+        fault_fingerprint: fold_fingerprints(cells.iter().map(|c| c.fault_fingerprint)),
+        trace_fingerprint: fold_fingerprints(cells.iter().map(|c| c.trace_fingerprint)),
+        offered: 0,
+        served_full: 0,
+        served_degraded: 0,
+        shed: 0,
+        lost: 0,
+        lost_unroutable: 0,
+        lost_killed: 0,
+        lost_deadline: 0,
+        spillover: 0,
+        hedges_issued: 0,
+        hedge_wins: 0,
+        duplicates_suppressed: 0,
+        hedges_cancelled: 0,
+        outlier_demotions: 0,
+        device_downs: 0,
+        events: 0,
+        request_latency: crate::latency::LatencyHistogram::new(),
+        spillover_latency: crate::latency::LatencyHistogram::new(),
+        recovery_time: SimTime::ZERO,
+        capacity_headroom: 1.0,
+        routed: vec![vec![0; total_pods]; total_regions],
+    };
+    let (mut region_base, mut pod_base) = (0usize, 0usize);
+    for cell in cells {
+        merged.offered += cell.offered;
+        merged.served_full += cell.served_full;
+        merged.served_degraded += cell.served_degraded;
+        merged.shed += cell.shed;
+        merged.lost += cell.lost;
+        merged.lost_unroutable += cell.lost_unroutable;
+        merged.lost_killed += cell.lost_killed;
+        merged.lost_deadline += cell.lost_deadline;
+        merged.spillover += cell.spillover;
+        merged.hedges_issued += cell.hedges_issued;
+        merged.hedge_wins += cell.hedge_wins;
+        merged.duplicates_suppressed += cell.duplicates_suppressed;
+        merged.hedges_cancelled += cell.hedges_cancelled;
+        merged.outlier_demotions += cell.outlier_demotions;
+        merged.device_downs += cell.device_downs;
+        merged.events += cell.events;
+        merged.request_latency.merge(&cell.request_latency);
+        merged.spillover_latency.merge(&cell.spillover_latency);
+        merged.recovery_time = merged.recovery_time.max(cell.recovery_time);
+        merged.capacity_headroom = merged.capacity_headroom.min(cell.capacity_headroom);
+        for (r, row) in cell.routed.iter().enumerate() {
+            for (p, &count) in row.iter().enumerate() {
+                merged.routed[region_base + r][pod_base + p] = count;
+            }
+        }
+        region_base += cell.routed.len();
+        pod_base += cell.routed.first().map_or(0, Vec::len);
+    }
+    merged
+}
+
+/// Replays every cell to drain, sharded across the pool workers at
+/// epoch granularity, and merges deterministically.
+///
+/// The result is byte-identical at any thread count: cell work is
+/// distributed by `mtia_core::pool::parallel_map`, which preserves
+/// submission order, and every cross-cell reduction folds in cell
+/// index order.
+pub fn simulate_planet(cells: &[CellSpec], planet: PlanetConfig) -> PlanetReport {
+    assert!(!cells.is_empty(), "a planet needs at least one cell");
+    assert!(
+        planet.epoch > SimTime::ZERO,
+        "epoch must advance simulated time"
+    );
+    let mut sims: Vec<Sim<'_>> = cells
+        .iter()
+        .map(|c| Sim::new(&c.spec, &c.config, &c.trace, &c.plan, c.policy))
+        .collect();
+    let ladder = cells[0].config.ladder;
+    let mut limit = planet.epoch;
+    loop {
+        sims = mtia_core::pool::parallel_map(sims, |_, mut sim| {
+            sim.run_until(limit, &mut Telemetry::disabled());
+            sim
+        });
+        if planet.couple_ladder {
+            // Barrier reduction in cell-index order: fleet utilization
+            // through the ladder thresholds, hysteresis-free.
+            let (mut load, mut up) = (0u64, 0u64);
+            for sim in &sims {
+                let (l, u) = sim.load();
+                load += l;
+                up += u;
+            }
+            let util = if up == 0 {
+                f64::INFINITY
+            } else {
+                load as f64 / up as f64
+            };
+            let floor = if util >= ladder.degrade_enter {
+                2
+            } else if util >= ladder.shed_enter {
+                1
+            } else {
+                0
+            };
+            for sim in &mut sims {
+                sim.set_tier_floor(floor);
+            }
+        }
+        if sims.iter().all(|s| s.next_time().is_none()) {
+            break;
+        }
+        limit += planet.epoch;
+    }
+    let cells: Vec<GlobalReport> = sims.into_iter().map(Sim::into_report).collect();
+    let merged = merge_reports(&cells);
+    PlanetReport { cells, merged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{build_regional_trace, simulate_global, RegionalTrafficConfig};
+    use mtia_core::pool;
+    use mtia_core::seed::derive_indexed;
+
+    fn toy_cell(index: u64, policy: RoutingPolicy) -> CellSpec {
+        let spec = GlobalFleetSpec::symmetric(2, 2, 8, SimTime::from_millis(60));
+        let seed = derive_indexed(42, "planet.cell", index);
+        let traffic = RegionalTrafficConfig::production(20.0, SimTime::from_secs(20));
+        let trace = build_regional_trace(&traffic, spec.regions, SimTime::from_secs(20), seed);
+        CellSpec {
+            spec,
+            config: GlobalConfig::production(seed),
+            trace,
+            plan: FaultPlan::empty(seed),
+            policy,
+        }
+    }
+
+    #[test]
+    fn one_uncoupled_cell_matches_simulate_global_exactly() {
+        let cell = toy_cell(0, RoutingPolicy::HealthAware);
+        let direct = simulate_global(
+            &cell.spec,
+            &cell.config,
+            &cell.trace,
+            &cell.plan,
+            cell.policy,
+        );
+        let planet = simulate_planet(
+            std::slice::from_ref(&cell),
+            PlanetConfig::uncoupled(SimTime::from_millis(250)),
+        );
+        let sharded = &planet.merged;
+        assert_eq!(direct.offered, sharded.offered);
+        assert_eq!(direct.served_full, sharded.served_full);
+        assert_eq!(direct.served_degraded, sharded.served_degraded);
+        assert_eq!(direct.shed, sharded.shed);
+        assert_eq!(direct.lost, sharded.lost);
+        assert_eq!(direct.spillover, sharded.spillover);
+        assert_eq!(direct.events, sharded.events);
+        assert_eq!(direct.routed, sharded.routed);
+        assert_eq!(
+            direct.request_latency.count(),
+            sharded.request_latency.count()
+        );
+        assert_eq!(
+            direct.request_latency.quantile(0.99),
+            sharded.request_latency.quantile(0.99)
+        );
+    }
+
+    #[test]
+    fn planet_is_byte_identical_across_thread_counts() {
+        let cells: Vec<CellSpec> = (0..4)
+            .map(|i| toy_cell(i, RoutingPolicy::HealthAware))
+            .collect();
+        let run = |threads: usize| {
+            pool::set_threads(threads);
+            let planet = simulate_planet(&cells, PlanetConfig::production());
+            pool::set_threads(0);
+            planet
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        for other in [&two, &eight] {
+            assert_eq!(one.merged.offered, other.merged.offered);
+            assert_eq!(one.merged.served_full, other.merged.served_full);
+            assert_eq!(one.merged.served_degraded, other.merged.served_degraded);
+            assert_eq!(one.merged.shed, other.merged.shed);
+            assert_eq!(one.merged.lost, other.merged.lost);
+            assert_eq!(one.merged.events, other.merged.events);
+            assert_eq!(one.merged.routed, other.merged.routed);
+            assert_eq!(one.merged.trace_fingerprint, other.merged.trace_fingerprint);
+            assert_eq!(
+                one.merged.request_latency.quantile(0.999),
+                other.merged.request_latency.quantile(0.999)
+            );
+        }
+    }
+
+    #[test]
+    fn merged_counters_conserve_across_cells() {
+        let cells: Vec<CellSpec> = (0..3)
+            .map(|i| toy_cell(i, RoutingPolicy::GrayResilient))
+            .collect();
+        let planet = simulate_planet(&cells, PlanetConfig::production());
+        assert_eq!(planet.cells.len(), 3);
+        assert_eq!(planet.merged.unaccounted(), 0);
+        let offered: u64 = planet.cells.iter().map(|c| c.offered).sum();
+        let events: u64 = planet.cells.iter().map(|c| c.events).sum();
+        assert_eq!(planet.merged.offered, offered);
+        assert_eq!(planet.merged.events, events);
+        assert_eq!(
+            planet.merged.request_latency.count(),
+            planet.cells.iter().map(|c| c.request_latency.count()).sum()
+        );
+    }
+}

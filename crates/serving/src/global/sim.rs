@@ -11,6 +11,34 @@
 //! hedge < arrival, then ascending ids), so byte-identical inputs give
 //! byte-identical reports at any thread count.
 //!
+//! # The hot core
+//!
+//! The event structures are built for throughput, not just
+//! correctness, because a planetary replay (E24) pushes ≥10⁷ requests
+//! and several times that many timed events through this loop:
+//!
+//! * completions, wakes, and hedge timers live in slab-allocated
+//!   indexed binary heaps ([`EventQueue`]) whose pops ascend in
+//!   exactly the `(time, id)` order the original `BTreeMap`/`BTreeSet`
+//!   queues iterated in — zero allocation at steady state, O(log n)
+//!   cancel by handle when a fault kills an in-flight request;
+//! * per-request state lives in a generational slab ([`Arena`]); the
+//!   registry keeps each request's *logical* (monotonic) id as the
+//!   hedge-timer tie-break so slot reuse can never reorder same-instant
+//!   hedges;
+//! * per-device state is struct-of-arrays ([`Devices`]): the routing
+//!   and probe sweeps scan dense `Vec<bool>`/`Vec<u32>` columns instead
+//!   of striding over fat structs, with a derived `eligible` column
+//!   maintained at every health/outlier/up transition;
+//! * the loop itself is resumable ([`Sim::run_until`]): the
+//!   cell-sharded parallel driver in [`super::shard`] advances many
+//!   independent `Sim`s in epoch-sized slices and merges their reports
+//!   deterministically.
+//!
+//! Every processed event increments a local counter that is flushed to
+//! [`mtia_core::perfcount`] when the report is built, which is what
+//! `reproduce --bench-perf` reports as simulated events/sec.
+//!
 //! Fault-plan interpretation:
 //!
 //! * capacity faults ([`FaultKind::HostCrash`],
@@ -59,6 +87,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use mtia_core::eventq::{Arena, ArenaRef, EventId, EventQueue};
 use mtia_core::telemetry::{Json, Telemetry};
 use mtia_core::SimTime;
 use mtia_sim::faults::{DeviceFaultState, FaultKind, FaultPlan};
@@ -68,7 +97,7 @@ use crate::resilience::outlier::OutlierDetector;
 use crate::resilience::{HealthMachine, HealthState};
 
 use super::report::{GlobalComparison, GlobalReport};
-use super::{GlobalConfig, GlobalFleetSpec, Priority, RegionalTrace, RoutingPolicy};
+use super::{GlobalArrival, GlobalConfig, GlobalFleetSpec, Priority, RegionalTrace, RoutingPolicy};
 
 /// Merges possibly-overlapping `(start, end)` windows into disjoint
 /// ascending intervals.
@@ -160,7 +189,7 @@ fn partition_toggles(spec: &GlobalFleetSpec, plan: &FaultPlan) -> Vec<(SimTime, 
 /// or in flight.
 #[derive(Debug, Clone, Copy)]
 struct QueuedCopy {
-    req: u64,
+    req: ArenaRef,
     arrived: SimTime,
     ingress: u32,
     wan_rtt: SimTime,
@@ -179,9 +208,12 @@ struct InFlight {
 
 /// Registry entry for one *logical* request: its copies race, the
 /// first completion answers it, and the loss class (if any) is decided
-/// by the last copy's fate.
+/// by the last copy's fate. `logical` is the request's monotonic issue
+/// number — the deterministic tie-break for same-instant hedge timers,
+/// stable across arena-slot reuse.
 #[derive(Debug, Clone, Copy)]
 struct ReqState {
+    logical: u64,
     arrived: SimTime,
     ingress: u32,
     degraded: bool,
@@ -204,15 +236,65 @@ enum CopyEnd {
     Killed,
 }
 
-struct DeviceState {
-    pod: u32,
-    region: u32,
-    up: bool,
-    busy: Option<(SimTime, u64)>,
-    queue: VecDeque<QueuedCopy>,
-    faults: DeviceFaultState,
-    health: HealthMachine,
-    outlier: bool,
+/// Per-device state as struct-of-arrays: the assignment round-robin,
+/// the clean-device scan, and the probe sweep all walk one or two dense
+/// columns instead of striding over a fat per-device struct.
+///
+/// `eligible[d]` is derived — `up && !outlier && health ∈ {Healthy,
+/// Recovering}` — and refreshed at every site that mutates one of its
+/// inputs, so the hot scans are single boolean loads.
+struct Devices {
+    pod: Vec<u32>,
+    region: Vec<u32>,
+    up: Vec<bool>,
+    outlier: Vec<bool>,
+    eligible: Vec<bool>,
+    /// Handle to the pending completion while busy.
+    busy: Vec<Option<EventId>>,
+    /// Handle to the most recently scheduled wake (dedup only; stale
+    /// handles are harmless).
+    wake: Vec<EventId>,
+    queue: Vec<VecDeque<QueuedCopy>>,
+    faults: Vec<DeviceFaultState>,
+    health: Vec<HealthMachine>,
+}
+
+impl Devices {
+    fn new(spec: &GlobalFleetSpec, config: &GlobalConfig) -> Self {
+        let n = spec.devices() as usize;
+        let mut dev = Devices {
+            pod: Vec::with_capacity(n),
+            region: Vec::with_capacity(n),
+            up: vec![true; n],
+            outlier: vec![false; n],
+            eligible: vec![false; n],
+            busy: vec![None; n],
+            wake: vec![EventId::NONE; n],
+            queue: vec![VecDeque::new(); n],
+            faults: (0..n).map(|_| DeviceFaultState::new()).collect(),
+            health: (0..n).map(|_| HealthMachine::new(config.health)).collect(),
+        };
+        for d in 0..spec.devices() {
+            let pod = spec.pod_of_device(d);
+            dev.pod.push(pod);
+            dev.region.push(spec.region_of_pod(pod));
+        }
+        for d in 0..n {
+            dev.refresh_eligible(d);
+        }
+        dev
+    }
+
+    /// Re-derives the `eligible` column entry from its inputs; call
+    /// after any `up`/`outlier`/health mutation.
+    fn refresh_eligible(&mut self, d: usize) {
+        self.eligible[d] = self.up[d]
+            && !self.outlier[d]
+            && matches!(
+                self.health[d].state(),
+                HealthState::Healthy | HealthState::Recovering
+            );
+    }
 }
 
 struct PodState {
@@ -227,26 +309,51 @@ struct PodState {
     hedge_deadline: SimTime,
 }
 
-struct Sim<'a> {
+/// A resumable single-cell DES over one `(spec, config, trace, plan,
+/// policy)` input tuple. [`Sim::run_until`] advances it through every
+/// event at or before a limit; the sharded driver uses this to
+/// interleave many cells epoch by epoch, and [`Sim::into_report`]
+/// closes out a fully-drained run.
+pub(super) struct Sim<'a> {
     spec: &'a GlobalFleetSpec,
     config: &'a GlobalConfig,
+    plan: &'a FaultPlan,
+    trace: &'a RegionalTrace,
+    arrivals: &'a [GlobalArrival],
     policy: RoutingPolicy,
     gray_on: bool,
-    devices: Vec<DeviceState>,
+    dev: Devices,
     pods: Vec<PodState>,
     partitioned: Vec<bool>,
     local_pods: Vec<Vec<u32>>,
     rr: Vec<u64>,
-    completions: BTreeMap<(SimTime, u64), InFlight>,
-    wakes: BTreeSet<(SimTime, u32)>,
-    hedge_timers: BTreeSet<(SimTime, u64)>,
-    reqs: BTreeMap<u64, ReqState>,
+    completions: EventQueue<InFlight>,
+    wakes: EventQueue<u32>,
+    hedges: EventQueue<ArenaRef>,
+    reqs: Arena<ReqState>,
     next_req: u64,
     seq: u64,
     tier: u8,
+    /// Minimum ladder tier imposed from outside (fleet-wide coupling in
+    /// the sharded driver); 0 in a standalone run, where the behaviour
+    /// is then exactly the uncoupled single-cell simulation.
+    tier_floor: u8,
     total_up: u64,
     total_busy: u64,
     total_queued: u64,
+    // event-source cursors (the resumable loop state)
+    deltas: Vec<(SimTime, u32, i32)>,
+    grays: Vec<(SimTime, usize)>,
+    toggles: Vec<(SimTime, u32, bool)>,
+    di: usize,
+    gi: usize,
+    ti: usize,
+    ai: usize,
+    probing: bool,
+    probe_at: SimTime,
+    last_arrival: SimTime,
+    end: SimTime,
+    events: u64,
     // outcome accumulators
     served_full: u64,
     served_degraded: u64,
@@ -269,7 +376,14 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
-    fn new(spec: &'a GlobalFleetSpec, config: &'a GlobalConfig, policy: RoutingPolicy) -> Self {
+    pub(super) fn new(
+        spec: &'a GlobalFleetSpec,
+        config: &'a GlobalConfig,
+        trace: &'a RegionalTrace,
+        plan: &'a FaultPlan,
+        policy: RoutingPolicy,
+    ) -> Self {
+        spec.validate();
         let gray_on = policy == RoutingPolicy::GrayResilient;
         // Before any sweep runs, hedge at multiplier × the base service
         // time (floored by the policy delay like every later value).
@@ -280,21 +394,6 @@ impl<'a> Sim<'a> {
             Some(policy) => initial_deadline.max(policy.delay),
             None => initial_deadline,
         };
-        let devices = (0..spec.devices())
-            .map(|d| {
-                let pod = spec.pod_of_device(d);
-                DeviceState {
-                    pod,
-                    region: spec.region_of_pod(pod),
-                    up: true,
-                    busy: None,
-                    queue: VecDeque::new(),
-                    faults: DeviceFaultState::new(),
-                    health: HealthMachine::new(config.health),
-                    outlier: false,
-                }
-            })
-            .collect();
         let pods = (0..spec.pods())
             .map(|p| PodState {
                 region: spec.region_of_pod(p),
@@ -309,26 +408,44 @@ impl<'a> Sim<'a> {
             })
             .collect();
         let local_pods = (0..spec.regions).map(|r| spec.pods_in_region(r)).collect();
+        let arrivals = trace.arrivals();
+        let last_arrival = arrivals.last().map_or(SimTime::ZERO, |a| a.at);
         Sim {
             spec,
             config,
+            plan,
+            trace,
+            arrivals,
             policy,
             gray_on,
-            devices,
+            dev: Devices::new(spec, config),
             pods,
             partitioned: vec![false; spec.regions as usize],
             local_pods,
             rr: vec![0; spec.regions as usize],
-            completions: BTreeMap::new(),
-            wakes: BTreeSet::new(),
-            hedge_timers: BTreeSet::new(),
-            reqs: BTreeMap::new(),
+            completions: EventQueue::new(),
+            wakes: EventQueue::new(),
+            hedges: EventQueue::new(),
+            reqs: Arena::new(),
             next_req: 0,
             seq: 0,
             tier: 0,
+            tier_floor: 0,
             total_up: spec.devices() as u64,
             total_busy: 0,
             total_queued: 0,
+            deltas: device_capacity_events(plan),
+            grays: gray_fault_events(plan),
+            toggles: partition_toggles(spec, plan),
+            di: 0,
+            gi: 0,
+            ti: 0,
+            ai: 0,
+            probing: policy != RoutingPolicy::StaticLocal,
+            probe_at: config.probe_interval,
+            last_arrival,
+            end: SimTime::ZERO,
+            events: 0,
             served_full: 0,
             served_degraded: 0,
             shed: 0,
@@ -350,11 +467,33 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// The ladder tier requests actually see: the cell's own hysteresis
+    /// state, floored by any fleet-wide coupling.
+    fn effective_tier(&self) -> u8 {
+        self.tier.max(self.tier_floor)
+    }
+
+    /// Imposes a fleet-wide minimum ladder tier (sharded driver only).
+    pub(super) fn set_tier_floor(&mut self, floor: u8) {
+        self.tier_floor = floor;
+    }
+
+    /// `(busy + queued, up)` slot totals — the coupling signal the
+    /// sharded driver aggregates at epoch barriers.
+    pub(super) fn load(&self) -> (u64, u64) {
+        (self.total_busy + self.total_queued, self.total_up)
+    }
+
+    /// Time of the next pending event, if any work remains.
+    pub(super) fn next_time(&self) -> Option<SimTime> {
+        self.next_event().map(|(at, _)| at)
+    }
+
     /// Resolves one copy that ended without answering its request,
     /// counting a request-level loss only when the *last* live copy
     /// dies unanswered.
-    fn drop_copy(&mut self, req: u64, end: CopyEnd) {
-        let Some(state) = self.reqs.get_mut(&req) else {
+    fn drop_copy(&mut self, req: ArenaRef, end: CopyEnd) {
+        let Some(state) = self.reqs.get_mut(req) else {
             debug_assert!(false, "copy without registry entry");
             return;
         };
@@ -374,7 +513,7 @@ impl<'a> Sim<'a> {
             }
         }
         if live == 0 {
-            self.reqs.remove(&req);
+            self.reqs.remove(req);
         }
     }
 
@@ -384,22 +523,26 @@ impl<'a> Sim<'a> {
     fn dispatch(&mut self, d: u32, now: SimTime) {
         let di = d as usize;
         loop {
-            let dev = &mut self.devices[di];
-            if !dev.up || dev.busy.is_some() || dev.queue.is_empty() {
+            if !self.dev.up[di] || self.dev.busy[di].is_some() || self.dev.queue[di].is_empty() {
                 return;
             }
-            dev.faults.expire(now);
-            if !dev.faults.reachable(now) {
-                if let Some(wake) = dev.faults.next_reachable_at(now) {
-                    self.wakes.insert((wake, d));
+            self.dev.faults[di].expire(now);
+            if !self.dev.faults[di].reachable(now) {
+                if let Some(wake) = self.dev.faults[di].next_reachable_at(now) {
+                    // Dedup against the device's pending wake so the
+                    // heap matches the old BTreeSet's set semantics.
+                    let key = (wake, d as u64);
+                    if self.wakes.key_of(self.dev.wake[di]) != Some(key) {
+                        self.dev.wake[di] = self.wakes.push(wake, d as u64, d);
+                    }
                 }
                 return;
             }
-            let copy = dev.queue.pop_front().expect("checked non-empty");
-            let pod = dev.pod as usize;
+            let copy = self.dev.queue[di].pop_front().expect("checked non-empty");
+            let pod = self.dev.pod[di] as usize;
             self.pods[pod].queued -= 1;
             self.total_queued -= 1;
-            let answered = self.reqs.get(&copy.req).is_none_or(|r| r.answered);
+            let answered = self.reqs.get(copy.req).is_none_or(|r| r.answered);
             if answered {
                 self.drop_copy(copy.req, CopyEnd::Cancelled);
                 continue;
@@ -413,20 +556,20 @@ impl<'a> Sim<'a> {
             } else {
                 self.config.service_time
             };
-            let service = base.scale(self.devices[di].faults.service_time_factor(now));
+            let service = base.scale(self.dev.faults[di].service_time_factor(now));
             self.seq += 1;
-            let key = (now + service, self.seq);
-            self.devices[di].busy = Some(key);
-            self.pods[pod].busy += 1;
-            self.total_busy += 1;
-            self.completions.insert(
-                key,
+            let id = self.completions.push(
+                now + service,
+                self.seq,
                 InFlight {
                     device: d,
                     started: now,
                     copy,
                 },
             );
+            self.dev.busy[di] = Some(id);
+            self.pods[pod].busy += 1;
+            self.total_busy += 1;
             return;
         }
     }
@@ -443,18 +586,10 @@ impl<'a> Sim<'a> {
         for pass in 0..3 {
             for k in 0..n {
                 let d = first + ((start + k) % n) as u32;
-                let dev = &self.devices[d as usize];
+                let di = d as usize;
                 let ok = match pass {
-                    0 => {
-                        dev.up
-                            && (!self.gray_on
-                                || (!dev.outlier
-                                    && matches!(
-                                        dev.health.state(),
-                                        HealthState::Healthy | HealthState::Recovering
-                                    )))
-                    }
-                    1 => dev.up,
+                    0 => self.dev.up[di] && (!self.gray_on || self.dev.eligible[di]),
+                    1 => self.dev.up[di],
                     _ => true,
                 };
                 if ok {
@@ -471,32 +606,33 @@ impl<'a> Sim<'a> {
     /// up starts probation and drains whatever queued on it meanwhile.
     fn apply_device_delta(&mut self, at: SimTime, d: u32, delta: i32) {
         let di = d as usize;
-        let pod = self.devices[di].pod as usize;
+        let pod = self.dev.pod[di] as usize;
         if delta < 0 {
-            debug_assert!(self.devices[di].up, "merged windows alternate");
-            self.devices[di].up = false;
-            self.devices[di].health.set_offline(at);
+            debug_assert!(self.dev.up[di], "merged windows alternate");
+            self.dev.up[di] = false;
+            self.dev.health[di].set_offline(at);
+            self.dev.refresh_eligible(di);
             self.device_downs += 1;
             self.pods[pod].up -= 1;
             self.total_up -= 1;
             if self.pods[pod].up == 0 && self.pods[pod].down_since.is_none() {
                 self.pods[pod].down_since = Some(at);
             }
-            if let Some(key) = self.devices[di].busy.take() {
+            if let Some(id) = self.dev.busy[di].take() {
                 let inflight = self
                     .completions
-                    .remove(&key)
+                    .cancel(id)
                     .expect("busy implies a pending completion");
                 self.pods[pod].busy -= 1;
                 self.total_busy -= 1;
                 self.drop_copy(inflight.copy.req, CopyEnd::Killed);
             }
-            if self.pods[pod].up > 0 && !self.devices[di].queue.is_empty() {
-                let moved: Vec<QueuedCopy> = self.devices[di].queue.drain(..).collect();
+            if self.pods[pod].up > 0 && !self.dev.queue[di].is_empty() {
+                let moved: Vec<QueuedCopy> = self.dev.queue[di].drain(..).collect();
                 let mut targets = BTreeSet::new();
                 for copy in moved {
                     let t = self.assign_device(pod as u32);
-                    self.devices[t as usize].queue.push_back(copy);
+                    self.dev.queue[t as usize].push_back(copy);
                     targets.insert(t);
                 }
                 for t in targets {
@@ -509,8 +645,9 @@ impl<'a> Sim<'a> {
                     self.recovery_time = self.recovery_time.max(at.saturating_sub(since));
                 }
             }
-            self.devices[di].up = true;
-            self.devices[di].health.begin_recovery(at);
+            self.dev.up[di] = true;
+            self.dev.health[di].begin_recovery(at);
+            self.dev.refresh_eligible(di);
             self.pods[pod].up += 1;
             self.total_up += 1;
             self.dispatch(d, at);
@@ -539,49 +676,51 @@ impl<'a> Sim<'a> {
         let dpp = self.spec.devices_per_pod as usize;
         let service_secs = self.config.service_time.as_secs_f64();
         let delay_floor = self.config.gray.hedge.map(|h| h.delay);
-        for (p, pod) in self.pods.iter_mut().enumerate() {
+        let mut active = vec![false; dpp];
+        for p in 0..self.pods.len() {
             let first = p * dpp;
-            let mut active = vec![false; dpp];
             for (k, slot) in active.iter_mut().enumerate() {
-                let dev = &self.devices[first + k];
-                *slot = dev.up;
+                let d = first + k;
+                *slot = self.dev.up[d];
                 // Sidelined devices see almost no traffic, so their
                 // EWMA would freeze at its demotion-time value; an
                 // out-of-band canary observation of the current fault
                 // factor lets them re-earn Healthy once the fault ends.
-                if dev.up
-                    && (dev.outlier
+                if self.dev.up[d]
+                    && (self.dev.outlier[d]
                         || matches!(
-                            dev.health.state(),
+                            self.dev.health[d].state(),
                             HealthState::Degraded | HealthState::Recovering
                         ))
                 {
-                    pod.detector.observe(k, dev.faults.service_time_factor(now));
+                    let factor = self.dev.faults[d].service_time_factor(now);
+                    self.pods[p].detector.observe(k, factor);
                 }
             }
-            let sweep = pod.detector.sweep(1.0, &active);
+            let sweep = self.pods[p].detector.sweep(1.0, &active);
             let mut deadline = SimTime::from_secs_f64(sweep.hedge_deadline_secs * service_secs);
             if let Some(floor) = delay_floor {
                 deadline = deadline.max(floor);
             }
-            pod.hedge_deadline = deadline;
+            self.pods[p].hedge_deadline = deadline;
             for k in 0..dpp {
-                let dev = &mut self.devices[first + k];
-                dev.outlier = sweep.sustained[k];
+                let d = first + k;
+                self.dev.outlier[d] = sweep.sustained[k];
                 if sweep.sustained[k] {
                     // Demote through the legal Healthy → Degraded edge
                     // only; a second error would take Degraded →
                     // Offline, which fail-slow must never do.
-                    if dev.health.state() == HealthState::Healthy {
-                        dev.health.observe_error(now);
+                    if self.dev.health[d].state() == HealthState::Healthy {
+                        self.dev.health[d].observe_error(now);
                         self.outlier_demotions += 1;
                     }
                 } else if matches!(
-                    dev.health.state(),
+                    self.dev.health[d].state(),
                     HealthState::Degraded | HealthState::Recovering
                 ) {
-                    dev.health.observe_success(now);
+                    self.dev.health[d].observe_success(now);
                 }
+                self.dev.refresh_eligible(d);
             }
         }
     }
@@ -678,7 +817,7 @@ impl<'a> Sim<'a> {
             }
             RoutingPolicy::HealthAware | RoutingPolicy::GrayResilient => {
                 self.update_tier();
-                if self.tier >= 1 && priority == Priority::Low {
+                if self.effective_tier() >= 1 && priority == Priority::Low {
                     self.shed += 1;
                     return;
                 }
@@ -699,26 +838,24 @@ impl<'a> Sim<'a> {
         }
         self.routed[region as usize][pod as usize] += 1;
         let routed_arm = self.policy != RoutingPolicy::StaticLocal;
-        let degraded = routed_arm && self.tier == 2;
-        let tier = if routed_arm { self.tier } else { 0 };
+        let degraded = routed_arm && self.effective_tier() == 2;
+        let tier = if routed_arm { self.effective_tier() } else { 0 };
         let device = self.assign_device(pod);
         self.next_req += 1;
-        let req = self.next_req;
-        self.reqs.insert(
-            req,
-            ReqState {
-                arrived: at,
-                ingress: region,
-                degraded,
-                tier,
-                pod,
-                device,
-                live: 1,
-                hedges: 0,
-                answered: false,
-            },
-        );
-        self.devices[device as usize].queue.push_back(QueuedCopy {
+        let logical = self.next_req;
+        let req = self.reqs.insert(ReqState {
+            logical,
+            arrived: at,
+            ingress: region,
+            degraded,
+            tier,
+            pod,
+            device,
+            live: 1,
+            hedges: 0,
+            answered: false,
+        });
+        self.dev.queue[device as usize].push_back(QueuedCopy {
             req,
             arrived: at,
             ingress: region,
@@ -731,8 +868,8 @@ impl<'a> Sim<'a> {
         self.total_queued += 1;
         self.dispatch(device, at);
         if self.gray_on && self.config.gray.hedge.is_some() {
-            self.hedge_timers
-                .insert((at + self.pods[pod as usize].hedge_deadline, req));
+            self.hedges
+                .push(at + self.pods[pod as usize].hedge_deadline, logical, req);
         }
     }
 
@@ -746,17 +883,11 @@ impl<'a> Sim<'a> {
             if avoid == Some(d) {
                 continue;
             }
-            let dev = &self.devices[d as usize];
-            if !dev.up
-                || dev.outlier
-                || !matches!(
-                    dev.health.state(),
-                    HealthState::Healthy | HealthState::Recovering
-                )
-            {
+            let di = d as usize;
+            if !self.dev.eligible[di] {
                 continue;
             }
-            let load = dev.queue.len() + usize::from(dev.busy.is_some());
+            let load = self.dev.queue[di].len() + usize::from(self.dev.busy[di].is_some());
             if best.is_none_or(|(b, _)| load < b) {
                 best = Some((load, d));
             }
@@ -769,11 +900,11 @@ impl<'a> Sim<'a> {
     /// reachability and spillover admission) as the fallback. No-op if
     /// the request already answered, exhausted its hedge budget, or no
     /// clean target exists.
-    fn fire_hedge(&mut self, at: SimTime, id: u64) {
+    fn fire_hedge(&mut self, at: SimTime, id: ArenaRef) {
         let Some(policy) = self.config.gray.hedge else {
             return;
         };
-        let Some(req) = self.reqs.get(&id).copied() else {
+        let Some(req) = self.reqs.get(id).copied() else {
             return; // request fully closed
         };
         if req.answered || req.hedges >= policy.max_hedges {
@@ -784,16 +915,16 @@ impl<'a> Sim<'a> {
                 .and_then(|p| self.clean_device_in(p, None))
         });
         let Some(target) = target else { return };
-        let entry = self.reqs.get_mut(&id).expect("checked above");
+        let entry = self.reqs.get_mut(id).expect("checked above");
         entry.hedges += 1;
         entry.live += 1;
         let more = entry.hedges < policy.max_hedges;
         self.hedges_issued += 1;
-        let dest_region = self.devices[target as usize].region;
+        let dest_region = self.dev.region[target as usize];
         let wan_rtt = self.spec.wan_latency(req.ingress, dest_region)
             + self.spec.wan_latency(dest_region, req.ingress);
-        let pod = self.devices[target as usize].pod as usize;
-        self.devices[target as usize].queue.push_back(QueuedCopy {
+        let pod = self.dev.pod[target as usize] as usize;
+        self.dev.queue[target as usize].push_back(QueuedCopy {
             req: id,
             arrived: req.arrived,
             ingress: req.ingress,
@@ -806,8 +937,8 @@ impl<'a> Sim<'a> {
         self.total_queued += 1;
         self.dispatch(target, at);
         if more {
-            self.hedge_timers
-                .insert((at + self.pods[pod].hedge_deadline, id));
+            self.hedges
+                .push(at + self.pods[pod].hedge_deadline, req.logical, id);
         }
     }
 
@@ -816,13 +947,11 @@ impl<'a> Sim<'a> {
     /// copy is suppressed as a duplicate. Either way the device's
     /// actual service factor feeds the detector.
     fn complete(&mut self, tel: &mut Telemetry) {
-        let (&key, &inflight) = self.completions.iter().next().expect("non-empty");
-        self.completions.remove(&key);
-        let (finish, _) = key;
+        let (finish, _, inflight) = self.completions.pop().expect("non-empty");
         let di = inflight.device as usize;
         let copy = inflight.copy;
-        self.devices[di].busy = None;
-        let pod = self.devices[di].pod as usize;
+        self.dev.busy[di] = None;
+        let pod = self.dev.pod[di] as usize;
         self.pods[pod].busy -= 1;
         self.total_busy -= 1;
         if self.gray_on {
@@ -841,13 +970,13 @@ impl<'a> Sim<'a> {
         }
         let state = self
             .reqs
-            .get_mut(&copy.req)
+            .get_mut(copy.req)
             .expect("in-flight copy has registry entry");
         state.live -= 1;
         let closed = state.live == 0;
         if state.answered {
             if closed {
-                self.reqs.remove(&copy.req);
+                self.reqs.remove(copy.req);
             }
             self.duplicates_suppressed += 1;
             self.dispatch(inflight.device, finish);
@@ -855,7 +984,7 @@ impl<'a> Sim<'a> {
         }
         state.answered = true;
         if closed {
-            self.reqs.remove(&copy.req);
+            self.reqs.remove(copy.req);
         }
         if copy.hedge {
             self.hedge_wins += 1;
@@ -867,7 +996,7 @@ impl<'a> Sim<'a> {
         }
         let latency = finish.saturating_sub(copy.arrived) + copy.wan_rtt;
         self.request_latency.record(latency);
-        let spilled = self.devices[di].region != copy.ingress;
+        let spilled = self.dev.region[di] != copy.ingress;
         if spilled {
             self.spillover_latency.record(latency);
         }
@@ -880,13 +1009,13 @@ impl<'a> Sim<'a> {
                 copy.arrived,
             );
             tel.begin_span("route", "global", copy.arrived);
-            tel.span_attr("pod", Json::UInt(self.devices[di].pod as u64));
+            tel.span_attr("pod", Json::UInt(self.dev.pod[di] as u64));
             tel.span_attr("tier", Json::UInt(copy.tier as u64));
             tel.span_attr("spillover", Json::Bool(spilled));
             tel.span_attr("hedge", Json::Bool(copy.hedge));
             tel.end_span(copy.arrived);
             tel.begin_span(
-                format!("pod{}.serve", self.devices[di].pod),
+                format!("pod{}.serve", self.dev.pod[di]),
                 "global",
                 inflight.started,
             );
@@ -899,6 +1028,142 @@ impl<'a> Sim<'a> {
             tel.hist_record("global.request_latency", latency);
         }
         self.dispatch(inflight.device, finish);
+    }
+
+    /// Candidate next event over all sources; the tie order is the
+    /// tuple's second field: device capacity < gray fault < partition <
+    /// wake < probe < completion < hedge < arrival. Completions precede
+    /// hedge timers so a request finishing exactly at its hedge
+    /// deadline never duplicates.
+    fn next_event(&self) -> Option<(SimTime, u8)> {
+        let mut next: Option<(SimTime, u8)> = None;
+        let mut consider = |at: Option<SimTime>, order: u8| {
+            if let Some(at) = at {
+                if next.is_none_or(|(t, o)| (at, order) < (t, o)) {
+                    next = Some((at, order));
+                }
+            }
+        };
+        consider(self.deltas.get(self.di).map(|d| d.0), 0);
+        consider(self.grays.get(self.gi).map(|g| g.0), 1);
+        consider(self.toggles.get(self.ti).map(|t| t.0), 2);
+        consider(self.wakes.peek_key().map(|k| k.0), 3);
+        consider(
+            (self.probing && self.probe_at <= self.last_arrival).then_some(self.probe_at),
+            4,
+        );
+        consider(self.completions.peek_key().map(|k| k.0), 5);
+        consider(self.hedges.peek_key().map(|k| k.0), 6);
+        consider(self.arrivals.get(self.ai).map(|a| a.at), 7);
+        next
+    }
+
+    /// Processes one event from source `order` at time `at`.
+    fn step(&mut self, at: SimTime, order: u8, tel: &mut Telemetry) {
+        self.end = self.end.max(at);
+        self.events += 1;
+        match order {
+            0 => {
+                let (_, device, delta) = self.deltas[self.di];
+                self.di += 1;
+                self.apply_device_delta(at, device, delta);
+            }
+            1 => {
+                let (_, idx) = self.grays[self.gi];
+                self.gi += 1;
+                let event = &self.plan.events()[idx];
+                let device = event.device as usize;
+                if device < self.dev.up.len() {
+                    self.dev.faults[device].apply(event, 1.0);
+                }
+            }
+            2 => {
+                let (_, region, on) = self.toggles[self.ti];
+                self.ti += 1;
+                self.partitioned[region as usize] = on;
+            }
+            3 => {
+                let (wake, _, device) = self.wakes.pop().expect("considered");
+                self.dispatch(device, wake);
+            }
+            4 => {
+                self.probe_at += self.config.probe_interval;
+                self.probe(at);
+            }
+            5 => self.complete(tel),
+            6 => {
+                let (fire, _, req) = self.hedges.pop().expect("considered");
+                self.fire_hedge(fire, req);
+            }
+            _ => {
+                let arrival = self.arrivals[self.ai];
+                self.ai += 1;
+                self.arrive(arrival.at, arrival.region, arrival.priority);
+            }
+        }
+    }
+
+    /// Advances through every pending event with `at <= limit` (use
+    /// [`SimTime::MAX`] to drain). Returns the number of events
+    /// processed by this call.
+    pub(super) fn run_until(&mut self, limit: SimTime, tel: &mut Telemetry) -> u64 {
+        let before = self.events;
+        while let Some((at, order)) = self.next_event() {
+            if at > limit {
+                break;
+            }
+            self.step(at, order, tel);
+        }
+        self.events - before
+    }
+
+    /// Closes out a fully-drained run: asserts the drain invariants,
+    /// flushes the event count to the process-wide perf counter, and
+    /// builds the report.
+    pub(super) fn into_report(self) -> GlobalReport {
+        // Fully drained: every fault window is finite, so capacity
+        // always returns, flapped links clear, and the queues empty out.
+        debug_assert!(self.completions.is_empty());
+        debug_assert!(self.reqs.is_empty(), "unresolved request copies");
+        debug_assert!(self
+            .dev
+            .queue
+            .iter()
+            .zip(&self.dev.busy)
+            .all(|(q, b)| q.is_empty() && b.is_none()));
+        debug_assert!(
+            self.duplicates_suppressed + self.hedges_cancelled + self.hedge_wins
+                <= 2 * self.hedges_issued,
+            "more duplicate outcomes than copies issued"
+        );
+        mtia_core::perfcount::add_events(self.events);
+        GlobalReport {
+            policy: self.policy.name(),
+            seed: self.config.seed,
+            fault_fingerprint: self.plan.fingerprint(),
+            trace_fingerprint: self.trace.fingerprint(),
+            offered: self.arrivals.len() as u64,
+            served_full: self.served_full,
+            served_degraded: self.served_degraded,
+            shed: self.shed,
+            lost: self.lost_unroutable + self.lost_killed + self.lost_deadline,
+            lost_unroutable: self.lost_unroutable,
+            lost_killed: self.lost_killed,
+            lost_deadline: self.lost_deadline,
+            spillover: self.spillover,
+            hedges_issued: self.hedges_issued,
+            hedge_wins: self.hedge_wins,
+            duplicates_suppressed: self.duplicates_suppressed,
+            hedges_cancelled: self.hedges_cancelled,
+            outlier_demotions: self.outlier_demotions,
+            device_downs: self.device_downs,
+            events: self.events,
+            request_latency: self.request_latency,
+            spillover_latency: self.spillover_latency,
+            recovery_time: self.recovery_time,
+            capacity_headroom: self.capacity_headroom,
+            routed: self.routed,
+        }
     }
 }
 
@@ -914,12 +1179,7 @@ pub fn simulate_global_traced(
     policy: RoutingPolicy,
     tel: &mut Telemetry,
 ) -> GlobalReport {
-    spec.validate();
-    let deltas = device_capacity_events(plan);
-    let grays = gray_fault_events(plan);
-    let toggles = partition_toggles(spec, plan);
     let arrivals = trace.arrivals();
-    let last_arrival = arrivals.last().map_or(SimTime::ZERO, |a| a.at);
 
     tel.begin_span("serving.global", "global", SimTime::ZERO);
     tel.span_attr("policy", Json::Str(policy.name().to_string()));
@@ -929,91 +1189,8 @@ pub fn simulate_global_traced(
     tel.span_attr("requests", Json::UInt(arrivals.len() as u64));
     tel.span_attr("seed", Json::UInt(config.seed));
 
-    let mut sim = Sim::new(spec, config, policy);
-    let probing = policy != RoutingPolicy::StaticLocal;
-    let mut probe_at = config.probe_interval;
-    let (mut di, mut gi, mut ti, mut ai) = (0usize, 0usize, 0usize, 0usize);
-    let mut end = SimTime::ZERO;
-
-    loop {
-        // Candidate next event per source; tie order is the tuple's
-        // second field: device capacity < gray fault < partition <
-        // wake < probe < completion < hedge < arrival. Completions
-        // precede hedge timers so a request finishing exactly at its
-        // hedge deadline never duplicates.
-        let mut next: Option<(SimTime, u8)> = None;
-        let mut consider = |at: Option<SimTime>, order: u8| {
-            if let Some(at) = at {
-                if next.is_none_or(|(t, o)| (at, order) < (t, o)) {
-                    next = Some((at, order));
-                }
-            }
-        };
-        consider(deltas.get(di).map(|d| d.0), 0);
-        consider(grays.get(gi).map(|g| g.0), 1);
-        consider(toggles.get(ti).map(|t| t.0), 2);
-        consider(sim.wakes.iter().next().map(|w| w.0), 3);
-        consider((probing && probe_at <= last_arrival).then_some(probe_at), 4);
-        consider(sim.completions.keys().next().map(|k| k.0), 5);
-        consider(sim.hedge_timers.iter().next().map(|h| h.0), 6);
-        consider(arrivals.get(ai).map(|a| a.at), 7);
-        let Some((at, order)) = next else { break };
-        end = end.max(at);
-        match order {
-            0 => {
-                let (_, device, delta) = deltas[di];
-                di += 1;
-                sim.apply_device_delta(at, device, delta);
-            }
-            1 => {
-                let (_, idx) = grays[gi];
-                gi += 1;
-                let event = &plan.events()[idx];
-                let device = event.device as usize;
-                if device < sim.devices.len() {
-                    sim.devices[device].faults.apply(event, 1.0);
-                }
-            }
-            2 => {
-                let (_, region, on) = toggles[ti];
-                ti += 1;
-                sim.partitioned[region as usize] = on;
-            }
-            3 => {
-                let &(wake, device) = sim.wakes.iter().next().expect("considered");
-                sim.wakes.remove(&(wake, device));
-                sim.dispatch(device, wake);
-            }
-            4 => {
-                probe_at += config.probe_interval;
-                sim.probe(at);
-            }
-            5 => sim.complete(tel),
-            6 => {
-                let &(fire, req) = sim.hedge_timers.iter().next().expect("considered");
-                sim.hedge_timers.remove(&(fire, req));
-                sim.fire_hedge(fire, req);
-            }
-            _ => {
-                let arrival = arrivals[ai];
-                ai += 1;
-                sim.arrive(arrival.at, arrival.region, arrival.priority);
-            }
-        }
-    }
-
-    // Fully drained: every fault window is finite, so capacity always
-    // returns, flapped links clear, and the queues empty out.
-    debug_assert!(sim.completions.is_empty());
-    debug_assert!(sim.reqs.is_empty(), "unresolved request copies");
-    debug_assert!(sim
-        .devices
-        .iter()
-        .all(|d| d.queue.is_empty() && d.busy.is_none()));
-    debug_assert!(
-        sim.duplicates_suppressed + sim.hedges_cancelled + sim.hedge_wins <= 2 * sim.hedges_issued,
-        "more duplicate outcomes than copies issued"
-    );
+    let mut sim = Sim::new(spec, config, trace, plan, policy);
+    sim.run_until(SimTime::MAX, tel);
 
     let lost = sim.lost_unroutable + sim.lost_killed + sim.lost_deadline;
     tel.counter_add("global.served_full", sim.served_full);
@@ -1025,34 +1202,9 @@ pub fn simulate_global_traced(
     tel.counter_add("global.hedge_wins", sim.hedge_wins);
     tel.counter_add("global.duplicates_suppressed", sim.duplicates_suppressed);
     tel.counter_add("global.outlier_demotions", sim.outlier_demotions);
-    tel.end_span(end);
+    tel.end_span(sim.end);
 
-    GlobalReport {
-        policy: policy.name(),
-        seed: config.seed,
-        fault_fingerprint: plan.fingerprint(),
-        trace_fingerprint: trace.fingerprint(),
-        offered: arrivals.len() as u64,
-        served_full: sim.served_full,
-        served_degraded: sim.served_degraded,
-        shed: sim.shed,
-        lost,
-        lost_unroutable: sim.lost_unroutable,
-        lost_killed: sim.lost_killed,
-        lost_deadline: sim.lost_deadline,
-        spillover: sim.spillover,
-        hedges_issued: sim.hedges_issued,
-        hedge_wins: sim.hedge_wins,
-        duplicates_suppressed: sim.duplicates_suppressed,
-        hedges_cancelled: sim.hedges_cancelled,
-        outlier_demotions: sim.outlier_demotions,
-        device_downs: sim.device_downs,
-        request_latency: sim.request_latency,
-        spillover_latency: sim.spillover_latency,
-        recovery_time: sim.recovery_time,
-        capacity_headroom: sim.capacity_headroom,
-        routed: sim.routed,
-    }
+    sim.into_report()
 }
 
 /// Untraced [`simulate_global_traced`].
@@ -1234,6 +1386,7 @@ mod tests {
         assert_eq!(a.shed, b.shed);
         assert_eq!(a.lost, b.lost);
         assert_eq!(a.routed, b.routed);
+        assert_eq!(a.events, b.events);
         assert_eq!(a.request_latency.count(), b.request_latency.count());
         assert!(!tel.to_canonical_json().is_empty());
     }
@@ -1355,5 +1508,42 @@ mod tests {
         assert_eq!(a.outlier_demotions, b.outlier_demotions);
         assert_eq!(a.routed, b.routed);
         assert!(!tel.to_canonical_json().is_empty());
+    }
+
+    #[test]
+    fn run_until_slices_match_a_single_drain() {
+        // Advancing the resumable loop in epoch slices must produce the
+        // same report as draining in one call — the property the
+        // sharded driver's epoch barriers rest on.
+        let spec = small_spec();
+        let trace = small_trace(&spec, 29);
+        let plan = pod0_throttles(29);
+        let config = GlobalConfig::production(29);
+        for policy in [
+            RoutingPolicy::StaticLocal,
+            RoutingPolicy::HealthAware,
+            RoutingPolicy::GrayResilient,
+        ] {
+            let whole = simulate_global(&spec, &config, &trace, &plan, policy);
+            let mut tel = Telemetry::disabled();
+            let mut sim = Sim::new(&spec, &config, &trace, &plan, policy);
+            let mut t = SimTime::ZERO;
+            while sim.next_time().is_some() {
+                t += SimTime::from_secs(1);
+                sim.run_until(t, &mut tel);
+            }
+            let sliced = sim.into_report();
+            assert_eq!(whole.served_full, sliced.served_full, "{policy:?}");
+            assert_eq!(whole.served_degraded, sliced.served_degraded);
+            assert_eq!(whole.shed, sliced.shed);
+            assert_eq!(whole.lost, sliced.lost);
+            assert_eq!(whole.hedges_issued, sliced.hedges_issued);
+            assert_eq!(whole.routed, sliced.routed);
+            assert_eq!(whole.events, sliced.events);
+            assert_eq!(
+                whole.request_latency.count(),
+                sliced.request_latency.count()
+            );
+        }
     }
 }

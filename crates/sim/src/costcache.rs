@@ -9,14 +9,35 @@
 //! [`ShardedCache`], so a repeated `(env, op)` pair costs a hash
 //! lookup instead of re-running the roofline math.
 //!
-//! **Correctness**: the key must capture *every* input that can change
-//! the result. Rather than hand-listing fields (and silently going
-//! stale when `KernelEnv` grows one), [`env_signature`] hashes the
-//! complete `Debug` rendering of the environment — `f64`'s `Debug` is
-//! the shortest round-trip representation, so distinct environments
-//! render distinctly. The op/dtype/variant are hashed structurally.
-//! Keys are 128-bit ([`mtia_core::memo::stable_key`]) so collisions
-//! are negligible.
+//! **Keying — per-op-class environment signatures.** A naive key would
+//! hash the *entire* [`KernelEnv`], but two of its fields —
+//! [`weight_resident_fraction`] and [`tbe_hit_rate`] — are derived per
+//! model, so whole-env keys make every model sweep (fig5/fig6, the
+//! zoo studies) miss on ops whose cost never reads those fields. The
+//! cost model's actual data flow is narrower:
+//!
+//! * `weight_resident_fraction` is read only where real weight bytes
+//!   stream ([`OpKind::Fc`] / [`OpKind::QuantizedFc`]; attention and
+//!   interaction GEMMs pass zero weight bytes, so their cost is
+//!   independent of it);
+//! * `tbe_hit_rate` is read only by [`OpKind::Tbe`];
+//! * of the placement, only `placement.activations` (the [`MemLevel`])
+//!   is read — the byte budgets parameterize how `ChipSim` *derives*
+//!   the two fractions above, and never reach a cost function.
+//!
+//! [`env_signature`] therefore returns an [`EnvSignature`] bundle —
+//! `base` (shared machine environment), and `base` extended with the
+//! weight-residency and/or TBE fractions — and
+//! [`EnvSignature::for_op`] picks the narrowest component that still
+//! covers everything the op's cost can read (`Fused` ops take the
+//! union of their members). A LayerNorm evaluated under the DLRM
+//! placement now hits the entry a ranking model interned, while an FC
+//! under a different residency still gets its own entry.
+//! `classification_matches_the_cost_model` pins the field-independence
+//! claims against [`cost_op`] itself, and exhaustive struct
+//! destructuring in [`env_signature`] turns any future `KernelEnv` /
+//! `DataPlacement` field into a compile error here rather than a stale
+//! key.
 //!
 //! **Determinism**: cached values equal freshly computed values by
 //! purity, so enabling the cache — or sharing it across the
@@ -24,7 +45,12 @@
 //! only the time it takes to produce it. Only the hit/miss *counters*
 //! are scheduling-dependent, which is why they are reported separately
 //! (`BENCH_PERF.json`) and excluded from byte-identity comparisons.
+//!
+//! [`weight_resident_fraction`]: KernelEnv::weight_resident_fraction
+//! [`tbe_hit_rate`]: KernelEnv::tbe_hit_rate
+//! [`MemLevel`]: crate::mem::sram::MemLevel
 
+use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::OnceLock;
 
@@ -33,6 +59,7 @@ use mtia_core::DType;
 use mtia_model::ops::OpKind;
 
 use crate::kernels::{cost_op, FcVariant, KernelEnv, OpCost};
+use crate::mem::sram::DataPlacement;
 
 static CACHE: OnceLock<ShardedCache<OpCost>> = OnceLock::new();
 
@@ -40,33 +67,127 @@ fn cache() -> &'static ShardedCache<OpCost> {
     CACHE.get_or_init(ShardedCache::default)
 }
 
+/// The per-op-class environment fingerprints for one simulation run.
+///
+/// Computed once per run (not per node) by [`env_signature`];
+/// [`Self::for_op`] selects the narrowest component whose inputs cover
+/// the op's cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvSignature {
+    /// Machine environment shared by every op: chip, NoC, DRAM/ECC,
+    /// activation placement level, write-back hints.
+    base: u64,
+    /// `base` + the FC weight-residency fraction.
+    weights: u64,
+    /// `base` + the TBE embedding hit rate.
+    tbe: u64,
+    /// `base` + both per-model fractions (fused ops containing an FC
+    /// *and* a TBE).
+    full: u64,
+}
+
+/// Whether `op`'s cost reads [`KernelEnv::weight_resident_fraction`] —
+/// exactly the ops that stream non-zero weight bytes in `cost_fc_raw`.
+fn reads_weight_residency(op: &OpKind) -> bool {
+    match op {
+        OpKind::Fc { .. } | OpKind::QuantizedFc { .. } => true,
+        OpKind::Fused(members) => members.iter().any(reads_weight_residency),
+        _ => false,
+    }
+}
+
+/// Whether `op`'s cost reads [`KernelEnv::tbe_hit_rate`].
+fn reads_tbe_hit_rate(op: &OpKind) -> bool {
+    match op {
+        OpKind::Tbe(_) => true,
+        OpKind::Fused(members) => members.iter().any(reads_tbe_hit_rate),
+        _ => false,
+    }
+}
+
+impl EnvSignature {
+    /// The signature component covering everything `op`'s cost can
+    /// read from the environment.
+    pub fn for_op(&self, op: &OpKind) -> u64 {
+        match (reads_weight_residency(op), reads_tbe_hit_rate(op)) {
+            (false, false) => self.base,
+            (true, false) => self.weights,
+            (false, true) => self.tbe,
+            (true, true) => self.full,
+        }
+    }
+}
+
+fn extend(base: u64, parts: &[u64]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    base.hash(&mut hasher);
+    parts.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Fingerprints a [`KernelEnv`] for cache keying.
 ///
 /// Computed once per simulation run (not per node): the environment is
 /// fixed for a whole graph execution, so [`ChipSim::run`] hashes it
-/// once and reuses the signature for every node lookup.
+/// once and reuses the signature bundle for every node lookup.
+///
+/// The exhaustive destructuring is deliberate: adding a field to
+/// `KernelEnv` or `DataPlacement` fails to compile here, forcing a
+/// decision about which signature component(s) it belongs to instead
+/// of silently going stale.
 ///
 /// [`ChipSim::run`]: crate::chip::ChipSim::run
-pub fn env_signature(env: &KernelEnv<'_>) -> u64 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    format!("{env:?}").hash(&mut hasher);
-    hasher.finish()
+pub fn env_signature(env: &KernelEnv<'_>) -> EnvSignature {
+    let KernelEnv {
+        chip,
+        noc,
+        dram,
+        placement,
+        weight_resident_fraction,
+        tbe_hit_rate,
+        skip_writeback_hints,
+    } = env;
+    let DataPlacement {
+        // The partition and byte budgets only parameterize how ChipSim
+        // derives the two per-model fractions; no cost function reads
+        // them (`classification_matches_the_cost_model` guards the
+        // activations-only claim at the placement level too, via the
+        // budget-varied environments).
+        partition: _,
+        activations,
+        resident_weight_bytes: _,
+        embedding_cache_bytes: _,
+    } = placement;
+    let mut hasher = DefaultHasher::new();
+    // `f64`'s `Debug` is the shortest round-trip representation, so
+    // distinct machine environments render distinctly.
+    format!("{chip:?} {noc:?} {dram:?} {activations:?} {skip_writeback_hints:?}").hash(&mut hasher);
+    let base = hasher.finish();
+    EnvSignature {
+        base,
+        weights: extend(base, &[weight_resident_fraction.to_bits()]),
+        tbe: extend(base, &[tbe_hit_rate.to_bits()]),
+        full: extend(
+            base,
+            &[weight_resident_fraction.to_bits(), tbe_hit_rate.to_bits()],
+        ),
+    }
 }
 
 /// [`cost_op`] through the process-wide memo cache.
 ///
-/// `env_sig` must be [`env_signature`]`(env)` — it is taken as an
-/// argument so callers evaluating many ops under one environment pay
-/// the environment hash once.
+/// `sig` must be [`env_signature`]`(env)` — it is taken as an argument
+/// so callers evaluating many ops under one environment pay the
+/// environment hash once.
 pub fn cost_op_cached(
     env: &KernelEnv<'_>,
-    env_sig: u64,
+    sig: EnvSignature,
     op: &OpKind,
     dtype: DType,
     variant: Option<FcVariant>,
 ) -> OpCost {
     let key = stable_key(|h| {
-        env_sig.hash(h);
+        sig.for_op(op).hash(h);
         op.hash(h);
         dtype.hash(h);
         variant.hash(h);
@@ -80,8 +201,8 @@ pub fn stats() -> CacheStats {
 }
 
 /// Per-shard counter snapshots, in shard order — surfaced by
-/// `reproduce --bench-perf` so shard-load skew (and the ROADMAP-noted
-/// 0% hit rate on the quick subset) is visible in `BENCH_PERF.json`.
+/// `reproduce --bench-perf` so shard-load skew is visible in
+/// `BENCH_PERF.json`.
 pub fn shard_stats() -> Vec<CacheStats> {
     cache().shard_stats()
 }
@@ -105,6 +226,7 @@ mod tests {
     use crate::noc::NocModel;
     use mtia_core::spec::{chips, EccMode};
     use mtia_core::units::Bytes;
+    use mtia_model::ops::TbeParams;
 
     fn test_env(chip: &mtia_core::ChipSpec) -> KernelEnv<'_> {
         let placement = place_model(&chip.sram, Bytes::from_mib(40), Bytes::from_mib(100), 0.75);
@@ -117,6 +239,18 @@ mod tests {
             tbe_hit_rate: 0.5,
             skip_writeback_hints: true,
         }
+    }
+
+    fn sample_tbe() -> OpKind {
+        OpKind::Tbe(TbeParams {
+            num_tables: 8,
+            rows_per_table: 100_000,
+            embedding_dim: 64,
+            pooling_factor: 16,
+            batch: 256,
+            weighted: false,
+            pooled: true,
+        })
     }
 
     #[test]
@@ -145,16 +279,164 @@ mod tests {
         }
     }
 
+    /// The load-bearing independence claims behind [`EnvSignature::for_op`],
+    /// checked against [`cost_op`] itself: ops classified as not reading
+    /// a per-model fraction must cost the same when only that fraction
+    /// (or a placement byte budget) changes.
+    #[test]
+    fn classification_matches_the_cost_model() {
+        let chip = chips::mtia2i();
+        let ops = [
+            OpKind::Fc {
+                batch: 128,
+                in_features: 4096,
+                out_features: 1024,
+            },
+            OpKind::QuantizedFc {
+                batch: 128,
+                in_features: 4096,
+                out_features: 1024,
+            },
+            sample_tbe(),
+            OpKind::Softmax {
+                rows: 64,
+                cols: 256,
+            },
+            OpKind::LayerNorm {
+                rows: 128,
+                cols: 1024,
+            },
+            OpKind::Transpose {
+                rows: 512,
+                cols: 512,
+            },
+            OpKind::Attention(mtia_model::ops::AttentionParams {
+                batch: 8,
+                heads: 8,
+                seq: 128,
+                head_dim: 64,
+            }),
+            OpKind::Fused(vec![
+                OpKind::Fc {
+                    batch: 64,
+                    in_features: 512,
+                    out_features: 512,
+                },
+                OpKind::Elementwise {
+                    elems: 32_768,
+                    kind: mtia_model::ops::EwKind::Nonlinear,
+                    arity: 1,
+                },
+            ]),
+        ];
+        let base = test_env(&chip);
+        let mut wrf_varied = test_env(&chip);
+        wrf_varied.weight_resident_fraction = 0.25;
+        let mut tbe_varied = test_env(&chip);
+        tbe_varied.tbe_hit_rate = 0.9;
+        // Same activation level, different byte budgets: the placement
+        // fields the signature deliberately ignores.
+        let mut budget_varied = test_env(&chip);
+        budget_varied.placement =
+            place_model(&chip.sram, Bytes::from_mib(40), Bytes::from_mib(400), 0.5);
+        assert_eq!(
+            base.placement.activations, budget_varied.placement.activations,
+            "budget variation must not move the activation level for this test"
+        );
+        for op in &ops {
+            let reference = cost_op(&base, op, DType::Fp16, None);
+            if !reads_weight_residency(op) {
+                assert_eq!(
+                    reference,
+                    cost_op(&wrf_varied, op, DType::Fp16, None),
+                    "{op:?} classified weight-independent but cost moved"
+                );
+            } else {
+                assert_ne!(
+                    reference,
+                    cost_op(&wrf_varied, op, DType::Fp16, None),
+                    "{op:?} classified weight-dependent but cost ignored it"
+                );
+            }
+            if !reads_tbe_hit_rate(op) {
+                assert_eq!(
+                    reference,
+                    cost_op(&tbe_varied, op, DType::Fp16, None),
+                    "{op:?} classified TBE-independent but cost moved"
+                );
+            }
+            assert_eq!(
+                reference,
+                cost_op(&budget_varied, op, DType::Fp16, None),
+                "{op:?} cost must not read placement byte budgets"
+            );
+        }
+    }
+
+    /// The point of the widening: models that differ only in their
+    /// derived fractions share entries for ops that never read them.
+    #[test]
+    fn weight_independent_ops_hit_across_model_environments() {
+        let chip = chips::mtia2i();
+        let mut a = test_env(&chip);
+        a.weight_resident_fraction = 0.3;
+        a.tbe_hit_rate = 0.41;
+        let mut b = test_env(&chip);
+        b.weight_resident_fraction = 0.8;
+        b.tbe_hit_rate = 0.62;
+        let sig_a = env_signature(&a);
+        let sig_b = env_signature(&b);
+        let softmax = OpKind::Softmax {
+            rows: 977,
+            cols: 311,
+        };
+        // Weight-heavy shape: 8192×8192 FP16 weights (128 MiB) over a
+        // tiny batch, so the non-resident fraction dominates the cost.
+        let fc = OpKind::Fc {
+            batch: 4,
+            in_features: 8192,
+            out_features: 8192,
+        };
+        // Shared machine environment → shared base component.
+        assert_eq!(sig_a.for_op(&softmax), sig_b.for_op(&softmax));
+        // Per-model residency → distinct FC components.
+        assert_ne!(sig_a.for_op(&fc), sig_b.for_op(&fc));
+        let first = cost_op_cached(&a, sig_a, &softmax, DType::Fp16, None);
+        let before = stats();
+        let second = cost_op_cached(&b, sig_b, &softmax, DType::Fp16, None);
+        let after = stats();
+        assert_eq!(first, second);
+        assert_eq!(after.hits, before.hits + 1, "cross-env lookup must hit");
+        // And the FCs stay separate — different residency, different cost.
+        let fc_a = cost_op_cached(&a, sig_a, &fc, DType::Fp16, None);
+        let fc_b = cost_op_cached(&b, sig_b, &fc, DType::Fp16, None);
+        assert_eq!(fc_a, cost_op(&a, &fc, DType::Fp16, None));
+        assert_eq!(fc_b, cost_op(&b, &fc, DType::Fp16, None));
+        assert_ne!(fc_a.dram_bytes, fc_b.dram_bytes);
+        assert_ne!(fc_a.time, fc_b.time);
+    }
+
     #[test]
     fn environment_changes_change_the_signature() {
         let chip = chips::mtia2i();
         let a = test_env(&chip);
+        let sig_a = env_signature(&a);
+        let tbe = sample_tbe();
+        let softmax = OpKind::Softmax { rows: 8, cols: 8 };
+
         let mut b = test_env(&chip);
         b.tbe_hit_rate = 0.5000001;
-        assert_ne!(env_signature(&a), env_signature(&b));
+        let sig_b = env_signature(&b);
+        // The TBE component moves; the shared base does not.
+        assert_ne!(sig_a.for_op(&tbe), sig_b.for_op(&tbe));
+        assert_eq!(sig_a.for_op(&softmax), sig_b.for_op(&softmax));
+
+        // A machine-environment change moves every component.
         let mut c = test_env(&chip);
         c.skip_writeback_hints = false;
-        assert_ne!(env_signature(&a), env_signature(&c));
+        let sig_c = env_signature(&c);
+        assert_ne!(sig_a.for_op(&softmax), sig_c.for_op(&softmax));
+        assert_ne!(sig_a.for_op(&tbe), sig_c.for_op(&tbe));
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! results in submission order, so the rendered output must be
 //! byte-identical at any thread count. This runs the `--filter quick`
 //! subset — fig5 (serving Monte-Carlo sweeps), one E19 SDC ladder rung,
-//! the E21 failover rung, the E22 global-router rung, and the E23
-//! gray-failure rung — the same selection `scripts/ci.sh` smoke-checks
-//! — plus the E22 and E23 comparisons at 1/2/8 threads.
+//! the E21 failover rung, the E22 global-router rung, the E23
+//! gray-failure rung, and the E24 sharded-planet rung — the same
+//! selection `scripts/ci.sh` smoke-checks — plus the E22, E23, and E24
+//! comparisons at 1/2/8 threads.
 
 use mtia_bench::experiments;
 use mtia_bench::render_reports;
@@ -39,7 +40,7 @@ fn filter_quick_selects_the_gated_subset() {
         .collect();
     assert_eq!(
         names,
-        vec!["fig5", "e19_rung", "e21_rung", "e22_rung", "e23_rung"]
+        vec!["fig5", "e19_rung", "e21_rung", "e22_rung", "e23_rung", "e24_rung"]
     );
 }
 
@@ -83,4 +84,26 @@ fn e23_comparison_is_byte_identical_across_thread_counts() {
     assert!(!one.is_empty());
     assert_eq!(one, two, "E23 rung differs between 1 and 2 threads");
     assert_eq!(one, eight, "E23 rung differs between 1 and 8 threads");
+}
+
+/// The E24 cell-sharded planetary replay is the experiment whose whole
+/// point is intra-experiment parallelism, so its rendered report —
+/// per-cell rows, merged counters, folded fingerprints — must be
+/// byte-identical at any worker count.
+#[test]
+fn e24_planet_rung_is_byte_identical_across_thread_counts() {
+    use mtia_bench::experiments::planet_exps;
+
+    let render = |threads: usize| {
+        pool::set_threads(threads);
+        let report = planet_exps::e24_rung();
+        pool::set_threads(0);
+        format!("{report}")
+    };
+    let one = render(1);
+    let two = render(2);
+    let eight = render(8);
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "E24 rung differs between 1 and 2 threads");
+    assert_eq!(one, eight, "E24 rung differs between 1 and 8 threads");
 }
