@@ -1,0 +1,192 @@
+//! Parametric module cost and power over the design axes.
+//!
+//! The search needs a cost side or it would trivially pick the maximal
+//! configuration; the paper's §3.6 argument is exactly that the shipped
+//! point balances performance *against* silicon, memory, and power
+//! spend. This model prices a candidate back into the [`calib`] TCO
+//! units, anchored so the shipped design point reproduces the
+//! calibrated module bill exactly: 419.84 mm² of die, 8.0 cost units,
+//! 65 W typical — the same numbers every other experiment uses.
+//!
+//! [`calib`]: mtia_core::calib
+
+use mtia_core::units::Watts;
+
+use super::space::{DesignPoint, MemTech};
+
+/// Die area of everything that is not PEs or SRAM arrays (NoC, memory
+/// controllers and PHYs, host interface, control cores), in mm².
+/// Derived: the published 25.6 mm × 16.4 mm die minus the modeled PE
+/// and SRAM contributions.
+pub const AREA_BASE_MM2: f64 = 153.04;
+
+/// Logic area of one PE (DPE + SIMD + RE + local control), excluding
+/// its Local Memory arrays, in mm².
+pub const PE_LOGIC_AREA_MM2: f64 = 2.2;
+
+/// Area of one MiB of on-die SRAM (dense 5 nm macro, same for the
+/// shared LLC/LLS and the per-PE Local Memory), in mm².
+pub const SRAM_AREA_MM2_PER_MIB: f64 = 0.45;
+
+/// Per-module cost that does not scale with the die: package, board,
+/// voltage regulation.
+pub const MODULE_BASE_COST: f64 = 1.0;
+
+/// Cost of the 128 GB LPDDR5 memory system.
+pub const LPDDR_COST: f64 = 1.6;
+
+/// Cost of the hypothetical two-stack 48 GB HBM system plus its
+/// interposer — 3× the LPDDR bill for three-eighths the capacity, the
+/// §3.6 "reduce cost" half of the argument.
+pub const HBM_COST: f64 = 4.8;
+
+/// Die cost per mm² *at the shipped area*, derived so the shipped
+/// 419.84 mm² die closes the calibrated 8.0-unit module: 8.0 −
+/// [`MODULE_BASE_COST`] − [`LPDDR_COST`] spread over the shipped area.
+pub const DIE_COST_PER_MM2: f64 =
+    (mtia_core::calib::MTIA_MODULE_COST - MODULE_BASE_COST - LPDDR_COST) / SHIPPED_DIE_AREA_MM2;
+
+/// The shipped die area (25.6 mm × 16.4 mm).
+pub const SHIPPED_DIE_AREA_MM2: f64 = 419.84;
+
+/// Defect density for the die-yield curve, per mm². Per-die yield falls
+/// as `exp(−D·A)`, so cost per *good* die grows superlinearly in area —
+/// the reason "just double the grid" is not free even before power.
+/// Anchored so the shipped area pays exactly [`DIE_COST_PER_MM2`].
+pub const DEFECT_DENSITY_PER_MM2: f64 = 0.0025;
+
+/// Frequency-independent power: NoC, control cores, PCIe and memory
+/// PHYs, in W.
+pub const POWER_BASE_W: f64 = 12.0;
+
+/// LPDDR memory-system power, in W.
+pub const LPDDR_POWER_W: f64 = 10.0;
+
+/// HBM memory-system power (two stacks plus PHYs) — the §3.6 "reduce
+/// power" half, in W.
+pub const HBM_POWER_W: f64 = 21.0;
+
+/// SRAM power per MiB at the nominal clock, in W.
+pub const SRAM_W_PER_MIB: f64 = 0.02;
+
+/// Local Memory power per KiB (per PE) at the nominal clock, in W.
+pub const LM_W_PER_KIB: f64 = 0.0005;
+
+/// Per-PE logic power at the nominal clock, in W. Derived so the
+/// shipped chip draws exactly its calibrated 65 W typical:
+/// 65 = 12 + 10 + 256·0.02 + 64·(384·0.0005 + x).
+pub const PE_LOGIC_W: f64 = 0.399_875;
+
+/// The nominal (shipped) clock the dynamic-power term is anchored at.
+pub const NOMINAL_FREQ_MHZ: f64 = 1350.0;
+
+/// Dynamic power grows as f·V² with voltage tracking frequency — the
+/// §5.2 overclocking study's supply-margin curve, ≈ f^2.8 overall.
+pub const FREQ_POWER_EXPONENT: f64 = 2.8;
+
+/// Thermal budget: a candidate whose *typical* power exceeds the
+/// shipped 85 W TDP cannot be cooled by the same 24-module server and
+/// is infeasible (§5.2 pushed the clock only as far as the power
+/// margin allowed).
+pub const THERMAL_BUDGET_W: f64 = 85.0;
+
+/// Die area of a candidate, in mm².
+pub fn die_area_mm2(d: &DesignPoint) -> f64 {
+    let pe_count = (d.pe_rows * d.pe_cols) as f64;
+    let lm_mib_per_pe = d.local_mem_kib as f64 / 1024.0;
+    AREA_BASE_MM2
+        + pe_count * (PE_LOGIC_AREA_MM2 + lm_mib_per_pe * SRAM_AREA_MM2_PER_MIB)
+        + d.sram_mib as f64 * SRAM_AREA_MM2_PER_MIB
+}
+
+/// Cost of a die of `area` mm², yield-adjusted: wafer share grows
+/// linearly in area, and the `exp(D·ΔA)` factor is the inverse-yield
+/// penalty relative to the shipped die (larger dies catch more defects,
+/// so each *good* die costs superlinearly more).
+pub fn die_cost(area_mm2: f64) -> f64 {
+    area_mm2 * DIE_COST_PER_MM2 * (DEFECT_DENSITY_PER_MM2 * (area_mm2 - SHIPPED_DIE_AREA_MM2)).exp()
+}
+
+/// Module cost of a candidate, in the [`calib`](mtia_core::calib)
+/// cost units ([`MTIA_MODULE_COST`](mtia_core::calib::MTIA_MODULE_COST)
+/// for the shipped point).
+pub fn module_cost(d: &DesignPoint) -> f64 {
+    let mem = match d.mem {
+        MemTech::Lpddr => LPDDR_COST,
+        MemTech::Hbm => HBM_COST,
+    };
+    MODULE_BASE_COST + die_cost(die_area_mm2(d)) + mem
+}
+
+/// Typical power of a candidate (65 W for the shipped point).
+pub fn typical_power(d: &DesignPoint) -> Watts {
+    let mem = match d.mem {
+        MemTech::Lpddr => LPDDR_POWER_W,
+        MemTech::Hbm => HBM_POWER_W,
+    };
+    let pe_count = (d.pe_rows * d.pe_cols) as f64;
+    let dynamic = d.sram_mib as f64 * SRAM_W_PER_MIB
+        + pe_count * (d.local_mem_kib as f64 * LM_W_PER_KIB + PE_LOGIC_W);
+    let freq_factor = (d.freq_mhz as f64 / NOMINAL_FREQ_MHZ).powf(FREQ_POWER_EXPONENT);
+    Watts::new(POWER_BASE_W + mem + dynamic * freq_factor)
+}
+
+/// Whether the candidate fits the shipped server's thermal envelope.
+pub fn is_thermally_feasible(d: &DesignPoint) -> bool {
+    typical_power(d).as_f64() <= THERMAL_BUDGET_W
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_point_reproduces_the_calibrated_module_bill() {
+        let p = DesignPoint::paper();
+        assert!((die_area_mm2(&p) - SHIPPED_DIE_AREA_MM2).abs() < 1e-9);
+        assert!((module_cost(&p) - mtia_core::calib::MTIA_MODULE_COST).abs() < 1e-9);
+        assert!((typical_power(&p).as_f64() - 65.0).abs() < 1e-9);
+        assert!(is_thermally_feasible(&p));
+    }
+
+    #[test]
+    fn every_axis_has_a_cost_slope() {
+        let p = DesignPoint::paper();
+        let mut bigger_sram = p;
+        bigger_sram.sram_mib = 512;
+        assert!(module_cost(&bigger_sram) > module_cost(&p));
+        assert!(typical_power(&bigger_sram).as_f64() > 65.0);
+
+        let mut bigger_grid = p;
+        bigger_grid.pe_rows = 16;
+        assert!(module_cost(&bigger_grid) > module_cost(&p));
+
+        let mut hbm = p;
+        hbm.mem = MemTech::Hbm;
+        assert!(module_cost(&hbm) > module_cost(&p));
+        assert!(typical_power(&hbm).as_f64() > 65.0);
+
+        let mut faster = p;
+        faster.freq_mhz = 1600;
+        assert_eq!(module_cost(&faster), module_cost(&p));
+        assert!(typical_power(&faster).as_f64() > 65.0);
+
+        let mut more_lm = p;
+        more_lm.local_mem_kib = 512;
+        assert!(module_cost(&more_lm) > module_cost(&p));
+    }
+
+    #[test]
+    fn thermal_budget_gates_the_aggressive_corners() {
+        // The shipped grid cannot be overclocked to 1.6 GHz...
+        let mut hot = DesignPoint::paper();
+        hot.freq_mhz = 1600;
+        assert!(!is_thermally_feasible(&hot));
+        // ...and the double-size grid only fits the envelope downclocked.
+        let mut wide = DesignPoint::paper();
+        wide.pe_rows = 16;
+        assert!(!is_thermally_feasible(&wide));
+        wide.freq_mhz = 1100;
+        assert!(is_thermally_feasible(&wide));
+    }
+}

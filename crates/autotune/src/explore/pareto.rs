@@ -1,0 +1,63 @@
+//! Pareto dominance over the paper's two efficiency axes.
+
+/// A candidate's score: relative Perf, Perf/TCO, and Perf/Watt vs the
+/// fixed GPU baseline (the E6/F6 frontier metrics). Dominance and
+/// ranking use only the two efficiency axes — `perf` rides along for
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectivePoint {
+    /// Raw throughput ratio vs the baseline.
+    pub perf: f64,
+    /// Perf/TCO ratio vs the baseline (the paper's primary metric).
+    pub perf_per_tco: f64,
+    /// Perf/Watt ratio vs the baseline.
+    pub perf_per_watt: f64,
+}
+
+/// Whether `a` Pareto-dominates `b` on (Perf/TCO, Perf/Watt): at least
+/// as good on both axes and strictly better on one.
+pub fn dominates(a: &ObjectivePoint, b: &ObjectivePoint) -> bool {
+    a.perf_per_tco >= b.perf_per_tco
+        && a.perf_per_watt >= b.perf_per_watt
+        && (a.perf_per_tco > b.perf_per_tco || a.perf_per_watt > b.perf_per_watt)
+}
+
+/// Indices of the non-dominated points, in input order.
+///
+/// Quadratic scan — exact by construction, and the sizes here (a few
+/// hundred evaluated candidates) never justify the sweep-line version.
+/// Duplicate points do not dominate each other, so ties all survive.
+pub fn pareto_indices(points: &[ObjectivePoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|p| dominates(p, &points[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(tco: f64, watt: f64) -> ObjectivePoint {
+        ObjectivePoint {
+            perf: 1.0,
+            perf_per_tco: tco,
+            perf_per_watt: watt,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates(&p(2.0, 1.0), &p(1.0, 1.0)));
+        assert!(dominates(&p(2.0, 2.0), &p(1.0, 1.0)));
+        assert!(!dominates(&p(1.0, 1.0), &p(1.0, 1.0)));
+        assert!(!dominates(&p(2.0, 0.5), &p(1.0, 1.0)));
+    }
+
+    #[test]
+    fn front_keeps_trade_offs_and_ties() {
+        let pts = vec![p(2.0, 0.5), p(1.0, 1.0), p(0.5, 0.4), p(1.0, 1.0)];
+        // The dominated (0.5, 0.4) falls; the duplicated corner survives
+        // twice.
+        assert_eq!(pareto_indices(&pts), vec![0, 1, 3]);
+    }
+}

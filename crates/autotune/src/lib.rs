@@ -24,6 +24,7 @@
 pub mod batch;
 pub mod coalescing;
 pub mod data_placement;
+pub mod explore;
 pub mod pipeline;
 pub mod sharding;
 

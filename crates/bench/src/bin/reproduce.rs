@@ -42,6 +42,15 @@
 //!                        WAN partition) against the global router —
 //!                        and fail if accounting leaks a request or
 //!                        goodput dips below 90 %
+//!   --explore            run the E25 design-space search over the full
+//!                        §3.6 axes (seeded successive halving, Pareto
+//!                        pruning) and print the discovered frontier,
+//!                        best-vs-paper verdict, and per-generation
+//!                        telemetry; fails if the search falls short of
+//!                        the paper's hand-picked point
+//!   --explore-smoke      exhaustively search the tiny pinned space and
+//!                        fail unless the optimum is the paper's design
+//!                        point (the CI rung behind the golden fixture)
 //! ```
 //!
 //! Experiments are pure `(config, seed)` functions, so every mode prints
@@ -66,6 +75,8 @@ struct Options {
     trace_out: Option<String>,
     telemetry_smoke: bool,
     chaos_smoke: bool,
+    explore: bool,
+    explore_smoke: bool,
 }
 
 fn usage() -> ! {
@@ -73,7 +84,8 @@ fn usage() -> ! {
         "usage: reproduce [--threads N] [--filter STR] [--list] \
          [--determinism-check] [--bench-perf PATH] \
          [--perf-baseline PATH] [--trace-out DIR] \
-         [--telemetry-smoke] [--chaos-smoke]"
+         [--telemetry-smoke] [--chaos-smoke] [--explore] \
+         [--explore-smoke]"
     );
     std::process::exit(2)
 }
@@ -89,6 +101,8 @@ fn parse_args() -> Options {
         trace_out: None,
         telemetry_smoke: false,
         chaos_smoke: false,
+        explore: false,
+        explore_smoke: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -105,6 +119,8 @@ fn parse_args() -> Options {
             "--trace-out" => opts.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--telemetry-smoke" => opts.telemetry_smoke = true,
             "--chaos-smoke" => opts.chaos_smoke = true,
+            "--explore" => opts.explore = true,
+            "--explore-smoke" => opts.explore_smoke = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -571,6 +587,60 @@ fn chaos_smoke() -> bool {
     passed
 }
 
+/// Runs the full E25 design-space search (seeded successive halving with
+/// Pareto pruning over the §3.6 axes) and prints the frontier,
+/// best-vs-paper verdict, and per-generation telemetry. Fails only if
+/// the search falls short of the paper's hand-picked point — matching or
+/// dominating it both count as success.
+fn explore_full(threads: usize) -> bool {
+    use mtia_bench::experiments::explore_exps::{self, Verdict};
+
+    pool::set_threads(threads);
+    let run = explore_exps::e25_run();
+    pool::set_threads(0);
+    print!("{}", explore_exps::report_tables(&run, "E25"));
+    let out = &run.outcome;
+    eprintln!(
+        "explore: {} candidates evaluated ({} infeasible, memo hit rate {:.1}%), \
+         best perf/TCO {:.4} vs paper {:.4}",
+        out.evaluated.len(),
+        out.infeasible,
+        out.cache_hit_rate() * 100.0,
+        out.best.score.perf_per_tco,
+        run.paper_score.perf_per_tco,
+    );
+    let passed = run.verdict != Verdict::FellShort;
+    eprintln!(
+        "explore {} ({})",
+        if passed { "passed" } else { "FAILED" },
+        match run.verdict {
+            Verdict::Rediscovered => "search rediscovered the shipped design point",
+            Verdict::Dominates => "search found a point dominating the shipped design",
+            Verdict::FellShort => "search fell short of the shipped design point",
+        }
+    );
+    passed
+}
+
+/// Exhaustively searches the tiny pinned space and passes only when the
+/// optimum is exactly the paper's design point — the cheap CI rung that
+/// backs the golden-frontier fixture.
+fn explore_smoke() -> bool {
+    use mtia_bench::experiments::explore_exps::{self, Verdict};
+
+    let run = explore_exps::e25_tiny_run();
+    let best = &run.outcome.best;
+    eprintln!(
+        "  tiny-space optimum: {} perf/TCO {:.4} (paper {:.4})",
+        best.design.label(),
+        best.score.perf_per_tco,
+        run.paper_score.perf_per_tco,
+    );
+    let passed = run.verdict == Verdict::Rediscovered;
+    eprintln!("explore smoke {}", if passed { "passed" } else { "FAILED" });
+    passed
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let entries = selection(&opts);
@@ -619,6 +689,12 @@ fn main() -> ExitCode {
     if opts.chaos_smoke {
         failed |= !chaos_smoke();
     }
+    if opts.explore {
+        failed |= !explore_full(threads);
+    }
+    if opts.explore_smoke {
+        failed |= !explore_smoke();
+    }
     if let Some(dir) = &opts.trace_out {
         failed |= !trace_out(&entries, dir);
     }
@@ -626,6 +702,8 @@ fn main() -> ExitCode {
         || opts.bench_perf.is_some()
         || opts.telemetry_smoke
         || opts.chaos_smoke
+        || opts.explore
+        || opts.explore_smoke
         || opts.trace_out.is_some()
     {
         return if failed {

@@ -7,6 +7,7 @@
 pub mod ab;
 pub mod ablations;
 pub mod chip_exps;
+pub mod explore_exps;
 pub mod failover_exps;
 pub mod fig4;
 pub mod fig5;
@@ -152,14 +153,19 @@ pub fn registry() -> Vec<ExperimentEntry> {
             name: "e24_planet",
             run: planet_exps::e24_planet,
         },
+        ExperimentEntry {
+            name: "e25_explore",
+            run: explore_exps::e25_explore,
+        },
     ]
 }
 
 /// The fast subset behind `--filter quick` and the determinism gate:
 /// fig5 (serving Monte-Carlo sweeps), a single E19 SDC ladder rung, the
 /// E21 toy-tree failover rung, the E22 toy-fleet global-router rung,
-/// the E23 toy-fleet gray-failure rung, and the E24 sharded-planet
-/// rung (also the perf gate's stable events/sec row).
+/// the E23 toy-fleet gray-failure rung, the E24 sharded-planet rung
+/// (also the perf gate's stable events/sec row), and the E25
+/// tiny-space explore rung.
 pub fn quick_subset() -> Vec<ExperimentEntry> {
     vec![
         ExperimentEntry {
@@ -185,6 +191,10 @@ pub fn quick_subset() -> Vec<ExperimentEntry> {
         ExperimentEntry {
             name: "e24_rung",
             run: planet_exps::e24_rung,
+        },
+        ExperimentEntry {
+            name: "e25_rung",
+            run: explore_exps::e25_rung,
         },
     ]
 }
@@ -278,7 +288,7 @@ mod registry_tests {
     #[test]
     fn registry_names_are_unique_and_cover_the_paper_order() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 28);
+        assert_eq!(names.len(), 29);
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -63,7 +63,7 @@ pub struct ModelComparison {
 }
 
 /// Per-sample input bytes arriving from the host (model inputs only).
-fn input_bytes_per_sample(graph: &Graph) -> Bytes {
+pub(crate) fn input_bytes_per_sample(graph: &Graph) -> Bytes {
     let total: Bytes = graph
         .tensors()
         .iter()

@@ -71,6 +71,34 @@ pub fn derive_indexed(root: u64, label: &str, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A deterministic pseudo-random permutation of `0..n`.
+///
+/// Fisher–Yates driven by the same per-index SplitMix64 stream as
+/// [`derive_indexed`], so the permutation is a pure function of
+/// `(root, label, n)` — independent of thread count, execution order,
+/// and platform. Samplers that draw "random" subsets (e.g. the
+/// design-space explorer's generation seeding) take a prefix of this
+/// permutation instead of consuming a shared sequential RNG.
+///
+/// ```
+/// use mtia_core::seed::{shuffled_indices, DEFAULT_SEED};
+/// let a = shuffled_indices(DEFAULT_SEED, "explore/gen", 8);
+/// let b = shuffled_indices(DEFAULT_SEED, "explore/gen", 8);
+/// assert_eq!(a, b);
+/// let mut sorted = a.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+/// ```
+pub fn shuffled_indices(root: u64, label: &str, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let r = derive_indexed(root, label, i as u64);
+        let j = (r % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +129,17 @@ mod tests {
             derive_indexed(DEFAULT_SEED, "sweep", 0),
             derive_indexed(DEFAULT_SEED, "other", 0)
         );
+    }
+
+    #[test]
+    fn shuffle_is_a_stable_label_sensitive_permutation() {
+        let a = shuffled_indices(DEFAULT_SEED, "gen", 100);
+        assert_eq!(a, shuffled_indices(DEFAULT_SEED, "gen", 100));
+        assert_ne!(a, shuffled_indices(DEFAULT_SEED, "other", 100));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert!(shuffled_indices(DEFAULT_SEED, "gen", 0).is_empty());
+        assert_eq!(shuffled_indices(DEFAULT_SEED, "gen", 1), vec![0]);
     }
 }

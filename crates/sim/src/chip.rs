@@ -302,6 +302,10 @@ impl ChipSim {
             );
         }
 
+        // One perf-counter event per executed node, so chip-level
+        // experiments carry real work into the `--bench-perf` gate.
+        mtia_core::perfcount::add_events(plan.order.len() as u64);
+
         // Sharding check (§4.1): model + runtime buffers vs device DRAM.
         let runtime_buffers = activation_bytes * 2;
         let needs_sharding = graph.model_bytes() + runtime_buffers > self.spec.dram.capacity;

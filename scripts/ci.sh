@@ -26,7 +26,8 @@ cargo build --release --workspace
 
 echo "==> reproduce smoke: determinism + perf (--filter quick)"
 # The fast experiment subset (fig5, e19_rung, e21_rung, e22_rung,
-# e23_rung, e24_rung), run at one thread and at all host threads: fails
+# e23_rung, e24_rung, e25_rung), run at one thread and at all host
+# threads: fails
 # if the rendered tables are not byte-identical, and leaves the
 # per-experiment wall-clock/speedup/events-per-sec/peak-RSS/cache
 # telemetry (global + non-zero per-shard counters) in BENCH_PERF.json.
@@ -61,6 +62,14 @@ echo "==> chaos smoke: failover survives the seeded correlated-fault suite"
 # cell-level requests lost forever, request accounting conserved
 # everywhere, goodput >= 90 %.
 target/release/reproduce --chaos-smoke
+
+echo "==> explore smoke: the tiny-space search rediscovers the paper point"
+# Exhaustive search over the tiny pinned design space (the one behind
+# tests/goldens/explore_frontier.golden) at the default seed: fails
+# unless the argmax is exactly the shipped sram256 8x8 lpddr 1350MHz
+# lm384 point — the cheapest end-to-end check that the objective,
+# cost model, and search driver still agree on the paper's design.
+target/release/reproduce --explore-smoke
 
 echo "==> cargo test"
 cargo test -q --workspace

@@ -1,0 +1,150 @@
+//! Property tests for the `autotune::explore` engine: the Pareto prune
+//! matches a brute-force dominance oracle on random point sets, an
+//! exhaustive search is a true argmax, and enlarging the space in the
+//! exhaustive regime never worsens the best objective (search
+//! monotonicity).
+
+use mtia::autotune::explore::{
+    dominates, explore, pareto_indices, ChipSpecSpace, DesignPoint, ExploreConfig, MemTech,
+    ObjectivePoint,
+};
+use proptest::prelude::*;
+
+/// A cheap synthetic objective: a smooth bump over the axes whose value
+/// depends only on the design coordinates (thousands of evaluations per
+/// property case must stay fast, so no simulator here).
+fn synth(d: &DesignPoint) -> Option<ObjectivePoint> {
+    let dist = (d.sram_mib as f64).ln() - 256f64.ln()
+        + ((d.pe_rows * d.pe_cols) as f64).ln() * 0.5
+        + (d.freq_mhz as f64) / 2000.0
+        + (d.local_mem_kib as f64).ln() * 0.25
+        + if d.mem == MemTech::Lpddr { 0.3 } else { 0.0 };
+    let v = (-(dist - 3.0).abs()).exp();
+    Some(ObjectivePoint {
+        perf: v,
+        perf_per_tco: v,
+        perf_per_watt: 1.0 / (1.0 + v),
+    })
+}
+
+/// Value pools per axis, all inside the validated ranges.
+const SRAM_POOL: [u64; 5] = [64, 128, 256, 512, 1024];
+const GRID_POOL: [(u32, u32); 5] = [(2, 2), (4, 4), (8, 4), (8, 8), (16, 8)];
+const FREQ_POOL: [u32; 5] = [800, 1100, 1350, 1600, 2000];
+const LM_POOL: [u64; 5] = [64, 128, 256, 384, 512];
+
+fn space_from(
+    sram: Vec<u64>,
+    grid: Vec<(u32, u32)>,
+    freq: Vec<u32>,
+    lm: Vec<u64>,
+) -> ChipSpecSpace {
+    ChipSpecSpace {
+        sram_mib: sram,
+        pe_grid: grid,
+        mem: vec![MemTech::Lpddr, MemTech::Hbm],
+        freq_mhz: freq,
+        local_mem_kib: lm,
+    }
+}
+
+/// The pool values whose bit is set in `mask`, falling back to the
+/// first value so every axis stays non-empty.
+fn subset<T: Copy>(pool: &[T], mask: u32) -> Vec<T> {
+    let picked: Vec<T> = pool
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, &v)| v)
+        .collect();
+    if picked.is_empty() {
+        vec![pool[0]]
+    } else {
+        picked
+    }
+}
+
+/// Random subspaces as four 5-bit subset masks (the vendored proptest
+/// has ranges and `prop_map`, nothing fancier).
+fn arb_subspace() -> impl Strategy<Value = ChipSpecSpace> {
+    (0u32..(1 << 20)).prop_map(|bits| {
+        space_from(
+            subset(&SRAM_POOL, bits & 0x1f),
+            subset(&GRID_POOL, (bits >> 5) & 0x1f),
+            subset(&FREQ_POOL, (bits >> 10) & 0x1f),
+            subset(&LM_POOL, (bits >> 15) & 0x1f),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `pareto_indices` agrees with the O(n²) dominance definition on
+    /// random small point sets, duplicate points and ties included (the
+    /// coarse 0.25 grid forces plenty of both).
+    #[test]
+    fn pareto_prune_matches_brute_force(
+        raw in proptest::collection::vec(0u8..125, 1..40)
+    ) {
+        let pts: Vec<ObjectivePoint> = raw
+            .iter()
+            .map(|&r| ObjectivePoint {
+                perf: (r % 5) as f64 * 0.25,
+                perf_per_tco: ((r / 5) % 5) as f64 * 0.25,
+                perf_per_watt: (r / 25) as f64 * 0.25,
+            })
+            .collect();
+        let got = pareto_indices(&pts);
+        let want: Vec<usize> = (0..pts.len())
+            .filter(|&i| !pts.iter().any(|q| dominates(q, &pts[i])))
+            .collect();
+        prop_assert_eq!(got, want);
+        // Dominance is irreflexive, so the frontier is never empty.
+        prop_assert!(!pts.is_empty() && !want.is_empty());
+    }
+
+    /// In the exhaustive regime the search returns the true argmax:
+    /// scanning the enumeration by hand finds nothing better.
+    #[test]
+    fn exhaustive_search_is_a_true_argmax(space in arb_subspace()) {
+        let out = explore(&space, &ExploreConfig::exhaustive(space.len()), synth).unwrap();
+        let brute = space
+            .enumerate()
+            .iter()
+            .filter_map(|d| synth(d).map(|s| s.perf_per_tco))
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((out.best.score.perf_per_tco - brute).abs() < 1e-12);
+        prop_assert_eq!(out.evaluated.len() + out.infeasible, space.len());
+        // Everything the frontier dropped really is dominated.
+        for e in &out.evaluated {
+            let on_front = out.frontier.iter().any(|f| f.index == e.index);
+            let dominated = out
+                .evaluated
+                .iter()
+                .any(|f| dominates(&f.score, &e.score));
+            prop_assert_eq!(on_front, !dominated);
+        }
+    }
+
+    /// Search monotonicity: enlarging the space (here, to the full value
+    /// pools — a superset of every sampled subspace) never worsens the
+    /// exhaustive best objective.
+    #[test]
+    fn enlarging_the_space_never_worsens_the_best(space in arb_subspace()) {
+        let small = explore(&space, &ExploreConfig::exhaustive(space.len()), synth).unwrap();
+        let full = space_from(
+            SRAM_POOL.to_vec(),
+            GRID_POOL.to_vec(),
+            FREQ_POOL.to_vec(),
+            LM_POOL.to_vec(),
+        );
+        let large = explore(&full, &ExploreConfig::exhaustive(full.len()), synth).unwrap();
+        prop_assert!(
+            large.best.score.perf_per_tco >= small.best.score.perf_per_tco,
+            "superset best {} < subset best {}",
+            large.best.score.perf_per_tco,
+            small.best.score.perf_per_tco
+        );
+    }
+}

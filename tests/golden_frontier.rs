@@ -1,0 +1,80 @@
+//! The golden-frontier fixture: the E25 tiny-space exhaustive search is
+//! pinned point-for-point, so any drift in the simulator, the cost
+//! model, or the search driver fails with a point-level diff naming the
+//! first diverging frontier member.
+//!
+//! To re-pin after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_frontier
+//! git diff tests/goldens/   # review every shifted point before committing
+//! ```
+
+use std::path::PathBuf;
+
+use mtia::autotune::explore::{ChipSpecSpace, ExploreConfig};
+use mtia::core::telemetry::diff_canonical;
+use mtia_bench::experiments::explore_exps;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/explore_frontier.golden")
+}
+
+fn update_goldens() -> bool {
+    std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1")
+}
+
+#[test]
+fn golden_frontier_matches() {
+    let actual = explore_exps::canonical_frontier(&explore_exps::e25_tiny_run());
+    let path = golden_path();
+    if update_goldens() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDENS=1 cargo test --test golden_frontier",
+            path.display()
+        )
+    });
+    if let Some(diff) = diff_canonical(&expected, &actual) {
+        panic!(
+            "golden frontier drift (UPDATE_GOLDENS=1 re-pins after intentional changes):\n{diff}"
+        );
+    }
+}
+
+#[test]
+fn canonical_frontier_is_deterministic_across_runs() {
+    let a = explore_exps::canonical_frontier(&explore_exps::e25_tiny_run());
+    let b = explore_exps::canonical_frontier(&explore_exps::e25_tiny_run());
+    assert_eq!(a, b, "canonical frontier unstable across runs");
+}
+
+/// Moving one axis of the search space must fail the golden diff with a
+/// point-level message — the regression shape the fixture exists to
+/// catch: dropping the 1.35 GHz column removes the pinned best point,
+/// and the first diverging `point` line names it.
+#[test]
+fn perturbed_space_fails_with_point_level_diff() {
+    let baseline = explore_exps::canonical_frontier(&explore_exps::e25_tiny_run());
+    let mut space = ChipSpecSpace::tiny();
+    space.freq_mhz = vec![1100];
+    let perturbed = explore_exps::canonical_frontier(&explore_exps::debug_exhaustive(
+        &space,
+        &ExploreConfig::exhaustive(space.len()),
+    ));
+    let diff = diff_canonical(&baseline, &perturbed)
+        .expect("a moved frequency axis must shift the pinned frontier");
+    assert!(
+        diff.contains("point "),
+        "diff should name the diverging frontier point, got:\n{diff}"
+    );
+    assert!(
+        diff.contains("expected:") && diff.contains("actual:"),
+        "diff should show both lines, got:\n{diff}"
+    );
+}

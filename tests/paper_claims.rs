@@ -129,7 +129,7 @@ fn spec_peaks_match_table2() {
 #[test]
 fn all_experiments_produce_tables() {
     let reports = mtia_bench::experiments::run_all();
-    assert_eq!(reports.len(), 28);
+    assert_eq!(reports.len(), 29);
     for r in &reports {
         assert!(!r.tables.is_empty(), "{} has no tables", r.id);
         for t in &r.tables {
@@ -270,4 +270,36 @@ fn e23_gray_failure_detector_and_hedging_hold_the_slo() {
     // The naive arm has neither detector nor hedging.
     assert_eq!(naive.outlier_demotions, 0);
     assert_eq!(naive.hedges_issued, 0);
+}
+
+/// E25 acceptance: a cold-start seeded search over the full §3.6/E18
+/// design space must land exactly on the paper's hand-picked point —
+/// the co-design levers, priced honestly, make the shipped
+/// configuration the true Perf/TCO argmax, and the search finds it
+/// without evaluating most of the space.
+#[test]
+fn e25_search_rediscovers_the_shipped_design_point() {
+    use mtia::autotune::explore::{ChipSpecSpace, DesignPoint};
+    use mtia_bench::experiments::explore_exps::{self, Verdict};
+
+    let run = explore_exps::e25_run();
+    assert_eq!(run.verdict, Verdict::Rediscovered);
+    assert_eq!(run.outcome.best.design, DesignPoint::paper());
+    // Successive halving, not a sweep: most of the 384-point space is
+    // never simulated.
+    let touched = run.outcome.evaluated.len() + run.outcome.infeasible;
+    assert!(
+        touched < ChipSpecSpace::paper().len() / 2,
+        "search touched {touched} points — that is a sweep, not a search"
+    );
+    // The discovered frontier is a genuine trade-off curve: the shipped
+    // point anchors the Perf/TCO end, and every other member buys
+    // Perf/Watt with silicon the shipped point declined to pay for.
+    assert!(run.outcome.frontier.len() >= 2);
+    let shipped = &run.outcome.frontier[0];
+    assert_eq!(shipped.design, DesignPoint::paper());
+    for other in &run.outcome.frontier[1..] {
+        assert!(other.score.perf_per_watt > shipped.score.perf_per_watt);
+        assert!(other.score.perf_per_tco < shipped.score.perf_per_tco);
+    }
 }
