@@ -38,8 +38,9 @@ use mtia_serving::failover::{
     simulate_cell_failover_traced, FailoverConfig, FailoverReport, PlacementPolicy,
 };
 use mtia_serving::global::{
-    build_regional_trace, compare_global, simulate_global_traced, GlobalComparison, GlobalConfig,
-    GlobalReport, RegionalTrace, RegionalTrafficConfig, RoutingPolicy,
+    build_regional_trace, build_regional_trace_crested, compare_global, simulate_global_traced,
+    AutoscaleConfig, GlobalComparison, GlobalConfig, GlobalReport, RegionalTrace,
+    RegionalTrafficConfig, RoutingPolicy,
 };
 use mtia_serving::traffic::{ArrivalProcess, DiurnalArrivals, PoissonArrivals};
 use mtia_sim::faults::{throttle_floor, FaultEvent, FaultKind, FaultPlan};
@@ -353,6 +354,18 @@ pub enum GlobalChaosScenario {
         /// How long the throttles last.
         window: SimTime,
     },
+    /// Metastable-overload storm: flash crowds land exactly at every
+    /// region's diurnal crest while a fraction of every pod's nominal
+    /// devices dips and heals mid-run. The question the smoke asks is
+    /// whether goodput comes back once the trigger is gone — the
+    /// defended arm (retry budgets, breakers, deadline propagation,
+    /// forecast-driven autoscaling) must not latch into collapse.
+    OverloadStorm {
+        /// Fraction of each pod's devices the dip takes down.
+        dip_fraction: f64,
+        /// How long the dip lasts before healing.
+        window: SimTime,
+    },
 }
 
 impl GlobalChaosScenario {
@@ -364,6 +377,7 @@ impl GlobalChaosScenario {
             GlobalChaosScenario::RegionOutageAtPeak { .. } => "region-outage-at-peak",
             GlobalChaosScenario::WanPartitionIsolation { .. } => "wan-partition-isolation",
             GlobalChaosScenario::GrayFailure { .. } => "gray-failure",
+            GlobalChaosScenario::OverloadStorm { .. } => "overload-storm",
         }
     }
 
@@ -374,6 +388,7 @@ impl GlobalChaosScenario {
     pub fn policy(&self) -> RoutingPolicy {
         match self {
             GlobalChaosScenario::GrayFailure { .. } => RoutingPolicy::GrayResilient,
+            GlobalChaosScenario::OverloadStorm { .. } => RoutingPolicy::OverloadResilient,
             _ => RoutingPolicy::HealthAware,
         }
     }
@@ -502,8 +517,37 @@ impl GlobalChaosSchedule {
         }
     }
 
-    /// The standard five-scenario region-scale suite from one seed:
-    /// four fail-stop storms plus the fail-slow `gray_failure` preset.
+    /// Seeded metastable-overload storm — the `overload_storm` preset
+    /// behind `--chaos-smoke` and E26's rung: flash crowds pinned at
+    /// every region's diurnal crest while a quarter of each pod's
+    /// nominal devices dips and heals mid-run. Runs the fully-defended
+    /// arm: retry budgets, breakers, deadline propagation, and
+    /// forecast-driven autoscaling over a reserve tail.
+    pub fn overload_storm(_global: &GlobalTopology, seed: u64) -> Self {
+        let horizon = SimTime::from_secs(60);
+        let mut traffic = Self::smoke_traffic(horizon);
+        // Hot enough that the diurnal crest genuinely needs the reserve
+        // tail: the forecast target must cross the nominal floor or the
+        // autoscaler would never move.
+        traffic.base_rate_per_s = 40.0;
+        GlobalChaosSchedule {
+            name: "overload-storm",
+            scenario: GlobalChaosScenario::OverloadStorm {
+                dip_fraction: 0.25,
+                window: SimTime::from_secs(20),
+            },
+            // Region 0's crest; every region's crowd is crest-pinned by
+            // the crested trace builder regardless.
+            start: traffic.period.scale(0.25),
+            traffic,
+            horizon,
+            seed,
+        }
+    }
+
+    /// The standard six-scenario region-scale suite from one seed:
+    /// four fail-stop storms, the fail-slow `gray_failure` preset, and
+    /// the metastable `overload_storm` preset.
     pub fn region_suite(global: &GlobalTopology, seed: u64) -> Vec<GlobalChaosSchedule> {
         vec![
             GlobalChaosSchedule::single_pod_loss(global, seed),
@@ -511,6 +555,7 @@ impl GlobalChaosSchedule {
             GlobalChaosSchedule::region_outage_at_peak(global, seed),
             GlobalChaosSchedule::wan_partition_isolation(global, seed),
             GlobalChaosSchedule::gray_failure(global, seed),
+            GlobalChaosSchedule::overload_storm(global, seed),
         ]
     }
 
@@ -616,17 +661,58 @@ impl GlobalChaosSchedule {
                 }
                 plan
             }
+            GlobalChaosScenario::OverloadStorm {
+                dip_fraction,
+                window,
+            } => {
+                let spec = global.fleet_spec();
+                let dip = ((spec.devices_per_pod as f64) * dip_fraction).ceil() as u32;
+                let mut plan = plan;
+                for pod in 0..spec.pods() {
+                    // The dip takes the *lowest*-indexed devices —
+                    // nominal capacity, never the reserve tail the
+                    // autoscaler owns.
+                    for k in 0..dip.min(spec.devices_per_pod) {
+                        plan = plan.with_event(FaultEvent {
+                            at: self.start,
+                            device: pod * spec.devices_per_pod + k,
+                            kind: FaultKind::PodLoss,
+                            duration: window,
+                        });
+                    }
+                }
+                plan
+            }
         }
     }
 
     /// The schedule's multi-region arrival trace (seeded, replayable).
+    /// The overload storm pins every flash crowd to its region's
+    /// diurnal crest; every other storm places crowds by seeded draw.
     pub fn trace(&self, global: &GlobalTopology) -> RegionalTrace {
-        build_regional_trace(
-            &self.traffic,
-            global.region_count(),
-            self.horizon,
-            derive(self.seed, "chaos.global-arrivals"),
-        )
+        let seed = derive(self.seed, "chaos.global-arrivals");
+        match self.scenario {
+            GlobalChaosScenario::OverloadStorm { .. } => build_regional_trace_crested(
+                &self.traffic,
+                global.region_count(),
+                self.horizon,
+                seed,
+            ),
+            _ => build_regional_trace(&self.traffic, global.region_count(), self.horizon, seed),
+        }
+    }
+
+    /// The router config the schedule runs under: stock production
+    /// everywhere except the overload storm, which provisions a
+    /// two-device reserve tail per pod and the forecast-driven
+    /// autoscaler.
+    pub fn config(&self) -> GlobalConfig {
+        let mut config = GlobalConfig::production(self.seed);
+        if matches!(self.scenario, GlobalChaosScenario::OverloadStorm { .. }) {
+            config.reserve_per_pod = 2;
+            config.autoscale = Some(AutoscaleConfig::production(self.traffic.period));
+        }
+        config
     }
 
     /// Runs the schedule under `policy`, untraced.
@@ -644,7 +730,7 @@ impl GlobalChaosSchedule {
     ) -> GlobalReport {
         simulate_global_traced(
             &global.fleet_spec(),
-            &GlobalConfig::production(self.seed),
+            &self.config(),
             &self.trace(global),
             &self.plan(global),
             policy,
@@ -657,7 +743,7 @@ impl GlobalChaosSchedule {
     pub fn compare(&self, global: &GlobalTopology) -> GlobalComparison {
         compare_global(
             &global.fleet_spec(),
-            &GlobalConfig::production(self.seed),
+            &self.config(),
             &self.trace(global),
             &self.plan(global),
         )
@@ -818,7 +904,7 @@ mod tests {
     fn chaos_smoke_loses_nothing_with_failover_on() {
         let report = run_chaos_smoke(DEFAULT_SEED);
         assert_eq!(report.lines.len(), 3);
-        assert_eq!(report.global_lines.len(), 5);
+        assert_eq!(report.global_lines.len(), 6);
         for line in &report.lines {
             assert_eq!(line.report.lost, 0, "{} lost requests", line.name);
             assert_eq!(
@@ -859,6 +945,16 @@ mod tests {
         assert_eq!(gray.report.policy, "outlier-hedge");
         assert_eq!(gray.report.device_downs, 0, "fail-slow never kills");
         assert_eq!(gray.report.lost_killed, 0);
+        // The overload-storm line must run the fully-defended arm and
+        // actually exercise the new machinery: retries are issued, and
+        // the autoscaler moves reserve capacity.
+        let storm = report
+            .global_lines
+            .iter()
+            .find(|l| l.name == "overload-storm")
+            .expect("overload-storm line present");
+        assert_eq!(storm.report.policy, "overload-resilient");
+        assert!(storm.report.scale_events > 0, "autoscaler never moved");
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod global_exps;
 pub mod gray_exps;
 pub mod llm;
 pub mod locality;
+pub mod overload_exps;
 pub mod planet_exps;
 pub mod quant;
 pub mod sdc_exps;
@@ -157,6 +158,10 @@ pub fn registry() -> Vec<ExperimentEntry> {
             name: "e25_explore",
             run: explore_exps::e25_explore,
         },
+        ExperimentEntry {
+            name: "e26_overload",
+            run: overload_exps::e26_overload,
+        },
     ]
 }
 
@@ -164,8 +169,8 @@ pub fn registry() -> Vec<ExperimentEntry> {
 /// fig5 (serving Monte-Carlo sweeps), a single E19 SDC ladder rung, the
 /// E21 toy-tree failover rung, the E22 toy-fleet global-router rung,
 /// the E23 toy-fleet gray-failure rung, the E24 sharded-planet rung
-/// (also the perf gate's stable events/sec row), and the E25
-/// tiny-space explore rung.
+/// (also the perf gate's stable events/sec row), the E25 tiny-space
+/// explore rung, and the E26 toy-fleet metastable-storm rung.
 pub fn quick_subset() -> Vec<ExperimentEntry> {
     vec![
         ExperimentEntry {
@@ -195,6 +200,10 @@ pub fn quick_subset() -> Vec<ExperimentEntry> {
         ExperimentEntry {
             name: "e25_rung",
             run: explore_exps::e25_rung,
+        },
+        ExperimentEntry {
+            name: "e26_rung",
+            run: overload_exps::e26_rung,
         },
     ]
 }
@@ -288,7 +297,7 @@ mod registry_tests {
     #[test]
     fn registry_names_are_unique_and_cover_the_paper_order() {
         let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 29);
+        assert_eq!(names.len(), 30);
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();

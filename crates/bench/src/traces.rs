@@ -64,6 +64,10 @@ pub fn scenarios() -> Vec<TraceScenario> {
             name: "gray_failure",
             run: gray_failure_trace,
         },
+        TraceScenario {
+            name: "breaker_lifecycle",
+            run: breaker_lifecycle_trace,
+        },
     ]
 }
 
@@ -242,6 +246,75 @@ pub fn gray_failure_trace(tel: &mut Telemetry) -> String {
         report.hedges_cancelled,
         report.outlier_demotions,
         report.trace_fingerprint,
+    )
+}
+
+/// The adaptive circuit breaker's full lifecycle at production
+/// thresholds, driven by a scripted outcome sequence: three pure-failure
+/// windows walk the success EWMA through the 0.5 floor (`Closed → Open`),
+/// the 2 s hold elapses (`Open → HalfOpen`), and three clean probes close
+/// the edge again. Every state transition is pinned as an instant event,
+/// so any change to the EWMA fold, the judgement thresholds, or the
+/// probation protocol shifts this golden before it can shift E26.
+pub fn breaker_lifecycle_trace(tel: &mut Telemetry) -> String {
+    use mtia_core::telemetry::Json;
+    use mtia_serving::resilience::{BreakerConfig, BreakerState, CircuitBreaker};
+
+    let config = BreakerConfig::production();
+    let mut breaker = CircuitBreaker::new(config);
+    let tick = |n: u64| SimTime::from_millis(500 * n);
+    tel.begin_span("resilience.breaker", "resilience", SimTime::ZERO);
+    tel.span_attr("success_floor", Json::Num(config.success_floor));
+    tel.span_attr("consecutive_bad", Json::UInt(config.consecutive_bad as u64));
+    tel.span_attr("close_after", Json::UInt(config.close_after as u64));
+    let mut transitions = Vec::new();
+    let mut observe =
+        |b: &CircuitBreaker, tel: &mut Telemetry, at: SimTime, last: &mut BreakerState| {
+            if b.state() != *last {
+                transitions.push(format!(
+                    "{:?}@{}ms",
+                    b.state(),
+                    at.as_picos() / 1_000_000_000
+                ));
+                tel.instant(
+                    "breaker.transition",
+                    "resilience",
+                    at,
+                    vec![
+                        ("state".into(), Json::Str(format!("{:?}", b.state()))),
+                        ("opens".into(), Json::UInt(b.opens())),
+                    ],
+                );
+                *last = b.state();
+            }
+        };
+    let mut last = breaker.state();
+    // Three pure-failure windows: EWMA 1.0 → 0.7 → 0.49 → 0.343.
+    for w in 0..3u64 {
+        for _ in 0..10 {
+            breaker.record_failure(tick(w));
+        }
+        breaker.on_window(tick(w + 1));
+        observe(&breaker, tel, tick(w + 1), &mut last);
+    }
+    // The 2 s hold: windows at the probe cadence until probation opens.
+    for w in 3..8u64 {
+        breaker.on_window(tick(w + 1));
+        observe(&breaker, tel, tick(w + 1), &mut last);
+    }
+    // Probation: one probe at a time, three successes close the edge.
+    for p in 0..config.close_after as u64 {
+        breaker.note_probe();
+        breaker.record_success(SimTime::from_millis(10));
+        observe(&breaker, tel, tick(8 + p), &mut last);
+    }
+    tel.counter_add("breaker.opens", breaker.opens());
+    tel.end_span(tick(8 + config.close_after as u64));
+    format!(
+        "final={:?} opens={} path={}",
+        breaker.state(),
+        breaker.opens(),
+        transitions.join(">")
     )
 }
 

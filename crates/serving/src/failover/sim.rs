@@ -459,11 +459,13 @@ impl<'a> Engine<'a> {
 
         let mut next_request = 0u64;
         let mut now = SimTime::ZERO;
+        let mut drained = 0u64;
         while let Some(Reverse((t, _, event))) = self.events.pop() {
             if t > horizon {
                 break;
             }
             now = t;
+            drained += 1;
             match event {
                 Ev::Arrival => {
                     let request = next_request;
@@ -762,6 +764,9 @@ impl<'a> Engine<'a> {
                 self.tel.counter_add(name, value);
             }
         }
+        // Flush the drained-event count so failover experiments show up
+        // in `reproduce --bench-perf`'s events/sec column.
+        mtia_core::perfcount::add_events(drained);
         self.report
     }
 }

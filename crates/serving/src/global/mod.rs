@@ -42,11 +42,12 @@
 //! [`FaultKind::WanPartition`]: mtia_sim::faults::FaultKind::WanPartition
 //! [`HealthMachine`]: crate::resilience::HealthMachine
 
+pub mod autoscale;
 mod report;
 pub mod shard;
 mod sim;
 
-pub use report::{GlobalComparison, GlobalReport};
+pub use report::{GlobalComparison, GlobalReport, TimelineBucket};
 pub use shard::{simulate_planet, CellSpec, PlanetConfig, PlanetReport};
 pub use sim::{compare_global, simulate_global, simulate_global_traced};
 
@@ -55,8 +56,10 @@ use mtia_core::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::resilience::breaker::BreakerConfig;
+use crate::resilience::budget::BudgetConfig;
 use crate::resilience::outlier::OutlierConfig;
-use crate::resilience::retry::HedgePolicy;
+use crate::resilience::retry::{HedgePolicy, RetryPolicy};
 use crate::resilience::HealthConfig;
 use crate::traffic::{ArrivalProcess, FlashCrowd, RegionalArrivals};
 use mtia_sim::faults::DeviceId;
@@ -181,6 +184,24 @@ pub enum RoutingPolicy {
     /// and deadline-hedged re-issue of stuck requests to non-outlier
     /// devices.
     GrayResilient,
+    /// [`RoutingPolicy::HealthAware`] routing plus *unguarded*
+    /// client-side retries: every attempt that times out
+    /// ([`OverloadConfig::attempt_timeout`]) mints a fresh copy with no
+    /// budget, no breaker, and no deadline propagation — devices serve
+    /// copies even after their client has given up. This is the
+    /// metastable baseline: under a transient overload the retry
+    /// amplification sustains itself after the trigger heals.
+    NaiveRetry,
+    /// The overload-defended arm: the same retry timers, but retries
+    /// spend a per-pod token-bucket budget
+    /// ([`OverloadConfig::budget`]), every (ingress, pod) edge is
+    /// guarded by an adaptive circuit breaker
+    /// ([`OverloadConfig::breaker`]), remaining deadline budget
+    /// propagates across copies (work that cannot finish in time is
+    /// cancelled at admission), and — when
+    /// [`GlobalConfig::autoscale`] is set — a forecast-driven
+    /// autoscaler re-derives per-pod capacity from the diurnal curve.
+    OverloadResilient,
 }
 
 impl RoutingPolicy {
@@ -190,7 +211,17 @@ impl RoutingPolicy {
             RoutingPolicy::StaticLocal => "static-local",
             RoutingPolicy::HealthAware => "global-router",
             RoutingPolicy::GrayResilient => "outlier-hedge",
+            RoutingPolicy::NaiveRetry => "naive-retry",
+            RoutingPolicy::OverloadResilient => "overload-resilient",
         }
+    }
+
+    /// Whether this arm runs client-side attempt timers at all.
+    pub fn retries(&self) -> bool {
+        matches!(
+            self,
+            RoutingPolicy::NaiveRetry | RoutingPolicy::OverloadResilient
+        )
     }
 }
 
@@ -243,6 +274,93 @@ impl GrayResilienceConfig {
     }
 }
 
+/// The client-side retry contract plus the overload defenses carried
+/// by the retrying arms ([`RoutingPolicy::NaiveRetry`] /
+/// [`RoutingPolicy::OverloadResilient`]). Inert under every other arm.
+///
+/// **Deadline unification.** Historically the per-device
+/// [`RetryPolicy::production`] carried a 500 ms end-to-end budget while
+/// the global sim enforced an unrelated 2 s queueing deadline — and
+/// re-issued copies carried a *fresh* deadline each, so one request
+/// could live arbitrarily long across pods. The retrying arms unify
+/// the two: `attempt_timeout` **is** the retry policy's 500 ms
+/// deadline, `max_attempts × attempt_timeout` **is** the global 2 s
+/// queueing deadline ([`GlobalConfig::production`]), and every copy
+/// inherits its request's original arrival instant, so the remaining
+/// end-to-end budget shrinks monotonically across retries, hedges, and
+/// spillover ([`GlobalConfig::deadline`] is the single source of
+/// truth). The identity is pinned by a test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Client-side per-attempt timeout: an unanswered request mints its
+    /// next copy this long after the previous one.
+    pub attempt_timeout: SimTime,
+    /// Copies per request, primary included (`4 × 500 ms` spans the 2 s
+    /// end-to-end deadline exactly).
+    pub max_attempts: u32,
+    /// Per-pod retry budget; `None` retries unguarded (the naive arm).
+    pub budget: Option<BudgetConfig>,
+    /// Per-(ingress, pod) circuit breaking; `None` disables (naive).
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl OverloadConfig {
+    /// The defended contract: attempts at the [`RetryPolicy`] deadline
+    /// cadence, budget and breaker on.
+    pub fn production() -> Self {
+        OverloadConfig {
+            attempt_timeout: RetryPolicy::production().deadline,
+            max_attempts: 4,
+            budget: Some(BudgetConfig::production()),
+            breaker: Some(BreakerConfig::production()),
+        }
+    }
+
+    /// The same retry cadence with every defense stripped — what real
+    /// fleets ran before retry budgets existed.
+    pub fn naive() -> Self {
+        OverloadConfig {
+            budget: None,
+            breaker: None,
+            ..Self::production()
+        }
+    }
+}
+
+/// The proactive arm: a capacity controller that fits each region's
+/// diurnal arrival curve and activates/deactivates per-pod reserve
+/// devices ([`GlobalConfig::reserve_per_pod`]) ahead of the forecast,
+/// so the reactive defenses (budget, breaker, ladder) fire rarely.
+/// Consulted only by [`RoutingPolicy::OverloadResilient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Control-plane cadence: the planner re-derives per-pod capacity
+    /// targets this often.
+    pub interval: SimTime,
+    /// Forecast lead: targets are sized for the predicted rate this far
+    /// ahead, which is what makes scale-up land *before* the crest.
+    pub lead: SimTime,
+    /// Capacity margin above the forecast demand (`0.25` plans for
+    /// 125 % of predicted erlangs).
+    pub headroom: f64,
+    /// The diurnal period the forecast harmonic is fitted over (the
+    /// trace builder's [`RegionalTrafficConfig::period`]).
+    pub period: SimTime,
+}
+
+impl AutoscaleConfig {
+    /// Production cadence: re-plan every 5 s, 30 s of forecast lead,
+    /// 25 % headroom.
+    pub fn production(period: SimTime) -> Self {
+        AutoscaleConfig {
+            interval: SimTime::from_secs(5),
+            lead: SimTime::from_secs(30),
+            headroom: 0.25,
+            period,
+        }
+    }
+}
+
 /// Everything that parameterizes one global-serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GlobalConfig {
@@ -267,6 +385,20 @@ pub struct GlobalConfig {
     /// Gray-failure detection and hedging, consulted only by the
     /// [`RoutingPolicy::GrayResilient`] arm.
     pub gray: GrayResilienceConfig,
+    /// Client retries and their defenses, consulted only by the
+    /// retrying arms ([`RoutingPolicy::retries`]).
+    pub overload: OverloadConfig,
+    /// Forecast-driven capacity planning; `None` (the default) leaves
+    /// capacity static. Consulted only by
+    /// [`RoutingPolicy::OverloadResilient`].
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Highest-indexed devices per pod held *inactive* at start — the
+    /// reserve pool the autoscaler can energize. `0` (the default)
+    /// keeps every device active, which is byte-identical to the
+    /// pre-reserve behaviour.
+    pub reserve_per_pod: u32,
+    /// Bucket width of the report's goodput timeline.
+    pub timeline_bucket: SimTime,
     /// Root seed (recorded in reports; the simulation itself is
     /// deterministic given its inputs).
     pub seed: u64,
@@ -291,6 +423,10 @@ impl GlobalConfig {
             spillover_max_utilization: 0.85,
             ladder: LadderConfig::default(),
             gray: GrayResilienceConfig::production(),
+            overload: OverloadConfig::production(),
+            autoscale: None,
+            reserve_per_pod: 0,
+            timeline_bucket: SimTime::from_secs(1),
             seed,
         }
     }
@@ -425,6 +561,39 @@ pub fn build_regional_trace(
     horizon: SimTime,
     seed: u64,
 ) -> RegionalTrace {
+    build_trace_impl(config, regions, horizon, seed, false)
+}
+
+/// Instant of region `region`'s diurnal crest — where
+/// `sin(2π(t + phase)/period)` peaks, with the timezone phase
+/// `period × region/regions` the trace builder applies — wrapped into
+/// `[0, period)`.
+pub fn diurnal_crest(period: SimTime, region: u32, regions: u32) -> SimTime {
+    let frac = (0.25 - region as f64 / regions as f64).rem_euclid(1.0);
+    period.scale(frac)
+}
+
+/// [`build_regional_trace`] with every flash crowd *pinned to its
+/// region's diurnal crest* instead of placed by the seeded RNG — the
+/// overload-storm shape: the worst demand spike lands exactly on the
+/// worst instant of the curve, in every region. Crowd RNG draws are
+/// still consumed so the Poisson arrival stream matches nothing else.
+pub fn build_regional_trace_crested(
+    config: &RegionalTrafficConfig,
+    regions: u32,
+    horizon: SimTime,
+    seed: u64,
+) -> RegionalTrace {
+    build_trace_impl(config, regions, horizon, seed, true)
+}
+
+fn build_trace_impl(
+    config: &RegionalTrafficConfig,
+    regions: u32,
+    horizon: SimTime,
+    seed: u64,
+    crest_crowds: bool,
+) -> RegionalTrace {
     let mut merged: Vec<GlobalArrival> = Vec::new();
     for region in 0..regions {
         // Independent derived streams per region: one for the arrival
@@ -433,10 +602,17 @@ pub fn build_regional_trace(
         let mut crowd_rng =
             StdRng::seed_from_u64(derive_indexed(seed, "global.crowds", region as u64));
         let crowds: Vec<FlashCrowd> = (0..config.crowds_per_region)
-            .map(|_| FlashCrowd {
-                start: horizon.scale(crowd_rng.gen::<f64>()),
-                duration: config.crowd_duration,
-                multiplier: config.crowd_multiplier,
+            .map(|_| {
+                let random = horizon.scale(crowd_rng.gen::<f64>());
+                FlashCrowd {
+                    start: if crest_crowds {
+                        diurnal_crest(config.period, region, regions)
+                    } else {
+                        random
+                    },
+                    duration: config.crowd_duration,
+                    multiplier: config.crowd_multiplier,
+                }
             })
             .collect();
         let phase = config.period.scale(region as f64 / regions as f64);
@@ -536,6 +712,58 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), 3, "staggered peaks, got {peaks:?}");
+    }
+
+    #[test]
+    fn overload_deadline_identity_is_pinned() {
+        // The deadline-unification contract: the per-attempt timeout IS
+        // the per-device RetryPolicy's 500 ms end-to-end budget, and
+        // max_attempts of them tile the global 2 s queueing deadline
+        // exactly. Changing any of the three must break this test.
+        let config = GlobalConfig::production(1);
+        let overload = config.overload;
+        assert_eq!(overload.attempt_timeout, RetryPolicy::production().deadline);
+        assert_eq!(
+            overload.attempt_timeout.scale(overload.max_attempts as f64),
+            config.deadline,
+            "attempt_timeout × max_attempts must equal the global deadline"
+        );
+    }
+
+    #[test]
+    fn crested_trace_pins_crowds_at_the_diurnal_peak() {
+        let horizon = SimTime::from_secs(300);
+        let mut config = RegionalTrafficConfig::production(80.0, horizon);
+        config.crowd_multiplier = 4.0;
+        let crested = build_regional_trace_crested(&config, 3, horizon, 21);
+        let random = build_regional_trace(&config, 3, horizon, 21);
+        assert_ne!(crested.fingerprint(), random.fingerprint());
+        // Deterministic: same inputs, same trace.
+        assert_eq!(
+            crested.fingerprint(),
+            build_regional_trace_crested(&config, 3, horizon, 21).fingerprint()
+        );
+        // The crowd window at each region's crest must carry visibly
+        // more arrivals than the same-width window half a period away.
+        for region in 0..3 {
+            let crest = diurnal_crest(config.period, region, 3);
+            let off = SimTime::from_picos(
+                (crest + config.period.scale(0.5)).as_picos() % config.period.as_picos(),
+            );
+            let count = |from: SimTime| {
+                crested
+                    .arrivals()
+                    .iter()
+                    .filter(|a| {
+                        a.region == region && a.at >= from && a.at < from + config.crowd_duration
+                    })
+                    .count()
+            };
+            assert!(
+                count(crest) > 2 * count(off),
+                "region {region}: crest window not dominant"
+            );
+        }
     }
 
     #[test]

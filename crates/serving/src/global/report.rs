@@ -52,6 +52,22 @@ pub struct GlobalReport {
     /// was already answered while they queued — hedges that cost
     /// nothing but a queue slot.
     pub hedges_cancelled: u64,
+    /// Retry copies minted by the client-side attempt timer (the
+    /// retrying arms only; zero elsewhere).
+    pub retries_issued: u64,
+    /// Retry copies the per-pod token-bucket budget refused to mint —
+    /// demand the defense deliberately dropped instead of amplifying.
+    pub retries_shed: u64,
+    /// Circuit-breaker transitions into `Open` (per (ingress, pod)
+    /// edge; both `Closed → Open` and a failed half-open probe count).
+    pub breaker_opens: u64,
+    /// Copies cancelled at admission because their remaining deadline
+    /// budget could not cover the target pod's expected queue + service
+    /// time (deadline propagation).
+    pub cancelled_at_admission: u64,
+    /// Autoscaler capacity transitions: every reserve-device activation
+    /// or deactivation counts one.
+    pub scale_events: u64,
     /// Sustained latency outliers demoted by the peer-relative detector
     /// (device-level probation events, not request counts).
     pub outlier_demotions: u64,
@@ -78,6 +94,25 @@ pub struct GlobalReport {
     /// (ingress, destination) pair — the witness the partition property
     /// test audits.
     pub routed: Vec<Vec<u64>>,
+    /// Goodput timeline: per arrival-time bucket
+    /// ([`GlobalReport::timeline_bucket`] wide), how many requests
+    /// *arrived* in the bucket and how many of those were eventually
+    /// served (either tier). Keyed by arrival instant, not completion,
+    /// so windows line up across arms — the witness behind the
+    /// metastability verdict (goodput staying depressed *after* a
+    /// trigger clears).
+    pub timeline: Vec<TimelineBucket>,
+    /// Width of one [`GlobalReport::timeline`] bucket.
+    pub timeline_bucket: SimTime,
+}
+
+/// One arrival-time bucket of the goodput timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimelineBucket {
+    /// Requests that arrived in this bucket.
+    pub offered: u64,
+    /// Of those, requests eventually served (full or degraded).
+    pub served: u64,
 }
 
 impl GlobalReport {
@@ -106,6 +141,55 @@ impl GlobalReport {
     /// the conservation check the property tests assert on.
     pub fn unaccounted(&self) -> u64 {
         self.offered - self.served_full - self.served_degraded - self.shed - self.lost
+    }
+
+    /// Goodput over the half-open arrival window `[from, to)`, from the
+    /// timeline. `1.0` when the window offered nothing.
+    pub fn windowed_goodput(&self, from: SimTime, to: SimTime) -> f64 {
+        let bucket = self.timeline_bucket.as_picos().max(1);
+        let lo = (from.as_picos() / bucket) as usize;
+        let hi = (to.as_picos() / bucket) as usize;
+        let (mut offered, mut served) = (0u64, 0u64);
+        for b in self.timeline.iter().take(hi).skip(lo) {
+            offered += b.offered;
+            served += b.served;
+        }
+        if offered == 0 {
+            return 1.0;
+        }
+        served as f64 / offered as f64
+    }
+
+    /// The report's recovery metric: the earliest arrival instant at or
+    /// after `heal` from which goodput, measured over `window`, returns
+    /// to within `tolerance_pp` percentage points of the pre-trigger
+    /// level `baseline` and *stays* there for every subsequent window of
+    /// the timeline. `None` means the run never recovered — the
+    /// metastable signature.
+    pub fn recovered_at(
+        &self,
+        heal: SimTime,
+        window: SimTime,
+        baseline: f64,
+        tolerance_pp: f64,
+    ) -> Option<SimTime> {
+        let bucket = self.timeline_bucket;
+        let step = (window.as_picos() / bucket.as_picos().max(1)).max(1) as usize;
+        let start = (heal.as_picos() / bucket.as_picos().max(1)) as usize;
+        let floor = baseline - tolerance_pp / 100.0;
+        let mut candidate: Option<usize> = None;
+        let mut b = start;
+        while b < self.timeline.len() {
+            let from = SimTime::from_picos(b as u64 * bucket.as_picos());
+            let to = SimTime::from_picos((b + step) as u64 * bucket.as_picos());
+            if self.windowed_goodput(from, to) >= floor {
+                candidate.get_or_insert(b);
+            } else {
+                candidate = None;
+            }
+            b += step;
+        }
+        candidate.map(|b| SimTime::from_picos(b as u64 * bucket.as_picos()))
     }
 }
 

@@ -144,6 +144,11 @@ fn merge_reports(cells: &[GlobalReport]) -> GlobalReport {
         hedge_wins: 0,
         duplicates_suppressed: 0,
         hedges_cancelled: 0,
+        retries_issued: 0,
+        retries_shed: 0,
+        breaker_opens: 0,
+        cancelled_at_admission: 0,
+        scale_events: 0,
         outlier_demotions: 0,
         device_downs: 0,
         events: 0,
@@ -152,6 +157,8 @@ fn merge_reports(cells: &[GlobalReport]) -> GlobalReport {
         recovery_time: SimTime::ZERO,
         capacity_headroom: 1.0,
         routed: vec![vec![0; total_pods]; total_regions],
+        timeline: Vec::new(),
+        timeline_bucket: cells[0].timeline_bucket,
     };
     let (mut region_base, mut pod_base) = (0usize, 0usize);
     for cell in cells {
@@ -168,6 +175,11 @@ fn merge_reports(cells: &[GlobalReport]) -> GlobalReport {
         merged.hedge_wins += cell.hedge_wins;
         merged.duplicates_suppressed += cell.duplicates_suppressed;
         merged.hedges_cancelled += cell.hedges_cancelled;
+        merged.retries_issued += cell.retries_issued;
+        merged.retries_shed += cell.retries_shed;
+        merged.breaker_opens += cell.breaker_opens;
+        merged.cancelled_at_admission += cell.cancelled_at_admission;
+        merged.scale_events += cell.scale_events;
         merged.outlier_demotions += cell.outlier_demotions;
         merged.device_downs += cell.device_downs;
         merged.events += cell.events;
@@ -175,6 +187,17 @@ fn merge_reports(cells: &[GlobalReport]) -> GlobalReport {
         merged.spillover_latency.merge(&cell.spillover_latency);
         merged.recovery_time = merged.recovery_time.max(cell.recovery_time);
         merged.capacity_headroom = merged.capacity_headroom.min(cell.capacity_headroom);
+        // Element-wise timeline sum: buckets are absolute arrival-time
+        // indices, identical across cells sharing one bucket width.
+        if merged.timeline.len() < cell.timeline.len() {
+            merged
+                .timeline
+                .resize(cell.timeline.len(), Default::default());
+        }
+        for (m, c) in merged.timeline.iter_mut().zip(&cell.timeline) {
+            m.offered += c.offered;
+            m.served += c.served;
+        }
         for (r, row) in cell.routed.iter().enumerate() {
             for (p, &count) in row.iter().enumerate() {
                 merged.routed[region_base + r][pod_base + p] = count;

@@ -94,9 +94,10 @@ use mtia_sim::faults::{DeviceFaultState, FaultKind, FaultPlan};
 
 use crate::latency::LatencyHistogram;
 use crate::resilience::outlier::OutlierDetector;
-use crate::resilience::{HealthMachine, HealthState};
+use crate::resilience::{CircuitBreaker, HealthMachine, HealthState, RetryBudget};
 
-use super::report::{GlobalComparison, GlobalReport};
+use super::autoscale::{target_devices_per_pod, DiurnalForecast};
+use super::report::{GlobalComparison, GlobalReport, TimelineBucket};
 use super::{GlobalArrival, GlobalConfig, GlobalFleetSpec, Priority, RegionalTrace, RoutingPolicy};
 
 /// Merges possibly-overlapping `(start, end)` windows into disjoint
@@ -247,6 +248,10 @@ struct Devices {
     pod: Vec<u32>,
     region: Vec<u32>,
     up: Vec<bool>,
+    /// Scale state: reserve devices start inactive and only the
+    /// autoscaler flips this. Orthogonal to `up` (fault state) —
+    /// effective capacity is `up && active`.
+    active: Vec<bool>,
     outlier: Vec<bool>,
     eligible: Vec<bool>,
     /// Handle to the pending completion while busy.
@@ -266,6 +271,7 @@ impl Devices {
             pod: Vec::with_capacity(n),
             region: Vec::with_capacity(n),
             up: vec![true; n],
+            active: vec![true; n],
             outlier: vec![false; n],
             eligible: vec![false; n],
             busy: vec![None; n],
@@ -286,9 +292,10 @@ impl Devices {
     }
 
     /// Re-derives the `eligible` column entry from its inputs; call
-    /// after any `up`/`outlier`/health mutation.
+    /// after any `up`/`active`/`outlier`/health mutation.
     fn refresh_eligible(&mut self, d: usize) {
         self.eligible[d] = self.up[d]
+            && self.active[d]
             && !self.outlier[d]
             && matches!(
                 self.health[d].state(),
@@ -322,6 +329,10 @@ pub(super) struct Sim<'a> {
     arrivals: &'a [GlobalArrival],
     policy: RoutingPolicy,
     gray_on: bool,
+    /// Client-side retry timers run (NaiveRetry / OverloadResilient).
+    retry_on: bool,
+    /// The full defense stack is armed (OverloadResilient only).
+    defended: bool,
     dev: Devices,
     pods: Vec<PodState>,
     partitioned: Vec<bool>,
@@ -330,6 +341,17 @@ pub(super) struct Sim<'a> {
     completions: EventQueue<InFlight>,
     wakes: EventQueue<u32>,
     hedges: EventQueue<ArenaRef>,
+    /// Client retry timers, keyed `(fire, logical)` like hedges.
+    retries: EventQueue<ArenaRef>,
+    /// Per-pod retry token buckets (defended arm with a budget only).
+    budgets: Vec<RetryBudget>,
+    /// Per-(ingress, pod) edge breakers, indexed `ingress × pods + pod`
+    /// (defended arm with a breaker config only).
+    breakers: Vec<CircuitBreaker>,
+    /// Fitted diurnal forecast (autoscaling arm only).
+    forecast: Option<DiurnalForecast>,
+    /// Devices per pod that are *not* reserve (the scale-down floor).
+    nominal_per_pod: u32,
     reqs: Arena<ReqState>,
     next_req: u64,
     seq: u64,
@@ -351,6 +373,8 @@ pub(super) struct Sim<'a> {
     ai: usize,
     probing: bool,
     probe_at: SimTime,
+    scaling: bool,
+    scale_at: SimTime,
     last_arrival: SimTime,
     end: SimTime,
     events: u64,
@@ -366,6 +390,10 @@ pub(super) struct Sim<'a> {
     hedge_wins: u64,
     duplicates_suppressed: u64,
     hedges_cancelled: u64,
+    retries_issued: u64,
+    retries_shed: u64,
+    cancelled_at_admission: u64,
+    scale_events: u64,
     outlier_demotions: u64,
     device_downs: u64,
     request_latency: LatencyHistogram,
@@ -373,6 +401,7 @@ pub(super) struct Sim<'a> {
     recovery_time: SimTime,
     capacity_headroom: f64,
     routed: Vec<Vec<u64>>,
+    timeline: Vec<TimelineBucket>,
 }
 
 impl<'a> Sim<'a> {
@@ -385,6 +414,8 @@ impl<'a> Sim<'a> {
     ) -> Self {
         spec.validate();
         let gray_on = policy == RoutingPolicy::GrayResilient;
+        let retry_on = policy.retries();
+        let defended = policy == RoutingPolicy::OverloadResilient;
         // Before any sweep runs, hedge at multiplier × the base service
         // time (floored by the policy delay like every later value).
         let initial_deadline = SimTime::from_secs_f64(
@@ -394,10 +425,37 @@ impl<'a> Sim<'a> {
             Some(policy) => initial_deadline.max(policy.delay),
             None => initial_deadline,
         };
+        // Reserve devices (the highest-indexed per pod) start inactive:
+        // they are the pool only the autoscaler can energize. Clamped so
+        // at least one device per pod stays active.
+        let reserve = config
+            .reserve_per_pod
+            .min(spec.devices_per_pod.saturating_sub(1));
+        let nominal_per_pod = spec.devices_per_pod - reserve;
+        let mut dev = Devices::new(spec, config);
+        if reserve > 0 {
+            for p in 0..spec.pods() {
+                for k in nominal_per_pod..spec.devices_per_pod {
+                    let d = (p * spec.devices_per_pod + k) as usize;
+                    dev.active[d] = false;
+                    dev.refresh_eligible(d);
+                }
+            }
+        }
+        let budgets = match (defended, config.overload.budget) {
+            (true, Some(budget)) => (0..spec.pods()).map(|_| RetryBudget::new(budget)).collect(),
+            _ => Vec::new(),
+        };
+        let breakers = match (defended, config.overload.breaker) {
+            (true, Some(breaker)) => (0..spec.regions * spec.pods())
+                .map(|_| CircuitBreaker::new(breaker))
+                .collect(),
+            _ => Vec::new(),
+        };
         let pods = (0..spec.pods())
             .map(|p| PodState {
                 region: spec.region_of_pod(p),
-                up: spec.devices_per_pod,
+                up: nominal_per_pod,
                 busy: 0,
                 queued: 0,
                 health: HealthMachine::new(config.health),
@@ -410,6 +468,23 @@ impl<'a> Sim<'a> {
         let local_pods = (0..spec.regions).map(|r| spec.pods_in_region(r)).collect();
         let arrivals = trace.arrivals();
         let last_arrival = arrivals.last().map_or(SimTime::ZERO, |a| a.at);
+        // The autoscaling arm fits the per-region diurnal harmonic from
+        // the trace once, up front — the "forecast" the planner trusts.
+        let scaling = defended && config.autoscale.is_some() && !arrivals.is_empty();
+        let forecast = if scaling {
+            let autoscale = config.autoscale.as_ref().expect("scaling implies config");
+            Some(DiurnalForecast::fit(
+                trace,
+                spec.regions,
+                last_arrival,
+                autoscale,
+            ))
+        } else {
+            None
+        };
+        let scale_at = config
+            .autoscale
+            .map_or(SimTime::ZERO, |autoscale| autoscale.interval);
         Sim {
             spec,
             config,
@@ -418,7 +493,9 @@ impl<'a> Sim<'a> {
             arrivals,
             policy,
             gray_on,
-            dev: Devices::new(spec, config),
+            retry_on,
+            defended,
+            dev,
             pods,
             partitioned: vec![false; spec.regions as usize],
             local_pods,
@@ -426,12 +503,17 @@ impl<'a> Sim<'a> {
             completions: EventQueue::new(),
             wakes: EventQueue::new(),
             hedges: EventQueue::new(),
+            retries: EventQueue::new(),
+            budgets,
+            breakers,
+            forecast,
+            nominal_per_pod,
             reqs: Arena::new(),
             next_req: 0,
             seq: 0,
             tier: 0,
             tier_floor: 0,
-            total_up: spec.devices() as u64,
+            total_up: (spec.pods() * nominal_per_pod) as u64,
             total_busy: 0,
             total_queued: 0,
             deltas: device_capacity_events(plan),
@@ -443,6 +525,8 @@ impl<'a> Sim<'a> {
             ai: 0,
             probing: policy != RoutingPolicy::StaticLocal,
             probe_at: config.probe_interval,
+            scaling,
+            scale_at,
             last_arrival,
             end: SimTime::ZERO,
             events: 0,
@@ -457,6 +541,10 @@ impl<'a> Sim<'a> {
             hedge_wins: 0,
             duplicates_suppressed: 0,
             hedges_cancelled: 0,
+            retries_issued: 0,
+            retries_shed: 0,
+            cancelled_at_admission: 0,
+            scale_events: 0,
             outlier_demotions: 0,
             device_downs: 0,
             request_latency: LatencyHistogram::new(),
@@ -464,7 +552,28 @@ impl<'a> Sim<'a> {
             recovery_time: SimTime::ZERO,
             capacity_headroom: 1.0,
             routed: vec![vec![0; spec.pods() as usize]; spec.regions as usize],
+            timeline: Vec::new(),
         }
+    }
+
+    /// The timeline bucket a request arriving at `arrived` lands in,
+    /// growing the vector on demand.
+    fn bucket_mut(&mut self, arrived: SimTime) -> &mut TimelineBucket {
+        let width = self.config.timeline_bucket.as_picos().max(1);
+        let b = (arrived.as_picos() / width) as usize;
+        if self.timeline.len() <= b {
+            self.timeline.resize(b + 1, TimelineBucket::default());
+        }
+        &mut self.timeline[b]
+    }
+
+    /// Breaker for the `(ingress, pod)` edge, when the defense is armed.
+    fn breaker_mut(&mut self, ingress: u32, pod: u32) -> Option<&mut CircuitBreaker> {
+        if self.breakers.is_empty() {
+            return None;
+        }
+        let idx = ingress as usize * self.pods.len() + pod as usize;
+        Some(&mut self.breakers[idx])
     }
 
     /// The ladder tier requests actually see: the cell's own hysteresis
@@ -523,7 +632,11 @@ impl<'a> Sim<'a> {
     fn dispatch(&mut self, d: u32, now: SimTime) {
         let di = d as usize;
         loop {
-            if !self.dev.up[di] || self.dev.busy[di].is_some() || self.dev.queue[di].is_empty() {
+            if !self.dev.up[di]
+                || !self.dev.active[di]
+                || self.dev.busy[di].is_some()
+                || self.dev.queue[di].is_empty()
+            {
                 return;
             }
             self.dev.faults[di].expire(now);
@@ -543,11 +656,24 @@ impl<'a> Sim<'a> {
             self.pods[pod].queued -= 1;
             self.total_queued -= 1;
             let answered = self.reqs.get(copy.req).is_none_or(|r| r.answered);
-            if answered {
+            // The naive-retry arm is deadline- and duplicate-*oblivious*
+            // at the server: it cannot tell that a copy's request was
+            // already answered (no cancellation propagation) or that its
+            // client has long given up, so it burns a full service slot
+            // either way — the wasted work that sustains the metastable
+            // latch. Every other arm cancels both for free here.
+            if answered && self.policy != RoutingPolicy::NaiveRetry {
                 self.drop_copy(copy.req, CopyEnd::Cancelled);
                 continue;
             }
-            if now > copy.arrived + self.config.deadline {
+            if self.policy != RoutingPolicy::NaiveRetry && now > copy.arrived + self.config.deadline
+            {
+                if self.defended {
+                    let pod_id = self.dev.pod[di];
+                    if let Some(b) = self.breaker_mut(copy.ingress, pod_id) {
+                        b.record_failure(now);
+                    }
+                }
                 self.drop_copy(copy.req, CopyEnd::Expired);
                 continue;
             }
@@ -583,13 +709,21 @@ impl<'a> Sim<'a> {
         let n = self.spec.devices_per_pod as u64;
         let first = pod * self.spec.devices_per_pod;
         let start = self.pods[pod as usize].rr_dev;
-        for pass in 0..3 {
+        for pass in 0..4 {
             for k in 0..n {
                 let d = first + ((start + k) % n) as u32;
                 let di = d as usize;
                 let ok = match pass {
-                    0 => self.dev.up[di] && (!self.gray_on || self.dev.eligible[di]),
-                    1 => self.dev.up[di],
+                    0 => {
+                        self.dev.up[di]
+                            && self.dev.active[di]
+                            && (!self.gray_on || self.dev.eligible[di])
+                    }
+                    1 => self.dev.up[di] && self.dev.active[di],
+                    // Down-but-active beats inactive: a down device
+                    // always comes back (fault windows are finite) and
+                    // drains its queue; a deactivated reserve may not.
+                    2 => self.dev.active[di],
                     _ => true,
                 };
                 if ok {
@@ -598,7 +732,7 @@ impl<'a> Sim<'a> {
                 }
             }
         }
-        unreachable!("pass 2 accepts every device")
+        unreachable!("pass 3 accepts every device")
     }
 
     /// Applies one per-device up/down toggle. Down kills the device's
@@ -613,10 +747,14 @@ impl<'a> Sim<'a> {
             self.dev.health[di].set_offline(at);
             self.dev.refresh_eligible(di);
             self.device_downs += 1;
-            self.pods[pod].up -= 1;
-            self.total_up -= 1;
-            if self.pods[pod].up == 0 && self.pods[pod].down_since.is_none() {
-                self.pods[pod].down_since = Some(at);
+            // Inactive reserves carry no capacity, so their fault
+            // windows must not touch the effective-capacity counters.
+            if self.dev.active[di] {
+                self.pods[pod].up -= 1;
+                self.total_up -= 1;
+                if self.pods[pod].up == 0 && self.pods[pod].down_since.is_none() {
+                    self.pods[pod].down_since = Some(at);
+                }
             }
             if let Some(id) = self.dev.busy[di].take() {
                 let inflight = self
@@ -625,6 +763,11 @@ impl<'a> Sim<'a> {
                     .expect("busy implies a pending completion");
                 self.pods[pod].busy -= 1;
                 self.total_busy -= 1;
+                if self.defended {
+                    if let Some(b) = self.breaker_mut(inflight.copy.ingress, pod as u32) {
+                        b.record_failure(at);
+                    }
+                }
                 self.drop_copy(inflight.copy.req, CopyEnd::Killed);
             }
             if self.pods[pod].up > 0 && !self.dev.queue[di].is_empty() {
@@ -640,7 +783,7 @@ impl<'a> Sim<'a> {
                 }
             }
         } else {
-            if self.pods[pod].up == 0 {
+            if self.dev.active[di] && self.pods[pod].up == 0 {
                 if let Some(since) = self.pods[pod].down_since.take() {
                     self.recovery_time = self.recovery_time.max(at.saturating_sub(since));
                 }
@@ -648,9 +791,11 @@ impl<'a> Sim<'a> {
             self.dev.up[di] = true;
             self.dev.health[di].begin_recovery(at);
             self.dev.refresh_eligible(di);
-            self.pods[pod].up += 1;
-            self.total_up += 1;
-            self.dispatch(d, at);
+            if self.dev.active[di] {
+                self.pods[pod].up += 1;
+                self.total_up += 1;
+                self.dispatch(d, at);
+            }
         }
     }
 
@@ -669,6 +814,11 @@ impl<'a> Sim<'a> {
             } else if state.health.state() != HealthState::Offline {
                 state.health.observe_error(now);
             }
+        }
+        // Breakers judge their outcome windows at the same cadence the
+        // pod health machines do.
+        for b in &mut self.breakers {
+            b.on_window(now);
         }
         if !self.gray_on {
             return;
@@ -784,6 +934,11 @@ impl<'a> Sim<'a> {
             if !reachable || state.up == 0 || !state.health.is_dispatchable() {
                 continue;
             }
+            if !self.breakers.is_empty()
+                && !self.breakers[ingress as usize * self.pods.len() + p as usize].allows()
+            {
+                continue;
+            }
             let load = (state.busy as f64 + state.queued as f64) / state.up as f64;
             if !local && load >= self.config.spillover_max_utilization {
                 continue;
@@ -804,9 +959,13 @@ impl<'a> Sim<'a> {
         let headroom = if self.total_up == 0 {
             0.0
         } else {
-            (self.total_up - self.total_busy) as f64 / self.total_up as f64
+            // Saturating: a scaled-down device finishes its in-flight
+            // copy after leaving the active pool, so `busy` can briefly
+            // exceed `up`.
+            self.total_up.saturating_sub(self.total_busy) as f64 / self.total_up as f64
         };
         self.capacity_headroom = self.capacity_headroom.min(headroom);
+        self.bucket_mut(at).offered += 1;
 
         let pod = match self.policy {
             RoutingPolicy::StaticLocal => {
@@ -815,7 +974,10 @@ impl<'a> Sim<'a> {
                 self.rr[region as usize] += 1;
                 pod
             }
-            RoutingPolicy::HealthAware | RoutingPolicy::GrayResilient => {
+            RoutingPolicy::HealthAware
+            | RoutingPolicy::GrayResilient
+            | RoutingPolicy::NaiveRetry
+            | RoutingPolicy::OverloadResilient => {
                 self.update_tier();
                 if self.effective_tier() >= 1 && priority == Priority::Low {
                     self.shed += 1;
@@ -830,6 +992,26 @@ impl<'a> Sim<'a> {
                 }
             }
         };
+        if self.defended {
+            // Deadline propagation starts at admission: a fresh request
+            // whose expected queue + service time already exceeds its
+            // end-to-end budget is cancelled up front instead of burning
+            // capacity on an answer nobody can use.
+            let p = &self.pods[pod as usize];
+            let depth = (p.queued + p.busy) as f64 / p.up.max(1) as f64;
+            let expected = self.config.service_time.scale(depth + 1.0);
+            if expected > self.config.deadline {
+                self.cancelled_at_admission += 1;
+                self.shed += 1;
+                return;
+            }
+            if let Some(b) = self.breaker_mut(region, pod) {
+                b.note_probe();
+            }
+            if !self.budgets.is_empty() {
+                self.budgets[pod as usize].admit_fresh();
+            }
+        }
         let dest_region = self.pods[pod as usize].region;
         let wan_rtt =
             self.spec.wan_latency(region, dest_region) + self.spec.wan_latency(dest_region, region);
@@ -870,6 +1052,10 @@ impl<'a> Sim<'a> {
         if self.gray_on && self.config.gray.hedge.is_some() {
             self.hedges
                 .push(at + self.pods[pod as usize].hedge_deadline, logical, req);
+        }
+        if self.retry_on && self.config.overload.max_attempts > 1 {
+            self.retries
+                .push(at + self.config.overload.attempt_timeout, logical, req);
         }
     }
 
@@ -942,6 +1128,184 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// A retry attempt's per-attempt timeout elapsed without an answer:
+    /// re-issue the request through the router. Copies always inherit
+    /// the request's *original* arrival instant, so the end-to-end
+    /// deadline propagates across attempts instead of resetting — with
+    /// production settings the four 500 ms attempts tile the 2 s
+    /// deadline exactly. The defended arm additionally spends retry
+    /// budget at the target pod and cancels copies whose remaining
+    /// budget cannot cover the expected queue + service time; the naive
+    /// arm re-issues unconditionally, which is the amplification that
+    /// latches metastable collapse.
+    fn fire_retry(&mut self, at: SimTime, id: ArenaRef) {
+        let Some(req) = self.reqs.get(id).copied() else {
+            return; // request fully closed
+        };
+        if req.answered || req.hedges + 1 >= self.config.overload.max_attempts {
+            return;
+        }
+        let expiry = req.arrived + self.config.deadline;
+        if at >= expiry {
+            return;
+        }
+        let Some(pod) = self.route(req.ingress, None) else {
+            // Nothing routable right now (partition, breakers open):
+            // re-check at the next attempt boundary the deadline allows.
+            let next = at + self.config.overload.attempt_timeout;
+            if next < expiry {
+                self.retries.push(next, req.logical, id);
+            }
+            return;
+        };
+        if !self.budgets.is_empty() && !self.budgets[pod as usize].try_spend() {
+            self.retries_shed += 1;
+            return;
+        }
+        if self.defended {
+            // Deadline propagation: the remaining end-to-end budget must
+            // still cover the target's expected queue + service time.
+            let p = &self.pods[pod as usize];
+            let depth = (p.queued + p.busy) as f64 / p.up.max(1) as f64;
+            let expected = self.config.service_time.scale(depth + 1.0);
+            if at + expected > expiry {
+                self.cancelled_at_admission += 1;
+                return;
+            }
+            if let Some(b) = self.breaker_mut(req.ingress, pod) {
+                b.note_probe();
+            }
+        }
+        let device = self.assign_device(pod);
+        let entry = self.reqs.get_mut(id).expect("checked above");
+        entry.hedges += 1;
+        entry.live += 1;
+        let copies = entry.hedges;
+        self.retries_issued += 1;
+        let dest_region = self.dev.region[device as usize];
+        let wan_rtt = self.spec.wan_latency(req.ingress, dest_region)
+            + self.spec.wan_latency(dest_region, req.ingress);
+        self.dev.queue[device as usize].push_back(QueuedCopy {
+            req: id,
+            arrived: req.arrived,
+            ingress: req.ingress,
+            wan_rtt,
+            degraded: req.degraded,
+            tier: req.tier,
+            hedge: false,
+        });
+        self.pods[pod as usize].queued += 1;
+        self.total_queued += 1;
+        self.dispatch(device, at);
+        let next = at + self.config.overload.attempt_timeout;
+        if copies + 1 < self.config.overload.max_attempts && next < expiry {
+            self.retries.push(next, req.logical, id);
+        }
+    }
+
+    /// One forecast-driven planning tick: per region, look `lead` ahead
+    /// on the fitted diurnal curve, size each pod by Little's law plus
+    /// headroom, and move reserve devices toward the target.
+    fn scale(&mut self, at: SimTime) {
+        let forecast = self.forecast.as_ref().expect("scaling implies forecast");
+        let autoscale = self
+            .config
+            .autoscale
+            .as_ref()
+            .expect("scaling implies config");
+        let mut plan: Vec<(u32, u32)> = Vec::new();
+        for region in 0..self.spec.regions {
+            let pods = &self.local_pods[region as usize];
+            let rate = forecast.rate_at(region, at + autoscale.lead);
+            let target = target_devices_per_pod(
+                rate,
+                self.config.service_time,
+                autoscale.headroom,
+                pods.len() as u32,
+            )
+            .clamp(self.nominal_per_pod, self.spec.devices_per_pod);
+            for &pod in pods {
+                plan.push((pod, target));
+            }
+        }
+        for (pod, target) in plan {
+            self.scale_pod(at, pod, target);
+        }
+    }
+
+    /// Moves one pod's active-device count toward `target`, touching
+    /// only the reserve range. Activations wake the lowest-indexed
+    /// inactive reserve; deactivations drain the highest-indexed active
+    /// one — the device finishes its in-flight copy and its queue
+    /// re-deals to pod peers, nothing is killed.
+    fn scale_pod(&mut self, at: SimTime, pod: u32, target: u32) {
+        let dpp = self.spec.devices_per_pod;
+        let first = (pod * dpp) as usize;
+        let pod_i = pod as usize;
+        let mut active: u32 = (0..dpp as usize)
+            .map(|k| u32::from(self.dev.active[first + k]))
+            .sum();
+        while active < target {
+            let Some(di) = (self.nominal_per_pod..dpp)
+                .map(|k| first + k as usize)
+                .find(|&di| !self.dev.active[di])
+            else {
+                break;
+            };
+            self.dev.active[di] = true;
+            self.dev.refresh_eligible(di);
+            self.scale_events += 1;
+            active += 1;
+            if self.dev.up[di] {
+                if self.pods[pod_i].up == 0 {
+                    if let Some(since) = self.pods[pod_i].down_since.take() {
+                        self.recovery_time = self.recovery_time.max(at.saturating_sub(since));
+                    }
+                }
+                self.pods[pod_i].up += 1;
+                self.total_up += 1;
+                self.dispatch(di as u32, at);
+            }
+        }
+        while active > target {
+            let Some(di) = (self.nominal_per_pod..dpp)
+                .rev()
+                .map(|k| first + k as usize)
+                .find(|&di| self.dev.active[di])
+            else {
+                break;
+            };
+            if self.pods[pod_i].up <= 1 && !self.dev.queue[di].is_empty() {
+                // No surviving peer to re-deal the queue to; keep the
+                // device active and retry at the next planning tick.
+                break;
+            }
+            self.dev.active[di] = false;
+            self.dev.refresh_eligible(di);
+            self.scale_events += 1;
+            active -= 1;
+            if self.dev.up[di] {
+                self.pods[pod_i].up -= 1;
+                self.total_up -= 1;
+                if self.pods[pod_i].up == 0 && self.pods[pod_i].down_since.is_none() {
+                    self.pods[pod_i].down_since = Some(at);
+                }
+            }
+            if self.pods[pod_i].up > 0 && !self.dev.queue[di].is_empty() {
+                let moved: Vec<QueuedCopy> = self.dev.queue[di].drain(..).collect();
+                let mut targets = BTreeSet::new();
+                for copy in moved {
+                    let t = self.assign_device(pod);
+                    self.dev.queue[t as usize].push_back(copy);
+                    targets.insert(t);
+                }
+                for t in targets {
+                    self.dispatch(t, at);
+                }
+            }
+        }
+    }
+
     /// Finishes the earliest in-flight copy. The first copy to finish
     /// answers its request (latency recorded, spans emitted); any later
     /// copy is suppressed as a duplicate. Either way the device's
@@ -985,6 +1349,28 @@ impl<'a> Sim<'a> {
         state.answered = true;
         if closed {
             self.reqs.remove(copy.req);
+        }
+        if self.policy.retries() && finish > copy.arrived + self.config.deadline {
+            // The first copy to finish did so past the end-to-end
+            // deadline: the client has long abandoned the request, but
+            // the server still burned the slot — that wasted service is
+            // exactly the amplification that latches metastable
+            // collapse in the naive arm.
+            self.lost_deadline += 1;
+            if self.defended {
+                if let Some(b) = self.breaker_mut(copy.ingress, pod as u32) {
+                    b.record_failure(finish);
+                }
+            }
+            self.dispatch(inflight.device, finish);
+            return;
+        }
+        self.bucket_mut(copy.arrived).served += 1;
+        if self.defended {
+            let queue_delay = inflight.started.saturating_sub(copy.arrived);
+            if let Some(b) = self.breaker_mut(copy.ingress, pod as u32) {
+                b.record_success(queue_delay);
+            }
         }
         if copy.hedge {
             self.hedge_wins += 1;
@@ -1032,9 +1418,10 @@ impl<'a> Sim<'a> {
 
     /// Candidate next event over all sources; the tie order is the
     /// tuple's second field: device capacity < gray fault < partition <
-    /// wake < probe < completion < hedge < arrival. Completions precede
-    /// hedge timers so a request finishing exactly at its hedge
-    /// deadline never duplicates.
+    /// wake < probe < autoscale tick < completion < hedge < retry timer
+    /// < arrival. Completions precede hedge and retry timers so a
+    /// request finishing exactly at its timer deadline never
+    /// duplicates.
     fn next_event(&self) -> Option<(SimTime, u8)> {
         let mut next: Option<(SimTime, u8)> = None;
         let mut consider = |at: Option<SimTime>, order: u8| {
@@ -1052,9 +1439,14 @@ impl<'a> Sim<'a> {
             (self.probing && self.probe_at <= self.last_arrival).then_some(self.probe_at),
             4,
         );
-        consider(self.completions.peek_key().map(|k| k.0), 5);
-        consider(self.hedges.peek_key().map(|k| k.0), 6);
-        consider(self.arrivals.get(self.ai).map(|a| a.at), 7);
+        consider(
+            (self.scaling && self.scale_at <= self.last_arrival).then_some(self.scale_at),
+            5,
+        );
+        consider(self.completions.peek_key().map(|k| k.0), 6);
+        consider(self.hedges.peek_key().map(|k| k.0), 7);
+        consider(self.retries.peek_key().map(|k| k.0), 8);
+        consider(self.arrivals.get(self.ai).map(|a| a.at), 9);
         next
     }
 
@@ -1090,10 +1482,23 @@ impl<'a> Sim<'a> {
                 self.probe_at += self.config.probe_interval;
                 self.probe(at);
             }
-            5 => self.complete(tel),
-            6 => {
+            5 => {
+                self.scale_at += self
+                    .config
+                    .autoscale
+                    .as_ref()
+                    .expect("scaling implies config")
+                    .interval;
+                self.scale(at);
+            }
+            6 => self.complete(tel),
+            7 => {
                 let (fire, _, req) = self.hedges.pop().expect("considered");
                 self.fire_hedge(fire, req);
+            }
+            8 => {
+                let (fire, _, req) = self.retries.pop().expect("considered");
+                self.fire_retry(fire, req);
             }
             _ => {
                 let arrival = self.arrivals[self.ai];
@@ -1133,7 +1538,7 @@ impl<'a> Sim<'a> {
             .all(|(q, b)| q.is_empty() && b.is_none()));
         debug_assert!(
             self.duplicates_suppressed + self.hedges_cancelled + self.hedge_wins
-                <= 2 * self.hedges_issued,
+                <= 2 * (self.hedges_issued + self.retries_issued),
             "more duplicate outcomes than copies issued"
         );
         mtia_core::perfcount::add_events(self.events);
@@ -1155,6 +1560,11 @@ impl<'a> Sim<'a> {
             hedge_wins: self.hedge_wins,
             duplicates_suppressed: self.duplicates_suppressed,
             hedges_cancelled: self.hedges_cancelled,
+            retries_issued: self.retries_issued,
+            retries_shed: self.retries_shed,
+            breaker_opens: self.breakers.iter().map(|b| b.opens()).sum(),
+            cancelled_at_admission: self.cancelled_at_admission,
+            scale_events: self.scale_events,
             outlier_demotions: self.outlier_demotions,
             device_downs: self.device_downs,
             events: self.events,
@@ -1163,6 +1573,8 @@ impl<'a> Sim<'a> {
             recovery_time: self.recovery_time,
             capacity_headroom: self.capacity_headroom,
             routed: self.routed,
+            timeline: self.timeline,
+            timeline_bucket: self.config.timeline_bucket,
         }
     }
 }
@@ -1202,6 +1614,16 @@ pub fn simulate_global_traced(
     tel.counter_add("global.hedge_wins", sim.hedge_wins);
     tel.counter_add("global.duplicates_suppressed", sim.duplicates_suppressed);
     tel.counter_add("global.outlier_demotions", sim.outlier_demotions);
+    if policy.retries() {
+        // Only the retry arms emit the overload counters, so the
+        // pre-existing golden traces stay byte-identical.
+        tel.counter_add("global.retries_issued", sim.retries_issued);
+        tel.counter_add("global.retries_shed", sim.retries_shed);
+        let opens: u64 = sim.breakers.iter().map(|b| b.opens()).sum();
+        tel.counter_add("global.breaker_opens", opens);
+        tel.counter_add("global.cancelled_at_admission", sim.cancelled_at_admission);
+        tel.counter_add("global.scale_events", sim.scale_events);
+    }
     tel.end_span(sim.end);
 
     sim.into_report()

@@ -1,0 +1,323 @@
+//! Deterministic adaptive circuit breaking per (ingress, pod) edge.
+//!
+//! The breaker is the fast-reacting half of the overload defense
+//! (budgets cap *how much* duplicate work exists; the breaker stops
+//! routing *anything* across an edge that is demonstrably failing).
+//! It is a classic three-state machine driven entirely by windowed
+//! counters, so byte-identical inputs give byte-identical transitions
+//! at any thread count:
+//!
+//! ```text
+//! Closed ── consecutive bad windows ──► Open
+//!   ▲                                    │ hold elapses
+//!   └── probe successes ── HalfOpen ◄────┘
+//!            (probation)      │ probe failure
+//!                             └──────────► Open
+//! ```
+//!
+//! Outcomes (`record_success` with the observed queue delay /
+//! `record_failure`) accumulate into the current window; windows close
+//! at the caller's probe cadence (`on_window`), folding into
+//! success-rate and queue-delay EWMAs. A window is *bad* when the
+//! success EWMA sits below the floor or the delay EWMA above the
+//! ceiling; enough consecutive bad windows open the edge. Half-open
+//! probation mirrors the [`HealthMachine`](crate::resilience::health)
+//! `Recovering` path: one probe request at a time is admitted, a run
+//! of probe successes closes the edge, a single probe failure slams it
+//! back open.
+
+use mtia_core::SimTime;
+
+/// Breaker thresholds and cadences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// EWMA smoothing for the per-window success rate and queue delay
+    /// (`new = old + alpha × (window − old)`).
+    pub ewma_alpha: f64,
+    /// Minimum outcomes in a window before it is judged at all — an
+    /// idle edge must never open on noise.
+    pub min_samples: u64,
+    /// Success-rate EWMA below this marks the window bad.
+    pub success_floor: f64,
+    /// Queue-delay EWMA above this marks the window bad.
+    pub delay_ceiling: SimTime,
+    /// Consecutive bad windows before `Closed → Open`.
+    pub consecutive_bad: u32,
+    /// How long an opened edge holds before probing (`Open → HalfOpen`).
+    pub open_hold: SimTime,
+    /// Consecutive half-open probe successes before `HalfOpen → Closed`.
+    pub close_after: u32,
+}
+
+impl BreakerConfig {
+    /// Production defaults: judge windows of ≥5 outcomes, open after 2
+    /// consecutive windows below 50 % success (or with queue delay
+    /// above 1 s), hold 2 s, close after 3 clean probes.
+    pub fn production() -> Self {
+        BreakerConfig {
+            ewma_alpha: 0.3,
+            min_samples: 5,
+            success_floor: 0.5,
+            delay_ceiling: SimTime::from_secs(1),
+            consecutive_bad: 2,
+            open_hold: SimTime::from_secs(2),
+            close_after: 3,
+        }
+    }
+}
+
+/// The breaker's routing-visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Edge carries traffic; windows are being judged.
+    Closed,
+    /// Edge carries nothing until the hold elapses.
+    Open,
+    /// Probation: one probe request at a time.
+    HalfOpen,
+}
+
+/// One (ingress, pod) edge's adaptive circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    success_ewma: f64,
+    delay_ewma_s: f64,
+    window_total: u64,
+    window_ok: u64,
+    window_delay_s: f64,
+    bad_streak: u32,
+    opened_at: SimTime,
+    probe_inflight: u32,
+    probe_successes: u32,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with clean history.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            success_ewma: 1.0,
+            delay_ewma_s: 0.0,
+            window_total: 0,
+            window_ok: 0,
+            window_delay_s: 0.0,
+            bad_streak: 0,
+            opened_at: SimTime::ZERO,
+            probe_inflight: 0,
+            probe_successes: 0,
+            opens: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total transitions into `Open` (both from `Closed` and from a
+    /// failed half-open probe).
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Whether the router may send one more request across this edge
+    /// right now. Half-open admits a single probe at a time; the caller
+    /// must pair an admission with [`CircuitBreaker::note_probe`].
+    pub fn allows(&self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => self.probe_inflight == 0,
+        }
+    }
+
+    /// Marks one admitted half-open probe in flight. No-op outside
+    /// probation.
+    pub fn note_probe(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.probe_inflight += 1;
+        }
+    }
+
+    fn reopen(&mut self, now: SimTime) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.probe_inflight = 0;
+        self.probe_successes = 0;
+        self.opens += 1;
+    }
+
+    /// Records one served request's outcome with its observed queue
+    /// delay.
+    pub fn record_success(&mut self, queue_delay: SimTime) {
+        self.window_total += 1;
+        self.window_ok += 1;
+        self.window_delay_s += queue_delay.as_secs_f64();
+        if self.state == BreakerState::HalfOpen {
+            self.probe_inflight = self.probe_inflight.saturating_sub(1);
+            self.probe_successes += 1;
+            if self.probe_successes >= self.config.close_after {
+                self.state = BreakerState::Closed;
+                self.bad_streak = 0;
+                // Probation passed: forgive the history that opened the
+                // edge so it does not immediately re-trip.
+                self.success_ewma = 1.0;
+                self.delay_ewma_s = 0.0;
+            }
+        }
+    }
+
+    /// Records one failed request (expired, killed, or cancelled past
+    /// deadline). A failure during half-open probation re-opens
+    /// immediately.
+    pub fn record_failure(&mut self, now: SimTime) {
+        self.window_total += 1;
+        if self.state == BreakerState::HalfOpen {
+            self.reopen(now);
+        }
+    }
+
+    /// Closes the current outcome window (call at the probe cadence):
+    /// folds it into the EWMAs, judges it, and advances the state
+    /// machine — `Closed → Open` on enough consecutive bad windows,
+    /// `Open → HalfOpen` once the hold has elapsed.
+    pub fn on_window(&mut self, now: SimTime) {
+        if self.window_total >= self.config.min_samples {
+            let rate = self.window_ok as f64 / self.window_total as f64;
+            let delay = self.window_delay_s / self.window_total as f64;
+            let a = self.config.ewma_alpha;
+            self.success_ewma += a * (rate - self.success_ewma);
+            self.delay_ewma_s += a * (delay - self.delay_ewma_s);
+            let bad = self.success_ewma < self.config.success_floor
+                || self.delay_ewma_s > self.config.delay_ceiling.as_secs_f64();
+            if bad {
+                self.bad_streak += 1;
+            } else {
+                self.bad_streak = 0;
+            }
+            if self.state == BreakerState::Closed && self.bad_streak >= self.config.consecutive_bad
+            {
+                self.reopen(now);
+            }
+        }
+        self.window_total = 0;
+        self.window_ok = 0;
+        self.window_delay_s = 0.0;
+        if self.state == BreakerState::Open && now >= self.opened_at + self.config.open_hold {
+            self.state = BreakerState::HalfOpen;
+            self.probe_inflight = 0;
+            self.probe_successes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(n: u64) -> SimTime {
+        SimTime::from_millis(500 * n)
+    }
+
+    /// The full lifecycle at production thresholds — the same sequence
+    /// the pinned golden trace exercises end to end in the sim.
+    #[test]
+    fn open_half_open_close_lifecycle() {
+        let config = BreakerConfig::production();
+        let mut b = CircuitBreaker::new(config);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Three windows of pure failure open the edge: the success EWMA
+        // drops 1.0 → 0.7 → 0.49 → 0.343, crossing the 0.5 floor at the
+        // second window, and the bad streak reaches 2 at the third.
+        for w in 0..3u64 {
+            for _ in 0..10 {
+                b.record_failure(tick(w));
+            }
+            b.on_window(tick(w + 1));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.allows());
+        // Hold: 2 s = 4 probe ticks after opening at tick(3).
+        b.on_window(tick(4));
+        assert_eq!(b.state(), BreakerState::Open);
+        b.on_window(tick(7));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probation: one probe at a time, three successes close it.
+        for _ in 0..config.close_after {
+            assert!(b.allows());
+            b.note_probe();
+            assert!(!b.allows(), "only one probe in flight");
+            b.record_success(SimTime::from_millis(10));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows());
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig::production());
+        for w in 0..3u64 {
+            for _ in 0..10 {
+                b.record_failure(tick(w));
+            }
+            b.on_window(tick(w + 1));
+        }
+        b.on_window(tick(7));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.note_probe();
+        b.record_failure(tick(8));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+    }
+
+    #[test]
+    fn clean_edge_never_opens() {
+        let mut b = CircuitBreaker::new(BreakerConfig::production());
+        for w in 0..10_000u64 {
+            for _ in 0..8 {
+                b.record_success(SimTime::from_millis(30));
+            }
+            b.on_window(tick(w + 1));
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn sparse_windows_are_never_judged() {
+        let mut b = CircuitBreaker::new(BreakerConfig::production());
+        // Fewer failures per window than min_samples: an idle edge with
+        // occasional bad luck must stay closed.
+        for w in 0..1000u64 {
+            for _ in 0..4 {
+                b.record_failure(tick(w));
+            }
+            b.on_window(tick(w + 1));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn slow_queues_alone_trip_the_delay_ceiling() {
+        let mut b = CircuitBreaker::new(BreakerConfig::production());
+        // Every request succeeds, but queue delay sits far above the
+        // ceiling — the breaker must still open (queue-delay EWMA path).
+        let mut w = 0u64;
+        while b.state() == BreakerState::Closed {
+            for _ in 0..10 {
+                b.record_success(SimTime::from_secs(3));
+            }
+            b.on_window(tick(w + 1));
+            w += 1;
+            assert!(w < 100, "delay ceiling never tripped");
+        }
+        assert_eq!(b.opens(), 1);
+    }
+}

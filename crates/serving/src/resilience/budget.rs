@@ -1,0 +1,155 @@
+//! Fleet-wide retry/hedge budgets: the anti-amplification half of the
+//! metastable-failure defense.
+//!
+//! The failure mode this guards against is the classic sustained-
+//! congestion loop: queues grow → attempts time out → clients mint
+//! retry copies → queues grow faster. Once minted copies exceed the
+//! capacity freed by the original trigger healing, goodput stays
+//! depressed *after* the trigger is gone — a metastable failure. The
+//! defense is to make duplicates a budgeted resource: each pod may
+//! spend retries only in proportion to the fresh traffic it has
+//! admitted, so amplification is capped at `1 + fraction` no matter
+//! how pathological the storm.
+//!
+//! [`RetryBudget`] is a pure counter token bucket — no timers, no
+//! decay state — so it is trivially deterministic and O(1) per
+//! decision: a retry is admitted iff
+//! `spent + 1 ≤ fresh_admitted × fraction + burst`.
+
+/// Token-bucket parameters for one pod's retry budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetConfig {
+    /// Retries admitted per fresh request admitted (the paper-style
+    /// "retries ≤ 10 % of fresh traffic" knob).
+    pub fraction: f64,
+    /// Flat allowance on top of the proportional budget, so the first
+    /// few retries of a cold pod are not refused outright.
+    pub burst: u64,
+}
+
+impl BudgetConfig {
+    /// Production defaults: retries capped at 10 % of fresh traffic
+    /// with a 5-copy burst floor.
+    pub fn production() -> Self {
+        BudgetConfig {
+            fraction: 0.1,
+            burst: 5,
+        }
+    }
+
+    /// The exact proportional bound with no burst floor — what the
+    /// amplification property test asserts against.
+    pub fn strict(fraction: f64) -> Self {
+        BudgetConfig { fraction, burst: 0 }
+    }
+}
+
+/// One pod's retry token bucket. Earn by admitting fresh traffic,
+/// spend by minting retry copies; [`RetryBudget::try_spend`] refuses
+/// once spend would outrun `fresh × fraction + burst`.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    config: BudgetConfig,
+    fresh: u64,
+    spent: u64,
+    shed: u64,
+}
+
+impl RetryBudget {
+    /// An empty bucket under `config`.
+    pub fn new(config: BudgetConfig) -> Self {
+        RetryBudget {
+            config,
+            fresh: 0,
+            spent: 0,
+            shed: 0,
+        }
+    }
+
+    /// Records one fresh (non-duplicate) admission, growing the budget.
+    pub fn admit_fresh(&mut self) {
+        self.fresh += 1;
+    }
+
+    /// Tries to spend one retry token. Returns `true` (and records the
+    /// spend) when the budget covers it, `false` (and records the shed)
+    /// otherwise.
+    pub fn try_spend(&mut self) -> bool {
+        let cap = (self.fresh as f64 * self.config.fraction).floor() as u64 + self.config.burst;
+        if self.spent < cap {
+            self.spent += 1;
+            true
+        } else {
+            self.shed += 1;
+            false
+        }
+    }
+
+    /// Fresh admissions recorded so far.
+    pub fn fresh(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Retry tokens spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Retries refused so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_proportional() {
+        let mut b = RetryBudget::new(BudgetConfig {
+            fraction: 0.1,
+            burst: 2,
+        });
+        // Burst floor: two retries with zero fresh traffic.
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        assert_eq!(b.shed(), 1);
+        // Ten fresh admissions earn exactly one more token.
+        for _ in 0..10 {
+            b.admit_fresh();
+        }
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        assert_eq!(b.spent(), 3);
+        assert_eq!(b.shed(), 2);
+    }
+
+    #[test]
+    fn strict_budget_enforces_the_amplification_bound() {
+        let config = BudgetConfig::strict(0.25);
+        let mut b = RetryBudget::new(config);
+        for i in 0..1000u64 {
+            b.admit_fresh();
+            // Try to retry every single request: the bucket must clamp
+            // total spend to fresh × fraction at every prefix.
+            let _ = b.try_spend();
+            let cap = ((i + 1) as f64 * config.fraction).floor() as u64;
+            assert!(b.spent() <= cap, "spent {} > cap {cap}", b.spent());
+        }
+        assert_eq!(b.spent(), 250);
+        assert_eq!(b.shed(), 750);
+    }
+
+    #[test]
+    fn zero_fraction_zero_burst_sheds_everything() {
+        let mut b = RetryBudget::new(BudgetConfig::strict(0.0));
+        for _ in 0..100 {
+            b.admit_fresh();
+        }
+        assert!(!b.try_spend());
+        assert_eq!(b.spent(), 0);
+        assert_eq!(b.shed(), 1);
+    }
+}

@@ -12,6 +12,12 @@
 //!   `Offline` can never reach `Healthy` without probation.
 //! * [`retry`] — bounded exponential backoff with deterministic jitter,
 //!   plus optional merge-job hedging.
+//! * [`budget`] — fleet-wide token-bucket retry budgets: duplicates are
+//!   a resource earned by fresh admissions, capping retry-storm
+//!   amplification at `1 + fraction`.
+//! * [`breaker`] — a deterministic adaptive circuit breaker per
+//!   (ingress, pod) edge, driven by windowed success-rate and
+//!   queue-delay EWMAs with half-open probation.
 //! * [`outlier`] — peer-relative fail-slow detection: per-device
 //!   service-time EWMAs scored against the pod median, driving
 //!   demotion of gray-failing devices that still pass liveness probes.
@@ -25,6 +31,8 @@
 //! * [`report`] — availability / success / latency reports embedding the
 //!   fault-trace fingerprint.
 
+pub mod breaker;
+pub mod budget;
 pub mod controller;
 pub mod device;
 pub mod health;
@@ -33,6 +41,8 @@ pub mod report;
 pub mod retry;
 pub mod sim;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use budget::{BudgetConfig, RetryBudget};
 pub use controller::{DegradationConfig, DegradationController};
 pub use device::{Device, DeviceSet, FaultImpact};
 pub use health::{HealthConfig, HealthMachine, HealthState};

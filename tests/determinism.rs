@@ -5,9 +5,10 @@
 //! byte-identical at any thread count. This runs the `--filter quick`
 //! subset — fig5 (serving Monte-Carlo sweeps), one E19 SDC ladder rung,
 //! the E21 failover rung, the E22 global-router rung, the E23
-//! gray-failure rung, the E24 sharded-planet rung, and the E25 explore
-//! rung — the same selection `scripts/ci.sh` smoke-checks — plus the
-//! E22, E23, E24, and E25 comparisons at 1/2/8 threads.
+//! gray-failure rung, the E24 sharded-planet rung, the E25 explore
+//! rung, and the E26 metastable-storm rung — the same selection
+//! `scripts/ci.sh` smoke-checks — plus the E22, E23, E24, E25, and E26
+//! comparisons at 1/2/8 threads.
 
 use mtia_bench::experiments;
 use mtia_bench::render_reports;
@@ -40,7 +41,10 @@ fn filter_quick_selects_the_gated_subset() {
         .collect();
     assert_eq!(
         names,
-        vec!["fig5", "e19_rung", "e21_rung", "e22_rung", "e23_rung", "e24_rung", "e25_rung"]
+        vec![
+            "fig5", "e19_rung", "e21_rung", "e22_rung", "e23_rung", "e24_rung", "e25_rung",
+            "e26_rung"
+        ]
     );
 }
 
@@ -127,4 +131,26 @@ fn e25_explore_rung_is_byte_identical_across_thread_counts() {
     assert!(!one.is_empty());
     assert_eq!(one, two, "E25 rung differs between 1 and 2 threads");
     assert_eq!(one, eight, "E25 rung differs between 1 and 8 threads");
+}
+
+/// The E26 metastable-storm rung runs three arms — retry budgets,
+/// breaker windows, deadline cancellation, and the autoscaler all
+/// active — so its rendered scorecard (goodput levels, recovery times,
+/// counters, fingerprints) must be byte-identical at any worker count.
+#[test]
+fn e26_overload_rung_is_byte_identical_across_thread_counts() {
+    use mtia_bench::experiments::overload_exps;
+
+    let render = |threads: usize| {
+        pool::set_threads(threads);
+        let report = overload_exps::e26_rung();
+        pool::set_threads(0);
+        format!("{report}")
+    };
+    let one = render(1);
+    let two = render(2);
+    let eight = render(8);
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "E26 rung differs between 1 and 2 threads");
+    assert_eq!(one, eight, "E26 rung differs between 1 and 8 threads");
 }

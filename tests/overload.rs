@@ -1,0 +1,110 @@
+//! Property tests for the metastable-failure defense: the retry
+//! budget's amplification bound holds under *any* fault storm, and the
+//! circuit breaker never opens on a clean fleet.
+
+use mtia::core::seed::{derive, derive_indexed};
+use mtia::core::SimTime;
+use mtia::fleet::topology::GlobalTopologyConfig;
+use mtia::serving::global::{
+    build_regional_trace, simulate_global, GlobalConfig, RegionalTrafficConfig, RoutingPolicy,
+};
+use mtia::sim::faults::{FaultEvent, FaultKind, FaultPlan};
+use proptest::prelude::*;
+
+/// One arbitrary storm event: crashes at host, pod, and region blast
+/// radii plus fail-slow throttles — the shapes that drive queues, and
+/// therefore retries, hardest.
+fn storm_event(total_devices: u64, sel: u64, at_s: u64, dur_s: u64, kind_sel: u8) -> FaultEvent {
+    let kind = match kind_sel % 4 {
+        0 => FaultKind::HostCrash,
+        1 => FaultKind::PodLoss,
+        2 => FaultKind::ThermalThrottle {
+            ramp_s: 2.0,
+            floor: 0.3,
+        },
+        _ => FaultKind::NicPartition,
+    };
+    FaultEvent {
+        at: SimTime::from_secs(1 + at_s % 20),
+        device: (sel % total_devices) as u32,
+        kind,
+        duration: SimTime::from_secs(1 + dur_s % 15),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The token-bucket guarantee, end to end: whatever the storm does
+    /// to queues and timeouts, each pod spends retries at most
+    /// `fresh × fraction + burst`, so fleet-wide duplicate work is
+    /// capped at `offered × fraction + pods × burst` — amplification
+    /// can never outrun `1 + fraction` asymptotically.
+    #[test]
+    fn retry_budget_bounds_amplification_under_any_storm(
+        seed in any::<u64>(),
+        storm_seed in any::<u64>(),
+        storm_len in 1usize..5,
+    ) {
+        let global = GlobalTopologyConfig::global_small().build();
+        let spec = global.fleet_spec();
+        let total = (spec.pods() * spec.devices_per_pod) as u64;
+        let horizon = SimTime::from_secs(30);
+        let trace = build_regional_trace(
+            &RegionalTrafficConfig::production(30.0, horizon),
+            global.region_count(),
+            horizon,
+            derive(seed, "prop.overload-arrivals"),
+        );
+        let mut plan = FaultPlan::empty(derive(seed, "prop.overload-plan"));
+        for i in 0..storm_len as u64 {
+            let w = derive_indexed(storm_seed, "prop.overload-storm", i);
+            plan = plan.with_event(storm_event(
+                total,
+                w,
+                w >> 8,
+                w >> 24,
+                (w >> 40) as u8,
+            ));
+        }
+        let config = GlobalConfig::production(seed);
+        let budget = config.overload.budget.expect("production arms the budget");
+        let r = simulate_global(&spec, &config, &trace, &plan, RoutingPolicy::OverloadResilient);
+        prop_assert_eq!(r.unaccounted(), 0, "{} leaks requests", r.policy);
+        let cap = (r.offered as f64 * budget.fraction).floor() as u64
+            + u64::from(spec.pods()) * budget.burst;
+        prop_assert!(
+            r.retries_issued <= cap,
+            "retries {} exceed the budget cap {} (offered {})",
+            r.retries_issued,
+            cap,
+            r.offered
+        );
+    }
+
+    /// Zero false positives: with no faults injected, whatever the
+    /// seed, no (ingress, pod) edge ever accumulates the consecutive
+    /// bad windows needed to open — a breaker that trips on a healthy
+    /// fleet *is* an outage.
+    #[test]
+    fn breaker_never_opens_on_a_clean_fleet(seed in any::<u64>()) {
+        let global = GlobalTopologyConfig::global_small().build();
+        let spec = global.fleet_spec();
+        let horizon = SimTime::from_secs(30);
+        let trace = build_regional_trace(
+            &RegionalTrafficConfig::production(25.0, horizon),
+            global.region_count(),
+            horizon,
+            derive(seed, "prop.clean-overload-arrivals"),
+        );
+        let plan = FaultPlan::empty(derive(seed, "prop.clean-overload-plan"));
+        let config = GlobalConfig::production(seed);
+        let r = simulate_global(&spec, &config, &trace, &plan, RoutingPolicy::OverloadResilient);
+        prop_assert_eq!(r.unaccounted(), 0);
+        prop_assert_eq!(
+            r.breaker_opens, 0,
+            "breaker opened on a fault-free fleet"
+        );
+        prop_assert_eq!(r.lost, 0, "clean fleet lost requests");
+    }
+}

@@ -129,7 +129,7 @@ fn spec_peaks_match_table2() {
 #[test]
 fn all_experiments_produce_tables() {
     let reports = mtia_bench::experiments::run_all();
-    assert_eq!(reports.len(), 29);
+    assert_eq!(reports.len(), 30);
     for r in &reports {
         assert!(!r.tables.is_empty(), "{} has no tables", r.id);
         for t in &r.tables {
